@@ -1,0 +1,74 @@
+//! E2 — the AC⁰ circuit family: compilation cost, evaluation cost, and
+//! the depth/size table (printed once at start; depth must be constant
+//! in n, size polynomial).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_eval::circuit;
+use fmt_logic::parser::parse_formula;
+use fmt_structures::{builders, Signature};
+use std::hint::black_box;
+
+fn depth_size_table() {
+    let sig = Signature::graph();
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y) & !E(y, x)").unwrap();
+    println!("\nE2 · circuit family of ∀x∃y (E(x,y) ∧ ¬E(y,x)):");
+    println!("{:>6} {:>10} {:>10} {:>6}", "n", "inputs", "gates", "depth");
+    for n in [2u32, 4, 8, 16, 32, 64] {
+        let (c, _) = circuit::compile(&sig, &f, n);
+        println!(
+            "{:>6} {:>10} {:>10} {:>6}",
+            n,
+            c.num_inputs(),
+            c.size(),
+            c.depth()
+        );
+    }
+    println!();
+}
+
+fn compile_sweep(c: &mut Criterion) {
+    depth_size_table();
+    let sig = Signature::graph();
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y) & !E(y, x)").unwrap();
+    let mut g = c.benchmark_group("e2_compile");
+    g.sample_size(10);
+    for n in [8u32, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(circuit::compile(&sig, &f, n)))
+        });
+    }
+    g.finish();
+}
+
+fn eval_sweep(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y) & !E(y, x)").unwrap();
+    let mut g = c.benchmark_group("e2_eval");
+    g.sample_size(20);
+    for n in [8u32, 16, 32, 64] {
+        let (circuit, layout) = circuit::compile(&sig, &f, n);
+        let s = builders::directed_cycle(n);
+        let bits = layout.encode(&s);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(circuit.eval(&bits)))
+        });
+    }
+    g.finish();
+}
+
+fn encode_sweep(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let mut g = c.benchmark_group("e2_encode");
+    g.sample_size(20);
+    for n in [16u32, 64, 128] {
+        let layout = circuit::InputLayout::new(&sig, n);
+        let s = builders::complete_graph(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(layout.encode(&s)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, compile_sweep, eval_sweep, encode_sweep);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E10 — Theorem 3.11: the census pass is linear on bounded-degree
+//! inputs while the textbook evaluator is superlinear; the crossover is
+//! the figure this bench regenerates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_eval::bounded_degree::{BoundedDegreeEvaluator, HanfParameters};
+use fmt_logic::parser::parse_formula;
+use fmt_structures::{builders, Signature};
+use std::hint::black_box;
+
+fn census_vs_textbook(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let f = parse_formula(
+        &sig,
+        "forall x. exists y. E(x, y) & (exists z. E(y, z) & !(z = x))",
+    )
+    .unwrap();
+    let params = HanfParameters {
+        radius: 2,
+        threshold: 6,
+    };
+    let mut g = c.benchmark_group("e10_census_vs_textbook");
+    g.sample_size(10);
+    for exp in [9u32, 10, 11, 12] {
+        let n = 1u32 << exp;
+        let s = builders::undirected_cycle(n);
+        g.bench_with_input(BenchmarkId::new("census", n), &n, |b, _| {
+            // Fresh evaluator per measurement, primed on a small cycle
+            // so the big input takes the table-hit (linear) path.
+            b.iter(|| {
+                let mut ev = BoundedDegreeEvaluator::with_parameters(
+                    sig.clone(),
+                    f.clone(),
+                    2,
+                    params,
+                );
+                ev.evaluate(&builders::undirected_cycle(8));
+                black_box(ev.evaluate(&s))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("textbook", n), &n, |b, _| {
+            b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)))
+        });
+    }
+    g.finish();
+}
+
+fn census_pass_only(c: &mut Criterion) {
+    // The pure linear pass (table already warm) on three input shapes.
+    let sig = Signature::graph();
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y)").unwrap();
+    let params = HanfParameters {
+        radius: 1,
+        threshold: 4,
+    };
+    let mut g = c.benchmark_group("e10_census_pass_warm");
+    g.sample_size(10);
+    type Maker = fn(u32) -> fmt_structures::Structure;
+    let shapes: Vec<(&str, Maker)> = vec![
+        ("cycle", builders::undirected_cycle as Maker),
+        ("path", builders::undirected_path as Maker),
+    ];
+    for (name, make) in shapes {
+        for n in [4096u32, 16384] {
+            let s = make(n);
+            g.bench_function(format!("{name}_{n}"), |b| {
+                let mut ev = BoundedDegreeEvaluator::with_parameters(
+                    sig.clone(),
+                    f.clone(),
+                    2,
+                    params,
+                );
+                ev.evaluate(&make(16)); // warm the table
+                ev.evaluate(&s); // first pass interns the types
+                b.iter(|| black_box(ev.evaluate(&s)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, census_vs_textbook, census_pass_only);
+criterion_main!(benches);

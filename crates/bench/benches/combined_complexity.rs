@@ -1,0 +1,102 @@
+//! E1 — combined complexity of FO model checking (Stockmeyer/Vardi).
+//!
+//! Regenerates the paper's `O(nᵏ)` estimate as two sweeps: fixed query
+//! over growing data (polynomial), and growing quantifier rank over
+//! fixed data (exponential). The "table" is the criterion group output:
+//! `data_sweep/{n}` and `rank_sweep/{k}`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_eval::naive::{Env, NaiveEvaluator};
+use fmt_logic::{library, Formula, Var};
+use fmt_structures::{builders, Signature};
+use std::hint::black_box;
+
+/// ∀x₁…∀xₖ ¬E(x₁,x₁): forces the evaluator through all nᵏ bindings.
+fn deep_forall(k: u32) -> Formula {
+    let e = Signature::graph().relation("E").unwrap();
+    let body = Formula::atom(e, &[Var(0), Var(0)]).not();
+    (0..k)
+        .rev()
+        .fold(body, |acc, i| Formula::forall(Var(i), acc))
+}
+
+fn data_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_data_sweep_k3");
+    g.sample_size(10);
+    let f = deep_forall(3);
+    for n in [8u32, 16, 32, 64] {
+        let s = builders::empty_graph(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ev = NaiveEvaluator::new(&s);
+                let mut env = Env::for_formula(&f);
+                black_box(ev.eval(&f, &mut env))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn rank_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_rank_sweep_n16");
+    g.sample_size(10);
+    let s = builders::empty_graph(16);
+    for k in [2u32, 3, 4, 5] {
+        let f = deep_forall(k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut ev = NaiveEvaluator::new(&s);
+                let mut env = Env::for_formula(&f);
+                black_box(ev.eval(&f, &mut env))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn clique_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_clique_query");
+    g.sample_size(10);
+    let e = Signature::graph().relation("E").unwrap();
+    // Near-complete graphs make the clique search do real work.
+    for (k, n) in [(3u32, 32u32), (4, 24), (5, 16)] {
+        let f = library::k_clique(e, k);
+        let s = builders::complete_graph(n);
+        g.bench_function(format!("k{k}_n{n}"), |b| {
+            b.iter(|| {
+                let mut ev = NaiveEvaluator::new(&s);
+                let mut env = Env::for_formula(&f);
+                black_box(ev.eval(&f, &mut env))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn relalg_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_relalg_vs_naive");
+    g.sample_size(10);
+    let sig = Signature::graph();
+    let f = fmt_logic::parser::parse_formula(
+        &sig,
+        "forall x. exists y. E(x, y) & (exists z. E(y, z))",
+    )
+    .unwrap();
+    let s = builders::undirected_cycle(256);
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)))
+    });
+    g.bench_function("relalg", |b| {
+        b.iter(|| black_box(fmt_eval::relalg::check_sentence(&s, &f)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    data_sweep,
+    rank_sweep,
+    clique_workload,
+    relalg_vs_naive
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E7 — Datalog evaluation: naive vs semi-naive on transitive closure
+//! (chains, cycles) and same-generation (full binary trees), plus the
+//! direct-BFS reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_queries::datalog::Program;
+use fmt_queries::graph;
+use fmt_structures::builders;
+use std::hint::black_box;
+
+fn tc_chain(c: &mut Criterion) {
+    let prog = Program::transitive_closure();
+    let mut g = c.benchmark_group("e7_tc_on_chain");
+    g.sample_size(10);
+    for n in [16u32, 32, 64] {
+        let s = builders::directed_path(n);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_naive(&s).derivations))
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+        });
+        g.bench_with_input(BenchmarkId::new("bfs_reference", n), &n, |b, _| {
+            b.iter(|| black_box(graph::transitive_closure(&s).num_tuples()))
+        });
+    }
+    g.finish();
+}
+
+fn same_generation_trees(c: &mut Criterion) {
+    let prog = Program::same_generation();
+    let mut g = c.benchmark_group("e7_same_generation");
+    g.sample_size(10);
+    for d in [3u32, 4, 5] {
+        let s = builders::full_binary_tree(d);
+        g.bench_with_input(BenchmarkId::new("naive", d), &d, |b, _| {
+            b.iter(|| black_box(prog.eval_naive(&s).derivations))
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive", d), &d, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+        });
+    }
+    g.finish();
+}
+
+fn tc_cycle(c: &mut Criterion) {
+    let prog = Program::transitive_closure();
+    let mut g = c.benchmark_group("e7_tc_on_cycle");
+    g.sample_size(10);
+    for n in [16u32, 32] {
+        let s = builders::directed_cycle(n);
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, tc_chain, same_generation_trees, tc_cycle);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! E3/E16 — Ehrenfeucht–Fraïssé game solving, with the ablation groups
+//! for the solver's optimizations (memoization, fresh-move pruning,
+//! profile-guided reply ordering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_games::solver::{EfSolver, SolverConfig};
+use fmt_structures::builders;
+use std::hint::black_box;
+
+fn orders_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_orders_game_n3");
+    g.sample_size(10);
+    for m in [8u32, 12, 16, 20] {
+        let a = builders::linear_order(m);
+        let b = builders::linear_order(m + 1);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| {
+                let mut s = EfSolver::new(&a, &b);
+                black_box(s.duplicator_wins(3))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn rounds_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_rounds_on_L15_L16");
+    g.sample_size(10);
+    let a = builders::linear_order(15);
+    let b = builders::linear_order(16);
+    for n in [2u32, 3, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut s = EfSolver::new(&a, &b);
+                black_box(s.duplicator_wins(n))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_ablation_L10_L11_n3");
+    g.sample_size(10);
+    let a = builders::linear_order(10);
+    let b = builders::linear_order(11);
+    let configs: [(&str, SolverConfig); 4] = [
+        ("full", SolverConfig::default()),
+        (
+            "no_memo",
+            SolverConfig {
+                memoization: false,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no_pruning",
+            SolverConfig {
+                fresh_move_pruning: false,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no_profile_ordering",
+            SolverConfig {
+                profile_ordering: false,
+                ..SolverConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut s = EfSolver::with_config(&a, &b, cfg);
+                black_box(s.duplicator_wins(3))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn graph_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_graph_pairs_n3");
+    g.sample_size(10);
+    let cases = [
+        (
+            "cycles_6_vs_3x2",
+            builders::undirected_cycle(6),
+            builders::copies(&builders::undirected_cycle(3), 2),
+        ),
+        (
+            "path_vs_cycle_8",
+            builders::directed_path(8),
+            builders::directed_cycle(8),
+        ),
+    ];
+    for (name, a, b) in &cases {
+        g.bench_function(*name, |bench| {
+            bench.iter(|| {
+                let mut s = EfSolver::new(a, b);
+                black_box(s.duplicator_wins(3))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn pebble_and_bijection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("game_variants_L6_L7");
+    g.sample_size(10);
+    let a = builders::linear_order(6);
+    let b = builders::linear_order(7);
+    g.bench_function("ef_n3", |bench| {
+        bench.iter(|| black_box(EfSolver::new(&a, &b).duplicator_wins(3)))
+    });
+    g.bench_function("pebble_k2_n3", |bench| {
+        bench.iter(|| black_box(fmt_games::pebble::pebble_duplicator_wins(&a, &b, 2, 3)))
+    });
+    let c6 = builders::undirected_cycle(6);
+    let c3x2 = builders::copies(&builders::undirected_cycle(3), 2);
+    g.bench_function("bijective_n2_cycles6", |bench| {
+        bench.iter(|| {
+            black_box(fmt_games::bijection::bijection_duplicator_wins(
+                &c6, &c3x2, 2,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    orders_sweep,
+    rounds_sweep,
+    ablation,
+    graph_pairs,
+    pebble_and_bijection
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E6/E8/E9 — the locality toolbox: neighborhood census cost (linear in
+//! n for bounded degree), Hanf equivalence checks, Gaifman violation
+//! search, and degree-spectrum computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_locality::{bndp, gaifman_local, hanf, GaifmanGraph, TypeCensus, TypeRegistry};
+use fmt_queries::graph;
+use fmt_structures::{builders, Elem, Structure};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn census_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("census_r2_on_cycles");
+    g.sample_size(10);
+    for n in [256u32, 1024, 4096, 16384] {
+        let s = builders::undirected_cycle(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut reg = TypeRegistry::new();
+                black_box(TypeCensus::compute(&s, 2, &mut reg).num_types())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn gaifman_graph_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gaifman_graph_build");
+    g.sample_size(10);
+    for n in [1024u32, 8192, 65536] {
+        let s = builders::grid(n / 32, 32);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(GaifmanGraph::new(&s).max_degree()))
+        });
+    }
+    g.finish();
+}
+
+fn hanf_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_hanf_equivalence_r3");
+    g.sample_size(10);
+    for m in [32u32, 128, 512] {
+        let a = builders::copies(&builders::undirected_cycle(m), 2);
+        let b = builders::undirected_cycle(2 * m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
+            bench.iter(|| black_box(hanf::hanf_equivalent(&a, &b, 3)))
+        });
+    }
+    g.finish();
+}
+
+fn gaifman_violation_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_gaifman_violation_tc");
+    g.sample_size(10);
+    let tc_pairs = |s: &Structure| -> HashSet<Vec<Elem>> {
+        let t = graph::transitive_closure(s);
+        let e = t.signature().relation("E").unwrap();
+        t.rel(e).iter().map(|x| x.to_vec()).collect()
+    };
+    for r in [1u32, 2] {
+        let s = builders::directed_path(6 * r + 8);
+        let out = tc_pairs(&s);
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(gaifman_local::find_violation(&s, &out, 2, r).is_some()))
+        });
+    }
+    g.finish();
+}
+
+fn degree_spectra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_degree_spectrum_tc");
+    g.sample_size(10);
+    for n in [64u32, 256, 1024] {
+        let s = builders::successor_chain(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let tc = graph::transitive_closure(&s);
+                let e = tc.signature().relation("E").unwrap();
+                black_box(bndp::degree_spectrum(&tc, e).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    census_sweep,
+    gaifman_graph_build,
+    hanf_check,
+    gaifman_violation_search,
+    degree_spectra
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E13/E14 — the 0-1 law machinery: structure sampling, μₙ estimation
+//! (serial work per sample), extension-axiom certification, and the
+//! symbolic limit decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmt_bench::BENCH_SEED;
+use fmt_logic::library;
+use fmt_structures::Signature;
+use fmt_zeroone::{extension, mu, sample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sampling(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let mut g = c.benchmark_group("sampling_uniform_structure");
+    g.sample_size(20);
+    for n in [16u32, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+            b.iter(|| black_box(sample::uniform_structure(&sig, n, &mut rng).num_tuples()))
+        });
+    }
+    g.finish();
+}
+
+fn mu_estimation(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let q2 = library::q2_distinguishing_neighbor(e);
+    let mut g = c.benchmark_group("e13_mu_estimate_q2_100samples");
+    g.sample_size(10);
+    for n in [8u32, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(mu::mu_estimate(&sig, n, &q2, 100, BENCH_SEED)))
+        });
+    }
+    g.finish();
+}
+
+fn mu_exact_tiny(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let q1 = library::q1_all_pairs_adjacent(e);
+    let mut g = c.benchmark_group("e13_mu_exact_q1");
+    g.sample_size(10);
+    for n in [2u32, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(mu::mu_exact(&sig, n, &q1)))
+        });
+    }
+    g.finish();
+}
+
+fn axiom_certification(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let mut g = c.benchmark_group("e14_certify_extension_axioms_level1");
+    g.sample_size(10);
+    for n in [32u32, 64, 128] {
+        let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+        let s = sample::uniform_structure(&sig, n, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(extension::satisfies_extension_axioms(&s, 1)))
+        });
+    }
+    g.finish();
+}
+
+fn symbolic_decision(c: &mut Criterion) {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut g = c.benchmark_group("e13_decide_mu_symbolic");
+    g.sample_size(10);
+    let cases = [
+        ("q1_rank2", library::q1_all_pairs_adjacent(e)),
+        ("q2_rank3", library::q2_distinguishing_neighbor(e)),
+        ("dominating_rank2", library::dominating_vertex(e)),
+    ];
+    for (name, f) in &cases {
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(fmt_zeroone::decide_mu(&sig, f)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    sampling,
+    mu_estimation,
+    mu_exact_tiny,
+    axiom_certification,
+    symbolic_decision
+);
+criterion_main!(benches);

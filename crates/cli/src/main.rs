@@ -1,0 +1,266 @@
+//! `fmtk` — the finite model theory toolbox, on the command line.
+//!
+//! ```text
+//! fmtk check  <structure> "<sentence>"        A ⊨ φ?
+//! fmtk eval   <structure> "<query φ(x̄)>"     answer set of an open query
+//! fmtk game   <A> <B> [--rounds N]           EF game rank and optimal trace
+//! fmtk mu     "<sentence>" [--rel R:k ...]   μ(φ) via the 0-1 law
+//! fmtk census <structure> [--radius r]       neighborhood-type census
+//! fmtk datalog <structure> <program>         run a Datalog program
+//! fmtk sample                                 print an example structure file
+//! ```
+//!
+//! Structures use the line format of `fmt_structures::parse`
+//! (`size: 5`, `E(0,1)`, `c = 3`); `-` reads from stdin. The default
+//! signature for `mu` is the graph vocabulary `E/2`; add relations with
+//! `--rel NAME:ARITY`.
+
+use fmt_core::eval::{naive, relalg};
+use fmt_core::games::play::optimal_play;
+use fmt_core::games::solver::rank;
+use fmt_core::locality::{TypeCensus, TypeRegistry};
+use fmt_core::logic::{parser as fo_parser, Query};
+use fmt_core::queries::datalog::Program;
+use fmt_core::structures::{parse as sparse, Signature, Structure};
+use fmt_core::zeroone;
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> String {
+    "usage:\n  \
+     fmtk check  <structure> \"<sentence>\"\n  \
+     fmtk eval   <structure> \"<query>\"\n  \
+     fmtk game   <A> <B> [--rounds N]\n  \
+     fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
+     fmtk census <structure> [--radius R]\n  \
+     fmtk datalog <structure> <program-file>\n  \
+     fmtk sample\n\
+     (structure files use the text format; '-' reads stdin)"
+        .to_owned()
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_structure(path: &str) -> Result<Structure, String> {
+    let text = read_input(path)?;
+    sparse::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(pos + 1);
+    args.remove(pos);
+    Some(v)
+}
+
+fn cmd_check(args: &[String]) -> Result<String, String> {
+    let [spath, sentence] = args else {
+        return Err(usage());
+    };
+    let s = load_structure(spath)?;
+    let f = fo_parser::parse_formula(s.signature(), sentence).map_err(|e| e.to_string())?;
+    if !f.is_sentence() {
+        return Err("sentence required (use `eval` for open queries)".into());
+    }
+    Ok((if naive::check_sentence(&s, &f) {
+            "true"
+        } else {
+            "false"
+        }).to_string())
+}
+
+fn cmd_eval(args: &[String]) -> Result<String, String> {
+    let [spath, query] = args else {
+        return Err(usage());
+    };
+    let s = load_structure(spath)?;
+    let q = Query::parse(s.signature(), query).map_err(|e| e.to_string())?;
+    let answers = relalg::answers(&s, &q);
+    let mut out = format!("arity {}, {} answers\n", q.arity(), answers.len());
+    for row in answers {
+        let cells: Vec<String> = row.iter().map(u32::to_string).collect();
+        out.push_str(&format!("({})\n", cells.join(", ")));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
+    let rounds: u32 = flag_value(&mut args, "--rounds")
+        .map(|v| v.parse().map_err(|_| "invalid --rounds".to_owned()))
+        .transpose()?
+        .unwrap_or(4);
+    let [apath, bpath] = args.as_slice() else {
+        return Err(usage());
+    };
+    let a = load_structure(apath)?;
+    let b = load_structure(bpath)?;
+    if a.signature() != b.signature() {
+        return Err("structures have different signatures".into());
+    }
+    let r = rank(&a, &b, rounds);
+    let mut out = format!(
+        "rank(A, B) capped at {rounds}: {r} — duplicator {} the {rounds}-round game\n",
+        if r >= rounds { "wins" } else { "loses" }
+    );
+    let trace = optimal_play(&a, &b, r + 1);
+    out.push_str(&format!(
+        "optimal {}-round game ({}):\n",
+        r + 1,
+        if trace.duplicator_survived {
+            "duplicator survives"
+        } else {
+            "spoiler wins"
+        }
+    ));
+    for (i, m) in trace.rounds.iter().enumerate() {
+        out.push_str(&format!(
+            "  round {}: spoiler plays {} in {:?}; duplicator answers {}\n",
+            i + 1,
+            m.spoiler,
+            m.side,
+            m.duplicator
+        ));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_mu(mut args: Vec<String>) -> Result<String, String> {
+    // Collect --rel NAME:ARITY flags.
+    let mut rels: Vec<(String, usize)> = Vec::new();
+    while let Some(spec) = flag_value(&mut args, "--rel") {
+        let (name, arity) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad --rel {spec}, expected NAME:ARITY"))?;
+        let arity: usize = arity.parse().map_err(|_| format!("bad arity in {spec}"))?;
+        rels.push((name.to_owned(), arity));
+    }
+    let [sentence] = args.as_slice() else {
+        return Err(usage());
+    };
+    let sig: Arc<Signature> = if rels.is_empty() {
+        Signature::graph()
+    } else {
+        let mut b = Signature::builder();
+        for (name, arity) in &rels {
+            b = b.relation(name, *arity);
+        }
+        b.finish_arc()
+    };
+    let f = fo_parser::parse_formula(&sig, sentence).map_err(|e| e.to_string())?;
+    if !f.is_sentence() {
+        return Err("mu requires a sentence".into());
+    }
+    let mu = zeroone::decide_mu(&sig, &f);
+    Ok(format!("mu = {}", u8::from(mu)))
+}
+
+fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
+    let radius: u32 = flag_value(&mut args, "--radius")
+        .map(|v| v.parse().map_err(|_| "invalid --radius".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
+    let [spath] = args.as_slice() else {
+        return Err(usage());
+    };
+    let s = load_structure(spath)?;
+    let mut reg = TypeRegistry::new();
+    let census = TypeCensus::compute(&s, radius, &mut reg);
+    let mut rows: Vec<(usize, u32, usize)> = census
+        .iter()
+        .map(|(t, c)| (c, reg.representative(t).size(), t.0 as usize))
+        .collect();
+    rows.sort_by_key(|row| std::cmp::Reverse(row.0));
+    let mut out = format!(
+        "{} radius-{radius} neighborhood types over {} elements\n",
+        census.num_types(),
+        census.total()
+    );
+    out.push_str("count  ball-size  type-id\n");
+    for (c, sz, id) in rows {
+        out.push_str(&format!("{c:<6} {sz:<10} {id}\n"));
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+fn cmd_datalog(args: &[String]) -> Result<String, String> {
+    let [spath, ppath] = args else {
+        return Err(usage());
+    };
+    let s = load_structure(spath)?;
+    let src = read_input(ppath)?;
+    let prog = Program::parse(s.signature(), &src)?;
+    let out = prog.eval_seminaive(&s);
+    let mut text = String::new();
+    for i in 0..prog.num_idbs() {
+        let (name, arity) = prog.idb_info(i);
+        let mut tuples: Vec<&Vec<u32>> = out.relation(i).iter().collect();
+        tuples.sort();
+        text.push_str(&format!("{name}/{arity}: {} tuples\n", tuples.len()));
+        for t in tuples {
+            let cells: Vec<String> = t.iter().map(u32::to_string).collect();
+            text.push_str(&format!("  {name}({})\n", cells.join(", ")));
+        }
+    }
+    text.push_str(&format!(
+        "({} iterations, {} derivations)",
+        out.iterations, out.derivations
+    ));
+    Ok(text)
+}
+
+fn cmd_sample() -> String {
+    "# a directed 4-cycle with a chord\n\
+     size: 4\n\
+     E(0,1)\n\
+     E(1,2)\n\
+     E(2,3)\n\
+     E(3,0)\n\
+     E(0,2)\n"
+        .to_owned()
+}
+
+fn run() -> Result<String, String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage());
+    }
+    let cmd = argv.remove(0);
+    match cmd.as_str() {
+        "check" => cmd_check(&argv),
+        "eval" => cmd_eval(&argv),
+        "game" => cmd_game(argv),
+        "mu" => cmd_mu(argv),
+        "census" => cmd_census(argv),
+        "datalog" => cmd_datalog(&argv),
+        "sample" => Ok(cmd_sample()),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fmtk: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

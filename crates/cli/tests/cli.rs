@@ -1,0 +1,165 @@
+//! End-to-end tests of the `fmtk` binary: each subcommand run as a real
+//! process on real files.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn fmtk() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fmtk"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("fmtk-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const CYCLE4: &str = "size: 4\nE(0,1)\nE(1,2)\nE(2,3)\nE(3,0)\n";
+
+#[test]
+fn check_sentence() {
+    let p = write_temp("c4.st", CYCLE4);
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "forall x. exists y. E(x, y)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
+
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "exists x. E(x, x)"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "false");
+}
+
+#[test]
+fn eval_query() {
+    let p = write_temp("c4b.st", CYCLE4);
+    let out = fmtk()
+        .args(["eval", p.to_str().unwrap(), "exists z. E(x, z) & E(z, y)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("arity 2, 4 answers"), "{text}");
+    assert!(text.contains("(0, 2)"), "{text}");
+}
+
+#[test]
+fn game_between_sets() {
+    let a = write_temp("s3.st", "size: 3\n");
+    let b = write_temp("s4.st", "size: 4\n");
+    let out = fmtk()
+        .args([
+            "game",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--rounds",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rank(A, B) capped at 4: 3"), "{text}");
+    assert!(text.contains("spoiler wins"), "{text}");
+}
+
+#[test]
+fn mu_decision() {
+    let out = fmtk().args(["mu", "exists x. E(x, x)"]).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "mu = 1");
+    let out = fmtk().args(["mu", "forall x. E(x, x)"]).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "mu = 0");
+    // Custom signature.
+    let out = fmtk()
+        .args(["mu", "exists x. P(x)", "--rel", "P:1"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "mu = 1");
+}
+
+#[test]
+fn census_counts_types() {
+    let p = write_temp("path5.st", "size: 5\nE(0,1)\nE(1,0)\nE(1,2)\nE(2,1)\nE(2,3)\nE(3,2)\nE(3,4)\nE(4,3)\n");
+    let out = fmtk()
+        .args(["census", p.to_str().unwrap(), "--radius", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Endpoint type (2 elements) + interior type (3 elements).
+    assert!(text.contains("2 radius-1 neighborhood types over 5 elements"), "{text}");
+}
+
+#[test]
+fn datalog_tc() {
+    let s = write_temp("p3.st", "size: 3\nE(0,1)\nE(1,2)\n");
+    let prog = write_temp("tc.dl", "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).");
+    let out = fmtk()
+        .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tc/2: 3 tuples"), "{text}");
+    assert!(text.contains("tc(0, 2)"), "{text}");
+}
+
+#[test]
+fn stdin_structure() {
+    let mut child = fmtk()
+        .args(["check", "-", "exists x y. E(x, y)"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"size: 2\nE(0,1)\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = fmtk().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Bad structure file.
+    let p = write_temp("bad.st", "E(0,1)\n"); // missing size
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "true"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Open formula passed to check.
+    let p2 = write_temp("ok.st", CYCLE4);
+    let out = fmtk()
+        .args(["check", p2.to_str().unwrap(), "E(x, y)"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sentence required"));
+}
+
+#[test]
+fn sample_roundtrips() {
+    let out = fmtk().args(["sample"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let p = write_temp("sample.st", &text);
+    let out2 = fmtk()
+        .args(["check", p.to_str().unwrap(), "exists x y. E(x, y)"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out2.stdout).trim(), "true");
+}

@@ -1,0 +1,76 @@
+//! # fmt-core
+//!
+//! The finite model theory toolbox of a database theoretician — the
+//! facade crate of this workspace's reproduction of Libkin's PODS 2009
+//! survey.
+//!
+//! The survey's thesis is that a small kit of tools — complexity bounds
+//! for FO evaluation, Ehrenfeucht–Fraïssé games, locality, and 0-1 laws
+//! — answers most expressibility questions a database theoretician
+//! meets. This crate re-exports every subsystem and adds the
+//! **certificate layer** ([`proofs`]): each of the survey's
+//! inexpressibility arguments becomes a data object that bundles its
+//! structures, witnesses and query values, and can be *re-checked* from
+//! scratch (`check()` methods recompute games, isomorphisms, and query
+//! answers independently of how the certificate was produced).
+//!
+//! ## Subsystems
+//!
+//! | crate | provides |
+//! |---|---|
+//! | [`structures`] | finite relational structures, builders, isomorphism |
+//! | [`logic`] | FO syntax, normal forms, parser, sentence library |
+//! | [`eval`] | naive + relational-algebra evaluation, AC⁰ circuits, QBF, bounded-degree linear time, Gaifman normal form |
+//! | [`games`] | EF games: exact solver, ranks, strategies, pebble + bijective variants |
+//! | [`locality`] | Gaifman graphs, neighborhoods, BNDP / Gaifman / Hanf checkers |
+//! | [`zeroone`] | random structures, μₙ, extension axioms, 0-1-law decision |
+//! | [`queries`] | TC/CONN/ACYCL/tree/EVEN, Datalog engine, FO interpretations, reduction tricks |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fmt_core::proofs::GameFamilyCertificate;
+//! use fmt_core::structures::builders;
+//!
+//! // EVEN is not FO-expressible over linear orders: for every n, the
+//! // orders L_{2^n} and L_{2^n + 1} disagree on EVEN yet are
+//! // ≡_n-equivalent (Theorem 3.1).
+//! let cert = GameFamilyCertificate::build(
+//!     "EVEN",
+//!     |n| {
+//!         let m = 1u32 << n;
+//!         (builders::linear_order(m), builders::linear_order(m + 1))
+//!     },
+//!     |s| s.size() % 2 == 0,
+//!     3,
+//! )
+//! .unwrap();
+//! assert!(cert.check());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod proofs;
+pub mod report;
+
+/// Finite relational structures (re-export of `fmt-structures`).
+pub use fmt_structures as structures;
+
+/// FO syntax (re-export of `fmt-logic`).
+pub use fmt_logic as logic;
+
+/// Evaluation engines (re-export of `fmt-eval`).
+pub use fmt_eval as eval;
+
+/// Ehrenfeucht–Fraïssé games (re-export of `fmt-games`).
+pub use fmt_games as games;
+
+/// Locality toolbox (re-export of `fmt-locality`).
+pub use fmt_locality as locality;
+
+/// 0-1 laws (re-export of `fmt-zeroone`).
+pub use fmt_zeroone as zeroone;
+
+/// Query zoo and reductions (re-export of `fmt-queries`).
+pub use fmt_queries as queries;

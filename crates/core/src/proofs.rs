@@ -1,0 +1,380 @@
+//! Machine-checkable inexpressibility certificates.
+//!
+//! The survey's method for proving "query Q is not FO-definable" always
+//! has the same shape: produce concrete structures with concrete
+//! witnesses such that FO-definability would be contradicted. This
+//! module packages each method as a data object whose `check()` method
+//! **re-derives every claim from scratch** — game values via the exact
+//! solver, neighborhood isomorphisms via the backtracking tester, query
+//! values via the caller's query function — so a certificate is
+//! evidence, not trust.
+//!
+//! * [`GameFamilyCertificate`] — the EF-game method: families
+//!   `(Aₙ, Bₙ)` with `Q(Aₙ) ≠ Q(Bₙ)` but `Aₙ ≡ₙ Bₙ`
+//!   (verified for `n = 1..=depth`; the *for all n* step is the
+//!   closed-form strategy library in `fmt-games`);
+//! * [`GaifmanCertificate`] — a per-radius family of Gaifman-locality
+//!   violations (for every candidate radius `r ≤ max_radius`, a
+//!   structure and tuple pair defeating it);
+//! * [`HanfCertificate`] — likewise for Hanf-locality on Boolean
+//!   queries;
+//! * [`BndpCertificate`] — a degree-bounded family whose query outputs
+//!   realize unboundedly many degrees.
+
+use fmt_games::solver::EfSolver;
+use fmt_locality::bndp::{self, BndpObservation};
+use fmt_locality::gaifman_local::{self, GaifmanViolation};
+use fmt_locality::hanf::HanfViolation;
+use fmt_structures::{Elem, RelId, Structure};
+use std::collections::HashSet;
+
+/// The EF-game inexpressibility certificate: for each `n` up to a
+/// depth, two structures that disagree on the query yet are
+/// `≡ₙ`-equivalent.
+#[derive(Debug, Clone)]
+pub struct GameFamilyCertificate {
+    /// Human-readable query name (for reports).
+    pub query_name: String,
+    /// One row per round count `n`.
+    pub rows: Vec<GameFamilyRow>,
+}
+
+/// One row of a [`GameFamilyCertificate`].
+#[derive(Debug, Clone)]
+pub struct GameFamilyRow {
+    /// The round count this row defeats.
+    pub n: u32,
+    /// The structure satisfying the query.
+    pub a: Structure,
+    /// The structure falsifying the query.
+    pub b: Structure,
+}
+
+impl GameFamilyCertificate {
+    /// Builds the certificate: for each `n = 1..=depth`, `family(n)`
+    /// must produce `(Aₙ, Bₙ)` with `query(Aₙ) = true`,
+    /// `query(Bₙ) = false` and `Aₙ ≡ₙ Bₙ`. Fails with a description if
+    /// any condition is violated.
+    pub fn build(
+        query_name: &str,
+        mut family: impl FnMut(u32) -> (Structure, Structure),
+        mut query: impl FnMut(&Structure) -> bool,
+        depth: u32,
+    ) -> Result<GameFamilyCertificate, String> {
+        let mut rows = Vec::new();
+        for n in 1..=depth {
+            let (a, b) = family(n);
+            if !query(&a) {
+                return Err(format!("query fails on A_{n} (it must hold)"));
+            }
+            if query(&b) {
+                return Err(format!("query holds on B_{n} (it must fail)"));
+            }
+            if !EfSolver::new(&a, &b).duplicator_wins(n) {
+                return Err(format!("A_{n} and B_{n} are not ≡_{n}-equivalent"));
+            }
+            rows.push(GameFamilyRow { n, a, b });
+        }
+        Ok(GameFamilyCertificate {
+            query_name: query_name.to_owned(),
+            rows,
+        })
+    }
+
+    /// Re-verifies all game equivalences (the query values are the
+    /// caller's to re-check via [`GameFamilyCertificate::check_with`]).
+    pub fn check(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|row| EfSolver::new(&row.a, &row.b).duplicator_wins(row.n))
+    }
+
+    /// Full re-verification including query values.
+    pub fn check_with(&self, mut query: impl FnMut(&Structure) -> bool) -> bool {
+        self.check()
+            && self
+                .rows
+                .iter()
+                .all(|row| query(&row.a) && !query(&row.b))
+    }
+
+    /// The deepest round count defeated.
+    pub fn depth(&self) -> u32 {
+        self.rows.last().map_or(0, |r| r.n)
+    }
+}
+
+/// A Gaifman-locality refutation: for every radius `r = 1..=max_radius`
+/// there is a structure on which the query output distinguishes a pair
+/// of tuples with isomorphic `r`-neighborhoods. Since every
+/// FO-definable query is Gaifman-local at *some* radius, a family
+/// defeating all radii (with a uniform recipe) witnesses
+/// non-definability.
+#[derive(Debug, Clone)]
+pub struct GaifmanCertificate {
+    /// Query name for reports.
+    pub query_name: String,
+    /// Arity of the query.
+    pub arity: usize,
+    /// Per-radius evidence: `(structure, output, violation)`.
+    pub rows: Vec<(Structure, HashSet<Vec<Elem>>, GaifmanViolation)>,
+}
+
+impl GaifmanCertificate {
+    /// Builds the certificate by searching each `family(r)` structure
+    /// for a violation at radius `r`.
+    pub fn build(
+        query_name: &str,
+        arity: usize,
+        mut family: impl FnMut(u32) -> Structure,
+        mut query: impl FnMut(&Structure) -> HashSet<Vec<Elem>>,
+        max_radius: u32,
+    ) -> Result<GaifmanCertificate, String> {
+        let mut rows = Vec::new();
+        for r in 1..=max_radius {
+            let s = family(r);
+            let output = query(&s);
+            let v = gaifman_local::find_violation(&s, &output, arity, r)
+                .ok_or_else(|| format!("no Gaifman violation found at radius {r}"))?;
+            rows.push((s, output, v));
+        }
+        Ok(GaifmanCertificate {
+            query_name: query_name.to_owned(),
+            arity,
+            rows,
+        })
+    }
+
+    /// Re-validates every violation witness.
+    pub fn check(&self) -> bool {
+        self.rows.iter().all(|(s, out, v)| v.check(s, out))
+    }
+}
+
+/// A Hanf-locality refutation for a Boolean query: for every radius
+/// `r = 1..=max_radius`, two `⇆ᵣ`-equivalent structures with different
+/// query values.
+#[derive(Debug, Clone)]
+pub struct HanfCertificate {
+    /// Query name for reports.
+    pub query_name: String,
+    /// Per-radius evidence: the pair and its violation object.
+    pub rows: Vec<(Structure, Structure, HanfViolation)>,
+}
+
+impl HanfCertificate {
+    /// Builds the certificate from a per-radius family of structure
+    /// pairs.
+    pub fn build(
+        query_name: &str,
+        mut family: impl FnMut(u32) -> (Structure, Structure),
+        mut query: impl FnMut(&Structure) -> bool,
+        max_radius: u32,
+    ) -> Result<HanfCertificate, String> {
+        let mut rows = Vec::new();
+        for r in 1..=max_radius {
+            let (a, b) = family(r);
+            let (qa, qb) = (query(&a), query(&b));
+            let v = HanfViolation::build(&a, &b, r, qa, qb).ok_or_else(|| {
+                format!("family at radius {r} is not a Hanf violation (⇆ᵣ fails or answers agree)")
+            })?;
+            rows.push((a, b, v));
+        }
+        Ok(HanfCertificate {
+            query_name: query_name.to_owned(),
+            rows,
+        })
+    }
+
+    /// Re-validates every violation witness.
+    pub fn check(&self) -> bool {
+        self.rows.iter().all(|(a, b, v)| v.check(a, b))
+    }
+}
+
+/// A BNDP refutation: a family of inputs with constant degree bound
+/// whose outputs realize strictly more degrees at every step.
+#[derive(Debug, Clone)]
+pub struct BndpCertificate {
+    /// Query name for reports.
+    pub query_name: String,
+    /// The inputs of the family.
+    pub family: Vec<Structure>,
+    /// Input/output relation ids for the degree computations.
+    pub in_rel: RelId,
+    /// Relation id in query outputs.
+    pub out_rel: RelId,
+    /// The measured profile.
+    pub profile: Vec<BndpObservation>,
+}
+
+impl BndpCertificate {
+    /// Builds the certificate; fails unless the profile witnesses a
+    /// violation (constant input bound, strictly growing output
+    /// spectra, ≥ 3 points).
+    pub fn build(
+        query_name: &str,
+        family: Vec<Structure>,
+        in_rel: RelId,
+        out_rel: RelId,
+        query: impl FnMut(&Structure) -> Structure,
+    ) -> Result<BndpCertificate, String> {
+        let profile = bndp::bndp_profile(&family, in_rel, out_rel, query);
+        if !bndp::witnesses_bndp_violation(&profile) {
+            return Err("profile does not witness a BNDP violation".into());
+        }
+        Ok(BndpCertificate {
+            query_name: query_name.to_owned(),
+            family,
+            in_rel,
+            out_rel,
+            profile,
+        })
+    }
+
+    /// Re-validates by recomputing the profile with the given query.
+    pub fn check_with(&self, query: impl FnMut(&Structure) -> Structure) -> bool {
+        let fresh = bndp::bndp_profile(&self.family, self.in_rel, self.out_rel, query);
+        fresh == self.profile && bndp::witnesses_bndp_violation(&fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_queries::graph;
+    use fmt_structures::{builders, Signature};
+
+    #[test]
+    fn even_on_sets_certificate() {
+        let cert = GameFamilyCertificate::build(
+            "EVEN(∅)",
+            |n| (builders::set(2 * n), builders::set(2 * n + 1)),
+            |s| s.size() % 2 == 0,
+            4,
+        )
+        .unwrap();
+        assert!(cert.check());
+        assert!(cert.check_with(|s| s.size() % 2 == 0));
+        assert_eq!(cert.depth(), 4);
+        // The wrong query value direction is rejected at build time.
+        assert!(GameFamilyCertificate::build(
+            "ODD",
+            |n| (builders::set(2 * n), builders::set(2 * n + 1)),
+            |s| s.size() % 2 == 1,
+            2,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn even_on_orders_certificate() {
+        // Theorem 3.1's instance: L_{2^n} vs L_{2^n + 1}.
+        let cert = GameFamilyCertificate::build(
+            "EVEN(<)",
+            |n| {
+                let m = 1u32 << n;
+                (builders::linear_order(m), builders::linear_order(m + 1))
+            },
+            |s| s.size() % 2 == 0,
+            3,
+        )
+        .unwrap();
+        assert!(cert.check());
+    }
+
+    #[test]
+    fn non_equivalent_family_rejected() {
+        // L_2 vs L_3 at n = 2 is distinguishable: build must fail.
+        let r = GameFamilyCertificate::build(
+            "EVEN(<)",
+            |_| (builders::linear_order(2), builders::linear_order(3)),
+            |s| s.size() % 2 == 0,
+            2,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn tc_gaifman_certificate() {
+        let tc_pairs = |s: &Structure| -> HashSet<Vec<Elem>> {
+            let t = graph::transitive_closure(s);
+            let e = t.signature().relation("E").unwrap();
+            t.rel(e).iter().map(|x| x.to_vec()).collect()
+        };
+        let cert = GaifmanCertificate::build(
+            "transitive closure",
+            2,
+            |r| builders::directed_path(6 * r + 8),
+            tc_pairs,
+            3,
+        )
+        .unwrap();
+        assert!(cert.check());
+    }
+
+    #[test]
+    fn conn_hanf_certificate() {
+        let cert = HanfCertificate::build(
+            "connectivity",
+            |r| {
+                let m = 2 * r + 2; // m > 2r + 1
+                (
+                    builders::copies(&builders::undirected_cycle(m), 2),
+                    builders::undirected_cycle(2 * m),
+                )
+            },
+            graph::is_connected,
+            4,
+        )
+        .unwrap();
+        assert!(cert.check());
+    }
+
+    #[test]
+    fn tree_hanf_certificate() {
+        let cert = HanfCertificate::build(
+            "tree test",
+            |r| {
+                let m = 2 * r + 2;
+                (
+                    builders::undirected_path(2 * m),
+                    builders::undirected_path(m)
+                        .disjoint_union(&builders::undirected_cycle(m))
+                        .unwrap(),
+                )
+            },
+            graph::is_tree,
+            3,
+        )
+        .unwrap();
+        assert!(cert.check());
+    }
+
+    #[test]
+    fn tc_bndp_certificate() {
+        let family: Vec<Structure> = (4..10).map(builders::successor_chain).collect();
+        let in_rel = family[0].signature().relation("S").unwrap();
+        let out_rel = Signature::graph().relation("E").unwrap();
+        let cert = BndpCertificate::build(
+            "transitive closure",
+            family,
+            in_rel,
+            out_rel,
+            graph::transitive_closure,
+        )
+        .unwrap();
+        assert!(cert.check_with(graph::transitive_closure));
+        // A different query does not validate the stored profile.
+        assert!(!cert.check_with(Clone::clone));
+    }
+
+    #[test]
+    fn bndp_rejects_identity() {
+        let family: Vec<Structure> = (4..10).map(builders::directed_path).collect();
+        let e = Signature::graph().relation("E").unwrap();
+        assert!(
+            BndpCertificate::build("identity", family, e, e, Clone::clone).is_err()
+        );
+    }
+}

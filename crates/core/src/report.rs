@@ -1,0 +1,108 @@
+//! Plain-text report rendering for experiments and examples.
+//!
+//! The examples and the experiment suite print small aligned tables
+//! (the "rows/series the paper reports"); this module renders them
+//! without pulling in a formatting dependency.
+
+/// Renders an aligned plain-text table with a header row.
+///
+/// ```
+/// let t = fmt_core::report::table(
+///     &["n", "μ_n"],
+///     &[vec!["2".into(), "0.25".into()], vec!["3".into(), "0.0156".into()]],
+/// );
+/// assert!(t.contains("n"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.chars().count();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.chars().count()..width[i] {
+                out.push(' ');
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    render_row(&headers_owned, &mut out);
+    let rule: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Formats a boolean as the check/cross marks used in the reports.
+pub fn mark(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Formats a probability with 4 decimal places.
+pub fn prob(p: f64) -> String {
+    format!("{p:.4}")
+}
+
+/// A section header for example output.
+pub fn section(title: &str) -> String {
+    format!("\n== {title} ==\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // The "value" column starts at the same offset in every row.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find('1'), Some(col));
+        assert_eq!(lines[3].find("22"), Some(col));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(mark(true), "yes");
+        assert_eq!(mark(false), "no");
+        assert_eq!(prob(0.5), "0.5000");
+        assert!(section("Games").contains("Games"));
+    }
+
+    #[test]
+    fn ragged_rows_tolerated() {
+        let t = table(&["a", "b"], &[vec!["x".into()]]);
+        assert!(t.contains('x'));
+    }
+}

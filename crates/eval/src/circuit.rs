@@ -1,0 +1,414 @@
+//! Boolean circuits and the FO → AC⁰ compiler.
+//!
+//! The survey's data-complexity upper bound: *for a fixed FO sentence,
+//! query evaluation is in AC⁰* — there is a family of Boolean circuits,
+//! one per domain size `n`, of **constant depth** and **polynomial
+//! size**, with unbounded fan-in AND/OR gates, deciding `A ⊨ φ` from the
+//! 0/1 encoding of `A`. The proof idea (Abiteboul–Hull–Vianu) is
+//! implemented literally by [`compile`]:
+//!
+//! * every ground atom `R(d₁, …, dₖ)` becomes an input bit;
+//! * Boolean connectives become the corresponding gates;
+//! * `∃x φ(x)` becomes an unbounded fan-in OR over the `n`
+//!   instantiations `φ(d)`, and `∀` an AND.
+//!
+//! Experiment E2 measures that [`Circuit::depth`] is independent of `n`
+//! while [`Circuit::size`] grows polynomially, and cross-validates
+//! circuit output against the direct evaluators.
+
+use fmt_logic::{Formula, Term};
+use fmt_structures::{Elem, Signature, Structure};
+
+/// Reference to a gate within a [`Circuit`] (index into the gate list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateRef(pub u32);
+
+/// A gate of an unbounded fan-in Boolean circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// An input bit.
+    Input(u32),
+    /// A constant.
+    Const(bool),
+    /// Negation.
+    Not(GateRef),
+    /// Unbounded fan-in AND (empty = true).
+    And(Vec<GateRef>),
+    /// Unbounded fan-in OR (empty = false).
+    Or(Vec<GateRef>),
+}
+
+/// A Boolean circuit in topological order (gates only reference earlier
+/// gates), with a single output.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    num_inputs: u32,
+    gates: Vec<Gate>,
+    output: GateRef,
+}
+
+impl Circuit {
+    /// Number of input bits.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of gates (circuit size).
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Circuit depth: the longest path from an input/constant to the
+    /// output, counting AND/OR/NOT gates. For circuits compiled from a
+    /// fixed sentence this is **constant in the domain size** — the AC⁰
+    /// property.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            depth[i] = match g {
+                Gate::Input(_) | Gate::Const(_) => 0,
+                Gate::Not(a) => depth[a.0 as usize] + 1,
+                Gate::And(xs) | Gate::Or(xs) => {
+                    xs.iter().map(|x| depth[x.0 as usize]).max().unwrap_or(0) + 1
+                }
+            };
+        }
+        depth[self.output.0 as usize]
+    }
+
+    /// Evaluates the circuit on an input bit vector.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != self.num_inputs()`.
+    pub fn eval(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.num_inputs as usize);
+        let mut val = vec![false; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            val[i] = match g {
+                Gate::Input(j) => bits[*j as usize],
+                Gate::Const(b) => *b,
+                Gate::Not(a) => !val[a.0 as usize],
+                Gate::And(xs) => xs.iter().all(|x| val[x.0 as usize]),
+                Gate::Or(xs) => xs.iter().any(|x| val[x.0 as usize]),
+            };
+        }
+        val[self.output.0 as usize]
+    }
+}
+
+/// Maps ground atoms `R(d̄)` to input-bit indices for domain size `n`:
+/// relation `R` of arity `k` occupies a block of `n^k` bits in row-major
+/// (odometer) order.
+#[derive(Debug, Clone)]
+pub struct InputLayout {
+    n: u32,
+    /// Starting bit of each relation's block.
+    offsets: Vec<u32>,
+    total: u32,
+}
+
+impl InputLayout {
+    /// Builds the layout for `sig` at domain size `n`.
+    ///
+    /// # Panics
+    /// Panics if the signature has constants (the standard encoding
+    /// treats the instance as pure relations) or if the layout exceeds
+    /// `u32` bits.
+    pub fn new(sig: &Signature, n: u32) -> InputLayout {
+        assert_eq!(
+            sig.num_constants(),
+            0,
+            "circuit encoding requires a constant-free signature"
+        );
+        let mut offsets = Vec::with_capacity(sig.num_relations());
+        let mut total: u64 = 0;
+        for (_, _, arity) in sig.relations() {
+            offsets.push(total as u32);
+            total += (n as u64).pow(arity as u32);
+            assert!(total <= u32::MAX as u64, "input layout too large");
+        }
+        InputLayout {
+            n,
+            offsets,
+            total: total as u32,
+        }
+    }
+
+    /// Total number of input bits.
+    pub fn total_bits(&self) -> u32 {
+        self.total
+    }
+
+    /// The bit index of the ground atom `rel(tuple)`.
+    pub fn bit(&self, rel: fmt_structures::RelId, tuple: &[Elem]) -> u32 {
+        let mut idx: u64 = 0;
+        for &e in tuple {
+            debug_assert!(e < self.n);
+            idx = idx * self.n as u64 + e as u64;
+        }
+        self.offsets[rel.0] + idx as u32
+    }
+
+    /// Encodes a structure of matching size as an input bit vector.
+    ///
+    /// # Panics
+    /// Panics if the structure's size differs from the layout's.
+    pub fn encode(&self, s: &Structure) -> Vec<bool> {
+        assert_eq!(s.size(), self.n, "structure size does not match layout");
+        let mut bits = vec![false; self.total as usize];
+        for (r, _, _) in s.signature().relations() {
+            for t in s.rel(r).iter() {
+                bits[self.bit(r, t) as usize] = true;
+            }
+        }
+        bits
+    }
+}
+
+struct Compiler<'a> {
+    layout: &'a InputLayout,
+    gates: Vec<Gate>,
+}
+
+impl Compiler<'_> {
+    fn push(&mut self, g: Gate) -> GateRef {
+        self.gates.push(g);
+        GateRef(self.gates.len() as u32 - 1)
+    }
+
+    fn compile(&mut self, f: &Formula, env: &mut Vec<Option<Elem>>) -> GateRef {
+        match f {
+            Formula::True => self.push(Gate::Const(true)),
+            Formula::False => self.push(Gate::Const(false)),
+            Formula::Atom { rel, args } => {
+                let tuple: Vec<Elem> = args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => {
+                            env[v.0 as usize].expect("unbound variable during compilation")
+                        }
+                        Term::Const(_) => unreachable!("constant-free signatures only"),
+                    })
+                    .collect();
+                let bit = self.layout.bit(*rel, &tuple);
+                self.push(Gate::Input(bit))
+            }
+            Formula::Eq(a, b) => {
+                let val = |t: &Term, env: &[Option<Elem>]| match t {
+                    Term::Var(v) => env[v.0 as usize].expect("unbound variable"),
+                    Term::Const(_) => unreachable!("constant-free signatures only"),
+                };
+                // Equality of ground elements is decided at compile time.
+                self.push(Gate::Const(val(a, env) == val(b, env)))
+            }
+            Formula::Not(g) => {
+                let a = self.compile(g, env);
+                self.push(Gate::Not(a))
+            }
+            Formula::And(fs) => {
+                let xs: Vec<GateRef> = fs.iter().map(|g| self.compile(g, env)).collect();
+                self.push(Gate::And(xs))
+            }
+            Formula::Or(fs) => {
+                let xs: Vec<GateRef> = fs.iter().map(|g| self.compile(g, env)).collect();
+                self.push(Gate::Or(xs))
+            }
+            Formula::Implies(a, b) => {
+                let ga = self.compile(a, env);
+                let na = self.push(Gate::Not(ga));
+                let gb = self.compile(b, env);
+                self.push(Gate::Or(vec![na, gb]))
+            }
+            Formula::Iff(a, b) => {
+                let ga = self.compile(a, env);
+                let gb = self.compile(b, env);
+                let na = self.push(Gate::Not(ga));
+                let nb = self.push(Gate::Not(gb));
+                let both = self.push(Gate::And(vec![ga, gb]));
+                let neither = self.push(Gate::And(vec![na, nb]));
+                self.push(Gate::Or(vec![both, neither]))
+            }
+            Formula::Exists(v, g) => {
+                // ∃ becomes an unbounded fan-in OR over all
+                // instantiations — the heart of the AC⁰ construction.
+                let n = self.layout.n;
+                let old = env[v.0 as usize];
+                let mut xs = Vec::with_capacity(n as usize);
+                for d in 0..n {
+                    env[v.0 as usize] = Some(d);
+                    xs.push(self.compile(g, env));
+                }
+                env[v.0 as usize] = old;
+                self.push(Gate::Or(xs))
+            }
+            Formula::Forall(v, g) => {
+                let n = self.layout.n;
+                let old = env[v.0 as usize];
+                let mut xs = Vec::with_capacity(n as usize);
+                for d in 0..n {
+                    env[v.0 as usize] = Some(d);
+                    xs.push(self.compile(g, env));
+                }
+                env[v.0 as usize] = old;
+                self.push(Gate::And(xs))
+            }
+        }
+    }
+}
+
+/// Compiles a sentence into the `n`-th member of its AC⁰ circuit family.
+///
+/// The returned circuit, fed the [`InputLayout::encode`]-ing of any
+/// σ-structure with domain `{0, …, n−1}`, outputs `A ⊨ φ`.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or if the signature has constants.
+pub fn compile(sig: &Signature, f: &Formula, n: u32) -> (Circuit, InputLayout) {
+    assert!(f.is_sentence(), "compile requires a sentence");
+    let layout = InputLayout::new(sig, n);
+    let mut c = Compiler {
+        layout: &layout,
+        gates: Vec::new(),
+    };
+    let vars = f.max_var().map_or(0, |m| m as usize + 1);
+    let mut env = vec![None; vars];
+    let output = c.compile(f, &mut env);
+    (
+        Circuit {
+            num_inputs: layout.total_bits(),
+            gates: c.gates,
+            output,
+        },
+        layout,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::{library, parser::parse_formula};
+    use fmt_structures::{builders, Signature};
+
+    #[test]
+    fn circuit_matches_direct_evaluation() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let sentences = vec![
+            library::k_clique(e, 3),
+            library::q1_all_pairs_adjacent(e),
+            library::q2_distinguishing_neighbor(e),
+            library::no_isolated_vertex(e),
+            parse_formula(&sig, "forall x. exists y. E(x, y)").unwrap(),
+        ];
+        let structures = vec![
+            builders::directed_path(4),
+            builders::undirected_cycle(4),
+            builders::complete_graph(4),
+            builders::empty_graph(4),
+        ];
+        for f in &sentences {
+            let (circuit, layout) = compile(&sig, f, 4);
+            for s in &structures {
+                let bits = layout.encode(s);
+                assert_eq!(
+                    circuit.eval(&bits),
+                    crate::naive::check_sentence(s, f),
+                    "circuit disagrees on {}",
+                    f.display(&sig)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_constant_in_n() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "forall x. exists y. E(x, y) & !E(y, x)").unwrap();
+        let depths: Vec<usize> = [2u32, 4, 8, 16]
+            .iter()
+            .map(|&n| compile(&sig, &f, n).0.depth())
+            .collect();
+        assert!(
+            depths.windows(2).all(|w| w[0] == w[1]),
+            "depth must not depend on n: {depths:?}"
+        );
+    }
+
+    #[test]
+    fn size_polynomial_in_n() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "forall x. exists y. E(x, y)").unwrap();
+        // Two nested quantifiers: size Θ(n²).
+        let s4 = compile(&sig, &f, 4).0.size();
+        let s8 = compile(&sig, &f, 8).0.size();
+        let s16 = compile(&sig, &f, 16).0.size();
+        // Ratio approaches 4 when n doubles.
+        assert!(s8 > 3 * s4 / 2 && s16 > 3 * s8 / 2);
+        assert!(s16 < 6 * s8, "growth should be polynomial (quadratic)");
+    }
+
+    #[test]
+    fn layout_bits() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let layout = InputLayout::new(&sig, 3);
+        assert_eq!(layout.total_bits(), 9);
+        assert_eq!(layout.bit(e, &[0, 0]), 0);
+        assert_eq!(layout.bit(e, &[1, 2]), 5);
+        assert_eq!(layout.bit(e, &[2, 2]), 8);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let s = builders::directed_cycle(3);
+        let layout = InputLayout::new(s.signature(), 3);
+        let bits = layout.encode(&s);
+        assert_eq!(bits.iter().filter(|&&b| b).count(), 3);
+        let e = s.signature().relation("E").unwrap();
+        assert!(bits[layout.bit(e, &[0, 1]) as usize]);
+        assert!(!bits[layout.bit(e, &[1, 0]) as usize]);
+    }
+
+    #[test]
+    fn equality_resolved_at_compile_time() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "exists x y. E(x, y) & !(x = y)").unwrap();
+        let (circuit, layout) = compile(&sig, &f, 3);
+        let loop_only = {
+            use fmt_structures::StructureBuilder;
+            let e = sig.relation("E").unwrap();
+            let mut b = StructureBuilder::new(sig.clone(), 3);
+            b.add(e, &[1, 1]).unwrap();
+            b.build().unwrap()
+        };
+        assert!(!circuit.eval(&layout.encode(&loop_only)));
+        let edge = builders::directed_path(3);
+        assert!(circuit.eval(&layout.encode(&edge)));
+    }
+
+    #[test]
+    fn empty_domain_circuit() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "exists x. true").unwrap();
+        let (circuit, layout) = compile(&sig, &f, 0);
+        assert_eq!(layout.total_bits(), 0);
+        assert!(!circuit.eval(&[]));
+        let g = parse_formula(&sig, "forall x. false").unwrap();
+        let (c2, _) = compile(&sig, &g, 0);
+        assert!(c2.eval(&[]));
+    }
+
+    #[test]
+    fn multiple_relations_layout() {
+        let sig = Signature::builder()
+            .relation("P", 1)
+            .relation("E", 2)
+            .finish_arc();
+        let p = sig.relation("P").unwrap();
+        let e = sig.relation("E").unwrap();
+        let layout = InputLayout::new(&sig, 4);
+        assert_eq!(layout.total_bits(), 4 + 16);
+        assert_eq!(layout.bit(p, &[3]), 3);
+        assert_eq!(layout.bit(e, &[0, 0]), 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! # fmt-eval
+//!
+//! Query evaluation engines for FO over finite structures — the
+//! complexity-landscape half of the toolbox (Libkin, PODS'09, §2, §3.5).
+//!
+//! The survey's complexity story has four acts, each implemented here:
+//!
+//! 1. **Combined complexity is PSPACE-complete** (Stockmeyer '74, Vardi
+//!    '82). [`naive`] is the textbook recursive model checker running in
+//!    `O(n^k)` time and `O(k · log n)` space; [`qbf`] provides the QBF
+//!    substrate and the hardness reduction QBF → FO model checking.
+//! 2. **Data complexity is in AC⁰**. [`circuit`] implements Boolean
+//!    circuits with unbounded fan-in and the FO → circuit-family
+//!    compiler of the paper's proof sketch (∃ ↦ big OR, ∀ ↦ big AND,
+//!    ground atoms ↦ inputs): for a fixed sentence, depth is constant
+//!    and size polynomial in the domain size.
+//! 3. **Set-at-a-time evaluation**: [`relalg`] evaluates FO bottom-up
+//!    over relations of satisfying assignments (the relational-algebra
+//!    view of FO as a query language), in `O(n^width)`.
+//! 4. **Linear-time evaluation on bounded degree** (Seese; Thm 3.11 in
+//!    the survey): [`bounded_degree`] implements the
+//!    neighborhood-census algorithm built on threshold Hanf-locality
+//!    (Thm 3.10), and [`local`] provides the Gaifman-normal-form
+//!    machinery (r-local formulas and basic local sentences, Thm 3.12).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded_degree;
+pub mod circuit;
+pub mod local;
+pub mod mso;
+pub mod naive;
+pub mod qbf;
+pub mod relalg;
+
+pub use naive::{answers, check_sentence, NaiveEvaluator};
+pub use relalg::Table;

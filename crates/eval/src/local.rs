@@ -1,0 +1,294 @@
+//! Gaifman's theorem machinery (Theorem 3.12): `r`-local formulas and
+//! basic local sentences.
+//!
+//! Gaifman's theorem says every FO sentence is equivalent to a Boolean
+//! combination of *basic local sentences*
+//!
+//! ```text
+//! ∃x₁ … ∃xₙ ( ⋀ᵢ φ(xᵢ)  ∧  ⋀_{i≠j} d(xᵢ, xⱼ) > 2r )
+//! ```
+//!
+//! where `φ(x)` is `r`-local: all its quantifiers range over the
+//! radius-`r` ball around `x`. This module evaluates both building
+//! blocks directly:
+//!
+//! * [`eval_r_local`] evaluates an `r`-local formula at a point by
+//!   extracting the point's `r`-neighborhood and evaluating there
+//!   (relativized quantification = evaluation in the induced
+//!   substructure);
+//! * [`BasicLocalSentence`] finds a *scattered* set of witnesses —
+//!   `n` points, pairwise more than `2r` apart, all satisfying the
+//!   local formula — by backtracking over candidates;
+//! * [`LocalSentence`] closes these under Boolean combinations.
+
+use fmt_locality::{neighborhood, GaifmanGraph};
+use fmt_logic::{Formula, Var};
+use fmt_structures::{Elem, Structure};
+
+/// Evaluates an `r`-local formula `φ(x)` (free variable `Var(0)`) at
+/// `center`: quantifiers are relativized to `B_r(center)` by evaluating
+/// in the induced neighborhood.
+///
+/// # Panics
+/// Panics if `f`'s free variables are not exactly `{Var(0)}`.
+pub fn eval_r_local(
+    s: &Structure,
+    g: &GaifmanGraph,
+    f: &Formula,
+    center: Elem,
+    r: u32,
+) -> bool {
+    let fv: Vec<Var> = f.free_vars().into_iter().collect();
+    assert_eq!(fv, vec![Var(0)], "r-local formulas have one free variable Var(0)");
+    let nb = neighborhood(s, g, &[center], r);
+    let mut env = crate::naive::Env::for_formula(f);
+    env.bind(Var(0), nb.distinguished[0]);
+    crate::naive::NaiveEvaluator::new(&nb.structure).eval(f, &mut env)
+}
+
+/// A basic local sentence
+/// `∃x₁…xₙ (⋀ φ(xᵢ) ∧ ⋀_{i≠j} d(xᵢ,xⱼ) > 2r)`.
+#[derive(Debug, Clone)]
+pub struct BasicLocalSentence {
+    /// Number of scattered witnesses `n` (must be ≥ 1).
+    pub count: usize,
+    /// Locality radius `r`.
+    pub radius: u32,
+    /// The `r`-local formula `φ(x)` with free variable `Var(0)`.
+    pub local: Formula,
+}
+
+impl BasicLocalSentence {
+    /// Builds a basic local sentence, validating the local formula's
+    /// free variables.
+    pub fn new(count: usize, radius: u32, local: Formula) -> Result<Self, String> {
+        if count == 0 {
+            return Err("witness count must be at least 1".into());
+        }
+        let fv: Vec<Var> = local.free_vars().into_iter().collect();
+        if fv != vec![Var(0)] {
+            return Err(format!(
+                "local formula must have exactly the free variable x0, found {fv:?}"
+            ));
+        }
+        Ok(BasicLocalSentence {
+            count,
+            radius,
+            local,
+        })
+    }
+
+    /// Evaluates the sentence on `s`: finds the candidate set
+    /// `L = {v | N_r(v) ⊨ φ(v)}` and searches it for `count` points
+    /// pairwise more than `2·radius` apart.
+    pub fn evaluate(&self, s: &Structure) -> bool {
+        self.witnesses(s).is_some()
+    }
+
+    /// Like [`BasicLocalSentence::evaluate`] but returns the scattered
+    /// witness tuple.
+    pub fn witnesses(&self, s: &Structure) -> Option<Vec<Elem>> {
+        let g = GaifmanGraph::new(s);
+        let candidates: Vec<Elem> = s
+            .domain()
+            .filter(|&v| eval_r_local(s, &g, &self.local, v, self.radius))
+            .collect();
+        if candidates.len() < self.count {
+            return None;
+        }
+        // Backtracking search for a scattered subset. Distances from
+        // each chosen point are computed once.
+        let min_dist = 2 * self.radius;
+        let mut chosen: Vec<Elem> = Vec::with_capacity(self.count);
+        let mut dists: Vec<Vec<u32>> = Vec::with_capacity(self.count);
+        fn search(
+            g: &GaifmanGraph,
+            candidates: &[Elem],
+            start: usize,
+            need: usize,
+            min_dist: u32,
+            chosen: &mut Vec<Elem>,
+            dists: &mut Vec<Vec<u32>>,
+        ) -> bool {
+            if need == 0 {
+                return true;
+            }
+            for (i, &c) in candidates.iter().enumerate().skip(start) {
+                if dists.iter().any(|d| d[c as usize] <= min_dist) {
+                    continue;
+                }
+                chosen.push(c);
+                dists.push(g.distances_from(&[c]));
+                if search(g, candidates, i + 1, need - 1, min_dist, chosen, dists) {
+                    return true;
+                }
+                chosen.pop();
+                dists.pop();
+            }
+            false
+        }
+        if search(
+            &g,
+            &candidates,
+            0,
+            self.count,
+            min_dist,
+            &mut chosen,
+            &mut dists,
+        ) {
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+}
+
+/// A Boolean combination of basic local sentences — the normal form of
+/// Theorem 3.12.
+#[derive(Debug, Clone)]
+pub enum LocalSentence {
+    /// A basic local sentence.
+    Basic(BasicLocalSentence),
+    /// Negation.
+    Not(Box<LocalSentence>),
+    /// Conjunction.
+    And(Vec<LocalSentence>),
+    /// Disjunction.
+    Or(Vec<LocalSentence>),
+}
+
+impl LocalSentence {
+    /// Evaluates the Boolean combination on `s`.
+    pub fn evaluate(&self, s: &Structure) -> bool {
+        match self {
+            LocalSentence::Basic(b) => b.evaluate(s),
+            LocalSentence::Not(g) => !g.evaluate(s),
+            LocalSentence::And(gs) => gs.iter().all(|g| g.evaluate(s)),
+            LocalSentence::Or(gs) => gs.iter().any(|g| g.evaluate(s)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::parser::parse_formula;
+    use fmt_structures::{builders, Signature};
+
+    #[test]
+    fn r_local_evaluation_on_path() {
+        let sig = Signature::graph();
+        // "x has at least two distinct neighbors" is 1-local.
+        // Mention x first so the free variable is Var(0).
+        let f = parse_formula(
+            &sig,
+            "x = x & exists y z. !(y = z) & (E(x,y) | E(y,x)) & (E(x,z) | E(z,x))",
+        )
+        .unwrap();
+        let s = builders::undirected_path(6);
+        let g = GaifmanGraph::new(&s);
+        assert!(!eval_r_local(&s, &g, &f, 0, 1)); // endpoint: one neighbor
+        assert!(eval_r_local(&s, &g, &f, 2, 1)); // interior: two
+        assert!(!eval_r_local(&s, &g, &f, 5, 1));
+    }
+
+    #[test]
+    fn locality_restricts_vision() {
+        let sig = Signature::graph();
+        // "there are two elements related by E somewhere" — at radius 0
+        // a single point sees no edges at all (its ball is just itself).
+        let f = parse_formula(&sig, "x = x & exists y z. E(y, z)").unwrap();
+        let s = builders::undirected_path(5);
+        let g = GaifmanGraph::new(&s);
+        assert!(!eval_r_local(&s, &g, &f, 2, 0));
+        assert!(eval_r_local(&s, &g, &f, 2, 1));
+    }
+
+    #[test]
+    fn basic_local_sentence_isolated_vertices() {
+        let sig = Signature::graph();
+        // φ(x) = "x is isolated" (1-local).
+        // Mention x first so the free variable is Var(0).
+        let iso = parse_formula(&sig, "x = x & forall y. !E(x, y) & !E(y, x)").unwrap();
+        let two_isolated = BasicLocalSentence::new(2, 1, iso.clone()).unwrap();
+
+        let s = builders::empty_graph(3);
+        assert!(two_isolated.evaluate(&s));
+        let t = builders::undirected_path(5); // no isolated vertices
+        assert!(!two_isolated.evaluate(&t));
+        // One isolated vertex is not enough.
+        let one = builders::undirected_path(4)
+            .disjoint_union(&builders::empty_graph(1))
+            .unwrap();
+        assert!(!two_isolated.evaluate(&one));
+    }
+
+    #[test]
+    fn scattering_constraint_matters() {
+        let sig = Signature::graph();
+        // φ(x) = "x has degree exactly 1" (an endpoint), 1-local.
+        let endpoint = parse_formula(
+            &sig,
+            "x = x & (exists y. E(x, y)) & forall y z. (E(x,y) & E(x,z)) -> y = z",
+        )
+        .unwrap();
+        // A path of length 6 has exactly 2 endpoints, at distance 5 > 4.
+        let b = BasicLocalSentence::new(2, 2, endpoint.clone()).unwrap();
+        assert!(b.evaluate(&builders::undirected_path(6)));
+        // A path of length 4: endpoints at distance 3 ≤ 4 — not
+        // scattered enough for r = 2.
+        assert!(!b.evaluate(&builders::undirected_path(4)));
+        // But scattered enough for r = 1 (need distance > 2).
+        let b1 = BasicLocalSentence::new(2, 1, endpoint).unwrap();
+        assert!(b1.evaluate(&builders::undirected_path(4)));
+    }
+
+    #[test]
+    fn witnesses_are_scattered_and_local() {
+        let sig = Signature::graph();
+        let deg2 = parse_formula(
+            &sig,
+            "x = x & exists y z. !(y = z) & E(x,y) & E(x,z)",
+        )
+        .unwrap();
+        let b = BasicLocalSentence::new(3, 1, deg2).unwrap();
+        let s = builders::undirected_cycle(20);
+        let w = b.witnesses(&s).expect("cycle has plenty of witnesses");
+        assert_eq!(w.len(), 3);
+        let g = GaifmanGraph::new(&s);
+        for (i, &a) in w.iter().enumerate() {
+            for &c in &w[i + 1..] {
+                assert!(g.distance(a, c).unwrap() > 2);
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let sig = Signature::graph();
+        let has_vertex = parse_formula(&sig, "x = x").unwrap();
+        let some_vertex = BasicLocalSentence::new(1, 0, has_vertex.clone()).unwrap();
+        let two_vertices_far = BasicLocalSentence::new(2, 1, has_vertex).unwrap();
+        // "nonempty and NOT two far-apart vertices" — true on a small
+        // clique, false on a long path and on the empty graph.
+        let combo = LocalSentence::And(vec![
+            LocalSentence::Basic(some_vertex),
+            LocalSentence::Not(Box::new(LocalSentence::Basic(two_vertices_far))),
+        ]);
+        assert!(combo.evaluate(&builders::complete_graph(3)));
+        assert!(!combo.evaluate(&builders::undirected_path(10)));
+        assert!(!combo.evaluate(&builders::empty_graph(0)));
+    }
+
+    #[test]
+    fn validation() {
+        let sig = Signature::graph();
+        let two_free = parse_formula(&sig, "E(x, y)").unwrap();
+        assert!(BasicLocalSentence::new(1, 1, two_free).is_err());
+        let closed = parse_formula(&sig, "exists x. E(x, x)").unwrap();
+        assert!(BasicLocalSentence::new(1, 1, closed).is_err());
+        let ok = parse_formula(&sig, "E(x, x)").unwrap();
+        assert!(BasicLocalSentence::new(0, 1, ok.clone()).is_err());
+        assert!(BasicLocalSentence::new(1, 1, ok).is_ok());
+    }
+}

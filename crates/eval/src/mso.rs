@@ -1,0 +1,332 @@
+//! MSO model checking by exhaustive set quantification.
+//!
+//! The survey's combined-complexity theorem covers FO *and MSO*: both
+//! are PSPACE-complete with both the structure and the sentence as
+//! input. The naive MSO evaluator below makes the cost structure
+//! visible: each set quantifier multiplies the work by `2ⁿ`
+//! (set assignments are bitmasks over the domain, so `n ≤ 64`).
+//!
+//! Despite the exponential cost, this is the positive half of the
+//! expressivity story (experiment E17): `fmt_logic::mso` defines
+//! connectivity, reachability and bipartiteness in MSO — the very
+//! queries Corollary 3.2 proves FO cannot define — and this evaluator
+//! verifies those definitions against the reference graph algorithms.
+
+use fmt_logic::mso::{MsoFormula, SetVar};
+use fmt_logic::{Term, Var};
+use fmt_structures::{Elem, Structure};
+
+/// Environment for MSO evaluation: first-order bindings plus one
+/// bitmask per set variable.
+#[derive(Debug, Clone)]
+pub struct MsoEnv {
+    vars: Vec<Option<Elem>>,
+    sets: Vec<Option<u64>>,
+}
+
+impl MsoEnv {
+    /// An environment sized for the given formula.
+    pub fn for_formula(f: &MsoFormula) -> MsoEnv {
+        MsoEnv {
+            vars: vec![None; f.max_var().map_or(0, |m| m as usize + 1)],
+            sets: vec![None; f.max_set_var().map_or(0, |m| m as usize + 1)],
+        }
+    }
+
+    /// Binds a first-order variable.
+    pub fn bind_var(&mut self, v: Var, e: Elem) {
+        self.vars[v.0 as usize] = Some(e);
+    }
+
+    /// Binds a set variable to an explicit element set.
+    pub fn bind_set(&mut self, x: SetVar, elems: &[Elem]) {
+        let mut mask = 0u64;
+        for &e in elems {
+            mask |= 1 << e;
+        }
+        self.sets[x.0 as usize] = Some(mask);
+    }
+}
+
+/// Statistics from an MSO evaluation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MsoStats {
+    /// Set assignments tried across all set quantifiers.
+    pub set_assignments: u64,
+}
+
+/// Checks an MSO sentence on a structure.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or the domain exceeds 64 elements
+/// (set assignments are bitmask-encoded; MSO evaluation is exponential
+/// anyway, so this is not the binding constraint in practice).
+pub fn check_sentence(s: &Structure, f: &MsoFormula) -> bool {
+    check_sentence_with_stats(s, f).0
+}
+
+/// Like [`check_sentence`], also returning work statistics.
+pub fn check_sentence_with_stats(s: &Structure, f: &MsoFormula) -> (bool, MsoStats) {
+    assert!(f.is_sentence(), "check_sentence requires an MSO sentence");
+    assert!(s.size() <= 64, "MSO evaluation is bitmask-bound to n ≤ 64");
+    let mut env = MsoEnv::for_formula(f);
+    let mut stats = MsoStats::default();
+    let v = eval(s, f, &mut env, &mut stats);
+    (v, stats)
+}
+
+/// Evaluates an MSO formula under an environment binding all its free
+/// (first-order and set) variables.
+pub fn eval(s: &Structure, f: &MsoFormula, env: &mut MsoEnv, stats: &mut MsoStats) -> bool {
+    let term = |t: &Term, env: &MsoEnv| -> Elem {
+        match t {
+            Term::Var(v) => env.vars[v.0 as usize].expect("unbound variable"),
+            Term::Const(c) => s.constant(*c),
+        }
+    };
+    match f {
+        MsoFormula::True => true,
+        MsoFormula::False => false,
+        MsoFormula::Atom { rel, args } => {
+            let tuple: Vec<Elem> = args.iter().map(|t| term(t, env)).collect();
+            s.holds(*rel, &tuple)
+        }
+        MsoFormula::Eq(a, b) => term(a, env) == term(b, env),
+        MsoFormula::In(t, x) => {
+            let e = term(t, env);
+            let mask = env.sets[x.0 as usize].expect("unbound set variable");
+            mask & (1 << e) != 0
+        }
+        MsoFormula::Not(g) => !eval(s, g, env, stats),
+        MsoFormula::And(fs) => fs.iter().all(|g| {
+            // Borrow checker: evaluate sequentially.
+            eval(s, g, env, stats)
+        }),
+        MsoFormula::Or(fs) => fs.iter().any(|g| eval(s, g, env, stats)),
+        MsoFormula::Implies(a, b) => !eval(s, a, env, stats) || eval(s, b, env, stats),
+        MsoFormula::Exists(v, g) => {
+            let old = env.vars[v.0 as usize];
+            let mut found = false;
+            for d in s.domain() {
+                env.vars[v.0 as usize] = Some(d);
+                if eval(s, g, env, stats) {
+                    found = true;
+                    break;
+                }
+            }
+            env.vars[v.0 as usize] = old;
+            found
+        }
+        MsoFormula::Forall(v, g) => {
+            let old = env.vars[v.0 as usize];
+            let mut all = true;
+            for d in s.domain() {
+                env.vars[v.0 as usize] = Some(d);
+                if !eval(s, g, env, stats) {
+                    all = false;
+                    break;
+                }
+            }
+            env.vars[v.0 as usize] = old;
+            all
+        }
+        MsoFormula::ExistsSet(x, g) => {
+            let old = env.sets[x.0 as usize];
+            let n = s.size();
+            let total: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let mut found = false;
+            let mut mask: u64 = 0;
+            loop {
+                stats.set_assignments += 1;
+                env.sets[x.0 as usize] = Some(mask);
+                if eval(s, g, env, stats) {
+                    found = true;
+                    break;
+                }
+                if mask == total {
+                    break;
+                }
+                mask += 1;
+            }
+            env.sets[x.0 as usize] = old;
+            found
+        }
+        MsoFormula::ForallSet(x, g) => {
+            let old = env.sets[x.0 as usize];
+            let n = s.size();
+            let total: u64 = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let mut all = true;
+            let mut mask: u64 = 0;
+            loop {
+                stats.set_assignments += 1;
+                env.sets[x.0 as usize] = Some(mask);
+                if !eval(s, g, env, stats) {
+                    all = false;
+                    break;
+                }
+                if mask == total {
+                    break;
+                }
+                mask += 1;
+            }
+            env.sets[x.0 as usize] = old;
+            all
+        }
+    }
+}
+
+/// Evaluates an MSO formula with free FO variables `Var(0..k)` bound to
+/// `binding` (no free set variables allowed).
+pub fn check_with_binding(s: &Structure, f: &MsoFormula, binding: &[Elem]) -> bool {
+    assert!(
+        f.free_set_vars().is_empty(),
+        "free set variables are not supported here"
+    );
+    assert!(s.size() <= 64);
+    let mut env = MsoEnv::for_formula(f);
+    for (i, &e) in binding.iter().enumerate() {
+        env.bind_var(Var(i as u32), e);
+    }
+    let mut stats = MsoStats::default();
+    eval(s, f, &mut env, &mut stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::mso::{mso_bipartite, mso_connectivity, mso_reachable};
+    use fmt_queries::graph;
+    use fmt_structures::{builders, Signature};
+
+    fn e() -> fmt_structures::RelId {
+        Signature::graph().relation("E").unwrap()
+    }
+
+    #[test]
+    fn mso_connectivity_matches_reference() {
+        let f = mso_connectivity(e());
+        let suite = vec![
+            builders::undirected_cycle(5),
+            builders::copies(&builders::undirected_cycle(3), 2),
+            builders::directed_path(5),
+            builders::empty_graph(3),
+            builders::empty_graph(1),
+            builders::empty_graph(0),
+            builders::full_binary_tree(2),
+        ];
+        for s in suite {
+            assert_eq!(
+                check_sentence(&s, &f),
+                graph::is_connected(&s),
+                "n = {}",
+                s.size()
+            );
+        }
+    }
+
+    #[test]
+    fn mso_bipartite_matches_reference() {
+        let f = mso_bipartite(e());
+        // Bipartite: even cycles, paths, trees. Not: odd cycles.
+        assert!(check_sentence(&builders::undirected_cycle(6), &f));
+        assert!(!check_sentence(&builders::undirected_cycle(5), &f));
+        assert!(check_sentence(&builders::undirected_path(7), &f));
+        assert!(check_sentence(&builders::full_binary_tree(2), &f));
+        assert!(check_sentence(&builders::empty_graph(4), &f));
+        assert!(!check_sentence(&builders::complete_graph(3), &f));
+    }
+
+    #[test]
+    fn mso_reachability_matches_bfs() {
+        let f = mso_reachable(e());
+        let s = builders::copies(&builders::undirected_path(3), 2); // 0-1-2, 3-4-5
+        for x in 0..6u32 {
+            for y in 0..6u32 {
+                let expected = (x < 3) == (y < 3);
+                assert_eq!(
+                    check_with_binding(&s, &f, &[x, y]),
+                    expected,
+                    "reach({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fo_embedding_agrees_with_fo_evaluator() {
+        let sig = Signature::graph();
+        let sources = [
+            "forall x. exists y. E(x, y)",
+            "exists x y. E(x, y) & !(x = y)",
+            "forall x y. (E(x, y) <-> E(y, x))",
+        ];
+        let suite = [
+            builders::directed_cycle(4),
+            builders::undirected_path(5),
+            builders::empty_graph(3),
+        ];
+        for src in sources {
+            let fo = fmt_logic::parser::parse_formula(&sig, src).unwrap();
+            let mso = fmt_logic::mso::MsoFormula::from_fo(&fo);
+            for s in &suite {
+                assert_eq!(
+                    check_sentence(s, &mso),
+                    crate::naive::check_sentence(s, &fo),
+                    "{src} on n = {}",
+                    s.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_quantifier_cost_is_exponential() {
+        let f = mso_connectivity(e());
+        let (_, small) = check_sentence_with_stats(&builders::undirected_cycle(4), &f);
+        let (_, large) = check_sentence_with_stats(&builders::undirected_cycle(8), &f);
+        // ∀X over 2^4 vs 2^8 assignments (early exits aside).
+        assert!(large.set_assignments > 4 * small.set_assignments);
+    }
+
+    #[test]
+    fn even_is_not_expressible_but_mso_sees_structure() {
+        // Sanity contrast: connectivity (not FO, per Corollary 3.2) is
+        // decided correctly by its MSO sentence on the paper's Hanf
+        // pair, where every FO sentence of low rank fails to separate.
+        let m = 5;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        let f = mso_connectivity(e());
+        assert!(!check_sentence(&two, &f));
+        assert!(check_sentence(&one, &f));
+    }
+
+    #[test]
+    fn explicit_set_binding() {
+        let s = builders::undirected_path(4);
+        // φ(X) open: every element of X has a neighbor in X.
+        use fmt_logic::mso::{MsoFormula, SetVar};
+        use fmt_logic::{Term, Var};
+        let x = SetVar(0);
+        let [u, w] = [Var(0), Var(1)];
+        let adj = MsoFormula::Atom {
+            rel: e(),
+            args: vec![Term::Var(u), Term::Var(w)],
+        };
+        let phi = MsoFormula::Forall(
+            u,
+            Box::new(MsoFormula::In(Term::Var(u), x).implies(MsoFormula::Exists(
+                w,
+                Box::new(MsoFormula::In(Term::Var(w), x).and(adj)),
+            ))),
+        );
+        let mut env = MsoEnv::for_formula(&phi);
+        let mut stats = MsoStats::default();
+        env.bind_set(x, &[0, 1]);
+        assert!(eval(&s, &phi, &mut env, &mut stats));
+        env.bind_set(x, &[0, 2]); // 0 and 2 are not adjacent
+        assert!(!eval(&s, &phi, &mut env, &mut stats));
+        env.bind_set(x, &[]); // vacuously true
+        assert!(eval(&s, &phi, &mut env, &mut stats));
+    }
+}

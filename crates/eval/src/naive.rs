@@ -1,0 +1,346 @@
+//! The textbook recursive model checker.
+//!
+//! This is the algorithm behind the survey's combined-complexity
+//! estimate: checking `A ⊨ φ` takes `O(n^k)` time (`n` = structure
+//! size, `k` = query size) and `O(k · log n)` space — each quantifier
+//! loops over the domain and recursion depth is bounded by the formula.
+//! The exponential dependence on `k` (and only on `k`) is measured by
+//! experiment E1.
+
+use fmt_logic::{Formula, Query, Term, Var};
+use fmt_structures::{Elem, Structure};
+
+/// A variable assignment (environment) for evaluation. Slots are
+/// indexed by variable index; quantifiers save and restore shadowed
+/// values.
+#[derive(Debug, Clone)]
+pub struct Env {
+    slots: Vec<Option<Elem>>,
+}
+
+impl Env {
+    /// An environment with room for variables `0..capacity`.
+    pub fn new(capacity: usize) -> Env {
+        Env {
+            slots: vec![None; capacity],
+        }
+    }
+
+    /// An environment sized for the given formula.
+    pub fn for_formula(f: &Formula) -> Env {
+        Env::new(f.max_var().map_or(0, |m| m as usize + 1))
+    }
+
+    /// Binds a variable (returns the previous value for restoration).
+    pub fn bind(&mut self, v: Var, e: Elem) -> Option<Elem> {
+        self.slots[v.0 as usize].replace(e)
+    }
+
+    /// Restores a previous binding.
+    pub fn restore(&mut self, v: Var, old: Option<Elem>) {
+        self.slots[v.0 as usize] = old;
+    }
+
+    /// Current value of a variable.
+    ///
+    /// # Panics
+    /// Panics if the variable is unbound — evaluation only ever reads
+    /// variables in scope.
+    pub fn get(&self, v: Var) -> Elem {
+        self.slots[v.0 as usize].expect("unbound variable during evaluation")
+    }
+}
+
+/// A model checker with an operation counter (used by the complexity
+/// experiments to measure work independently of wall-clock noise).
+#[derive(Debug)]
+pub struct NaiveEvaluator<'a> {
+    structure: &'a Structure,
+    /// Number of evaluation steps performed so far (AST-node visits).
+    pub ops: u64,
+}
+
+impl<'a> NaiveEvaluator<'a> {
+    /// Creates an evaluator for one structure.
+    pub fn new(structure: &'a Structure) -> NaiveEvaluator<'a> {
+        NaiveEvaluator { structure, ops: 0 }
+    }
+
+    fn term(&self, t: &Term, env: &Env) -> Elem {
+        match t {
+            Term::Var(v) => env.get(*v),
+            Term::Const(c) => self.structure.constant(*c),
+        }
+    }
+
+    /// Evaluates `φ` under `env` (all free variables must be bound).
+    pub fn eval(&mut self, f: &Formula, env: &mut Env) -> bool {
+        self.ops += 1;
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom { rel, args } => {
+                let tuple: Vec<Elem> = args.iter().map(|t| self.term(t, env)).collect();
+                self.structure.holds(*rel, &tuple)
+            }
+            Formula::Eq(a, b) => self.term(a, env) == self.term(b, env),
+            Formula::Not(g) => !self.eval(g, env),
+            Formula::And(fs) => fs.iter().all(|g| self.eval(g, env)),
+            Formula::Or(fs) => fs.iter().any(|g| self.eval(g, env)),
+            Formula::Implies(a, b) => !self.eval(a, env) || self.eval(b, env),
+            Formula::Iff(a, b) => self.eval(a, env) == self.eval(b, env),
+            Formula::Exists(v, g) => {
+                let mut found = false;
+                let old = env.bind(*v, 0);
+                for d in self.structure.domain() {
+                    env.slots[v.0 as usize] = Some(d);
+                    if self.eval(g, env) {
+                        found = true;
+                        break;
+                    }
+                }
+                env.restore(*v, old);
+                found
+            }
+            Formula::Forall(v, g) => {
+                let mut all = true;
+                let old = env.bind(*v, 0);
+                for d in self.structure.domain() {
+                    env.slots[v.0 as usize] = Some(d);
+                    if !self.eval(g, env) {
+                        all = false;
+                        break;
+                    }
+                }
+                env.restore(*v, old);
+                all
+            }
+        }
+    }
+}
+
+/// Checks a sentence on a structure: `A ⊨ φ`.
+///
+/// # Panics
+/// Panics if `f` has free variables (bind them or use [`answers`]).
+pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
+    assert!(f.is_sentence(), "check_sentence requires a sentence");
+    let mut env = Env::for_formula(f);
+    NaiveEvaluator::new(s).eval(f, &mut env)
+}
+
+/// Computes the full answer set `Q(A) = {d̄ | A ⊨ φ(d̄)}` of a query by
+/// iterating all bindings of the answer variables, in sorted order.
+///
+/// For a Boolean query this is `{()}` or `∅`, matching the survey's
+/// convention.
+pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
+    let f = q.formula();
+    let mut env = Env::for_formula(f);
+    let mut ev = NaiveEvaluator::new(s);
+    let free = q.free();
+    let mut out = Vec::new();
+    if free.is_empty() {
+        if ev.eval(f, &mut env) {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    let n = s.size();
+    if n == 0 {
+        return out;
+    }
+    let m = free.len();
+    let mut tuple = vec![0 as Elem; m];
+    loop {
+        for (i, &v) in free.iter().enumerate() {
+            env.bind(v, tuple[i]);
+        }
+        if ev.eval(f, &mut env) {
+            out.push(tuple.clone());
+        }
+        // Odometer.
+        let mut pos = m;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            tuple[pos] += 1;
+            if tuple[pos] < n {
+                break;
+            }
+            tuple[pos] = 0;
+            if pos == 0 {
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::{library, parser::parse_formula, Query};
+    use fmt_structures::{builders, Signature};
+
+    fn graph_sig() -> std::sync::Arc<Signature> {
+        Signature::graph()
+    }
+
+    #[test]
+    fn cardinality_sentences() {
+        let s = builders::set(5);
+        assert!(check_sentence(&s, &library::at_least(5)));
+        assert!(!check_sentence(&s, &library::at_least(6)));
+        assert!(check_sentence(&s, &library::at_most(5)));
+        assert!(check_sentence(&s, &library::exactly(5)));
+        assert!(!check_sentence(&s, &library::exactly(4)));
+    }
+
+    #[test]
+    fn empty_structure_semantics() {
+        let s = builders::set(0);
+        // ∃x true is false on the empty structure; ∀x false is true.
+        let f = Formula::exists(Var(0), Formula::True);
+        assert!(!check_sentence(&s, &f));
+        let g = Formula::forall(Var(0), Formula::False);
+        assert!(check_sentence(&s, &g));
+    }
+
+    #[test]
+    fn order_axioms_hold_on_linear_orders() {
+        let sig = Signature::order();
+        let lt = sig.relation("<").unwrap();
+        let ax = library::strict_total_order(lt);
+        for n in 0..6 {
+            assert!(check_sentence(&builders::linear_order(n), &ax), "L_{n}");
+        }
+        // A cycle-shaped "order" violates the axioms.
+        let bad = {
+            use fmt_structures::StructureBuilder;
+            let mut b = StructureBuilder::new(sig, 3);
+            b.add(lt, &[0, 1]).unwrap();
+            b.add(lt, &[1, 2]).unwrap();
+            b.add(lt, &[2, 0]).unwrap();
+            b.build().unwrap()
+        };
+        assert!(!check_sentence(&bad, &ax));
+    }
+
+    #[test]
+    fn k_clique_detection() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let k4 = builders::complete_graph(4);
+        assert!(check_sentence(&k4, &library::k_clique(e, 4)));
+        assert!(!check_sentence(&k4, &library::k_clique(e, 5)));
+        let c5 = builders::undirected_cycle(5);
+        assert!(check_sentence(&c5, &library::k_clique(e, 2)));
+        assert!(!check_sentence(&c5, &library::k_clique(e, 3)));
+    }
+
+    #[test]
+    fn quantifier_shadowing() {
+        let sig = graph_sig();
+        // exists x. (E(x,x) | exists x. E(x,x)) on a graph with one loop.
+        let f = parse_formula(&sig, "exists x. (!E(x,x) & exists x. E(x,x))").unwrap();
+        use fmt_structures::StructureBuilder;
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig.clone(), 2);
+        b.add(e, &[1, 1]).unwrap();
+        let s = b.build().unwrap();
+        // x = 0 has no loop, inner x = 1 has one: satisfied.
+        assert!(check_sentence(&s, &f));
+    }
+
+    #[test]
+    fn answers_of_unary_query() {
+        let sig = graph_sig();
+        // Elements with at least one out-edge.
+        let q = Query::parse(&sig, "exists y. E(x, y)").unwrap();
+        let s = builders::directed_path(4); // 0->1->2->3
+        let a = answers(&s, &q);
+        assert_eq!(a, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn answers_of_binary_query_sorted() {
+        let sig = graph_sig();
+        let q = Query::parse(&sig, "E(x, y)").unwrap();
+        let s = builders::directed_path(3);
+        let a = answers(&s, &q);
+        assert_eq!(a, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn boolean_answers_convention() {
+        let sig = graph_sig();
+        let q = Query::parse_sentence(&sig, "exists x y. E(x, y)").unwrap();
+        assert_eq!(answers(&builders::directed_path(2), &q), vec![Vec::<u32>::new()]);
+        assert!(answers(&builders::empty_graph(3), &q).is_empty());
+    }
+
+    #[test]
+    fn dist_formula_agrees_with_bfs() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let s = builders::undirected_path(7);
+        let f = library::dist_at_most(e, 3);
+        let q = Query::new(sig, f).unwrap();
+        let a = answers(&s, &q);
+        for x in 0..7u32 {
+            for y in 0..7u32 {
+                let within = (x as i32 - y as i32).abs() <= 3;
+                assert_eq!(a.contains(&vec![x, y]), within, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn ops_counter_grows_with_rank() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let s = builders::empty_graph(10);
+        let mut ev = NaiveEvaluator::new(&s);
+        let mut env = Env::for_formula(&library::k_clique(e, 2));
+        ev.eval(&library::k_clique(e, 2), &mut env);
+        let ops2 = ev.ops;
+        let f3 = library::k_clique(e, 3);
+        let mut env3 = Env::for_formula(&f3);
+        let mut ev3 = NaiveEvaluator::new(&s);
+        ev3.eval(&f3, &mut env3);
+        // On the empty graph the clique search fails fast; use forall
+        // nesting instead for a guaranteed blowup.
+        let deep2 = parse_formula(&sig, "forall x. forall y. !E(x,y)").unwrap();
+        let deep3 = parse_formula(&sig, "forall x. forall y. forall z. !E(x,y) | !E(y,z)").unwrap();
+        let mut a = NaiveEvaluator::new(&s);
+        a.eval(&deep2, &mut Env::for_formula(&deep2));
+        let mut b = NaiveEvaluator::new(&s);
+        b.eval(&deep3, &mut Env::for_formula(&deep3));
+        assert!(b.ops > a.ops * 5, "ops {} vs {}", b.ops, a.ops);
+        let _ = (ops2, ev3);
+    }
+
+    #[test]
+    fn constants_evaluated() {
+        let sig = Signature::builder()
+            .relation("E", 2)
+            .constant("root")
+            .finish_arc();
+        let e = sig.relation("E").unwrap();
+        let c = sig.constant("root").unwrap();
+        use fmt_structures::StructureBuilder;
+        let mut b = StructureBuilder::new(sig.clone(), 3);
+        b.add(e, &[0, 1]).unwrap();
+        b.set_constant(c, 0);
+        let s = b.build().unwrap();
+        let f = parse_formula(&sig, "exists y. E(root, y)").unwrap();
+        assert!(check_sentence(&s, &f));
+        let g = parse_formula(&sig, "exists y. E(y, root)").unwrap();
+        assert!(!check_sentence(&s, &g));
+    }
+
+    use fmt_logic::Formula;
+    use fmt_logic::Var;
+}

@@ -1,0 +1,283 @@
+//! Quantified Boolean formulas and the PSPACE-hardness reduction.
+//!
+//! QBF satisfiability is the survey's canonical PSPACE-complete problem,
+//! and the lower-bound half of the combined-complexity theorem is the
+//! reduction **QBF → FO model checking**: over the two-element structure
+//! `B = ({0, 1}, T = {1})`, a propositional variable `p` becomes a
+//! first-order variable ranging over `{0, 1}` and the atom `p` becomes
+//! `T(x_p)`, so the QBF is true iff `B ⊨ φ*`. [`to_model_checking`]
+//! builds exactly this instance; experiment E15 cross-validates it
+//! against the direct QBF solver.
+
+use fmt_logic::{Formula, Var};
+use fmt_structures::{Signature, Structure, StructureBuilder};
+
+/// A quantified Boolean formula. Propositional variables are indexed
+/// like first-order [`Var`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Qbf {
+    /// A propositional variable.
+    Var(u32),
+    /// Negation.
+    Not(Box<Qbf>),
+    /// N-ary conjunction.
+    And(Vec<Qbf>),
+    /// N-ary disjunction.
+    Or(Vec<Qbf>),
+    /// Existential propositional quantification.
+    Exists(u32, Box<Qbf>),
+    /// Universal propositional quantification.
+    Forall(u32, Box<Qbf>),
+}
+
+impl Qbf {
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors logical ¬
+    pub fn not(self) -> Qbf {
+        Qbf::Not(Box::new(self))
+    }
+
+    /// Largest variable index mentioned (quantified or free), if any.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Qbf::Var(v) => Some(*v),
+            Qbf::Not(g) => g.max_var(),
+            Qbf::And(gs) | Qbf::Or(gs) => gs.iter().filter_map(Qbf::max_var).max(),
+            Qbf::Exists(v, g) | Qbf::Forall(v, g) => Some((*v).max(g.max_var().unwrap_or(0))),
+        }
+    }
+
+    /// Free propositional variables.
+    pub fn free_vars(&self) -> Vec<u32> {
+        fn go(q: &Qbf, bound: &mut Vec<u32>, out: &mut Vec<u32>) {
+            match q {
+                Qbf::Var(v) => {
+                    if !bound.contains(v) && !out.contains(v) {
+                        out.push(*v);
+                    }
+                }
+                Qbf::Not(g) => go(g, bound, out),
+                Qbf::And(gs) | Qbf::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Qbf::Exists(v, g) | Qbf::Forall(v, g) => {
+                    bound.push(*v);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Closes the formula existentially over its free variables — "QBF
+    /// satisfiability" in the usual sense.
+    pub fn close_existentially(self) -> Qbf {
+        let free = self.free_vars();
+        free.into_iter()
+            .rev()
+            .fold(self, |acc, v| Qbf::Exists(v, Box::new(acc)))
+    }
+}
+
+/// Decides the truth of a **closed** QBF by recursive expansion
+/// (PSPACE, exponential time — the point of the reduction is that FO
+/// model checking inherits this hardness).
+///
+/// # Panics
+/// Panics if the formula has free variables.
+pub fn solve(q: &Qbf) -> bool {
+    assert!(q.free_vars().is_empty(), "solve requires a closed QBF");
+    let n = q.max_var().map_or(0, |m| m as usize + 1);
+    let mut env = vec![false; n];
+    fn go(q: &Qbf, env: &mut Vec<bool>) -> bool {
+        match q {
+            Qbf::Var(v) => env[*v as usize],
+            Qbf::Not(g) => !go(g, env),
+            Qbf::And(gs) => gs.iter().all(|g| go(g, env)),
+            Qbf::Or(gs) => gs.iter().any(|g| go(g, env)),
+            Qbf::Exists(v, g) => {
+                let old = env[*v as usize];
+                let mut found = false;
+                for b in [false, true] {
+                    env[*v as usize] = b;
+                    if go(g, env) {
+                        found = true;
+                        break;
+                    }
+                }
+                env[*v as usize] = old;
+                found
+            }
+            Qbf::Forall(v, g) => {
+                let old = env[*v as usize];
+                let mut all = true;
+                for b in [false, true] {
+                    env[*v as usize] = b;
+                    if !go(g, env) {
+                        all = false;
+                        break;
+                    }
+                }
+                env[*v as usize] = old;
+                all
+            }
+        }
+    }
+    go(q, &mut env)
+}
+
+/// The reduction QBF → FO model checking: returns a structure `B` and a
+/// sentence `φ*` such that the (closed) QBF is true iff `B ⊨ φ*`.
+///
+/// `B` is the two-element structure `({0, 1}, T = {1})`; propositional
+/// variable `pᵢ` becomes FO variable `xᵢ` and the atom `pᵢ` becomes
+/// `T(xᵢ)`.
+///
+/// # Panics
+/// Panics if the QBF has free variables (close it first).
+pub fn to_model_checking(q: &Qbf) -> (Structure, Formula) {
+    assert!(
+        q.free_vars().is_empty(),
+        "reduction requires a closed QBF"
+    );
+    let sig = Signature::builder().relation("T", 1).finish_arc();
+    let t = sig.relation("T").unwrap();
+    let mut b = StructureBuilder::new(sig, 2);
+    b.add(t, &[1]).unwrap();
+    let structure = b.build().unwrap();
+
+    fn tr(q: &Qbf, t: fmt_structures::RelId) -> Formula {
+        match q {
+            Qbf::Var(v) => Formula::atom(t, &[Var(*v)]),
+            Qbf::Not(g) => tr(g, t).not(),
+            Qbf::And(gs) => Formula::big_and(gs.iter().map(|g| tr(g, t)).collect::<Vec<_>>()),
+            Qbf::Or(gs) => Formula::big_or(gs.iter().map(|g| tr(g, t)).collect::<Vec<_>>()),
+            Qbf::Exists(v, g) => Formula::exists(Var(*v), tr(g, t)),
+            Qbf::Forall(v, g) => Formula::forall(Var(*v), tr(g, t)),
+        }
+    }
+    let formula = tr(q, t);
+    debug_assert!(formula.is_sentence());
+    (structure, formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Qbf {
+        Qbf::Var(i)
+    }
+
+    #[test]
+    fn lecture_examples() {
+        // ∃p∃q (p ∧ q) is satisfiable.
+        let f = Qbf::Exists(0, Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))));
+        assert!(solve(&f));
+        // ∃p (p ∧ ¬p) is not.
+        let g = Qbf::Exists(0, Box::new(Qbf::And(vec![v(0), v(0).not()])));
+        assert!(!solve(&g));
+    }
+
+    #[test]
+    fn alternation() {
+        // ∀p∃q (p ↔ q) encoded as (p∧q) ∨ (¬p∧¬q): true.
+        let iff = Qbf::Or(vec![
+            Qbf::And(vec![v(0), v(1)]),
+            Qbf::And(vec![v(0).not(), v(1).not()]),
+        ]);
+        let f = Qbf::Forall(0, Box::new(Qbf::Exists(1, Box::new(iff.clone()))));
+        assert!(solve(&f));
+        // ∃q∀p (p ↔ q): false.
+        let g = Qbf::Exists(1, Box::new(Qbf::Forall(0, Box::new(iff))));
+        assert!(!solve(&g));
+    }
+
+    #[test]
+    fn close_existentially() {
+        let f = Qbf::And(vec![v(0), v(1).not()]);
+        assert_eq!(f.free_vars(), vec![0, 1]);
+        let closed = f.close_existentially();
+        assert!(closed.free_vars().is_empty());
+        assert!(solve(&closed));
+    }
+
+    #[test]
+    fn reduction_agrees_with_solver() {
+        let cases = vec![
+            Qbf::Exists(0, Box::new(v(0))),
+            Qbf::Forall(0, Box::new(v(0))),
+            Qbf::Forall(
+                0,
+                Box::new(Qbf::Or(vec![v(0), v(0).not()])),
+            ),
+            Qbf::Exists(
+                0,
+                Box::new(Qbf::Forall(
+                    1,
+                    Box::new(Qbf::Or(vec![v(0), v(1)])),
+                )),
+            ),
+            Qbf::Forall(
+                0,
+                Box::new(Qbf::Exists(
+                    1,
+                    Box::new(Qbf::And(vec![
+                        Qbf::Or(vec![v(0), v(1)]),
+                        Qbf::Or(vec![v(0).not(), v(1).not()]),
+                    ])),
+                )),
+            ),
+        ];
+        for q in cases {
+            let (s, f) = to_model_checking(&q);
+            assert_eq!(
+                solve(&q),
+                crate::naive::check_sentence(&s, &f),
+                "reduction mismatch for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_qbfs_agree() {
+        // Deterministic pseudo-random QBF generator (tiny LCG).
+        fn gen(state: &mut u64, depth: u32, next_var: u32) -> Qbf {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = (*state >> 33) % 6;
+            if depth == 0 || next_var >= 4 {
+                return v((*state >> 17) as u32 % next_var.max(1));
+            }
+            match r {
+                0 => gen(state, depth - 1, next_var).not(),
+                1 => Qbf::And(vec![
+                    gen(state, depth - 1, next_var),
+                    gen(state, depth - 1, next_var),
+                ]),
+                2 => Qbf::Or(vec![
+                    gen(state, depth - 1, next_var),
+                    gen(state, depth - 1, next_var),
+                ]),
+                3 => Qbf::Exists(next_var, Box::new(gen(state, depth - 1, next_var + 1))),
+                4 => Qbf::Forall(next_var, Box::new(gen(state, depth - 1, next_var + 1))),
+                _ => v((*state >> 17) as u32 % next_var.max(1)),
+            }
+        }
+        for seed in 0..30u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let q = Qbf::Exists(0, Box::new(gen(&mut state, 4, 1))).close_existentially();
+            let (s, f) = to_model_checking(&q);
+            assert_eq!(
+                solve(&q),
+                crate::naive::check_sentence(&s, &f),
+                "seed {seed}"
+            );
+        }
+    }
+}

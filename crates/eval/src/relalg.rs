@@ -1,0 +1,551 @@
+//! Bottom-up, set-at-a-time FO evaluation — the relational-algebra view
+//! of "FO as a query language".
+//!
+//! Each subformula is evaluated to the [`Table`] of its satisfying
+//! assignments (a relation over its free variables). Connectives become
+//! algebra operators: `∧` is a natural join, `∨` a (schema-aligned)
+//! union, `∃` a projection, `∀` a division by the domain, and `¬` a
+//! complement relative to `domainᵃʳⁱᵗʸ`. Cost is `O(n^width)` where
+//! `width` is the number of distinct variables — the engine behind the
+//! data-complexity story, and the reference implementation the
+//! bounded-degree evaluator and circuit compiler are validated against.
+
+use fmt_logic::{nf, Formula, Query, Term, Var};
+use fmt_structures::{Elem, Structure};
+use std::collections::HashSet;
+
+/// A relation over a set of variables: the satisfying assignments of a
+/// subformula. `vars` is kept sorted; each row assigns `row[i]` to
+/// `vars[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// The schema: sorted distinct variables.
+    pub vars: Vec<Var>,
+    /// The rows, aligned with `vars`.
+    pub rows: HashSet<Vec<Elem>>,
+}
+
+impl Table {
+    /// The table over no variables representing `true` (one empty row)
+    /// or `false` (no rows).
+    pub fn boolean(b: bool) -> Table {
+        let mut rows = HashSet::new();
+        if b {
+            rows.insert(Vec::new());
+        }
+        Table { vars: vec![], rows }
+    }
+
+    /// `true` iff this is a Boolean table containing the empty row.
+    pub fn as_bool(&self) -> bool {
+        debug_assert!(self.vars.is_empty());
+        !self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Projects onto a subset of the schema (which must be contained in
+    /// `self.vars`).
+    fn project(&self, keep: &[Var]) -> Table {
+        let idx: Vec<usize> = keep
+            .iter()
+            .map(|v| self.vars.binary_search(v).expect("projection var"))
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i]).collect())
+            .collect();
+        Table {
+            vars: keep.to_vec(),
+            rows,
+        }
+    }
+
+    /// Extends the schema with missing variables, crossing with the full
+    /// domain `0..n` for each.
+    fn extend_to(&self, target: &[Var], n: u32) -> Table {
+        debug_assert!(target.windows(2).all(|w| w[0] < w[1]));
+        if target == self.vars.as_slice() {
+            return self.clone();
+        }
+        let mut rows: HashSet<Vec<Elem>> = self.rows.clone();
+        let mut vars = self.vars.clone();
+        for &v in target {
+            if !vars.contains(&v) {
+                let mut next = HashSet::with_capacity(rows.len() * n as usize);
+                for r in &rows {
+                    for d in 0..n {
+                        let mut r2 = r.clone();
+                        r2.push(d);
+                        next.insert(r2);
+                    }
+                }
+                rows = next;
+                vars.push(v);
+            }
+        }
+        // Re-sort columns to the canonical sorted order.
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by_key(|&i| vars[i]);
+        let sorted_vars: Vec<Var> = order.iter().map(|&i| vars[i]).collect();
+        debug_assert_eq!(sorted_vars, target);
+        let rows = rows
+            .into_iter()
+            .map(|r| order.iter().map(|&i| r[i]).collect())
+            .collect();
+        Table {
+            vars: sorted_vars,
+            rows,
+        }
+    }
+
+    /// Natural join.
+    fn join(&self, other: &Table) -> Table {
+        // Shared variables and their positions.
+        let shared: Vec<Var> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.binary_search(v).is_ok())
+            .collect();
+        let self_shared: Vec<usize> = shared
+            .iter()
+            .map(|v| self.vars.binary_search(v).unwrap())
+            .collect();
+        let other_shared: Vec<usize> = shared
+            .iter()
+            .map(|v| other.vars.binary_search(v).unwrap())
+            .collect();
+        let other_extra: Vec<usize> = (0..other.vars.len())
+            .filter(|i| !other_shared.contains(i))
+            .collect();
+
+        // Hash the smaller side on the shared key.
+        use std::collections::HashMap;
+        let mut index: HashMap<Vec<Elem>, Vec<&Vec<Elem>>> = HashMap::new();
+        for r in &other.rows {
+            let key: Vec<Elem> = other_shared.iter().map(|&i| r[i]).collect();
+            index.entry(key).or_default().push(r);
+        }
+
+        let mut vars: Vec<Var> = self.vars.clone();
+        vars.extend(other_extra.iter().map(|&i| other.vars[i]));
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by_key(|&i| vars[i]);
+        let out_vars: Vec<Var> = order.iter().map(|&i| vars[i]).collect();
+
+        let mut rows = HashSet::new();
+        for r in &self.rows {
+            let key: Vec<Elem> = self_shared.iter().map(|&i| r[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for m in matches {
+                    let mut combined: Vec<Elem> = r.clone();
+                    combined.extend(other_extra.iter().map(|&i| m[i]));
+                    let sorted: Vec<Elem> = order.iter().map(|&i| combined[i]).collect();
+                    rows.insert(sorted);
+                }
+            }
+        }
+        Table {
+            vars: out_vars,
+            rows,
+        }
+    }
+
+    /// Complement relative to `domain^vars`.
+    fn complement(&self, n: u32) -> Table {
+        let m = self.vars.len();
+        let mut rows = HashSet::new();
+        if m == 0 {
+            return Table::boolean(!self.as_bool());
+        }
+        let mut tuple = vec![0 as Elem; m];
+        if n == 0 {
+            return Table {
+                vars: self.vars.clone(),
+                rows,
+            };
+        }
+        loop {
+            if !self.rows.contains(&tuple) {
+                rows.insert(tuple.clone());
+            }
+            let mut pos = m;
+            loop {
+                if pos == 0 {
+                    return Table {
+                        vars: self.vars.clone(),
+                        rows,
+                    };
+                }
+                pos -= 1;
+                tuple[pos] += 1;
+                if tuple[pos] < n {
+                    break;
+                }
+                tuple[pos] = 0;
+                if pos == 0 {
+                    return Table {
+                        vars: self.vars.clone(),
+                        rows,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a formula bottom-up, returning the table of satisfying
+/// assignments over its free variables (in sorted order).
+///
+/// The formula is first converted to NNF so that negation only occurs on
+/// atoms (where complementation is `O(n^arity)`).
+pub fn eval(s: &Structure, f: &Formula) -> Table {
+    let g = nf::nnf(f);
+    eval_nnf(s, &g)
+}
+
+fn eval_nnf(s: &Structure, f: &Formula) -> Table {
+    let n = s.size();
+    match f {
+        Formula::True => Table::boolean(true),
+        Formula::False => Table::boolean(false),
+        Formula::Atom { rel, args } => atom_table(s, *rel, args),
+        Formula::Eq(a, b) => eq_table(s, a, b),
+        Formula::Not(g) => {
+            // NNF: g is an atom, an equality, or a constant.
+            let t = eval_nnf(s, g);
+            t.complement(n)
+        }
+        Formula::And(fs) => {
+            // Natural join of all conjuncts; the resulting schema is the
+            // union of the conjunct schemas = the free variables of the
+            // conjunction.
+            let mut acc = Table::boolean(true);
+            for g in fs {
+                acc = acc.join(&eval_nnf(s, g));
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            let target = target_vars(f);
+            let mut rows = HashSet::new();
+            for g in fs {
+                let t = eval_nnf(s, g).extend_to(&target, n);
+                rows.extend(t.rows);
+            }
+            Table { vars: target, rows }
+        }
+        Formula::Exists(v, g) => {
+            let t = eval_nnf(s, g);
+            if t.vars.binary_search(v).is_err() {
+                // v does not occur free in the body: ∃v φ ≡ φ ∧ "domain
+                // nonempty".
+                if n == 0 {
+                    return Table {
+                        vars: t.vars.clone(),
+                        rows: HashSet::new(),
+                    };
+                }
+                return t;
+            }
+            let keep: Vec<Var> = t.vars.iter().copied().filter(|w| w != v).collect();
+            t.project(&keep)
+        }
+        Formula::Forall(v, g) => {
+            let t = eval_nnf(s, g);
+            if t.vars.binary_search(v).is_err() {
+                // ∀v φ ≡ φ ∨ "domain empty".
+                if n == 0 {
+                    let mut rows = HashSet::new();
+                    if t.vars.is_empty() {
+                        rows.insert(Vec::new());
+                    }
+                    return Table {
+                        vars: t.vars.clone(),
+                        rows,
+                    };
+                }
+                return t;
+            }
+            // Division: keep assignments whose v-extensions all hold.
+            let vi = t.vars.binary_search(v).unwrap();
+            let keep: Vec<Var> = t.vars.iter().copied().filter(|w| w != v).collect();
+            use std::collections::HashMap;
+            let mut counts: HashMap<Vec<Elem>, u32> = HashMap::new();
+            for r in &t.rows {
+                let mut key = r.clone();
+                key.remove(vi);
+                *counts.entry(key).or_insert(0) += 1;
+            }
+            let rows = counts
+                .into_iter()
+                .filter(|&(_, c)| c == n)
+                .map(|(k, _)| k)
+                .collect();
+            if n == 0 {
+                // ∀ over the empty domain is vacuously true for every
+                // assignment of the other variables — but there are no
+                // assignments over an empty domain either, except the
+                // empty one.
+                let mut rows = HashSet::new();
+                if keep.is_empty() {
+                    rows.insert(Vec::new());
+                }
+                return Table { vars: keep, rows };
+            }
+            Table { vars: keep, rows }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("NNF output contains no implications")
+        }
+    }
+}
+
+fn target_vars(f: &Formula) -> Vec<Var> {
+    f.free_vars().into_iter().collect()
+}
+
+fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table {
+    // Distinct variables in sorted order form the schema.
+    let mut vars: Vec<Var> = args.iter().filter_map(Term::as_var).collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let mut rows = HashSet::new();
+    'tuples: for t in s.rel(rel).iter() {
+        // Check constants and repeated-variable consistency.
+        let mut assignment: Vec<Option<Elem>> = vec![None; vars.len()];
+        for (i, a) in args.iter().enumerate() {
+            match a {
+                Term::Const(c) => {
+                    if s.constant(*c) != t[i] {
+                        continue 'tuples;
+                    }
+                }
+                Term::Var(v) => {
+                    let vi = vars.binary_search(v).unwrap();
+                    match assignment[vi] {
+                        None => assignment[vi] = Some(t[i]),
+                        Some(prev) if prev != t[i] => continue 'tuples,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        rows.insert(assignment.into_iter().map(Option::unwrap).collect());
+    }
+    Table { vars, rows }
+}
+
+fn eq_table(s: &Structure, a: &Term, b: &Term) -> Table {
+    let n = s.size();
+    match (a, b) {
+        (Term::Const(c1), Term::Const(c2)) => {
+            Table::boolean(s.constant(*c1) == s.constant(*c2))
+        }
+        (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+            let mut rows = HashSet::new();
+            if s.constant(*c) < n {
+                rows.insert(vec![s.constant(*c)]);
+            }
+            Table {
+                vars: vec![*v],
+                rows,
+            }
+        }
+        (Term::Var(v1), Term::Var(v2)) if v1 == v2 => {
+            let rows = (0..n).map(|d| vec![d]).collect();
+            Table {
+                vars: vec![*v1],
+                rows,
+            }
+        }
+        (Term::Var(v1), Term::Var(v2)) => {
+            let mut vars = vec![*v1, *v2];
+            vars.sort_unstable();
+            let rows = (0..n).map(|d| vec![d, d]).collect();
+            Table { vars, rows }
+        }
+    }
+}
+
+/// Evaluates a query and returns its sorted answer set, matching
+/// [`crate::naive::answers`] (including the answer-variable order of the
+/// query).
+pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
+    let t = eval(s, q.formula());
+    // t.vars is sorted; q.free() may order differently.
+    let idx: Vec<usize> = q
+        .free()
+        .iter()
+        .map(|v| t.vars.binary_search(v).expect("schema mismatch"))
+        .collect();
+    let mut out: Vec<Vec<Elem>> = t
+        .rows
+        .iter()
+        .map(|r| idx.iter().map(|&i| r[i]).collect())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Checks a sentence via bottom-up evaluation.
+pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
+    assert!(f.is_sentence(), "check_sentence requires a sentence");
+    eval(s, f).as_bool()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::{library, Query};
+    use fmt_structures::{builders, Signature};
+
+    #[test]
+    fn agrees_with_naive_on_suite() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let structures = vec![
+            builders::directed_path(5),
+            builders::undirected_cycle(6),
+            builders::complete_graph(4),
+            builders::empty_graph(4),
+            builders::full_binary_tree(2),
+            builders::empty_graph(0),
+        ];
+        let sentences = vec![
+            library::at_least(3),
+            library::k_clique(e, 3),
+            library::k_path(e, 2),
+            library::q1_all_pairs_adjacent(e),
+            library::q2_distinguishing_neighbor(e),
+            library::dominating_vertex(e),
+            library::no_isolated_vertex(e),
+        ];
+        for s in &structures {
+            for f in &sentences {
+                assert_eq!(
+                    check_sentence(s, f),
+                    crate::naive::check_sentence(s, f),
+                    "disagreement on {} over size {}",
+                    f.display(&sig),
+                    s.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_open_queries() {
+        let sig = Signature::graph();
+        let queries = [
+            "E(x, y)",
+            "exists z. E(x, z) & E(z, y)",
+            "!E(x, y) & !(x = y)",
+            "forall z. E(z, x) -> E(z, y)",
+            "E(x, x) | exists y. E(x, y) & !(y = x)",
+        ];
+        let structures = vec![
+            builders::directed_path(4),
+            builders::undirected_cycle(5),
+            builders::full_binary_tree(2),
+        ];
+        for src in queries {
+            let q = Query::parse(&sig, src).unwrap();
+            for s in &structures {
+                assert_eq!(
+                    answers(s, &q),
+                    crate::naive::answers(s, &q),
+                    "disagreement on {src} over size {}",
+                    s.size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn join_with_shared_and_fresh_vars() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "E(x, y) & E(y, z)").unwrap();
+        let s = builders::directed_path(4);
+        let a = answers(&s, &q);
+        assert_eq!(a, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn union_aligns_schemas() {
+        let sig = Signature::graph();
+        // x free on one side only.
+        let q = Query::parse(&sig, "E(x, y) | E(y, x)").unwrap();
+        let s = builders::directed_path(3);
+        let a = answers(&s, &q);
+        assert_eq!(
+            a,
+            vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![2, 1]]
+        );
+    }
+
+    #[test]
+    fn negated_atom_complement() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "!E(x, y)").unwrap();
+        let s = builders::complete_graph(3);
+        // Complete loop-free graph: only the diagonal is missing.
+        let a = answers(&s, &q);
+        assert_eq!(a, vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn forall_division() {
+        let sig = Signature::graph();
+        // Vertices dominated by every vertex: ∀y (y = x ∨ E(y,x)).
+        let q = Query::parse(&sig, "forall y. y = x | E(y, x)").unwrap();
+        let k3 = builders::complete_graph(3);
+        assert_eq!(answers(&k3, &q).len(), 3);
+        let p3 = builders::directed_path(3);
+        assert!(answers(&p3, &q).is_empty());
+    }
+
+    #[test]
+    fn vacuous_quantifiers() {
+        let sig = Signature::graph();
+        let s2 = builders::empty_graph(2);
+        let s0 = builders::empty_graph(0);
+        let f = Query::parse_sentence(&sig, "exists x. true").unwrap();
+        assert!(check_sentence(&s2, f.formula()));
+        assert!(!check_sentence(&s0, f.formula()));
+        let g = Query::parse_sentence(&sig, "forall x. false").unwrap();
+        assert!(!check_sentence(&s2, g.formula()));
+        assert!(check_sentence(&s0, g.formula()));
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "E(x, x)").unwrap();
+        let s = builders::directed_cycle(1); // one self-loop
+        assert_eq!(answers(&s, &q), vec![vec![0]]);
+        let t = builders::directed_path(3);
+        assert!(answers(&t, &q).is_empty());
+    }
+
+    #[test]
+    fn equality_tables() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "x = y").unwrap();
+        let s = builders::empty_graph(3);
+        assert_eq!(
+            answers(&s, &q),
+            vec![vec![0, 0], vec![1, 1], vec![2, 2]]
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # fmt-games
+//!
+//! Ehrenfeucht–Fraïssé games — the fundamental inexpressibility tool of
+//! the finite model theory toolbox (Libkin, PODS'09, §3.2).
+//!
+//! In the `n`-round game `Gₙ(A, B)` the **spoiler** tries to expose a
+//! difference between two structures and the **duplicator** tries to
+//! hide it: each round the spoiler picks an element of one structure and
+//! the duplicator answers in the other; the duplicator wins if the
+//! played pairs (plus constants) always form a partial isomorphism. The
+//! fundamental theorem makes this a proof tool:
+//!
+//! > `A ∼Gₙ B` (duplicator has a winning strategy) **iff** `A ≡ₙ B`
+//! > (`A` and `B` agree on all FO sentences of quantifier rank ≤ n).
+//!
+//! This crate provides:
+//!
+//! * [`solver::EfSolver`] — an exact, memoized decision procedure for
+//!   `A ∼Gₙ B`, with on-demand winning strategies for either player and
+//!   ablation switches for its optimizations;
+//! * [`solver::rank`] — the largest `n` with `A ≡ₙ B`;
+//! * [`closed_form`] — the survey's "library of winning strategies":
+//!   pure sets and linear orders (Theorem 3.1:
+//!   `L_m ≡ₙ L_k` for `m, k ≥ 2ⁿ`), cross-validated against the exact
+//!   solver;
+//! * [`play`] — game traces: replay a strategy against scripted or
+//!   random spoilers;
+//! * [`parallel`] — the top game-tree layer fanned out over threads;
+//! * [`pebble`] — k-pebble games (the finite-variable fragments `FOᵏ`);
+//! * [`bijection`] — the bijective EF game (counting extensions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bijection;
+pub mod closed_form;
+pub mod parallel;
+pub mod pebble;
+pub mod play;
+pub mod solver;
+
+pub use solver::{rank, EfSolver, SolverConfig};

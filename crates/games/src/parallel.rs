@@ -1,0 +1,178 @@
+//! Parallel EF game solving.
+//!
+//! The top level of the game tree is embarrassingly parallel: the
+//! duplicator wins `Gₙ(A, B)` iff **every** spoiler first move has a
+//! winning reply, and those first moves are independent. This module
+//! fans the first moves out over scoped threads (each worker owns its
+//! own memoized [`EfSolver`]), with early cancellation as soon as one
+//! unanswerable move is found.
+//!
+//! Worth it only when single positions are expensive (larger
+//! structures, deeper games); the `ef_games` bench compares. Results
+//! are bit-for-bit identical to the serial solver (asserted in tests).
+
+use crate::solver::{EfSolver, Side};
+use fmt_structures::{Elem, Structure};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Decides `A ∼Gₙ B` with the top layer of spoiler moves evaluated in
+/// parallel across `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0` or the signatures differ.
+pub fn duplicator_wins_parallel(
+    a: &Structure,
+    b: &Structure,
+    rounds: u32,
+    threads: usize,
+) -> bool {
+    assert!(threads >= 1);
+    assert_eq!(a.signature(), b.signature(), "games need a common signature");
+    if rounds == 0 {
+        return fmt_structures::partial::is_partial_isomorphism(a, b, &[]);
+    }
+    if !fmt_structures::partial::is_partial_isomorphism(a, b, &[]) {
+        return false;
+    }
+    // All first moves (fresh-move pruning applies trivially: nothing has
+    // been played, so every element is fresh).
+    let mut moves: Vec<(Side, Elem)> = Vec::with_capacity((a.size() + b.size()) as usize);
+    moves.extend(a.domain().map(|x| (Side::Left, x)));
+    moves.extend(b.domain().map(|y| (Side::Right, y)));
+    if moves.is_empty() {
+        return true; // both empty: isomorphic
+    }
+
+    let refuted = AtomicBool::new(false);
+    let chunk = moves.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for work in moves.chunks(chunk) {
+            let refuted = &refuted;
+            handles.push(scope.spawn(move |_| {
+                let mut solver = EfSolver::new(a, b);
+                for &(side, x) in work {
+                    if refuted.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if solver.reply_for(&initial_pairs(a, b), rounds, side, x).is_none() {
+                        refuted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+    })
+    .expect("scope failed");
+    !refuted.load(Ordering::Relaxed)
+}
+
+fn initial_pairs(a: &Structure, b: &Structure) -> Vec<(Elem, Elem)> {
+    let mut pairs: Vec<(Elem, Elem)> = a
+        .constants()
+        .iter()
+        .zip(b.constants())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Parallel version of [`crate::solver::rank`].
+pub fn rank_parallel(a: &Structure, b: &Structure, cap: u32, threads: usize) -> u32 {
+    for n in 1..=cap {
+        if !duplicator_wins_parallel(a, b, n, threads) {
+            return n - 1;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::rank;
+    use fmt_structures::builders;
+
+    #[test]
+    fn agrees_with_serial_on_orders() {
+        for m in 1..=8u32 {
+            for k in 1..=8u32 {
+                for n in 1..=3u32 {
+                    let a = builders::linear_order(m);
+                    let b = builders::linear_order(k);
+                    let serial = EfSolver::new(&a, &b).duplicator_wins(n);
+                    for threads in [1, 2, 4] {
+                        assert_eq!(
+                            duplicator_wins_parallel(&a, &b, n, threads),
+                            serial,
+                            "L_{m} vs L_{k}, n = {n}, threads = {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_serial_on_graphs() {
+        let pairs = [
+            (
+                builders::copies(&builders::undirected_cycle(3), 2),
+                builders::undirected_cycle(6),
+            ),
+            (builders::directed_path(6), builders::directed_cycle(6)),
+            (builders::set(4), builders::set(6)),
+        ];
+        for (a, b) in &pairs {
+            for n in 1..=3u32 {
+                assert_eq!(
+                    duplicator_wins_parallel(a, b, n, 4),
+                    EfSolver::new(a, b).duplicator_wins(n)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_parallel_matches() {
+        let a = builders::linear_order(7);
+        let b = builders::linear_order(9);
+        assert_eq!(rank_parallel(&a, &b, 4, 3), rank(&a, &b, 4));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let e = builders::set(0);
+        assert!(duplicator_wins_parallel(&e, &e, 3, 2));
+        let one = builders::set(1);
+        assert!(!duplicator_wins_parallel(&e, &one, 1, 2));
+        assert!(duplicator_wins_parallel(&one, &one, 0, 2));
+    }
+
+    #[test]
+    fn constants_respected() {
+        use fmt_structures::{Signature, StructureBuilder};
+        let sig = Signature::builder()
+            .relation("E", 2)
+            .constant("c")
+            .finish_arc();
+        let e = sig.relation("E").unwrap();
+        let c = sig.constant("c").unwrap();
+        let mk = |cval| {
+            let mut b = StructureBuilder::new(sig.clone(), 3);
+            b.add(e, &[0, 1]).unwrap();
+            b.set_constant(c, cval);
+            b.build().unwrap()
+        };
+        let a = mk(0);
+        let b = mk(2);
+        assert!(!duplicator_wins_parallel(&a, &b, 1, 2));
+        let b2 = mk(0);
+        assert!(duplicator_wins_parallel(&a, &b2, 3, 2));
+    }
+}

@@ -1,0 +1,216 @@
+//! k-pebble games — the games of the finite-variable fragments `FOᵏ`.
+//!
+//! The survey lists "number of variables" among the parameters along
+//! which FO is restricted to more feasible fragments; the matching game
+//! gives each player `k` pebbles that can be **re-used**: the spoiler
+//! moves (or places) pebble `i` on an element, the duplicator moves its
+//! twin, and the currently pebbled pairs must always form a partial
+//! isomorphism. Duplicator winning the `n`-round `k`-pebble game on
+//! `(A, B)` iff `A` and `B` agree on all `FOᵏ` sentences of quantifier
+//! rank ≤ n.
+//!
+//! Because pebbles can be lifted, a position is just the *set* of
+//! pebbled pairs (at most `k` of them) — pebble identities are
+//! interchangeable — which keeps the memoized search small.
+
+use fmt_structures::partial::extension_ok;
+use fmt_structures::{Elem, Structure};
+use std::collections::HashMap;
+
+/// An exact solver for `n`-round `k`-pebble games.
+#[derive(Debug)]
+pub struct PebbleSolver<'a> {
+    a: &'a Structure,
+    b: &'a Structure,
+    k: usize,
+    memo: HashMap<(Vec<(Elem, Elem)>, u32), bool>,
+}
+
+impl<'a> PebbleSolver<'a> {
+    /// Creates a solver for the `k`-pebble games on `(a, b)`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the signatures differ.
+    pub fn new(a: &'a Structure, b: &'a Structure, k: usize) -> PebbleSolver<'a> {
+        assert!(k >= 1, "at least one pebble");
+        assert_eq!(a.signature(), b.signature(), "games need a common signature");
+        PebbleSolver {
+            a,
+            b,
+            k,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Decides whether the duplicator wins the `rounds`-round `k`-pebble
+    /// game (starting with no pebbles placed; constants, if any, are
+    /// permanently in play through the partial-isomorphism checks and
+    /// are never occupied by pebbles).
+    pub fn duplicator_wins(&mut self, rounds: u32) -> bool {
+        if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
+            return false;
+        }
+        self.wins(&[], rounds)
+    }
+
+    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let key = (pairs.to_vec(), n);
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        // Spoiler options: place a new pebble (if a pebble is free) or
+        // lift one pebbled pair and re-place it.
+        let mut bases: Vec<Vec<(Elem, Elem)>> = Vec::new();
+        if pairs.len() < self.k {
+            bases.push(pairs.to_vec());
+        }
+        for i in 0..pairs.len() {
+            let mut base = pairs.to_vec();
+            base.remove(i);
+            if !bases.contains(&base) {
+                bases.push(base);
+            }
+        }
+        let result = bases.iter().all(|base| self.survives_all_moves(base, n));
+        self.memo.insert(key, result);
+        result
+    }
+
+    fn survives_all_moves(&mut self, base: &[(Elem, Elem)], n: u32) -> bool {
+        // Spoiler plays any element of A; duplicator answers in B.
+        for x in self.a.domain() {
+            let mut ok = false;
+            for y in self.b.domain() {
+                if extension_ok(self.a, self.b, base, x, y) {
+                    let mut next = base.to_vec();
+                    next.push((x, y));
+                    next.sort_unstable();
+                    next.dedup();
+                    if self.wins(&next, n - 1) {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        // Spoiler plays any element of B.
+        for y in self.b.domain() {
+            let mut ok = false;
+            for x in self.a.domain() {
+                if extension_ok(self.a, self.b, base, x, y) {
+                    let mut next = base.to_vec();
+                    next.push((x, y));
+                    next.sort_unstable();
+                    next.dedup();
+                    if self.wins(&next, n - 1) {
+                        ok = true;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Convenience wrapper: duplicator win in the `rounds`-round `k`-pebble
+/// game.
+pub fn pebble_duplicator_wins(a: &Structure, b: &Structure, k: usize, rounds: u32) -> bool {
+    PebbleSolver::new(a, b, k).duplicator_wins(rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    #[test]
+    fn one_pebble_cannot_compare_order_elements() {
+        // With a single pebble no two elements are ever pebbled at
+        // once, and a single order element satisfies no atom (x < x is
+        // false), so the duplicator survives indefinitely on any two
+        // nonempty orders.
+        let a = builders::linear_order(2);
+        let b = builders::linear_order(5);
+        assert!(pebble_duplicator_wins(&a, &b, 1, 6));
+    }
+
+    #[test]
+    fn two_pebbles_count_along_orders() {
+        // FO² over orders can say "there are ≥ m elements" by walking
+        // right reusing two variables, so L_2 and L_3 are separated by a
+        // 2-pebble game with enough rounds.
+        let a = builders::linear_order(2);
+        let b = builders::linear_order(3);
+        assert!(!pebble_duplicator_wins(&a, &b, 2, 4));
+        // ... but not in a single round.
+        assert!(pebble_duplicator_wins(&a, &b, 2, 1));
+    }
+
+    #[test]
+    fn pebble_games_are_weaker_than_ef_at_same_rounds() {
+        // The k-pebble game restricts the spoiler (pebbles run out), so
+        // a duplicator EF win implies a duplicator pebble win.
+        let pairs = [
+            (builders::linear_order(3), builders::linear_order(4)),
+            (builders::set(3), builders::set(5)),
+            (
+                builders::undirected_cycle(4),
+                builders::undirected_cycle(5),
+            ),
+        ];
+        for (a, b) in &pairs {
+            for n in 1..=3u32 {
+                let ef = crate::solver::EfSolver::new(a, b).duplicator_wins(n);
+                if ef {
+                    for k in 1..=n as usize {
+                        assert!(
+                            pebble_duplicator_wins(a, b, k, n),
+                            "EF win must imply {k}-pebble win at n = {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_equal_rounds_matches_ef() {
+        // With k ≥ n rounds the pebble game coincides with the EF game
+        // (no pebble ever needs reuse).
+        for (m, kk) in [(2u32, 3u32), (3, 3), (3, 7), (4, 6)] {
+            let a = builders::linear_order(m);
+            let b = builders::linear_order(kk);
+            for n in 1..=3u32 {
+                let ef = crate::solver::EfSolver::new(&a, &b).duplicator_wins(n);
+                let pb = pebble_duplicator_wins(&a, &b, n as usize, n);
+                assert_eq!(ef, pb, "L_{m} vs L_{kk} at n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_structures_always_win() {
+        let a = builders::undirected_cycle(5);
+        let b = a.relabel(&[3, 4, 0, 1, 2]);
+        assert!(pebble_duplicator_wins(&a, &b, 2, 6));
+        assert!(pebble_duplicator_wins(&a, &b, 3, 5));
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        let e = builders::set(0);
+        let s = builders::set(2);
+        assert!(!pebble_duplicator_wins(&e, &s, 1, 1));
+        assert!(pebble_duplicator_wins(&e, &e, 2, 4));
+    }
+}

@@ -1,0 +1,346 @@
+//! Playing games move by move: traces, scripted/random spoilers, and
+//! solver- or closed-form-backed duplicators.
+//!
+//! The solver decides who wins; this module *plays the games out*, which
+//! is how closed-form strategies are attacked by random adversaries and
+//! how the examples print instructive game transcripts.
+
+use crate::solver::{EfSolver, Side};
+use fmt_structures::partial::{extension_ok, is_partial_isomorphism};
+use fmt_structures::{Elem, Structure};
+use rand::{Rng, RngExt};
+
+/// One round of play: the spoiler's pick and the duplicator's reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Round {
+    /// Which structure the spoiler chose.
+    pub side: Side,
+    /// The spoiler's element (in `side`).
+    pub spoiler: Elem,
+    /// The duplicator's reply (in the other structure).
+    pub duplicator: Elem,
+}
+
+/// A completed (or lost) game.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GameTrace {
+    /// The rounds played, in order.
+    pub rounds: Vec<Round>,
+    /// `true` if the duplicator maintained a partial isomorphism through
+    /// all requested rounds.
+    pub duplicator_survived: bool,
+}
+
+impl GameTrace {
+    /// The played pairs `(a, b)` in order.
+    pub fn pairs(&self) -> Vec<(Elem, Elem)> {
+        self.rounds
+            .iter()
+            .map(|r| match r.side {
+                Side::Left => (r.spoiler, r.duplicator),
+                Side::Right => (r.duplicator, r.spoiler),
+            })
+            .collect()
+    }
+
+    /// Re-validates the trace: every prefix of the played pairs must be
+    /// a partial isomorphism iff the trace claims survival.
+    pub fn check(&self, a: &Structure, b: &Structure) -> bool {
+        let pairs = self.pairs();
+        for i in 1..=pairs.len() {
+            let ok = is_partial_isomorphism(a, b, &pairs[..i]);
+            if !ok {
+                // Losing traces must lose exactly at the last move.
+                return !self.duplicator_survived && i == pairs.len();
+            }
+        }
+        self.duplicator_survived
+    }
+}
+
+/// Plays an `rounds`-round game with closure-driven players.
+///
+/// * `spoiler(pairs, rounds_left)` returns the side and element picked;
+/// * `duplicator(pairs, rounds_left, side, x)` returns the reply, or
+///   `None` to resign.
+///
+/// The game stops early (with `duplicator_survived = false`) as soon as
+/// the position stops being a partial isomorphism.
+pub fn play(
+    a: &Structure,
+    b: &Structure,
+    rounds: u32,
+    mut spoiler: impl FnMut(&[(Elem, Elem)], u32) -> (Side, Elem),
+    mut duplicator: impl FnMut(&[(Elem, Elem)], u32, Side, Elem) -> Option<Elem>,
+) -> GameTrace {
+    let mut pairs: Vec<(Elem, Elem)> = Vec::new();
+    let mut trace = Vec::new();
+    for left in (1..=rounds).rev() {
+        let (side, x) = spoiler(&pairs, left);
+        let reply = duplicator(&pairs, left, side, x);
+        let y = match reply {
+            Some(y) => y,
+            None => {
+                return GameTrace {
+                    rounds: trace,
+                    duplicator_survived: false,
+                }
+            }
+        };
+        let pair = match side {
+            Side::Left => (x, y),
+            Side::Right => (y, x),
+        };
+        let ok = extension_ok(a, b, &pairs, pair.0, pair.1);
+        pairs.push(pair);
+        trace.push(Round {
+            side,
+            spoiler: x,
+            duplicator: y,
+        });
+        if !ok {
+            return GameTrace {
+                rounds: trace,
+                duplicator_survived: false,
+            };
+        }
+    }
+    GameTrace {
+        rounds: trace,
+        duplicator_survived: true,
+    }
+}
+
+/// Plays `trials` games with a uniformly random spoiler against the
+/// given duplicator; returns the number of games the duplicator
+/// survived.
+pub fn attack_with_random_spoiler<R: Rng + ?Sized>(
+    a: &Structure,
+    b: &Structure,
+    rounds: u32,
+    trials: u32,
+    rng: &mut R,
+    mut duplicator: impl FnMut(&[(Elem, Elem)], u32, Side, Elem) -> Option<Elem>,
+) -> u32 {
+    let mut survived = 0;
+    for _ in 0..trials {
+        let trace = play(
+            a,
+            b,
+            rounds,
+            |_pairs, _left| {
+                let side = if (a.size() == 0 || rng.random_bool(0.5)) && b.size() > 0 {
+                    Side::Right
+                } else {
+                    Side::Left
+                };
+                let x = match side {
+                    Side::Left => rng.random_range(0..a.size()),
+                    Side::Right => rng.random_range(0..b.size()),
+                };
+                (side, x)
+            },
+            &mut duplicator,
+        );
+        if trace.duplicator_survived {
+            survived += 1;
+        }
+    }
+    survived
+}
+
+/// Plays the game with both players backed by the exact solver: the
+/// spoiler plays a winning attack whenever one exists (otherwise its
+/// first fresh element), the duplicator plays winning replies whenever
+/// they exist (otherwise any legal-looking reply). The resulting trace
+/// demonstrates the game value.
+pub fn optimal_play(a: &Structure, b: &Structure, rounds: u32) -> GameTrace {
+    let mut solver = EfSolver::new(a, b);
+    let mut pairs: Vec<(Elem, Elem)> = Vec::new();
+    let mut trace = Vec::new();
+    for left in (1..=rounds).rev() {
+        let (side, x) = match solver.spoiler_move_for(&sorted(&pairs), left) {
+            Some(m) => m,
+            None => {
+                // Duplicator wins — spoiler probes with a fresh element.
+                let fresh_a = a.size() > 0 && !pairs.iter().any(|p| p.0 == 0);
+                if fresh_a {
+                    (Side::Left, 0)
+                } else if b.size() > 0 {
+                    (Side::Right, 0)
+                } else {
+                    // Nothing to play at all; game trivially survives.
+                    break;
+                }
+            }
+        };
+        let y = solver
+            .reply_for(&sorted(&pairs), left, side, x)
+            .or_else(|| {
+                // Duplicator is lost; still prefer a *legal* reply (one
+                // preserving the partial isomorphism) so traces lose as
+                // late as possible, falling back to element 0.
+                let (candidates, mk) = match side {
+                    Side::Left => (b.domain(), true),
+                    Side::Right => (a.domain(), false),
+                };
+                let legal = candidates.clone().find(|&y| {
+                    let (pa, pb) = if mk { (x, y) } else { (y, x) };
+                    extension_ok(a, b, &pairs, pa, pb)
+                });
+                legal.or_else(|| candidates.clone().next())
+            });
+        let y = match y {
+            Some(y) => y,
+            None => {
+                return GameTrace {
+                    rounds: trace,
+                    duplicator_survived: false,
+                }
+            }
+        };
+        let pair = match side {
+            Side::Left => (x, y),
+            Side::Right => (y, x),
+        };
+        let ok = extension_ok(a, b, &pairs, pair.0, pair.1);
+        pairs.push(pair);
+        trace.push(Round {
+            side,
+            spoiler: x,
+            duplicator: y,
+        });
+        if !ok {
+            return GameTrace {
+                rounds: trace,
+                duplicator_survived: false,
+            };
+        }
+    }
+    GameTrace {
+        rounds: trace,
+        duplicator_survived: true,
+    }
+}
+
+fn sorted(pairs: &[(Elem, Elem)]) -> Vec<(Elem, Elem)> {
+    let mut p = pairs.to_vec();
+    p.sort_unstable();
+    p.dedup();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_form;
+    use fmt_structures::builders;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solver_duplicator_survives_random_attacks_when_winning() {
+        // L_7 vs L_8 at n = 3: duplicator wins; the solver-backed
+        // duplicator must survive every random attack.
+        let a = builders::linear_order(7);
+        let b = builders::linear_order(8);
+        let mut solver = EfSolver::new(&a, &b);
+        assert!(solver.duplicator_wins(3));
+        let mut rng = StdRng::seed_from_u64(5);
+        let survived = attack_with_random_spoiler(
+            &a,
+            &b,
+            3,
+            50,
+            &mut rng,
+            |pairs, left, side, x| solver.reply_for(&sorted(pairs), left, side, x),
+        );
+        assert_eq!(survived, 50);
+    }
+
+    #[test]
+    fn closed_form_order_duplicator_survives_random_attacks() {
+        let (m, k) = (15u32, 23u32);
+        let a = builders::linear_order(m);
+        let b = builders::linear_order(k);
+        // Both ≥ 2^4 − 1 = 15: duplicator wins 4 rounds.
+        let mut rng = StdRng::seed_from_u64(9);
+        let survived = attack_with_random_spoiler(
+            &a,
+            &b,
+            4,
+            200,
+            &mut rng,
+            |pairs, left, side, x| {
+                closed_form::order_reply(
+                    pairs,
+                    side == Side::Left,
+                    x,
+                    m as u64,
+                    k as u64,
+                    left - 1,
+                )
+            },
+        );
+        assert_eq!(survived, 200);
+    }
+
+    #[test]
+    fn optimal_play_matches_game_value() {
+        // Spoiler wins: L_2 vs L_3 at n = 2 (2 < 2^2 − 1 = 3).
+        let a = builders::linear_order(2);
+        let b = builders::linear_order(3);
+        let t = optimal_play(&a, &b, 2);
+        assert!(!t.duplicator_survived);
+        assert!(t.check(&a, &b));
+        // Duplicator wins: L_3 vs L_4 at n = 2.
+        let c = builders::linear_order(3);
+        let d = builders::linear_order(4);
+        let t2 = optimal_play(&c, &d, 2);
+        assert!(t2.duplicator_survived);
+        assert!(t2.check(&c, &d));
+        assert_eq!(t2.rounds.len(), 2);
+    }
+
+    #[test]
+    fn trace_check_rejects_forged_survival() {
+        let a = builders::linear_order(4);
+        let b = builders::linear_order(4);
+        let bogus = GameTrace {
+            rounds: vec![
+                Round {
+                    side: Side::Left,
+                    spoiler: 0,
+                    duplicator: 3,
+                },
+                Round {
+                    side: Side::Left,
+                    spoiler: 1,
+                    duplicator: 1,
+                },
+            ],
+            duplicator_survived: true,
+        };
+        // 0 ↦ 3 and 1 ↦ 1 reverses the order: not a partial iso.
+        assert!(!bogus.check(&a, &b));
+    }
+
+    #[test]
+    fn sets_closed_form_survives() {
+        let a = builders::set(6);
+        let b = builders::set(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let survived = attack_with_random_spoiler(
+            &a,
+            &b,
+            6,
+            100,
+            &mut rng,
+            |pairs, _left, side, x| {
+                let other = if side == Side::Left { 9 } else { 6 };
+                closed_form::set_reply(pairs, side == Side::Left, x, other)
+            },
+        );
+        assert_eq!(survived, 100);
+    }
+}

@@ -1,0 +1,542 @@
+//! The exact Ehrenfeucht–Fraïssé game solver.
+//!
+//! Positions are sets of played pairs plus a round budget; the solver
+//! decides duplicator wins by AND/OR search over spoiler moves and
+//! duplicator replies, with three optimizations (each individually
+//! switchable for the ablation benchmark):
+//!
+//! * **Memoization** on canonical position keys (sorted, deduplicated
+//!   pair sets — play order is irrelevant to the future of the game);
+//! * **Fresh-move pruning**: a spoiler replay of an already-played
+//!   element forces the duplicator's reply (the recorded partner) and
+//!   only burns a round, so by monotonicity it never helps the spoiler
+//!   and both players can be restricted to fresh elements;
+//! * **Profile-guided reply ordering**: duplicator replies are tried in
+//!   order of matching degree profiles, finding witnesses early.
+//!
+//! The search is exponential in the worst case — unavoidable, but game
+//! arguments live at small `n` (the paper's examples all have `n ≤ 4`),
+//! where the solver is exact and fast.
+
+use fmt_structures::partial::extension_ok;
+use fmt_structures::{Elem, Structure};
+use std::collections::HashMap;
+
+/// Which structure the spoiler picked in a move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first structure (`A`).
+    Left,
+    /// The second structure (`B`).
+    Right,
+}
+
+/// Optimization switches (for the ablation experiments; leave at
+/// [`SolverConfig::default`] for normal use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Memoize positions.
+    pub memoization: bool,
+    /// Restrict both players to fresh elements.
+    pub fresh_move_pruning: bool,
+    /// Order duplicator replies by degree-profile match.
+    pub profile_ordering: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            memoization: true,
+            fresh_move_pruning: true,
+            profile_ordering: true,
+        }
+    }
+}
+
+/// Statistics of a solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Positions expanded (recursive calls that did real work).
+    pub expanded: u64,
+    /// Memo hits.
+    pub memo_hits: u64,
+}
+
+/// An exact solver for the games `Gₙ(A, B)`, reusable across round
+/// counts and positions (the memo table is shared).
+#[derive(Debug)]
+pub struct EfSolver<'a> {
+    a: &'a Structure,
+    b: &'a Structure,
+    config: SolverConfig,
+    memo: HashMap<(Vec<(Elem, Elem)>, u32), bool>,
+    profile_a: Vec<u64>,
+    profile_b: Vec<u64>,
+    /// Search statistics.
+    pub stats: SolverStats,
+}
+
+/// An isomorphism-invariant per-element fingerprint used to order
+/// duplicator replies: occurrences per (relation, position), plus
+/// constant incidences.
+fn profiles(s: &Structure) -> Vec<u64> {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let n = s.size() as usize;
+    let mut acc: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (r, _, arity) in s.signature().relations() {
+        let mut per_pos: Vec<Vec<u32>> = vec![vec![0; arity]; n];
+        for t in s.rel(r).iter() {
+            for (i, &e) in t.iter().enumerate() {
+                per_pos[e as usize][i] += 1;
+            }
+        }
+        for (v, counts) in per_pos.into_iter().enumerate() {
+            acc[v].extend(counts);
+        }
+    }
+    for (i, &c) in s.constants().iter().enumerate() {
+        acc[c as usize].push(1_000_000 + i as u32);
+    }
+    acc.into_iter()
+        .map(|v| {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        })
+        .collect()
+}
+
+impl<'a> EfSolver<'a> {
+    /// Creates a solver for the pair `(a, b)`.
+    ///
+    /// # Panics
+    /// Panics if the structures have different signatures.
+    pub fn new(a: &'a Structure, b: &'a Structure) -> EfSolver<'a> {
+        EfSolver::with_config(a, b, SolverConfig::default())
+    }
+
+    /// Creates a solver with explicit optimization switches.
+    pub fn with_config(a: &'a Structure, b: &'a Structure, config: SolverConfig) -> EfSolver<'a> {
+        assert_eq!(a.signature(), b.signature(), "games need a common signature");
+        let profile_a = profiles(a);
+        let profile_b = profiles(b);
+        EfSolver {
+            a,
+            b,
+            config,
+            memo: HashMap::new(),
+            profile_a,
+            profile_b,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// The initial position: the constant pairs (always in play).
+    fn initial_pairs(&self) -> Vec<(Elem, Elem)> {
+        let mut pairs: Vec<(Elem, Elem)> = self
+            .a
+            .constants()
+            .iter()
+            .zip(self.b.constants())
+            .map(|(&x, &y)| (x, y))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Decides `A ∼Gₙ B`: does the duplicator have a winning strategy in
+    /// the `n`-round game?
+    ///
+    /// By the fundamental theorem this is equivalent to `A ≡ₙ B`.
+    pub fn duplicator_wins(&mut self, rounds: u32) -> bool {
+        let init = self.initial_pairs();
+        // The initial position must itself be a partial isomorphism
+        // (constants must match up).
+        if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
+            return false;
+        }
+        self.wins(&init, rounds)
+    }
+
+    /// Decides duplicator win from an arbitrary mid-game position.
+    ///
+    /// `pairs` must already be a partial isomorphism (this is checked).
+    pub fn duplicator_wins_from(&mut self, pairs: &[(Elem, Elem)], rounds: u32) -> bool {
+        assert!(
+            fmt_structures::partial::is_partial_isomorphism(self.a, self.b, pairs),
+            "starting position must be a partial isomorphism"
+        );
+        let mut p = [self.initial_pairs(), pairs.to_vec()].concat();
+        p.sort_unstable();
+        p.dedup();
+        self.wins(&p, rounds)
+    }
+
+    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let key = (pairs.to_vec(), n);
+        if self.config.memoization {
+            if let Some(&v) = self.memo.get(&key) {
+                self.stats.memo_hits += 1;
+                return v;
+            }
+        }
+        self.stats.expanded += 1;
+
+        let result = self.expand(pairs, n);
+        if self.config.memoization {
+            self.memo.insert(key, result);
+        }
+        result
+    }
+
+    fn expand(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+        // Spoiler plays in A.
+        let moves_a: Vec<Elem> = self.spoiler_moves(self.a, pairs, |p| p.0);
+        for x in moves_a {
+            if self.reply_for(pairs, n, Side::Left, x).is_none() {
+                return false;
+            }
+        }
+        // Spoiler plays in B.
+        let moves_b: Vec<Elem> = self.spoiler_moves(self.b, pairs, |p| p.1);
+        for y in moves_b {
+            if self.reply_for(pairs, n, Side::Right, y).is_none() {
+                return false;
+            }
+        }
+        // With pruning disabled, the move lists above already include
+        // replays (handled inside `reply_for` by forcing the partner);
+        // with pruning enabled, replays are sound to skip by
+        // monotonicity: they only burn one of the spoiler's rounds.
+        true
+    }
+
+    fn spoiler_moves(
+        &self,
+        s: &Structure,
+        pairs: &[(Elem, Elem)],
+        side: impl Fn(&(Elem, Elem)) -> Elem,
+    ) -> Vec<Elem> {
+        let played: Vec<Elem> = pairs.iter().map(side).collect();
+        s.domain()
+            .filter(|v| !self.config.fresh_move_pruning || !played.contains(v))
+            .collect()
+    }
+
+    /// Finds a winning duplicator reply to the spoiler move `x` on
+    /// `side`, from position `pairs` with `n` rounds left (the move
+    /// itself consumes one round). Returns `None` if every reply loses.
+    pub fn reply_for(
+        &mut self,
+        pairs: &[(Elem, Elem)],
+        n: u32,
+        side: Side,
+        x: Elem,
+    ) -> Option<Elem> {
+        debug_assert!(n >= 1);
+        // Replayed element: the partner is forced.
+        for &(p, q) in pairs {
+            match side {
+                Side::Left if p == x => {
+                    return self.wins(pairs, n - 1).then_some(q);
+                }
+                Side::Right if q == x => {
+                    return self.wins(pairs, n - 1).then_some(p);
+                }
+                _ => {}
+            }
+        }
+        let (reply_structure, x_profile) = match side {
+            Side::Left => (self.b, self.profile_a[x as usize]),
+            Side::Right => (self.a, self.profile_b[x as usize]),
+        };
+        let mut candidates: Vec<Elem> = reply_structure.domain().collect();
+        if self.config.profile_ordering {
+            let profs = match side {
+                Side::Left => &self.profile_b,
+                Side::Right => &self.profile_a,
+            };
+            candidates.sort_by_key(|&y| (profs[y as usize] != x_profile, y));
+        }
+        for y in candidates {
+            let (xa, yb) = match side {
+                Side::Left => (x, y),
+                Side::Right => (y, x),
+            };
+            if !extension_ok(self.a, self.b, pairs, xa, yb) {
+                continue;
+            }
+            let mut next = pairs.to_vec();
+            next.push((xa, yb));
+            next.sort_unstable();
+            next.dedup();
+            if self.wins(&next, n - 1) {
+                return Some(y);
+            }
+        }
+        None
+    }
+
+    /// Finds a spoiler move that wins (for the spoiler) from a position
+    /// the duplicator loses: returns `(side, element)` such that every
+    /// duplicator reply leads to a duplicator loss. Returns `None` if
+    /// the duplicator wins the position.
+    pub fn spoiler_move_for(
+        &mut self,
+        pairs: &[(Elem, Elem)],
+        n: u32,
+    ) -> Option<(Side, Elem)> {
+        if n == 0 || self.wins(pairs, n) {
+            return None;
+        }
+        for x in self.spoiler_moves(self.a, pairs, |p| p.0) {
+            if self.reply_for(pairs, n, Side::Left, x).is_none() {
+                return Some((Side::Left, x));
+            }
+        }
+        for y in self.spoiler_moves(self.b, pairs, |p| p.1) {
+            if self.reply_for(pairs, n, Side::Right, y).is_none() {
+                return Some((Side::Right, y));
+            }
+        }
+        // Unreachable: a losing position always has a losing fresh move
+        // (replays cannot be the spoiler's only winning option, by
+        // monotonicity).
+        unreachable!("losing position without a winning spoiler move")
+    }
+}
+
+/// The **game rank** of a pair of structures: the largest `n ≤ cap`
+/// with `A ≡ₙ B`, i.e. how many rounds the duplicator survives.
+///
+/// Returns `cap` if the duplicator wins even the `cap`-round game (in
+/// particular for isomorphic structures, where the duplicator wins
+/// forever).
+pub fn rank(a: &Structure, b: &Structure, cap: u32) -> u32 {
+    let mut solver = EfSolver::new(a, b);
+    // Winning is antitone in n, so scan upward and stop at the first
+    // loss (memo entries are shared between iterations).
+    for n in 1..=cap {
+        if !solver.duplicator_wins(n) {
+            return n - 1;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::{builders, iso};
+
+    #[test]
+    fn sets_game() {
+        // Duplicator wins the n-round game on sets with ≥ n elements.
+        let a = builders::set(4);
+        let b = builders::set(7);
+        let mut s = EfSolver::new(&a, &b);
+        assert!(s.duplicator_wins(4));
+        assert!(!s.duplicator_wins(5)); // spoiler plays 5 distinct in B
+        // EVEN cannot be expressed: 2n vs 2n+1 elements agree to rank n.
+        assert_eq!(rank(&builders::set(6), &builders::set(7), 10), 6);
+    }
+
+    #[test]
+    fn equal_sets_equivalent_forever() {
+        let a = builders::set(3);
+        let b = builders::set(3);
+        assert_eq!(rank(&a, &b, 8), 8);
+    }
+
+    #[test]
+    fn empty_structures() {
+        let e = builders::set(0);
+        let one = builders::set(1);
+        assert_eq!(rank(&e, &e, 5), 5);
+        // Spoiler plays the single element of B; duplicator has no reply.
+        assert_eq!(rank(&e, &one, 5), 0);
+    }
+
+    #[test]
+    fn theorem_3_1_small_cases() {
+        // L_m ≡_n L_k iff m = k or both ≥ 2^n − 1 (exact version of
+        // Theorem 3.1; the paper states the weaker m, k ≥ 2^n).
+        for m in 1..=9u32 {
+            for k in 1..=9u32 {
+                for n in 1..=3u32 {
+                    let expected = m == k || (m >= (1 << n) - 1 && k >= (1 << n) - 1);
+                    let a = builders::linear_order(m);
+                    let b = builders::linear_order(k);
+                    let mut s = EfSolver::new(&a, &b);
+                    assert_eq!(
+                        s.duplicator_wins(n),
+                        expected,
+                        "L_{m} vs L_{k} at n = {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isomorphic_structures_win_deep_games() {
+        let a = builders::undirected_cycle(5);
+        let perm = [2, 4, 1, 3, 0];
+        let b = a.relabel(&perm);
+        assert!(iso::are_isomorphic(&a, &b));
+        assert_eq!(rank(&a, &b, 5), 5);
+    }
+
+    #[test]
+    fn cycle_pair_games() {
+        // C_3 ⊎ C_3 vs C_6: duplicator wins few rounds, spoiler
+        // eventually exposes the difference (walk around the cycle).
+        let two = builders::copies(&builders::undirected_cycle(3), 2);
+        let one = builders::undirected_cycle(6);
+        let r = rank(&two, &one, 6);
+        assert!(r >= 1, "at least one round is survivable");
+        assert!(r < 6, "the structures are distinguishable, rank {r}");
+    }
+
+    #[test]
+    fn directed_path_vs_cycle() {
+        // A directed path has a source (no in-edges); a cycle does not.
+        // Sentence ∃x∀y ¬E(y,x) has rank 2, so rank(path, cycle) < 2.
+        let p = builders::directed_path(8);
+        let c = builders::directed_cycle(8);
+        assert!(rank(&p, &c, 4) < 2);
+    }
+
+    #[test]
+    fn mid_game_positions() {
+        let a = builders::linear_order(5);
+        let b = builders::linear_order(5);
+        let mut s = EfSolver::new(&a, &b);
+        // Matching 0 ↦ 0 is consistent with the identity: wins deeply.
+        assert!(s.duplicator_wins_from(&[(0, 0)], 4));
+        // Matching the minimum to the maximum dies quickly: spoiler
+        // plays something below the maximum on the right.
+        assert!(!s.duplicator_wins_from(&[(0, 4)], 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "partial isomorphism")]
+    fn invalid_start_position_rejected() {
+        let a = builders::linear_order(3);
+        let b = builders::linear_order(3);
+        let mut s = EfSolver::new(&a, &b);
+        // (0,0) and (1,0) is not injective.
+        s.duplicator_wins_from(&[(0, 0), (1, 0)], 1);
+    }
+
+    #[test]
+    fn config_variants_agree() {
+        let pairs = [
+            (builders::linear_order(4), builders::linear_order(6)),
+            (builders::undirected_cycle(4), builders::undirected_cycle(5)),
+            (builders::directed_path(4), builders::directed_cycle(4)),
+            (builders::set(3), builders::set(5)),
+        ];
+        let configs = [
+            SolverConfig::default(),
+            SolverConfig {
+                memoization: false,
+                fresh_move_pruning: true,
+                profile_ordering: true,
+            },
+            SolverConfig {
+                memoization: true,
+                fresh_move_pruning: false,
+                profile_ordering: true,
+            },
+            SolverConfig {
+                memoization: true,
+                fresh_move_pruning: true,
+                profile_ordering: false,
+            },
+            SolverConfig {
+                memoization: false,
+                fresh_move_pruning: false,
+                profile_ordering: false,
+            },
+        ];
+        for (a, b) in &pairs {
+            for n in 1..=3u32 {
+                let reference = EfSolver::new(a, b).duplicator_wins(n);
+                for cfg in configs {
+                    assert_eq!(
+                        EfSolver::with_config(a, b, cfg).duplicator_wins(n),
+                        reference,
+                        "config {cfg:?} disagrees at n = {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constants_participate() {
+        use fmt_structures::{Signature, StructureBuilder};
+        let sig = Signature::builder()
+            .relation("E", 2)
+            .constant("c")
+            .finish_arc();
+        let e = sig.relation("E").unwrap();
+        let c = sig.constant("c").unwrap();
+        let mk = |cval: Elem| {
+            let mut b = StructureBuilder::new(sig.clone(), 3);
+            b.add(e, &[0, 1]).unwrap();
+            b.set_constant(c, cval);
+            b.build().unwrap()
+        };
+        // c at the edge's source vs c at an isolated vertex: the
+        // difference shows up in one round (play a witness of E(c, ·)).
+        let src = mk(0);
+        let isolated = mk(2);
+        let mut s = EfSolver::new(&src, &isolated);
+        assert!(!s.duplicator_wins(1));
+        // Same constant placement: isomorphic.
+        let same = mk(0);
+        let mut t = EfSolver::new(&src, &same);
+        assert!(t.duplicator_wins(3));
+    }
+
+    #[test]
+    fn spoiler_move_extraction() {
+        let a = builders::set(2);
+        let b = builders::set(4);
+        let mut s = EfSolver::new(&a, &b);
+        assert!(!s.duplicator_wins(3));
+        let (side, _x) = s.spoiler_move_for(&[], 3).expect("spoiler wins");
+        // Any first move works for the spoiler here (3 distinct plays in
+        // the 4-set eventually exhaust the 2-set), so just check a move
+        // exists on some side.
+        assert!(matches!(side, Side::Left | Side::Right));
+        // Duplicator-winning positions yield no spoiler move.
+        assert!(s.spoiler_move_for(&[], 2).is_none());
+    }
+
+    #[test]
+    fn stats_reflect_memoization() {
+        let a = builders::linear_order(6);
+        let b = builders::linear_order(7);
+        let mut with = EfSolver::new(&a, &b);
+        with.duplicator_wins(3);
+        let mut without = EfSolver::with_config(
+            &a,
+            &b,
+            SolverConfig {
+                memoization: false,
+                ..SolverConfig::default()
+            },
+        );
+        without.duplicator_wins(3);
+        assert!(with.stats.memo_hits > 0);
+        assert!(without.stats.expanded >= with.stats.expanded);
+    }
+}

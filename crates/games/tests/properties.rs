@@ -1,0 +1,125 @@
+//! Property tests for the game solvers: the structural laws every EF
+//! variant must satisfy, attacked with random structures.
+
+use fmt_games::bijection::bijection_duplicator_wins;
+use fmt_games::pebble::pebble_duplicator_wins;
+use fmt_games::solver::EfSolver;
+use fmt_structures::{Signature, Structure, StructureBuilder};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: u32) -> impl Strategy<Value = Structure> {
+    (1u32..=max_n, proptest::collection::vec(any::<bool>(), 36)).prop_map(|(n, bits)| {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, n);
+        let mut k = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if bits[k % bits.len()] {
+                    b.add(e, &[u, v]).unwrap();
+                }
+                k += 1;
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Winning is antitone in the round count: surviving n rounds
+    /// implies surviving any m ≤ n.
+    #[test]
+    fn win_is_antitone_in_rounds(a in arb_graph(5), b in arb_graph(5)) {
+        let mut wins = Vec::new();
+        let mut solver = EfSolver::new(&a, &b);
+        for n in 1..=3u32 {
+            wins.push(solver.duplicator_wins(n));
+        }
+        for w in wins.windows(2) {
+            // wins[n] true ⇒ wins[n-1] true, i.e. no false-then-true.
+            prop_assert!(!(w[1] && !w[0]), "win sequence must be antitone: {wins:?}");
+        }
+    }
+
+    /// The game is symmetric in its two structures.
+    #[test]
+    fn game_is_symmetric(a in arb_graph(5), b in arb_graph(5), n in 1u32..=3) {
+        prop_assert_eq!(
+            EfSolver::new(&a, &b).duplicator_wins(n),
+            EfSolver::new(&b, &a).duplicator_wins(n)
+        );
+    }
+
+    /// Every structure is n-equivalent to itself.
+    #[test]
+    fn game_is_reflexive(a in arb_graph(5), n in 1u32..=3) {
+        prop_assert!(EfSolver::new(&a, &a).duplicator_wins(n));
+    }
+
+    /// ≡ₙ is transitive (on a sampled triple).
+    #[test]
+    fn game_equivalence_is_transitive(
+        a in arb_graph(4),
+        b in arb_graph(4),
+        c in arb_graph(4),
+        n in 1u32..=2,
+    ) {
+        let ab = EfSolver::new(&a, &b).duplicator_wins(n);
+        let bc = EfSolver::new(&b, &c).duplicator_wins(n);
+        let ac = EfSolver::new(&a, &c).duplicator_wins(n);
+        if ab && bc {
+            prop_assert!(ac, "≡_{} must be transitive", n);
+        }
+    }
+
+    /// The pebble game is easier for the duplicator than the EF game
+    /// with the same number of rounds (fewer spoiler resources).
+    #[test]
+    fn pebble_no_harder_than_ef(a in arb_graph(4), b in arb_graph(4), n in 1u32..=2) {
+        if EfSolver::new(&a, &b).duplicator_wins(n) {
+            for k in 1..=n as usize {
+                prop_assert!(pebble_duplicator_wins(&a, &b, k, n));
+            }
+        }
+    }
+
+    /// The bijective game is harder for the duplicator than the EF
+    /// game.
+    #[test]
+    fn bijective_no_easier_than_ef(a in arb_graph(4), b in arb_graph(4), n in 1u32..=2) {
+        if bijection_duplicator_wins(&a, &b, n) {
+            prop_assert!(EfSolver::new(&a, &b).duplicator_wins(n));
+        }
+    }
+
+    /// Parallel and serial solvers are extensionally equal.
+    #[test]
+    fn parallel_equals_serial(a in arb_graph(5), b in arb_graph(5), n in 1u32..=3) {
+        prop_assert_eq!(
+            fmt_games::parallel::duplicator_wins_parallel(&a, &b, n, 3),
+            EfSolver::new(&a, &b).duplicator_wins(n)
+        );
+    }
+
+    /// Adding the same disjoint component to both sides preserves
+    /// duplicator wins (the composition property game arguments rely
+    /// on, in its easy direction).
+    #[test]
+    fn disjoint_union_preserves_equivalence(
+        a in arb_graph(4),
+        b in arb_graph(4),
+        extra in arb_graph(3),
+        n in 1u32..=2,
+    ) {
+        if EfSolver::new(&a, &b).duplicator_wins(n) {
+            let a2 = a.disjoint_union(&extra).unwrap();
+            let b2 = b.disjoint_union(&extra).unwrap();
+            prop_assert!(
+                EfSolver::new(&a2, &b2).duplicator_wins(n),
+                "A ≡ₙ B must imply A ⊎ C ≡ₙ B ⊎ C"
+            );
+        }
+    }
+}

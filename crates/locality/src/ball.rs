@@ -1,0 +1,338 @@
+//! Balls and neighborhoods: `B_r^G(ā)` and `N_r^G(ā)`.
+//!
+//! For `ā = (a₁, …, aₘ)` the radius-`r` ball is
+//! `B_r(ā) = {b | d(ā, b) ≤ r}` (distance in the Gaifman graph), and the
+//! `r`-neighborhood `N_r(ā)` is the substructure induced by `B_r(ā)`
+//! **with `ā` as distinguished elements**: isomorphisms between
+//! neighborhoods must map `aᵢ ↦ bᵢ`.
+
+use crate::gaifman::GaifmanGraph;
+use fmt_structures::{Elem, Structure};
+
+/// The radius-`r` ball around the tuple `centers`, as a sorted element
+/// list.
+pub fn ball(g: &GaifmanGraph, centers: &[Elem], r: u32) -> Vec<Elem> {
+    let dist = g.distances_from(centers);
+    (0..g.size())
+        .filter(|&v| dist[v as usize] <= r)
+        .collect()
+}
+
+/// An extracted `r`-neighborhood: the induced substructure together with
+/// the relocated distinguished tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighborhood {
+    /// The induced substructure on the ball (domain renumbered
+    /// `0..ball.len()`).
+    pub structure: Structure,
+    /// The distinguished tuple, renumbered into the new domain
+    /// (`distinguished[i]` is the image of `centers[i]`).
+    pub distinguished: Vec<Elem>,
+    /// The mapping `new element → old element`.
+    pub back_map: Vec<Elem>,
+    /// The radius used.
+    pub radius: u32,
+}
+
+/// Extracts `N_r(centers)` from `s`.
+///
+/// # Panics
+/// Panics if the signature has constants (a constant outside the ball
+/// is not representable in the induced substructure) or if a center is
+/// out of range.
+pub fn neighborhood(s: &Structure, g: &GaifmanGraph, centers: &[Elem], r: u32) -> Neighborhood {
+    let b = ball(g, centers, r);
+    let (structure, back_map) = s.induced(&b);
+    // Relocate centers: position of each center in the sorted ball.
+    let distinguished = centers
+        .iter()
+        .map(|&c| {
+            back_map
+                .binary_search(&c)
+                .expect("center must lie in its own ball") as Elem
+        })
+        .collect();
+    Neighborhood {
+        structure,
+        distinguished,
+        back_map,
+        radius: r,
+    }
+}
+
+/// Amortized neighborhood extraction: precomputes a per-element tuple
+/// incidence index once, after which each `N_r(ā)` extraction costs
+/// time proportional to the **ball**, not the structure — the
+/// ingredient that makes the Theorem-3.11 census pass genuinely linear.
+#[derive(Debug)]
+pub struct NeighborhoodExtractor<'a> {
+    s: &'a Structure,
+    g: &'a GaifmanGraph,
+    /// For each element, the `(relation, row)` pairs of tuples that
+    /// mention it.
+    incidences: Vec<Vec<(u32, u32)>>,
+}
+
+impl<'a> NeighborhoodExtractor<'a> {
+    /// Builds the index (`O(total tuple size)`).
+    pub fn new(s: &'a Structure, g: &'a GaifmanGraph) -> NeighborhoodExtractor<'a> {
+        let mut incidences: Vec<Vec<(u32, u32)>> = vec![Vec::new(); s.size() as usize];
+        for (r, _, _) in s.signature().relations() {
+            for (row, t) in s.rel(r).iter().enumerate() {
+                let mut prev: Option<Elem> = None;
+                let mut sorted: Vec<Elem> = t.to_vec();
+                sorted.sort_unstable();
+                for &e in &sorted {
+                    if prev != Some(e) {
+                        incidences[e as usize].push((r.0 as u32, row as u32));
+                    }
+                    prev = Some(e);
+                }
+            }
+        }
+        NeighborhoodExtractor { s, g, incidences }
+    }
+
+    /// The radius-`r` ball around `centers`, via bounded BFS
+    /// (`O(|ball| · max_degree)`); sorted.
+    pub fn ball(&self, centers: &[Elem], r: u32) -> Vec<Elem> {
+        use std::collections::HashMap;
+        let mut dist: HashMap<Elem, u32> = HashMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        for &c in centers {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(c) {
+                e.insert(0);
+                queue.push_back(c);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = dist[&v];
+            if d == r {
+                continue;
+            }
+            for &w in self.g.neighbors(v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
+                    e.insert(d + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut out: Vec<Elem> = dist.into_keys().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Extracts `N_r(centers)` in time proportional to the ball and its
+    /// incident tuples.
+    ///
+    /// # Panics
+    /// Panics if the signature has constants or a center is out of
+    /// range.
+    pub fn neighborhood(&self, centers: &[Elem], r: u32) -> Neighborhood {
+        assert_eq!(
+            self.s.signature().num_constants(),
+            0,
+            "neighborhoods require a constant-free signature"
+        );
+        let ball = self.ball(centers, r);
+        // old element -> new position (ball is sorted).
+        let pos = |e: Elem| ball.binary_search(&e).ok().map(|i| i as Elem);
+
+        let sig = self.s.signature().clone();
+        let mut b = fmt_structures::StructureBuilder::new(sig.clone(), ball.len() as u32);
+        // Candidate tuples: those incident to some ball element; a tuple
+        // survives iff all its elements are in the ball. Each tuple is
+        // seen once per distinct element, so dedup by keeping only the
+        // occurrence at its minimal element.
+        let mut buf: Vec<Elem> = Vec::new();
+        for &v in &ball {
+            'tuples: for &(r_id, row) in &self.incidences[v as usize] {
+                let rel = fmt_structures::RelId(r_id as usize);
+                let t = self.s.rel(rel).row(row as usize);
+                // Dedup: only process when v is the minimal element.
+                if t.iter().any(|&e| e < v) {
+                    continue;
+                }
+                buf.clear();
+                for &e in t {
+                    match pos(e) {
+                        Some(p) => buf.push(p),
+                        None => continue 'tuples,
+                    }
+                }
+                b.add(rel, &buf).expect("in range");
+            }
+        }
+        let structure = b.build().expect("constant-free");
+        let distinguished = centers
+            .iter()
+            .map(|&c| pos(c).expect("center lies in its own ball"))
+            .collect();
+        Neighborhood {
+            structure,
+            distinguished,
+            back_map: ball,
+            radius: r,
+        }
+    }
+}
+
+impl Neighborhood {
+    /// Tests pointed isomorphism `N ≅ M` (distinguished tuples must
+    /// correspond).
+    pub fn isomorphic_to(&self, other: &Neighborhood) -> bool {
+        fmt_structures::iso::are_isomorphic_pointed(
+            &self.structure,
+            &self.distinguished,
+            &other.structure,
+            &other.distinguished,
+        )
+    }
+
+    /// The canonical key of the pointed neighborhood (see
+    /// [`fmt_structures::canon`]).
+    pub fn canonical_key(&self) -> fmt_structures::canon::CanonKey {
+        fmt_structures::canon::canonical_key(&self.structure, &self.distinguished)
+    }
+
+    /// Number of elements in the ball.
+    pub fn size(&self) -> u32 {
+        self.structure.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    #[test]
+    fn ball_on_path() {
+        let s = builders::undirected_path(9);
+        let g = GaifmanGraph::new(&s);
+        assert_eq!(ball(&g, &[4], 2), vec![2, 3, 4, 5, 6]);
+        assert_eq!(ball(&g, &[0], 1), vec![0, 1]);
+        assert_eq!(ball(&g, &[0, 8], 1), vec![0, 1, 7, 8]);
+        assert_eq!(ball(&g, &[4], 0), vec![4]);
+    }
+
+    #[test]
+    fn neighborhood_is_induced_with_points() {
+        let s = builders::undirected_path(9);
+        let g = GaifmanGraph::new(&s);
+        let n = neighborhood(&s, &g, &[4], 2);
+        assert_eq!(n.size(), 5);
+        assert_eq!(n.back_map, vec![2, 3, 4, 5, 6]);
+        assert_eq!(n.distinguished, vec![2]); // 4 is the middle of the ball
+        // The induced structure is a path of 5 vertices.
+        let e = n.structure.signature().relation("E").unwrap();
+        assert_eq!(n.structure.rel(e).len(), 8); // 4 undirected edges
+    }
+
+    #[test]
+    fn interior_neighborhoods_isomorphic() {
+        // On a long path, all radius-2 neighborhoods of interior points
+        // are isomorphic; endpoints differ.
+        let s = builders::undirected_path(20);
+        let g = GaifmanGraph::new(&s);
+        let mid1 = neighborhood(&s, &g, &[7], 2);
+        let mid2 = neighborhood(&s, &g, &[12], 2);
+        let end = neighborhood(&s, &g, &[0], 2);
+        assert!(mid1.isomorphic_to(&mid2));
+        assert!(!mid1.isomorphic_to(&end));
+        assert_eq!(mid1.canonical_key(), mid2.canonical_key());
+        assert_ne!(mid1.canonical_key(), end.canonical_key());
+    }
+
+    #[test]
+    fn pair_neighborhood_symmetry_on_chain() {
+        // The key step of the paper's Gaifman-locality argument: on a
+        // long chain, with a and b far apart and far from the endpoints,
+        // N_r(a,b) ≅ N_r(b,a) — each is a disjoint union of two chains.
+        let r = 2;
+        let s = builders::undirected_path(30);
+        let g = GaifmanGraph::new(&s);
+        let (a, b) = (10, 20);
+        let nab = neighborhood(&s, &g, &[a, b], r);
+        let nba = neighborhood(&s, &g, &[b, a], r);
+        assert!(nab.isomorphic_to(&nba));
+        assert_eq!(nab.canonical_key(), nba.canonical_key());
+    }
+
+    #[test]
+    fn cycle_points_all_alike() {
+        let s = builders::undirected_cycle(12);
+        let g = GaifmanGraph::new(&s);
+        let n0 = neighborhood(&s, &g, &[0], 3);
+        for v in 1..12 {
+            let nv = neighborhood(&s, &g, &[v], 3);
+            assert!(n0.isomorphic_to(&nv));
+        }
+        // Radius large enough to wrap: neighborhood is the whole cycle.
+        let nfull = neighborhood(&s, &g, &[0], 6);
+        assert_eq!(nfull.size(), 12);
+    }
+
+    #[test]
+    fn extractor_matches_plain_extraction() {
+        // The amortized extractor must agree exactly with the direct
+        // (full-scan) extraction, on every vertex, radius and tuple
+        // shape.
+        use fmt_structures::{Signature, StructureBuilder};
+        let mut suite = vec![
+            builders::undirected_path(9),
+            builders::undirected_cycle(7),
+            builders::full_binary_tree(3),
+            builders::copies(&builders::undirected_cycle(3), 2),
+        ];
+        // A ternary-relation structure exercises >2-ary incidences.
+        let sig3 = Signature::builder().relation("R", 3).finish_arc();
+        let r3 = sig3.relation("R").unwrap();
+        let mut b = StructureBuilder::new(sig3, 6);
+        b.add(r3, &[0, 1, 2]).unwrap();
+        b.add(r3, &[1, 1, 3]).unwrap();
+        b.add(r3, &[4, 5, 4]).unwrap();
+        suite.push(b.build().unwrap());
+
+        for s in &suite {
+            let g = GaifmanGraph::new(s);
+            let ex = NeighborhoodExtractor::new(s, &g);
+            for v in s.domain() {
+                for r in 0..=3u32 {
+                    let fast = ex.neighborhood(&[v], r);
+                    let slow = neighborhood(s, &g, &[v], r);
+                    assert_eq!(fast.back_map, slow.back_map, "ball mismatch");
+                    assert_eq!(fast.structure, slow.structure, "induced mismatch");
+                    assert_eq!(fast.distinguished, slow.distinguished);
+                }
+            }
+            // Pairs too.
+            let ex2 = NeighborhoodExtractor::new(s, &g);
+            let fast = ex2.neighborhood(&[0, s.size() - 1], 2);
+            let slow = neighborhood(s, &g, &[0, s.size() - 1], 2);
+            assert_eq!(fast.structure, slow.structure);
+        }
+    }
+
+    #[test]
+    fn extractor_ball_is_bounded_work() {
+        // Not a timing test — just the semantics: a radius-1 ball on a
+        // huge cycle touches 3 nodes.
+        let s = builders::undirected_cycle(10_000);
+        let g = GaifmanGraph::new(&s);
+        let ex = NeighborhoodExtractor::new(&s, &g);
+        let ball = ex.ball(&[5_000], 1);
+        assert_eq!(ball, vec![4_999, 5_000, 5_001]);
+        let n = ex.neighborhood(&[5_000], 1);
+        assert_eq!(n.size(), 3);
+    }
+
+    #[test]
+    fn radius_zero_pointed() {
+        let s = builders::undirected_path(5);
+        let g = GaifmanGraph::new(&s);
+        let n = neighborhood(&s, &g, &[3], 0);
+        assert_eq!(n.size(), 1);
+        assert_eq!(n.distinguished, vec![0]);
+    }
+}

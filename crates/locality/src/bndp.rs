@@ -1,0 +1,189 @@
+//! The Bounded Number of Degrees Property (BNDP), Definition 3.3.
+//!
+//! A graph query `Q` has the BNDP if there is `f_Q : ℕ → ℕ` such that
+//! whenever all in/out-degrees of `G` are ≤ k, the *number of distinct*
+//! in/out-degrees of `Q(G)` is at most `f_Q(k)`. Every FO-definable
+//! query has the BNDP (Theorem 3.4), so a family of inputs with a fixed
+//! degree bound whose outputs realize ever more degrees witnesses
+//! non-FO-definability.
+//!
+//! The paper's two canonical witnesses are implemented as experiments:
+//! transitive closure on successor chains (`degs ⊆ {0,1}` in, `n`
+//! distinct degrees out) and same-generation on full binary trees
+//! (degrees `1, 2, 4, …, 2^d` out).
+
+use fmt_structures::{RelId, Structure};
+use std::collections::BTreeSet;
+
+/// The set of in-degrees of a binary relation: `in(G)` in the paper.
+pub fn in_degrees(s: &Structure, rel: RelId) -> BTreeSet<usize> {
+    s.domain().map(|v| s.in_degree(rel, v)).collect()
+}
+
+/// The set of out-degrees of a binary relation: `out(G)`.
+pub fn out_degrees(s: &Structure, rel: RelId) -> BTreeSet<usize> {
+    s.domain().map(|v| s.out_degree(rel, v)).collect()
+}
+
+/// `degs(G) = in(G) ∪ out(G)` — the degree spectrum.
+pub fn degree_spectrum(s: &Structure, rel: RelId) -> BTreeSet<usize> {
+    let mut d = in_degrees(s, rel);
+    d.extend(out_degrees(s, rel));
+    d
+}
+
+/// Maximum in/out-degree, i.e. `max(degs(G))` (0 for edgeless graphs).
+pub fn max_degree(s: &Structure, rel: RelId) -> usize {
+    degree_spectrum(s, rel).into_iter().max().unwrap_or(0)
+}
+
+/// One data point of a BNDP experiment: a structure in a family, its
+/// input degree bound, and the size of the query output's degree
+/// spectrum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BndpObservation {
+    /// Domain size of the input.
+    pub input_size: u32,
+    /// `max(degs(G))` of the input.
+    pub input_max_degree: usize,
+    /// `|degs(Q(G))|` of the output.
+    pub output_spectrum_size: usize,
+    /// The output degree spectrum itself (for reporting).
+    pub output_spectrum: BTreeSet<usize>,
+}
+
+/// Profiles a graph→graph query along a family of inputs.
+///
+/// `query` receives each input and must return a structure with a binary
+/// relation `out_rel` (typically over the graph signature).
+pub fn bndp_profile(
+    family: &[Structure],
+    in_rel: RelId,
+    out_rel: RelId,
+    mut query: impl FnMut(&Structure) -> Structure,
+) -> Vec<BndpObservation> {
+    family
+        .iter()
+        .map(|s| {
+            let out = query(s);
+            let spectrum = degree_spectrum(&out, out_rel);
+            BndpObservation {
+                input_size: s.size(),
+                input_max_degree: max_degree(s, in_rel),
+                output_spectrum_size: spectrum.len(),
+                output_spectrum: spectrum,
+            }
+        })
+        .collect()
+}
+
+/// Decides whether a profile **witnesses a BNDP violation**: the input
+/// degree bound stays constant along the family while the output
+/// spectrum size strictly increases (so no single `f_Q(k)` can bound
+/// it). Requires at least three data points to call it a trend.
+pub fn witnesses_bndp_violation(profile: &[BndpObservation]) -> bool {
+    if profile.len() < 3 {
+        return false;
+    }
+    let k = profile[0].input_max_degree;
+    profile.iter().all(|o| o.input_max_degree <= k)
+        && profile
+            .windows(2)
+            .all(|w| w[1].output_spectrum_size > w[0].output_spectrum_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::{builders, Signature, StructureBuilder};
+
+    /// Reference transitive closure (graph → graph) for the tests.
+    #[allow(clippy::needless_range_loop)] // Floyd–Warshall reads clearest with indices
+    fn tc(s: &Structure) -> Structure {
+        let e = s.signature().relation("E").or_else(|| s.signature().relation("S")).unwrap();
+        let n = s.size() as usize;
+        let mut reach = vec![vec![false; n]; n];
+        for t in s.rel(e).iter() {
+            reach[t[0] as usize][t[1] as usize] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let sig = Signature::graph();
+        let eo = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, s.size());
+        for i in 0..n {
+            for j in 0..n {
+                if reach[i][j] {
+                    b.add(eo, &[i as u32, j as u32]).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn successor_chain_spectra() {
+        // The paper's warm-up: S_n has degs ⊆ {0,1}; TC(S_n) realizes
+        // every in/out degree in {0, …, n−1}.
+        let s = builders::successor_chain(6);
+        let r = s.signature().relation("S").unwrap();
+        assert_eq!(
+            degree_spectrum(&s, r),
+            BTreeSet::from([0usize, 1])
+        );
+        let out = tc(&s);
+        let e = out.signature().relation("E").unwrap();
+        let spec = degree_spectrum(&out, e);
+        assert_eq!(spec, (0..6usize).collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn tc_on_chains_violates_bndp() {
+        let family: Vec<Structure> = (4..10).map(builders::successor_chain).collect();
+        let in_rel = family[0].signature().relation("S").unwrap();
+        let out_rel = Signature::graph().relation("E").unwrap();
+        let profile = bndp_profile(&family, in_rel, out_rel, tc);
+        assert!(witnesses_bndp_violation(&profile));
+        // Input bound stays at 1, output spectrum grows linearly.
+        for (i, o) in profile.iter().enumerate() {
+            assert_eq!(o.input_max_degree, 1);
+            assert_eq!(o.output_spectrum_size, i + 4);
+        }
+    }
+
+    #[test]
+    fn identity_query_respects_bndp() {
+        let family: Vec<Structure> = (4..10).map(builders::directed_path).collect();
+        let e = Signature::graph().relation("E").unwrap();
+        let profile = bndp_profile(&family, e, e, Clone::clone);
+        assert!(!witnesses_bndp_violation(&profile));
+    }
+
+    #[test]
+    fn degree_sets() {
+        let s = builders::full_binary_tree(2);
+        let e = s.signature().relation("E").unwrap();
+        assert_eq!(in_degrees(&s, e), BTreeSet::from([0usize, 1]));
+        assert_eq!(out_degrees(&s, e), BTreeSet::from([0usize, 2]));
+        assert_eq!(degree_spectrum(&s, e), BTreeSet::from([0usize, 1, 2]));
+        assert_eq!(max_degree(&s, e), 2);
+    }
+
+    #[test]
+    fn short_profiles_are_not_trends() {
+        let family: Vec<Structure> = (4..6).map(builders::successor_chain).collect();
+        let in_rel = family[0].signature().relation("S").unwrap();
+        let out_rel = Signature::graph().relation("E").unwrap();
+        let profile = bndp_profile(&family, in_rel, out_rel, tc);
+        assert!(!witnesses_bndp_violation(&profile));
+    }
+}

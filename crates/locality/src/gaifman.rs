@@ -1,0 +1,222 @@
+//! The Gaifman graph of a structure.
+//!
+//! Two elements are adjacent in the Gaifman graph `G(A)` iff they occur
+//! together in some tuple of some relation of `A`. All locality notions
+//! (distance, balls, neighborhoods, degrees) are computed in this graph,
+//! "forgetting about the orientation of edges" as the paper puts it.
+
+use fmt_structures::{Elem, Structure};
+
+/// The (undirected, loop-free) Gaifman graph of a structure, stored as a
+/// compact CSR adjacency index plus degree statistics.
+#[derive(Debug, Clone)]
+pub struct GaifmanGraph {
+    n: u32,
+    offsets: Vec<u32>,
+    targets: Vec<Elem>,
+}
+
+impl GaifmanGraph {
+    /// Builds the Gaifman graph of `s`.
+    pub fn new(s: &Structure) -> GaifmanGraph {
+        let n = s.size() as usize;
+        // Collect undirected co-occurrence pairs.
+        let mut pairs: Vec<(Elem, Elem)> = Vec::new();
+        for (r, _, _) in s.signature().relations() {
+            for t in s.rel(r).iter() {
+                for (i, &a) in t.iter().enumerate() {
+                    for &b in &t[i + 1..] {
+                        if a != b {
+                            pairs.push((a.min(b), a.max(b)));
+                        }
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut counts = vec![0u32; n + 1];
+        for &(a, b) in &pairs {
+            counts[a as usize + 1] += 1;
+            counts[b as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as Elem; offsets[n] as usize];
+        for &(a, b) in &pairs {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        GaifmanGraph {
+            n: s.size(),
+            offsets,
+            targets,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn size(&self) -> u32 {
+        self.n
+    }
+
+    /// Gaifman neighbors of `v` (sorted).
+    pub fn neighbors(&self, v: Elem) -> &[Elem] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Gaifman degree of `v`.
+    pub fn degree(&self, v: Elem) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum Gaifman degree (0 on the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Number of undirected Gaifman edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// BFS distances from a set of sources; `u32::MAX` means unreachable.
+    ///
+    /// This is the paper's `d(ā, b) = minᵢ d(aᵢ, b)`.
+    pub fn distances_from(&self, sources: &[Elem]) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n as usize];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            if dist[s as usize] == u32::MAX {
+                dist[s as usize] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v as usize];
+            for &w in self.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest-path distance between two vertices (`None` if
+    /// disconnected).
+    pub fn distance(&self, a: Elem, b: Elem) -> Option<u32> {
+        let d = self.distances_from(&[a])[b as usize];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// `true` if the Gaifman graph is connected (vacuously true for
+    /// `n ≤ 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        self.distances_from(&[0]).iter().all(|&d| d != u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::{builders, Signature, StructureBuilder};
+
+    #[test]
+    fn graph_structure_gaifman_is_underlying_undirected_graph() {
+        let s = builders::directed_path(5);
+        let g = GaifmanGraph::new(&s);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn orientation_forgotten() {
+        // Directed edges both ways produce the same Gaifman graph as one
+        // direction.
+        let a = GaifmanGraph::new(&builders::directed_cycle(6));
+        let b = GaifmanGraph::new(&builders::undirected_cycle(6));
+        for v in 0..6 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn ternary_tuples_create_cliques() {
+        let sig = Signature::builder().relation("R", 3).finish_arc();
+        let r = sig.relation("R").unwrap();
+        let mut b = StructureBuilder::new(sig, 4);
+        b.add(r, &[0, 1, 2]).unwrap();
+        let s = b.build().unwrap();
+        let g = GaifmanGraph::new(&s);
+        // {0,1,2} is a Gaifman triangle; 3 is isolated.
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(3), 0);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, 2);
+        b.add(e, &[0, 0]).unwrap();
+        b.add(e, &[0, 1]).unwrap();
+        let s = b.build().unwrap();
+        let g = GaifmanGraph::new(&s);
+        assert_eq!(g.neighbors(0), &[1]); // no self-loop
+    }
+
+    #[test]
+    fn distances() {
+        let s = builders::undirected_path(6);
+        let g = GaifmanGraph::new(&s);
+        assert_eq!(g.distance(0, 5), Some(5));
+        assert_eq!(g.distance(2, 2), Some(0));
+        // Distance from a tuple: min over components.
+        let d = g.distances_from(&[0, 5]);
+        assert_eq!(d[2], 2); // min(2, 3)
+        assert_eq!(d[3], 2); // min(3, 2)
+    }
+
+    #[test]
+    fn disconnected_distance_none() {
+        let s = builders::copies(&builders::undirected_cycle(3), 2);
+        let g = GaifmanGraph::new(&s);
+        assert_eq!(g.distance(0, 4), None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn linear_order_gaifman_is_complete() {
+        // In L_n every pair is <-related, so the Gaifman graph is K_n.
+        let g = GaifmanGraph::new(&builders::linear_order(5));
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn empty_structures() {
+        let g = GaifmanGraph::new(&builders::set(3));
+        assert_eq!(g.max_degree(), 0);
+        assert!(!g.is_connected()); // 3 isolated vertices
+        let g0 = GaifmanGraph::new(&builders::set(0));
+        assert!(g0.is_connected());
+    }
+}

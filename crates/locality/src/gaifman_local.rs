@@ -1,0 +1,243 @@
+//! Gaifman-locality (Definition 3.5) and its violation finder.
+//!
+//! An `m`-ary query `Q` is *Gaifman-local* if there is a radius `r`
+//! such that on every structure `G`, tuples `ā, b̄` with
+//! `N_r(ā) ≅ N_r(b̄)` satisfy `ā ∈ Q(G) ⟺ b̄ ∈ Q(G)`. Every FO-definable
+//! query is Gaifman-local (Theorem 3.6), so exhibiting, for every `r`, a
+//! structure with a *violating pair* proves non-FO-definability.
+//!
+//! [`find_violation`] automates the paper's canonical argument: for
+//! transitive closure on a long chain it discovers the pair
+//! `(a, b) / (b, a)` with isomorphic neighborhoods but different
+//! membership — exactly the hand-drawn picture in §3.4.
+
+use crate::ball::neighborhood;
+use crate::gaifman::GaifmanGraph;
+use fmt_structures::canon::CanonKey;
+use fmt_structures::{iso, Elem, Structure};
+use std::collections::{HashMap, HashSet};
+
+/// A machine-checkable witness that a query output is **not**
+/// `r`-Gaifman-local on a specific structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaifmanViolation {
+    /// The radius at which locality fails.
+    pub radius: u32,
+    /// A tuple in the query output.
+    pub tuple_in: Vec<Elem>,
+    /// A tuple outside the query output with `N_r(tuple_in) ≅
+    /// N_r(tuple_out)`.
+    pub tuple_out: Vec<Elem>,
+}
+
+impl GaifmanViolation {
+    /// Re-validates the certificate against a structure and query
+    /// output: the neighborhoods must be pointed-isomorphic (checked
+    /// with the exact backtracking test, independently of the canonical
+    /// keys used during search) and membership must differ.
+    pub fn check(&self, s: &Structure, output: &HashSet<Vec<Elem>>) -> bool {
+        let g = GaifmanGraph::new(s);
+        let na = neighborhood(s, &g, &self.tuple_in, self.radius);
+        let nb = neighborhood(s, &g, &self.tuple_out, self.radius);
+        iso::are_isomorphic_pointed(
+            &na.structure,
+            &na.distinguished,
+            &nb.structure,
+            &nb.distinguished,
+        ) && output.contains(&self.tuple_in)
+            && !output.contains(&self.tuple_out)
+    }
+}
+
+/// Enumerates all `m`-tuples over the domain of `s` (odometer order).
+fn all_tuples(n: u32, m: usize) -> impl Iterator<Item = Vec<Elem>> {
+    let mut cur = vec![0 as Elem; m];
+    let mut done = n == 0 && m > 0;
+    let mut first = true;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        if first {
+            first = false;
+            return Some(cur.clone());
+        }
+        let mut pos = m;
+        loop {
+            if pos == 0 {
+                done = true;
+                return None;
+            }
+            pos -= 1;
+            cur[pos] += 1;
+            if cur[pos] < n {
+                break;
+            }
+            cur[pos] = 0;
+            if pos == 0 {
+                done = true;
+                return None;
+            }
+        }
+        Some(cur.clone())
+    })
+}
+
+/// Searches `s` for a pair of `m`-tuples violating `r`-Gaifman-locality
+/// with respect to the given query output.
+///
+/// Tuples are grouped by the canonical key of their pointed
+/// `r`-neighborhood; a group containing both an output tuple and a
+/// non-output tuple is a violation. Cost: `O(n^m)` neighborhood
+/// extractions — intended for the small structures on which locality
+/// arguments are run.
+pub fn find_violation(
+    s: &Structure,
+    output: &HashSet<Vec<Elem>>,
+    m: usize,
+    r: u32,
+) -> Option<GaifmanViolation> {
+    assert!(m > 0, "Gaifman-locality concerns m-ary queries with m > 0");
+    let g = GaifmanGraph::new(s);
+    // type key -> (example in output, example out of output)
+    // For each neighborhood type: an example tuple inside and outside
+    // the query output.
+    type Examples = (Option<Vec<Elem>>, Option<Vec<Elem>>);
+    let mut groups: HashMap<CanonKey, Examples> = HashMap::new();
+    for t in all_tuples(s.size(), m) {
+        let key = neighborhood(s, &g, &t, r).canonical_key();
+        let entry = groups.entry(key).or_default();
+        if output.contains(&t) {
+            entry.0.get_or_insert(t);
+        } else {
+            entry.1.get_or_insert(t);
+        }
+        // Early exit as soon as some group contains both kinds.
+        if let (Some(tuple_in), Some(tuple_out)) = entry {
+            let v = GaifmanViolation {
+                radius: r,
+                tuple_in: tuple_in.clone(),
+                tuple_out: tuple_out.clone(),
+            };
+            debug_assert!(v.check(s, output));
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// `true` if the query output is `r`-Gaifman-local on `s` (no violating
+/// pair exists).
+pub fn is_local_at(s: &Structure, output: &HashSet<Vec<Elem>>, m: usize, r: u32) -> bool {
+    find_violation(s, output, m, r).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    /// Transitive closure of the edge relation, as a set of pairs.
+    fn tc_pairs(s: &Structure) -> HashSet<Vec<Elem>> {
+        let e = s.signature().relation("E").unwrap();
+        let n = s.size();
+        let mut out = HashSet::new();
+        for start in 0..n {
+            // BFS along directed edges.
+            let mut seen = vec![false; n as usize];
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &w in s.out_neighbors(e, v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        out.insert(vec![start, w]);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tc_violates_gaifman_locality_on_long_chain() {
+        // The paper's canonical example: a directed chain long enough
+        // that two interior points a < b sit at distance > 2r from each
+        // other and from the endpoints. Then N_r(a,b) ≅ N_r(b,a), yet
+        // (a,b) ∈ TC and (b,a) ∉ TC.
+        for r in 1..4u32 {
+            let len = 6 * r + 8;
+            let s = builders::directed_path(len);
+            let out = tc_pairs(&s);
+            let v = find_violation(&s, &out, 2, r)
+                .unwrap_or_else(|| panic!("expected a violation at r = {r}"));
+            assert!(v.check(&s, &out));
+        }
+    }
+
+    #[test]
+    fn tc_output_is_local_on_short_chain_with_big_radius() {
+        // If r exceeds the structure's diameter, each tuple's
+        // neighborhood is the whole (pointed) structure; only genuinely
+        // automorphic tuples share types, so TC cannot be caught.
+        let s = builders::directed_path(4);
+        let out = tc_pairs(&s);
+        assert!(is_local_at(&s, &out, 2, 10));
+    }
+
+    #[test]
+    fn unary_output_all_elements_is_local() {
+        let s = builders::undirected_cycle(8);
+        let out: HashSet<Vec<Elem>> = s.domain().map(|v| vec![v]).collect();
+        assert!(is_local_at(&s, &out, 1, 1));
+    }
+
+    #[test]
+    fn unary_arbitrary_subset_is_caught() {
+        // "Is vertex 3" on a cycle: all vertices have the same
+        // neighborhood type, so singling one out violates locality.
+        let s = builders::undirected_cycle(8);
+        let out: HashSet<Vec<Elem>> = HashSet::from([vec![3u32]]);
+        let v = find_violation(&s, &out, 1, 1).expect("violation expected");
+        assert!(v.check(&s, &out));
+        assert_eq!(v.tuple_in, vec![3]);
+    }
+
+    #[test]
+    fn empty_output_is_local() {
+        let s = builders::undirected_path(6);
+        let out: HashSet<Vec<Elem>> = HashSet::new();
+        assert!(is_local_at(&s, &out, 2, 1));
+    }
+
+    #[test]
+    fn certificate_check_rejects_tampering() {
+        let s = builders::directed_path(20);
+        let out = tc_pairs(&s);
+        let v = find_violation(&s, &out, 2, 1).unwrap();
+        // Swap the tuples: membership test fails.
+        let bogus = GaifmanViolation {
+            radius: v.radius,
+            tuple_in: v.tuple_out.clone(),
+            tuple_out: v.tuple_in.clone(),
+        };
+        assert!(!bogus.check(&s, &out));
+        // Wrong radius can break the isomorphism.
+        let far = GaifmanViolation {
+            radius: 30,
+            tuple_in: v.tuple_in.clone(),
+            tuple_out: v.tuple_out.clone(),
+        };
+        assert!(!far.check(&s, &out));
+    }
+
+    #[test]
+    fn all_tuples_enumeration() {
+        let ts: Vec<Vec<Elem>> = all_tuples(3, 2).collect();
+        assert_eq!(ts.len(), 9);
+        assert_eq!(ts[0], vec![0, 0]);
+        assert_eq!(ts[8], vec![2, 2]);
+        assert_eq!(all_tuples(0, 2).count(), 0);
+        assert_eq!(all_tuples(5, 1).count(), 5);
+    }
+}

@@ -1,0 +1,351 @@
+//! Hanf-locality (Definition 3.7) and the threshold variant of
+//! Theorem 3.10.
+//!
+//! `G ⇆ᵣ G′` holds iff there is a bijection `f : G → G′` such that
+//! `N_r(a) ≅ N_r(f(a))` for every node `a` — "locally, the two
+//! structures look the same". A Boolean query `Q` is *Hanf-local* if
+//! some radius `r` makes `G ⇆ᵣ G′ ⟹ Q(G) = Q(G′)`; every FO-definable
+//! Boolean query is (Theorem 3.8).
+//!
+//! A suitable bijection exists iff the two structures have the same
+//! size and identical neighborhood-type censuses, so the check reduces
+//! to census comparison ([`crate::TypeCensus`]); [`bijection`] actually
+//! constructs `f`, giving certificates their witness.
+//!
+//! The threshold relation `G ⇆*ₘ,ᵣ G′` (counts equal per type, or both
+//! ≥ m) relaxes the size restriction; Theorem 3.10 says each FO sentence
+//! is invariant under it for suitable `(m, r)` on bounded-degree
+//! structures, which is the engine of linear-time evaluation
+//! (Theorem 3.11, implemented in `fmt-eval`).
+
+use crate::ntype::{TypeCensus, TypeRegistry};
+use fmt_structures::{Elem, Structure};
+
+/// Tests `a ⇆ᵣ b`: equal sizes and identical radius-`r` neighborhood
+/// type censuses.
+pub fn hanf_equivalent(a: &Structure, b: &Structure, r: u32) -> bool {
+    if a.signature() != b.signature() || a.size() != b.size() {
+        return false;
+    }
+    let mut reg = TypeRegistry::new();
+    let ca = TypeCensus::compute(a, r, &mut reg);
+    let cb = TypeCensus::compute(b, r, &mut reg);
+    ca.same_as(&cb)
+}
+
+/// Tests the threshold relation `a ⇆*ₘ,ᵣ b` (Thm 3.10): per
+/// neighborhood type, the counts in `a` and `b` are equal or both at
+/// least `m`.
+pub fn hanf_threshold_equivalent(a: &Structure, b: &Structure, r: u32, m: usize) -> bool {
+    if a.signature() != b.signature() {
+        return false;
+    }
+    let mut reg = TypeRegistry::new();
+    let ca = TypeCensus::compute(a, r, &mut reg);
+    let cb = TypeCensus::compute(b, r, &mut reg);
+    ca.same_up_to_threshold(&cb, m)
+}
+
+/// Constructs a Hanf bijection for `a ⇆ᵣ b`: a vector `f` with
+/// `N_r(v) ≅ N_r(f(v))` for every `v`. Returns `None` iff
+/// `a ⇆ᵣ b` fails.
+///
+/// Elements are matched greedily within each type class — any pairing
+/// works since membership in a class already guarantees isomorphic
+/// neighborhoods.
+pub fn bijection(a: &Structure, b: &Structure, r: u32) -> Option<Vec<Elem>> {
+    if a.signature() != b.signature() || a.size() != b.size() {
+        return None;
+    }
+    let mut reg = TypeRegistry::new();
+    let ca = TypeCensus::compute(a, r, &mut reg);
+    let cb = TypeCensus::compute(b, r, &mut reg);
+    if !ca.same_as(&cb) {
+        return None;
+    }
+    // Bucket b's elements by type, then drain.
+    let mut buckets: std::collections::HashMap<crate::TypeId, Vec<Elem>> =
+        std::collections::HashMap::new();
+    for v in b.domain() {
+        buckets.entry(cb.type_of(v)).or_default().push(v);
+    }
+    let mut f = Vec::with_capacity(a.size() as usize);
+    for v in a.domain() {
+        let bucket = buckets.get_mut(&ca.type_of(v))?;
+        f.push(bucket.pop()?);
+    }
+    Some(f)
+}
+
+/// Tests the **m-ary (pointed) Hanf equivalence** of
+/// Hella–Libkin–Nurmonen ("the notion can be extended to non-Boolean
+/// queries as well \[21\]" — the paper's §3.4 remark):
+/// `(A, ā) ⇆ᵣ (B, b̄)` iff there is a bijection `f : A → B` with
+/// `N_r(ā·c) ≅ N_r(b̄·f(c))` for every element `c`.
+///
+/// As in the Boolean case, such a bijection exists iff the **censuses
+/// of extended-tuple neighborhood types** coincide, so the check is a
+/// census comparison (with `ā`/`b̄` glued onto every extracted
+/// neighborhood as distinguished prefixes).
+pub fn hanf_equivalent_pointed(
+    a: &Structure,
+    ta: &[Elem],
+    b: &Structure,
+    tb: &[Elem],
+    r: u32,
+) -> bool {
+    if a.signature() != b.signature() || a.size() != b.size() || ta.len() != tb.len() {
+        return false;
+    }
+    use crate::ball::NeighborhoodExtractor;
+    use crate::GaifmanGraph;
+    use std::collections::HashMap;
+    let ga = GaifmanGraph::new(a);
+    let gb = GaifmanGraph::new(b);
+    let exa = NeighborhoodExtractor::new(a, &ga);
+    let exb = NeighborhoodExtractor::new(b, &gb);
+    let census = |s: &Structure,
+                  ex: &NeighborhoodExtractor<'_>,
+                  tuple: &[Elem]|
+     -> HashMap<fmt_structures::canon::CanonKey, usize> {
+        let mut m = HashMap::new();
+        let mut centers = tuple.to_vec();
+        centers.push(0);
+        for c in s.domain() {
+            *centers.last_mut().expect("nonempty") = c;
+            let n = ex.neighborhood(&centers, r);
+            *m.entry(n.canonical_key()).or_insert(0) += 1;
+        }
+        m
+    };
+    census(a, &exa, ta) == census(b, &exb, tb)
+}
+
+/// The m-ary Hanf-locality check for a query output on a *pair* of
+/// pointed structures: returns `true` if the pointed Hanf equivalence
+/// holds yet exactly one tuple is in its query output — a violation of
+/// m-ary Hanf-locality at radius `r`.
+pub fn mary_violation(
+    a: &Structure,
+    ta: &[Elem],
+    in_a: bool,
+    b: &Structure,
+    tb: &[Elem],
+    in_b: bool,
+    r: u32,
+) -> bool {
+    in_a != in_b && hanf_equivalent_pointed(a, ta, b, tb, r)
+}
+
+/// A machine-checkable witness that a Boolean query is **not**
+/// `r`-Hanf-local: two structures that are `⇆ᵣ`-equivalent (witnessed
+/// by a bijection) yet receive different query answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HanfViolation {
+    /// The radius at which Hanf-locality fails.
+    pub radius: u32,
+    /// A Hanf bijection from the first to the second structure.
+    pub bijection: Vec<Elem>,
+    /// Query value on the first structure.
+    pub q_first: bool,
+    /// Query value on the second structure.
+    pub q_second: bool,
+}
+
+impl HanfViolation {
+    /// Attempts to build a violation certificate for the query values
+    /// `q_a`, `q_b` on structures `a`, `b` at radius `r`. Returns `None`
+    /// unless `a ⇆ᵣ b` *and* the query values differ.
+    pub fn build(a: &Structure, b: &Structure, r: u32, q_a: bool, q_b: bool) -> Option<HanfViolation> {
+        if q_a == q_b {
+            return None;
+        }
+        let f = bijection(a, b, r)?;
+        Some(HanfViolation {
+            radius: r,
+            bijection: f,
+            q_first: q_a,
+            q_second: q_b,
+        })
+    }
+
+    /// Re-validates: the stored bijection must be a bijection sending
+    /// each element to one with a pointed-isomorphic `r`-neighborhood
+    /// (re-checked with the exact isomorphism test), and the recorded
+    /// query values must differ.
+    pub fn check(&self, a: &Structure, b: &Structure) -> bool {
+        if self.q_first == self.q_second
+            || a.size() != b.size()
+            || self.bijection.len() != a.size() as usize
+        {
+            return false;
+        }
+        let mut seen = vec![false; b.size() as usize];
+        for &w in &self.bijection {
+            if w >= b.size() || seen[w as usize] {
+                return false;
+            }
+            seen[w as usize] = true;
+        }
+        let ga = crate::GaifmanGraph::new(a);
+        let gb = crate::GaifmanGraph::new(b);
+        for v in a.domain() {
+            let na = crate::neighborhood(a, &ga, &[v], self.radius);
+            let nb = crate::neighborhood(b, &gb, &[self.bijection[v as usize]], self.radius);
+            if !na.isomorphic_to(&nb) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    #[test]
+    fn cycle_pair_is_hanf_equivalent() {
+        // The paper's picture: two cycles of length m vs one cycle of
+        // length 2m, m > 2r + 1.
+        let m = 10;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        for r in 0..=4 {
+            // m = 10 > 2r + 1 holds for r <= 4.
+            assert!(hanf_equivalent(&two, &one, r), "r = {r}");
+        }
+        // Radius 5: 2r + 1 = 11 > 10, balls wrap C_10 but not C_20.
+        assert!(!hanf_equivalent(&two, &one, 5));
+    }
+
+    #[test]
+    fn connectivity_violation_certificate() {
+        let m = 8;
+        let two = builders::copies(&builders::undirected_cycle(m), 2); // disconnected
+        let one = builders::undirected_cycle(2 * m); // connected
+        let r = 3; // m > 2r + 1
+        let v = HanfViolation::build(&two, &one, r, false, true).expect("certificate");
+        assert!(v.check(&two, &one));
+        // Equal query values never certify.
+        assert!(HanfViolation::build(&two, &one, r, true, true).is_none());
+    }
+
+    #[test]
+    fn tree_test_violation() {
+        // The paper's second example: chain of length 2m vs chain of
+        // length m ⊎ cycle of length m; G1 is a tree, G2 is not.
+        let m = 9;
+        let g1 = builders::undirected_path(2 * m);
+        let g2 = builders::undirected_path(m)
+            .disjoint_union(&builders::undirected_cycle(m))
+            .unwrap();
+        let r = 3; // m > 2r + 1
+        assert!(hanf_equivalent(&g1, &g2, r));
+        let v = HanfViolation::build(&g1, &g2, r, true, false).unwrap();
+        assert!(v.check(&g1, &g2));
+        // At big enough radius the chain's endpoints become visible
+        // everywhere and equivalence fails.
+        assert!(!hanf_equivalent(&g1, &g2, 9));
+    }
+
+    #[test]
+    fn different_sizes_never_equivalent() {
+        let a = builders::undirected_cycle(6);
+        let b = builders::undirected_cycle(7);
+        assert!(!hanf_equivalent(&a, &b, 1));
+        assert!(bijection(&a, &b, 1).is_none());
+    }
+
+    #[test]
+    fn threshold_ignores_large_counts() {
+        // Cycles of different sizes: one type each, counts 12 vs 20,
+        // both >= m for m <= 12.
+        let a = builders::undirected_cycle(12);
+        let b = builders::undirected_cycle(20);
+        assert!(hanf_threshold_equivalent(&a, &b, 2, 12));
+        assert!(!hanf_threshold_equivalent(&a, &b, 2, 13));
+        assert!(!hanf_equivalent(&a, &b, 2));
+    }
+
+    #[test]
+    fn bijection_is_checked_witness() {
+        let m = 8;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        let f = bijection(&two, &one, 3).unwrap();
+        // All targets distinct.
+        let mut sorted = f.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), f.len());
+    }
+
+    #[test]
+    fn tampered_certificate_rejected() {
+        let m = 8;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        let v = HanfViolation::build(&two, &one, 3, false, true).unwrap();
+        let mut bad = v.clone();
+        bad.bijection[0] = bad.bijection[1]; // no longer a bijection
+        assert!(!bad.check(&two, &one));
+        let mut same = v.clone();
+        same.q_second = same.q_first; // no longer a violation
+        assert!(!same.check(&two, &one));
+    }
+
+    #[test]
+    fn mary_hanf_on_twin_chains() {
+        // The m-ary extension catches TC with a single structure: let G
+        // be two disjoint directed chains X = 0..20 and Y = 20..40, and
+        // compare the same-chain pair (5, 14) — connected by a directed
+        // path — with the cross-chain pair (5, 34), where 34 sits at the
+        // same offset inside Y as 14 does inside X. Swapping the two
+        // second-coordinate surroundings is a bijection witnessing
+        // (G, (5,14)) ⇆_r (G, (5,34)), yet only (5, 14) ∈ TC.
+        // Spacing matters: a1 and a2 must be more than 4r + 2 apart, or
+        // some c glues both their balls into one piece on the
+        // same-chain side only.
+        let s = builders::copies(&builders::directed_path(40), 2);
+        let (a1, a2, y) = (8u32, 31u32, 71u32); // 71 = offset 31 inside Y
+        for r in 1..=3u32 {
+            assert!(
+                hanf_equivalent_pointed(&s, &[a1, a2], &s, &[a1, y], r),
+                "r = {r}"
+            );
+            assert!(mary_violation(&s, &[a1, a2], true, &s, &[a1, y], false, r));
+        }
+        // A mismatched offset breaks the equivalence: 41 sits right next
+        // to Y's source, so its marked segment is truncated.
+        assert!(!hanf_equivalent_pointed(&s, &[a1, a2], &s, &[a1, 41], 2));
+        // Orientation matters: the reflected pair within one chain is
+        // NOT pointed-equivalent on a *directed* chain (the truncated
+        // end segments flip orientation).
+        let chain = builders::directed_path(30);
+        assert!(!hanf_equivalent_pointed(&chain, &[2, 27], &chain, &[27, 2], 3));
+    }
+
+    #[test]
+    fn mary_reduces_to_boolean_at_arity_zero() {
+        let m = 8;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        for r in 0..=3 {
+            assert_eq!(
+                hanf_equivalent_pointed(&two, &[], &one, &[], r),
+                hanf_equivalent(&two, &one, r),
+                "arity-0 pointed equivalence must match the Boolean check at r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_structures_trivially_equivalent() {
+        let s = builders::grid(4, 4);
+        assert!(hanf_equivalent(&s, &s, 3));
+        let f = bijection(&s, &s, 2).unwrap();
+        assert_eq!(f.len(), 16);
+    }
+}

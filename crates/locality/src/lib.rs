@@ -1,0 +1,38 @@
+//! # fmt-locality
+//!
+//! The locality toolbox of the survey (§3.4–3.5): Gaifman graphs, balls
+//! and neighborhoods, neighborhood isomorphism types, and the three
+//! locality notions with their checkers:
+//!
+//! * **BNDP** (Def. 3.3 / Thm. 3.4): FO queries cannot blow up the set of
+//!   realized degrees — [`bndp`];
+//! * **Gaifman-locality** (Def. 3.5 / Thm. 3.6): an FO-definable m-ary
+//!   query cannot distinguish tuples with isomorphic r-neighborhoods —
+//!   [`gaifman_local`];
+//! * **Hanf-locality** (Def. 3.7 / Thm. 3.8): an FO-definable Boolean
+//!   query cannot distinguish structures that are pointwise r-similar
+//!   (`G ⇆ᵣ G′`) — [`hanf`], including the threshold variant `⇆*ₘ,ᵣ`
+//!   (Thm. 3.10) that powers linear-time bounded-degree evaluation.
+//!
+//! The hierarchy (Thm. 3.9) is: Hanf-local ⇒ Gaifman-local ⇒ BNDP.
+//!
+//! Everything here is **executable**: the checkers either verify a
+//! locality property on concrete inputs or produce a machine-checkable
+//! *violation certificate* — the witness pair the paper's proofs
+//! construct by hand (e.g. the two endpoints of a long chain for
+//! transitive closure, or the cycle pair `Cₘ ⊎ Cₘ` vs `C₂ₘ` for
+//! connectivity).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ball;
+pub mod bndp;
+pub mod gaifman;
+pub mod gaifman_local;
+pub mod hanf;
+pub mod ntype;
+
+pub use ball::{ball, neighborhood, Neighborhood, NeighborhoodExtractor};
+pub use gaifman::GaifmanGraph;
+pub use ntype::{TypeCensus, TypeId, TypeRegistry};

@@ -1,0 +1,269 @@
+//! Neighborhood isomorphism types.
+//!
+//! The threshold-Hanf machinery (Thm. 3.10) and the bounded-degree
+//! evaluation algorithm (Thm. 3.11) both work with the *set of
+//! isomorphism types* of radius-`r` neighborhoods, `N(k, r)` in the
+//! paper's notation. [`TypeRegistry`] interns pointed neighborhoods by
+//! canonical key so that types become small integer ids, and
+//! [`TypeCensus`] counts how many elements of a structure realize each
+//! type.
+
+use crate::ball::Neighborhood;
+use crate::gaifman::GaifmanGraph;
+use fmt_structures::canon::CanonKey;
+use fmt_structures::{Elem, Structure};
+use std::collections::HashMap;
+
+/// Identifier of an interned neighborhood type within a
+/// [`TypeRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+/// Interns pointed structures (neighborhoods) by isomorphism type.
+///
+/// Equal [`TypeId`]s ⟺ pointed-isomorphic neighborhoods. Keys are the
+/// exact canonical forms from [`fmt_structures::canon`], so there are no
+/// false merges; a representative of each type is retained for
+/// inspection.
+#[derive(Debug, Default)]
+pub struct TypeRegistry {
+    by_key: HashMap<CanonKey, TypeId>,
+    reps: Vec<Neighborhood>,
+}
+
+impl TypeRegistry {
+    /// An empty registry.
+    pub fn new() -> TypeRegistry {
+        TypeRegistry::default()
+    }
+
+    /// Interns a neighborhood, returning its type id.
+    pub fn intern(&mut self, n: &Neighborhood) -> TypeId {
+        let key = n.canonical_key();
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = TypeId(self.reps.len() as u32);
+        self.by_key.insert(key, id);
+        self.reps.push(n.clone());
+        id
+    }
+
+    /// Looks up a neighborhood's type without interning; `None` if the
+    /// type has not been seen.
+    pub fn get(&self, n: &Neighborhood) -> Option<TypeId> {
+        self.by_key.get(&n.canonical_key()).copied()
+    }
+
+    /// The retained representative of a type.
+    pub fn representative(&self, id: TypeId) -> &Neighborhood {
+        &self.reps[id.0 as usize]
+    }
+
+    /// Number of distinct types interned so far.
+    pub fn len(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// `true` if no types have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.reps.is_empty()
+    }
+}
+
+/// The census of radius-`r` neighborhood types of single elements in one
+/// structure: how many elements realize each type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeCensus {
+    /// `counts[τ]` = number of elements whose neighborhood has type `τ`
+    /// (indexed by [`TypeId`] within the registry used to build it).
+    counts: HashMap<TypeId, usize>,
+    /// The type of each element.
+    element_types: Vec<TypeId>,
+    /// The radius used.
+    pub radius: u32,
+}
+
+impl TypeCensus {
+    /// Computes the census of `s` at radius `r`, interning types into
+    /// `reg` (types are comparable across structures censused with the
+    /// same registry).
+    pub fn compute(s: &Structure, r: u32, reg: &mut TypeRegistry) -> TypeCensus {
+        let g = GaifmanGraph::new(s);
+        Self::compute_with_gaifman(s, &g, r, reg)
+    }
+
+    /// Like [`TypeCensus::compute`], reusing a prebuilt Gaifman graph.
+    ///
+    /// Uses a [`crate::ball::NeighborhoodExtractor`] so that, for
+    /// bounded-degree structures and fixed radius, the whole census is
+    /// a **linear** pass — the property Theorem 3.11 relies on.
+    pub fn compute_with_gaifman(
+        s: &Structure,
+        g: &GaifmanGraph,
+        r: u32,
+        reg: &mut TypeRegistry,
+    ) -> TypeCensus {
+        let extractor = crate::ball::NeighborhoodExtractor::new(s, g);
+        let mut counts: HashMap<TypeId, usize> = HashMap::new();
+        let mut element_types = Vec::with_capacity(s.size() as usize);
+        for v in s.domain() {
+            let n = extractor.neighborhood(&[v], r);
+            let id = reg.intern(&n);
+            *counts.entry(id).or_insert(0) += 1;
+            element_types.push(id);
+        }
+        TypeCensus {
+            counts,
+            element_types,
+            radius: r,
+        }
+    }
+
+    /// Count of elements realizing type `τ` (0 if none).
+    pub fn count(&self, t: TypeId) -> usize {
+        self.counts.get(&t).copied().unwrap_or(0)
+    }
+
+    /// The type of element `v`.
+    pub fn type_of(&self, v: Elem) -> TypeId {
+        self.element_types[v as usize]
+    }
+
+    /// Iterates over `(type, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, usize)> + '_ {
+        self.counts.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// Number of distinct types realized.
+    pub fn num_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of elements censused.
+    pub fn total(&self) -> usize {
+        self.element_types.len()
+    }
+
+    /// Exact equality of censuses — the structural core of `G ⇆ᵣ G′`
+    /// for equal-size structures: a degree-preserving bijection sending
+    /// each node to a node of the same neighborhood type exists iff the
+    /// censuses agree.
+    pub fn same_as(&self, other: &TypeCensus) -> bool {
+        self.radius == other.radius && self.counts == other.counts
+    }
+
+    /// Threshold equality (the `⇆*ₘ,ᵣ` of Thm. 3.10): per type, counts
+    /// are equal or both at least `m`.
+    pub fn same_up_to_threshold(&self, other: &TypeCensus, m: usize) -> bool {
+        if self.radius != other.radius {
+            return false;
+        }
+        let keys: std::collections::HashSet<TypeId> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
+        keys.into_iter().all(|t| {
+            let (a, b) = (self.count(t), other.count(t));
+            a == b || (a >= m && b >= m)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    #[test]
+    fn path_census() {
+        // Path of 10 vertices at radius 1: three types — left end, right
+        // end... actually both ends have the same pointed type, so two
+        // types: endpoint (ball of 2) and interior (ball of 3).
+        let s = builders::undirected_path(10);
+        let mut reg = TypeRegistry::new();
+        let c = TypeCensus::compute(&s, 1, &mut reg);
+        assert_eq!(c.num_types(), 2);
+        assert_eq!(c.total(), 10);
+        let endpoint_type = c.type_of(0);
+        assert_eq!(c.type_of(9), endpoint_type);
+        assert_eq!(c.count(endpoint_type), 2);
+        assert_eq!(c.count(c.type_of(5)), 8);
+    }
+
+    #[test]
+    fn radius_widens_types() {
+        // At radius 2 a 10-path has three types: endpoint, next-to-end,
+        // interior.
+        let s = builders::undirected_path(10);
+        let mut reg = TypeRegistry::new();
+        let c = TypeCensus::compute(&s, 2, &mut reg);
+        assert_eq!(c.num_types(), 3);
+    }
+
+    #[test]
+    fn cycle_census_single_type() {
+        let s = builders::undirected_cycle(9);
+        let mut reg = TypeRegistry::new();
+        let c = TypeCensus::compute(&s, 2, &mut reg);
+        assert_eq!(c.num_types(), 1);
+        assert_eq!(c.iter().next().unwrap().1, 9);
+    }
+
+    #[test]
+    fn shared_registry_comparability() {
+        // The paper's Hanf example: C_m ⊎ C_m and C_2m have identical
+        // censuses for r small enough.
+        let m = 8;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        let mut reg = TypeRegistry::new();
+        let r = 3; // m > 2r + 1
+        let ca = TypeCensus::compute(&two, r, &mut reg);
+        let cb = TypeCensus::compute(&one, r, &mut reg);
+        assert!(ca.same_as(&cb));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn census_differs_when_radius_wraps() {
+        // With r large enough that a ball wraps around C_m but not C_2m,
+        // the censuses differ.
+        let m = 5;
+        let two = builders::copies(&builders::undirected_cycle(m), 2);
+        let one = builders::undirected_cycle(2 * m);
+        let mut reg = TypeRegistry::new();
+        let r = 3; // 2r+1 = 7 > m = 5: balls wrap in C_5
+        let ca = TypeCensus::compute(&two, r, &mut reg);
+        let cb = TypeCensus::compute(&one, r, &mut reg);
+        assert!(!ca.same_as(&cb));
+    }
+
+    #[test]
+    fn threshold_equality() {
+        // Chains of different lengths: interior-type counts differ but
+        // both exceed a small threshold; endpoint counts are equal.
+        let a = builders::undirected_path(20);
+        let b = builders::undirected_path(30);
+        let mut reg = TypeRegistry::new();
+        let ca = TypeCensus::compute(&a, 1, &mut reg);
+        let cb = TypeCensus::compute(&b, 1, &mut reg);
+        assert!(!ca.same_as(&cb));
+        assert!(ca.same_up_to_threshold(&cb, 10));
+        assert!(!ca.same_up_to_threshold(&cb, 25));
+    }
+
+    #[test]
+    fn registry_representatives() {
+        let s = builders::undirected_path(6);
+        let mut reg = TypeRegistry::new();
+        let c = TypeCensus::compute(&s, 1, &mut reg);
+        let t = c.type_of(0);
+        let rep = reg.representative(t);
+        assert_eq!(rep.size(), 2); // endpoint ball at radius 1
+        assert!(!reg.is_empty());
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,676 @@
+//! The first-order formula AST.
+
+use fmt_structures::{ConstId, RelId, Signature};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order variable, identified by index. Displayed as `x0`,
+/// `x1`, …; the [`crate::parser`] maps source names to indices in order
+/// of first occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A term: a variable or a constant symbol. (Signatures are relational,
+/// so there are no composite terms.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A constant symbol occurrence.
+    Const(ConstId),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+/// A first-order formula over some relational signature.
+///
+/// The AST is signature-relative: atoms refer to relation symbols by
+/// [`RelId`]. Use [`crate::Query`] to bundle a formula with its
+/// signature, or [`Formula::well_formed`] to validate against one.
+///
+/// `And`/`Or` are n-ary (empty conjunction = `True`, empty disjunction
+/// = `False`), which keeps big generated formulas (extension axioms,
+/// distinctness constraints) flat and readable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Formula {
+    /// The true constant (empty conjunction).
+    True,
+    /// The false constant (empty disjunction).
+    False,
+    /// A relational atom `R(t₁, …, tₖ)`.
+    Atom {
+        /// The relation symbol.
+        rel: RelId,
+        /// The argument terms; length must equal the arity of `rel`.
+        args: Vec<Term>,
+    },
+    /// An equality atom `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// Convenience constructor for a relational atom over variables.
+    pub fn atom(rel: RelId, vars: &[Var]) -> Formula {
+        Formula::Atom {
+            rel,
+            args: vars.iter().map(|&v| Term::Var(v)).collect(),
+        }
+    }
+
+    /// Convenience constructor for `t₁ = t₂` over variables.
+    pub fn eq_vars(a: Var, b: Var) -> Formula {
+        Formula::Eq(Term::Var(a), Term::Var(b))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors logical ¬
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `self ↔ other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::Iff(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∧ other` (flattening nested conjunctions).
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                a.extend(b);
+                Formula::And(a)
+            }
+            (Formula::And(mut a), g) => {
+                a.push(g);
+                Formula::And(a)
+            }
+            (f, Formula::And(mut b)) => {
+                b.insert(0, f);
+                Formula::And(b)
+            }
+            (f, g) => Formula::And(vec![f, g]),
+        }
+    }
+
+    /// `self ∨ other` (flattening nested disjunctions).
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                a.extend(b);
+                Formula::Or(a)
+            }
+            (Formula::Or(mut a), g) => {
+                a.push(g);
+                Formula::Or(a)
+            }
+            (f, Formula::Or(mut b)) => {
+                b.insert(0, f);
+                Formula::Or(b)
+            }
+            (f, g) => Formula::Or(vec![f, g]),
+        }
+    }
+
+    /// `∃v. self`.
+    pub fn exists(v: Var, body: Formula) -> Formula {
+        Formula::Exists(v, Box::new(body))
+    }
+
+    /// `∃v₁…∃vₖ. self` (left to right).
+    pub fn exists_many(vars: &[Var], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, &v| Formula::Exists(v, Box::new(acc)))
+    }
+
+    /// `∀v. self`.
+    pub fn forall(v: Var, body: Formula) -> Formula {
+        Formula::Forall(v, Box::new(body))
+    }
+
+    /// `∀v₁…∀vₖ. self` (left to right).
+    pub fn forall_many(vars: &[Var], body: Formula) -> Formula {
+        vars.iter()
+            .rev()
+            .fold(body, |acc, &v| Formula::Forall(v, Box::new(acc)))
+    }
+
+    /// N-ary conjunction with unit simplification.
+    pub fn big_and(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.into_iter().next().unwrap(),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// N-ary disjunction with unit simplification.
+    pub fn big_or(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        let v: Vec<Formula> = fs.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.into_iter().next().unwrap(),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// The quantifier rank `qr(φ)`: maximum nesting depth of quantifiers.
+    ///
+    /// This is the measure Ehrenfeucht–Fraïssé games are calibrated
+    /// against: `A ≡ₙ B` iff `A` and `B` agree on all sentences of
+    /// quantifier rank ≤ n.
+    ///
+    /// ```
+    /// use fmt_logic::parser;
+    /// use fmt_structures::Signature;
+    /// let sig = Signature::builder().relation("P", 2).relation("R", 3).finish_arc();
+    /// // The lecture's example: qr(∀x [∃w P(x,w) ∧ ∃y∃z R(x,y,z)]) = 3.
+    /// let f = parser::parse_formula(
+    ///     &sig,
+    ///     "forall x. (exists w. P(x,w)) & (exists y. exists z. R(x,y,z))",
+    /// ).unwrap();
+    /// assert_eq!(f.quantifier_rank(), 3);
+    /// ```
+    pub fn quantifier_rank(&self) -> u32 {
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Implies(f, g) | Formula::Iff(f, g) => {
+                f.quantifier_rank().max(g.quantifier_rank())
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.quantifier_rank() + 1,
+        }
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(f: &Formula, out: &mut BTreeSet<Var>, bound: &mut Vec<Var>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom { args, .. } => {
+                    for t in args {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(*v);
+                            }
+                        }
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            if !bound.contains(v) {
+                                out.insert(*v);
+                            }
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, out, bound),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        go(g, out, bound);
+                    }
+                }
+                Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                    go(a, out, bound);
+                    go(b, out, bound);
+                }
+                Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                    bound.push(*v);
+                    go(g, out, bound);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// `true` if the formula is a sentence (no free variables): a
+    /// Boolean query.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All variables occurring anywhere (free or bound).
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.visit(&mut |f| match f {
+            Formula::Atom { args, .. } => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::Exists(v, _) | Formula::Forall(v, _) => {
+                out.insert(*v);
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// The largest variable index occurring (free or bound), or `None`
+    /// for variable-free formulas. Useful for sizing evaluation
+    /// environments.
+    pub fn max_var(&self) -> Option<u32> {
+        self.all_vars().iter().map(|v| v.0).max()
+    }
+
+    /// The number of *distinct* variables: the width measure behind the
+    /// finite-variable fragments `FOᵏ` and pebble games.
+    pub fn width(&self) -> usize {
+        self.all_vars().len()
+    }
+
+    /// Number of AST nodes — the query size `k` of the combined
+    /// complexity estimate `O(n^k)`.
+    pub fn num_nodes(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+
+    /// Pre-order traversal of all subformulas.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Formula)) {
+        f(self);
+        match self {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => {}
+            Formula::Not(g) => g.visit(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit(f);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit(f),
+        }
+    }
+
+    /// Renames every variable occurrence (free and bound) via `f`.
+    ///
+    /// Not capture-avoiding — intended for injective renamings such as
+    /// [`crate::nf::standardize_apart`] output or variable shifting.
+    pub fn rename_vars(&self, f: &impl Fn(Var) -> Var) -> Formula {
+        let t = |term: &Term| match term {
+            Term::Var(v) => Term::Var(f(*v)),
+            c => *c,
+        };
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom { rel, args } => Formula::Atom {
+                rel: *rel,
+                args: args.iter().map(t).collect(),
+            },
+            Formula::Eq(a, b) => Formula::Eq(t(a), t(b)),
+            Formula::Not(g) => Formula::Not(Box::new(g.rename_vars(f))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| g.rename_vars(f)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.rename_vars(f)).collect()),
+            Formula::Implies(a, b) => {
+                Formula::Implies(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            Formula::Iff(a, b) => {
+                Formula::Iff(Box::new(a.rename_vars(f)), Box::new(b.rename_vars(f)))
+            }
+            Formula::Exists(v, g) => Formula::Exists(f(*v), Box::new(g.rename_vars(f))),
+            Formula::Forall(v, g) => Formula::Forall(f(*v), Box::new(g.rename_vars(f))),
+        }
+    }
+
+    /// Checks well-formedness against a signature: every atom's relation
+    /// exists with matching arity, every constant exists.
+    pub fn well_formed(&self, sig: &Signature) -> Result<(), String> {
+        let mut err = None;
+        self.visit(&mut |f| {
+            if err.is_some() {
+                return;
+            }
+            match f {
+                Formula::Atom { rel, args } => {
+                    if rel.0 >= sig.num_relations() {
+                        err = Some(format!("relation id {} out of range", rel.0));
+                    } else if sig.arity(*rel) != args.len() {
+                        err = Some(format!(
+                            "relation {} has arity {}, atom has {} arguments",
+                            sig.relation_name(*rel),
+                            sig.arity(*rel),
+                            args.len()
+                        ));
+                    } else {
+                        for t in args {
+                            if let Term::Const(c) = t {
+                                if c.0 >= sig.num_constants() {
+                                    err = Some(format!("constant id {} out of range", c.0));
+                                }
+                            }
+                        }
+                    }
+                }
+                Formula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Const(c) = t {
+                            if c.0 >= sig.num_constants() {
+                                err = Some(format!("constant id {} out of range", c.0));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Pretty-prints against a signature (for relation/constant names).
+    pub fn display<'a>(&'a self, sig: &'a Signature) -> impl fmt::Display + 'a {
+        DisplayFormula { f: self, sig }
+    }
+}
+
+struct DisplayFormula<'a> {
+    f: &'a Formula,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for DisplayFormula<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(self.f, self.sig, out, 0)
+    }
+}
+
+fn term_str(t: &Term, sig: &Signature) -> String {
+    match t {
+        Term::Var(v) => v.to_string(),
+        Term::Const(c) => sig.constant_name(*c).to_owned(),
+    }
+}
+
+/// Precedence levels: 0 = iff, 1 = implies, 2 = or, 3 = and, 4 = unary.
+fn write_formula(
+    f: &Formula,
+    sig: &Signature,
+    out: &mut fmt::Formatter<'_>,
+    prec: u8,
+) -> fmt::Result {
+    let paren = |needed: u8| prec > needed;
+    match f {
+        Formula::True => write!(out, "true"),
+        Formula::False => write!(out, "false"),
+        Formula::Atom { rel, args } => {
+            let args: Vec<String> = args.iter().map(|t| term_str(t, sig)).collect();
+            write!(out, "{}({})", sig.relation_name(*rel), args.join(", "))
+        }
+        Formula::Eq(a, b) => write!(out, "{} = {}", term_str(a, sig), term_str(b, sig)),
+        Formula::Not(g) => {
+            write!(out, "!")?;
+            write_formula(g, sig, out, 4)
+        }
+        Formula::And(fs) => {
+            if fs.is_empty() {
+                return write!(out, "true");
+            }
+            if paren(3) {
+                write!(out, "(")?;
+            }
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " & ")?;
+                }
+                write_formula(g, sig, out, 4)?;
+            }
+            if paren(3) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Or(fs) => {
+            if fs.is_empty() {
+                return write!(out, "false");
+            }
+            if paren(2) {
+                write!(out, "(")?;
+            }
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, " | ")?;
+                }
+                write_formula(g, sig, out, 3)?;
+            }
+            if paren(2) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Implies(a, b) => {
+            if paren(1) {
+                write!(out, "(")?;
+            }
+            write_formula(a, sig, out, 2)?;
+            write!(out, " -> ")?;
+            write_formula(b, sig, out, 1)?;
+            if paren(1) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Iff(a, b) => {
+            if paren(0) {
+                write!(out, "(")?;
+            }
+            write_formula(a, sig, out, 1)?;
+            write!(out, " <-> ")?;
+            write_formula(b, sig, out, 1)?;
+            if paren(0) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Exists(v, g) => {
+            if paren(1) {
+                write!(out, "(")?;
+            }
+            write!(out, "exists {v}. ")?;
+            write_formula(g, sig, out, 1)?;
+            if paren(1) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+        Formula::Forall(v, g) => {
+            if paren(1) {
+                write!(out, "(")?;
+            }
+            write!(out, "forall {v}. ")?;
+            write_formula(g, sig, out, 1)?;
+            if paren(1) {
+                write!(out, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::Signature;
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    #[test]
+    fn quantifier_rank_basics() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let atom = Formula::atom(e, &[v(0), v(1)]);
+        assert_eq!(atom.quantifier_rank(), 0);
+        let f = Formula::forall(
+            v(0),
+            Formula::exists(v(1), atom.clone()).and(Formula::exists(v(2), Formula::True)),
+        );
+        assert_eq!(f.quantifier_rank(), 2);
+        let nested = Formula::exists(v(0), Formula::exists(v(1), Formula::exists(v(2), atom)));
+        assert_eq!(nested.quantifier_rank(), 3);
+    }
+
+    #[test]
+    fn free_vars_and_sentences() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = Formula::exists(v(1), Formula::atom(e, &[v(0), v(1)]));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![v(0)]);
+        assert!(!f.is_sentence());
+        let g = Formula::forall(v(0), f);
+        assert!(g.is_sentence());
+    }
+
+    #[test]
+    fn shadowing_is_respected() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        // ∃x0 (E(x0,x0) ∧ ∃x0 E(x0, x1)): only x1 is free.
+        let f = Formula::exists(
+            v(0),
+            Formula::atom(e, &[v(0), v(0)])
+                .and(Formula::exists(v(0), Formula::atom(e, &[v(0), v(1)]))),
+        );
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![v(1)]);
+    }
+
+    #[test]
+    fn width_counts_distinct_variables() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        // Reusing variables keeps the width low: a 3-path with 2 variables.
+        let f = Formula::exists(
+            v(0),
+            Formula::exists(
+                v(1),
+                Formula::atom(e, &[v(0), v(1)])
+                    .and(Formula::exists(v(0), Formula::atom(e, &[v(1), v(0)]))),
+            ),
+        );
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.quantifier_rank(), 3);
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = Formula::True.and(Formula::False).and(Formula::True);
+        match f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        let g = Formula::big_or(vec![]);
+        assert_eq!(g, Formula::False);
+        let h = Formula::big_and(vec![Formula::True]);
+        assert_eq!(h, Formula::True);
+    }
+
+    #[test]
+    fn well_formedness() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        assert!(Formula::atom(e, &[v(0), v(1)]).well_formed(&sig).is_ok());
+        assert!(Formula::atom(e, &[v(0)]).well_formed(&sig).is_err());
+        let bad = Formula::Atom {
+            rel: fmt_structures::RelId(7),
+            args: vec![],
+        };
+        assert!(bad.well_formed(&sig).is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_shapes() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = Formula::forall(
+            v(0),
+            Formula::exists(v(1), Formula::atom(e, &[v(0), v(1)]))
+                .implies(Formula::eq_vars(v(0), v(0)).not()),
+        );
+        let s = format!("{}", f.display(&sig));
+        assert!(s.contains("forall x0"), "{s}");
+        assert!(s.contains("exists x1"), "{s}");
+        assert!(s.contains("->"), "{s}");
+    }
+
+    #[test]
+    fn num_nodes_counts() {
+        let f = Formula::True.and(Formula::False);
+        assert_eq!(f.num_nodes(), 3);
+    }
+
+    #[test]
+    fn rename_vars_shifts() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = Formula::exists(v(0), Formula::atom(e, &[v(0), v(1)]));
+        let g = f.rename_vars(&|Var(i)| Var(i + 10));
+        assert_eq!(
+            g,
+            Formula::exists(v(10), Formula::atom(e, &[v(10), v(11)]))
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # fmt-logic
+//!
+//! First-order logic over relational vocabularies — the query language
+//! of the finite model theory toolbox (Libkin, PODS'09).
+//!
+//! The survey's starting point is that **FO is the core relational query
+//! language**: a formula `φ(x̄)` over a signature σ induces the query
+//! `Q_φ(A) = {d̄ | A ⊨ φ(d̄)}` on finite σ-structures, and sentences
+//! (formulas without free variables) are Boolean queries. This crate
+//! provides the syntax side of that story:
+//!
+//! * [`Formula`], [`Term`], [`Var`] — the AST (relational FO with
+//!   equality and constants);
+//! * [`Formula::quantifier_rank`] — the complexity measure that
+//!   Ehrenfeucht–Fraïssé games are calibrated against (`A ≡ₙ B` means
+//!   agreement on all sentences of quantifier rank ≤ n);
+//! * [`nf`] — negation normal form, prenex normal form, simplification,
+//!   standardizing variables apart;
+//! * [`parser`] — a small text syntax
+//!   (`forall x. exists y. E(x,y) & !(x = y)`);
+//! * [`library`] — the survey's canned sentences: "at least k elements"
+//!   (the λₖ of the compactness counterexample), linear-order axioms,
+//!   the 0-1-law examples Q₁ and Q₂, extension axioms, and more;
+//! * [`Query`] — a formula bundled with its signature and answer
+//!   variables, validated for well-formedness.
+//!
+//! ```
+//! use fmt_logic::parser;
+//! use fmt_structures::Signature;
+//!
+//! let sig = Signature::graph();
+//! let f = parser::parse_formula(&sig, "forall x. exists y. E(x, y)").unwrap();
+//! assert_eq!(f.quantifier_rank(), 2);
+//! assert!(f.free_vars().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod formula;
+pub mod library;
+pub mod mso;
+pub mod nf;
+pub mod parser;
+mod query;
+
+pub use formula::{Formula, Term, Var};
+pub use query::{Query, QueryError};

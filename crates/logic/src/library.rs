@@ -1,0 +1,382 @@
+//! The survey's canned sentences and formula generators.
+//!
+//! Everything the paper states as "the following query is easily
+//! definable" lives here, as executable formula builders:
+//!
+//! * cardinality sentences λₖ ("there are at least k elements") — the
+//!   family behind the failure of finite compactness;
+//! * linear-order and graph axioms;
+//! * the 0-1-law examples Q₁ (all pairs adjacent, `μ = 0`) and Q₂
+//!   (a distinguishing in-neighbor exists, `μ = 1`);
+//! * **extension axioms**, the proof engine of the FO 0-1 law;
+//! * combined-complexity workloads (k-cliques, k-paths) whose
+//!   evaluation cost `O(nᵏ)` the complexity experiments measure;
+//! * bounded-distance formulas `dist(x,y) ≤ d` — the FO-definable
+//!   approximations of transitive closure that locality arguments
+//!   contrast with the real thing.
+
+use crate::{Formula, Term, Var};
+use fmt_structures::{RelId, Signature};
+
+fn vars(n: u32) -> Vec<Var> {
+    (0..n).map(Var).collect()
+}
+
+/// Pairwise distinctness `⋀_{i<j} xᵢ ≠ xⱼ`.
+pub fn all_distinct(vs: &[Var]) -> Formula {
+    let mut cs = Vec::new();
+    for (i, &a) in vs.iter().enumerate() {
+        for &b in &vs[i + 1..] {
+            cs.push(Formula::eq_vars(a, b).not());
+        }
+    }
+    Formula::big_and(cs)
+}
+
+/// λₖ: "there are at least k elements":
+/// `∃x₁…∃xₖ ⋀_{i≠j} xᵢ ≠ xⱼ`.
+///
+/// The lecture's finite-compactness counterexample: every finite subset
+/// of `{λₙ | n ∈ ℕ}` has a finite model but the whole set does not.
+/// Works over any signature (it only mentions equality).
+pub fn at_least(k: u32) -> Formula {
+    let vs = vars(k);
+    Formula::exists_many(&vs, all_distinct(&vs))
+}
+
+/// "There are at most k elements": `¬λₖ₊₁`.
+pub fn at_most(k: u32) -> Formula {
+    at_least(k + 1).not()
+}
+
+/// "There are exactly k elements."
+pub fn exactly(k: u32) -> Formula {
+    at_least(k).and(at_most(k))
+}
+
+/// The axioms of a strict total order for a binary relation `rel`
+/// (irreflexive, transitive, total). Conjoined as a single sentence.
+pub fn strict_total_order(rel: RelId) -> Formula {
+    let [x, y, z] = [Var(0), Var(1), Var(2)];
+    let irreflexive = Formula::forall(x, Formula::atom(rel, &[x, x]).not());
+    let transitive = Formula::forall_many(
+        &[x, y, z],
+        Formula::atom(rel, &[x, y])
+            .and(Formula::atom(rel, &[y, z]))
+            .implies(Formula::atom(rel, &[x, z])),
+    );
+    let total = Formula::forall_many(
+        &[x, y],
+        Formula::big_or(vec![
+            Formula::atom(rel, &[x, y]),
+            Formula::atom(rel, &[y, x]),
+            Formula::eq_vars(x, y),
+        ]),
+    );
+    irreflexive.and(transitive).and(total)
+}
+
+/// "`rel` is symmetric": `∀x∀y (R(x,y) → R(y,x))`.
+pub fn symmetric(rel: RelId) -> Formula {
+    let [x, y] = [Var(0), Var(1)];
+    Formula::forall_many(
+        &[x, y],
+        Formula::atom(rel, &[x, y]).implies(Formula::atom(rel, &[y, x])),
+    )
+}
+
+/// "`rel` is irreflexive": `∀x ¬R(x,x)`.
+pub fn irreflexive(rel: RelId) -> Formula {
+    let x = Var(0);
+    Formula::forall(x, Formula::atom(rel, &[x, x]).not())
+}
+
+/// Q₁ of the 0-1-law section: "all distinct pairs are adjacent"
+/// (`∀x∀y (x ≠ y → E(x,y))`).
+///
+/// Almost no random graph satisfies it: `μ(Q₁) = 0`. (The paper writes
+/// `∀x,y E(x,y)`; we add the `x ≠ y` guard so the sentence is satisfied
+/// by loop-free complete graphs, matching the paper's reading "only the
+/// complete ones".)
+pub fn q1_all_pairs_adjacent(rel: RelId) -> Formula {
+    let [x, y] = [Var(0), Var(1)];
+    Formula::forall_many(
+        &[x, y],
+        Formula::eq_vars(x, y)
+            .not()
+            .implies(Formula::atom(rel, &[x, y])),
+    )
+}
+
+/// Q₂ of the 0-1-law section: "every distinct pair has a distinguishing
+/// in-neighbor" (`∀x∀y (x ≠ y → ∃z (E(z,x) ∧ ¬E(z,y)))`).
+///
+/// Almost every random graph satisfies it: `μ(Q₂) = 1`. (We add the
+/// `x ≠ y` guard: taken literally at `x = y` the paper's formula is
+/// unsatisfiable.)
+pub fn q2_distinguishing_neighbor(rel: RelId) -> Formula {
+    let [x, y, z] = [Var(0), Var(1), Var(2)];
+    Formula::forall_many(
+        &[x, y],
+        Formula::eq_vars(x, y).not().implies(Formula::exists(
+            z,
+            Formula::atom(rel, &[z, x]).and(Formula::atom(rel, &[z, y]).not()),
+        )),
+    )
+}
+
+/// "Some vertex dominates all others": `∃x∀y (x = y ∨ E(x,y))`.
+pub fn dominating_vertex(rel: RelId) -> Formula {
+    let [x, y] = [Var(0), Var(1)];
+    Formula::exists(
+        x,
+        Formula::forall(
+            y,
+            Formula::eq_vars(x, y).or(Formula::atom(rel, &[x, y])),
+        ),
+    )
+}
+
+/// "No vertex is isolated": `∀x∃y (E(x,y) ∨ E(y,x))`.
+pub fn no_isolated_vertex(rel: RelId) -> Formula {
+    let [x, y] = [Var(0), Var(1)];
+    Formula::forall(
+        x,
+        Formula::exists(
+            y,
+            Formula::atom(rel, &[x, y]).or(Formula::atom(rel, &[y, x])),
+        ),
+    )
+}
+
+/// "There is a k-clique": `∃x₁…xₖ (distinct ∧ ⋀_{i≠j} E(xᵢ,xⱼ))`.
+///
+/// The standard combined-complexity workload: naive evaluation costs
+/// `O(nᵏ)`, witnessing the exponential dependence on query size.
+pub fn k_clique(rel: RelId, k: u32) -> Formula {
+    let vs = vars(k);
+    let mut cs = vec![all_distinct(&vs)];
+    for (i, &a) in vs.iter().enumerate() {
+        for (j, &b) in vs.iter().enumerate() {
+            if i != j {
+                cs.push(Formula::atom(rel, &[a, b]));
+            }
+        }
+    }
+    Formula::exists_many(&vs, Formula::big_and(cs))
+}
+
+/// "There is a (not necessarily simple) directed path of length k":
+/// `∃x₀…xₖ ⋀ E(xᵢ, xᵢ₊₁)`.
+pub fn k_path(rel: RelId, k: u32) -> Formula {
+    let vs = vars(k + 1);
+    let mut cs = Vec::new();
+    for w in vs.windows(2) {
+        cs.push(Formula::atom(rel, &[w[0], w[1]]));
+    }
+    Formula::exists_many(&vs, Formula::big_and(cs))
+}
+
+/// The bounded-distance formula `distₑ(x, y) ≤ d` in the *undirected*
+/// sense (edges traversable both ways), with free variables `x = Var(0)`
+/// and `y = Var(1)`.
+///
+/// These formulas are the FO-definable fragments of reachability; the
+/// locality experiments contrast them with full transitive closure
+/// (which is not FO-definable). Quantifier rank is `max(d − 1, 0)`.
+pub fn dist_at_most(rel: RelId, d: u32) -> Formula {
+    // dist(x,y) <= 0  :=  x = y
+    // dist(x,y) <= d  :=  x = y ∨ ∃z (adj(x,z) ∧ dist(z,y) <= d-1)
+    fn go(rel: RelId, d: u32, x: Var, y: Var, next: u32) -> Formula {
+        let base = Formula::eq_vars(x, y);
+        if d == 0 {
+            return base;
+        }
+        let adj = |a: Var, b: Var| Formula::atom(rel, &[a, b]).or(Formula::atom(rel, &[b, a]));
+        if d == 1 {
+            return base.or(adj(x, y));
+        }
+        let z = Var(next);
+        base.or(Formula::exists(
+            z,
+            adj(x, z).and(go(rel, d - 1, z, y, next + 1)),
+        ))
+    }
+    go(rel, d, Var(0), Var(1), 2)
+}
+
+/// One **extension axiom** over `sig`: for all distinct `x₁…xₖ` there
+/// exists `z ∉ {x₁…xₖ}` realizing the atomic type selected by `choice`.
+///
+/// The atoms in question are all tuples over `{x₁…xₖ, z}` that mention
+/// `z`, across all relations of `sig` (enumerated by
+/// [`extension_atom_count`]); bit `i` of `choice` picks the polarity of
+/// atom `i`. These axioms axiomatize the almost-sure theory of uniformly
+/// random σ-structures: each one has limit probability 1, and together
+/// (over all `k < qr(φ)`) they decide `μ(φ) ∈ {0, 1}` — the proof device
+/// of the FO 0-1 law.
+pub fn extension_axiom(sig: &Signature, k: u32, choice: u64) -> Formula {
+    let xs = vars(k);
+    let z = Var(k);
+    let mut bit = 0;
+    // Literals: z distinct from all x's, then the chosen polarities.
+    let mut lits: Vec<Formula> = xs
+        .iter()
+        .map(|&x| Formula::eq_vars(z, x).not())
+        .collect();
+    for (r, _, arity) in sig.relations() {
+        // All tuples over {x1..xk, z} that mention z.
+        let pool: Vec<Var> = xs.iter().copied().chain(std::iter::once(z)).collect();
+        let mut idx = vec![0usize; arity];
+        'tuples: loop {
+            if idx.contains(&(k as usize)) {
+                let args: Vec<Term> = idx.iter().map(|&i| Term::Var(pool[i])).collect();
+                let atom = Formula::Atom { rel: r, args };
+                let positive = (choice >> bit) & 1 == 1;
+                lits.push(if positive { atom } else { atom.not() });
+                bit += 1;
+            }
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < pool.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(bit as usize, extension_atom_count(sig, k));
+    let exists_part = Formula::exists(z, Formula::big_and(lits));
+    Formula::forall_many(&xs, all_distinct(&xs).implies(exists_part))
+}
+
+/// Number of atoms a level-`k` extension axiom fixes:
+/// `Σ_R ((k+1)^arity − k^arity)`.
+pub fn extension_atom_count(sig: &Signature, k: u32) -> usize {
+    let k = k as usize;
+    sig.relations()
+        .map(|(_, _, a)| (k + 1).pow(a as u32) - k.pow(a as u32))
+        .sum()
+}
+
+/// All level-`k` extension axioms (one per atomic type, i.e.
+/// `2^`[`extension_atom_count`] sentences).
+///
+/// # Panics
+/// Panics if the axiom family is unreasonably large (more than 2¹⁶
+/// sentences) — levels above `k = 2` on binary signatures are never
+/// needed by the experiments.
+pub fn all_extension_axioms(sig: &Signature, k: u32) -> Vec<Formula> {
+    let atoms = extension_atom_count(sig, k);
+    assert!(atoms <= 16, "extension axiom family too large: 2^{atoms}");
+    (0..(1u64 << atoms))
+        .map(|choice| extension_axiom(sig, k, choice))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_shape() {
+        let f = at_least(3);
+        assert!(f.is_sentence());
+        assert_eq!(f.quantifier_rank(), 3);
+        assert_eq!(at_least(1).quantifier_rank(), 1);
+        // λ1 = ∃x (empty conjunction = true).
+        assert!(matches!(at_least(1), Formula::Exists(..)));
+    }
+
+    #[test]
+    fn exactly_combines() {
+        let f = exactly(2);
+        assert!(f.is_sentence());
+        assert_eq!(f.quantifier_rank(), 3); // at_most(2) = ¬λ3 dominates
+    }
+
+    #[test]
+    fn order_axioms_are_sentences() {
+        let sig = Signature::order();
+        let lt = sig.relation("<").unwrap();
+        let f = strict_total_order(lt);
+        assert!(f.is_sentence());
+        assert!(f.well_formed(&sig).is_ok());
+    }
+
+    #[test]
+    fn zero_one_examples_well_formed() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        for f in [
+            q1_all_pairs_adjacent(e),
+            q2_distinguishing_neighbor(e),
+            dominating_vertex(e),
+            no_isolated_vertex(e),
+        ] {
+            assert!(f.is_sentence());
+            assert!(f.well_formed(&sig).is_ok());
+        }
+    }
+
+    #[test]
+    fn k_clique_rank_grows() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        assert_eq!(k_clique(e, 3).quantifier_rank(), 3);
+        assert_eq!(k_clique(e, 5).quantifier_rank(), 5);
+        assert_eq!(k_path(e, 4).quantifier_rank(), 5);
+    }
+
+    #[test]
+    fn dist_formula_free_vars_and_rank() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = dist_at_most(e, 3);
+        let fv: Vec<Var> = f.free_vars().into_iter().collect();
+        assert_eq!(fv, vec![Var(0), Var(1)]);
+        assert_eq!(f.quantifier_rank(), 2); // d-1 existentials
+        assert_eq!(dist_at_most(e, 0).quantifier_rank(), 0);
+        assert!(f.well_formed(&sig).is_ok());
+    }
+
+    #[test]
+    fn extension_axiom_counts() {
+        let sig = Signature::graph();
+        // k = 1: tuples over {x, z} mentioning z: (z,z), (z,x), (x,z) = 3.
+        assert_eq!(extension_atom_count(&sig, 1), 3);
+        // k = 2: 27 - 8 = wait, arity 2: (2+1)^2 - 2^2 = 5.
+        assert_eq!(extension_atom_count(&sig, 2), 5);
+        assert_eq!(all_extension_axioms(&sig, 1).len(), 8);
+        assert_eq!(all_extension_axioms(&sig, 2).len(), 32);
+    }
+
+    #[test]
+    fn extension_axioms_are_sentences() {
+        let sig = Signature::graph();
+        for f in all_extension_axioms(&sig, 1) {
+            assert!(f.is_sentence());
+            assert!(f.well_formed(&sig).is_ok());
+            assert_eq!(f.quantifier_rank(), 2); // ∀x ∃z
+        }
+    }
+
+    #[test]
+    fn empty_signature_extension() {
+        let sig = Signature::empty();
+        // No relations: the only "type" is the empty one; the axiom just
+        // asserts a fresh element exists.
+        assert_eq!(extension_atom_count(&sig, 2), 0);
+        let axs = all_extension_axioms(&sig, 2);
+        assert_eq!(axs.len(), 1);
+        assert!(axs[0].is_sentence());
+    }
+}

@@ -1,0 +1,442 @@
+//! Monadic second-order logic (MSO) — the expressivity counterpoint.
+//!
+//! The survey's complexity theorem covers "FO (and monadic second-order
+//! logic MSO)", and its inexpressibility results are all about queries
+//! that FO *cannot* define — connectivity, acyclicity, transitive
+//! closure. MSO can define them: quantification over **sets** of
+//! elements is exactly what reachability arguments need. This module
+//! adds the MSO syntax layer; `fmt-eval::mso` evaluates it (by
+//! exhaustive set quantification, exponential as expected), and the
+//! experiment suite verifies that the MSO sentences below compute the
+//! same queries as the reference graph algorithms — the positive half
+//! of the expressivity story.
+//!
+//! Syntax: [`MsoFormula`] embeds full FO and adds set variables
+//! [`SetVar`], membership atoms `X(t)`, and set quantifiers `∃X`/`∀X`.
+
+use crate::{Formula, Term, Var};
+use fmt_structures::RelId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A monadic second-order (set) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetVar(pub u32);
+
+impl std::fmt::Display for SetVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// An MSO formula: first-order constructs plus set membership and set
+/// quantification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MsoFormula {
+    /// An embedded first-order atom `R(t̄)`.
+    Atom {
+        /// The relation symbol.
+        rel: RelId,
+        /// Argument terms.
+        args: Vec<Term>,
+    },
+    /// Equality `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Set membership `t ∈ X`.
+    In(Term, SetVar),
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// Negation.
+    Not(Box<MsoFormula>),
+    /// N-ary conjunction.
+    And(Vec<MsoFormula>),
+    /// N-ary disjunction.
+    Or(Vec<MsoFormula>),
+    /// Implication.
+    Implies(Box<MsoFormula>, Box<MsoFormula>),
+    /// First-order existential.
+    Exists(Var, Box<MsoFormula>),
+    /// First-order universal.
+    Forall(Var, Box<MsoFormula>),
+    /// Set existential `∃X φ`.
+    ExistsSet(SetVar, Box<MsoFormula>),
+    /// Set universal `∀X φ`.
+    ForallSet(SetVar, Box<MsoFormula>),
+}
+
+impl MsoFormula {
+    /// Lifts a first-order formula into MSO.
+    pub fn from_fo(f: &Formula) -> MsoFormula {
+        match f {
+            Formula::True => MsoFormula::True,
+            Formula::False => MsoFormula::False,
+            Formula::Atom { rel, args } => MsoFormula::Atom {
+                rel: *rel,
+                args: args.clone(),
+            },
+            Formula::Eq(a, b) => MsoFormula::Eq(*a, *b),
+            Formula::Not(g) => MsoFormula::Not(Box::new(MsoFormula::from_fo(g))),
+            Formula::And(fs) => MsoFormula::And(fs.iter().map(MsoFormula::from_fo).collect()),
+            Formula::Or(fs) => MsoFormula::Or(fs.iter().map(MsoFormula::from_fo).collect()),
+            Formula::Implies(a, b) => MsoFormula::Implies(
+                Box::new(MsoFormula::from_fo(a)),
+                Box::new(MsoFormula::from_fo(b)),
+            ),
+            Formula::Iff(a, b) => {
+                let fa = MsoFormula::from_fo(a);
+                let fb = MsoFormula::from_fo(b);
+                // (a → b) ∧ (b → a)
+                MsoFormula::And(vec![
+                    MsoFormula::Implies(Box::new(fa.clone()), Box::new(fb.clone())),
+                    MsoFormula::Implies(Box::new(fb), Box::new(fa)),
+                ])
+            }
+            Formula::Exists(v, g) => {
+                MsoFormula::Exists(*v, Box::new(MsoFormula::from_fo(g)))
+            }
+            Formula::Forall(v, g) => {
+                MsoFormula::Forall(*v, Box::new(MsoFormula::from_fo(g)))
+            }
+        }
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors logical ¬
+    pub fn not(self) -> MsoFormula {
+        MsoFormula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: MsoFormula) -> MsoFormula {
+        match (self, other) {
+            (MsoFormula::And(mut a), MsoFormula::And(b)) => {
+                a.extend(b);
+                MsoFormula::And(a)
+            }
+            (MsoFormula::And(mut a), g) => {
+                a.push(g);
+                MsoFormula::And(a)
+            }
+            (f, g) => MsoFormula::And(vec![f, g]),
+        }
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: MsoFormula) -> MsoFormula {
+        MsoFormula::Or(vec![self, other])
+    }
+
+    /// `self → other`.
+    pub fn implies(self, other: MsoFormula) -> MsoFormula {
+        MsoFormula::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// Free first-order variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn go(f: &MsoFormula, bound: &mut Vec<Var>, out: &mut BTreeSet<Var>) {
+            let term = |t: &Term, bound: &Vec<Var>, out: &mut BTreeSet<Var>| {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            };
+            match f {
+                MsoFormula::True | MsoFormula::False => {}
+                MsoFormula::Atom { args, .. } => {
+                    for t in args {
+                        term(t, bound, out);
+                    }
+                }
+                MsoFormula::Eq(a, b) => {
+                    term(a, bound, out);
+                    term(b, bound, out);
+                }
+                MsoFormula::In(t, _) => term(t, bound, out),
+                MsoFormula::Not(g) => go(g, bound, out),
+                MsoFormula::And(fs) | MsoFormula::Or(fs) => {
+                    for g in fs {
+                        go(g, bound, out);
+                    }
+                }
+                MsoFormula::Implies(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                MsoFormula::Exists(v, g) | MsoFormula::Forall(v, g) => {
+                    bound.push(*v);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+                MsoFormula::ExistsSet(_, g) | MsoFormula::ForallSet(_, g) => go(g, bound, out),
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Free set variables.
+    pub fn free_set_vars(&self) -> BTreeSet<SetVar> {
+        fn go(f: &MsoFormula, bound: &mut Vec<SetVar>, out: &mut BTreeSet<SetVar>) {
+            match f {
+                MsoFormula::In(_, x)
+                    if !bound.contains(x) => {
+                        out.insert(*x);
+                    }
+                MsoFormula::Not(g) => go(g, bound, out),
+                MsoFormula::And(fs) | MsoFormula::Or(fs) => {
+                    for g in fs {
+                        go(g, bound, out);
+                    }
+                }
+                MsoFormula::Implies(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                MsoFormula::Exists(_, g) | MsoFormula::Forall(_, g) => go(g, bound, out),
+                MsoFormula::ExistsSet(x, g) | MsoFormula::ForallSet(x, g) => {
+                    bound.push(*x);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+                _ => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// `true` if the formula is an MSO sentence.
+    pub fn is_sentence(&self) -> bool {
+        self.free_vars().is_empty() && self.free_set_vars().is_empty()
+    }
+
+    /// Largest first-order variable index mentioned.
+    pub fn max_var(&self) -> Option<u32> {
+        let mut max: Option<u32> = None;
+        fn go(f: &MsoFormula, max: &mut Option<u32>) {
+            let mut bump = |v: Var| {
+                *max = Some(max.map_or(v.0, |m| m.max(v.0)));
+            };
+            match f {
+                MsoFormula::Atom { args, .. } => {
+                    for t in args {
+                        if let Term::Var(v) = t {
+                            bump(*v);
+                        }
+                    }
+                }
+                MsoFormula::Eq(a, b) => {
+                    for t in [a, b] {
+                        if let Term::Var(v) = t {
+                            bump(*v);
+                        }
+                    }
+                }
+                MsoFormula::In(Term::Var(v), _) => bump(*v),
+                MsoFormula::In(Term::Const(_), _) => {}
+                MsoFormula::Not(g) => go(g, max),
+                MsoFormula::And(fs) | MsoFormula::Or(fs) => {
+                    for g in fs {
+                        go(g, max);
+                    }
+                }
+                MsoFormula::Implies(a, b) => {
+                    go(a, max);
+                    go(b, max);
+                }
+                MsoFormula::Exists(v, g) | MsoFormula::Forall(v, g) => {
+                    bump(*v);
+                    go(g, max);
+                }
+                MsoFormula::ExistsSet(_, g) | MsoFormula::ForallSet(_, g) => go(g, max),
+                _ => {}
+            }
+        }
+        go(self, &mut max);
+        max
+    }
+
+    /// Largest set-variable index mentioned.
+    pub fn max_set_var(&self) -> Option<u32> {
+        let mut max: Option<u32> = None;
+        fn go(f: &MsoFormula, max: &mut Option<u32>) {
+            let mut bump = |x: SetVar| {
+                *max = Some(max.map_or(x.0, |m| m.max(x.0)));
+            };
+            match f {
+                MsoFormula::In(_, x) => bump(*x),
+                MsoFormula::Not(g) => go(g, max),
+                MsoFormula::And(fs) | MsoFormula::Or(fs) => {
+                    for g in fs {
+                        go(g, max);
+                    }
+                }
+                MsoFormula::Implies(a, b) => {
+                    go(a, max);
+                    go(b, max);
+                }
+                MsoFormula::Exists(_, g) | MsoFormula::Forall(_, g) => go(g, max),
+                MsoFormula::ExistsSet(x, g) | MsoFormula::ForallSet(x, g) => {
+                    bump(*x);
+                    go(g, max);
+                }
+                _ => {}
+            }
+        }
+        go(self, &mut max);
+        max
+    }
+}
+
+/// The survey's headline contrast, made positive: **connectivity is
+/// MSO-definable** (while Corollary 3.2 shows it is not FO-definable).
+///
+/// `G` (undirected, edges stored symmetrically or not — both directions
+/// are used) is connected iff every set `X` that contains some element
+/// and is closed under edges contains all elements:
+///
+/// ```text
+/// ∀X [ (∃x X(x)) ∧ ∀x∀y ((X(x) ∧ (E(x,y) ∨ E(y,x))) → X(y)) → ∀z X(z) ]
+/// ```
+pub fn mso_connectivity(rel: RelId) -> MsoFormula {
+    let xset = SetVar(0);
+    let [x, y, z] = [Var(0), Var(1), Var(2)];
+    let nonempty = MsoFormula::Exists(x, Box::new(MsoFormula::In(Term::Var(x), xset)));
+    let adj = MsoFormula::Atom {
+        rel,
+        args: vec![Term::Var(x), Term::Var(y)],
+    }
+    .or(MsoFormula::Atom {
+        rel,
+        args: vec![Term::Var(y), Term::Var(x)],
+    });
+    let closed = MsoFormula::Forall(
+        x,
+        Box::new(MsoFormula::Forall(
+            y,
+            Box::new(
+                MsoFormula::In(Term::Var(x), xset)
+                    .and(adj)
+                    .implies(MsoFormula::In(Term::Var(y), xset)),
+            ),
+        )),
+    );
+    let full = MsoFormula::Forall(z, Box::new(MsoFormula::In(Term::Var(z), xset)));
+    MsoFormula::ForallSet(xset, Box::new(nonempty.and(closed).implies(full)))
+}
+
+/// **2-colorability (bipartiteness) is MSO-definable**: there is a set
+/// `X` such that no edge joins two `X`-members or two non-members.
+pub fn mso_bipartite(rel: RelId) -> MsoFormula {
+    let xset = SetVar(0);
+    let [x, y] = [Var(0), Var(1)];
+    let edge = MsoFormula::Atom {
+        rel,
+        args: vec![Term::Var(x), Term::Var(y)],
+    };
+    let same_side = MsoFormula::In(Term::Var(x), xset)
+        .and(MsoFormula::In(Term::Var(y), xset))
+        .or(MsoFormula::In(Term::Var(x), xset)
+            .not()
+            .and(MsoFormula::In(Term::Var(y), xset).not()));
+    MsoFormula::ExistsSet(
+        xset,
+        Box::new(MsoFormula::Forall(
+            x,
+            Box::new(MsoFormula::Forall(
+                y,
+                Box::new(edge.implies(same_side.not())),
+            )),
+        )),
+    )
+}
+
+/// **Reachability is MSO-definable**: `reach(x, y)` — with free FO
+/// variables `Var(0)`, `Var(1)` — holds iff `y` is reachable from `x`
+/// along (undirected) edges: every edge-closed set containing `x`
+/// contains `y`.
+pub fn mso_reachable(rel: RelId) -> MsoFormula {
+    let xset = SetVar(0);
+    let [x, y] = [Var(0), Var(1)];
+    let [u, w] = [Var(2), Var(3)];
+    let adj = MsoFormula::Atom {
+        rel,
+        args: vec![Term::Var(u), Term::Var(w)],
+    }
+    .or(MsoFormula::Atom {
+        rel,
+        args: vec![Term::Var(w), Term::Var(u)],
+    });
+    let closed = MsoFormula::Forall(
+        u,
+        Box::new(MsoFormula::Forall(
+            w,
+            Box::new(
+                MsoFormula::In(Term::Var(u), xset)
+                    .and(adj)
+                    .implies(MsoFormula::In(Term::Var(w), xset)),
+            ),
+        )),
+    );
+    MsoFormula::ForallSet(
+        xset,
+        Box::new(
+            MsoFormula::In(Term::Var(x), xset)
+                .and(closed)
+                .implies(MsoFormula::In(Term::Var(y), xset)),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::Signature;
+
+    #[test]
+    fn connectivity_sentence_shape() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = mso_connectivity(e);
+        assert!(f.is_sentence());
+        assert_eq!(f.max_set_var(), Some(0));
+        assert_eq!(f.max_var(), Some(2));
+    }
+
+    #[test]
+    fn reachability_free_vars() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = mso_reachable(e);
+        let fv: Vec<Var> = f.free_vars().into_iter().collect();
+        assert_eq!(fv, vec![Var(0), Var(1)]);
+        assert!(f.free_set_vars().is_empty());
+        assert!(!f.is_sentence());
+    }
+
+    #[test]
+    fn from_fo_preserves_shape() {
+        let sig = Signature::graph();
+        let fo = crate::parser::parse_formula(&sig, "forall x. exists y. E(x, y) <-> E(y, x)")
+            .unwrap();
+        let mso = MsoFormula::from_fo(&fo);
+        assert_eq!(mso.free_vars(), fo.free_vars());
+        assert!(mso.free_set_vars().is_empty());
+    }
+
+    #[test]
+    fn set_var_scoping() {
+        let x = SetVar(0);
+        let inner = MsoFormula::In(Term::Var(Var(0)), x);
+        let open = MsoFormula::Exists(Var(0), Box::new(inner.clone()));
+        assert_eq!(open.free_set_vars().len(), 1);
+        let closed = MsoFormula::ExistsSet(x, Box::new(open));
+        assert!(closed.free_set_vars().is_empty());
+        assert!(closed.is_sentence());
+    }
+}

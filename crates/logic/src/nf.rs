@@ -1,0 +1,390 @@
+//! Normal forms: simplification, negation normal form, prenex normal
+//! form, and standardizing variables apart.
+//!
+//! The toolbox needs these in several places: the AC⁰ circuit compiler
+//! and the relational-algebra evaluator work best on implication-free
+//! formulas, and prenex normal form is the bridge to the quantifier
+//! prefix analyses (note that prenexing can *increase* quantifier rank —
+//! rank is a property of the given syntax, which is exactly why EF games
+//! speak about rank rather than prefix depth).
+
+use crate::{Formula, Term, Var};
+
+/// Removes `→`/`↔` and pushes negations to the atoms. Output contains
+/// only atoms, negated atoms, `∧`, `∨`, `∃`, `∀`, `true`, `false`.
+///
+/// NNF conversion never changes the quantifier rank (negation is
+/// rank-neutral and `↔` duplicates subformulas at the same depth).
+pub fn nnf(f: &Formula) -> Formula {
+    fn pos(f: &Formula) -> Formula {
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom { .. } | Formula::Eq(..) => f.clone(),
+            Formula::Not(g) => neg(g),
+            Formula::And(fs) => Formula::And(fs.iter().map(pos).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(pos).collect()),
+            Formula::Implies(a, b) => neg(a).or(pos(b)),
+            Formula::Iff(a, b) => {
+                // (a → b) ∧ (b → a), already in NNF form.
+                (neg(a).or(pos(b))).and(neg(b).or(pos(a)))
+            }
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(pos(g))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(pos(g))),
+        }
+    }
+    fn neg(f: &Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Atom { .. } | Formula::Eq(..) => f.clone().not(),
+            Formula::Not(g) => pos(g),
+            Formula::And(fs) => Formula::Or(fs.iter().map(neg).collect()),
+            Formula::Or(fs) => Formula::And(fs.iter().map(neg).collect()),
+            Formula::Implies(a, b) => pos(a).and(neg(b)),
+            Formula::Iff(a, b) => {
+                // ¬(a ↔ b) = (a ∧ ¬b) ∨ (b ∧ ¬a).
+                (pos(a).and(neg(b))).or(pos(b).and(neg(a)))
+            }
+            Formula::Exists(v, g) => Formula::Forall(*v, Box::new(neg(g))),
+            Formula::Forall(v, g) => Formula::Exists(*v, Box::new(neg(g))),
+        }
+    }
+    pos(f)
+}
+
+/// Constant folding and unit simplification: drops `true`/`false` units,
+/// collapses degenerate connectives, removes double negations and
+/// trivial equalities `t = t`.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom { .. } => f.clone(),
+        Formula::Eq(a, b) if a == b => Formula::True,
+        Formula::Eq(..) => f.clone(),
+        Formula::Not(g) => match simplify(g) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(h) => *h,
+            h => h.not(),
+        },
+        Formula::And(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(hs) => out.extend(hs),
+                    h => out.push(h),
+                }
+            }
+            Formula::big_and(out)
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for g in fs {
+                match simplify(g) {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(hs) => out.extend(hs),
+                    h => out.push(h),
+                }
+            }
+            Formula::big_or(out)
+        }
+        Formula::Implies(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::False, _) | (_, Formula::True) => Formula::True,
+            (Formula::True, h) => h,
+            (h, Formula::False) => simplify(&h.not()),
+            (g, h) => g.implies(h),
+        },
+        Formula::Iff(a, b) => match (simplify(a), simplify(b)) {
+            (Formula::True, h) | (h, Formula::True) => h,
+            (Formula::False, h) | (h, Formula::False) => simplify(&h.not()),
+            (g, h) if g == h => Formula::True,
+            (g, h) => g.iff(h),
+        },
+        Formula::Exists(v, g) => {
+            // Note: ∃v true is *not* simplified to true — over the empty
+            // domain they differ, and the toolbox does care about empty
+            // structures.
+            let h = simplify(g);
+            Formula::Exists(*v, Box::new(h))
+        }
+        Formula::Forall(v, g) => {
+            let h = simplify(g);
+            Formula::Forall(*v, Box::new(h))
+        }
+    }
+}
+
+/// Renames bound variables so that (a) no variable is bound twice and
+/// (b) no bound variable clashes with a free one. Fresh variables are
+/// allocated above the maximum index in use.
+pub fn standardize_apart(f: &Formula) -> Formula {
+    let mut next = f.max_var().map_or(0, |m| m + 1);
+    // Substitution environment: bound-variable renamings in scope.
+    fn go(f: &Formula, env: &mut Vec<(Var, Var)>, next: &mut u32) -> Formula {
+        let rename_term = |t: &Term, env: &[(Var, Var)]| match t {
+            Term::Var(v) => {
+                let mut out = *v;
+                // Innermost binding wins.
+                for &(from, to) in env.iter().rev() {
+                    if from == out {
+                        out = to;
+                        break;
+                    }
+                }
+                Term::Var(out)
+            }
+            c => *c,
+        };
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom { rel, args } => Formula::Atom {
+                rel: *rel,
+                args: args.iter().map(|t| rename_term(t, env)).collect(),
+            },
+            Formula::Eq(a, b) => Formula::Eq(rename_term(a, env), rename_term(b, env)),
+            Formula::Not(g) => go(g, env, next).not(),
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| go(g, env, next)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, env, next)).collect()),
+            Formula::Implies(a, b) => go(a, env, next).implies(go(b, env, next)),
+            Formula::Iff(a, b) => go(a, env, next).iff(go(b, env, next)),
+            Formula::Exists(v, g) => {
+                let fresh = Var(*next);
+                *next += 1;
+                env.push((*v, fresh));
+                let body = go(g, env, next);
+                env.pop();
+                Formula::Exists(fresh, Box::new(body))
+            }
+            Formula::Forall(v, g) => {
+                let fresh = Var(*next);
+                *next += 1;
+                env.push((*v, fresh));
+                let body = go(g, env, next);
+                env.pop();
+                Formula::Forall(fresh, Box::new(body))
+            }
+        }
+    }
+    go(f, &mut Vec::new(), &mut next)
+}
+
+/// A quantifier in a prenex prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Existential.
+    Exists(Var),
+    /// Universal.
+    Forall(Var),
+}
+
+/// A formula in prenex normal form: a quantifier prefix over a
+/// quantifier-free matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prenex {
+    /// The quantifier prefix, outermost first.
+    pub prefix: Vec<Quant>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Reassembles the prenex formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, q| match q {
+                Quant::Exists(v) => Formula::Exists(*v, Box::new(acc)),
+                Quant::Forall(v) => Formula::Forall(*v, Box::new(acc)),
+            })
+    }
+
+    /// Number of quantifier alternations in the prefix (Σₖ/Πₖ depth
+    /// minus one).
+    pub fn alternations(&self) -> usize {
+        self.prefix
+            .windows(2)
+            .filter(|w| {
+                matches!(
+                    (w[0], w[1]),
+                    (Quant::Exists(_), Quant::Forall(_)) | (Quant::Forall(_), Quant::Exists(_))
+                )
+            })
+            .count()
+    }
+}
+
+/// Converts to prenex normal form.
+///
+/// The input is first converted to NNF and standardized apart, then
+/// quantifiers are hoisted over `∧`/`∨`. The result is logically
+/// equivalent **over nonempty domains** (the usual FO convention —
+/// hoisting `∃` out of a disjunction is unsound on the empty structure);
+/// the prefix length may exceed the original quantifier rank.
+pub fn prenex(f: &Formula) -> Prenex {
+    let g = standardize_apart(&nnf(f));
+    fn go(f: Formula, prefix: &mut Vec<Quant>) -> Formula {
+        match f {
+            Formula::Exists(v, g) => {
+                prefix.push(Quant::Exists(v));
+                go(*g, prefix)
+            }
+            Formula::Forall(v, g) => {
+                prefix.push(Quant::Forall(v));
+                go(*g, prefix)
+            }
+            Formula::And(fs) => Formula::And(fs.into_iter().map(|g| go(g, prefix)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.into_iter().map(|g| go(g, prefix)).collect()),
+            other => other,
+        }
+    }
+    let mut prefix = Vec::new();
+    let matrix = go(g, &mut prefix);
+    Prenex { prefix, matrix }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+    use fmt_structures::Signature;
+
+    fn p(src: &str) -> Formula {
+        parse_formula(&Signature::graph(), src).unwrap()
+    }
+
+    fn quantifier_free(f: &Formula) -> bool {
+        let mut qf = true;
+        f.visit(&mut |g| {
+            if matches!(g, Formula::Exists(..) | Formula::Forall(..)) {
+                qf = false;
+            }
+        });
+        qf
+    }
+
+    fn negations_at_atoms_only(f: &Formula) -> bool {
+        let mut ok = true;
+        f.visit(&mut |g| {
+            if let Formula::Not(inner) = g {
+                if !matches!(
+                    **inner,
+                    Formula::Atom { .. } | Formula::Eq(..) | Formula::True | Formula::False
+                ) {
+                    ok = false;
+                }
+            }
+            if matches!(g, Formula::Implies(..) | Formula::Iff(..)) {
+                ok = false;
+            }
+        });
+        ok
+    }
+
+    #[test]
+    fn nnf_pushes_negations() {
+        let f = p("!(forall x. E(x,x) -> exists y. E(x,y))");
+        let g = nnf(&f);
+        assert!(negations_at_atoms_only(&g));
+        assert_eq!(f.quantifier_rank(), g.quantifier_rank());
+    }
+
+    #[test]
+    fn nnf_dualizes_quantifiers() {
+        let f = p("!(exists x. E(x,x))");
+        match nnf(&f) {
+            Formula::Forall(_, body) => {
+                assert!(matches!(*body, Formula::Not(_)));
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nnf_iff_expansion() {
+        let f = p("E(x,y) <-> E(y,x)");
+        let g = nnf(&f);
+        assert!(negations_at_atoms_only(&g));
+        // Free variables are preserved.
+        assert_eq!(f.free_vars(), g.free_vars());
+    }
+
+    #[test]
+    fn simplify_units() {
+        let f = Formula::True.and(p("E(x,y)")).and(Formula::True);
+        assert_eq!(simplify(&f), p("E(x,y)"));
+        let g = Formula::False.or(p("E(x,y)"));
+        assert_eq!(simplify(&g), p("E(x,y)"));
+        let h = p("E(x,y)").and(Formula::False);
+        assert_eq!(simplify(&h), Formula::False);
+        let dn = p("E(x,y)").not().not();
+        assert_eq!(simplify(&dn), p("E(x,y)"));
+        let selfeq = p("x = x");
+        assert_eq!(simplify(&selfeq), Formula::True);
+    }
+
+    #[test]
+    fn simplify_keeps_quantifier_over_true() {
+        // ∃x. true must NOT collapse to true (empty domains!).
+        let f = Formula::exists(Var(0), Formula::True);
+        assert_eq!(simplify(&f), f);
+    }
+
+    #[test]
+    fn standardize_apart_no_rebinding() {
+        // exists x (E(x,x) & exists x E(x,x)): same variable bound twice.
+        let f = p("exists x. (E(x,x) & exists x. E(x,x))");
+        let g = standardize_apart(&f);
+        let mut bound = Vec::new();
+        g.visit(&mut |h| {
+            if let Formula::Exists(v, _) | Formula::Forall(v, _) = h {
+                bound.push(*v);
+            }
+        });
+        let mut dedup = bound.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(bound.len(), dedup.len(), "a variable is bound twice");
+    }
+
+    #[test]
+    fn standardize_apart_preserves_free_vars() {
+        let f = p("E(x,y) & exists y. E(x,y)");
+        let g = standardize_apart(&f);
+        assert_eq!(f.free_vars(), g.free_vars());
+    }
+
+    #[test]
+    fn prenex_shape() {
+        let f = p("(exists x. E(x,x)) & (forall y. E(y,y))");
+        let pr = prenex(&f);
+        assert_eq!(pr.prefix.len(), 2);
+        assert!(quantifier_free(&pr.matrix));
+        // Reassembled formula is a well-formed prenex sentence.
+        assert!(pr.to_formula().is_sentence());
+    }
+
+    #[test]
+    fn prenex_of_implication() {
+        // x→∀: the universal in the antecedent flips to an existential.
+        let f = p("(forall x. E(x,x)) -> (exists y. E(y,y))");
+        let pr = prenex(&f);
+        assert_eq!(pr.prefix.len(), 2);
+        assert!(pr
+            .prefix
+            .iter()
+            .all(|q| matches!(q, Quant::Exists(_))));
+        assert_eq!(pr.alternations(), 0);
+    }
+
+    #[test]
+    fn alternation_count() {
+        let f = p("forall x. exists y. forall z. E(x,y) & E(y,z)");
+        let pr = prenex(&f);
+        assert_eq!(pr.alternations(), 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! A recursive-descent parser for the FO text syntax.
+//!
+//! Grammar (precedence from loosest to tightest):
+//!
+//! ```text
+//! formula := iff
+//! iff     := implies ( "<->" implies )*          (left-associative)
+//! implies := or ( "->" implies )?                (right-associative)
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary | quantified | primary
+//! quant   := ("forall" | "exists") ident+ "." implies
+//! primary := "true" | "false" | "(" formula ")"
+//!          | ident "(" term ("," term)* ")"      (relational atom)
+//!          | term "=" term | term "!=" term
+//! term    := ident                               (constant if declared, else variable)
+//! ```
+//!
+//! Multiple variables after one quantifier are sugar:
+//! `forall x y. φ` is `forall x. forall y. φ`. Identifiers that match a
+//! declared constant name denote that constant; all other identifiers
+//! are variables, numbered [`Var`]`(0), (1), …` in order of first
+//! occurrence.
+
+use crate::{Formula, Term, Var};
+use fmt_structures::Signature;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicParseError {
+    /// Byte offset into the source at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LogicParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LogicParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Eq,
+    NotEq,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, LogicParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push((i, Tok::Dot));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '&' => {
+                out.push((i, Tok::And));
+                i += 1;
+            }
+            '|' => {
+                out.push((i, Tok::Or));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::NotEq));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Not));
+                    i += 1;
+                }
+            }
+            '-' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push((i, Tok::Implies));
+                    i += 2;
+                } else {
+                    return Err(LogicParseError {
+                        offset: i,
+                        message: "expected '->'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'-') && b.get(i + 2) == Some(&b'>') {
+                    out.push((i, Tok::Iff));
+                    i += 3;
+                } else {
+                    // Bare '<' is a legal relation name character in our
+                    // signatures (the order relation); treat it as an
+                    // identifier.
+                    out.push((i, Tok::Ident("<".into())));
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'\'')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_owned())));
+            }
+            other => {
+                return Err(LogicParseError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    sig: &'a Signature,
+    vars: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(o, _)| *o)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LogicParseError {
+        LogicParseError {
+            offset: self.offset(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), LogicParseError> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        match self.vars.iter().position(|v| v == name) {
+            Some(i) => Var(i as u32),
+            None => {
+                self.vars.push(name.to_owned());
+                Var(self.vars.len() as u32 - 1)
+            }
+        }
+    }
+
+    fn term(&mut self, name: &str) -> Term {
+        match self.sig.constant(name) {
+            Some(c) => Term::Const(c),
+            None => Term::Var(self.var(name)),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, LogicParseError> {
+        let mut f = self.implies()?;
+        while self.peek() == Some(&Tok::Iff) {
+            self.pos += 1;
+            let g = self.implies()?;
+            f = f.iff(g);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, LogicParseError> {
+        let f = self.or()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.pos += 1;
+            let g = self.implies()?;
+            Ok(f.implies(g))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, LogicParseError> {
+        let mut f = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            let g = self.and()?;
+            f = f.or(g);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, LogicParseError> {
+        let mut f = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            let g = self.unary()?;
+            f = f.and(g);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, LogicParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::Ident(name)) if name == "forall" || name == "exists" => {
+                let universal = name == "forall";
+                self.pos += 1;
+                let mut vars = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(Tok::Ident(n)) => {
+                            let n = n.clone();
+                            self.pos += 1;
+                            if self.sig.constant(&n).is_some() {
+                                return Err(
+                                    self.err(format!("cannot quantify over constant {n}"))
+                                );
+                            }
+                            vars.push(self.var(&n));
+                        }
+                        Some(Tok::Dot) => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected variable or '.'")),
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err("quantifier binds no variables"));
+                }
+                let body = self.implies()?;
+                Ok(if universal {
+                    Formula::forall_many(&vars, body)
+                } else {
+                    Formula::exists_many(&vars, body)
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, LogicParseError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let f = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                // Allow `(t) = u`-free grammar: parenthesized formulas only.
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) if name == "true" => Ok(Formula::True),
+            Some(Tok::Ident(name)) if name == "false" => Ok(Formula::False),
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    // Relational atom.
+                    let rel = self
+                        .sig
+                        .relation(&name)
+                        .ok_or_else(|| self.err(format!("unknown relation {name}")))?;
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    loop {
+                        match self.bump() {
+                            Some(Tok::Ident(t)) => args.push(self.term(&t)),
+                            _ => return Err(self.err("expected term")),
+                        }
+                        match self.bump() {
+                            Some(Tok::Comma) => continue,
+                            Some(Tok::RParen) => break,
+                            _ => return Err(self.err("expected ',' or ')'")),
+                        }
+                    }
+                    if args.len() != self.sig.arity(rel) {
+                        return Err(self.err(format!(
+                            "relation {name} has arity {}, got {} arguments",
+                            self.sig.arity(rel),
+                            args.len()
+                        )));
+                    }
+                    Ok(Formula::Atom { rel, args })
+                } else {
+                    // Equality / inequality atom.
+                    let lhs = self.term(&name);
+                    match self.bump() {
+                        Some(Tok::Eq) => {}
+                        Some(Tok::NotEq) => {
+                            let rhs = match self.bump() {
+                                Some(Tok::Ident(t)) => self.term(&t),
+                                _ => return Err(self.err("expected term after '!='")),
+                            };
+                            return Ok(Formula::Eq(lhs, rhs).not());
+                        }
+                        Some(Tok::Ident(op)) if op == "<" => {
+                            // Infix notation for the order relation, if
+                            // the signature declares `<`.
+                            let rel = self
+                                .sig
+                                .relation("<")
+                                .ok_or_else(|| self.err("signature has no '<' relation"))?;
+                            let rhs = match self.bump() {
+                                Some(Tok::Ident(t)) => self.term(&t),
+                                _ => return Err(self.err("expected term after '<'")),
+                            };
+                            return Ok(Formula::Atom {
+                                rel,
+                                args: vec![lhs, rhs],
+                            });
+                        }
+                        _ => return Err(self.err("expected '=', '!=' or '<' after term")),
+                    }
+                    let rhs = match self.bump() {
+                        Some(Tok::Ident(t)) => self.term(&t),
+                        _ => return Err(self.err("expected term after '='")),
+                    };
+                    Ok(Formula::Eq(lhs, rhs))
+                }
+            }
+            _ => Err(self.err("expected formula")),
+        }
+    }
+}
+
+/// Parses a formula, returning it together with the variable-name table
+/// (`table[i]` is the source name of [`Var`]`(i)`).
+pub fn parse_formula_with_vars(
+    sig: &Signature,
+    src: &str,
+) -> Result<(Formula, Vec<String>), LogicParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        sig,
+        vars: Vec::new(),
+    };
+    let f = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after formula"));
+    }
+    debug_assert!(f.well_formed(sig).is_ok());
+    Ok((f, p.vars))
+}
+
+/// Parses a formula over the given signature.
+pub fn parse_formula(sig: &Signature, src: &str) -> Result<Formula, LogicParseError> {
+    parse_formula_with_vars(sig, src).map(|(f, _)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::Signature;
+
+    #[test]
+    fn atoms_and_equality() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "E(x, y)").unwrap();
+        assert_eq!(f.free_vars().len(), 2);
+        let g = parse_formula(&sig, "x = y").unwrap();
+        assert!(matches!(g, Formula::Eq(..)));
+        let h = parse_formula(&sig, "x != y").unwrap();
+        assert!(matches!(h, Formula::Not(_)));
+    }
+
+    #[test]
+    fn precedence() {
+        let sig = Signature::graph();
+        // a & b | c parses as (a & b) | c.
+        let f = parse_formula(&sig, "E(x,x) & E(y,y) | E(z,z)").unwrap();
+        assert!(matches!(f, Formula::Or(_)));
+        // a -> b -> c is right-associative.
+        let g = parse_formula(&sig, "E(x,x) -> E(y,y) -> E(z,z)").unwrap();
+        if let Formula::Implies(_, rhs) = g {
+            assert!(matches!(*rhs, Formula::Implies(..)));
+        } else {
+            panic!("expected implies");
+        }
+    }
+
+    #[test]
+    fn quantifier_sugar() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "forall x y. E(x, y)").unwrap();
+        assert_eq!(f.quantifier_rank(), 2);
+        assert!(f.is_sentence());
+        let g = parse_formula(&sig, "exists x. forall y. E(x,y) & E(y,x)").unwrap();
+        assert_eq!(g.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn quantifier_scope_extends_right() {
+        let sig = Signature::graph();
+        // The body of the quantifier is everything to the right at
+        // implies level, so this is a sentence.
+        let f = parse_formula(&sig, "forall x. E(x,x) -> exists y. E(x,y)").unwrap();
+        assert!(f.is_sentence());
+    }
+
+    #[test]
+    fn infix_order() {
+        let sig = Signature::order();
+        let f = parse_formula(&sig, "forall x y. x < y -> !(y < x)").unwrap();
+        assert!(f.is_sentence());
+        assert!(f.well_formed(&sig).is_ok());
+        // Prefix form works too.
+        let g = parse_formula(&sig, "forall x y. <(x, y) -> !<(y, x)").unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn constants_resolved() {
+        let sig = Signature::builder()
+            .relation("E", 2)
+            .constant("root")
+            .finish_arc();
+        let f = parse_formula(&sig, "exists x. E(root, x)").unwrap();
+        let mut has_const = false;
+        f.visit(&mut |g| {
+            if let Formula::Atom { args, .. } = g {
+                has_const |= args.iter().any(|t| matches!(t, Term::Const(_)));
+            }
+        });
+        assert!(has_const);
+        // Quantifying over a constant is an error.
+        assert!(parse_formula(&sig, "exists root. E(root, root)").is_err());
+    }
+
+    #[test]
+    fn variable_table() {
+        let sig = Signature::graph();
+        let (_, vars) = parse_formula_with_vars(&sig, "E(alpha, beta) & E(beta, alpha)").unwrap();
+        assert_eq!(vars, vec!["alpha".to_owned(), "beta".to_owned()]);
+    }
+
+    #[test]
+    fn errors() {
+        let sig = Signature::graph();
+        assert!(parse_formula(&sig, "F(x, y)").is_err()); // unknown relation
+        assert!(parse_formula(&sig, "E(x)").is_err()); // wrong arity
+        assert!(parse_formula(&sig, "E(x, y) &").is_err()); // dangling
+        assert!(parse_formula(&sig, "E(x, y) E(y, x)").is_err()); // trailing
+        assert!(parse_formula(&sig, "(E(x, y)").is_err()); // unbalanced
+        assert!(parse_formula(&sig, "forall . E(x, x)").is_err()); // no vars
+        assert!(parse_formula(&sig, "@").is_err()); // bad char
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let sig = Signature::graph();
+        let sources = [
+            "forall x. exists y. E(x, y)",
+            "E(x, y) & !(x = y) | E(y, x)",
+            "(E(x, y) -> E(y, x)) <-> E(x, x)",
+            "exists x y z. E(x, y) & E(y, z) & E(z, x)",
+            "true & !false",
+        ];
+        for src in sources {
+            let f = parse_formula(&sig, src).unwrap();
+            let printed = format!("{}", f.display(&sig));
+            let g = parse_formula(&sig, &printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(f, g, "roundtrip failed for {src:?} -> {printed:?}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Queries: formulas bundled with their signature and answer variables.
+
+use crate::parser::{parse_formula_with_vars, LogicParseError};
+use crate::{Formula, Var};
+use fmt_structures::Signature;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Errors constructing a [`Query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The formula is ill-formed with respect to the signature.
+    IllFormed(String),
+    /// The declared answer variables don't match the formula's free
+    /// variables.
+    FreeVariableMismatch {
+        /// The declared answer variables.
+        declared: Vec<Var>,
+        /// The formula's actual free variables.
+        actual: Vec<Var>,
+    },
+    /// A Boolean query (sentence) was required but the formula has free
+    /// variables.
+    NotASentence(Vec<Var>),
+    /// The query text failed to parse.
+    Parse(LogicParseError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::IllFormed(m) => write!(f, "ill-formed formula: {m}"),
+            QueryError::FreeVariableMismatch { declared, actual } => write!(
+                f,
+                "answer variables {declared:?} do not match free variables {actual:?}"
+            ),
+            QueryError::NotASentence(vs) => {
+                write!(f, "expected a sentence but found free variables {vs:?}")
+            }
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<LogicParseError> for QueryError {
+    fn from(e: LogicParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// An `m`-ary first-order query `φ(x̄)`: a validated formula over a
+/// signature together with an ordered tuple of answer variables.
+///
+/// A query with `arity() == 0` is a **Boolean query** (a sentence);
+/// evaluating it yields `{()}` (true) or `∅` (false), as in the survey.
+///
+/// ```
+/// use fmt_logic::Query;
+/// use fmt_structures::Signature;
+///
+/// let q = Query::parse(&Signature::graph(), "exists y. E(x, y)").unwrap();
+/// assert_eq!(q.arity(), 1);
+/// let s = Query::parse_sentence(&Signature::graph(), "forall x. exists y. E(x, y)").unwrap();
+/// assert_eq!(s.arity(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    sig: Arc<Signature>,
+    formula: Formula,
+    free: Vec<Var>,
+}
+
+impl Query {
+    /// Builds a query whose answer variables are the formula's free
+    /// variables in increasing index order.
+    pub fn new(sig: Arc<Signature>, formula: Formula) -> Result<Query, QueryError> {
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        Query::with_free(sig, formula, free)
+    }
+
+    /// Builds a query with an explicit answer-variable order. The set of
+    /// answer variables must equal the formula's free variables (no
+    /// repeats).
+    pub fn with_free(
+        sig: Arc<Signature>,
+        formula: Formula,
+        free: Vec<Var>,
+    ) -> Result<Query, QueryError> {
+        formula.well_formed(&sig).map_err(QueryError::IllFormed)?;
+        let actual: Vec<Var> = formula.free_vars().into_iter().collect();
+        let mut declared = free.clone();
+        declared.sort_unstable();
+        let dup = declared.windows(2).any(|w| w[0] == w[1]);
+        if dup || declared != actual {
+            return Err(QueryError::FreeVariableMismatch {
+                declared: free,
+                actual,
+            });
+        }
+        Ok(Query { sig, formula, free })
+    }
+
+    /// Builds a Boolean query; fails if the formula has free variables.
+    pub fn sentence(sig: Arc<Signature>, formula: Formula) -> Result<Query, QueryError> {
+        let fv: Vec<Var> = formula.free_vars().into_iter().collect();
+        if !fv.is_empty() {
+            return Err(QueryError::NotASentence(fv));
+        }
+        Query::with_free(sig, formula, vec![])
+    }
+
+    /// Parses a query; answer variables are the free variables in order
+    /// of first occurrence in the source text.
+    pub fn parse(sig: &Arc<Signature>, src: &str) -> Result<Query, QueryError> {
+        let (formula, _names) = parse_formula_with_vars(sig, src)?;
+        let free_set = formula.free_vars();
+        // Order of first occurrence = increasing Var index among free.
+        let free: Vec<Var> = free_set.into_iter().collect();
+        Query::with_free(sig.clone(), formula, free)
+    }
+
+    /// Parses a Boolean query (sentence).
+    pub fn parse_sentence(sig: &Arc<Signature>, src: &str) -> Result<Query, QueryError> {
+        let (formula, _names) = parse_formula_with_vars(sig, src)?;
+        Query::sentence(sig.clone(), formula)
+    }
+
+    /// The signature the query is over.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The ordered answer variables.
+    pub fn free(&self) -> &[Var] {
+        &self.free
+    }
+
+    /// The arity of the query (0 for Boolean queries).
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `true` for Boolean queries.
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Quantifier rank of the underlying formula.
+    pub fn quantifier_rank(&self) -> u32 {
+        self.formula.quantifier_rank()
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.formula.display(&self.sig))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    #[test]
+    fn free_vars_become_answer_vars() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "E(x, y) & exists z. E(y, z)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.free(), &[Var(0), Var(1)]);
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn sentence_rejects_free_vars() {
+        let sig = Signature::graph();
+        assert!(matches!(
+            Query::parse_sentence(&sig, "E(x, y)"),
+            Err(QueryError::NotASentence(_))
+        ));
+        let q = Query::parse_sentence(&sig, "exists x y. E(x, y)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn explicit_free_order() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "E(x, y)").unwrap();
+        let q = Query::with_free(sig.clone(), f.clone(), vec![Var(1), Var(0)]).unwrap();
+        assert_eq!(q.free(), &[Var(1), Var(0)]);
+        // Mismatched set rejected.
+        assert!(Query::with_free(sig.clone(), f.clone(), vec![Var(0)]).is_err());
+        // Duplicates rejected.
+        assert!(Query::with_free(sig, f, vec![Var(0), Var(0), Var(1)]).is_err());
+    }
+
+    #[test]
+    fn ill_formed_rejected() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let bad = Formula::atom(e, &[Var(0)]); // wrong arity
+        assert!(matches!(
+            Query::new(sig, bad),
+            Err(QueryError::IllFormed(_))
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let sig = Signature::graph();
+        let q = Query::parse_sentence(&sig, "forall x. exists y. E(x, y)").unwrap();
+        let s = q.to_string();
+        assert!(s.contains("forall"));
+    }
+}

@@ -1,0 +1,151 @@
+//! FO interpretations: defining one structure inside another.
+//!
+//! The paper's reduction tricks are *FO-definable transformations* of
+//! structures — "the following query is easily definable: for each
+//! element in the order, put an edge to its 2nd successor; …". An
+//! [`Interpretation`] packages such a transformation: one FO query per
+//! target relation (over the source signature), evaluated to build the
+//! target structure on the same domain. Because every component is FO,
+//! composing an interpretation with an FO sentence yields an FO
+//! sentence — which is exactly why the tricks transfer
+//! inexpressibility.
+
+use fmt_eval::relalg;
+use fmt_logic::Query;
+use fmt_structures::{Signature, Structure, StructureBuilder};
+use std::sync::Arc;
+
+/// A (one-dimensional, domain-preserving) FO interpretation from
+/// σ-structures to τ-structures: for each τ-relation of arity `k`, a
+/// k-ary FO query over σ.
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    source: Arc<Signature>,
+    target: Arc<Signature>,
+    defs: Vec<Query>,
+}
+
+impl Interpretation {
+    /// Builds an interpretation. `defs[i]` must be a query over
+    /// `source` whose arity matches the arity of the `i`-th relation of
+    /// `target`; `target` must be constant-free.
+    pub fn new(
+        source: Arc<Signature>,
+        target: Arc<Signature>,
+        defs: Vec<Query>,
+    ) -> Result<Interpretation, String> {
+        if target.num_constants() != 0 {
+            return Err("target signature must be constant-free".into());
+        }
+        if defs.len() != target.num_relations() {
+            return Err(format!(
+                "expected {} defining queries, got {}",
+                target.num_relations(),
+                defs.len()
+            ));
+        }
+        for ((r, name, arity), q) in target.relations().zip(defs.iter()) {
+            let _ = r;
+            if q.signature() != &source {
+                return Err(format!("defining query for {name} is over the wrong signature"));
+            }
+            if q.arity() != arity {
+                return Err(format!(
+                    "defining query for {name} has arity {}, relation has arity {arity}",
+                    q.arity()
+                ));
+            }
+        }
+        Ok(Interpretation {
+            source,
+            target,
+            defs,
+        })
+    }
+
+    /// The source signature.
+    pub fn source(&self) -> &Arc<Signature> {
+        &self.source
+    }
+
+    /// The target signature.
+    pub fn target(&self) -> &Arc<Signature> {
+        &self.target
+    }
+
+    /// Applies the interpretation: evaluates every defining query on `s`
+    /// and assembles the target structure (same domain).
+    ///
+    /// # Panics
+    /// Panics if `s` is not over the source signature.
+    pub fn apply(&self, s: &Structure) -> Structure {
+        assert_eq!(s.signature(), &self.source, "signature mismatch");
+        let mut b = StructureBuilder::new(self.target.clone(), s.size());
+        for ((r, _, _), q) in self.target.relations().zip(self.defs.iter()) {
+            for row in relalg::answers(s, q) {
+                b.add(r, &row).expect("answers are in range");
+            }
+        }
+        b.build().expect("target is constant-free")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::builders;
+
+    #[test]
+    fn symmetric_closure_as_interpretation() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "E(x, y) | E(y, x)").unwrap();
+        let i = Interpretation::new(sig.clone(), sig.clone(), vec![q]).unwrap();
+        let p = builders::directed_path(4);
+        let out = i.apply(&p);
+        assert_eq!(out, crate::graph::symmetric_closure(&p));
+    }
+
+    #[test]
+    fn complement_graph() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "!E(x, y) & !(x = y)").unwrap();
+        let i = Interpretation::new(sig.clone(), sig.clone(), vec![q]).unwrap();
+        let empty = builders::empty_graph(4);
+        assert_eq!(i.apply(&empty), builders::complete_graph(4));
+        let complete = builders::complete_graph(4);
+        assert_eq!(i.apply(&complete), builders::empty_graph(4));
+    }
+
+    #[test]
+    fn order_to_successor() {
+        let order_sig = Signature::order();
+        let succ_sig = Signature::successor();
+        let q = Query::parse(&order_sig, "x < y & !(exists z. x < z & z < y)").unwrap();
+        let i = Interpretation::new(order_sig, succ_sig, vec![q]).unwrap();
+        let out = i.apply(&builders::linear_order(5));
+        assert_eq!(out, builders::successor_chain(5));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let sig = Signature::graph();
+        let unary = Query::parse(&sig, "exists y. E(x, y)").unwrap();
+        // Arity mismatch.
+        assert!(Interpretation::new(sig.clone(), sig.clone(), vec![unary]).is_err());
+        // Wrong number of defs.
+        assert!(Interpretation::new(sig.clone(), sig.clone(), vec![]).is_err());
+        // Wrong source signature.
+        let other = Signature::order();
+        let q = Query::parse(&other, "x < y").unwrap();
+        assert!(Interpretation::new(sig.clone(), sig, vec![q]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "signature mismatch")]
+    fn apply_checks_signature() {
+        let sig = Signature::graph();
+        let q = Query::parse(&sig, "E(x, y)").unwrap();
+        let i = Interpretation::new(sig, Signature::graph(), vec![q]).unwrap();
+        i.apply(&builders::linear_order(3));
+    }
+}

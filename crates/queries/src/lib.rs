@@ -1,0 +1,31 @@
+//! # fmt-queries
+//!
+//! The query zoo and reduction machinery of the toolbox (Libkin,
+//! PODS'09, §3.3): the canonical **non-FO-definable** queries that the
+//! survey's inexpressibility arguments target, an executable
+//! implementation of each, a small **Datalog engine** for the fixpoint
+//! queries, and the **FO interpretations** that carry the reduction
+//! tricks.
+//!
+//! * [`graph`] — transitive closure, connectivity, acyclicity, tree
+//!   test, EVEN, and friends (reference implementations used as ground
+//!   truth throughout the workspace);
+//! * [`datalog`] — a Datalog engine with naive and semi-naive
+//!   evaluation, including the survey's *same-generation* program and
+//!   the transitive-closure program;
+//! * [`interp`] — FO interpretations: define a new structure by FO
+//!   formulas over an old one (reductions-as-queries);
+//! * [`reductions`] — the paper's three tricks, end to end:
+//!   EVEN(<) → CONN (2nd-successor gadget), EVEN(<) → ACYCL (back
+//!   edge), CONN → TC (symmetric closure + completeness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod graph;
+pub mod interp;
+pub mod order_invariant;
+pub mod reductions;
+
+pub use interp::Interpretation;

@@ -1,0 +1,257 @@
+//! Structures with order (§3.6 of the survey): order-invariant queries.
+//!
+//! In most database applications domains are totally ordered, so the
+//! right setting is structures `(A, <)`. A sentence over `σ ∪ {<}` is
+//! **order-invariant** if its truth value does not depend on which
+//! linear order is attached: it then defines a query on plain
+//! σ-structures. The survey's §3.6 discusses how the expressivity
+//! bounds fare in this setting (order-invariant FO is known to be more
+//! expressive than FO — Gurevich — while locality partially survives).
+//!
+//! This module provides the executable tool: [`invariant_value`]
+//! evaluates a `σ ∪ {<}` sentence under **every** linear order on the
+//! domain (exhaustively, so structures must be small) and reports
+//! whether the value is order-invariant, together with a
+//! counterexample pair of orders when it is not.
+
+use fmt_eval::naive;
+use fmt_logic::Formula;
+use fmt_structures::{Elem, Signature, Structure, StructureBuilder};
+use std::sync::Arc;
+
+/// Extends a signature with a fresh binary order symbol `<`.
+///
+/// # Panics
+/// Panics if the signature already declares `<`.
+pub fn with_order(sig: &Signature) -> Arc<Signature> {
+    assert!(sig.relation("<").is_none(), "signature already has '<'");
+    let mut b = Signature::builder();
+    for (_, name, arity) in sig.relations() {
+        b = b.relation(name, arity);
+    }
+    for (_, name) in sig.constants() {
+        b = b.constant(name);
+    }
+    b.relation("<", 2).finish_arc()
+}
+
+/// Expands a σ-structure to a `σ ∪ {<}` structure using the linear
+/// order in which `ranking[i]` is the element of rank `i` (smallest
+/// first).
+///
+/// # Panics
+/// Panics if `ranking` is not a permutation of the domain.
+pub fn expand_with_order(s: &Structure, ordered_sig: &Arc<Signature>, ranking: &[Elem]) -> Structure {
+    assert_eq!(ranking.len(), s.size() as usize, "ranking must cover the domain");
+    let lt = ordered_sig.relation("<").expect("ordered signature");
+    let mut b = StructureBuilder::new(ordered_sig.clone(), s.size());
+    for (r, name, _) in s.signature().relations() {
+        let target = ordered_sig.relation(name).expect("copied relation");
+        for t in s.rel(r).iter() {
+            b.add(target, t).expect("in range");
+        }
+    }
+    for (c, name) in s.signature().constants() {
+        let target = ordered_sig.constant(name).expect("copied constant");
+        b.set_constant(target, s.constant(c));
+    }
+    for i in 0..ranking.len() {
+        for j in (i + 1)..ranking.len() {
+            b.add(lt, &[ranking[i], ranking[j]]).expect("in range");
+        }
+    }
+    b.build().expect("constants copied")
+}
+
+/// The outcome of an order-invariance check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Invariance {
+    /// The sentence has the same value under every linear order.
+    Invariant(bool),
+    /// Two orders disagree: the rankings and their respective values.
+    Dependent {
+        /// A ranking under which the sentence is true.
+        true_under: Vec<Elem>,
+        /// A ranking under which the sentence is false.
+        false_under: Vec<Elem>,
+    },
+}
+
+/// Evaluates `f` (a sentence over `σ ∪ {<}`) on `s` under every linear
+/// order of the domain.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or `s.size() > 8` (there are `n!`
+/// orders).
+pub fn invariant_value(s: &Structure, ordered_sig: &Arc<Signature>, f: &Formula) -> Invariance {
+    assert!(f.is_sentence(), "order-invariance concerns sentences");
+    assert!(s.size() <= 8, "exhaustive order check is bound to n ≤ 8");
+    let n = s.size() as usize;
+    let mut ranking: Vec<Elem> = (0..n as Elem).collect();
+    let mut first_true: Option<Vec<Elem>> = None;
+    let mut first_false: Option<Vec<Elem>> = None;
+
+    // Heap's algorithm over rankings.
+    let mut c = vec![0usize; n.max(1)];
+    let consider = |ranking: &[Elem],
+                        first_true: &mut Option<Vec<Elem>>,
+                        first_false: &mut Option<Vec<Elem>>| {
+        let expanded = expand_with_order(s, ordered_sig, ranking);
+        if naive::check_sentence(&expanded, f) {
+            first_true.get_or_insert_with(|| ranking.to_vec());
+        } else {
+            first_false.get_or_insert_with(|| ranking.to_vec());
+        }
+    };
+    consider(&ranking, &mut first_true, &mut first_false);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                ranking.swap(0, i);
+            } else {
+                ranking.swap(c[i], i);
+            }
+            consider(&ranking, &mut first_true, &mut first_false);
+            if first_true.is_some() && first_false.is_some() {
+                break; // dependence established
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    match (first_true, first_false) {
+        (Some(t), Some(fl)) => Invariance::Dependent {
+            true_under: t,
+            false_under: fl,
+        },
+        (Some(_), None) => Invariance::Invariant(true),
+        (None, Some(_)) => Invariance::Invariant(false),
+        (None, None) => unreachable!("at least one order was evaluated"),
+    }
+}
+
+/// `true` if `f` is order-invariant on `s`.
+pub fn is_invariant_on(s: &Structure, ordered_sig: &Arc<Signature>, f: &Formula) -> bool {
+    matches!(invariant_value(s, ordered_sig, f), Invariance::Invariant(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::parser::parse_formula;
+    use fmt_structures::builders;
+
+    fn setup() -> (Arc<Signature>, Arc<Signature>) {
+        let sig = Signature::graph();
+        let ordered = with_order(&sig);
+        (sig, ordered)
+    }
+
+    #[test]
+    fn pure_sigma_sentences_are_invariant() {
+        let (_, ordered) = setup();
+        let f = parse_formula(&ordered, "exists x y. E(x, y) & !(x = y)").unwrap();
+        for s in [
+            builders::directed_path(4),
+            builders::empty_graph(3),
+            builders::undirected_cycle(4),
+        ] {
+            match invariant_value(&s, &ordered, &f) {
+                Invariance::Invariant(v) => {
+                    // Value matches plain evaluation on the unordered
+                    // structure.
+                    let plain = parse_formula(s.signature(), "exists x y. E(x, y) & !(x = y)")
+                        .unwrap();
+                    assert_eq!(v, naive::check_sentence(&s, &plain));
+                }
+                other => panic!("pure-σ sentence must be invariant, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn order_using_but_invariant() {
+        // ∃x∃y x < y just says "at least two elements".
+        let (_, ordered) = setup();
+        let f = parse_formula(&ordered, "exists x y. x < y").unwrap();
+        assert_eq!(
+            invariant_value(&builders::empty_graph(3), &ordered, &f),
+            Invariance::Invariant(true)
+        );
+        assert_eq!(
+            invariant_value(&builders::empty_graph(1), &ordered, &f),
+            Invariance::Invariant(false)
+        );
+    }
+
+    #[test]
+    fn order_dependent_sentence_detected() {
+        // "The <-minimum has an outgoing edge" depends on the order on
+        // a path (source vs sink as minimum).
+        let (_, ordered) = setup();
+        let f = parse_formula(
+            &ordered,
+            "exists x. (!(exists z. z < x)) & (exists y. E(x, y))",
+        )
+        .unwrap();
+        let s = builders::directed_path(3);
+        match invariant_value(&s, &ordered, &f) {
+            Invariance::Dependent {
+                true_under,
+                false_under,
+            } => {
+                // Re-verify the counterexample pair.
+                let t = expand_with_order(&s, &ordered, &true_under);
+                let fl = expand_with_order(&s, &ordered, &false_under);
+                assert!(naive::check_sentence(&t, &f));
+                assert!(!naive::check_sentence(&fl, &f));
+            }
+            other => panic!("expected dependence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependent_on_symmetric_input_still_invariant() {
+        // On a vertex-transitive input (a cycle with every vertex
+        // looking alike), "the minimum has an outgoing edge" is
+        // invariant even though it mentions the order.
+        let (_, ordered) = setup();
+        let f = parse_formula(
+            &ordered,
+            "exists x. (!(exists z. z < x)) & (exists y. E(x, y))",
+        )
+        .unwrap();
+        assert_eq!(
+            invariant_value(&builders::directed_cycle(4), &ordered, &f),
+            Invariance::Invariant(true)
+        );
+    }
+
+    #[test]
+    fn expand_with_order_shape() {
+        let (_, ordered) = setup();
+        let s = builders::directed_path(3);
+        let ranking = vec![2u32, 0, 1]; // 2 < 0 < 1
+        let t = expand_with_order(&s, &ordered, &ranking);
+        let lt = ordered.relation("<").unwrap();
+        assert!(t.holds(lt, &[2, 0]));
+        assert!(t.holds(lt, &[2, 1]));
+        assert!(t.holds(lt, &[0, 1]));
+        assert!(!t.holds(lt, &[1, 0]));
+        // Original relation preserved.
+        let e = ordered.relation("E").unwrap();
+        assert!(t.holds(e, &[0, 1]));
+        assert_eq!(t.rel(lt).len(), 3);
+    }
+
+    #[test]
+    fn with_order_rejects_existing_order() {
+        let sig = Signature::order();
+        let result = std::panic::catch_unwind(|| with_order(&sig));
+        assert!(result.is_err());
+    }
+}

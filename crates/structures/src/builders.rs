@@ -1,0 +1,466 @@
+//! The structure families on which the paper's arguments are played.
+//!
+//! Every inexpressibility argument in the survey is carried by a concrete
+//! family of structures: pure sets for `EVEN(∅)`, linear orders `Lₙ` for
+//! Theorem 3.1, successor chains for the BNDP example, long chains for
+//! the Gaifman-locality argument against transitive closure, cycles
+//! `Cₘ ⊎ Cₘ` vs `C₂ₘ` for the Hanf-locality argument against
+//! connectivity, and full binary trees for the same-generation Datalog
+//! example. This module builds all of them.
+
+use crate::{Elem, Signature, Structure, StructureBuilder};
+use rand::{Rng, RngExt};
+
+/// A pure set of `n` elements: a structure over the empty vocabulary.
+///
+/// The paper's opening EVEN example: over pure sets the duplicator wins
+/// the `n`-round game on any two sets with at least `n` elements.
+pub fn set(n: u32) -> Structure {
+    StructureBuilder::new(Signature::empty(), n).build_unchecked()
+}
+
+/// The linear order `Lₙ` on `n` elements: `<` interpreted as
+/// `{(i, j) | i < j}` over the domain `{0, …, n−1}`.
+pub fn linear_order(n: u32) -> Structure {
+    let sig = Signature::order();
+    let lt = sig.relation("<").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_unchecked(lt, &[i, j]);
+        }
+    }
+    b.build_unchecked()
+}
+
+/// The successor chain `Sₙ` on `n` elements:
+/// `S = {(0,1), (1,2), …, (n−2, n−1)}`.
+///
+/// The paper's BNDP warm-up: all in/out degrees of `Sₙ` are 0 or 1, but
+/// its transitive closure realizes every degree in `{0, …, n−1}`.
+pub fn successor_chain(n: u32) -> Structure {
+    let sig = Signature::successor();
+    let s = sig.relation("S").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 1..n {
+        b.add_unchecked(s, &[i - 1, i]);
+    }
+    b.build_unchecked()
+}
+
+/// A directed path graph on `n` vertices over the graph vocabulary:
+/// edges `(0,1), (1,2), …`.
+pub fn directed_path(n: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 1..n {
+        b.add_unchecked(e, &[i - 1, i]);
+    }
+    b.build_unchecked()
+}
+
+/// An undirected path (chain) on `n` vertices: edges in both directions.
+///
+/// Used as the "very long chain" in the Gaifman-locality argument
+/// against transitive closure, and as `G₁` in the paper's tree-test
+/// example.
+pub fn undirected_path(n: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 1..n {
+        b.add_unchecked(e, &[i - 1, i]);
+        b.add_unchecked(e, &[i, i - 1]);
+    }
+    b.build_unchecked()
+}
+
+/// A directed cycle on `n ≥ 1` vertices: edges `(i, i+1 mod n)`.
+pub fn directed_cycle(n: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 0..n {
+        b.add_unchecked(e, &[i, (i + 1) % n]);
+    }
+    b.build_unchecked()
+}
+
+/// An undirected cycle `Cₙ` on `n ≥ 3` vertices: edges in both
+/// directions.
+///
+/// The paper's canonical Hanf-locality example compares `Cₘ ⊎ Cₘ` with
+/// `C₂ₘ` for `m > 2r + 1`.
+///
+/// # Panics
+/// Panics if `n < 3` (smaller "cycles" would collapse to multi-edges).
+pub fn undirected_cycle(n: u32) -> Structure {
+    assert!(n >= 3, "an undirected cycle needs at least 3 vertices");
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.add_unchecked(e, &[i, j]);
+        b.add_unchecked(e, &[j, i]);
+    }
+    b.build_unchecked()
+}
+
+/// The disjoint union of `k` copies of `s` (signature must be
+/// constant-free).
+///
+/// # Panics
+/// Panics if `k == 0` or the signature has constants.
+pub fn copies(s: &Structure, k: u32) -> Structure {
+    assert!(k >= 1);
+    let mut acc = s.clone();
+    for _ in 1..k {
+        acc = acc
+            .disjoint_union(s)
+            .expect("copies requires a constant-free signature");
+    }
+    acc
+}
+
+/// The complete loop-free directed graph `Kₙ`: all edges `(u, v)` with
+/// `u ≠ v`.
+///
+/// The paper's 0-1 law example `Q₁ = ∀x∀y E(x,y)` holds (essentially)
+/// only on complete graphs, so `μ(Q₁) = 0`.
+pub fn complete_graph(n: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                b.add_unchecked(e, &[u, v]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// The edgeless graph on `n` vertices.
+pub fn empty_graph(n: u32) -> Structure {
+    StructureBuilder::new(Signature::graph(), n).build_unchecked()
+}
+
+/// The full binary tree of depth `d` as a directed parent→child graph
+/// (`2^{d+1} − 1` vertices; vertex 0 is the root, children of `v` are
+/// `2v+1` and `2v+2`).
+///
+/// The paper's same-generation example: on this input the Datalog
+/// same-generation query realizes all degrees `1, 2, 4, …, 2^d`,
+/// violating the BNDP.
+pub fn full_binary_tree(depth: u32) -> Structure {
+    let n: u32 = (1u32 << (depth + 1)) - 1;
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                b.add_unchecked(e, &[v, child]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// An undirected `w × h` grid graph (vertex `(x, y)` is `y*w + x`).
+///
+/// A standard bounded-degree family (max degree 4), used in the
+/// linear-time bounded-degree evaluation experiments.
+pub fn grid(w: u32, h: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, w * h);
+    let id = |x: u32, y: u32| y * w + x;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_unchecked(e, &[id(x, y), id(x + 1, y)]);
+                b.add_unchecked(e, &[id(x + 1, y), id(x, y)]);
+            }
+            if y + 1 < h {
+                b.add_unchecked(e, &[id(x, y), id(x, y + 1)]);
+                b.add_unchecked(e, &[id(x, y + 1), id(x, y)]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// The complete bipartite graph `K_{a,b}` (undirected; left part
+/// `0..a`, right part `a..a+b`).
+pub fn complete_bipartite(a: u32, b: u32) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut builder = StructureBuilder::new(sig, a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            builder.add_unchecked(e, &[u, v]);
+            builder.add_unchecked(e, &[v, u]);
+        }
+    }
+    builder.build_unchecked()
+}
+
+/// The star `K_{1,n}`: center 0 joined to `n` leaves (undirected).
+pub fn star(leaves: u32) -> Structure {
+    complete_bipartite(1, leaves)
+}
+
+/// The `d`-dimensional hypercube graph `Q_d` on `2^d` vertices
+/// (undirected; vertices adjacent iff their indices differ in one bit).
+///
+/// A classic vertex-transitive bounded-degree family (degree `d`).
+///
+/// # Panics
+/// Panics if `d > 20` (2²⁰ vertices is the sanity bound).
+pub fn hypercube(d: u32) -> Structure {
+    assert!(d <= 20, "hypercube dimension bound");
+    let n = 1u32 << d;
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_unchecked(e, &[v, w]);
+                b.add_unchecked(e, &[w, v]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// An Erdős–Rényi random **undirected** graph `G(n, p)` (each unordered
+/// pair independently an edge with probability `p`; stored
+/// symmetrically).
+pub fn random_undirected_graph<R: Rng + ?Sized>(n: u32, p: f64, rng: &mut R) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                b.add_unchecked(e, &[u, v]);
+                b.add_unchecked(e, &[v, u]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// An Erdős–Rényi random **directed** graph: each ordered pair `(u, v)`,
+/// `u ≠ v`, independently an edge with probability `p`.
+pub fn random_directed_graph<R: Rng + ?Sized>(n: u32, p: f64, rng: &mut R) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut b = StructureBuilder::new(sig, n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.random_bool(p) {
+                b.add_unchecked(e, &[u, v]);
+            }
+        }
+    }
+    b.build_unchecked()
+}
+
+/// A random graph of maximum total degree ≤ `k`, built by sampling
+/// candidate undirected edges and keeping those that respect the bound.
+///
+/// Used by the bounded-degree linear-time evaluation experiments
+/// (Theorem 3.11): a large sparse input whose Gaifman degrees are
+/// certified `≤ k`.
+pub fn random_bounded_degree_graph<R: Rng + ?Sized>(n: u32, k: usize, rng: &mut R) -> Structure {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    let mut deg = vec![0usize; n as usize];
+    let mut edges: Vec<(Elem, Elem)> = Vec::new();
+    let attempts = (n as usize) * k;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..attempts {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.contains(&key) {
+            continue;
+        }
+        if deg[u as usize] < k && deg[v as usize] < k {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            seen.insert(key);
+            edges.push(key);
+        }
+    }
+    let mut b = StructureBuilder::new(sig, n);
+    for (u, v) in edges {
+        b.add_unchecked(e, &[u, v]);
+        b.add_unchecked(e, &[v, u]);
+    }
+    b.build_unchecked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_has_no_relations() {
+        let s = set(7);
+        assert_eq!(s.size(), 7);
+        assert_eq!(s.signature().num_relations(), 0);
+        assert_eq!(s.num_tuples(), 0);
+    }
+
+    #[test]
+    fn linear_order_counts() {
+        let l = linear_order(5);
+        let lt = l.signature().relation("<").unwrap();
+        assert_eq!(l.rel(lt).len(), 10); // C(5,2)
+        assert!(l.holds(lt, &[0, 4]));
+        assert!(!l.holds(lt, &[4, 0]));
+        assert!(!l.holds(lt, &[2, 2]));
+    }
+
+    #[test]
+    fn successor_chain_degrees() {
+        let s = successor_chain(6);
+        let r = s.signature().relation("S").unwrap();
+        assert_eq!(s.rel(r).len(), 5);
+        assert_eq!(s.out_degree(r, 0), 1);
+        assert_eq!(s.in_degree(r, 0), 0);
+        assert_eq!(s.out_degree(r, 5), 0);
+        assert_eq!(s.in_degree(r, 5), 1);
+    }
+
+    #[test]
+    fn cycle_is_regular() {
+        let c = undirected_cycle(7);
+        let e = c.signature().relation("E").unwrap();
+        for v in c.domain() {
+            assert_eq!(c.out_degree(e, v), 2);
+            assert_eq!(c.in_degree(e, v), 2);
+        }
+        assert_eq!(c.rel(e).len(), 14);
+    }
+
+    #[test]
+    fn directed_cycle_small() {
+        let c = directed_cycle(1);
+        let e = c.signature().relation("E").unwrap();
+        assert!(c.holds(e, &[0, 0])); // a single self-loop
+        let c3 = directed_cycle(3);
+        assert!(c3.holds(e, &[2, 0]));
+    }
+
+    #[test]
+    fn copies_multiplies_size() {
+        let c = undirected_cycle(5);
+        let cc = copies(&c, 3);
+        assert_eq!(cc.size(), 15);
+        assert_eq!(cc.num_tuples(), 30);
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        let k = complete_graph(4);
+        let e = k.signature().relation("E").unwrap();
+        assert_eq!(k.rel(e).len(), 12);
+        assert!(!k.holds(e, &[2, 2]));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = full_binary_tree(3);
+        let e = t.signature().relation("E").unwrap();
+        assert_eq!(t.size(), 15);
+        assert_eq!(t.out_degree(e, 0), 2);
+        assert_eq!(t.in_degree(e, 0), 0);
+        // Leaves have out-degree 0.
+        for v in 7..15 {
+            assert_eq!(t.out_degree(e, v), 0);
+            assert_eq!(t.in_degree(e, v), 1);
+        }
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(4, 3);
+        let e = g.signature().relation("E").unwrap();
+        assert_eq!(g.size(), 12);
+        // Corner (0,0) has degree 2; interior (1,1) has degree 4.
+        assert_eq!(g.out_degree(e, 0), 2);
+        assert_eq!(g.out_degree(e, 5), 4);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let k = complete_bipartite(2, 3);
+        let e = k.signature().relation("E").unwrap();
+        assert_eq!(k.size(), 5);
+        assert_eq!(k.rel(e).len(), 12); // 2·3 undirected edges
+        assert!(k.holds(e, &[0, 2]));
+        assert!(!k.holds(e, &[0, 1])); // same side
+        assert!(!k.holds(e, &[3, 4]));
+    }
+
+    #[test]
+    fn star_shape() {
+        let s = star(4);
+        let e = s.signature().relation("E").unwrap();
+        assert_eq!(s.out_degree(e, 0), 4);
+        for v in 1..5 {
+            assert_eq!(s.out_degree(e, v), 1);
+        }
+    }
+
+    #[test]
+    fn hypercube_regularity() {
+        let q3 = hypercube(3);
+        let e = q3.signature().relation("E").unwrap();
+        assert_eq!(q3.size(), 8);
+        for v in q3.domain() {
+            assert_eq!(q3.out_degree(e, v), 3);
+        }
+        assert_eq!(q3.rel(e).len(), 24); // 12 undirected edges
+        // Q_0 is a single vertex; Q_1 a single edge.
+        assert_eq!(hypercube(0).size(), 1);
+        assert_eq!(hypercube(1).num_tuples(), 2);
+    }
+
+    #[test]
+    fn random_graph_determinism_and_symmetry() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = random_undirected_graph(20, 0.3, &mut r1);
+        let b = random_undirected_graph(20, 0.3, &mut r2);
+        assert_eq!(a, b);
+        let e = a.signature().relation("E").unwrap();
+        for t in a.rel(e).iter() {
+            assert!(a.holds(e, &[t[1], t[0]]), "symmetric storage");
+        }
+    }
+
+    #[test]
+    fn bounded_degree_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = random_bounded_degree_graph(200, 3, &mut rng);
+        let e = g.signature().relation("E").unwrap();
+        for v in g.domain() {
+            assert!(g.out_degree(e, v) <= 3);
+        }
+    }
+}

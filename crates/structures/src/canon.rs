@@ -1,0 +1,284 @@
+//! Canonical forms of small (pointed) structures.
+//!
+//! Locality tools need *isomorphism types* of neighborhoods as dictionary
+//! keys: Hanf-locality compares the multisets of types realized in two
+//! structures, and the bounded-degree evaluator (Theorem 3.11) counts,
+//! for each type `τ ∈ N(k, r)`, how many nodes realize `τ`. A canonical
+//! form turns "same isomorphism type" into "same key".
+//!
+//! [`canonical_key`] implements individualization–refinement: colors are
+//! refined (see [`crate::iso`]); if the partition is discrete the
+//! color order yields a labeling and we encode the relabeled structure;
+//! otherwise every vertex of the first non-singleton cell is
+//! individualized in turn and the lexicographically least encoding over
+//! all branches is returned. Exponential on highly symmetric inputs, but
+//! the neighborhoods arising in bounded-degree structures (paths, cycles,
+//! tree fragments) refine essentially to completion.
+//!
+//! **Guarantee**: `canonical_key(A, ā) == canonical_key(B, b̄)` iff
+//! `(A, ā) ≅ (B, b̄)` (pointed isomorphism). This is cross-validated
+//! against the backtracking isomorphism test in this crate's property
+//! tests.
+
+use crate::iso::{distinguished_seed, refine_colors};
+use crate::{Elem, Structure};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A canonical encoding of a pointed structure; equal keys ⟺ pointed
+/// isomorphic structures (for structures over equal signatures).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CanonKey(Vec<u32>);
+
+impl CanonKey {
+    /// A compact 64-bit fingerprint of the key (for bucketing; collisions
+    /// possible, equality of keys is the ground truth).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.0.hash(&mut h);
+        h.finish()
+    }
+
+    /// Length of the underlying encoding (proportional to structure size
+    /// plus total tuple size).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` for the encoding of the empty structure with no points.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+const SEP: u32 = u32::MAX;
+
+/// Computes the canonical key of `(s, dist)` under pointed isomorphism.
+///
+/// Intended for *small* structures (neighborhoods); cost can be
+/// exponential on large symmetric structures.
+pub fn canonical_key(s: &Structure, dist: &[Elem]) -> CanonKey {
+    let n = s.size() as usize;
+    let seed = distinguished_seed(n, dist);
+    let mut best: Option<Vec<u32>> = None;
+    search(s, dist, seed, &mut best);
+    CanonKey(best.unwrap_or_default())
+}
+
+fn search(s: &Structure, dist: &[Elem], seed: Vec<u64>, best: &mut Option<Vec<u32>>) {
+    let n = s.size() as usize;
+    let colors = refine_colors(s, &seed);
+
+    // Group vertices into cells ordered by color value (isomorphism
+    // invariant: colors are computed from invariant data only).
+    let mut cells: Vec<(u64, Vec<usize>)> = Vec::new();
+    {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_unstable_by_key(|&v| colors[v]);
+        for v in idx {
+            match cells.last_mut() {
+                Some((c, members)) if *c == colors[v] => members.push(v),
+                _ => cells.push((colors[v], vec![v])),
+            }
+        }
+    }
+
+    if let Some((_, cell)) = cells.iter().find(|(_, m)| m.len() > 1) {
+        // Individualize each member of the first non-singleton cell.
+        let cell = cell.clone();
+        for v in cell {
+            let mut s2 = seed.clone();
+            let mut h = DefaultHasher::new();
+            // A marker distinct from every refinement color yet equal
+            // across branches: hash of (old seed, "individualized").
+            (seed[v], 0x1d1d_1d1d_u64, colors[v]).hash(&mut h);
+            s2[v] = h.finish() | 1;
+            search(s, dist, s2, best);
+        }
+        return;
+    }
+
+    // Discrete partition: position in the cell order is the label.
+    let mut label = vec![0u32; n];
+    for (i, (_, m)) in cells.iter().enumerate() {
+        label[m[0]] = i as u32;
+    }
+    let enc = encode(s, dist, &label);
+    match best {
+        Some(b) if *b <= enc => {}
+        _ => *best = Some(enc),
+    }
+}
+
+/// Encodes a fully labeled structure: size, distinguished labels,
+/// constant labels, then for each relation its sorted relabeled tuples.
+fn encode(s: &Structure, dist: &[Elem], label: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(2 + dist.len() + s.num_tuples() * 2);
+    out.push(s.size());
+    out.push(SEP);
+    for &d in dist {
+        out.push(label[d as usize]);
+    }
+    out.push(SEP);
+    for &c in s.constants() {
+        out.push(label[c as usize]);
+    }
+    out.push(SEP);
+    for (r, _, arity) in s.signature().relations() {
+        let mut rows: Vec<Vec<u32>> = s
+            .rel(r)
+            .iter()
+            .map(|t| t.iter().map(|&e| label[e as usize]).collect())
+            .collect();
+        rows.sort_unstable();
+        for row in rows {
+            out.extend(row);
+            debug_assert_eq!(arity, s.signature().arity(r));
+        }
+        out.push(SEP);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, iso};
+
+    #[test]
+    fn key_invariant_under_relabeling() {
+        let p = builders::undirected_path(7);
+        let perm: Vec<Elem> = vec![3, 0, 6, 1, 5, 2, 4];
+        let q = p.relabel(&perm);
+        assert_eq!(canonical_key(&p, &[]), canonical_key(&q, &[]));
+        // Pointed: point at 0 in p corresponds to perm[0] = 3 in q.
+        assert_eq!(canonical_key(&p, &[0]), canonical_key(&q, &[3]));
+    }
+
+    #[test]
+    fn key_separates_non_isomorphic() {
+        let c6 = builders::undirected_cycle(6);
+        let c3x2 = builders::copies(&builders::undirected_cycle(3), 2);
+        assert_ne!(canonical_key(&c6, &[]), canonical_key(&c3x2, &[]));
+    }
+
+    #[test]
+    fn pointed_keys_separate_positions() {
+        let p = builders::undirected_path(5);
+        // Endpoint vs midpoint.
+        assert_ne!(canonical_key(&p, &[0]), canonical_key(&p, &[2]));
+        // The two endpoints are exchangeable.
+        assert_eq!(canonical_key(&p, &[0]), canonical_key(&p, &[4]));
+    }
+
+    #[test]
+    fn symmetric_structures() {
+        // Complete graph on 5 vertices: every pointing is equivalent.
+        let k5 = builders::complete_graph(5);
+        let k = canonical_key(&k5, &[0]);
+        for v in 1..5 {
+            assert_eq!(k, canonical_key(&k5, &[v]));
+        }
+    }
+
+    #[test]
+    fn agrees_with_iso_on_small_graph_suite() {
+        let suite: Vec<Structure> = vec![
+            builders::undirected_path(4),
+            builders::undirected_cycle(4),
+            builders::undirected_cycle(3),
+            builders::complete_graph(4),
+            builders::empty_graph(4),
+            builders::directed_path(4),
+            builders::full_binary_tree(1),
+        ];
+        for a in &suite {
+            for b in &suite {
+                if a.signature() != b.signature() {
+                    continue;
+                }
+                assert_eq!(
+                    canonical_key(a, &[]) == canonical_key(b, &[]),
+                    iso::are_isomorphic(a, b),
+                    "canon/iso disagree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguished_tuple_order_matters() {
+        let p = builders::directed_path(3);
+        assert_ne!(canonical_key(&p, &[0, 2]), canonical_key(&p, &[2, 0]));
+    }
+
+    #[test]
+    fn fingerprint_consistency() {
+        let a = builders::undirected_cycle(5);
+        let k1 = canonical_key(&a, &[]);
+        let k2 = canonical_key(&a.relabel(&[4, 3, 2, 1, 0]), &[]);
+        assert_eq!(k1.fingerprint(), k2.fingerprint());
+        assert!(!k1.is_empty());
+        assert!(!k1.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::iso;
+    use proptest::prelude::*;
+
+    fn arb_small_graph() -> impl Strategy<Value = Structure> {
+        (2u32..7, proptest::collection::vec(any::<bool>(), 36)).prop_map(|(n, bits)| {
+            let sig = crate::Signature::graph();
+            let e = sig.relation("E").unwrap();
+            let mut b = crate::StructureBuilder::new(sig, n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && bits[k % bits.len()] {
+                        b.add(e, &[u, v]).unwrap();
+                    }
+                    k += 1;
+                }
+            }
+            b.build().unwrap()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// canonical_key and the backtracking isomorphism test agree.
+        #[test]
+        fn canon_matches_iso(a in arb_small_graph(), b in arb_small_graph()) {
+            let ka = canonical_key(&a, &[]);
+            let kb = canonical_key(&b, &[]);
+            prop_assert_eq!(ka == kb, iso::are_isomorphic(&a, &b));
+        }
+
+        /// Keys are invariant under random relabelings.
+        #[test]
+        fn canon_relabel_invariant(a in arb_small_graph(), seed in any::<u64>()) {
+            let n = a.size() as usize;
+            let mut perm: Vec<Elem> = (0..n as Elem).collect();
+            // Fisher–Yates with a tiny deterministic LCG.
+            let mut state = seed | 1;
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                perm.swap(i, j);
+            }
+            let b = a.relabel(&perm);
+            prop_assert_eq!(canonical_key(&a, &[]), canonical_key(&b, &[]));
+            if n > 0 {
+                prop_assert_eq!(
+                    canonical_key(&a, &[0]),
+                    canonical_key(&b, &[perm[0]])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! Isomorphism testing, with optional distinguished tuples.
+//!
+//! Locality arguments constantly compare *pointed* structures: the
+//! `r`-neighborhood `N_r^G(ā)` carries `ā` as distinguished elements, and
+//! an isomorphism `h : N_r^G(ā) → N_r^{G'}(b̄)` must satisfy
+//! `h(aᵢ) = bᵢ`. [`are_isomorphic_pointed`] implements exactly this.
+//!
+//! The algorithm is classic **color refinement followed by backtracking**:
+//! elements are iteratively partitioned by an isomorphism-invariant color
+//! (initially: constant/distinguished positions and unary membership;
+//! refined by the multiset of colors seen across each relation), the color
+//! histograms of the two structures must match, and a backtracking search
+//! then matches same-colored elements with incremental consistency
+//! checks. Exponential in the worst case but fast on the small,
+//! well-refined structures (neighborhoods, chains, cycles, trees) that
+//! the toolbox manipulates.
+
+use crate::{Elem, Structure};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Computes stable colors for all elements via iterative refinement.
+///
+/// Two elements end with the same color only if no isomorphism-invariant
+/// statistic computed here distinguishes them. `extra` assigns each
+/// element an initial seed color (used for distinguished tuples).
+pub(crate) fn refine_colors(s: &Structure, extra: &[u64]) -> Vec<u64> {
+    let n = s.size() as usize;
+    debug_assert_eq!(extra.len(), n);
+    let sig = s.signature();
+
+    // Initial colors: seed + constant positions + unary memberships.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut h = DefaultHasher::new();
+            extra[v].hash(&mut h);
+            for (i, &c) in s.constants().iter().enumerate() {
+                if c as usize == v {
+                    (i as u64 + 1).hash(&mut h);
+                }
+            }
+            for (r, _, arity) in sig.relations() {
+                if arity == 1 {
+                    s.holds(r, &[v as Elem]).hash(&mut h);
+                }
+            }
+            h.finish()
+        })
+        .collect();
+
+    // Incidence lists: for each element, the tuples it appears in.
+    let mut incidences: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (rel, row)
+    for (r, _, _) in sig.relations() {
+        for (row, t) in s.rel(r).iter().enumerate() {
+            for &e in t {
+                incidences[e as usize].push((r.0, row));
+            }
+        }
+    }
+
+    let mut distinct = count_distinct(&colors);
+    loop {
+        let next: Vec<u64> = (0..n)
+            .map(|v| {
+                let mut sigs: Vec<u64> = incidences[v]
+                    .iter()
+                    .map(|&(r, row)| {
+                        let t = s.rel(crate::RelId(r)).row(row);
+                        let mut h = DefaultHasher::new();
+                        r.hash(&mut h);
+                        for &e in t {
+                            // Mark the positions of v itself so that
+                            // orientation information is preserved.
+                            if e as usize == v {
+                                u64::MAX.hash(&mut h);
+                            } else {
+                                colors[e as usize].hash(&mut h);
+                            }
+                        }
+                        h.finish()
+                    })
+                    .collect();
+                sigs.sort_unstable();
+                let mut h = DefaultHasher::new();
+                colors[v].hash(&mut h);
+                sigs.hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        let nd = count_distinct(&next);
+        colors = next;
+        if nd == distinct {
+            return colors;
+        }
+        distinct = nd;
+    }
+}
+
+fn count_distinct(colors: &[u64]) -> usize {
+    let mut v = colors.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+fn histogram(colors: &[u64]) -> HashMap<u64, usize> {
+    let mut m = HashMap::new();
+    for &c in colors {
+        *m.entry(c).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Seed colors that force `h(dᵢ) = eᵢ` for distinguished tuples: element
+/// `v` gets a hash of the sorted list of positions at which it occurs.
+pub(crate) fn distinguished_seed(n: usize, dist: &[Elem]) -> Vec<u64> {
+    let mut seed = vec![0u64; n];
+    let mut occ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, &d) in dist.iter().enumerate() {
+        occ[d as usize].push(i);
+    }
+    for v in 0..n {
+        if !occ[v].is_empty() {
+            let mut h = DefaultHasher::new();
+            occ[v].hash(&mut h);
+            seed[v] = h.finish().max(1);
+        }
+    }
+    seed
+}
+
+/// Tests `A ≅ B`.
+pub fn are_isomorphic(a: &Structure, b: &Structure) -> bool {
+    find_isomorphism_pointed(a, &[], b, &[]).is_some()
+}
+
+/// Finds an isomorphism `A → B` as a vector `map[v] = h(v)`, if any.
+pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<Elem>> {
+    find_isomorphism_pointed(a, &[], b, &[])
+}
+
+/// Tests `(A, ā) ≅ (B, b̄)`: an isomorphism with `h(aᵢ) = bᵢ`.
+pub fn are_isomorphic_pointed(a: &Structure, da: &[Elem], b: &Structure, db: &[Elem]) -> bool {
+    find_isomorphism_pointed(a, da, b, db).is_some()
+}
+
+/// Finds a pointed isomorphism, if any.
+///
+/// Returns `None` when the structures differ in signature, size, tuple
+/// counts, refined color histograms, or when the backtracking search
+/// exhausts all candidate matchings.
+pub fn find_isomorphism_pointed(
+    a: &Structure,
+    da: &[Elem],
+    b: &Structure,
+    db: &[Elem],
+) -> Option<Vec<Elem>> {
+    if a.signature() != b.signature() || a.size() != b.size() || da.len() != db.len() {
+        return None;
+    }
+    let sig = a.signature();
+    for (r, _, _) in sig.relations() {
+        if a.rel(r).len() != b.rel(r).len() {
+            return None;
+        }
+    }
+    let n = a.size() as usize;
+
+    // The distinguished map must itself be well defined & compatible.
+    for (i, (&x, &y)) in da.iter().zip(db.iter()).enumerate() {
+        for (&x2, &y2) in da[..i].iter().zip(db[..i].iter()) {
+            if (x == x2) != (y == y2) {
+                return None;
+            }
+        }
+        let _ = (x, y);
+    }
+
+    let ca = refine_colors(a, &distinguished_seed(n, da));
+    let cb = refine_colors(b, &distinguished_seed(n, db));
+    if histogram(&ca) != histogram(&cb) {
+        return None;
+    }
+
+    // Candidate targets for each element of A: same-colored elements of B.
+    let mut by_color: HashMap<u64, Vec<Elem>> = HashMap::new();
+    for (v, &c) in cb.iter().enumerate() {
+        by_color.entry(c).or_default().push(v as Elem);
+    }
+
+    // Assignment order: elements with the fewest candidates first.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| by_color.get(&ca[v]).map_or(0, Vec::len));
+
+    // Incidence lists for incremental consistency checking.
+    let mut inc_a: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut inc_b: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (r, _, _) in sig.relations() {
+        for (row, t) in a.rel(r).iter().enumerate() {
+            for &e in t {
+                inc_a[e as usize].push((r.0, row));
+            }
+        }
+        for (row, t) in b.rel(r).iter().enumerate() {
+            for &e in t {
+                inc_b[e as usize].push((r.0, row));
+            }
+        }
+    }
+
+    const UNSET: Elem = Elem::MAX;
+    let mut map = vec![UNSET; n];
+    let mut inv = vec![UNSET; n];
+
+    // Pre-assign constants and distinguished elements.
+    let mut forced: Vec<(Elem, Elem)> = a
+        .constants()
+        .iter()
+        .zip(b.constants())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    forced.extend(da.iter().zip(db.iter()).map(|(&x, &y)| (x, y)));
+    for (x, y) in forced {
+        let (xi, yi) = (x as usize, y as usize);
+        if map[xi] != UNSET {
+            if map[xi] != y {
+                return None;
+            }
+            continue;
+        }
+        if inv[yi] != UNSET {
+            return None;
+        }
+        map[xi] = y;
+        inv[yi] = x;
+    }
+
+    // Validate forced assignments before searching.
+    for v in 0..n {
+        if map[v] != UNSET && !consistent(a, b, &map, &inv, &inc_a, &inc_b, v as Elem, map[v]) {
+            return None;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal search kernel
+    fn consistent(
+        a: &Structure,
+        b: &Structure,
+        map: &[Elem],
+        inv: &[Elem],
+        inc_a: &[Vec<(usize, usize)>],
+        inc_b: &[Vec<(usize, usize)>],
+        v: Elem,
+        w: Elem,
+    ) -> bool {
+        const UNSET: Elem = Elem::MAX;
+        let mut buf = Vec::new();
+        // Forward: every fully-mapped A-tuple through v must hold in B.
+        for &(r, row) in &inc_a[v as usize] {
+            let t = a.rel(crate::RelId(r)).row(row);
+            buf.clear();
+            let mut complete = true;
+            for &e in t {
+                let m = map[e as usize];
+                if m == UNSET {
+                    complete = false;
+                    break;
+                }
+                buf.push(m);
+            }
+            if complete && !b.holds(crate::RelId(r), &buf) {
+                return false;
+            }
+        }
+        // Backward: every fully-inverse-mapped B-tuple through w must
+        // hold in A.
+        for &(r, row) in &inc_b[w as usize] {
+            let t = b.rel(crate::RelId(r)).row(row);
+            buf.clear();
+            let mut complete = true;
+            for &e in t {
+                let m = inv[e as usize];
+                if m == UNSET {
+                    complete = false;
+                    break;
+                }
+                buf.push(m);
+            }
+            if complete && !a.holds(crate::RelId(r), &buf) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal search kernel
+    fn search(
+        a: &Structure,
+        b: &Structure,
+        order: &[usize],
+        pos: usize,
+        ca: &[u64],
+        by_color: &HashMap<u64, Vec<Elem>>,
+        map: &mut Vec<Elem>,
+        inv: &mut Vec<Elem>,
+        inc_a: &[Vec<(usize, usize)>],
+        inc_b: &[Vec<(usize, usize)>],
+    ) -> bool {
+        const UNSET: Elem = Elem::MAX;
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        if map[v] != UNSET {
+            return search(a, b, order, pos + 1, ca, by_color, map, inv, inc_a, inc_b);
+        }
+        if let Some(cands) = by_color.get(&ca[v]) {
+            for &w in cands {
+                if inv[w as usize] != UNSET {
+                    continue;
+                }
+                // Assign first so that tuples through v/w are visible to
+                // the consistency check, then undo on failure.
+                map[v] = w;
+                inv[w as usize] = v as Elem;
+                if consistent(a, b, map, inv, inc_a, inc_b, v as Elem, w)
+                    && search(a, b, order, pos + 1, ca, by_color, map, inv, inc_a, inc_b)
+                {
+                    return true;
+                }
+                map[v] = UNSET;
+                inv[w as usize] = UNSET;
+            }
+        }
+        false
+    }
+
+    if search(
+        a, b, &order, 0, &ca, &by_color, &mut map, &mut inv, &inc_a, &inc_b,
+    ) {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn isomorphic_cycles() {
+        let a = builders::undirected_cycle(8);
+        // Relabel by a rotation.
+        let perm: Vec<Elem> = (0..8).map(|v| (v + 3) % 8).collect();
+        let b = a.relabel(&perm);
+        let map = find_isomorphism(&a, &b).expect("cycles are isomorphic");
+        // Verify the witness.
+        let e = a.signature().relation("E").unwrap();
+        for t in a.rel(e).iter() {
+            assert!(b.holds(e, &[map[t[0] as usize], map[t[1] as usize]]));
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_different_edge_counts() {
+        let a = builders::undirected_cycle(6);
+        let b = builders::undirected_path(6);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn non_isomorphic_same_counts() {
+        // C3 ⊎ C3 vs C6: same size, same number of edges, not isomorphic.
+        let c3 = builders::undirected_cycle(3);
+        let two = builders::copies(&c3, 2);
+        let c6 = builders::undirected_cycle(6);
+        assert_eq!(two.num_tuples(), c6.num_tuples());
+        assert!(!are_isomorphic(&two, &c6));
+    }
+
+    #[test]
+    fn pointed_isomorphism_respects_points() {
+        // A path 0-1-2-3-4: (1,3) and (3,1) are exchangeable by the
+        // reflection, but (0,1) and (0,3) are not.
+        let p = builders::undirected_path(5);
+        assert!(are_isomorphic_pointed(&p, &[1, 3], &p, &[3, 1]));
+        assert!(are_isomorphic_pointed(&p, &[0, 1], &p, &[4, 3]));
+        assert!(!are_isomorphic_pointed(&p, &[0, 1], &p, &[0, 3]));
+        assert!(!are_isomorphic_pointed(&p, &[0], &p, &[2]));
+    }
+
+    #[test]
+    fn pointed_repeats_must_match() {
+        let p = builders::undirected_path(4);
+        assert!(are_isomorphic_pointed(&p, &[1, 1], &p, &[2, 2]));
+        assert!(!are_isomorphic_pointed(&p, &[1, 1], &p, &[1, 2]));
+    }
+
+    #[test]
+    fn directed_orientation_matters() {
+        let a = builders::directed_path(3);
+        let e = a.signature().relation("E").unwrap();
+        // Reverse all edges.
+        let mut bb = crate::StructureBuilder::new(a.signature().clone(), 3);
+        for t in a.rel(e).iter() {
+            bb.add(e, &[t[1], t[0]]).unwrap();
+        }
+        let b = bb.build().unwrap();
+        // A directed path is isomorphic to its reversal (flip the path).
+        assert!(are_isomorphic(&a, &b));
+        // But pointing at the source vs the sink is not.
+        assert!(!are_isomorphic_pointed(&a, &[0], &b, &[0]));
+        assert!(are_isomorphic_pointed(&a, &[0], &b, &[2]));
+    }
+
+    #[test]
+    fn linear_orders_iso_iff_same_size() {
+        for m in 1..6u32 {
+            for k in 1..6u32 {
+                assert_eq!(
+                    are_isomorphic(&builders::linear_order(m), &builders::linear_order(k)),
+                    m == k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trees_of_different_shape() {
+        // Star K_{1,3} vs path P4 (both 4 vertices, 3 undirected edges).
+        let sig = crate::Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut sb = crate::StructureBuilder::new(sig, 4);
+        for v in 1..4 {
+            sb.add(e, &[0, v]).unwrap();
+            sb.add(e, &[v, 0]).unwrap();
+        }
+        let star = sb.build().unwrap();
+        let path = builders::undirected_path(4);
+        assert!(!are_isomorphic(&star, &path));
+    }
+
+    #[test]
+    fn empty_structures() {
+        let a = builders::set(0);
+        let b = builders::set(0);
+        assert!(are_isomorphic(&a, &b));
+        assert!(!are_isomorphic(&builders::set(1), &builders::set(2)));
+    }
+
+    #[test]
+    fn petersen_like_regular_pair() {
+        // Two 3-regular graphs on 6 vertices: K_{3,3} and the prism
+        // (C3 × K2). Same degree sequence, not isomorphic (K33 is
+        // triangle-free).
+        let sig = crate::Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut b1 = crate::StructureBuilder::new(sig.clone(), 6);
+        for u in 0..3u32 {
+            for v in 3..6u32 {
+                b1.add(e, &[u, v]).unwrap();
+                b1.add(e, &[v, u]).unwrap();
+            }
+        }
+        let k33 = b1.build().unwrap();
+        let mut b2 = crate::StructureBuilder::new(sig, 6);
+        let prism_edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)];
+        for (u, v) in prism_edges {
+            b2.add(e, &[u, v]).unwrap();
+            b2.add(e, &[v, u]).unwrap();
+        }
+        let prism = b2.build().unwrap();
+        assert!(!are_isomorphic(&k33, &prism));
+        assert!(are_isomorphic(&k33, &k33.relabel(&[5, 4, 3, 2, 1, 0])));
+    }
+}

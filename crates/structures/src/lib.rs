@@ -1,0 +1,110 @@
+//! # fmt-structures
+//!
+//! Finite relational structures — the database substrate of the finite
+//! model theory toolbox (Libkin, PODS'09).
+//!
+//! In finite model theory a *database* is a finite structure
+//! `A = (A, R₁ᴬ, …, Rₖᴬ, c₁ᴬ, …, cₗᴬ)` over a relational [`Signature`]:
+//! a finite domain (here always `{0, 1, …, n−1}` represented as
+//! [`Elem`] = `u32`), one finite relation per relation symbol, and one
+//! domain element per constant symbol. Following the convention of the
+//! paper (and of the course notes distributed with it), signatures are
+//! **relational**: no function symbols other than constants.
+//!
+//! This crate provides:
+//!
+//! * [`Signature`] / [`SignatureBuilder`] — vocabularies;
+//! * [`Structure`] / [`StructureBuilder`] — immutable finite structures
+//!   with sorted tuple stores and adjacency indexes for binary relations;
+//! * [`builders`] — the structure families the paper's arguments live on:
+//!   linear orders `Lₙ`, successor chains, cycles, full binary trees,
+//!   grids, random graphs, disjoint unions;
+//! * [`partial`] — partial isomorphisms (the winning condition of
+//!   Ehrenfeucht–Fraïssé games);
+//! * [`iso`] — full isomorphism testing with distinguished tuples
+//!   (needed for neighborhood comparisons in locality arguments);
+//! * [`canon`] — canonical forms of small structures, so that
+//!   isomorphism types of neighborhoods can be used as hash keys.
+//!
+//! ## Example
+//!
+//! ```
+//! use fmt_structures::{builders, iso};
+//!
+//! // Two linear orders of different lengths are not isomorphic...
+//! let l5 = builders::linear_order(5);
+//! let l6 = builders::linear_order(6);
+//! assert!(!iso::are_isomorphic(&l5, &l6));
+//!
+//! // ...but every structure is isomorphic to itself.
+//! let c = builders::directed_cycle(8);
+//! assert!(iso::are_isomorphic(&c, &c));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod canon;
+pub mod iso;
+pub mod parse;
+pub mod partial;
+mod signature;
+mod structure;
+
+pub use signature::{ConstId, RelId, Signature, SignatureBuilder};
+pub use structure::{Elem, Relation, Structure, StructureBuilder};
+
+/// Errors produced while building or combining structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructureError {
+    /// A tuple mentioned an element `elem >= size`.
+    ElementOutOfRange {
+        /// The offending element.
+        elem: Elem,
+        /// The domain size of the structure under construction.
+        size: u32,
+    },
+    /// A tuple of the wrong arity was inserted into a relation.
+    ArityMismatch {
+        /// Name of the relation symbol.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// Two structures over different signatures were combined.
+    SignatureMismatch,
+    /// A constant symbol was never assigned an interpretation.
+    UnassignedConstant(String),
+    /// The requested symbol does not exist in the signature.
+    UnknownSymbol(String),
+}
+
+impl std::fmt::Display for StructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StructureError::ElementOutOfRange { elem, size } => {
+                write!(f, "element {elem} out of range for domain of size {size}")
+            }
+            StructureError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "relation {relation} has arity {expected}, got a tuple of length {got}"
+            ),
+            StructureError::SignatureMismatch => {
+                write!(f, "structures are over different signatures")
+            }
+            StructureError::UnassignedConstant(c) => {
+                write!(f, "constant {c} was never assigned an element")
+            }
+            StructureError::UnknownSymbol(s) => write!(f, "unknown symbol {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}

@@ -1,0 +1,297 @@
+//! A small line-oriented text format for structures.
+//!
+//! ```text
+//! # a 4-element structure
+//! size: 4
+//! E(0,1)
+//! E(1,2)
+//! Red(3)
+//! root = 0
+//! ```
+//!
+//! * `size: n` — domain `{0, …, n−1}`; must come first (comments aside).
+//! * `R(e₁, …, eₖ)` — a tuple; the arity of `R` is fixed by its first
+//!   occurrence (or by the provided signature).
+//! * `c = e` — a constant interpretation.
+//! * `#`-comments and blank lines are ignored.
+//!
+//! [`parse`] infers the signature from the text (symbols ordered by first
+//! occurrence); [`parse_with`] validates against a given signature.
+//! [`to_text`] renders a structure back; round-tripping is exact.
+
+use crate::{Elem, Signature, Structure, StructureBuilder};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Errors from the structure text parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+struct RawLine<'a> {
+    no: usize,
+    text: &'a str,
+}
+
+fn meaningful_lines(text: &str) -> impl Iterator<Item = RawLine<'_>> {
+    text.lines().enumerate().filter_map(|(i, l)| {
+        let t = l.split('#').next().unwrap_or("").trim();
+        if t.is_empty() {
+            None
+        } else {
+            Some(RawLine { no: i + 1, text: t })
+        }
+    })
+}
+
+enum Item<'a> {
+    Size(u32),
+    Tuple {
+        rel: &'a str,
+        args: Vec<Elem>,
+    },
+    Const {
+        name: &'a str,
+        value: Elem,
+    },
+}
+
+fn parse_line<'a>(l: &RawLine<'a>) -> Result<Item<'a>, ParseError> {
+    let t = l.text;
+    if let Some(rest) = t.strip_prefix("size:").or_else(|| t.strip_prefix("size ")) {
+        let n: u32 = rest
+            .trim()
+            .parse()
+            .map_err(|_| err(l.no, format!("invalid size {rest:?}")))?;
+        return Ok(Item::Size(n));
+    }
+    if let Some(open) = t.find('(') {
+        let rel = t[..open].trim();
+        if rel.is_empty() || rel.contains(char::is_whitespace) {
+            return Err(err(l.no, format!("invalid relation name in {t:?}")));
+        }
+        let close = t
+            .rfind(')')
+            .ok_or_else(|| err(l.no, format!("missing ')' in {t:?}")))?;
+        if !t[close + 1..].trim().is_empty() {
+            return Err(err(l.no, format!("trailing garbage after ')' in {t:?}")));
+        }
+        let inner = &t[open + 1..close];
+        let args: Result<Vec<Elem>, _> = inner
+            .split(',')
+            .map(|a| {
+                a.trim()
+                    .parse::<Elem>()
+                    .map_err(|_| err(l.no, format!("invalid element {a:?}")))
+            })
+            .collect();
+        return Ok(Item::Tuple { rel, args: args? });
+    }
+    if let Some(eq) = t.find('=') {
+        let name = t[..eq].trim();
+        let value: Elem = t[eq + 1..]
+            .trim()
+            .parse()
+            .map_err(|_| err(l.no, format!("invalid constant value in {t:?}")))?;
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(err(l.no, format!("invalid constant name in {t:?}")));
+        }
+        return Ok(Item::Const { name, value });
+    }
+    Err(err(l.no, format!("unrecognized line {t:?}")))
+}
+
+/// Parses a structure, inferring the signature from the text.
+pub fn parse(text: &str) -> Result<Structure, ParseError> {
+    // First pass: size + signature.
+    let mut size: Option<u32> = None;
+    let mut rels: Vec<(String, usize, usize)> = Vec::new(); // name, arity, first line
+    let mut consts: Vec<String> = Vec::new();
+    for l in meaningful_lines(text) {
+        match parse_line(&l)? {
+            Item::Size(n) => {
+                if size.is_some() {
+                    return Err(err(l.no, "duplicate size declaration"));
+                }
+                size = Some(n);
+            }
+            Item::Tuple { rel, args } => match rels.iter().find(|(n, _, _)| n == rel) {
+                Some(&(_, arity, first)) if arity != args.len() => {
+                    return Err(err(
+                        l.no,
+                        format!(
+                            "relation {rel} used with arity {} but had arity {arity} at line {first}",
+                            args.len()
+                        ),
+                    ))
+                }
+                Some(_) => {}
+                None => rels.push((rel.to_owned(), args.len(), l.no)),
+            },
+            Item::Const { name, .. } => {
+                if !consts.iter().any(|c| c == name) {
+                    consts.push(name.to_owned());
+                }
+            }
+        }
+    }
+    let mut sb = Signature::builder();
+    for (name, arity, _) in &rels {
+        sb = sb.relation(name, *arity);
+    }
+    for c in &consts {
+        sb = sb.constant(c);
+    }
+    parse_with(sb.finish_arc(), text)
+}
+
+/// Parses a structure over a known signature, validating all symbols.
+pub fn parse_with(sig: Arc<Signature>, text: &str) -> Result<Structure, ParseError> {
+    let mut builder: Option<StructureBuilder> = None;
+    for l in meaningful_lines(text) {
+        match parse_line(&l)? {
+            Item::Size(n) => {
+                if builder.is_some() {
+                    return Err(err(l.no, "duplicate size declaration"));
+                }
+                builder = Some(StructureBuilder::new(sig.clone(), n));
+            }
+            Item::Tuple { rel, args } => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(l.no, "size declaration must come first"))?;
+                let r = sig
+                    .relation(rel)
+                    .ok_or_else(|| err(l.no, format!("unknown relation {rel}")))?;
+                b.add(r, &args).map_err(|e| err(l.no, e.to_string()))?;
+            }
+            Item::Const { name, value } => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(l.no, "size declaration must come first"))?;
+                let c = sig
+                    .constant(name)
+                    .ok_or_else(|| err(l.no, format!("unknown constant {name}")))?;
+                if value >= b.size() {
+                    return Err(err(l.no, format!("constant value {value} out of range")));
+                }
+                b.set_constant(c, value);
+            }
+        }
+    }
+    let b = builder.ok_or_else(|| err(0, "missing size declaration"))?;
+    b.build().map_err(|e| err(0, e.to_string()))
+}
+
+/// Renders a structure in the text format accepted by [`parse`].
+pub fn to_text(s: &Structure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "size: {}", s.size());
+    for (r, name, _) in s.signature().relations() {
+        for t in s.rel(r).iter() {
+            let args: Vec<String> = t.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "{name}({})", args.join(","));
+        }
+    }
+    for (c, name) in s.signature().constants() {
+        let _ = writeln!(out, "{name} = {}", s.constant(c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn parse_simple_graph() {
+        let s = parse("size: 3\nE(0,1)\nE(1,2)\n").unwrap();
+        assert_eq!(s.size(), 3);
+        let e = s.signature().relation("E").unwrap();
+        assert!(s.holds(e, &[0, 1]));
+        assert!(!s.holds(e, &[2, 1]));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = parse("# header\n\nsize: 2 # trailing\nE(0,1) # edge\n").unwrap();
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.num_tuples(), 1);
+    }
+
+    #[test]
+    fn constants_parsed() {
+        let s = parse("size: 4\nE(0,1)\nroot = 2\n").unwrap();
+        let c = s.signature().constant("root").unwrap();
+        assert_eq!(s.constant(c), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let orig = builders::undirected_cycle(5);
+        let text = to_text(&orig);
+        let back = parse_with(orig.signature().clone(), &text).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn roundtrip_inferred_signature() {
+        let orig = builders::linear_order(4);
+        let back = parse(&to_text(&orig)).unwrap();
+        // Signatures are structurally equal, so the structures are too.
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn error_element_out_of_range() {
+        let e = parse("size: 2\nE(0,5)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("out of range"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_inconsistent_arity() {
+        let e = parse("size: 3\nR(0,1)\nR(0,1,2)\n").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn error_missing_size() {
+        assert!(parse("E(0,1)\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn error_unknown_symbol_with_signature() {
+        let sig = Signature::graph();
+        let e = parse_with(sig, "size: 2\nF(0,1)\n").unwrap_err();
+        assert!(e.message.contains("unknown relation"));
+    }
+
+    #[test]
+    fn error_garbage() {
+        assert!(parse("size: 2\nhello world\n").is_err());
+        assert!(parse("size: 2\nE(0,1) extra\n").is_err());
+        assert!(parse("size: two\n").is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Partial isomorphisms — the winning condition of Ehrenfeucht–Fraïssé
+//! games.
+//!
+//! A function `f : A ⇀ B` with finite domain is a *partial isomorphism*
+//! between structures `A` and `B` over the same signature iff
+//!
+//! * `f` is injective (and well defined),
+//! * for every constant `c`, `cᴬ ∈ dom(f)` and `f(cᴬ) = cᴮ`,
+//! * for every relation symbol `R` (including the identity) and all
+//!   `a₁, …, aₙ ∈ dom(f)`:  `Rᴬ(a₁, …, aₙ)  iff  Rᴮ(f(a₁), …, f(aₙ))`.
+//!
+//! After `n` rounds of the EF game with plays `a₁…aₙ / b₁…bₙ` the
+//! duplicator wins iff `aᵢ ↦ bᵢ` is a partial isomorphism (constants, if
+//! any, are treated as played from the start).
+
+use crate::{Elem, Structure};
+
+/// Checks that the pair list describes a well-defined injective partial
+/// function (i.e. `aᵢ = aⱼ ⟺ bᵢ = bⱼ`).
+pub fn well_defined_injective(pairs: &[(Elem, Elem)]) -> bool {
+    for (i, &(a1, b1)) in pairs.iter().enumerate() {
+        for &(a2, b2) in &pairs[i + 1..] {
+            if (a1 == a2) != (b1 == b2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns the pair list extended with the constant pairs
+/// `(cᴬ, cᴮ)` for every constant symbol `c`.
+pub fn with_constants(a: &Structure, b: &Structure, pairs: &[(Elem, Elem)]) -> Vec<(Elem, Elem)> {
+    let mut out = Vec::with_capacity(pairs.len() + a.constants().len());
+    out.extend(
+        a.constants()
+            .iter()
+            .zip(b.constants().iter())
+            .map(|(&x, &y)| (x, y)),
+    );
+    out.extend_from_slice(pairs);
+    out
+}
+
+/// Full partial-isomorphism check: `pairs` (implicitly extended with the
+/// constant pairs) must be a partial isomorphism between `a` and `b`.
+///
+/// Checks every relation symbol on every tuple over the domain of the
+/// map — `O(Σ_R |dom|^{arity(R)})` membership tests.
+///
+/// # Panics
+/// Panics if the structures are over different signatures.
+pub fn is_partial_isomorphism(a: &Structure, b: &Structure, pairs: &[(Elem, Elem)]) -> bool {
+    assert_eq!(
+        a.signature(),
+        b.signature(),
+        "partial isomorphism requires a common signature"
+    );
+    let ext = with_constants(a, b, pairs);
+    if !well_defined_injective(&ext) {
+        return false;
+    }
+    let sig = a.signature();
+    let d = ext.len();
+    let mut ta = Vec::new();
+    let mut tb = Vec::new();
+    for (r, _, arity) in sig.relations() {
+        if d == 0 {
+            continue;
+        }
+        // Enumerate all arity-length tuples over the map's domain with an
+        // odometer over indices into `ext`.
+        let mut idx = vec![0usize; arity];
+        'tuples: loop {
+            ta.clear();
+            tb.clear();
+            for &i in &idx {
+                ta.push(ext[i].0);
+                tb.push(ext[i].1);
+            }
+            if a.holds(r, &ta) != b.holds(r, &tb) {
+                return false;
+            }
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < d {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Incremental check used by the EF game solver.
+///
+/// Precondition: `pairs` (extended with constants) is already a partial
+/// isomorphism. Checks whether appending `(x, y)` keeps it one, by
+/// examining only tuples that mention the new pair.
+///
+/// # Panics
+/// Panics if the structures are over different signatures.
+pub fn extension_ok(
+    a: &Structure,
+    b: &Structure,
+    pairs: &[(Elem, Elem)],
+    x: Elem,
+    y: Elem,
+) -> bool {
+    debug_assert_eq!(a.signature(), b.signature());
+    let ext = with_constants(a, b, pairs);
+    // Well-definedness/injectivity with respect to the new pair.
+    for &(p, q) in &ext {
+        if (p == x) != (q == y) {
+            return false;
+        }
+    }
+    let full: Vec<(Elem, Elem)> = ext.iter().copied().chain(std::iter::once((x, y))).collect();
+    let d = full.len();
+    let new_idx = d - 1;
+    let sig = a.signature();
+    let mut ta = Vec::new();
+    let mut tb = Vec::new();
+    for (r, _, arity) in sig.relations() {
+        // All tuples over `full` that use index `new_idx` at least once.
+        let mut idx = vec![0usize; arity];
+        'outer: loop {
+            if idx.contains(&new_idx) {
+                ta.clear();
+                tb.clear();
+                for &i in &idx {
+                    ta.push(full[i].0);
+                    tb.push(full[i].1);
+                }
+                if a.holds(r, &ta) != b.holds(r, &tb) {
+                    return false;
+                }
+            }
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'outer;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < d {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn empty_map_is_partial_iso() {
+        let a = builders::linear_order(3);
+        let b = builders::linear_order(5);
+        assert!(is_partial_isomorphism(&a, &b, &[]));
+    }
+
+    #[test]
+    fn well_definedness() {
+        assert!(well_defined_injective(&[(0, 1), (2, 3)]));
+        assert!(well_defined_injective(&[(0, 1), (0, 1)]));
+        assert!(!well_defined_injective(&[(0, 1), (0, 2)])); // not a function
+        assert!(!well_defined_injective(&[(0, 1), (2, 1)])); // not injective
+    }
+
+    #[test]
+    fn order_preservation_detected() {
+        let a = builders::linear_order(4);
+        let b = builders::linear_order(4);
+        // 0 < 2 in a maps to 3 > 1 in b: violates <.
+        assert!(!is_partial_isomorphism(&a, &b, &[(0, 3), (2, 1)]));
+        // Order-preserving map is fine.
+        assert!(is_partial_isomorphism(&a, &b, &[(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn identity_handled_through_injectivity() {
+        let a = builders::set(4);
+        let b = builders::set(4);
+        // Same element played twice must map to the same element twice.
+        assert!(is_partial_isomorphism(&a, &b, &[(1, 2), (1, 2)]));
+        assert!(!is_partial_isomorphism(&a, &b, &[(1, 2), (1, 3)]));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        use crate::{Signature, StructureBuilder};
+        let sig = Signature::builder()
+            .relation("E", 2)
+            .constant("c")
+            .finish_arc();
+        let e = sig.relation("E").unwrap();
+        let c = sig.constant("c").unwrap();
+        let mk = |cval, edge: (Elem, Elem)| {
+            let mut b = StructureBuilder::new(sig.clone(), 3);
+            b.edge(e, edge.0, edge.1).unwrap();
+            b.set_constant(c, cval);
+            b.build().unwrap()
+        };
+        let a = mk(0, (0, 1));
+        let b2 = mk(0, (0, 1));
+        // The constant pair (0,0) is implicit; playing (1,1) keeps the
+        // edge relation matched.
+        assert!(is_partial_isomorphism(&a, &b2, &[(1, 1)]));
+        // Mapping 1 to 2 breaks E(c, ·).
+        assert!(!is_partial_isomorphism(&a, &b2, &[(1, 2)]));
+    }
+
+    #[test]
+    fn extension_matches_full_check() {
+        let a = builders::undirected_cycle(6);
+        let b = builders::undirected_cycle(7);
+        let base = vec![(0, 0)];
+        assert!(is_partial_isomorphism(&a, &b, &base));
+        for x in a.domain() {
+            for y in b.domain() {
+                let mut ext = base.clone();
+                ext.push((x, y));
+                assert_eq!(
+                    extension_ok(&a, &b, &base, x, y),
+                    is_partial_isomorphism(&a, &b, &ext),
+                    "mismatch at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_relation_checked() {
+        use crate::{Signature, StructureBuilder};
+        let sig = Signature::builder().relation("R", 3).finish_arc();
+        let r = sig.relation("R").unwrap();
+        let mut ba = StructureBuilder::new(sig.clone(), 3);
+        ba.add(r, &[0, 1, 2]).unwrap();
+        let a = ba.build().unwrap();
+        let b = StructureBuilder::new(sig, 3).build().unwrap();
+        // Mapping the triple pointwise must fail: R holds in a, not in b.
+        assert!(!is_partial_isomorphism(&a, &b, &[(0, 0), (1, 1), (2, 2)]));
+        // Mapping a single element is fine (no full triple in the domain
+        // of the map ... except repetitions, which R does not contain).
+        assert!(is_partial_isomorphism(&a, &b, &[(0, 0)]));
+    }
+}

@@ -1,0 +1,619 @@
+//! Finite relational structures with sorted tuple stores.
+
+use crate::{ConstId, RelId, Signature, StructureError};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A domain element. Domains are always `{0, 1, …, n−1}`.
+pub type Elem = u32;
+
+/// The interpretation of one relation symbol: a set of tuples of a fixed
+/// arity, stored as a flat, lexicographically sorted, deduplicated array
+/// of rows.
+///
+/// Sorted flat storage gives cache-friendly iteration and `O(log m)`
+/// membership without a per-tuple allocation; for the binary relations on
+/// which graph algorithms run, [`Structure`] additionally maintains
+/// forward and backward adjacency indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Elem>,
+}
+
+impl Relation {
+    fn from_rows(arity: usize, mut flat: Vec<Elem>) -> Relation {
+        debug_assert!(arity >= 1);
+        debug_assert_eq!(flat.len() % arity, 0);
+        let n = flat.len() / arity;
+        // Sort rows lexicographically by sorting row indices, then rebuild.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| flat[a * arity..(a + 1) * arity].cmp(&flat[b * arity..(b + 1) * arity]));
+        let mut sorted = Vec::with_capacity(flat.len());
+        let mut prev: Option<usize> = None;
+        for &i in &order {
+            let row = &flat[i * arity..(i + 1) * arity];
+            if let Some(p) = prev {
+                if &sorted[p * arity..(p + 1) * arity] == row {
+                    continue;
+                }
+            }
+            sorted.extend_from_slice(row);
+            prev = Some(sorted.len() / arity - 1);
+        }
+        flat = sorted;
+        flat.shrink_to_fit();
+        Relation { arity, rows: flat }
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples in the relation.
+    pub fn len(&self) -> usize {
+        self.rows.len() / self.arity
+    }
+
+    /// `true` if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Membership test by binary search over the sorted rows.
+    pub fn contains(&self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.binary_search(tuple).is_ok()
+    }
+
+    fn binary_search(&self, tuple: &[Elem]) -> Result<usize, usize> {
+        let a = self.arity;
+        let n = self.len();
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.rows[mid * a..(mid + 1) * a].cmp(tuple) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Iterates over the tuples in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Elem]> + Clone + '_ {
+        self.rows.chunks_exact(self.arity)
+    }
+
+    /// The `i`-th tuple in lexicographic order.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[Elem] {
+        &self.rows[i * self.arity..(i + 1) * self.arity]
+    }
+}
+
+/// Compressed sparse row adjacency index for one binary relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<Elem>,
+}
+
+impl Csr {
+    fn build(size: u32, pairs: impl Iterator<Item = (Elem, Elem)> + Clone) -> Csr {
+        let n = size as usize;
+        let mut counts = vec![0u32; n + 1];
+        for (u, _) in pairs.clone() {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as Elem; offsets[n] as usize];
+        for (u, v) in pairs {
+            let c = &mut cursor[u as usize];
+            targets[*c as usize] = v;
+            *c += 1;
+        }
+        // Keep each adjacency list sorted for deterministic iteration.
+        for u in 0..n {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    fn neighbors(&self, u: Elem) -> &[Elem] {
+        let (s, e) = (
+            self.offsets[u as usize] as usize,
+            self.offsets[u as usize + 1] as usize,
+        );
+        &self.targets[s..e]
+    }
+}
+
+/// An immutable finite relational structure (a database instance).
+///
+/// Built with [`StructureBuilder`]; the domain is `{0, …, size−1}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    size: u32,
+    rels: Vec<Relation>,
+    consts: Vec<Elem>,
+    /// Forward/backward adjacency, indexed like `rels`, present only for
+    /// binary relations.
+    #[serde(skip, default)]
+    adj: Vec<Option<(Csr, Csr)>>,
+}
+
+impl PartialEq for Structure {
+    fn eq(&self, other: &Self) -> bool {
+        self.sig == other.sig
+            && self.size == other.size
+            && self.rels == other.rels
+            && self.consts == other.consts
+    }
+}
+
+impl Eq for Structure {}
+
+impl std::hash::Hash for Structure {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.size.hash(state);
+        self.rels.hash(state);
+        self.consts.hash(state);
+    }
+}
+
+impl Structure {
+    /// The signature of the structure.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Domain size `n`; the domain is `{0, …, n−1}`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Iterates over the domain `0..n`.
+    pub fn domain(&self) -> impl Iterator<Item = Elem> + Clone {
+        0..self.size
+    }
+
+    /// The interpretation of a relation symbol.
+    pub fn rel(&self, r: RelId) -> &Relation {
+        &self.rels[r.0]
+    }
+
+    /// The interpretation of a relation symbol, looked up by name.
+    pub fn rel_by_name(&self, name: &str) -> Option<&Relation> {
+        self.sig.relation(name).map(|r| self.rel(r))
+    }
+
+    /// The interpretation of a constant symbol.
+    pub fn constant(&self, c: ConstId) -> Elem {
+        self.consts[c.0]
+    }
+
+    /// All constant interpretations in declaration order.
+    pub fn constants(&self) -> &[Elem] {
+        &self.consts
+    }
+
+    /// Membership test `R(t̄)`.
+    pub fn holds(&self, r: RelId, tuple: &[Elem]) -> bool {
+        self.rels[r.0].contains(tuple)
+    }
+
+    /// Out-neighbors `{v | R(u, v)}` of `u` under a **binary** relation.
+    ///
+    /// # Panics
+    /// Panics if `r` is not binary.
+    pub fn out_neighbors(&self, r: RelId, u: Elem) -> &[Elem] {
+        let (fwd, _) = self.adj[r.0]
+            .as_ref()
+            .expect("out_neighbors requires a binary relation");
+        fwd.neighbors(u)
+    }
+
+    /// In-neighbors `{v | R(v, u)}` of `u` under a **binary** relation.
+    ///
+    /// # Panics
+    /// Panics if `r` is not binary.
+    pub fn in_neighbors(&self, r: RelId, u: Elem) -> &[Elem] {
+        let (_, bwd) = self.adj[r.0]
+            .as_ref()
+            .expect("in_neighbors requires a binary relation");
+        bwd.neighbors(u)
+    }
+
+    /// Out-degree of `u` under a binary relation.
+    pub fn out_degree(&self, r: RelId, u: Elem) -> usize {
+        self.out_neighbors(r, u).len()
+    }
+
+    /// In-degree of `u` under a binary relation.
+    pub fn in_degree(&self, r: RelId, u: Elem) -> usize {
+        self.in_neighbors(r, u).len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn num_tuples(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Disjoint union `A ⊎ B`: the elements of `B` are shifted up by
+    /// `A.size()`.
+    ///
+    /// Only defined for signatures without constants (a constant cannot
+    /// denote two elements at once).
+    pub fn disjoint_union(&self, other: &Structure) -> Result<Structure, StructureError> {
+        if self.sig != other.sig {
+            return Err(StructureError::SignatureMismatch);
+        }
+        if self.sig.num_constants() > 0 {
+            return Err(StructureError::UnassignedConstant(
+                self.sig.constant_name(ConstId(0)).to_owned(),
+            ));
+        }
+        let shift = self.size;
+        let mut b = StructureBuilder::new(self.sig.clone(), self.size + other.size);
+        for (r, _, _) in self.sig.relations() {
+            for t in self.rel(r).iter() {
+                b.add_unchecked(r, t);
+            }
+            let mut buf = Vec::new();
+            for t in other.rel(r).iter() {
+                buf.clear();
+                buf.extend(t.iter().map(|&e| e + shift));
+                b.add_unchecked(r, &buf);
+            }
+        }
+        Ok(b.build_unchecked())
+    }
+
+    /// The substructure induced by `elems` (duplicates ignored).
+    ///
+    /// Returns the induced structure (with domain `{0, …, k−1}` in the
+    /// order given by the sorted, deduplicated `elems`) together with the
+    /// mapping `new → old`. Constants are only retained if the signature
+    /// has none (constants outside the induced domain are not
+    /// representable).
+    ///
+    /// # Panics
+    /// Panics if the signature has constants, or an element is out of
+    /// range.
+    pub fn induced(&self, elems: &[Elem]) -> (Structure, Vec<Elem>) {
+        assert_eq!(
+            self.sig.num_constants(),
+            0,
+            "induced substructures require a constant-free signature"
+        );
+        let mut keep: Vec<Elem> = elems.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        assert!(keep.iter().all(|&e| e < self.size), "element out of range");
+        // old -> new position; u32::MAX = dropped
+        let mut pos = vec![u32::MAX; self.size as usize];
+        for (i, &e) in keep.iter().enumerate() {
+            pos[e as usize] = i as u32;
+        }
+        let mut b = StructureBuilder::new(self.sig.clone(), keep.len() as u32);
+        let mut buf = Vec::new();
+        for (r, _, _) in self.sig.relations() {
+            'tuples: for t in self.rel(r).iter() {
+                buf.clear();
+                for &e in t {
+                    let p = pos[e as usize];
+                    if p == u32::MAX {
+                        continue 'tuples;
+                    }
+                    buf.push(p);
+                }
+                b.add_unchecked(r, &buf);
+            }
+        }
+        (b.build_unchecked(), keep)
+    }
+
+    /// Applies a bijective relabeling `perm` (`old → new`) to the
+    /// structure; `perm` must be a permutation of `0..size`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `perm` is not a permutation.
+    pub fn relabel(&self, perm: &[Elem]) -> Structure {
+        debug_assert_eq!(perm.len(), self.size as usize);
+        debug_assert!({
+            let mut seen = vec![false; perm.len()];
+            perm.iter().all(|&p| {
+                let fresh = !seen[p as usize];
+                seen[p as usize] = true;
+                fresh
+            })
+        });
+        let mut b = StructureBuilder::new(self.sig.clone(), self.size);
+        let mut buf = Vec::new();
+        for (r, _, _) in self.sig.relations() {
+            for t in self.rel(r).iter() {
+                buf.clear();
+                buf.extend(t.iter().map(|&e| perm[e as usize]));
+                b.add_unchecked(r, &buf);
+            }
+        }
+        for (c, _) in self.sig.constants() {
+            b.set_constant(c, perm[self.constant(c) as usize]);
+        }
+        b.build_unchecked()
+    }
+
+    /// Rebuilds the adjacency indexes. Needed after deserialization
+    /// (indexes are not serialized).
+    pub fn reindex(&mut self) {
+        self.adj = build_adj(self.size, &self.rels);
+    }
+}
+
+fn build_adj(size: u32, rels: &[Relation]) -> Vec<Option<(Csr, Csr)>> {
+    rels.iter()
+        .map(|rel| {
+            if rel.arity() == 2 {
+                let fwd = Csr::build(size, rel.iter().map(|t| (t[0], t[1])));
+                let bwd = Csr::build(size, rel.iter().map(|t| (t[1], t[0])));
+                Some((fwd, bwd))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Incremental construction of a [`Structure`].
+///
+/// ```
+/// use fmt_structures::{Signature, StructureBuilder};
+/// let sig = Signature::graph();
+/// let e = sig.relation("E").unwrap();
+/// let mut b = StructureBuilder::new(sig, 3);
+/// b.add(e, &[0, 1]).unwrap();
+/// b.add(e, &[1, 2]).unwrap();
+/// let s = b.build().unwrap();
+/// assert!(s.holds(e, &[0, 1]));
+/// assert!(!s.holds(e, &[1, 0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StructureBuilder {
+    sig: Arc<Signature>,
+    size: u32,
+    flat: Vec<Vec<Elem>>,
+    consts: Vec<Option<Elem>>,
+}
+
+impl StructureBuilder {
+    /// Starts building a structure with domain `{0, …, size−1}`.
+    pub fn new(sig: Arc<Signature>, size: u32) -> StructureBuilder {
+        let nr = sig.num_relations();
+        let nc = sig.num_constants();
+        StructureBuilder {
+            sig,
+            size,
+            flat: vec![Vec::new(); nr],
+            consts: vec![None; nc],
+        }
+    }
+
+    /// The domain size under construction.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The signature under construction.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Adds a tuple to a relation, validating arity and range.
+    pub fn add(&mut self, r: RelId, tuple: &[Elem]) -> Result<&mut Self, StructureError> {
+        let arity = self.sig.arity(r);
+        if tuple.len() != arity {
+            return Err(StructureError::ArityMismatch {
+                relation: self.sig.relation_name(r).to_owned(),
+                expected: arity,
+                got: tuple.len(),
+            });
+        }
+        for &e in tuple {
+            if e >= self.size {
+                return Err(StructureError::ElementOutOfRange {
+                    elem: e,
+                    size: self.size,
+                });
+            }
+        }
+        self.flat[r.0].extend_from_slice(tuple);
+        Ok(self)
+    }
+
+    /// Adds a tuple without validation; used internally on paths where
+    /// tuples are known to be in range. Debug builds still assert.
+    pub(crate) fn add_unchecked(&mut self, r: RelId, tuple: &[Elem]) {
+        debug_assert_eq!(tuple.len(), self.sig.arity(r));
+        debug_assert!(tuple.iter().all(|&e| e < self.size));
+        self.flat[r.0].extend_from_slice(tuple);
+    }
+
+    /// Adds an edge to a binary relation (convenience for graphs).
+    pub fn edge(&mut self, r: RelId, u: Elem, v: Elem) -> Result<&mut Self, StructureError> {
+        self.add(r, &[u, v])
+    }
+
+    /// Assigns an interpretation to a constant symbol.
+    pub fn set_constant(&mut self, c: ConstId, e: Elem) -> &mut Self {
+        self.consts[c.0] = Some(e);
+        self
+    }
+
+    /// Finishes building: sorts and deduplicates every relation and
+    /// constructs adjacency indexes for the binary ones.
+    pub fn build(self) -> Result<Structure, StructureError> {
+        for (i, c) in self.consts.iter().enumerate() {
+            match c {
+                None => {
+                    return Err(StructureError::UnassignedConstant(
+                        self.sig.constant_name(ConstId(i)).to_owned(),
+                    ))
+                }
+                Some(e) if *e >= self.size => {
+                    return Err(StructureError::ElementOutOfRange {
+                        elem: *e,
+                        size: self.size,
+                    })
+                }
+                _ => {}
+            }
+        }
+        Ok(self.build_unchecked())
+    }
+
+    pub(crate) fn build_unchecked(self) -> Structure {
+        let rels: Vec<Relation> = self
+            .flat
+            .into_iter()
+            .enumerate()
+            .map(|(i, flat)| Relation::from_rows(self.sig.arity(RelId(i)), flat))
+            .collect();
+        let adj = build_adj(self.size, &rels);
+        Structure {
+            sig: self.sig,
+            size: self.size,
+            consts: self.consts.into_iter().map(|c| c.unwrap_or(0)).collect(),
+            rels,
+            adj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: u32, edges: &[(Elem, Elem)]) -> Structure {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, n);
+        for &(u, v) in edges {
+            b.edge(e, u, v).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn relation_sorted_dedup() {
+        let s = graph(3, &[(2, 1), (0, 1), (2, 1), (0, 1)]);
+        let e = s.signature().relation("E").unwrap();
+        let rows: Vec<Vec<Elem>> = s.rel(e).iter().map(|t| t.to_vec()).collect();
+        assert_eq!(rows, vec![vec![0, 1], vec![2, 1]]);
+        assert_eq!(s.rel(e).len(), 2);
+        assert_eq!(s.num_tuples(), 2);
+    }
+
+    #[test]
+    fn membership() {
+        let s = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let e = s.signature().relation("E").unwrap();
+        assert!(s.holds(e, &[1, 2]));
+        assert!(!s.holds(e, &[2, 1]));
+        assert!(!s.holds(e, &[3, 3]));
+    }
+
+    #[test]
+    fn adjacency() {
+        let s = graph(4, &[(0, 1), (0, 2), (1, 2), (3, 0)]);
+        let e = s.signature().relation("E").unwrap();
+        assert_eq!(s.out_neighbors(e, 0), &[1, 2]);
+        assert_eq!(s.in_neighbors(e, 0), &[3]);
+        assert_eq!(s.out_degree(e, 3), 1);
+        assert_eq!(s.in_degree(e, 2), 2);
+        assert_eq!(s.out_neighbors(e, 2), &[] as &[Elem]);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, 2);
+        assert!(matches!(
+            b.add(e, &[0, 5]),
+            Err(StructureError::ElementOutOfRange { elem: 5, size: 2 })
+        ));
+        assert!(matches!(
+            b.add(e, &[0]),
+            Err(StructureError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unassigned_constant_rejected() {
+        let sig = Signature::builder().constant("c").finish_arc();
+        let b = StructureBuilder::new(sig, 1);
+        assert!(matches!(
+            b.build(),
+            Err(StructureError::UnassignedConstant(_))
+        ));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = graph(2, &[(0, 1)]);
+        let b = graph(3, &[(0, 2)]);
+        let u = a.disjoint_union(&b).unwrap();
+        let e = u.signature().relation("E").unwrap();
+        assert_eq!(u.size(), 5);
+        assert!(u.holds(e, &[0, 1]));
+        assert!(u.holds(e, &[2, 4]));
+        assert_eq!(u.num_tuples(), 2);
+    }
+
+    #[test]
+    fn induced_substructure() {
+        let s = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, map) = s.induced(&[1, 2, 4]);
+        let e = sub.signature().relation("E").unwrap();
+        assert_eq!(map, vec![1, 2, 4]);
+        assert_eq!(sub.size(), 3);
+        // Only the edge (1,2) survives, relabeled to (0,1).
+        assert!(sub.holds(e, &[0, 1]));
+        assert_eq!(sub.num_tuples(), 1);
+    }
+
+    #[test]
+    fn relabel_roundtrip() {
+        let s = graph(3, &[(0, 1), (1, 2)]);
+        let perm = [2, 0, 1];
+        let t = s.relabel(&perm);
+        let e = t.signature().relation("E").unwrap();
+        assert!(t.holds(e, &[2, 0]));
+        assert!(t.holds(e, &[0, 1]));
+        let inv = [1, 2, 0];
+        assert_eq!(t.relabel(&inv), s);
+    }
+
+    #[test]
+    fn reindex_rebuilds_adjacency() {
+        let s = graph(3, &[(0, 1), (1, 2)]);
+        let e = s.signature().relation("E").unwrap();
+        let mut t = s.clone();
+        t.adj.clear(); // simulate a freshly deserialized structure
+        t.reindex();
+        assert_eq!(t.out_neighbors(e, 1), s.out_neighbors(e, 1));
+        assert_eq!(s, t);
+    }
+}

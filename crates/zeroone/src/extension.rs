@@ -1,0 +1,521 @@
+//! Extension axioms and the 0-1-law decision procedure.
+//!
+//! The level-`k` extension axioms (see
+//! [`fmt_logic::library::extension_axiom`]) say: *every* configuration
+//! of `k` distinct points extends, by a fresh point, to every possible
+//! atomic type. Their two famous properties drive the FO 0-1 law:
+//!
+//! 1. each axiom has limit probability 1 over uniform random
+//!    structures (checked empirically by
+//!    [`extension_axiom_probability`] — experiment E14);
+//! 2. the axioms **decide** every FO sentence: all their models agree
+//!    on sentences of matching quantifier rank, so `μ(φ) = 1` iff φ
+//!    holds in the countable *generic* structure (the Fraïssé limit /
+//!    Rado-style structure) that realizes every extension type.
+//!
+//! [`decide_mu`] implements property 2 directly and *symbolically*:
+//! it evaluates φ in the generic structure by structural recursion,
+//! where a quantifier branches over (a) the finitely many elements
+//! introduced so far and (b) every atomic *extension type* of a fresh
+//! element over them — legitimate precisely because the generic
+//! structure realizes all of them. No sampling, no luck: the procedure
+//! is exact and terminates in `O((d + 2^{atoms})^{qr})` for nesting
+//! depth `d` (trivial for the toolbox's rank ≤ 3 examples).
+//!
+//! The empirical side ([`satisfies_extension_axioms`],
+//! [`find_generic_witness`]) certifies concrete random structures
+//! against the axioms at low levels, cross-validating the symbolic
+//! answers against Monte-Carlo estimates of `μₙ`.
+
+use fmt_logic::{library, Formula, Term, Var};
+use fmt_structures::{Elem, RelId, Signature, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Symbolic evaluation in the generic (Rado-style) structure.
+// ---------------------------------------------------------------------
+
+/// A finite piece of the generic structure: abstract elements `0..len`
+/// with a fully specified atomic diagram.
+#[derive(Debug, Default, Clone)]
+struct SymbolicDiagram {
+    len: u32,
+    facts: HashSet<(usize, Vec<u32>)>, // (relation index, tuple)
+}
+
+impl SymbolicDiagram {
+    fn holds(&self, rel: RelId, tuple: &[u32]) -> bool {
+        self.facts.contains(&(rel.0, tuple.to_vec()))
+    }
+}
+
+/// All tuples over `0..len` of the given arity that mention `len - 1`
+/// (the freshly added element).
+fn tuples_mentioning_last(len: u32, arity: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    let last = len - 1;
+    let mut tuple = vec![0u32; arity];
+    'odometer: loop {
+        if tuple.contains(&last) {
+            out.push(tuple.clone());
+        }
+        let mut pos = arity;
+        loop {
+            if pos == 0 {
+                break 'odometer;
+            }
+            pos -= 1;
+            tuple[pos] += 1;
+            if tuple[pos] < len {
+                break;
+            }
+            tuple[pos] = 0;
+            if pos == 0 {
+                break 'odometer;
+            }
+        }
+    }
+    out
+}
+
+fn eval_generic(
+    sig: &Signature,
+    f: &Formula,
+    diagram: &mut SymbolicDiagram,
+    env: &mut Vec<Option<u32>>,
+) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom { rel, args } => {
+            let tuple: Vec<u32> = args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => env[v.0 as usize].expect("bound variable"),
+                    Term::Const(_) => {
+                        unreachable!("generic evaluation requires constant-free sentences")
+                    }
+                })
+                .collect();
+            diagram.holds(*rel, &tuple)
+        }
+        Formula::Eq(a, b) => {
+            let val = |t: &Term, env: &[Option<u32>]| match t {
+                Term::Var(v) => env[v.0 as usize].expect("bound variable"),
+                Term::Const(_) => unreachable!(),
+            };
+            val(a, env) == val(b, env)
+        }
+        Formula::Not(g) => !eval_generic(sig, g, diagram, env),
+        Formula::And(fs) => fs.iter().all(|g| eval_generic(sig, g, diagram, env)),
+        Formula::Or(fs) => fs.iter().any(|g| eval_generic(sig, g, diagram, env)),
+        Formula::Implies(a, b) => {
+            !eval_generic(sig, a, diagram, env) || eval_generic(sig, b, diagram, env)
+        }
+        Formula::Iff(a, b) => {
+            eval_generic(sig, a, diagram, env) == eval_generic(sig, b, diagram, env)
+        }
+        Formula::Exists(v, g) => branch_quantifier(sig, *v, g, diagram, env, true),
+        Formula::Forall(v, g) => branch_quantifier(sig, *v, g, diagram, env, false),
+    }
+}
+
+/// Branches a quantifier over (a) the existing abstract elements and
+/// (b) every atomic extension type of a fresh element — exactly the
+/// witnesses the generic structure provides.
+fn branch_quantifier(
+    sig: &Signature,
+    v: Var,
+    body: &Formula,
+    diagram: &mut SymbolicDiagram,
+    env: &mut Vec<Option<u32>>,
+    existential: bool,
+) -> bool {
+    let old = env[v.0 as usize];
+    // (a) existing elements.
+    for e in 0..diagram.len {
+        env[v.0 as usize] = Some(e);
+        let r = eval_generic(sig, body, diagram, env);
+        if r == existential {
+            env[v.0 as usize] = old;
+            return existential;
+        }
+    }
+    // (b) a fresh element, one branch per atomic type over the current
+    // elements. Collect the atom slots first.
+    let fresh = diagram.len;
+    diagram.len += 1;
+    let mut slots: Vec<(usize, Vec<u32>)> = Vec::new();
+    for (r, _, arity) in sig.relations() {
+        for t in tuples_mentioning_last(diagram.len, arity) {
+            slots.push((r.0, t));
+        }
+    }
+    debug_assert!(slots.len() <= 24, "extension type space too large");
+    env[v.0 as usize] = Some(fresh);
+    let mut verdict = !existential;
+    'types: for mask in 0..(1u64 << slots.len()) {
+        // Install the type.
+        for (i, slot) in slots.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                diagram.facts.insert(slot.clone());
+            }
+        }
+        let r = eval_generic(sig, body, diagram, env);
+        // Uninstall.
+        for slot in &slots {
+            diagram.facts.remove(slot);
+        }
+        if r == existential {
+            verdict = existential;
+            break 'types;
+        }
+    }
+    diagram.len -= 1;
+    env[v.0 as usize] = old;
+    verdict
+}
+
+/// Decides the limit probability `μ(φ) ∈ {0, 1}` of an FO sentence over
+/// uniformly random σ-structures, by symbolic evaluation in the generic
+/// structure (see the module docs). Always succeeds; exact.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or the signature has constants.
+pub fn decide_mu(sig: &Arc<Signature>, f: &Formula) -> bool {
+    assert!(f.is_sentence(), "decide_mu requires a Boolean query");
+    assert_eq!(
+        sig.num_constants(),
+        0,
+        "decide_mu requires a constant-free signature"
+    );
+    let mut env = vec![None; f.max_var().map_or(0, |m| m as usize + 1)];
+    let mut diagram = SymbolicDiagram::default();
+    eval_generic(sig, f, &mut diagram, &mut env)
+}
+
+// ---------------------------------------------------------------------
+// Empirical side: certifying concrete random structures.
+// ---------------------------------------------------------------------
+
+/// Checks that `s` satisfies **all** extension axioms of every level
+/// `≤ max_level`, with a direct combinatorial check (no formula
+/// evaluation): for every tuple of `k ≤ max_level` distinct points,
+/// every atomic extension type must be realized by some fresh `z`.
+///
+/// # Panics
+/// Panics if a level fixes more than 24 atoms.
+pub fn satisfies_extension_axioms(s: &Structure, max_level: u32) -> bool {
+    let sig = s.signature();
+    for k in 0..=max_level {
+        let atoms = library::extension_atom_count(sig, k);
+        assert!(atoms <= 24, "extension type space too large");
+        let want: u64 = 1u64 << atoms;
+        let full: u64 = want - 1;
+        // Iterate over all k-tuples of distinct points.
+        let n = s.size();
+        if (n as u64) < k as u64 + 1 {
+            // Not enough points to even host the axiom: it fails
+            // (vacuously true only if there is no k-tuple, i.e. n < k).
+            if (n as u64) < k as u64 {
+                continue;
+            }
+            return false;
+        }
+        let mut xs = vec![0 as Elem; k as usize];
+        let mut realized = vec![false; want as usize];
+        'tuples: loop {
+            let distinct = {
+                let mut seen = xs.clone();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            };
+            if distinct {
+                realized.iter_mut().for_each(|b| *b = false);
+                let mut found = 0u64;
+                for z in s.domain() {
+                    if xs.contains(&z) {
+                        continue;
+                    }
+                    let t = atom_type(s, &xs, z);
+                    if !realized[t as usize] {
+                        realized[t as usize] = true;
+                        found += 1;
+                        if found == want {
+                            break;
+                        }
+                    }
+                }
+                if found != want {
+                    return false;
+                }
+                let _ = full;
+            }
+            // Odometer over k positions (k = 0 runs exactly once).
+            if k == 0 {
+                break 'tuples;
+            }
+            let mut pos = k as usize;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                xs[pos] += 1;
+                if xs[pos] < n {
+                    break;
+                }
+                xs[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The atomic type of `z` over the tuple `xs`, packed into a bit mask
+/// aligned with [`library::extension_atom_count`]'s atom enumeration.
+fn atom_type(s: &Structure, xs: &[Elem], z: Elem) -> u64 {
+    let sig = s.signature();
+    let k = xs.len();
+    let mut bit = 0u32;
+    let mut mask = 0u64;
+    let pool: Vec<Elem> = xs.iter().copied().chain(std::iter::once(z)).collect();
+    let mut tuple_idx = vec![0usize; sig.max_arity()];
+    for (r, _, arity) in sig.relations() {
+        let idx = &mut tuple_idx[..arity];
+        idx.iter_mut().for_each(|i| *i = 0);
+        let mut actual = vec![0 as Elem; arity];
+        'tuples: loop {
+            if idx.contains(&k) {
+                for (a, &i) in actual.iter_mut().zip(idx.iter()) {
+                    *a = pool[i];
+                }
+                if s.holds(r, &actual) {
+                    mask |= 1 << bit;
+                }
+                bit += 1;
+            }
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < pool.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Empirical probability that a uniform random structure of size `n`
+/// satisfies all extension axioms of level `≤ max_level` (experiment
+/// E14: this tends to 1 as `n` grows).
+pub fn extension_axiom_probability(
+    sig: &Arc<Signature>,
+    n: u32,
+    max_level: u32,
+    samples: u32,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0;
+    for _ in 0..samples {
+        let s = crate::sample::uniform_structure(sig, n, &mut rng);
+        if satisfies_extension_axioms(&s, max_level) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+/// A structure certified to satisfy all extension axioms up to a level
+/// — a *generic witness* for the almost-sure theory.
+#[derive(Debug, Clone)]
+pub struct GenericWitness {
+    /// The witness structure.
+    pub structure: Structure,
+    /// All axioms of level `≤ max_level` hold.
+    pub max_level: u32,
+}
+
+impl GenericWitness {
+    /// Re-certifies the witness (the certificate is checkable data).
+    pub fn check(&self) -> bool {
+        satisfies_extension_axioms(&self.structure, self.max_level)
+    }
+}
+
+/// Searches for a generic witness by sampling uniform structures of
+/// growing size. Practical for `max_level ≤ 1` on binary signatures
+/// (level 2 would require witnesses with hundreds of elements).
+pub fn find_generic_witness(
+    sig: &Arc<Signature>,
+    max_level: u32,
+    seed: u64,
+) -> Option<GenericWitness> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let atoms = library::extension_atom_count(sig, max_level) as u32;
+    let start = 24 + 24 * atoms;
+    for round in 0..6u32 {
+        let n = start + round * start;
+        for _ in 0..4 {
+            let s = crate::sample::uniform_structure(sig, n, &mut rng);
+            if satisfies_extension_axioms(&s, max_level) {
+                return Some(GenericWitness {
+                    structure: s,
+                    max_level,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::parser::parse_formula;
+
+    #[test]
+    fn decide_q1_and_q2() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        // The paper's examples: μ(Q1) = 0, μ(Q2) = 1.
+        let q1 = fmt_logic::library::q1_all_pairs_adjacent(e);
+        assert!(!decide_mu(&sig, &q1));
+        let q2 = fmt_logic::library::q2_distinguishing_neighbor(e);
+        assert!(decide_mu(&sig, &q2));
+    }
+
+    #[test]
+    fn decide_simple_sentences() {
+        let sig = Signature::graph();
+        for (src, expected) in [
+            ("exists x. E(x, x)", true),
+            ("forall x. E(x, x)", false),
+            ("forall x y. exists z. E(x, z) & E(y, z)", true),
+            ("exists x. forall y. E(x, y)", false),
+            ("forall x. exists y. E(x, y) & !(x = y)", true),
+            ("exists x y. !(x = y) & E(x, y) & E(y, x)", true),
+            ("forall x y. E(x, y) -> E(y, x)", false),
+            ("exists x. true", true),
+        ] {
+            let f = parse_formula(&sig, src).unwrap();
+            assert_eq!(decide_mu(&sig, &f), expected, "{src}");
+        }
+        assert!(decide_mu(&sig, &fmt_logic::Formula::True));
+        assert!(!decide_mu(&sig, &fmt_logic::Formula::False));
+    }
+
+    #[test]
+    fn decide_cardinalities() {
+        // The generic structure is infinite: every λ_k holds almost
+        // surely.
+        let sig = Signature::graph();
+        for k in 1..5 {
+            assert!(decide_mu(&sig, &fmt_logic::library::at_least(k)));
+        }
+        assert!(!decide_mu(&sig, &fmt_logic::library::at_most(3)));
+    }
+
+    #[test]
+    fn decide_extension_axioms_themselves() {
+        // Every extension axiom holds in the generic structure — the
+        // defining property.
+        let sig = Signature::graph();
+        for k in 0..=1 {
+            for ax in library::all_extension_axioms(&sig, k) {
+                assert!(decide_mu(&sig, &ax));
+            }
+        }
+    }
+
+    #[test]
+    fn decide_agrees_with_exact_mu_trend() {
+        // Sentences with exact μ_n computable at n = 2..4: the decided
+        // limit should match where the trend points.
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "exists x. E(x, x)").unwrap();
+        assert!(decide_mu(&sig, &f));
+        let mu4 = crate::mu::mu_exact(&sig, 4, &f);
+        assert!(mu4 > 0.9, "{mu4}");
+        let g = parse_formula(&sig, "forall x. E(x, x)").unwrap();
+        assert!(!decide_mu(&sig, &g));
+        assert!(crate::mu::mu_exact(&sig, 4, &g) < 0.1);
+    }
+
+    #[test]
+    fn decide_agrees_with_estimates() {
+        let sig = Signature::graph();
+        let f = parse_formula(&sig, "exists x. forall y. E(x, y)").unwrap();
+        assert!(!decide_mu(&sig, &f));
+        let est = crate::mu::mu_estimate(&sig, 16, &f, 300, 13);
+        assert!(est < 0.2, "{est}");
+        let h = parse_formula(&sig, "forall x y. exists z. E(x, z) & E(y, z)").unwrap();
+        assert!(decide_mu(&sig, &h));
+        // Slow convergence again: (3/4)^n per pair needs n ≈ 50.
+        let est_h = crate::mu::mu_estimate(&sig, 56, &h, 120, 13);
+        assert!(est_h > 0.9, "{est_h}");
+    }
+
+    #[test]
+    fn axiom_probability_increases_with_n() {
+        let sig = Signature::graph();
+        let p_small = extension_axiom_probability(&sig, 12, 1, 60, 1);
+        let p_large = extension_axiom_probability(&sig, 110, 1, 60, 1);
+        assert!(p_large >= p_small, "{p_small} vs {p_large}");
+        assert!(p_large > 0.9, "{p_large}");
+    }
+
+    #[test]
+    fn witness_exists_and_checks() {
+        let sig = Signature::graph();
+        let w = find_generic_witness(&sig, 1, 5).expect("witness");
+        assert!(w.check());
+        assert!(satisfies_extension_axioms(&w.structure, 0));
+    }
+
+    #[test]
+    fn direct_checker_matches_formula_evaluation() {
+        // The fast combinatorial checker agrees with evaluating the
+        // axiom formulas on a suite of small structures.
+        let sig = Signature::graph();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let s = crate::sample::uniform_structure(&sig, 9, &mut rng);
+            for level in 0..=1u32 {
+                let direct = satisfies_extension_axioms(&s, level);
+                let via_formulas = (0..=level).all(|k| {
+                    library::all_extension_axioms(&sig, k)
+                        .iter()
+                        .all(|ax| fmt_eval::relalg::check_sentence(&s, ax))
+                });
+                assert_eq!(direct, via_formulas, "level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_structures_fail_axioms() {
+        // A 1-element structure cannot satisfy even level 0 (no fresh z
+        // with both loop polarities).
+        let one = crate::sample::enumerate_structures(&Signature::graph(), 1);
+        for s in one {
+            assert!(!satisfies_extension_axioms(&s, 0));
+        }
+    }
+}

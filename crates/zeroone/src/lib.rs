@@ -1,0 +1,33 @@
+//! # fmt-zeroone
+//!
+//! The 0-1 law toolbox (Libkin, PODS'09, final section): probabilities
+//! of Boolean queries on uniformly random finite structures.
+//!
+//! For a Boolean query `Q` and a relational signature σ, let `μₙ(Q)` be
+//! the probability that a uniformly random σ-structure with domain
+//! `{0, …, n−1}` satisfies `Q` (every potential tuple present
+//! independently with probability ½), and `μ(Q) = limₙ μₙ(Q)`. The
+//! **0-1 law for FO** says: for every FO sentence, `μ(Q)` exists and is
+//! 0 or 1. Counting queries like EVEN, whose `μₙ` oscillates between 0
+//! and 1, therefore cannot be FO-definable.
+//!
+//! This crate makes all of that executable:
+//!
+//! * [`sample`] — uniform random σ-structures (and biased variants);
+//! * [`mu`] — `μₙ` by exact enumeration (tiny n) and by parallel
+//!   Monte-Carlo estimation (moderate n), plus convergence series;
+//! * [`extension`] — **extension axioms**, the proof engine: each has
+//!   limit probability 1, they decide every FO sentence's limit, and
+//!   [`extension::decide_mu`] implements the decision procedure
+//!   (find a certified generic witness, evaluate the sentence on it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extension;
+pub mod mu;
+pub mod sample;
+
+pub use extension::decide_mu;
+pub use mu::{mu_estimate, mu_exact};
+pub use sample::uniform_structure;

@@ -1,0 +1,192 @@
+//! Sampling uniformly random finite structures.
+//!
+//! `STRUC(σ, n)` is the set of σ-structures with domain `{0, …, n−1}`;
+//! the uniform distribution over it is obtained by flipping an
+//! independent fair coin for **every potential tuple of every
+//! relation** — including "diagonal" tuples like `E(a, a)`, which is
+//! why the extension axioms of [`crate::extension`] also fix loop
+//! atoms.
+
+use fmt_structures::{Elem, Signature, Structure, StructureBuilder};
+use rand::{Rng, RngExt};
+use std::sync::Arc;
+
+/// Samples a σ-structure with each potential tuple present
+/// independently with probability `p` (constant-free signatures only).
+///
+/// # Panics
+/// Panics if the signature has constants or `p ∉ [0, 1]`.
+pub fn structure_with_density<R: Rng + ?Sized>(
+    sig: &Arc<Signature>,
+    n: u32,
+    p: f64,
+    rng: &mut R,
+) -> Structure {
+    assert_eq!(
+        sig.num_constants(),
+        0,
+        "random structures require a constant-free signature"
+    );
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = StructureBuilder::new(sig.clone(), n);
+    let mut tuple: Vec<Elem> = Vec::new();
+    for (r, _, arity) in sig.relations() {
+        if n == 0 {
+            continue;
+        }
+        // Odometer over all n^arity tuples.
+        tuple.clear();
+        tuple.resize(arity, 0);
+        'tuples: loop {
+            if rng.random_bool(p) {
+                b.add(r, &tuple).expect("tuple in range");
+            }
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                tuple[pos] += 1;
+                if tuple[pos] < n {
+                    break;
+                }
+                tuple[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    b.build().expect("constant-free")
+}
+
+/// Samples a **uniformly** random σ-structure on `{0, …, n−1}` (every
+/// tuple with probability ½).
+pub fn uniform_structure<R: Rng + ?Sized>(
+    sig: &Arc<Signature>,
+    n: u32,
+    rng: &mut R,
+) -> Structure {
+    structure_with_density(sig, n, 0.5, rng)
+}
+
+/// Enumerates **all** σ-structures on `{0, …, n−1}` (for exact μₙ at
+/// tiny sizes). The number of structures is `2^(Σ_R n^arity)`.
+///
+/// # Panics
+/// Panics if the signature has constants or the space exceeds 2²⁴
+/// structures.
+pub fn enumerate_structures(sig: &Arc<Signature>, n: u32) -> Vec<Structure> {
+    assert_eq!(sig.num_constants(), 0);
+    // Collect all potential tuples across relations.
+    let mut slots: Vec<(fmt_structures::RelId, Vec<Elem>)> = Vec::new();
+    for (r, _, arity) in sig.relations() {
+        if n == 0 {
+            continue;
+        }
+        let mut tuple = vec![0 as Elem; arity];
+        'tuples: loop {
+            slots.push((r, tuple.clone()));
+            let mut pos = arity;
+            loop {
+                if pos == 0 {
+                    break 'tuples;
+                }
+                pos -= 1;
+                tuple[pos] += 1;
+                if tuple[pos] < n {
+                    break;
+                }
+                tuple[pos] = 0;
+                if pos == 0 {
+                    break 'tuples;
+                }
+            }
+        }
+    }
+    assert!(slots.len() <= 24, "structure space too large to enumerate");
+    let total = 1u64 << slots.len();
+    let mut out = Vec::with_capacity(total as usize);
+    for mask in 0..total {
+        let mut b = StructureBuilder::new(sig.clone(), n);
+        for (i, (r, t)) in slots.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                b.add(*r, t).expect("in range");
+            }
+        }
+        out.push(b.build().expect("constant-free"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn determinism_per_seed() {
+        let sig = Signature::graph();
+        let a = uniform_structure(&sig, 10, &mut StdRng::seed_from_u64(1));
+        let b = uniform_structure(&sig, 10, &mut StdRng::seed_from_u64(1));
+        let c = uniform_structure(&sig, 10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    #[test]
+    fn density_extremes() {
+        let sig = Signature::graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty = structure_with_density(&sig, 6, 0.0, &mut rng);
+        assert_eq!(empty.num_tuples(), 0);
+        let full = structure_with_density(&sig, 6, 1.0, &mut rng);
+        assert_eq!(full.num_tuples(), 36); // includes loops
+    }
+
+    #[test]
+    fn tuple_count_concentrates() {
+        let sig = Signature::graph();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = uniform_structure(&sig, 40, &mut rng);
+        let expected = 40.0 * 40.0 / 2.0;
+        let got = s.num_tuples() as f64;
+        assert!((got - expected).abs() < 200.0, "got {got}");
+    }
+
+    #[test]
+    fn enumeration_counts() {
+        let sig = Signature::graph();
+        assert_eq!(enumerate_structures(&sig, 0).len(), 1);
+        assert_eq!(enumerate_structures(&sig, 1).len(), 2); // loop or not
+        assert_eq!(enumerate_structures(&sig, 2).len(), 16);
+        let unary = Signature::builder().relation("P", 1).finish_arc();
+        assert_eq!(enumerate_structures(&unary, 3).len(), 8);
+    }
+
+    #[test]
+    fn enumeration_is_distinct() {
+        let sig = Signature::graph();
+        let all = enumerate_structures(&sig, 2);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_relation_signature() {
+        let sig = Signature::builder()
+            .relation("P", 1)
+            .relation("E", 2)
+            .finish_arc();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = uniform_structure(&sig, 4, &mut rng);
+        assert_eq!(s.signature().num_relations(), 2);
+        // 4 + 16 = 20 potential tuples; ~10 expected.
+        assert!(s.num_tuples() <= 20);
+    }
+}

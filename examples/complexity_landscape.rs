@@ -1,0 +1,152 @@
+//! Experiments E1/E2/E15: the complexity landscape of FO evaluation.
+//!
+//! Reproduces the survey's §2: combined complexity is exponential in
+//! the query and polynomial in the data (Stockmeyer/Vardi; measured as
+//! operation counts of the textbook evaluator), data complexity is in
+//! AC⁰ (circuit families of constant depth and polynomial size,
+//! compiled and cross-validated), and PSPACE-hardness comes from the
+//! QBF reduction.
+//!
+//! Run with: `cargo run --release --example complexity_landscape`
+
+use fmt_core::eval::circuit;
+use fmt_core::eval::naive::{Env, NaiveEvaluator};
+use fmt_core::eval::qbf::{self, Qbf};
+use fmt_core::logic::{library, parser::parse_formula};
+use fmt_core::report;
+use fmt_core::structures::{builders, Signature};
+
+fn main() {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+
+    // -----------------------------------------------------------------
+    // E1: combined complexity O(n^k) — operation counts.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E1 · combined complexity: ops(n, k) for the k-clique query")
+    );
+    let mut rows = Vec::new();
+    for k in 2..=5u32 {
+        let f = library::k_clique(e, k);
+        let mut row = vec![format!("k = {k}")];
+        for n in [4u32, 8, 16, 32] {
+            // Empty graphs force the evaluator to exhaust the whole
+            // quantifier space modulo early exits.
+            let s = builders::complete_graph(n);
+            let mut ev = NaiveEvaluator::new(&s);
+            let mut env = Env::for_formula(&f);
+            ev.eval(&f, &mut env);
+            row.push(ev.ops.to_string());
+        }
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        report::table(&["query \\ data", "n=4", "n=8", "n=16", "n=32"], &rows)
+    );
+    println!("→ each +1 in k multiplies the work by ≈ n (exponential in the query);");
+    println!("  each doubling of n multiplies it by ≈ 2^k (polynomial in the data).");
+
+    // -----------------------------------------------------------------
+    // E2: AC⁰ circuits — constant depth, polynomial size.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E2 · AC⁰: circuit family of ∀x∃y (E(x,y) ∧ ¬E(y,x))")
+    );
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y) & !E(y, x)").unwrap();
+    let rows: Vec<Vec<String>> = [2u32, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&n| {
+            let (c, _) = circuit::compile(&sig, &f, n);
+            vec![
+                n.to_string(),
+                c.num_inputs().to_string(),
+                c.size().to_string(),
+                c.depth().to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(&["n", "input bits", "gates", "depth"], &rows)
+    );
+    println!("→ depth is constant in n; size grows like n² (one gate per (x, y) pair):");
+    println!("  exactly the AC⁰ circuit family of the survey's proof sketch.");
+
+    // Cross-validate circuit output on random structures.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(65);
+    let n = 12;
+    let (c, layout) = circuit::compile(&sig, &f, n);
+    let mut agree = 0;
+    for _ in 0..200 {
+        let s = builders::random_directed_graph(n, 0.3, &mut rng);
+        let direct = fmt_core::eval::naive::check_sentence(&s, &f);
+        if c.eval(&layout.encode(&s)) == direct {
+            agree += 1;
+        }
+    }
+    println!("  circuit ⇔ evaluator on 200 random 12-vertex graphs: {agree}/200 agree");
+    assert_eq!(agree, 200);
+
+    // -----------------------------------------------------------------
+    // E15: PSPACE-hardness via QBF.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E15 · PSPACE-hardness: QBF → FO model checking over ({0,1}, T)")
+    );
+    let v = |i: u32| Qbf::Var(i);
+    let cases: Vec<(&str, Qbf)> = vec![
+        ("∃p∃q (p ∧ q)", Qbf::Exists(0, Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))))),
+        ("∃p (p ∧ ¬p)", Qbf::Exists(0, Box::new(Qbf::And(vec![v(0), v(0).not()])))),
+        (
+            "∀p∃q (p ↔ q)",
+            Qbf::Forall(
+                0,
+                Box::new(Qbf::Exists(
+                    1,
+                    Box::new(Qbf::Or(vec![
+                        Qbf::And(vec![v(0), v(1)]),
+                        Qbf::And(vec![v(0).not(), v(1).not()]),
+                    ])),
+                )),
+            ),
+        ),
+        (
+            "∃q∀p (p ↔ q)",
+            Qbf::Exists(
+                1,
+                Box::new(Qbf::Forall(
+                    0,
+                    Box::new(Qbf::Or(vec![
+                        Qbf::And(vec![v(0), v(1)]),
+                        Qbf::And(vec![v(0).not(), v(1).not()]),
+                    ])),
+                )),
+            ),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, q) in cases {
+        let direct = qbf::solve(&q);
+        let (s, f) = qbf::to_model_checking(&q);
+        let reduced = fmt_core::eval::naive::check_sentence(&s, &f);
+        assert_eq!(direct, reduced);
+        rows.push(vec![
+            name.to_owned(),
+            report::mark(direct).to_owned(),
+            report::mark(reduced).to_owned(),
+        ]);
+    }
+    print!(
+        "{}",
+        report::table(&["QBF", "QBF solver", "B ⊨ φ*"], &rows)
+    );
+    println!("→ the two-element structure B = ({{0,1}}, T = {{1}}) simulates QBF:");
+    println!("  model checking inherits PSPACE-hardness (combined complexity).");
+}

@@ -1,0 +1,195 @@
+//! A database-theory scenario: integrity constraints, queries, and the
+//! limits of FO on an actual (toy) database.
+//!
+//! The survey's motivation is that FMT is "the backbone of database
+//! theory": databases are finite structures, constraints and queries
+//! are FO sentences/formulas, Datalog adds recursion, and the toolbox
+//! tells you where FO's expressive power ends. This example plays the
+//! whole story on a small company database:
+//!
+//! * schema `worksIn(emp, dept)`, `manages(mgr, dept)`,
+//!   `reportsTo(emp, emp)`;
+//! * FO **integrity constraints** (every employee has a department,
+//!   every department of record has exactly one manager) checked by the
+//!   evaluator;
+//! * FO **queries** (colleagues, departments without managers) via the
+//!   relational-algebra engine;
+//! * a **Datalog** query (the reporting chain — transitive closure);
+//! * and the toolbox's negative fact: the reporting chain is *not* an
+//!   FO query (BNDP violation on chain-of-command inputs).
+//!
+//! Run with: `cargo run --release --example database_constraints`
+
+use fmt_core::eval::{naive, relalg};
+use fmt_core::locality::bndp;
+use fmt_core::logic::{parser::parse_formula, Query};
+use fmt_core::queries::datalog::Program;
+use fmt_core::report;
+use fmt_core::structures::{Signature, Structure, StructureBuilder};
+
+/// Builds the company database.
+///
+/// Domain: 0..6 are employees (0 = CEO), 6..9 are departments
+/// (6 = Eng, 7 = Sales, 8 = Legal — legal has no staff and no manager).
+fn company() -> Structure {
+    let sig = Signature::builder()
+        .relation("worksIn", 2)
+        .relation("manages", 2)
+        .relation("reportsTo", 2)
+        .finish_arc();
+    let works = sig.relation("worksIn").unwrap();
+    let manages = sig.relation("manages").unwrap();
+    let reports = sig.relation("reportsTo").unwrap();
+    let mut b = StructureBuilder::new(sig, 9);
+    // Eng: employees 1, 2, 3; Sales: 4, 5; CEO 0 sits in Eng too.
+    for (e, d) in [(0u32, 6u32), (1, 6), (2, 6), (3, 6), (4, 7), (5, 7)] {
+        b.add(works, &[e, d]).unwrap();
+    }
+    // Managers: 1 manages Eng, 4 manages Sales.
+    b.add(manages, &[1, 6]).unwrap();
+    b.add(manages, &[4, 7]).unwrap();
+    // Reporting: 2,3 → 1 → 0 and 5 → 4 → 0.
+    for (e, m) in [(2u32, 1u32), (3, 1), (1, 0), (5, 4), (4, 0)] {
+        b.add(reports, &[e, m]).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn main() {
+    let db = company();
+    let sig = db.signature().clone();
+
+    // -----------------------------------------------------------------
+    // Integrity constraints as FO sentences.
+    // -----------------------------------------------------------------
+    print!("{}", report::section("Integrity constraints (FO sentences)"));
+    let constraints = [
+        (
+            "every employee works somewhere",
+            // employees = things that report or are reported to or work somewhere…
+            // here: anyone who reports to someone must have a department.
+            "forall e m. reportsTo(e, m) -> exists d. worksIn(e, d)",
+        ),
+        (
+            "managers belong to the department they manage",
+            "forall m d. manages(m, d) -> worksIn(m, d)",
+        ),
+        (
+            "everyone on payroll reports to someone (fails: the CEO)",
+            "forall e. (exists d. worksIn(e, d)) -> exists m. reportsTo(e, m)",
+        ),
+        (
+            "at most one manager per department",
+            "forall d m1 m2. (manages(m1, d) & manages(m2, d)) -> m1 = m2",
+        ),
+        (
+            "every staffed department has a manager",
+            "forall d. (exists e. worksIn(e, d)) -> (exists m. manages(m, d))",
+        ),
+    ];
+    let rows: Vec<Vec<String>> = constraints
+        .iter()
+        .map(|(gloss, src)| {
+            let f = parse_formula(&sig, src).unwrap();
+            vec![
+                (*gloss).to_owned(),
+                report::mark(naive::check_sentence(&db, &f)).to_owned(),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&["constraint", "holds"], &rows));
+    println!("→ the evaluator is the constraint checker: four constraints hold and");
+    println!("  the violation is real — the CEO works in Eng but reports to nobody.");
+
+    // -----------------------------------------------------------------
+    // Queries, set-at-a-time.
+    // -----------------------------------------------------------------
+    print!("{}", report::section("Queries (relational-algebra evaluation)"));
+    let colleagues = Query::parse(
+        &sig,
+        "exists d. worksIn(x, d) & worksIn(y, d) & !(x = y)",
+    )
+    .unwrap();
+    let pairs = relalg::answers(&db, &colleagues);
+    println!("colleagues(x, y): {} ordered pairs", pairs.len());
+    let unmanaged = Query::parse(
+        &sig,
+        "(exists e. worksIn(e, x)) & !(exists m. manages(m, x))",
+    )
+    .unwrap();
+    println!(
+        "staffed departments without a manager: {:?} (none — constraint held)",
+        relalg::answers(&db, &unmanaged)
+    );
+    let skip_level = Query::parse(
+        &sig,
+        "exists m. reportsTo(x, m) & reportsTo(m, y)",
+    )
+    .unwrap();
+    println!(
+        "skip-level reports (x, boss's boss): {:?}",
+        relalg::answers(&db, &skip_level)
+    );
+
+    // -----------------------------------------------------------------
+    // Recursion needs Datalog: the chain of command.
+    // -----------------------------------------------------------------
+    print!("{}", report::section("The chain of command (Datalog)"));
+    let prog = Program::parse(
+        &sig,
+        "chain(x, y) :- reportsTo(x, y). chain(x, z) :- reportsTo(x, y), chain(y, z).",
+    )
+    .unwrap();
+    let out = prog.eval_seminaive(&db);
+    let chain = prog.idb("chain").unwrap();
+    let mut tuples: Vec<&Vec<u32>> = out.relation(chain).iter().collect();
+    tuples.sort();
+    println!("chain(x, y) — y is above x:");
+    for t in &tuples {
+        println!("  chain({}, {})", t[0], t[1]);
+    }
+    assert!(out.relation(chain).contains(&vec![2, 0])); // IC 2 → CEO
+
+    // -----------------------------------------------------------------
+    // And the toolbox's negative fact: chain is not FO.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("Why `chain` needs Datalog: a BNDP argument")
+    );
+    // Family: command chains of growing depth (reportsTo = successor).
+    let make_chain = |n: u32| {
+        let sig = Signature::builder().relation("reportsTo", 2).finish_arc();
+        let r = sig.relation("reportsTo").unwrap();
+        let mut b = StructureBuilder::new(sig, n);
+        for i in 1..n {
+            b.add(r, &[i, i - 1]).unwrap();
+        }
+        b.build().unwrap()
+    };
+    let family: Vec<Structure> = (4..=9).map(make_chain).collect();
+    let in_rel = family[0].signature().relation("reportsTo").unwrap();
+    let out_rel = Signature::graph().relation("E").unwrap();
+    let profile = bndp::bndp_profile(&family, in_rel, out_rel, |s| {
+        fmt_core::queries::graph::transitive_closure(s)
+    });
+    let rows: Vec<Vec<String>> = profile
+        .iter()
+        .map(|o| {
+            vec![
+                o.input_size.to_string(),
+                o.input_max_degree.to_string(),
+                o.output_spectrum_size.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(&["chain length", "max deg in", "|degs(chain*)|"], &rows)
+    );
+    assert!(bndp::witnesses_bndp_violation(&profile));
+    println!("→ org charts have degree ≤ 1 here, yet the full reporting relation");
+    println!("  realizes ever more degrees: by Theorem 3.4 no FO query computes it.");
+    println!("  That is why real query languages grew recursion (Datalog, SQL WITH");
+    println!("  RECURSIVE) — the toolbox knows exactly where FO stops.");
+}

@@ -1,0 +1,158 @@
+//! Experiment E10: linear-time FO evaluation on bounded-degree classes
+//! (Theorem 3.11), plus Gaifman's theorem machinery (E12).
+//!
+//! Reproduces the survey's §3.5: after a precomputation that is
+//! independent of the input, FO sentences are evaluated on degree-≤k
+//! structures by one linear census pass; the crossover against the
+//! generic O(n^width) evaluator is shown on growing cycles. The second
+//! half evaluates basic local sentences (Theorem 3.12) against direct
+//! FO evaluation.
+//!
+//! Run with: `cargo run --release --example linear_time_bounded_degree`
+
+use fmt_core::eval::bounded_degree::{BoundedDegreeEvaluator, HanfParameters};
+use fmt_core::eval::local::BasicLocalSentence;
+use fmt_core::eval::relalg;
+use fmt_core::logic::parser::parse_formula;
+use fmt_core::report;
+use fmt_core::structures::{builders, Signature};
+use std::time::Instant;
+
+fn main() {
+    let sig = Signature::graph();
+
+    // -----------------------------------------------------------------
+    // E10: census-based evaluation vs generic evaluation.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E10 · Theorem 3.11: linear time on degree-≤2 structures")
+    );
+    // A rank-3 sentence on which the textbook evaluator does Θ(n²)
+    // work on cycles (the inner scans walk most of the domain).
+    let f = parse_formula(
+        &sig,
+        "forall x. exists y. E(x, y) & (exists z. E(y, z) & !(z = x))",
+    )
+    .unwrap();
+    println!("sentence: ∀x∃y (E(x,y) ∧ ∃z (E(y,z) ∧ z ≠ x))");
+    println!("          (2-local; calibrated parameters r=2, m=6)\n");
+    let params = HanfParameters {
+        radius: 2,
+        threshold: 6,
+    };
+    let mut ev = BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 2, params);
+    // Precomputation: prime the census table on small family members
+    // (and cross-validate against both reference evaluators there).
+    for n in [5u32, 6, 8, 12, 20] {
+        let s = builders::undirected_cycle(n);
+        let got = ev.evaluate(&s);
+        assert_eq!(got, relalg::check_sentence(&s, &f));
+        assert_eq!(got, fmt_core::eval::naive::check_sentence(&s, &f));
+    }
+    println!(
+        "precomputation: {} full evaluations filled a table of {} capped censuses\n",
+        ev.stats.full_evaluations,
+        ev.table_len()
+    );
+    let mut rows = Vec::new();
+    for exp in [9u32, 10, 11, 12, 13] {
+        let n = 1u32 << exp;
+        let s = builders::undirected_cycle(n);
+        let t0 = Instant::now();
+        let census_answer = ev.evaluate(&s);
+        let census_time = t0.elapsed();
+        let t1 = Instant::now();
+        let generic_answer = fmt_core::eval::naive::check_sentence(&s, &f);
+        let generic_time = t1.elapsed();
+        assert_eq!(census_answer, generic_answer);
+        rows.push(vec![
+            format!("2^{exp}"),
+            format!("{:.1?}", census_time),
+            format!("{:.1?}", generic_time),
+            format!(
+                "{:.1}×",
+                generic_time.as_secs_f64() / census_time.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    print!(
+        "{}",
+        report::table(
+            &["n (cycle)", "census pass (Thm 3.11)", "textbook O(nᵏ)", "speedup"],
+            &rows
+        )
+    );
+    println!(
+        "→ all large cycles hit the table ({} hits total); the census pass scales",
+        ev.stats.table_hits
+    );
+    println!("  linearly while the textbook evaluator is quadratic here — the");
+    println!("  crossover widens with n, exactly the shape of Theorem 3.11.");
+
+    // Conservative (provably sound) parameters for reference.
+    let auto = fmt_core::eval::bounded_degree::hanf_parameters(f.quantifier_rank(), 2);
+    println!(
+        "\nconservative sound parameters for qr = {} on degree ≤ 2: r = {}, m = {}",
+        f.quantifier_rank(),
+        auto.radius,
+        auto.threshold
+    );
+
+    // -----------------------------------------------------------------
+    // E12: basic local sentences (Gaifman's theorem building blocks).
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E12 · Theorem 3.12: basic local sentences")
+    );
+    // φ(x) = "x is an endpoint" (degree exactly one), a 1-local formula.
+    let endpoint = parse_formula(
+        &sig,
+        "x = x & (exists y. E(x, y)) & forall y z. (E(x,y) & E(x,z)) -> y = z",
+    )
+    .unwrap();
+    let two_endpoints_far =
+        BasicLocalSentence::new(2, 2, endpoint).expect("valid basic local sentence");
+    println!("basic local sentence: ∃x1∃x2 (d(x1,x2) > 4 ∧ endpoint(x1) ∧ endpoint(x2))\n");
+    let suite = vec![
+        ("path_12", builders::undirected_path(12)),
+        ("path_5", builders::undirected_path(5)),
+        ("cycle_12", builders::undirected_cycle(12)),
+        (
+            "2 paths_6",
+            builders::copies(&builders::undirected_path(6), 2),
+        ),
+        ("tree d=3", builders::full_binary_tree(3)),
+    ];
+    // The equivalent plain FO sentence, with distance > 4 spelled out.
+    let direct = parse_formula(
+        &sig,
+        "exists a b. \
+           ((exists y. E(a, y)) & (forall y z. (E(a,y) & E(a,z)) -> y = z)) \
+         & ((exists y. E(b, y)) & (forall y z. (E(b,y) & E(b,z)) -> y = z)) \
+         & !(a = b) \
+         & !(E(a,b) | E(b,a)) \
+         & !(exists m. (E(a,m) | E(m,a)) & (E(m,b) | E(b,m))) \
+         & !(exists m p. (E(a,m) | E(m,a)) & (E(m,p) | E(p,m)) & (E(p,b) | E(b,p))) \
+         & !(exists m p q. (E(a,m) | E(m,a)) & (E(m,p) | E(p,m)) & (E(p,q) | E(q,p)) & (E(q,b) | E(b,q)))",
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for (name, s) in &suite {
+        let local = two_endpoints_far.evaluate(s);
+        let plain = relalg::check_sentence(s, &direct);
+        assert_eq!(local, plain, "mismatch on {name}");
+        rows.push(vec![
+            (*name).to_owned(),
+            report::mark(local).to_owned(),
+            report::mark(plain).to_owned(),
+        ]);
+    }
+    print!(
+        "{}",
+        report::table(&["structure", "local eval", "plain FO eval"], &rows)
+    );
+    println!("→ the scattered-witness evaluation of the basic local sentence agrees");
+    println!("  with direct FO evaluation — the two sides of Gaifman's normal form.");
+}

@@ -1,0 +1,119 @@
+//! Experiment E17: the MSO counterpoint — what FO cannot define,
+//! monadic second-order logic can.
+//!
+//! Corollary 3.2 of the survey shows connectivity, acyclicity and
+//! transitive closure are **not FO-definable**; the complexity section
+//! notes that the PSPACE bound covers "FO (and monadic second-order
+//! logic MSO)". This example completes the picture: the MSO sentences
+//! for connectivity, reachability and bipartiteness are evaluated
+//! (by exhaustive set quantification — exponential, as it must be) and
+//! cross-checked against the reference graph algorithms, including on
+//! the very structure pairs where FO provably fails.
+//!
+//! Run with: `cargo run --release --example mso_expressivity`
+
+use fmt_core::eval::mso;
+use fmt_core::logic::mso::{mso_bipartite, mso_connectivity, mso_reachable};
+use fmt_core::queries::graph;
+use fmt_core::report;
+use fmt_core::structures::{builders, Signature};
+
+fn main() {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+
+    // -----------------------------------------------------------------
+    // Connectivity: MSO succeeds exactly where FO fails.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E17 · connectivity is MSO-definable")
+    );
+    println!("MSO sentence: ∀X [(∃x X(x)) ∧ closed-under-E(X) → ∀z X(z)]\n");
+    let conn = mso_connectivity(e);
+    let suite = [("C_8", builders::undirected_cycle(8)),
+        ("C_4 ⊎ C_4", builders::copies(&builders::undirected_cycle(4), 2)),
+        ("path_7", builders::undirected_path(7)),
+        ("tree d=2", builders::full_binary_tree(2)),
+        ("empty_4", builders::empty_graph(4)),
+        ("K_5", builders::complete_graph(5))];
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|(name, s)| {
+            let (mso_val, stats) = mso::check_sentence_with_stats(s, &conn);
+            let reference = graph::is_connected(s);
+            assert_eq!(mso_val, reference);
+            vec![
+                (*name).to_owned(),
+                report::mark(mso_val).to_owned(),
+                report::mark(reference).to_owned(),
+                stats.set_assignments.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(
+            &["graph", "MSO", "reference BFS", "set assignments tried"],
+            &rows
+        )
+    );
+    println!("→ MSO decides connectivity correctly everywhere — including on the");
+    println!("  Hanf pair C_m ⊎ C_m vs C_2m where every low-rank FO sentence is blind.");
+    println!("  The price is the exponential set quantifier (last column).");
+
+    // -----------------------------------------------------------------
+    // The FO-blind pair, revisited.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("The paper's Hanf pair, seen by FO vs MSO")
+    );
+    let m = 5u32;
+    let two = builders::copies(&builders::undirected_cycle(m), 2);
+    let one = builders::undirected_cycle(2 * m);
+    let fo_rank = fmt_core::games::solver::rank(&two, &one, 3);
+    println!("C_{m} ⊎ C_{m} vs C_{}:", 2 * m);
+    println!("  FO : duplicator survives {fo_rank} game rounds — rank-{fo_rank} FO sentences can't tell them apart");
+    println!(
+        "  MSO: connectivity sentence answers {} vs {} — separated\n",
+        mso::check_sentence(&two, &conn),
+        mso::check_sentence(&one, &conn)
+    );
+
+    // -----------------------------------------------------------------
+    // Bipartiteness and reachability.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("More MSO-definable queries: 2-colorability, reachability")
+    );
+    let bip = mso_bipartite(e);
+    let rows: Vec<Vec<String>> = [4u32, 5, 6, 7]
+        .iter()
+        .map(|&n| {
+            let c = builders::undirected_cycle(n);
+            let v = mso::check_sentence(&c, &bip);
+            assert_eq!(v, n % 2 == 0);
+            vec![
+                format!("C_{n}"),
+                report::mark(v).to_owned(),
+                if n % 2 == 0 { "even cycle" } else { "odd cycle" }.to_owned(),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&["graph", "2-colorable", "why"], &rows));
+
+    let reach = mso_reachable(e);
+    let forest = builders::copies(&builders::undirected_path(3), 2);
+    let mut hits = 0;
+    for x in 0..6u32 {
+        for y in 0..6u32 {
+            let v = mso::check_with_binding(&forest, &reach, &[x, y]);
+            assert_eq!(v, (x < 3) == (y < 3));
+            hits += usize::from(v);
+        }
+    }
+    println!("\nreach(x, y) on two disjoint 3-paths: {hits}/36 pairs reachable (= 2 × 3²),");
+    println!("matching BFS exactly. Transitive closure — not FO (E6/E8) — is MSO.");
+}

@@ -1,0 +1,121 @@
+//! Experiments E13/E14: the FO 0-1 law.
+//!
+//! Reproduces the survey's final section: convergence of `μₙ(Q₁)` to 0
+//! and `μₙ(Q₂)` to 1, the non-convergence of EVEN, extension axioms'
+//! probability tending to 1, and the exact decision procedure for the
+//! limit via the generic (Rado-style) structure.
+//!
+//! Run with: `cargo run --release --example zero_one_law`
+
+use fmt_core::logic::{library, parser::parse_formula};
+use fmt_core::report;
+use fmt_core::structures::Signature;
+use fmt_core::zeroone::extension::{
+    decide_mu, extension_axiom_probability, find_generic_witness,
+};
+use fmt_core::zeroone::mu::ConvergenceSeries;
+
+fn main() {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+
+    // -----------------------------------------------------------------
+    // E13: convergence of the paper's two examples.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E13 · μ_n(Q1) → 0 and μ_n(Q2) → 1")
+    );
+    let q1 = library::q1_all_pairs_adjacent(e);
+    let q2 = library::q2_distinguishing_neighbor(e);
+    println!("Q1 = ∀x∀y (x ≠ y → E(x,y))          \"all pairs adjacent\"");
+    println!("Q2 = ∀x∀y (x ≠ y → ∃z (E(z,x) ∧ ¬E(z,y)))  \"distinguishing in-neighbor\"\n");
+    let ns = [2u32, 3, 4, 8, 16, 32, 56];
+    let s1 = ConvergenceSeries::compute(&sig, &ns, &q1, 300, 2009);
+    let s2 = ConvergenceSeries::compute(&sig, &ns, &q2, 300, 2009);
+    let rows: Vec<Vec<String>> = ns
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            vec![
+                n.to_string(),
+                report::prob(s1.values[i]),
+                report::prob(s2.values[i]),
+                if n <= 4 { "exact" } else { "300 samples" }.to_owned(),
+            ]
+        })
+        .collect();
+    print!("{}", report::table(&["n", "μ_n(Q1)", "μ_n(Q2)", "method"], &rows));
+    println!("→ Q1 vanishes, Q2 fills in — both have a 0-1 limit.\n");
+
+    // EVEN: no limit at all.
+    println!("μ_n(EVEN) = 1, 0, 1, 0, … (a deterministic function of n):");
+    let rows: Vec<Vec<String>> = (2..=9u32)
+        .map(|n| vec![n.to_string(), if n % 2 == 0 { "1" } else { "0" }.to_owned()])
+        .collect();
+    print!("{}", report::table(&["n", "μ_n(EVEN)"], &rows));
+    println!("→ μ(EVEN) does not exist: EVEN violates the 0-1 law, hence is not FO.");
+
+    // -----------------------------------------------------------------
+    // E14: extension axioms.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("E14 · extension axioms hold almost surely")
+    );
+    let rows: Vec<Vec<String>> = [6u32, 12, 24, 48, 96]
+        .iter()
+        .map(|&n| {
+            let p0 = extension_axiom_probability(&sig, n, 0, 60, 7);
+            let p1 = extension_axiom_probability(&sig, n, 1, 60, 7);
+            vec![n.to_string(), report::prob(p0), report::prob(p1)]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::table(&["n", "P[level ≤ 0]", "P[level ≤ 1]"], &rows)
+    );
+    let witness = find_generic_witness(&sig, 1, 11).expect("generic witness");
+    println!(
+        "→ a certified level-1 generic witness of size {} was found (check: {})",
+        witness.structure.size(),
+        report::mark(witness.check())
+    );
+
+    // -----------------------------------------------------------------
+    // The decision procedure: exact limits via the generic structure.
+    // -----------------------------------------------------------------
+    print!(
+        "{}",
+        report::section("Deciding μ(φ) exactly (symbolic evaluation in the generic structure)")
+    );
+    let cases = [
+        ("exists x. E(x, x)", "a loop exists"),
+        ("forall x. E(x, x)", "everything has a loop"),
+        ("forall x y. exists z. E(x, z) & E(y, z)", "common out-neighbor"),
+        ("exists x. forall y. E(x, y)", "a dominating vertex"),
+        ("forall x. exists y. E(x, y) & !(x = y)", "no sink"),
+    ];
+    let mut rows = Vec::new();
+    for (src, gloss) in cases {
+        let f = parse_formula(&sig, src).unwrap();
+        let mu = decide_mu(&sig, &f);
+        rows.push(vec![
+            src.to_owned(),
+            gloss.to_owned(),
+            u8::from(mu).to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "Q1".into(),
+        "all pairs adjacent".into(),
+        u8::from(decide_mu(&sig, &q1)).to_string(),
+    ]);
+    rows.push(vec![
+        "Q2".into(),
+        "distinguishing in-neighbor".into(),
+        u8::from(decide_mu(&sig, &q2)).to_string(),
+    ]);
+    print!("{}", report::table(&["sentence", "gloss", "μ"], &rows));
+    println!("→ matches the Monte-Carlo trends above, with zero sampling error.");
+}

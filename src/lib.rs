@@ -1,0 +1,18 @@
+//! # fmt-toolbox
+//!
+//! Umbrella crate for the finite model theory toolbox — a Rust
+//! reproduction of L. Libkin, *"The finite model theory toolbox of a
+//! database theoretician"*, PODS 2009.
+//!
+//! This crate simply re-exports [`fmt_core`] (which in turn re-exports
+//! every subsystem) and hosts the workspace-level `examples/` and
+//! `tests/`. Depend on `fmt-core` (or the individual crates) in library
+//! code; use this crate to run the examples:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example inexpressibility_even
+//! cargo run --release --example locality_analysis
+//! ```
+
+pub use fmt_core::*;

@@ -1,0 +1,239 @@
+//! Cross-validation: every engine in the workspace that can answer the
+//! same question must give the same answer.
+//!
+//! naive ⇔ relalg ⇔ circuit ⇔ bounded-degree on sentences; naive ⇔
+//! relalg on open queries; game solver ⇔ closed forms ⇔ fundamental
+//! theorem (game equivalence ⇔ sentence agreement, checked on a
+//! sentence corpus).
+
+use fmt_core::eval::{circuit, naive, relalg};
+use fmt_core::games::solver::EfSolver;
+use fmt_core::logic::{library, nf, parser::parse_formula, Formula, Query};
+use fmt_core::structures::{builders, Signature, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sentence_corpus(sig: &Signature) -> Vec<(String, Formula)> {
+    let e = sig.relation("E").unwrap();
+    let mut out: Vec<(String, Formula)> = vec![
+        ("at_least_3".into(), library::at_least(3)),
+        ("exactly_4".into(), library::exactly(4)),
+        ("clique_3".into(), library::k_clique(e, 3)),
+        ("path_2".into(), library::k_path(e, 2)),
+        ("q1".into(), library::q1_all_pairs_adjacent(e)),
+        ("q2".into(), library::q2_distinguishing_neighbor(e)),
+        ("dominating".into(), library::dominating_vertex(e)),
+        ("no_isolated".into(), library::no_isolated_vertex(e)),
+        ("symmetric".into(), library::symmetric(e)),
+        ("irreflexive".into(), library::irreflexive(e)),
+    ];
+    for (i, src) in [
+        "forall x. exists y. E(x, y)",
+        "exists x. forall y. E(y, x) | y = x",
+        "forall x y. (E(x, y) <-> E(y, x))",
+        "exists x y z. E(x, y) & E(y, z) & !E(x, z)",
+        "forall x. (exists y. E(x, y)) -> (exists z. E(z, x))",
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push((format!("parsed_{i}"), parse_formula(sig, src).unwrap()));
+    }
+    out
+}
+
+fn structure_suite(seed: u64) -> Vec<Structure> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut suite = vec![
+        builders::empty_graph(0),
+        builders::empty_graph(1),
+        builders::empty_graph(5),
+        builders::complete_graph(4),
+        builders::directed_path(6),
+        builders::undirected_path(6),
+        builders::directed_cycle(5),
+        builders::undirected_cycle(6),
+        builders::full_binary_tree(2),
+        builders::grid(3, 3),
+        builders::copies(&builders::undirected_cycle(3), 2),
+    ];
+    for _ in 0..6 {
+        suite.push(builders::random_directed_graph(7, 0.35, &mut rng));
+    }
+    suite
+}
+
+#[test]
+fn naive_and_relalg_agree_on_sentences() {
+    let sig = Signature::graph();
+    for (name, f) in sentence_corpus(&sig) {
+        for s in structure_suite(1) {
+            assert_eq!(
+                naive::check_sentence(&s, &f),
+                relalg::check_sentence(&s, &f),
+                "{name} on n = {}",
+                s.size()
+            );
+        }
+    }
+}
+
+#[test]
+fn circuit_agrees_with_naive() {
+    let sig = Signature::graph();
+    for (name, f) in sentence_corpus(&sig) {
+        for n in [0u32, 1, 4, 6] {
+            let (c, layout) = circuit::compile(&sig, &f, n);
+            let mut rng = StdRng::seed_from_u64(n as u64 + 7);
+            for _ in 0..5 {
+                let s = builders::random_directed_graph(n, 0.4, &mut rng);
+                assert_eq!(
+                    c.eval(&layout.encode(&s)),
+                    naive::check_sentence(&s, &f),
+                    "{name} at n = {n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn normal_forms_preserve_semantics() {
+    let sig = Signature::graph();
+    for (name, f) in sentence_corpus(&sig) {
+        let forms = [
+            ("nnf", nf::nnf(&f)),
+            ("simplified", nf::simplify(&f)),
+            ("standardized", nf::standardize_apart(&f)),
+        ];
+        for s in structure_suite(2) {
+            let reference = naive::check_sentence(&s, &f);
+            for (fname, g) in &forms {
+                assert_eq!(
+                    naive::check_sentence(&s, g),
+                    reference,
+                    "{fname}({name}) on n = {}",
+                    s.size()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prenex_preserves_semantics_on_nonempty_domains() {
+    let sig = Signature::graph();
+    for (name, f) in sentence_corpus(&sig) {
+        let p = nf::prenex(&f).to_formula();
+        for s in structure_suite(3) {
+            if s.size() == 0 {
+                continue; // prenexing assumes nonempty domains
+            }
+            assert_eq!(
+                naive::check_sentence(&s, &p),
+                naive::check_sentence(&s, &f),
+                "prenex({name}) on n = {}",
+                s.size()
+            );
+        }
+    }
+}
+
+#[test]
+fn open_queries_agree() {
+    let sig = Signature::graph();
+    let queries = [
+        "E(x, y) & !E(y, x)",
+        "exists z. E(x, z) & E(z, y) & !(z = x) & !(z = y)",
+        "forall z. E(x, z) -> E(y, z)",
+        "!E(x, x) & exists y. E(x, y)",
+    ];
+    for src in queries {
+        let q = Query::parse(&sig, src).unwrap();
+        for s in structure_suite(4) {
+            assert_eq!(
+                naive::answers(&s, &q),
+                relalg::answers(&s, &q),
+                "{src} on n = {}",
+                s.size()
+            );
+        }
+    }
+}
+
+/// The fundamental theorem, sampled: if the duplicator wins the n-round
+/// game on (A, B), then A and B agree on every corpus sentence of
+/// quantifier rank ≤ n — and whenever a corpus sentence of rank ≤ n
+/// separates A and B, the spoiler must win.
+#[test]
+fn fundamental_theorem_on_corpus() {
+    let sig = Signature::graph();
+    let corpus = sentence_corpus(&sig);
+    let structures = [builders::directed_cycle(4),
+        builders::directed_cycle(5),
+        builders::directed_path(4),
+        builders::undirected_cycle(4),
+        builders::undirected_cycle(5),
+        builders::complete_graph(4),
+        builders::empty_graph(4)];
+    for (i, a) in structures.iter().enumerate() {
+        for b in &structures[i..] {
+            for n in 1..=3u32 {
+                let equivalent = EfSolver::new(a, b).duplicator_wins(n);
+                if equivalent {
+                    for (name, f) in &corpus {
+                        if f.quantifier_rank() <= n {
+                            assert_eq!(
+                                naive::check_sentence(a, f),
+                                naive::check_sentence(b, f),
+                                "{name} (rank {}) separates ≡_{n}-equivalent structures \
+                                 of sizes {} and {}",
+                                f.quantifier_rank(),
+                                a.size(),
+                                b.size()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Orders: the rank-n agreement of L_m and L_k matches truth agreement
+/// of rank-≤ n order sentences.
+#[test]
+fn fundamental_theorem_on_orders() {
+    let sig = Signature::order();
+    let sentences: Vec<Formula> = vec![
+        library::at_least(2),
+        library::at_least(3),
+        parse_formula(&sig, "exists x. forall y. x = y | x < y").unwrap(), // has min
+        parse_formula(&sig, "forall x. exists y. x < y").unwrap(),         // no max
+        parse_formula(
+            &sig,
+            "exists x y. x < y & !(exists z. x < z & z < y)", // adjacent pair
+        )
+        .unwrap(),
+    ];
+    for m in 1..=6u32 {
+        for k in 1..=6u32 {
+            for n in 1..=3u32 {
+                let a = builders::linear_order(m);
+                let b = builders::linear_order(k);
+                if EfSolver::new(&a, &b).duplicator_wins(n) {
+                    for f in &sentences {
+                        if f.quantifier_rank() <= n {
+                            assert_eq!(
+                                naive::check_sentence(&a, f),
+                                naive::check_sentence(&b, f),
+                                "rank-{} sentence separates L_{m} ≡_{n} L_{k}",
+                                f.quantifier_rank()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

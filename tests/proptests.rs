@@ -1,0 +1,230 @@
+//! Property-based tests over random formulas and random structures.
+//!
+//! * generator for well-formed random FO formulas over the graph
+//!   signature;
+//! * naive ⇔ relalg ⇔ circuit agreement on arbitrary inputs;
+//! * NNF/simplify preserve semantics on arbitrary formulas;
+//! * quantifier-rank bookkeeping laws;
+//! * the fundamental theorem attacked with random sentences: a random
+//!   sentence of rank ≤ n never separates game-equivalent structures.
+
+use fmt_core::eval::{circuit, naive, relalg};
+use fmt_core::games::solver::EfSolver;
+use fmt_core::logic::{nf, Formula, Term, Var};
+use fmt_core::structures::{Signature, Structure};
+use proptest::prelude::*;
+
+fn graph_sig() -> std::sync::Arc<Signature> {
+    Signature::graph()
+}
+
+/// A random graph structure with up to 6 vertices.
+fn arb_graph() -> impl Strategy<Value = Structure> {
+    (0u32..6, proptest::collection::vec(any::<bool>(), 36)).prop_map(|(n, bits)| {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut b = fmt_core::structures::StructureBuilder::new(sig, n);
+        let mut k = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if bits[k % bits.len()] {
+                    b.add(e, &[u, v]).unwrap();
+                }
+                k += 1;
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+/// A random formula over the graph signature with variables drawn from
+/// `x0..x3`. May have free variables; `close` wraps them universally.
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let e = graph_sig().relation("E").unwrap();
+    let var = (0u32..4).prop_map(Var);
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (var.clone(), var.clone())
+            .prop_map(move |(x, y)| Formula::Atom {
+                rel: e,
+                args: vec![Term::Var(x), Term::Var(y)],
+            }),
+        (var.clone(), var.clone()).prop_map(|(x, y)| Formula::eq_vars(x, y)),
+    ];
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        let var2 = (0u32..4).prop_map(Var);
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.implies(g)),
+            (inner.clone(), inner.clone()).prop_map(|(f, g)| f.iff(g)),
+            (var2.clone(), inner.clone()).prop_map(|(v, f)| Formula::exists(v, f)),
+            (var2, inner).prop_map(|(v, f)| Formula::forall(v, f)),
+        ]
+    })
+}
+
+/// Universally closes a formula.
+fn close(f: Formula) -> Formula {
+    let free: Vec<Var> = f.free_vars().into_iter().collect();
+    Formula::forall_many(&free, f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The two evaluators agree on arbitrary sentences and structures.
+    #[test]
+    fn naive_equals_relalg(f in arb_formula(), s in arb_graph()) {
+        let sentence = close(f);
+        prop_assert_eq!(
+            naive::check_sentence(&s, &sentence),
+            relalg::check_sentence(&s, &sentence)
+        );
+    }
+
+    /// The compiled circuit agrees with direct evaluation.
+    #[test]
+    fn circuit_equals_naive(f in arb_formula(), s in arb_graph()) {
+        let sentence = close(f);
+        let sig = graph_sig();
+        let (c, layout) = circuit::compile(&sig, &sentence, s.size());
+        prop_assert_eq!(
+            c.eval(&layout.encode(&s)),
+            naive::check_sentence(&s, &sentence)
+        );
+    }
+
+    /// NNF and simplification preserve truth.
+    #[test]
+    fn nnf_preserves_truth(f in arb_formula(), s in arb_graph()) {
+        let sentence = close(f);
+        let g = nf::nnf(&sentence);
+        prop_assert_eq!(
+            naive::check_sentence(&s, &g),
+            naive::check_sentence(&s, &sentence)
+        );
+        let h = nf::simplify(&sentence);
+        prop_assert_eq!(
+            naive::check_sentence(&s, &h),
+            naive::check_sentence(&s, &sentence)
+        );
+    }
+
+    /// NNF never increases quantifier rank; simplify never increases
+    /// node count beyond the original.
+    #[test]
+    fn normal_form_bookkeeping(f in arb_formula()) {
+        prop_assert_eq!(nf::nnf(&f).quantifier_rank(), f.quantifier_rank());
+        prop_assert!(nf::simplify(&f).quantifier_rank() <= f.quantifier_rank());
+        // standardize_apart preserves rank and free variables.
+        let g = nf::standardize_apart(&f);
+        prop_assert_eq!(g.quantifier_rank(), f.quantifier_rank());
+        prop_assert_eq!(g.free_vars(), f.free_vars());
+    }
+
+    /// Parsing the printed form of a *closed* random formula round-trips
+    /// semantically.
+    #[test]
+    fn display_reparse_semantics(f in arb_formula(), s in arb_graph()) {
+        let sentence = close(f);
+        let sig = graph_sig();
+        let printed = format!("{}", sentence.display(&sig));
+        let reparsed = fmt_core::logic::parser::parse_formula(&sig, &printed).unwrap();
+        prop_assert_eq!(
+            naive::check_sentence(&s, &reparsed),
+            naive::check_sentence(&s, &sentence),
+            "printed: {}", printed
+        );
+    }
+
+    /// The fundamental theorem, attacked with random sentences: if the
+    /// duplicator wins the n-round game, no random sentence of rank ≤ n
+    /// separates the structures.
+    #[test]
+    fn random_sentences_respect_game_equivalence(
+        f in arb_formula(),
+        a in arb_graph(),
+        b in arb_graph(),
+    ) {
+        let sentence = close(f);
+        let n = sentence.quantifier_rank().min(3);
+        if n == 0 {
+            return Ok(());
+        }
+        if EfSolver::new(&a, &b).duplicator_wins(n)
+            && sentence.quantifier_rank() <= n
+        {
+            prop_assert_eq!(
+                naive::check_sentence(&a, &sentence),
+                naive::check_sentence(&b, &sentence),
+                "rank-{} sentence separates ≡_{}-equivalent structures",
+                sentence.quantifier_rank(), n
+            );
+        }
+    }
+
+    /// Hanf equivalence at radius ≥ diameter implies isomorphism-level
+    /// agreement of the census, and census equality is symmetric.
+    #[test]
+    fn hanf_equivalence_is_symmetric(a in arb_graph(), b in arb_graph(), r in 0u32..3) {
+        let ab = fmt_core::locality::hanf::hanf_equivalent(&a, &b, r);
+        let ba = fmt_core::locality::hanf::hanf_equivalent(&b, &a, r);
+        prop_assert_eq!(ab, ba);
+        // Reflexivity.
+        prop_assert!(fmt_core::locality::hanf::hanf_equivalent(&a, &a, r));
+    }
+
+    /// Isomorphic structures are game-equivalent at any depth (spot
+    /// check n ≤ 3) and Hanf-equivalent at any radius.
+    #[test]
+    fn isomorphism_implies_equivalences(a in arb_graph(), seed in any::<u64>()) {
+        let n = a.size() as usize;
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let b = a.relabel(&perm);
+        prop_assert!(EfSolver::new(&a, &b).duplicator_wins(3));
+        prop_assert!(fmt_core::locality::hanf::hanf_equivalent(&a, &b, 2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Datalog TC equals reference TC on random graphs.
+    #[test]
+    fn datalog_tc_on_random_graphs(s in arb_graph()) {
+        let prog = fmt_core::queries::datalog::Program::transitive_closure();
+        let out = prog.eval_seminaive(&s);
+        let tc = prog.idb("tc").unwrap();
+        let reference = fmt_core::queries::graph::transitive_closure(&s);
+        let e = reference.signature().relation("E").unwrap();
+        let expected: std::collections::HashSet<Vec<u32>> =
+            reference.rel(e).iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(out.relation(tc), &expected);
+    }
+
+    /// Connectivity-via-TC equals direct connectivity on random graphs.
+    #[test]
+    fn conn_via_tc_on_random_graphs(s in arb_graph()) {
+        prop_assert_eq!(
+            fmt_core::queries::reductions::connectivity_via_tc(&s),
+            fmt_core::queries::graph::is_connected(&s)
+        );
+    }
+
+    /// The structure text format round-trips arbitrary graphs.
+    #[test]
+    fn structure_text_roundtrip(s in arb_graph()) {
+        let text = fmt_core::structures::parse::to_text(&s);
+        let back = fmt_core::structures::parse::parse_with(s.signature().clone(), &text).unwrap();
+        prop_assert_eq!(s, back);
+    }
+}
