@@ -28,12 +28,8 @@ fn census_vs_textbook(c: &mut Criterion) {
             // Fresh evaluator per measurement, primed on a small cycle
             // so the big input takes the table-hit (linear) path.
             b.iter(|| {
-                let mut ev = BoundedDegreeEvaluator::with_parameters(
-                    sig.clone(),
-                    f.clone(),
-                    2,
-                    params,
-                );
+                let mut ev =
+                    BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 2, params);
                 ev.evaluate(&builders::undirected_cycle(8));
                 black_box(ev.evaluate(&s))
             })
@@ -64,12 +60,8 @@ fn census_pass_only(c: &mut Criterion) {
         for n in [4096u32, 16384] {
             let s = make(n);
             g.bench_function(format!("{name}_{n}"), |b| {
-                let mut ev = BoundedDegreeEvaluator::with_parameters(
-                    sig.clone(),
-                    f.clone(),
-                    2,
-                    params,
-                );
+                let mut ev =
+                    BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 2, params);
                 ev.evaluate(&make(16)); // warm the table
                 ev.evaluate(&s); // first pass interns the types
                 b.iter(|| black_box(ev.evaluate(&s)))

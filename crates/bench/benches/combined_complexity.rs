@@ -77,11 +77,9 @@ fn relalg_vs_naive(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_relalg_vs_naive");
     g.sample_size(10);
     let sig = Signature::graph();
-    let f = fmt_logic::parser::parse_formula(
-        &sig,
-        "forall x. exists y. E(x, y) & (exists z. E(y, z))",
-    )
-    .unwrap();
+    let f =
+        fmt_logic::parser::parse_formula(&sig, "forall x. exists y. E(x, y) & (exists z. E(y, z))")
+            .unwrap();
     let s = builders::undirected_cycle(256);
     g.bench_function("naive", |b| {
         b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)))

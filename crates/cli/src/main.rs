@@ -36,6 +36,8 @@ fn usage() -> String {
      fmtk census <structure> [--radius R]\n  \
      fmtk datalog <structure> <program-file>\n  \
      fmtk sample\n\
+     global flags:\n  \
+     --stats [text|json]   print engine counters after the command\n\
      (structure files use the text format; '-' reads stdin)"
         .to_owned()
 }
@@ -57,17 +59,31 @@ fn load_structure(path: &str) -> Result<Structure, String> {
     sparse::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-fn flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == name)?;
+/// Extracts `name VALUE` from `args`. `Ok(None)` when absent; an error
+/// when the flag is present but its value is missing.
+fn flag_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
     if pos + 1 >= args.len() {
-        return None;
+        return Err(format!("{name} requires a value\n{}", usage()));
     }
     let v = args.remove(pos + 1);
     args.remove(pos);
-    Some(v)
+    Ok(Some(v))
+}
+
+/// Rejects any leftover `--flag` a subcommand did not consume, so typos
+/// like `--stat` fail loudly instead of being silently ignored.
+fn reject_unknown_flags(args: &[String]) -> Result<(), String> {
+    if let Some(f) = args.iter().find(|a| a.starts_with("--")) {
+        return Err(format!("unrecognized flag {f}\n{}", usage()));
+    }
+    Ok(())
 }
 
 fn cmd_check(args: &[String]) -> Result<String, String> {
+    reject_unknown_flags(args)?;
     let [spath, sentence] = args else {
         return Err(usage());
     };
@@ -77,13 +93,15 @@ fn cmd_check(args: &[String]) -> Result<String, String> {
         return Err("sentence required (use `eval` for open queries)".into());
     }
     Ok((if naive::check_sentence(&s, &f) {
-            "true"
-        } else {
-            "false"
-        }).to_string())
+        "true"
+    } else {
+        "false"
+    })
+    .to_string())
 }
 
 fn cmd_eval(args: &[String]) -> Result<String, String> {
+    reject_unknown_flags(args)?;
     let [spath, query] = args else {
         return Err(usage());
     };
@@ -99,10 +117,11 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
-    let rounds: u32 = flag_value(&mut args, "--rounds")
+    let rounds: u32 = flag_value(&mut args, "--rounds")?
         .map(|v| v.parse().map_err(|_| "invalid --rounds".to_owned()))
         .transpose()?
         .unwrap_or(4);
+    reject_unknown_flags(&args)?;
     let [apath, bpath] = args.as_slice() else {
         return Err(usage());
     };
@@ -141,13 +160,14 @@ fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
 fn cmd_mu(mut args: Vec<String>) -> Result<String, String> {
     // Collect --rel NAME:ARITY flags.
     let mut rels: Vec<(String, usize)> = Vec::new();
-    while let Some(spec) = flag_value(&mut args, "--rel") {
+    while let Some(spec) = flag_value(&mut args, "--rel")? {
         let (name, arity) = spec
             .split_once(':')
             .ok_or_else(|| format!("bad --rel {spec}, expected NAME:ARITY"))?;
         let arity: usize = arity.parse().map_err(|_| format!("bad arity in {spec}"))?;
         rels.push((name.to_owned(), arity));
     }
+    reject_unknown_flags(&args)?;
     let [sentence] = args.as_slice() else {
         return Err(usage());
     };
@@ -169,10 +189,11 @@ fn cmd_mu(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
-    let radius: u32 = flag_value(&mut args, "--radius")
+    let radius: u32 = flag_value(&mut args, "--radius")?
         .map(|v| v.parse().map_err(|_| "invalid --radius".to_owned()))
         .transpose()?
         .unwrap_or(1);
+    reject_unknown_flags(&args)?;
     let [spath] = args.as_slice() else {
         return Err(usage());
     };
@@ -197,6 +218,7 @@ fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_datalog(args: &[String]) -> Result<String, String> {
+    reject_unknown_flags(args)?;
     let [spath, ppath] = args else {
         return Err(usage());
     };
@@ -233,13 +255,62 @@ fn cmd_sample() -> String {
         .to_owned()
 }
 
+/// How `--stats` output should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Off,
+    Text,
+    Json,
+}
+
+/// Extracts the global `--stats [text|json]` flag from anywhere in the
+/// argument list. The mode word is optional and defaults to `text`.
+fn extract_stats(argv: &mut Vec<String>) -> StatsMode {
+    let Some(pos) = argv.iter().position(|a| a == "--stats") else {
+        return StatsMode::Off;
+    };
+    argv.remove(pos);
+    match argv.get(pos).map(String::as_str) {
+        Some("text") => {
+            argv.remove(pos);
+            StatsMode::Text
+        }
+        Some("json") => {
+            argv.remove(pos);
+            StatsMode::Json
+        }
+        _ => StatsMode::Text,
+    }
+}
+
+/// Renders the instrumentation snapshot for `cmd`; `None` if nothing
+/// was recorded.
+fn render_stats(mode: StatsMode, cmd: &str) -> Option<String> {
+    let snap = fmt_core::obs::snapshot();
+    match mode {
+        StatsMode::Off => None,
+        StatsMode::Json => Some(format!("{{\"command\":\"{cmd}\",{}}}", snap.json_body())),
+        StatsMode::Text => {
+            if snap.is_empty() {
+                return Some("(no engine counters recorded)".to_owned());
+            }
+            let t = fmt_core::report::table(&["metric", "value"], &snap.rows());
+            Some(t.trim_end().to_owned())
+        }
+    }
+}
+
 fn run() -> Result<String, String> {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let stats = extract_stats(&mut argv);
     if argv.is_empty() {
         return Err(usage());
     }
+    if stats != StatsMode::Off {
+        fmt_core::obs::enable();
+    }
     let cmd = argv.remove(0);
-    match cmd.as_str() {
+    let out = match cmd.as_str() {
         "check" => cmd_check(&argv),
         "eval" => cmd_eval(&argv),
         "game" => cmd_game(argv),
@@ -249,7 +320,11 @@ fn run() -> Result<String, String> {
         "sample" => Ok(cmd_sample()),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),
-    }
+    }?;
+    Ok(match render_stats(stats, &cmd) {
+        Some(stats_out) => format!("{out}\n{stats_out}"),
+        None => out,
+    })
 }
 
 fn main() -> ExitCode {

@@ -25,7 +25,11 @@ fn check_sentence() {
         .args(["check", p.to_str().unwrap(), "forall x. exists y. E(x, y)"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
 
     let out = fmtk()
@@ -85,7 +89,10 @@ fn mu_decision() {
 
 #[test]
 fn census_counts_types() {
-    let p = write_temp("path5.st", "size: 5\nE(0,1)\nE(1,0)\nE(1,2)\nE(2,1)\nE(2,3)\nE(3,2)\nE(3,4)\nE(4,3)\n");
+    let p = write_temp(
+        "path5.st",
+        "size: 5\nE(0,1)\nE(1,0)\nE(1,2)\nE(2,1)\nE(2,3)\nE(3,2)\nE(3,4)\nE(4,3)\n",
+    );
     let out = fmtk()
         .args(["census", p.to_str().unwrap(), "--radius", "1"])
         .output()
@@ -93,7 +100,10 @@ fn census_counts_types() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     // Endpoint type (2 elements) + interior type (3 elements).
-    assert!(text.contains("2 radius-1 neighborhood types over 5 elements"), "{text}");
+    assert!(
+        text.contains("2 radius-1 neighborhood types over 5 elements"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -149,6 +159,162 @@ fn errors_are_reported() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("sentence required"));
+}
+
+/// Extracts the single-line JSON stats object from a command's stdout.
+fn stats_json_line(stdout: &[u8]) -> String {
+    let text = String::from_utf8_lossy(stdout);
+    let line = text
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("no JSON stats line in {text:?}"))
+        .to_owned();
+    assert!(line.ends_with('}'), "{line}");
+    assert!(!line.contains('\n'));
+    line
+}
+
+#[test]
+fn stats_json_game() {
+    let p = write_temp("stats-c4.st", CYCLE4);
+    let out = fmtk()
+        .args([
+            "game",
+            p.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--stats",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let line = stats_json_line(&out.stdout);
+    assert!(line.contains("\"command\":\"game\""), "{line}");
+    assert!(
+        line.contains("\"games.solver.positions_expanded\":"),
+        "{line}"
+    );
+    assert!(
+        !line.contains("\"games.solver.positions_expanded\":0"),
+        "{line}"
+    );
+    assert!(line.contains("\"games.play.games\":1"), "{line}");
+}
+
+#[test]
+fn stats_json_eval() {
+    let p = write_temp("stats-c4e.st", CYCLE4);
+    let out = fmtk()
+        .args(["eval", p.to_str().unwrap(), "E(x, y)", "--stats", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let line = stats_json_line(&out.stdout);
+    assert!(line.contains("\"command\":\"eval\""), "{line}");
+    assert!(line.contains("\"eval.relalg.operators\":1"), "{line}");
+    assert!(line.contains("\"eval.relalg.op_rows\":{"), "{line}");
+}
+
+#[test]
+fn stats_json_datalog() {
+    let s = write_temp("stats-p3.st", "size: 3\nE(0,1)\nE(1,2)\n");
+    let prog = write_temp(
+        "stats-tc.dl",
+        "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).",
+    );
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--stats",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let line = stats_json_line(&out.stdout);
+    assert!(line.contains("\"command\":\"datalog\""), "{line}");
+    assert!(line.contains("\"queries.datalog.rounds\":"), "{line}");
+    assert!(line.contains("\"queries.datalog.delta_facts\":"), "{line}");
+}
+
+#[test]
+fn stats_json_census() {
+    let p = write_temp("stats-c4c.st", CYCLE4);
+    let out = fmtk()
+        .args(["census", p.to_str().unwrap(), "--stats", "json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let line = stats_json_line(&out.stdout);
+    assert!(line.contains("\"command\":\"census\""), "{line}");
+    assert!(line.contains("\"locality.balls_expanded\":4"), "{line}");
+    assert!(line.contains("\"locality.censuses\":1"), "{line}");
+}
+
+#[test]
+fn stats_text_mode() {
+    let p = write_temp("stats-c4t.st", CYCLE4);
+    // Bare `--stats` (no mode word) defaults to the text table; the flag
+    // is position-independent.
+    let out = fmtk()
+        .args([
+            "--stats",
+            "check",
+            p.to_str().unwrap(),
+            "exists x y. E(x, y)",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metric"), "{text}");
+    assert!(text.contains("eval.naive.quantifier_nodes"), "{text}");
+}
+
+#[test]
+fn stats_off_by_default() {
+    let p = write_temp("stats-c4o.st", CYCLE4);
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "exists x y. E(x, y)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("metric"), "{text}");
+    assert!(!text.contains('{'), "{text}");
+}
+
+#[test]
+fn unknown_flags_rejected() {
+    let p = write_temp("stats-c4u.st", CYCLE4);
+    for args in [
+        vec!["game", "x", "y", "--stat"],
+        vec!["check", "x", "t", "--verbose"],
+        vec!["census", "x", "--radios", "2"],
+    ] {
+        let out = fmtk().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unrecognized flag"), "{args:?}: {err}");
+    }
+    // A flag with a missing value is also an error, not a silent skip.
+    let out = fmtk()
+        .args(["game", p.to_str().unwrap(), p.to_str().unwrap(), "--rounds"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--rounds requires a value"));
 }
 
 #[test]

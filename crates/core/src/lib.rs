@@ -74,3 +74,7 @@ pub use fmt_zeroone as zeroone;
 
 /// Query zoo and reductions (re-export of `fmt-queries`).
 pub use fmt_queries as queries;
+
+/// Engine instrumentation: counters, histograms, span timers
+/// (re-export of `fmt-obs`).
+pub use fmt_obs as obs;

@@ -91,11 +91,7 @@ impl GameFamilyCertificate {
 
     /// Full re-verification including query values.
     pub fn check_with(&self, mut query: impl FnMut(&Structure) -> bool) -> bool {
-        self.check()
-            && self
-                .rows
-                .iter()
-                .all(|row| query(&row.a) && !query(&row.b))
+        self.check() && self.rows.iter().all(|row| query(&row.a) && !query(&row.b))
     }
 
     /// The deepest round count defeated.
@@ -373,8 +369,6 @@ mod tests {
     fn bndp_rejects_identity() {
         let family: Vec<Structure> = (4..10).map(builders::directed_path).collect();
         let e = Signature::graph().relation("E").unwrap();
-        assert!(
-            BndpCertificate::build("identity", family, e, e, Clone::clone).is_err()
-        );
+        assert!(BndpCertificate::build("identity", family, e, e, Clone::clone).is_err());
     }
 }

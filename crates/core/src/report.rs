@@ -16,6 +16,9 @@
 /// ```
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
+    if cols == 0 {
+        return String::new();
+    }
     let mut width = vec![0usize; cols];
     for (i, h) in headers.iter().enumerate() {
         width[i] = h.chars().count();
@@ -104,5 +107,12 @@ mod tests {
     fn ragged_rows_tolerated() {
         let t = table(&["a", "b"], &[vec!["x".into()]]);
         assert!(t.contains('x'));
+    }
+
+    #[test]
+    fn empty_headers_render_nothing() {
+        // Regression: `cols - 1` used to underflow with no columns.
+        assert_eq!(table(&[], &[]), "");
+        assert_eq!(table(&[], &[vec!["orphan".into()]]), "");
     }
 }

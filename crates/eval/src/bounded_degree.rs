@@ -134,7 +134,10 @@ impl BoundedDegreeEvaluator {
         degree_bound: usize,
         params: HanfParameters,
     ) -> Self {
-        assert!(sentence.is_sentence(), "bounded-degree evaluation needs a sentence");
+        assert!(
+            sentence.is_sentence(),
+            "bounded-degree evaluation needs a sentence"
+        );
         BoundedDegreeEvaluator {
             sig,
             sentence,
@@ -182,10 +185,7 @@ impl BoundedDegreeEvaluator {
     /// The capped census as a canonical, hashable key.
     fn capped_key(&self, census: &TypeCensus) -> Vec<(u32, u64)> {
         let m = self.params.threshold;
-        let mut key: Vec<(u32, u64)> = census
-            .iter()
-            .map(|(t, c)| (t.0, c.min(m) as u64))
-            .collect();
+        let mut key: Vec<(u32, u64)> = census.iter().map(|(t, c)| (t.0, c.min(m) as u64)).collect();
         key.sort_unstable();
         key
     }
@@ -286,8 +286,7 @@ mod tests {
                 radius: 2,
                 threshold: 20,
             };
-            let mut ev =
-                BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 4, params);
+            let mut ev = BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 4, params);
             for s in &family {
                 assert_eq!(
                     ev.evaluate(s),

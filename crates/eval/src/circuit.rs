@@ -273,6 +273,8 @@ pub fn compile(sig: &Signature, f: &Formula, n: u32) -> (Circuit, InputLayout) {
     let vars = f.max_var().map_or(0, |m| m as usize + 1);
     let mut env = vec![None; vars];
     let output = c.compile(f, &mut env);
+    OBS_COMPILES.incr();
+    OBS_GATES.record(c.gates.len() as u64);
     (
         Circuit {
             num_inputs: layout.total_bits(),
@@ -282,6 +284,11 @@ pub fn compile(sig: &Signature, f: &Formula, n: u32) -> (Circuit, InputLayout) {
         layout,
     )
 }
+
+/// Circuit-family members compiled.
+static OBS_COMPILES: fmt_obs::Counter = fmt_obs::Counter::new("eval.circuit.compiles");
+/// Gate count of each compiled circuit.
+static OBS_GATES: fmt_obs::Histogram = fmt_obs::Histogram::new("eval.circuit.gates");
 
 #[cfg(test)]
 mod tests {

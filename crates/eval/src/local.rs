@@ -31,15 +31,13 @@ use fmt_structures::{Elem, Structure};
 ///
 /// # Panics
 /// Panics if `f`'s free variables are not exactly `{Var(0)}`.
-pub fn eval_r_local(
-    s: &Structure,
-    g: &GaifmanGraph,
-    f: &Formula,
-    center: Elem,
-    r: u32,
-) -> bool {
+pub fn eval_r_local(s: &Structure, g: &GaifmanGraph, f: &Formula, center: Elem, r: u32) -> bool {
     let fv: Vec<Var> = f.free_vars().into_iter().collect();
-    assert_eq!(fv, vec![Var(0)], "r-local formulas have one free variable Var(0)");
+    assert_eq!(
+        fv,
+        vec![Var(0)],
+        "r-local formulas have one free variable Var(0)"
+    );
     let nb = neighborhood(s, g, &[center], r);
     let mut env = crate::naive::Env::for_formula(f);
     env.bind(Var(0), nb.distinguished[0]);
@@ -246,11 +244,7 @@ mod tests {
     #[test]
     fn witnesses_are_scattered_and_local() {
         let sig = Signature::graph();
-        let deg2 = parse_formula(
-            &sig,
-            "x = x & exists y z. !(y = z) & E(x,y) & E(x,z)",
-        )
-        .unwrap();
+        let deg2 = parse_formula(&sig, "x = x & exists y z. !(y = z) & E(x,y) & E(x,z)").unwrap();
         let b = BasicLocalSentence::new(3, 1, deg2).unwrap();
         let s = builders::undirected_cycle(20);
         let w = b.witnesses(&s).expect("cycle has plenty of witnesses");

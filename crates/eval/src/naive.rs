@@ -10,6 +10,12 @@
 use fmt_logic::{Formula, Query, Term, Var};
 use fmt_structures::{Elem, Structure};
 
+/// Quantifier nodes entered (each loops over the whole domain).
+static OBS_QUANTIFIERS: fmt_obs::Counter = fmt_obs::Counter::new("eval.naive.quantifier_nodes");
+/// Candidate bindings that failed to decide their quantifier (the
+/// evaluator backed out and tried the next domain element).
+static OBS_BACKTRACKS: fmt_obs::Counter = fmt_obs::Counter::new("eval.naive.backtracks");
+
 /// A variable assignment (environment) for evaluation. Slots are
 /// indexed by variable index; quantifiers save and restore shadowed
 /// values.
@@ -90,6 +96,7 @@ impl<'a> NaiveEvaluator<'a> {
             Formula::Implies(a, b) => !self.eval(a, env) || self.eval(b, env),
             Formula::Iff(a, b) => self.eval(a, env) == self.eval(b, env),
             Formula::Exists(v, g) => {
+                OBS_QUANTIFIERS.incr();
                 let mut found = false;
                 let old = env.bind(*v, 0);
                 for d in self.structure.domain() {
@@ -98,11 +105,13 @@ impl<'a> NaiveEvaluator<'a> {
                         found = true;
                         break;
                     }
+                    OBS_BACKTRACKS.incr();
                 }
                 env.restore(*v, old);
                 found
             }
             Formula::Forall(v, g) => {
+                OBS_QUANTIFIERS.incr();
                 let mut all = true;
                 let old = env.bind(*v, 0);
                 for d in self.structure.domain() {
@@ -111,6 +120,7 @@ impl<'a> NaiveEvaluator<'a> {
                         all = false;
                         break;
                     }
+                    OBS_BACKTRACKS.incr();
                 }
                 env.restore(*v, old);
                 all
@@ -277,7 +287,10 @@ mod tests {
     fn boolean_answers_convention() {
         let sig = graph_sig();
         let q = Query::parse_sentence(&sig, "exists x y. E(x, y)").unwrap();
-        assert_eq!(answers(&builders::directed_path(2), &q), vec![Vec::<u32>::new()]);
+        assert_eq!(
+            answers(&builders::directed_path(2), &q),
+            vec![Vec::<u32>::new()]
+        );
         assert!(answers(&builders::empty_graph(3), &q).is_empty());
     }
 

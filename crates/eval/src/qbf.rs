@@ -142,10 +142,7 @@ pub fn solve(q: &Qbf) -> bool {
 /// # Panics
 /// Panics if the QBF has free variables (close it first).
 pub fn to_model_checking(q: &Qbf) -> (Structure, Formula) {
-    assert!(
-        q.free_vars().is_empty(),
-        "reduction requires a closed QBF"
-    );
+    assert!(q.free_vars().is_empty(), "reduction requires a closed QBF");
     let sig = Signature::builder().relation("T", 1).finish_arc();
     let t = sig.relation("T").unwrap();
     let mut b = StructureBuilder::new(sig, 2);
@@ -178,7 +175,10 @@ mod tests {
     #[test]
     fn lecture_examples() {
         // ∃p∃q (p ∧ q) is satisfiable.
-        let f = Qbf::Exists(0, Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))));
+        let f = Qbf::Exists(
+            0,
+            Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))),
+        );
         assert!(solve(&f));
         // ∃p (p ∧ ¬p) is not.
         let g = Qbf::Exists(0, Box::new(Qbf::And(vec![v(0), v(0).not()])));
@@ -213,16 +213,10 @@ mod tests {
         let cases = vec![
             Qbf::Exists(0, Box::new(v(0))),
             Qbf::Forall(0, Box::new(v(0))),
-            Qbf::Forall(
-                0,
-                Box::new(Qbf::Or(vec![v(0), v(0).not()])),
-            ),
+            Qbf::Forall(0, Box::new(Qbf::Or(vec![v(0), v(0).not()]))),
             Qbf::Exists(
                 0,
-                Box::new(Qbf::Forall(
-                    1,
-                    Box::new(Qbf::Or(vec![v(0), v(1)])),
-                )),
+                Box::new(Qbf::Forall(1, Box::new(Qbf::Or(vec![v(0), v(1)])))),
             ),
             Qbf::Forall(
                 0,
@@ -249,7 +243,9 @@ mod tests {
     fn random_qbfs_agree() {
         // Deterministic pseudo-random QBF generator (tiny LCG).
         fn gen(state: &mut u64, depth: u32, next_var: u32) -> Qbf {
-            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let r = (*state >> 33) % 6;
             if depth == 0 || next_var >= 4 {
                 return v((*state >> 17) as u32 % next_var.max(1));

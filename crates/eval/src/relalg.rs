@@ -214,7 +214,19 @@ pub fn eval(s: &Structure, f: &Formula) -> Table {
     eval_nnf(s, &g)
 }
 
+/// Operator applications (one per NNF node evaluated).
+static OBS_OPS: fmt_obs::Counter = fmt_obs::Counter::new("eval.relalg.operators");
+/// Output cardinality of each operator application.
+static OBS_OP_ROWS: fmt_obs::Histogram = fmt_obs::Histogram::new("eval.relalg.op_rows");
+
 fn eval_nnf(s: &Structure, f: &Formula) -> Table {
+    let t = eval_nnf_node(s, f);
+    OBS_OPS.incr();
+    OBS_OP_ROWS.record(t.rows.len() as u64);
+    t
+}
+
+fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
     let n = s.size();
     match f {
         Formula::True => Table::boolean(true),
@@ -349,9 +361,7 @@ fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table
 fn eq_table(s: &Structure, a: &Term, b: &Term) -> Table {
     let n = s.size();
     match (a, b) {
-        (Term::Const(c1), Term::Const(c2)) => {
-            Table::boolean(s.constant(*c1) == s.constant(*c2))
-        }
+        (Term::Const(c1), Term::Const(c2)) => Table::boolean(s.constant(*c1) == s.constant(*c2)),
         (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
             let mut rows = HashSet::new();
             if s.constant(*c) < n {
@@ -488,10 +498,7 @@ mod tests {
         let q = Query::parse(&sig, "E(x, y) | E(y, x)").unwrap();
         let s = builders::directed_path(3);
         let a = answers(&s, &q);
-        assert_eq!(
-            a,
-            vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![2, 1]]
-        );
+        assert_eq!(a, vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![2, 1]]);
     }
 
     #[test]
@@ -543,9 +550,6 @@ mod tests {
         let sig = Signature::graph();
         let q = Query::parse(&sig, "x = y").unwrap();
         let s = builders::empty_graph(3);
-        assert_eq!(
-            answers(&s, &q),
-            vec![vec![0, 0], vec![1, 1], vec![2, 2]]
-        );
+        assert_eq!(answers(&s, &q), vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
     }
 }

@@ -33,7 +33,11 @@ impl<'a> BijectionGameSolver<'a> {
     /// # Panics
     /// Panics if the signatures differ.
     pub fn new(a: &'a Structure, b: &'a Structure) -> BijectionGameSolver<'a> {
-        assert_eq!(a.signature(), b.signature(), "games need a common signature");
+        assert_eq!(
+            a.signature(),
+            b.signature(),
+            "games need a common signature"
+        );
         BijectionGameSolver {
             a,
             b,

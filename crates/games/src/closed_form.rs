@@ -34,7 +34,12 @@ pub fn sets_duplicator_wins(na: u32, nb: u32, n: u32) -> bool {
 /// cornered (no fresh element remains), which by
 /// [`sets_duplicator_wins`] only happens when the spoiler had a winning
 /// attack.
-pub fn set_reply(pairs: &[(Elem, Elem)], spoiler_in_first: bool, x: Elem, n_other: u32) -> Option<Elem> {
+pub fn set_reply(
+    pairs: &[(Elem, Elem)],
+    spoiler_in_first: bool,
+    x: Elem,
+    n_other: u32,
+) -> Option<Elem> {
     for &(a, b) in pairs {
         if spoiler_in_first && a == x {
             return Some(b);
@@ -276,7 +281,13 @@ mod tests {
             true
         }
         // All winning cases with small parameters.
-        for (m, k, n) in [(3u64, 4u64, 2u32), (3, 7, 2), (7, 8, 3), (7, 12, 3), (4, 4, 2)] {
+        for (m, k, n) in [
+            (3u64, 4u64, 2u32),
+            (3, 7, 2),
+            (7, 8, 3),
+            (7, 12, 3),
+            (4, 4, 2),
+        ] {
             assert!(orders_equivalent(m, k, n), "precondition");
             let a = builders::linear_order(m as u32);
             let b = builders::linear_order(k as u32);

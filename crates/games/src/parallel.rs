@@ -15,19 +15,23 @@ use crate::solver::{EfSolver, Side};
 use fmt_structures::{Elem, Structure};
 use std::sync::atomic::{AtomicBool, Ordering};
 
+/// First moves actually examined by workers (at most `|A| + |B|` per
+/// call; fewer when a refutation cancels the rest).
+static OBS_FIRST_MOVES: fmt_obs::Counter = fmt_obs::Counter::new("games.parallel.first_moves");
+static OBS_CANCELLED: fmt_obs::Counter = fmt_obs::Counter::new("games.parallel.cancellations");
+
 /// Decides `A ∼Gₙ B` with the top layer of spoiler moves evaluated in
 /// parallel across `threads` workers.
 ///
 /// # Panics
 /// Panics if `threads == 0` or the signatures differ.
-pub fn duplicator_wins_parallel(
-    a: &Structure,
-    b: &Structure,
-    rounds: u32,
-    threads: usize,
-) -> bool {
+pub fn duplicator_wins_parallel(a: &Structure, b: &Structure, rounds: u32, threads: usize) -> bool {
     assert!(threads >= 1);
-    assert_eq!(a.signature(), b.signature(), "games need a common signature");
+    assert_eq!(
+        a.signature(),
+        b.signature(),
+        "games need a common signature"
+    );
     if rounds == 0 {
         return fmt_structures::partial::is_partial_isomorphism(a, b, &[]);
     }
@@ -45,17 +49,22 @@ pub fn duplicator_wins_parallel(
 
     let refuted = AtomicBool::new(false);
     let chunk = moves.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for work in moves.chunks(chunk) {
             let refuted = &refuted;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut solver = EfSolver::new(a, b);
                 for &(side, x) in work {
                     if refuted.load(Ordering::Relaxed) {
+                        OBS_CANCELLED.incr();
                         return;
                     }
-                    if solver.reply_for(&initial_pairs(a, b), rounds, side, x).is_none() {
+                    OBS_FIRST_MOVES.incr();
+                    if solver
+                        .reply_for(&initial_pairs(a, b), rounds, side, x)
+                        .is_none()
+                    {
                         refuted.store(true, Ordering::Relaxed);
                         return;
                     }
@@ -65,8 +74,7 @@ pub fn duplicator_wins_parallel(
         for h in handles {
             h.join().expect("worker panicked");
         }
-    })
-    .expect("scope failed");
+    });
     !refuted.load(Ordering::Relaxed)
 }
 

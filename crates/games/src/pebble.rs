@@ -33,7 +33,11 @@ impl<'a> PebbleSolver<'a> {
     /// Panics if `k == 0` or the signatures differ.
     pub fn new(a: &'a Structure, b: &'a Structure, k: usize) -> PebbleSolver<'a> {
         assert!(k >= 1, "at least one pebble");
-        assert_eq!(a.signature(), b.signature(), "games need a common signature");
+        assert_eq!(
+            a.signature(),
+            b.signature(),
+            "games need a common signature"
+        );
         PebbleSolver {
             a,
             b,
@@ -163,10 +167,7 @@ mod tests {
         let pairs = [
             (builders::linear_order(3), builders::linear_order(4)),
             (builders::set(3), builders::set(5)),
-            (
-                builders::undirected_cycle(4),
-                builders::undirected_cycle(5),
-            ),
+            (builders::undirected_cycle(4), builders::undirected_cycle(5)),
         ];
         for (a, b) in &pairs {
             for n in 1..=3u32 {

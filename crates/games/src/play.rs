@@ -10,6 +10,9 @@ use fmt_structures::partial::{extension_ok, is_partial_isomorphism};
 use fmt_structures::{Elem, Structure};
 use rand::{Rng, RngExt};
 
+static OBS_GAMES: fmt_obs::Counter = fmt_obs::Counter::new("games.play.games");
+static OBS_ROUNDS: fmt_obs::Counter = fmt_obs::Counter::new("games.play.rounds");
+
 /// One round of play: the spoiler's pick and the duplicator's reply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Round {
@@ -75,7 +78,9 @@ pub fn play(
 ) -> GameTrace {
     let mut pairs: Vec<(Elem, Elem)> = Vec::new();
     let mut trace = Vec::new();
+    OBS_GAMES.incr();
     for left in (1..=rounds).rev() {
+        OBS_ROUNDS.incr();
         let (side, x) = spoiler(&pairs, left);
         let reply = duplicator(&pairs, left, side, x);
         let y = match reply {
@@ -155,10 +160,12 @@ pub fn attack_with_random_spoiler<R: Rng + ?Sized>(
 /// they exist (otherwise any legal-looking reply). The resulting trace
 /// demonstrates the game value.
 pub fn optimal_play(a: &Structure, b: &Structure, rounds: u32) -> GameTrace {
+    OBS_GAMES.incr();
     let mut solver = EfSolver::new(a, b);
     let mut pairs: Vec<(Elem, Elem)> = Vec::new();
     let mut trace = Vec::new();
     for left in (1..=rounds).rev() {
+        OBS_ROUNDS.incr();
         let (side, x) = match solver.spoiler_move_for(&sorted(&pairs), left) {
             Some(m) => m,
             None => {
@@ -247,14 +254,10 @@ mod tests {
         let mut solver = EfSolver::new(&a, &b);
         assert!(solver.duplicator_wins(3));
         let mut rng = StdRng::seed_from_u64(5);
-        let survived = attack_with_random_spoiler(
-            &a,
-            &b,
-            3,
-            50,
-            &mut rng,
-            |pairs, left, side, x| solver.reply_for(&sorted(pairs), left, side, x),
-        );
+        let survived =
+            attack_with_random_spoiler(&a, &b, 3, 50, &mut rng, |pairs, left, side, x| {
+                solver.reply_for(&sorted(pairs), left, side, x)
+            });
         assert_eq!(survived, 50);
     }
 
@@ -265,23 +268,10 @@ mod tests {
         let b = builders::linear_order(k);
         // Both ≥ 2^4 − 1 = 15: duplicator wins 4 rounds.
         let mut rng = StdRng::seed_from_u64(9);
-        let survived = attack_with_random_spoiler(
-            &a,
-            &b,
-            4,
-            200,
-            &mut rng,
-            |pairs, left, side, x| {
-                closed_form::order_reply(
-                    pairs,
-                    side == Side::Left,
-                    x,
-                    m as u64,
-                    k as u64,
-                    left - 1,
-                )
-            },
-        );
+        let survived =
+            attack_with_random_spoiler(&a, &b, 4, 200, &mut rng, |pairs, left, side, x| {
+                closed_form::order_reply(pairs, side == Side::Left, x, m as u64, k as u64, left - 1)
+            });
         assert_eq!(survived, 200);
     }
 
@@ -330,17 +320,11 @@ mod tests {
         let a = builders::set(6);
         let b = builders::set(9);
         let mut rng = StdRng::seed_from_u64(3);
-        let survived = attack_with_random_spoiler(
-            &a,
-            &b,
-            6,
-            100,
-            &mut rng,
-            |pairs, _left, side, x| {
+        let survived =
+            attack_with_random_spoiler(&a, &b, 6, 100, &mut rng, |pairs, _left, side, x| {
                 let other = if side == Side::Left { 9 } else { 6 };
                 closed_form::set_reply(pairs, side == Side::Left, x, other)
-            },
-        );
+            });
         assert_eq!(survived, 100);
     }
 }

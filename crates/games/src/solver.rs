@@ -22,6 +22,13 @@ use fmt_structures::partial::extension_ok;
 use fmt_structures::{Elem, Structure};
 use std::collections::HashMap;
 
+/// Positions expanded across all solver instances (process-wide; see
+/// [`fmt_obs`]).
+static OBS_POSITIONS: fmt_obs::Counter = fmt_obs::Counter::new("games.solver.positions_expanded");
+static OBS_MEMO_HITS: fmt_obs::Counter = fmt_obs::Counter::new("games.solver.memo_hits");
+static OBS_MEMO_MISSES: fmt_obs::Counter = fmt_obs::Counter::new("games.solver.memo_misses");
+static OBS_PRUNED: fmt_obs::Counter = fmt_obs::Counter::new("games.solver.pruned_replays");
+
 /// Which structure the spoiler picked in a move.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
@@ -118,7 +125,11 @@ impl<'a> EfSolver<'a> {
 
     /// Creates a solver with explicit optimization switches.
     pub fn with_config(a: &'a Structure, b: &'a Structure, config: SolverConfig) -> EfSolver<'a> {
-        assert_eq!(a.signature(), b.signature(), "games need a common signature");
+        assert_eq!(
+            a.signature(),
+            b.signature(),
+            "games need a common signature"
+        );
         let profile_a = profiles(a);
         let profile_b = profiles(b);
         EfSolver {
@@ -182,10 +193,13 @@ impl<'a> EfSolver<'a> {
         if self.config.memoization {
             if let Some(&v) = self.memo.get(&key) {
                 self.stats.memo_hits += 1;
+                OBS_MEMO_HITS.incr();
                 return v;
             }
+            OBS_MEMO_MISSES.incr();
         }
         self.stats.expanded += 1;
+        OBS_POSITIONS.incr();
 
         let result = self.expand(pairs, n);
         if self.config.memoization {
@@ -224,7 +238,13 @@ impl<'a> EfSolver<'a> {
     ) -> Vec<Elem> {
         let played: Vec<Elem> = pairs.iter().map(side).collect();
         s.domain()
-            .filter(|v| !self.config.fresh_move_pruning || !played.contains(v))
+            .filter(|v| {
+                if self.config.fresh_move_pruning && played.contains(v) {
+                    OBS_PRUNED.incr();
+                    return false;
+                }
+                true
+            })
             .collect()
     }
 
@@ -286,11 +306,7 @@ impl<'a> EfSolver<'a> {
     /// the duplicator loses: returns `(side, element)` such that every
     /// duplicator reply leads to a duplicator loss. Returns `None` if
     /// the duplicator wins the position.
-    pub fn spoiler_move_for(
-        &mut self,
-        pairs: &[(Elem, Elem)],
-        n: u32,
-    ) -> Option<(Side, Elem)> {
+    pub fn spoiler_move_for(&mut self, pairs: &[(Elem, Elem)], n: u32) -> Option<(Side, Elem)> {
         if n == 0 || self.wins(pairs, n) {
             return None;
         }
@@ -342,7 +358,7 @@ mod tests {
         let mut s = EfSolver::new(&a, &b);
         assert!(s.duplicator_wins(4));
         assert!(!s.duplicator_wins(5)); // spoiler plays 5 distinct in B
-        // EVEN cannot be expressed: 2n vs 2n+1 elements agree to rank n.
+                                        // EVEN cannot be expressed: 2n vs 2n+1 elements agree to rank n.
         assert_eq!(rank(&builders::set(6), &builders::set(7), 10), 6);
     }
 
@@ -373,11 +389,7 @@ mod tests {
                     let a = builders::linear_order(m);
                     let b = builders::linear_order(k);
                     let mut s = EfSolver::new(&a, &b);
-                    assert_eq!(
-                        s.duplicator_wins(n),
-                        expected,
-                        "L_{m} vs L_{k} at n = {n}"
-                    );
+                    assert_eq!(s.duplicator_wins(n), expected, "L_{m} vs L_{k} at n = {n}");
                 }
             }
         }

@@ -39,7 +39,7 @@ proptest! {
         }
         for w in wins.windows(2) {
             // wins[n] true ⇒ wins[n-1] true, i.e. no false-then-true.
-            prop_assert!(!(w[1] && !w[0]), "win sequence must be antitone: {wins:?}");
+            prop_assert!(!w[1] || w[0], "win sequence must be antitone: {wins:?}");
         }
     }
 

@@ -9,13 +9,19 @@
 use crate::gaifman::GaifmanGraph;
 use fmt_structures::{Elem, Structure};
 
+/// Balls computed (full-scan `ball` and amortized extractor alike).
+static OBS_BALLS: fmt_obs::Counter = fmt_obs::Counter::new("locality.balls_expanded");
+/// Elements per computed ball.
+static OBS_BALL_SIZE: fmt_obs::Histogram = fmt_obs::Histogram::new("locality.ball_size");
+
 /// The radius-`r` ball around the tuple `centers`, as a sorted element
 /// list.
 pub fn ball(g: &GaifmanGraph, centers: &[Elem], r: u32) -> Vec<Elem> {
     let dist = g.distances_from(centers);
-    (0..g.size())
-        .filter(|&v| dist[v as usize] <= r)
-        .collect()
+    let out: Vec<Elem> = (0..g.size()).filter(|&v| dist[v as usize] <= r).collect();
+    OBS_BALLS.incr();
+    OBS_BALL_SIZE.record(out.len() as u64);
+    out
 }
 
 /// An extracted `r`-neighborhood: the induced substructure together with
@@ -119,6 +125,8 @@ impl<'a> NeighborhoodExtractor<'a> {
         }
         let mut out: Vec<Elem> = dist.into_keys().collect();
         out.sort_unstable();
+        OBS_BALLS.incr();
+        OBS_BALL_SIZE.record(out.len() as u64);
         out
     }
 
@@ -224,7 +232,7 @@ mod tests {
         assert_eq!(n.size(), 5);
         assert_eq!(n.back_map, vec![2, 3, 4, 5, 6]);
         assert_eq!(n.distinguished, vec![2]); // 4 is the middle of the ball
-        // The induced structure is a path of 5 vertices.
+                                              // The induced structure is a path of 5 vertices.
         let e = n.structure.signature().relation("E").unwrap();
         assert_eq!(n.structure.rel(e).len(), 8); // 4 undirected edges
     }

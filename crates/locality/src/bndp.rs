@@ -100,7 +100,11 @@ mod tests {
     /// Reference transitive closure (graph → graph) for the tests.
     #[allow(clippy::needless_range_loop)] // Floyd–Warshall reads clearest with indices
     fn tc(s: &Structure) -> Structure {
-        let e = s.signature().relation("E").or_else(|| s.signature().relation("S")).unwrap();
+        let e = s
+            .signature()
+            .relation("E")
+            .or_else(|| s.signature().relation("S"))
+            .unwrap();
         let n = s.size() as usize;
         let mut reach = vec![vec![false; n]; n];
         for t in s.rel(e).iter() {
@@ -136,10 +140,7 @@ mod tests {
         // every in/out degree in {0, …, n−1}.
         let s = builders::successor_chain(6);
         let r = s.signature().relation("S").unwrap();
-        assert_eq!(
-            degree_spectrum(&s, r),
-            BTreeSet::from([0usize, 1])
-        );
+        assert_eq!(degree_spectrum(&s, r), BTreeSet::from([0usize, 1]));
         let out = tc(&s);
         let e = out.signature().relation("E").unwrap();
         let spec = degree_spectrum(&out, e);

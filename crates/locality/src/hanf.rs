@@ -156,7 +156,13 @@ impl HanfViolation {
     /// Attempts to build a violation certificate for the query values
     /// `q_a`, `q_b` on structures `a`, `b` at radius `r`. Returns `None`
     /// unless `a ⇆ᵣ b` *and* the query values differ.
-    pub fn build(a: &Structure, b: &Structure, r: u32, q_a: bool, q_b: bool) -> Option<HanfViolation> {
+    pub fn build(
+        a: &Structure,
+        b: &Structure,
+        r: u32,
+        q_a: bool,
+        q_b: bool,
+    ) -> Option<HanfViolation> {
         if q_a == q_b {
             return None;
         }
@@ -324,7 +330,13 @@ mod tests {
         // NOT pointed-equivalent on a *directed* chain (the truncated
         // end segments flip orientation).
         let chain = builders::directed_path(30);
-        assert!(!hanf_equivalent_pointed(&chain, &[2, 27], &chain, &[27, 2], 3));
+        assert!(!hanf_equivalent_pointed(
+            &chain,
+            &[2, 27],
+            &chain,
+            &[27, 2],
+            3
+        ));
     }
 
     #[test]

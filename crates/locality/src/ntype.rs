@@ -14,6 +14,13 @@ use fmt_structures::canon::CanonKey;
 use fmt_structures::{Elem, Structure};
 use std::collections::HashMap;
 
+/// Distinct neighborhood types interned (across all registries).
+static OBS_TYPES_INTERNED: fmt_obs::Counter = fmt_obs::Counter::new("locality.types_interned");
+/// Censuses computed.
+static OBS_CENSUSES: fmt_obs::Counter = fmt_obs::Counter::new("locality.censuses");
+/// Elements per census bucket (how many realize each type).
+static OBS_BUCKET_SIZE: fmt_obs::Histogram = fmt_obs::Histogram::new("locality.census_bucket");
+
 /// Identifier of an interned neighborhood type within a
 /// [`TypeRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,6 +50,7 @@ impl TypeRegistry {
         if let Some(&id) = self.by_key.get(&key) {
             return id;
         }
+        OBS_TYPES_INTERNED.incr();
         let id = TypeId(self.reps.len() as u32);
         self.by_key.insert(key, id);
         self.reps.push(n.clone());
@@ -112,6 +120,10 @@ impl TypeCensus {
             let id = reg.intern(&n);
             *counts.entry(id).or_insert(0) += 1;
             element_types.push(id);
+        }
+        OBS_CENSUSES.incr();
+        for &c in counts.values() {
+            OBS_BUCKET_SIZE.record(c as u64);
         }
         TypeCensus {
             counts,

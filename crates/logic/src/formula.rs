@@ -668,9 +668,6 @@ mod tests {
         let e = sig.relation("E").unwrap();
         let f = Formula::exists(v(0), Formula::atom(e, &[v(0), v(1)]));
         let g = f.rename_vars(&|Var(i)| Var(i + 10));
-        assert_eq!(
-            g,
-            Formula::exists(v(10), Formula::atom(e, &[v(10), v(11)]))
-        );
+        assert_eq!(g, Formula::exists(v(10), Formula::atom(e, &[v(10), v(11)])));
     }
 }

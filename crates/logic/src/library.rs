@@ -130,10 +130,7 @@ pub fn dominating_vertex(rel: RelId) -> Formula {
     let [x, y] = [Var(0), Var(1)];
     Formula::exists(
         x,
-        Formula::forall(
-            y,
-            Formula::eq_vars(x, y).or(Formula::atom(rel, &[x, y])),
-        ),
+        Formula::forall(y, Formula::eq_vars(x, y).or(Formula::atom(rel, &[x, y]))),
     )
 }
 
@@ -220,10 +217,7 @@ pub fn extension_axiom(sig: &Signature, k: u32, choice: u64) -> Formula {
     let z = Var(k);
     let mut bit = 0;
     // Literals: z distinct from all x's, then the chosen polarities.
-    let mut lits: Vec<Formula> = xs
-        .iter()
-        .map(|&x| Formula::eq_vars(z, x).not())
-        .collect();
+    let mut lits: Vec<Formula> = xs.iter().map(|&x| Formula::eq_vars(z, x).not()).collect();
     for (r, _, arity) in sig.relations() {
         // All tuples over {x1..xk, z} that mention z.
         let pool: Vec<Var> = xs.iter().copied().chain(std::iter::once(z)).collect();

@@ -93,12 +93,8 @@ impl MsoFormula {
                     MsoFormula::Implies(Box::new(fb), Box::new(fa)),
                 ])
             }
-            Formula::Exists(v, g) => {
-                MsoFormula::Exists(*v, Box::new(MsoFormula::from_fo(g)))
-            }
-            Formula::Forall(v, g) => {
-                MsoFormula::Forall(*v, Box::new(MsoFormula::from_fo(g)))
-            }
+            Formula::Exists(v, g) => MsoFormula::Exists(*v, Box::new(MsoFormula::from_fo(g))),
+            Formula::Forall(v, g) => MsoFormula::Forall(*v, Box::new(MsoFormula::from_fo(g))),
         }
     }
 
@@ -182,10 +178,9 @@ impl MsoFormula {
     pub fn free_set_vars(&self) -> BTreeSet<SetVar> {
         fn go(f: &MsoFormula, bound: &mut Vec<SetVar>, out: &mut BTreeSet<SetVar>) {
             match f {
-                MsoFormula::In(_, x)
-                    if !bound.contains(x) => {
-                        out.insert(*x);
-                    }
+                MsoFormula::In(_, x) if !bound.contains(x) => {
+                    out.insert(*x);
+                }
                 MsoFormula::Not(g) => go(g, bound, out),
                 MsoFormula::And(fs) | MsoFormula::Or(fs) => {
                     for g in fs {
@@ -422,8 +417,8 @@ mod tests {
     #[test]
     fn from_fo_preserves_shape() {
         let sig = Signature::graph();
-        let fo = crate::parser::parse_formula(&sig, "forall x. exists y. E(x, y) <-> E(y, x)")
-            .unwrap();
+        let fo =
+            crate::parser::parse_formula(&sig, "forall x. exists y. E(x, y) <-> E(y, x)").unwrap();
         let mso = MsoFormula::from_fo(&fo);
         assert_eq!(mso.free_vars(), fo.free_vars());
         assert!(mso.free_set_vars().is_empty());

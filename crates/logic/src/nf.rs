@@ -374,10 +374,7 @@ mod tests {
         let f = p("(forall x. E(x,x)) -> (exists y. E(y,y))");
         let pr = prenex(&f);
         assert_eq!(pr.prefix.len(), 2);
-        assert!(pr
-            .prefix
-            .iter()
-            .all(|q| matches!(q, Quant::Exists(_))));
+        assert!(pr.prefix.iter().all(|q| matches!(q, Quant::Exists(_))));
         assert_eq!(pr.alternations(), 0);
     }
 

@@ -129,9 +129,7 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, LogicParseError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric()
-                        || b[i] == b'_'
-                        || b[i] == b'\'')
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'\'')
                 {
                     i += 1;
                 }
@@ -260,9 +258,7 @@ impl<'a> Parser<'a> {
                             let n = n.clone();
                             self.pos += 1;
                             if self.sig.constant(&n).is_some() {
-                                return Err(
-                                    self.err(format!("cannot quantify over constant {n}"))
-                                );
+                                return Err(self.err(format!("cannot quantify over constant {n}")));
                             }
                             vars.push(self.var(&n));
                         }

@@ -1,0 +1,559 @@
+//! # fmt-obs
+//!
+//! Zero-dependency instrumentation for the finite model theory toolbox.
+//!
+//! Every engine hot path (EF-game search, FO evaluation, semi-naive
+//! Datalog, neighborhood censuses, 0-1-law sampling) records its work
+//! through this crate so that perf PRs can ship with before/after
+//! numbers and `fmtk --stats` can show what an invocation actually did.
+//!
+//! The build environment is offline, so there is no `tracing`,
+//! `prometheus`, or `once_cell` here — just `std` atomics:
+//!
+//! * [`Counter`] — a monotonic `AtomicU64`;
+//! * [`Histogram`] — fixed power-of-two buckets plus count/sum/max,
+//!   suitable for sizes and microsecond durations;
+//! * [`Span`] — an RAII timer that records into a histogram on drop;
+//! * a process-global registry, **disabled by default**: when disabled,
+//!   every record path short-circuits on a single relaxed atomic load
+//!   and touches nothing else (asserted by the `cheap_when_disabled`
+//!   test), so instrumented engines pay no measurable cost.
+//!
+//! Metrics are `static`s declared next to the code they measure:
+//!
+//! ```
+//! static POSITIONS: fmt_obs::Counter = fmt_obs::Counter::new("demo.positions");
+//!
+//! fmt_obs::enable();
+//! POSITIONS.add(3);
+//! let snap = fmt_obs::snapshot();
+//! assert_eq!(snap.counter("demo.positions"), Some(3));
+//! fmt_obs::reset();
+//! fmt_obs::disable();
+//! ```
+//!
+//! A metric registers itself in the global registry the first time it
+//! records while enabled; [`snapshot`] returns everything registered so
+//! far, sorted by name, and [`Snapshot::to_json`] renders a single-line
+//! JSON object suitable for appending to `BENCH_*.json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+/// Number of histogram buckets: bucket `i` counts values `v` with
+/// `bit_length(v) == i`, i.e. bucket 0 holds `0`, bucket `i ≥ 1` holds
+/// `2^(i-1) ..= 2^i - 1`; the last bucket absorbs everything above.
+pub const BUCKETS: usize = 64;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+}
+
+static REGISTRY: Registry = Registry {
+    counters: Mutex::new(Vec::new()),
+    histograms: Mutex::new(Vec::new()),
+};
+
+/// Turns recording on process-wide.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns recording off process-wide (already-recorded values are kept
+/// until [`reset`]).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every registered metric (registration itself is kept, so
+/// names remain visible in subsequent snapshots).
+pub fn reset() {
+    for c in REGISTRY
+        .counters
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+    {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for h in REGISTRY
+        .histograms
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+    {
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/// A monotonic counter. Declare as a `static` next to the code it
+/// measures; increments are relaxed atomic adds, skipped entirely while
+/// the registry is disabled.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// A new counter with a `dotted.metric.name`.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` (no-op while disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            REGISTRY
+                .counters
+                .lock()
+                .expect("obs registry poisoned")
+                .push(self);
+        });
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (no-op while disabled).
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histograms and span timers
+// ---------------------------------------------------------------------
+
+/// A histogram over `u64` values with fixed power-of-two buckets (no
+/// allocation, no locks). Used for sizes (delta facts per round, ball
+/// sizes, operator cardinalities) and for microsecond durations via
+/// [`Histogram::span`].
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+    registered: Once,
+}
+
+impl Histogram {
+    /// A new histogram with a `dotted.metric.name`.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            registered: Once::new(),
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one value (no-op while disabled).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.registered.call_once(|| {
+            REGISTRY
+                .histograms
+                .lock()
+                .expect("obs registry poisoned")
+                .push(self);
+        });
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        let bucket = ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts an RAII span that records its elapsed time in
+    /// **microseconds** when dropped. While disabled the span holds no
+    /// clock reading and drops for free.
+    #[inline]
+    pub fn span(&'static self) -> Span {
+        Span {
+            hist: self,
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+/// An RAII timer from [`Histogram::span`]; records on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median estimate (upper bound of the bucket holding the 50th
+    /// percentile).
+    pub p50: u64,
+    /// 99th-percentile estimate (same bucket-upper-bound convention).
+    pub p99: u64,
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// Summaries of every registered histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Takes a snapshot of all metrics registered so far.
+pub fn snapshot() -> Snapshot {
+    let mut counters: Vec<(String, u64)> = REGISTRY
+        .counters
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|c| (c.name.to_owned(), c.get()))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSnapshot> = REGISTRY
+        .histograms
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|h| {
+            let count = h.count.load(Ordering::Relaxed);
+            let buckets: Vec<u64> = h
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect();
+            let quantile = |q: f64| -> u64 {
+                if count == 0 {
+                    return 0;
+                }
+                let rank = (q * count as f64).ceil() as u64;
+                let mut seen = 0u64;
+                for (i, &b) in buckets.iter().enumerate() {
+                    seen += b;
+                    if seen >= rank {
+                        // Upper bound of bucket i (bucket 0 holds only 0).
+                        return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                    }
+                }
+                u64::MAX
+            };
+            HistogramSnapshot {
+                name: h.name.to_owned(),
+                count,
+                sum: h.sum.load(Ordering::Relaxed),
+                max: h.max.load(Ordering::Relaxed),
+                p50: quantile(0.50),
+                p99: quantile(0.99),
+            }
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    Snapshot {
+        counters,
+        histograms,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// `true` if nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The JSON members of the snapshot, without enclosing braces —
+    /// `"counters":{…},"histograms":{…}` — so callers can splice extra
+    /// fields (the CLI adds `"command":…`) into one flat object.
+    pub fn json_body(&self) -> String {
+        let mut out = String::from("\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                json_escape(&h.name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p99
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The whole snapshot as one single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.json_body())
+    }
+
+    /// `(metric, value)` rows for plain-text rendering (histograms
+    /// expand into `.count`/`.sum`/`.p50`/`.max` rows). Pair with
+    /// `fmt_core::report::table(&["metric", "value"], &rows)`.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows: Vec<Vec<String>> = self
+            .counters
+            .iter()
+            .map(|(n, v)| vec![n.clone(), v.to_string()])
+            .collect();
+        for h in &self.histograms {
+            rows.push(vec![format!("{}.count", h.name), h.count.to_string()]);
+            rows.push(vec![format!("{}.sum", h.name), h.sum.to_string()]);
+            rows.push(vec![format!("{}.p50", h.name), h.p50.to_string()]);
+            rows.push(vec![format!("{}.max", h.name), h.max.to_string()]);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that enable it must not
+    /// interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disable();
+        reset();
+        guard
+    }
+
+    static C1: Counter = Counter::new("test.c1");
+    static C2: Counter = Counter::new("test.c2");
+    static H1: Histogram = Histogram::new("test.h1");
+    static HT: Histogram = Histogram::new("test.span_us");
+
+    #[test]
+    fn cheap_when_disabled() {
+        let _g = locked();
+        // Disabled: the add short-circuits before touching the atomic,
+        // so the value stays zero and nothing registers.
+        C1.add(41);
+        assert_eq!(C1.get(), 0);
+        H1.record(9);
+        assert_eq!(H1.count.load(Ordering::Relaxed), 0);
+        let span = HT.span();
+        assert!(span.start.is_none(), "no clock read while disabled");
+        drop(span);
+        assert_eq!(HT.count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = locked();
+        enable();
+        C1.incr();
+        C1.add(4);
+        C2.add(7);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.c1"), Some(5));
+        assert_eq!(snap.counter("test.c2"), Some(7));
+        reset();
+        assert_eq!(snapshot().counter("test.c1"), Some(0));
+        disable();
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _g = locked();
+        enable();
+        for v in [0u64, 1, 1, 2, 3, 8, 100] {
+            H1.record(v);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("test.h1").expect("registered");
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 115);
+        assert_eq!(h.max, 100);
+        // Ranks: 0 | 1 1 | 2 3 | 8 | 100 → p50 is the 4th value (2),
+        // whose bucket [2, 3] has upper bound 3.
+        assert_eq!(h.p50, 3);
+        // p99 lands in 100's bucket [64, 127].
+        assert_eq!(h.p99, 127);
+        disable();
+    }
+
+    #[test]
+    fn span_records_when_enabled() {
+        let _g = locked();
+        enable();
+        {
+            let _span = HT.span();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = snapshot();
+        let h = snap.histogram("test.span_us").expect("registered");
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 1_000, "2 ms is at least 1000 µs, got {}", h.sum);
+        disable();
+    }
+
+    #[test]
+    fn json_shape() {
+        let _g = locked();
+        enable();
+        C1.add(3);
+        H1.record(5);
+        let snap = snapshot();
+        let json = snap.to_json();
+        assert!(!json.contains('\n'), "single line");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"test.c1\":3"), "{json}");
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"count\":1"));
+        // Balanced braces — a cheap structural validity check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        disable();
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tline"), "tab\\u0009line");
+    }
+
+    #[test]
+    fn rows_cover_all_metrics() {
+        let _g = locked();
+        enable();
+        C2.add(2);
+        H1.record(4);
+        let rows = snapshot().rows();
+        assert!(rows.iter().any(|r| r[0] == "test.c2" && r[1] == "2"));
+        assert!(rows.iter().any(|r| r[0] == "test.h1.count"));
+        assert!(rows.iter().any(|r| r[0] == "test.h1.p50"));
+        disable();
+    }
+
+    #[test]
+    fn concurrent_adds_are_lossless() {
+        let _g = locked();
+        enable();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        C1.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(snapshot().counter("test.c1"), Some(8000));
+        disable();
+    }
+}

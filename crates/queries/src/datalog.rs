@@ -28,6 +28,16 @@
 use fmt_structures::{Elem, RelId, Signature, Structure};
 use std::collections::HashSet;
 
+/// Fixpoint rounds of semi-naive evaluation (the initialization pass
+/// counts as round one, mirroring `Output::iterations`).
+static OBS_ROUNDS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.rounds");
+/// New facts discovered across all semi-naive rounds.
+static OBS_DELTA_FACTS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.delta_facts");
+/// New facts per semi-naive round (the engine's termination signal).
+static OBS_DELTA_SIZE: fmt_obs::Histogram = fmt_obs::Histogram::new("queries.datalog.delta_size");
+/// Fixpoint rounds of the naive reference evaluator.
+static OBS_NAIVE_ROUNDS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.naive_rounds");
+
 /// A Datalog variable (local to a rule).
 type DlVar = u32;
 
@@ -99,7 +109,9 @@ impl Program {
         fn parse_atom(t: &str) -> Result<RawAtom, String> {
             let t = t.trim();
             let open = t.find('(').ok_or_else(|| format!("missing '(' in {t:?}"))?;
-            let close = t.rfind(')').ok_or_else(|| format!("missing ')' in {t:?}"))?;
+            let close = t
+                .rfind(')')
+                .ok_or_else(|| format!("missing ')' in {t:?}"))?;
             let pred = t[..open].trim().to_owned();
             if pred.is_empty() {
                 return Err(format!("empty predicate name in {t:?}"));
@@ -190,7 +202,10 @@ impl Program {
                     }
                 }
             };
-            let resolve = |raw: &RawAtom, vars: &mut Vec<String>, var_of: &mut dyn FnMut(&str, &mut Vec<String>) -> DlVar| -> Result<Atom, String> {
+            let resolve = |raw: &RawAtom,
+                           vars: &mut Vec<String>,
+                           var_of: &mut dyn FnMut(&str, &mut Vec<String>) -> DlVar|
+             -> Result<Atom, String> {
                 let pred = if let Some(r) = lookup_edb(&raw.pred) {
                     if sig.arity(r) != raw.args.len() {
                         return Err(format!(
@@ -288,6 +303,7 @@ impl Program {
         let mut derivations = 0u64;
         loop {
             iterations += 1;
+            OBS_NAIVE_ROUNDS.incr();
             let mut new_tuples: Vec<(usize, Vec<Elem>)> = Vec::new();
             for rule in &self.rules {
                 self.apply_rule(s, rule, &rel, None, &mut |idb, t| {
@@ -332,10 +348,15 @@ impl Program {
         for (t, d) in total.iter_mut().zip(delta.iter()) {
             t.extend(d.iter().cloned());
         }
+        let initial_facts: usize = delta.iter().map(HashSet::len).sum();
+        OBS_ROUNDS.incr();
+        OBS_DELTA_FACTS.add(initial_facts as u64);
+        OBS_DELTA_SIZE.record(initial_facts as u64);
 
         let mut iterations = 1;
         while delta.iter().any(|d| !d.is_empty()) {
             iterations += 1;
+            OBS_ROUNDS.incr();
             let mut next: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
             for rule in &self.rules {
                 // One application per IDB body-atom position, with that
@@ -357,6 +378,9 @@ impl Program {
             for (t, d) in total.iter_mut().zip(next.iter()) {
                 t.extend(d.iter().cloned());
             }
+            let new_facts: usize = next.iter().map(HashSet::len).sum();
+            OBS_DELTA_FACTS.add(new_facts as u64);
+            OBS_DELTA_SIZE.record(new_facts as u64);
             delta = next;
         }
         Output {

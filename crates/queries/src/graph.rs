@@ -19,11 +19,7 @@ pub fn edge_relation(s: &Structure) -> RelId {
     sig.relation("E")
         .or_else(|| sig.relation("S"))
         .filter(|&r| sig.arity(r) == 2)
-        .or_else(|| {
-            sig.relations()
-                .find(|&(_, _, a)| a == 2)
-                .map(|(r, _, _)| r)
-        })
+        .or_else(|| sig.relations().find(|&(_, _, a)| a == 2).map(|(r, _, _)| r))
         .expect("structure has no binary relation")
 }
 

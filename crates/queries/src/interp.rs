@@ -47,7 +47,9 @@ impl Interpretation {
         for ((r, name, arity), q) in target.relations().zip(defs.iter()) {
             let _ = r;
             if q.signature() != &source {
-                return Err(format!("defining query for {name} is over the wrong signature"));
+                return Err(format!(
+                    "defining query for {name} is over the wrong signature"
+                ));
             }
             if q.arity() != arity {
                 return Err(format!(

@@ -41,8 +41,16 @@ pub fn with_order(sig: &Signature) -> Arc<Signature> {
 ///
 /// # Panics
 /// Panics if `ranking` is not a permutation of the domain.
-pub fn expand_with_order(s: &Structure, ordered_sig: &Arc<Signature>, ranking: &[Elem]) -> Structure {
-    assert_eq!(ranking.len(), s.size() as usize, "ranking must cover the domain");
+pub fn expand_with_order(
+    s: &Structure,
+    ordered_sig: &Arc<Signature>,
+    ranking: &[Elem],
+) -> Structure {
+    assert_eq!(
+        ranking.len(),
+        s.size() as usize,
+        "ranking must cover the domain"
+    );
     let lt = ordered_sig.relation("<").expect("ordered signature");
     let mut b = StructureBuilder::new(ordered_sig.clone(), s.size());
     for (r, name, _) in s.signature().relations() {
@@ -94,8 +102,8 @@ pub fn invariant_value(s: &Structure, ordered_sig: &Arc<Signature>, f: &Formula)
     // Heap's algorithm over rankings.
     let mut c = vec![0usize; n.max(1)];
     let consider = |ranking: &[Elem],
-                        first_true: &mut Option<Vec<Elem>>,
-                        first_false: &mut Option<Vec<Elem>>| {
+                    first_true: &mut Option<Vec<Elem>>,
+                    first_false: &mut Option<Vec<Elem>>| {
         let expanded = expand_with_order(s, ordered_sig, ranking);
         if naive::check_sentence(&expanded, f) {
             first_true.get_or_insert_with(|| ranking.to_vec());
@@ -164,8 +172,8 @@ mod tests {
                 Invariance::Invariant(v) => {
                     // Value matches plain evaluation on the unordered
                     // structure.
-                    let plain = parse_formula(s.signature(), "exists x y. E(x, y) & !(x = y)")
-                        .unwrap();
+                    let plain =
+                        parse_formula(s.signature(), "exists x y. E(x, y) & !(x = y)").unwrap();
                     assert_eq!(v, naive::check_sentence(&s, &plain));
                 }
                 other => panic!("pure-σ sentence must be invariant, got {other:?}"),

@@ -39,9 +39,8 @@ pub fn even_to_connectivity() -> Interpretation {
     //   first(x)   := ¬∃z (z < x)         last(x) := ¬∃z (x < z)
     //   second(y)  := ∃f (first(f) ∧ succ(f,y))
     //   penult(x)  := ∃l (last(l) ∧ succ(x,l))
-    let succ = |x: &str, y: &str, z: &str| {
-        format!("({x} < {y} & !(exists {z}. {x} < {z} & {z} < {y}))")
-    };
+    let succ =
+        |x: &str, y: &str, z: &str| format!("({x} < {y} & !(exists {z}. {x} < {z} & {z} < {y}))");
     let e_def = format!(
         "(exists m. {sxm} & {smy}) \
          | ((!(exists u. x < u)) & (exists f. (!(exists v. v < f)) & {sfy})) \
@@ -61,9 +60,8 @@ pub fn even_to_connectivity() -> Interpretation {
 pub fn even_to_acyclicity() -> Interpretation {
     let order = Signature::order();
     let graph_sig = Signature::graph();
-    let succ = |x: &str, y: &str, z: &str| {
-        format!("({x} < {y} & !(exists {z}. {x} < {z} & {z} < {y}))")
-    };
+    let succ =
+        |x: &str, y: &str, z: &str| format!("({x} < {y} & !(exists {z}. {x} < {z} & {z} < {y}))");
     let e_def = format!(
         "(exists m. {sxm} & {smy}) \
          | ((!(exists u. x < u)) & !(exists v. v < y))",

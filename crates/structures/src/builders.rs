@@ -436,7 +436,7 @@ mod tests {
             assert_eq!(q3.out_degree(e, v), 3);
         }
         assert_eq!(q3.rel(e).len(), 24); // 12 undirected edges
-        // Q_0 is a single vertex; Q_1 a single edge.
+                                         // Q_0 is a single vertex; Q_1 a single edge.
         assert_eq!(hypercube(0).size(), 1);
         assert_eq!(hypercube(1).num_tuples(), 2);
     }

@@ -467,7 +467,17 @@ mod tests {
         }
         let k33 = b1.build().unwrap();
         let mut b2 = crate::StructureBuilder::new(sig, 6);
-        let prism_edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)];
+        let prism_edges = [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 3),
+            (1, 4),
+            (2, 5),
+        ];
         for (u, v) in prism_edges {
             b2.add(e, &[u, v]).unwrap();
             b2.add(e, &[v, u]).unwrap();

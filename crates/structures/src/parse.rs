@@ -65,14 +65,8 @@ fn meaningful_lines(text: &str) -> impl Iterator<Item = RawLine<'_>> {
 
 enum Item<'a> {
     Size(u32),
-    Tuple {
-        rel: &'a str,
-        args: Vec<Elem>,
-    },
-    Const {
-        name: &'a str,
-        value: Elem,
-    },
+    Tuple { rel: &'a str, args: Vec<Elem> },
+    Const { name: &'a str, value: Elem },
 }
 
 fn parse_line<'a>(l: &RawLine<'a>) -> Result<Item<'a>, ParseError> {
@@ -139,9 +133,9 @@ pub fn parse(text: &str) -> Result<Structure, ParseError> {
                     return Err(err(
                         l.no,
                         format!(
-                            "relation {rel} used with arity {} but had arity {arity} at line {first}",
-                            args.len()
-                        ),
+                        "relation {rel} used with arity {} but had arity {arity} at line {first}",
+                        args.len()
+                    ),
                     ))
                 }
                 Some(_) => {}

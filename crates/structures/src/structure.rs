@@ -28,7 +28,9 @@ impl Relation {
         let n = flat.len() / arity;
         // Sort rows lexicographically by sorting row indices, then rebuild.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by(|&a, &b| flat[a * arity..(a + 1) * arity].cmp(&flat[b * arity..(b + 1) * arity]));
+        order.sort_unstable_by(|&a, &b| {
+            flat[a * arity..(a + 1) * arity].cmp(&flat[b * arity..(b + 1) * arity])
+        });
         let mut sorted = Vec::with_capacity(flat.len());
         let mut prev: Option<usize> = None;
         for &i in &order {

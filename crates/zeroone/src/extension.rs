@@ -34,6 +34,11 @@ use rand::SeedableRng;
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// Per-tuple extension-axiom checks performed against concrete structures.
+static OBS_EXT_CHECKS: fmt_obs::Counter = fmt_obs::Counter::new("zeroone.extension_checks");
+/// Fresh-element atomic-type branches explored in the generic structure.
+static OBS_GENERIC_BRANCHES: fmt_obs::Counter = fmt_obs::Counter::new("zeroone.generic_branches");
+
 // ---------------------------------------------------------------------
 // Symbolic evaluation in the generic (Rado-style) structure.
 // ---------------------------------------------------------------------
@@ -158,6 +163,7 @@ fn branch_quantifier(
     env[v.0 as usize] = Some(fresh);
     let mut verdict = !existential;
     'types: for mask in 0..(1u64 << slots.len()) {
+        OBS_GENERIC_BRANCHES.incr();
         // Install the type.
         for (i, slot) in slots.iter().enumerate() {
             if (mask >> i) & 1 == 1 {
@@ -234,6 +240,7 @@ pub fn satisfies_extension_axioms(s: &Structure, max_level: u32) -> bool {
                 seen.windows(2).all(|w| w[0] != w[1])
             };
             if distinct {
+                OBS_EXT_CHECKS.incr();
                 realized.iter_mut().for_each(|b| *b = false);
                 let mut found = 0u64;
                 for z in s.domain() {

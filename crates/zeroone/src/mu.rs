@@ -2,7 +2,7 @@
 //!
 //! `μₙ(Q) = |{A ∈ STRUC(σ, n) : A ⊨ Q}| / |STRUC(σ, n)|`. For tiny `n`
 //! we enumerate the space exactly; for moderate `n` we estimate by
-//! parallel Monte-Carlo sampling (crossbeam scoped threads, one seeded
+//! parallel Monte-Carlo sampling (std scoped threads, one seeded
 //! RNG per worker, deterministic given the base seed). Experiment E13
 //! produces the convergence tables `μₙ(Q₁) → 0` and `μₙ(Q₂) → 1`.
 
@@ -32,30 +32,26 @@ pub fn mu_exact(sig: &Arc<Signature>, n: u32, f: &Formula) -> f64 {
 ///
 /// # Panics
 /// Panics if `f` is not a sentence or `samples == 0`.
-pub fn mu_estimate(
-    sig: &Arc<Signature>,
-    n: u32,
-    f: &Formula,
-    samples: u32,
-    seed: u64,
-) -> f64 {
+pub fn mu_estimate(sig: &Arc<Signature>, n: u32, f: &Formula, samples: u32, seed: u64) -> f64 {
     assert!(f.is_sentence(), "mu requires a Boolean query");
     assert!(samples > 0);
     let threads = std::thread::available_parallelism()
         .map(|t| t.get().min(8))
         .unwrap_or(1) as u32;
     let threads = threads.min(samples);
-    let hits = crossbeam::scope(|scope| {
+    let hits = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..threads {
             let sig = sig.clone();
             let f = f.clone();
             // Split the sample budget as evenly as possible.
             let quota = samples / threads + u32::from(w < samples % threads);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 use rand::rngs::StdRng;
                 use rand::SeedableRng;
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)));
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)),
+                );
                 let mut hits = 0u32;
                 for _ in 0..quota {
                     let s = sample::uniform_structure(&sig, n, &mut rng);
@@ -67,8 +63,7 @@ pub fn mu_estimate(
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
-    })
-    .expect("worker panicked");
+    });
     hits as f64 / samples as f64
 }
 

@@ -11,6 +11,11 @@ use fmt_structures::{Elem, Signature, Structure, StructureBuilder};
 use rand::{Rng, RngExt};
 use std::sync::Arc;
 
+/// Random structures drawn (uniform and biased alike).
+static OBS_SAMPLES: fmt_obs::Counter = fmt_obs::Counter::new("zeroone.samples_drawn");
+/// Coins flipped while drawing them (one per potential tuple).
+static OBS_COINS: fmt_obs::Counter = fmt_obs::Counter::new("zeroone.tuple_coins");
+
 /// Samples a σ-structure with each potential tuple present
 /// independently with probability `p` (constant-free signatures only).
 ///
@@ -28,6 +33,7 @@ pub fn structure_with_density<R: Rng + ?Sized>(
         "random structures require a constant-free signature"
     );
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    OBS_SAMPLES.incr();
     let mut b = StructureBuilder::new(sig.clone(), n);
     let mut tuple: Vec<Elem> = Vec::new();
     for (r, _, arity) in sig.relations() {
@@ -38,6 +44,7 @@ pub fn structure_with_density<R: Rng + ?Sized>(
         tuple.clear();
         tuple.resize(arity, 0);
         'tuples: loop {
+            OBS_COINS.incr();
             if rng.random_bool(p) {
                 b.add(r, &tuple).expect("tuple in range");
             }
@@ -63,11 +70,7 @@ pub fn structure_with_density<R: Rng + ?Sized>(
 
 /// Samples a **uniformly** random σ-structure on `{0, …, n−1}` (every
 /// tuple with probability ½).
-pub fn uniform_structure<R: Rng + ?Sized>(
-    sig: &Arc<Signature>,
-    n: u32,
-    rng: &mut R,
-) -> Structure {
+pub fn uniform_structure<R: Rng + ?Sized>(sig: &Arc<Signature>, n: u32, rng: &mut R) -> Structure {
     structure_with_density(sig, n, 0.5, rng)
 }
 

@@ -102,8 +102,17 @@ fn main() {
     );
     let v = |i: u32| Qbf::Var(i);
     let cases: Vec<(&str, Qbf)> = vec![
-        ("∃p∃q (p ∧ q)", Qbf::Exists(0, Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))))),
-        ("∃p (p ∧ ¬p)", Qbf::Exists(0, Box::new(Qbf::And(vec![v(0), v(0).not()])))),
+        (
+            "∃p∃q (p ∧ q)",
+            Qbf::Exists(
+                0,
+                Box::new(Qbf::Exists(1, Box::new(Qbf::And(vec![v(0), v(1)])))),
+            ),
+        ),
+        (
+            "∃p (p ∧ ¬p)",
+            Qbf::Exists(0, Box::new(Qbf::And(vec![v(0), v(0).not()]))),
+        ),
         (
             "∀p∃q (p ↔ q)",
             Qbf::Forall(
@@ -143,10 +152,7 @@ fn main() {
             report::mark(reduced).to_owned(),
         ]);
     }
-    print!(
-        "{}",
-        report::table(&["QBF", "QBF solver", "B ⊨ φ*"], &rows)
-    );
+    print!("{}", report::table(&["QBF", "QBF solver", "B ⊨ φ*"], &rows));
     println!("→ the two-element structure B = ({{0,1}}, T = {{1}}) simulates QBF:");
     println!("  model checking inherits PSPACE-hardness (combined complexity).");
 }

@@ -62,7 +62,10 @@ fn main() {
     // -----------------------------------------------------------------
     // Integrity constraints as FO sentences.
     // -----------------------------------------------------------------
-    print!("{}", report::section("Integrity constraints (FO sentences)"));
+    print!(
+        "{}",
+        report::section("Integrity constraints (FO sentences)")
+    );
     let constraints = [
         (
             "every employee works somewhere",
@@ -104,12 +107,12 @@ fn main() {
     // -----------------------------------------------------------------
     // Queries, set-at-a-time.
     // -----------------------------------------------------------------
-    print!("{}", report::section("Queries (relational-algebra evaluation)"));
-    let colleagues = Query::parse(
-        &sig,
-        "exists d. worksIn(x, d) & worksIn(y, d) & !(x = y)",
-    )
-    .unwrap();
+    print!(
+        "{}",
+        report::section("Queries (relational-algebra evaluation)")
+    );
+    let colleagues =
+        Query::parse(&sig, "exists d. worksIn(x, d) & worksIn(y, d) & !(x = y)").unwrap();
     let pairs = relalg::answers(&db, &colleagues);
     println!("colleagues(x, y): {} ordered pairs", pairs.len());
     let unmanaged = Query::parse(
@@ -121,11 +124,7 @@ fn main() {
         "staffed departments without a manager: {:?} (none — constraint held)",
         relalg::answers(&db, &unmanaged)
     );
-    let skip_level = Query::parse(
-        &sig,
-        "exists m. reportsTo(x, m) & reportsTo(m, y)",
-    )
-    .unwrap();
+    let skip_level = Query::parse(&sig, "exists m. reportsTo(x, m) & reportsTo(m, y)").unwrap();
     println!(
         "skip-level reports (x, boss's boss): {:?}",
         relalg::answers(&db, &skip_level)

@@ -83,17 +83,21 @@ fn main() {
                 naive.relation(sg).len().to_string(),
                 naive.derivations.to_string(),
                 semi.derivations.to_string(),
-                format!(
-                    "{:.1}×",
-                    naive.derivations as f64 / semi.derivations as f64
-                ),
+                format!("{:.1}×", naive.derivations as f64 / semi.derivations as f64),
             ]
         })
         .collect();
     print!(
         "{}",
         report::table(
-            &["depth", "n", "|sg|", "naive derivs", "semi-naive derivs", "saving"],
+            &[
+                "depth",
+                "n",
+                "|sg|",
+                "naive derivs",
+                "semi-naive derivs",
+                "saving"
+            ],
             &rows
         )
     );

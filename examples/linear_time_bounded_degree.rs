@@ -79,7 +79,12 @@ fn main() {
     print!(
         "{}",
         report::table(
-            &["n (cycle)", "census pass (Thm 3.11)", "textbook O(nᵏ)", "speedup"],
+            &[
+                "n (cycle)",
+                "census pass (Thm 3.11)",
+                "textbook O(nᵏ)",
+                "speedup"
+            ],
             &rows
         )
     );

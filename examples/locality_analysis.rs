@@ -136,10 +136,7 @@ fn main() {
         .collect();
     print!(
         "{}",
-        report::table(
-            &["radius r", "G1", "G2", "conn(G1)", "conn(G2)"],
-            &rows
-        )
+        report::table(&["radius r", "G1", "G2", "conn(G1)", "conn(G2)"], &rows)
     );
     println!(
         "→ G1 ⇆_r G2 (bijection preserving r-neighborhood types exists) yet exactly\n  one is connected.  certificate check: {}",

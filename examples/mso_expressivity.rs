@@ -25,18 +25,20 @@ fn main() {
     // -----------------------------------------------------------------
     // Connectivity: MSO succeeds exactly where FO fails.
     // -----------------------------------------------------------------
-    print!(
-        "{}",
-        report::section("E17 · connectivity is MSO-definable")
-    );
+    print!("{}", report::section("E17 · connectivity is MSO-definable"));
     println!("MSO sentence: ∀X [(∃x X(x)) ∧ closed-under-E(X) → ∀z X(z)]\n");
     let conn = mso_connectivity(e);
-    let suite = [("C_8", builders::undirected_cycle(8)),
-        ("C_4 ⊎ C_4", builders::copies(&builders::undirected_cycle(4), 2)),
+    let suite = [
+        ("C_8", builders::undirected_cycle(8)),
+        (
+            "C_4 ⊎ C_4",
+            builders::copies(&builders::undirected_cycle(4), 2),
+        ),
         ("path_7", builders::undirected_path(7)),
         ("tree d=2", builders::full_binary_tree(2)),
         ("empty_4", builders::empty_graph(4)),
-        ("K_5", builders::complete_graph(5))];
+        ("K_5", builders::complete_graph(5)),
+    ];
     let rows: Vec<Vec<String>> = suite
         .iter()
         .map(|(name, s)| {
@@ -98,7 +100,12 @@ fn main() {
             vec![
                 format!("C_{n}"),
                 report::mark(v).to_owned(),
-                if n % 2 == 0 { "even cycle" } else { "odd cycle" }.to_owned(),
+                if n % 2 == 0 {
+                    "even cycle"
+                } else {
+                    "odd cycle"
+                }
+                .to_owned(),
             ]
         })
         .collect();

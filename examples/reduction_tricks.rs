@@ -69,7 +69,10 @@ fn main() {
         &[3, 4, 5, 6, 7, 8],
     );
     match reductions::verify_acycl_correspondence(3, 60) {
-        Ok(rows) => println!("→ acyclic ⟺ even verified for n = 3..=60 ({} orders).", rows.len()),
+        Ok(rows) => println!(
+            "→ acyclic ⟺ even verified for n = 3..=60 ({} orders).",
+            rows.len()
+        ),
         Err(row) => panic!("correspondence failed at {row:?}"),
     }
 
@@ -82,7 +85,10 @@ fn main() {
     );
     let suite = vec![
         ("C_8", builders::undirected_cycle(8)),
-        ("C_4 ⊎ C_4", builders::copies(&builders::undirected_cycle(4), 2)),
+        (
+            "C_4 ⊎ C_4",
+            builders::copies(&builders::undirected_cycle(4), 2),
+        ),
         ("path_9", builders::directed_path(9)),
         ("tree d=3", builders::full_binary_tree(3)),
         ("empty_5", builders::empty_graph(5)),

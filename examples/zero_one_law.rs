@@ -10,9 +10,7 @@
 use fmt_core::logic::{library, parser::parse_formula};
 use fmt_core::report;
 use fmt_core::structures::Signature;
-use fmt_core::zeroone::extension::{
-    decide_mu, extension_axiom_probability, find_generic_witness,
-};
+use fmt_core::zeroone::extension::{decide_mu, extension_axiom_probability, find_generic_witness};
 use fmt_core::zeroone::mu::ConvergenceSeries;
 
 fn main() {
@@ -22,10 +20,7 @@ fn main() {
     // -----------------------------------------------------------------
     // E13: convergence of the paper's two examples.
     // -----------------------------------------------------------------
-    print!(
-        "{}",
-        report::section("E13 · μ_n(Q1) → 0 and μ_n(Q2) → 1")
-    );
+    print!("{}", report::section("E13 · μ_n(Q1) → 0 and μ_n(Q2) → 1"));
     let q1 = library::q1_all_pairs_adjacent(e);
     let q2 = library::q2_distinguishing_neighbor(e);
     println!("Q1 = ∀x∀y (x ≠ y → E(x,y))          \"all pairs adjacent\"");
@@ -45,7 +40,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", report::table(&["n", "μ_n(Q1)", "μ_n(Q2)", "method"], &rows));
+    print!(
+        "{}",
+        report::table(&["n", "μ_n(Q1)", "μ_n(Q2)", "method"], &rows)
+    );
     println!("→ Q1 vanishes, Q2 fills in — both have a 0-1 limit.\n");
 
     // EVEN: no limit at all.
@@ -92,7 +90,10 @@ fn main() {
     let cases = [
         ("exists x. E(x, x)", "a loop exists"),
         ("forall x. E(x, x)", "everything has a loop"),
-        ("forall x y. exists z. E(x, z) & E(y, z)", "common out-neighbor"),
+        (
+            "forall x y. exists z. E(x, z) & E(y, z)",
+            "common out-neighbor",
+        ),
         ("exists x. forall y. E(x, y)", "a dominating vertex"),
         ("forall x. exists y. E(x, y) & !(x = y)", "no sink"),
     ];

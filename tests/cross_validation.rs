@@ -169,13 +169,15 @@ fn open_queries_agree() {
 fn fundamental_theorem_on_corpus() {
     let sig = Signature::graph();
     let corpus = sentence_corpus(&sig);
-    let structures = [builders::directed_cycle(4),
+    let structures = [
+        builders::directed_cycle(4),
         builders::directed_cycle(5),
         builders::directed_path(4),
         builders::undirected_cycle(4),
         builders::undirected_cycle(5),
         builders::complete_graph(4),
-        builders::empty_graph(4)];
+        builders::empty_graph(4),
+    ];
     for (i, a) in structures.iter().enumerate() {
         for b in &structures[i..] {
             for n in 1..=3u32 {

@@ -9,7 +9,9 @@ use fmt_core::games::closed_form;
 use fmt_core::games::solver::{rank, EfSolver};
 use fmt_core::locality::hanf;
 use fmt_core::logic::{library, parser::parse_formula};
-use fmt_core::proofs::{BndpCertificate, GaifmanCertificate, GameFamilyCertificate, HanfCertificate};
+use fmt_core::proofs::{
+    BndpCertificate, GaifmanCertificate, GameFamilyCertificate, HanfCertificate,
+};
 use fmt_core::queries::datalog::Program;
 use fmt_core::queries::{graph, reductions};
 use fmt_core::structures::{builders, Elem, Signature, Structure};
@@ -44,7 +46,9 @@ fn e1_combined_complexity_shape() {
     // k-path on an empty graph fails after scanning x0, x1: O(n^2)
     // regardless of k — so use nested ∀ instead for the k-blowup.
     let deep = |k: u32, n: u32| {
-        let mut f = fmt_core::logic::Formula::atom(e, &[fmt_core::logic::Var(0), fmt_core::logic::Var(0)]).not();
+        let mut f =
+            fmt_core::logic::Formula::atom(e, &[fmt_core::logic::Var(0), fmt_core::logic::Var(0)])
+                .not();
         for i in (0..k).rev() {
             f = fmt_core::logic::Formula::forall(fmt_core::logic::Var(i), f);
         }
@@ -62,7 +66,10 @@ fn e1_combined_complexity_shape() {
     assert!(r2 > 6.0 && r2 < 10.5, "cubic ratio ≈ 8, got {r2}");
     // Query-exponential: +1 rank multiplies work by ≈ n.
     let q = deep(3, 16) as f64 / deep(2, 16) as f64;
-    assert!(q > 10.0, "rank bump should multiply work by ≈ n = 16, got {q}");
+    assert!(
+        q > 10.0,
+        "rank bump should multiply work by ≈ n = 16, got {q}"
+    );
     let _ = (ops, ops_path);
 }
 
@@ -117,7 +124,14 @@ fn e3_theorem_3_1() {
     // Paper's instance for EVEN: L_{2^n} ≡_n L_{2^n + 1}.
     for n in 1..=4u32 {
         let m = 1u32 << n;
-        assert_eq!(rank(&builders::linear_order(m), &builders::linear_order(m + 1), n), n);
+        assert_eq!(
+            rank(
+                &builders::linear_order(m),
+                &builders::linear_order(m + 1),
+                n
+            ),
+            n
+        );
     }
 }
 
@@ -154,14 +168,8 @@ fn e6_tc_bndp() {
     let family: Vec<Structure> = (4..=11).map(builders::successor_chain).collect();
     let in_rel = family[0].signature().relation("S").unwrap();
     let out_rel = Signature::graph().relation("E").unwrap();
-    let cert = BndpCertificate::build(
-        "TC",
-        family,
-        in_rel,
-        out_rel,
-        graph::transitive_closure,
-    )
-    .unwrap();
+    let cert =
+        BndpCertificate::build("TC", family, in_rel, out_rel, graph::transitive_closure).unwrap();
     assert!(cert.check_with(graph::transitive_closure));
     // The paper's numbers: degs(S_n) ⊆ {0,1}, |degs(TC(S_n))| = n.
     for o in &cert.profile {
@@ -200,14 +208,9 @@ fn e8_tc_gaifman() {
         let e = t.signature().relation("E").unwrap();
         t.rel(e).iter().map(|x| x.to_vec()).collect()
     };
-    let cert = GaifmanCertificate::build(
-        "TC",
-        2,
-        |r| builders::directed_path(6 * r + 8),
-        tc_pairs,
-        3,
-    )
-    .unwrap();
+    let cert =
+        GaifmanCertificate::build("TC", 2, |r| builders::directed_path(6 * r + 8), tc_pairs, 3)
+            .unwrap();
     assert!(cert.check());
     // The discovered pairs have the paper's (a,b)/(b,a) structure: the
     // in-tuple is ordered along the chain, the out-tuple against it.
@@ -280,7 +283,9 @@ fn e10_hierarchy_consistency() {
     ] {
         let out: HashSet<Vec<Elem>> = relalg::answers(&s, &q).into_iter().collect();
         // FO-definable ⇒ Gaifman-local at radius qr (here 2 suffices).
-        assert!(fmt_core::locality::gaifman_local::is_local_at(&s, &out, 2, 2));
+        assert!(fmt_core::locality::gaifman_local::is_local_at(
+            &s, &out, 2, 2
+        ));
     }
 }
 
@@ -313,7 +318,12 @@ fn e11_bounded_degree_correctness() {
         family.push(builders::random_bounded_degree_graph(20, 3, &mut rng));
     }
     for s in &family {
-        assert_eq!(ev.evaluate(s), naive::check_sentence(s, &f), "n = {}", s.size());
+        assert_eq!(
+            ev.evaluate(s),
+            naive::check_sentence(s, &f),
+            "n = {}",
+            s.size()
+        );
     }
     assert!(ev.stats.table_hits > 0, "some census reuse expected");
 }
@@ -322,11 +332,8 @@ fn e11_bounded_degree_correctness() {
 #[test]
 fn e12_basic_local_sentences() {
     let sig = Signature::graph();
-    let has_two_neighbors = parse_formula(
-        &sig,
-        "x = x & exists y z. !(y = z) & E(x,y) & E(x,z)",
-    )
-    .unwrap();
+    let has_two_neighbors =
+        parse_formula(&sig, "x = x & exists y z. !(y = z) & E(x,y) & E(x,z)").unwrap();
     let b = fmt_core::eval::local::BasicLocalSentence::new(2, 1, has_two_neighbors).unwrap();
     // Direct FO: two branch vertices at distance > 2.
     let direct = parse_formula(
@@ -359,8 +366,14 @@ fn e12_basic_local_sentences() {
 fn e13_zero_one_law() {
     let sig = Signature::graph();
     let e = sig.relation("E").unwrap();
-    assert!(!zeroone::decide_mu(&sig, &library::q1_all_pairs_adjacent(e)));
-    assert!(zeroone::decide_mu(&sig, &library::q2_distinguishing_neighbor(e)));
+    assert!(!zeroone::decide_mu(
+        &sig,
+        &library::q1_all_pairs_adjacent(e)
+    ));
+    assert!(zeroone::decide_mu(
+        &sig,
+        &library::q2_distinguishing_neighbor(e)
+    ));
     // μ_n(Q1) exact at tiny n decreases fast.
     let q1 = library::q1_all_pairs_adjacent(e);
     let m2 = zeroone::mu_exact(&sig, 2, &q1);
@@ -470,8 +483,7 @@ fn datalog_cross_validation() {
         assert_eq!(a.relation(tc), b.relation(tc));
         let reference = graph::transitive_closure(&s);
         let e = reference.signature().relation("E").unwrap();
-        let expected: HashSet<Vec<Elem>> =
-            reference.rel(e).iter().map(|t| t.to_vec()).collect();
+        let expected: HashSet<Vec<Elem>> = reference.rel(e).iter().map(|t| t.to_vec()).collect();
         assert_eq!(a.relation(tc), &expected);
     }
 }

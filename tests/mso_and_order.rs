@@ -6,8 +6,8 @@ use fmt_core::games::parallel::{duplicator_wins_parallel, rank_parallel};
 use fmt_core::games::solver::{rank, EfSolver};
 use fmt_core::logic::mso::{mso_bipartite, mso_connectivity, mso_reachable, MsoFormula};
 use fmt_core::logic::parser::parse_formula;
-use fmt_core::queries::order_invariant::{self, Invariance};
 use fmt_core::queries::graph;
+use fmt_core::queries::order_invariant::{self, Invariance};
 use fmt_core::structures::{builders, Signature};
 
 /// E17 — MSO defines the queries Corollary 3.2 proves FO cannot.
@@ -37,7 +37,10 @@ fn e17_mso_defines_non_fo_queries() {
     // Bipartiteness: complete bipartite graphs yes, odd cycles no,
     // hypercubes yes.
     let bip = mso_bipartite(e);
-    assert!(mso::check_sentence(&builders::complete_bipartite(3, 3), &bip));
+    assert!(mso::check_sentence(
+        &builders::complete_bipartite(3, 3),
+        &bip
+    ));
     assert!(mso::check_sentence(&builders::hypercube(3), &bip));
     assert!(!mso::check_sentence(&builders::undirected_cycle(7), &bip));
     assert!(!mso::check_sentence(&builders::complete_graph(3), &bip));

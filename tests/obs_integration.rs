@@ -1,0 +1,114 @@
+//! Cross-crate tests of the `fmt-obs` instrumentation layer: the
+//! counters the engines report must match what the algorithms provably
+//! do, not merely be nonzero.
+//!
+//! The registry is process-global, so every test that enables it holds
+//! `OBS_LOCK` for its whole body and resets the registry at the start.
+
+use fmt_core::queries::datalog::Program;
+use fmt_core::structures::builders;
+use fmt_games::parallel::duplicator_wins_parallel;
+use std::sync::Mutex;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn datalog_fixpoint_counts_are_exact() {
+    let _g = locked();
+    fmt_obs::enable();
+    fmt_obs::reset();
+
+    // TC on the directed path 0 → 1 → ⋯ → 5. Semi-naive evaluation
+    // seeds Δ₀ with the 5 edges, then each round extends paths by one
+    // edge: |Δ| = 5, 4, 3, 2, 1, and a final empty delta stops the
+    // loop. That is 6 rounds and 5+4+3+2+1+0 = 15 delta facts.
+    let s = builders::directed_path(6);
+    let out = Program::transitive_closure().eval_seminaive(&s);
+    assert_eq!(out.relation(0).len(), 15); // C(6,2) pairs i < j
+
+    let snap = fmt_obs::snapshot();
+    assert_eq!(snap.counter("queries.datalog.rounds"), Some(6));
+    assert_eq!(snap.counter("queries.datalog.delta_facts"), Some(15));
+    let h = snap
+        .histogram("queries.datalog.delta_size")
+        .expect("delta sizes recorded");
+    assert_eq!(h.count, 6);
+    assert_eq!(h.sum, 15);
+    assert_eq!(h.max, 5);
+}
+
+#[test]
+fn parallel_solver_counts_every_first_move() {
+    let _g = locked();
+    fmt_obs::enable();
+    fmt_obs::reset();
+
+    // L_8 vs L_8: isomorphic, so no worker ever refutes and all
+    // 8 + 8 = 16 first moves are fully explored.
+    let a = builders::linear_order(8);
+    let b = builders::linear_order(8);
+    assert!(duplicator_wins_parallel(&a, &b, 3, 4));
+
+    let snap = fmt_obs::snapshot();
+    assert_eq!(snap.counter("games.parallel.first_moves"), Some(16));
+    // No worker refuted, so nothing was cancelled (the counter may not
+    // even have registered yet — registration is lazy on first use).
+    assert_eq!(snap.counter("games.parallel.cancellations").unwrap_or(0), 0);
+    // The workers' solvers share the global counters: concurrent
+    // increments from 4 threads must not lose updates.
+    let expanded = snap
+        .counter("games.solver.positions_expanded")
+        .expect("solver ran");
+    assert!(expanded >= 16, "expanded only {expanded} positions");
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let _g = locked();
+    fmt_obs::enable();
+    fmt_obs::reset();
+    fmt_obs::disable();
+
+    let s = builders::directed_path(4);
+    let _ = Program::transitive_closure().eval_seminaive(&s);
+    let a = builders::linear_order(3);
+    assert!(duplicator_wins_parallel(&a, &a, 2, 2));
+
+    // `reset` zeroes but keeps registrations, so previously used metric
+    // names may still appear — every value must be zero, though.
+    let snap = fmt_obs::snapshot();
+    for row in snap.rows() {
+        assert_eq!(
+            row[1], "0",
+            "disabled registry recorded {}={}",
+            row[0], row[1]
+        );
+    }
+    fmt_obs::enable();
+}
+
+#[test]
+fn snapshot_reset_roundtrip_is_deterministic() {
+    let _g = locked();
+    fmt_obs::enable();
+    fmt_obs::reset();
+
+    let s = builders::directed_path(5);
+    let prog = Program::transitive_closure();
+    let _ = prog.eval_seminaive(&s);
+    let first = fmt_obs::snapshot();
+
+    fmt_obs::reset();
+    let zeroed = fmt_obs::snapshot();
+    assert!(zeroed.rows().iter().all(|r| r[1] == "0"));
+
+    // The same run after a reset reports the same numbers.
+    let _ = prog.eval_seminaive(&s);
+    let second = fmt_obs::snapshot();
+    assert_eq!(first.rows(), second.rows());
+    assert_eq!(first.to_json(), second.to_json());
+}

@@ -45,11 +45,10 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
         Just(Formula::True),
         Just(Formula::False),
-        (var.clone(), var.clone())
-            .prop_map(move |(x, y)| Formula::Atom {
-                rel: e,
-                args: vec![Term::Var(x), Term::Var(y)],
-            }),
+        (var.clone(), var.clone()).prop_map(move |(x, y)| Formula::Atom {
+            rel: e,
+            args: vec![Term::Var(x), Term::Var(y)],
+        }),
         (var.clone(), var.clone()).prop_map(|(x, y)| Formula::eq_vars(x, y)),
     ];
     leaf.prop_recursive(4, 24, 3, move |inner| {

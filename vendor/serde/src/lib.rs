@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! macro namespaces so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(...)]` compiles unchanged. The derives are no-ops; the
+//! `derive` and `rc` features exist only so feature lists written for
+//! the real crate keep resolving.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace annotates types with `derive(Serialize, Deserialize)`
+//! and `#[serde(...)]` field attributes but never serializes at
+//! runtime, so these derives expand to nothing. Registering `serde` as
+//! a helper attribute keeps `#[serde(skip, default)]`-style annotations
+//! compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
