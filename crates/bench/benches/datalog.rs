@@ -20,6 +20,9 @@ fn tc_chain(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
             b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
         });
+        g.bench_with_input(BenchmarkId::new("seminaive_scan", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations))
+        });
         g.bench_with_input(BenchmarkId::new("bfs_reference", n), &n, |b, _| {
             b.iter(|| black_box(graph::transitive_closure(&s).num_tuples()))
         });
@@ -38,6 +41,12 @@ fn same_generation_trees(c: &mut Criterion) {
         });
         g.bench_with_input(BenchmarkId::new("seminaive", d), &d, |b, _| {
             b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive_scan", d), &d, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations))
+        });
+        g.bench_with_input(BenchmarkId::new("seminaive_1_thread", d), &d, |b, _| {
+            b.iter(|| black_box(prog.eval_seminaive_with(&s, 1).derivations))
         });
     }
     g.finish();

@@ -34,7 +34,7 @@ fn usage() -> String {
      fmtk game   <A> <B> [--rounds N]\n  \
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
-     fmtk datalog <structure> <program-file>\n  \
+     fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N]\n  \
      fmtk sample\n\
      global flags:\n  \
      --stats [text|json]   print engine counters after the command\n\
@@ -218,14 +218,24 @@ fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_datalog(args: &[String]) -> Result<String, String> {
-    reject_unknown_flags(args)?;
-    let [spath, ppath] = args else {
+    let mut args = args.to_vec();
+    let threads: usize = flag_value(&mut args, "--threads")?
+        .map(|v| v.parse().map_err(|_| format!("bad thread count {v:?}")))
+        .transpose()?
+        .unwrap_or(0);
+    let engine = flag_value(&mut args, "--engine")?.unwrap_or_else(|| "indexed".to_owned());
+    reject_unknown_flags(&args)?;
+    let [spath, ppath] = &args[..] else {
         return Err(usage());
     };
     let s = load_structure(spath)?;
     let src = read_input(ppath)?;
     let prog = Program::parse(s.signature(), &src)?;
-    let out = prog.eval_seminaive(&s);
+    let out = match engine.as_str() {
+        "indexed" => prog.eval_seminaive_with(&s, threads),
+        "scan" => prog.eval_seminaive_scan(&s),
+        other => return Err(format!("unknown engine {other:?} (use scan|indexed)")),
+    };
     let mut text = String::new();
     for i in 0..prog.num_idbs() {
         let (name, arity) = prog.idb_info(i);

@@ -121,6 +121,47 @@ fn datalog_tc() {
 }
 
 #[test]
+fn datalog_engine_and_threads_flags() {
+    let s = write_temp("p4.st", "size: 4\nE(0,1)\nE(1,2)\nE(2,3)\n");
+    let prog = write_temp("tc2.dl", "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).");
+    let mut outputs = Vec::new();
+    for extra in [
+        &["--engine", "scan"][..],
+        &["--engine", "indexed"][..],
+        &["--threads", "2"][..],
+    ] {
+        let out = fmtk()
+            .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    // Same program, same answers and counters, whatever the engine.
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+    assert!(outputs[0].contains("tc/2: 6 tuples"), "{}", outputs[0]);
+
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--engine",
+            "quantum",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}
+
+#[test]
 fn stdin_structure() {
     let mut child = fmtk()
         .args(["check", "-", "exists x y. E(x, y)"])

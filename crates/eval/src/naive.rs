@@ -8,7 +8,8 @@
 //! experiment E1.
 
 use fmt_logic::{Formula, Query, Term, Var};
-use fmt_structures::{Elem, Structure};
+use fmt_structures::index;
+use fmt_structures::{Elem, RelId, Structure};
 
 /// Quantifier nodes entered (each loops over the whole domain).
 static OBS_QUANTIFIERS: fmt_obs::Counter = fmt_obs::Counter::new("eval.naive.quantifier_nodes");
@@ -97,6 +98,15 @@ impl<'a> NaiveEvaluator<'a> {
             Formula::Iff(a, b) => self.eval(a, env) == self.eval(b, env),
             Formula::Exists(v, g) => {
                 OBS_QUANTIFIERS.incr();
+                // ∃v over a bare positive atom mentioning v: the
+                // witnesses are exactly the matching tuples, so scan (a
+                // sorted prefix range of) the relation instead of the
+                // whole domain.
+                if let Formula::Atom { rel, args } = g.as_ref() {
+                    if args.iter().any(|t| matches!(t, Term::Var(w) if w == v)) {
+                        return self.exists_atom(*rel, args, *v, env);
+                    }
+                }
                 let mut found = false;
                 let old = env.bind(*v, 0);
                 for d in self.structure.domain() {
@@ -126,6 +136,41 @@ impl<'a> NaiveEvaluator<'a> {
                 all
             }
         }
+    }
+
+    /// Decides `∃v R(t̄)` where `v` occurs in `t̄`: every argument other
+    /// than `v` is already bound, so the satisfying tuples are found by
+    /// scanning the relation — narrowed to a sorted prefix range when
+    /// the arguments before the first occurrence of `v` are bound.
+    fn exists_atom(&mut self, rel: RelId, args: &[Term], v: Var, env: &mut Env) -> bool {
+        let r = self.structure.rel(rel);
+        let mut prefix: Vec<Elem> = Vec::new();
+        for t in args {
+            match t {
+                Term::Var(w) if *w == v => break,
+                other => prefix.push(self.term(other, env)),
+            }
+        }
+        'tuples: for row in index::probe_prefix(r, &prefix) {
+            self.ops += 1;
+            let mut witness: Option<Elem> = None;
+            for (i, t) in args.iter().enumerate() {
+                match t {
+                    Term::Var(w) if *w == v => match witness {
+                        None => witness = Some(row[i]),
+                        Some(prev) if prev != row[i] => continue 'tuples,
+                        _ => {}
+                    },
+                    other => {
+                        if self.term(other, env) != row[i] {
+                            continue 'tuples;
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        false
     }
 }
 
@@ -333,6 +378,19 @@ mod tests {
         b.eval(&deep3, &mut Env::for_formula(&deep3));
         assert!(b.ops > a.ops * 5, "ops {} vs {}", b.ops, a.ops);
         let _ = (ops2, ev3);
+    }
+
+    #[test]
+    fn exists_atom_fast_path() {
+        let sig = graph_sig();
+        // Both shapes route through the relation-scan fast path: a bound
+        // prefix (E(x, y)) and a repeated quantified variable (E(y, y)).
+        let q = Query::parse(&sig, "exists y. E(x, y)").unwrap();
+        let s = builders::directed_path(5);
+        assert_eq!(answers(&s, &q), vec![vec![0], vec![1], vec![2], vec![3]]);
+        let loops = parse_formula(&sig, "exists y. E(y, y)").unwrap();
+        assert!(!check_sentence(&s, &loops));
+        assert!(check_sentence(&builders::directed_cycle(1), &loops));
     }
 
     #[test]

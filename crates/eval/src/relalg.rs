@@ -11,6 +11,7 @@
 //! bounded-degree evaluator and circuit compiler are validated against.
 
 use fmt_logic::{nf, Formula, Query, Term, Var};
+use fmt_structures::index::{self, TupleIndex};
 use fmt_structures::{Elem, Structure};
 use std::collections::HashSet;
 
@@ -71,39 +72,69 @@ impl Table {
     }
 
     /// Extends the schema with missing variables, crossing with the full
-    /// domain `0..n` for each.
+    /// domain `0..n` for each — in one pass over the rows, emitting each
+    /// output row directly in the target column order (rather than
+    /// materializing an intermediate row set per added variable).
     fn extend_to(&self, target: &[Var], n: u32) -> Table {
         debug_assert!(target.windows(2).all(|w| w[0] < w[1]));
         if target == self.vars.as_slice() {
             return self.clone();
         }
-        let mut rows: HashSet<Vec<Elem>> = self.rows.clone();
-        let mut vars = self.vars.clone();
+        // Each target column is either an existing column or the next
+        // fresh domain-valued one.
+        enum Src {
+            Old(usize),
+            Fresh(usize),
+        }
+        let mut src: Vec<Src> = Vec::with_capacity(target.len());
+        let mut fresh = 0usize;
         for &v in target {
-            if !vars.contains(&v) {
-                let mut next = HashSet::with_capacity(rows.len() * n as usize);
-                for r in &rows {
-                    for d in 0..n {
-                        let mut r2 = r.clone();
-                        r2.push(d);
-                        next.insert(r2);
-                    }
+            match self.vars.binary_search(&v) {
+                Ok(i) => src.push(Src::Old(i)),
+                Err(_) => {
+                    src.push(Src::Fresh(fresh));
+                    fresh += 1;
                 }
-                rows = next;
-                vars.push(v);
             }
         }
-        // Re-sort columns to the canonical sorted order.
-        let mut order: Vec<usize> = (0..vars.len()).collect();
-        order.sort_by_key(|&i| vars[i]);
-        let sorted_vars: Vec<Var> = order.iter().map(|&i| vars[i]).collect();
-        debug_assert_eq!(sorted_vars, target);
-        let rows = rows
-            .into_iter()
-            .map(|r| order.iter().map(|&i| r[i]).collect())
-            .collect();
+        if fresh > 0 && n == 0 {
+            return Table {
+                vars: target.to_vec(),
+                rows: HashSet::new(),
+            };
+        }
+        // Odometer over the fresh columns; returns false on wrap-around.
+        fn bump(assign: &mut [Elem], n: u32) -> bool {
+            for a in assign.iter_mut().rev() {
+                *a += 1;
+                if *a < n {
+                    return true;
+                }
+                *a = 0;
+            }
+            false
+        }
+        let combos = (n as usize).saturating_pow(fresh as u32);
+        let mut rows: HashSet<Vec<Elem>> =
+            HashSet::with_capacity(self.rows.len().saturating_mul(combos));
+        let mut assign = vec![0 as Elem; fresh];
+        for r in &self.rows {
+            loop {
+                rows.insert(
+                    src.iter()
+                        .map(|c| match *c {
+                            Src::Old(i) => r[i],
+                            Src::Fresh(j) => assign[j],
+                        })
+                        .collect(),
+                );
+                if !bump(&mut assign, n) {
+                    break;
+                }
+            }
+        }
         Table {
-            vars: sorted_vars,
+            vars: target.to_vec(),
             rows,
         }
     }
@@ -129,13 +160,13 @@ impl Table {
             .filter(|i| !other_shared.contains(i))
             .collect();
 
-        // Hash the smaller side on the shared key.
-        use std::collections::HashMap;
-        let mut index: HashMap<Vec<Elem>, Vec<&Vec<Elem>>> = HashMap::new();
-        for r in &other.rows {
-            let key: Vec<Elem> = other_shared.iter().map(|&i| r[i]).collect();
-            index.entry(key).or_default().push(r);
-        }
+        // Hash-index `other` on the shared key (the same index structure
+        // the Datalog join engine probes).
+        let index = TupleIndex::build(
+            other.vars.len(),
+            &other_shared,
+            other.rows.iter().map(Vec::as_slice),
+        );
 
         let mut vars: Vec<Var> = self.vars.clone();
         vars.extend(other_extra.iter().map(|&i| other.vars[i]));
@@ -144,15 +175,15 @@ impl Table {
         let out_vars: Vec<Var> = order.iter().map(|&i| vars[i]).collect();
 
         let mut rows = HashSet::new();
+        let mut key: Vec<Elem> = Vec::with_capacity(self_shared.len());
         for r in &self.rows {
-            let key: Vec<Elem> = self_shared.iter().map(|&i| r[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for m in matches {
-                    let mut combined: Vec<Elem> = r.clone();
-                    combined.extend(other_extra.iter().map(|&i| m[i]));
-                    let sorted: Vec<Elem> = order.iter().map(|&i| combined[i]).collect();
-                    rows.insert(sorted);
-                }
+            key.clear();
+            key.extend(self_shared.iter().map(|&i| r[i]));
+            for m in index.probe(&key) {
+                let mut combined: Vec<Elem> = r.clone();
+                combined.extend(other_extra.iter().map(|&i| m[i]));
+                let sorted: Vec<Elem> = order.iter().map(|&i| combined[i]).collect();
+                rows.insert(sorted);
             }
         }
         Table {
@@ -332,8 +363,17 @@ fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table
     let mut vars: Vec<Var> = args.iter().filter_map(Term::as_var).collect();
     vars.sort_unstable();
     vars.dedup();
+    // A leading run of constant arguments narrows the scan to a sorted
+    // prefix range of the relation instead of the full extent.
+    let prefix: Vec<Elem> = args
+        .iter()
+        .map_while(|a| match a {
+            Term::Const(c) => Some(s.constant(*c)),
+            Term::Var(_) => None,
+        })
+        .collect();
     let mut rows = HashSet::new();
-    'tuples: for t in s.rel(rel).iter() {
+    'tuples: for t in index::probe_prefix(s.rel(rel), &prefix) {
         // Check constants and repeated-variable consistency.
         let mut assignment: Vec<Option<Elem>> = vec![None; vars.len()];
         for (i, a) in args.iter().enumerate() {

@@ -3,15 +3,17 @@
 //! The top level of the game tree is embarrassingly parallel: the
 //! duplicator wins `Gₙ(A, B)` iff **every** spoiler first move has a
 //! winning reply, and those first moves are independent. This module
-//! fans the first moves out over scoped threads (each worker owns its
-//! own memoized [`EfSolver`]), with early cancellation as soon as one
-//! unanswerable move is found.
+//! fans the first moves out over scoped threads via
+//! [`fmt_structures::par::fan_out`] (each worker owns its own memoized
+//! [`EfSolver`]), with early cancellation as soon as one unanswerable
+//! move is found.
 //!
 //! Worth it only when single positions are expensive (larger
 //! structures, deeper games); the `ef_games` bench compares. Results
 //! are bit-for-bit identical to the serial solver (asserted in tests).
 
 use crate::solver::{EfSolver, Side};
+use fmt_structures::par::fan_out;
 use fmt_structures::{Elem, Structure};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -48,31 +50,21 @@ pub fn duplicator_wins_parallel(a: &Structure, b: &Structure, rounds: u32, threa
     }
 
     let refuted = AtomicBool::new(false);
-    let chunk = moves.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for work in moves.chunks(chunk) {
-            let refuted = &refuted;
-            handles.push(scope.spawn(move || {
-                let mut solver = EfSolver::new(a, b);
-                for &(side, x) in work {
-                    if refuted.load(Ordering::Relaxed) {
-                        OBS_CANCELLED.incr();
-                        return;
-                    }
-                    OBS_FIRST_MOVES.incr();
-                    if solver
-                        .reply_for(&initial_pairs(a, b), rounds, side, x)
-                        .is_none()
-                    {
-                        refuted.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                }
-            }));
-        }
-        for h in handles {
-            h.join().expect("worker panicked");
+    fan_out(threads, &moves, |work| {
+        let mut solver = EfSolver::new(a, b);
+        for &(side, x) in work {
+            if refuted.load(Ordering::Relaxed) {
+                OBS_CANCELLED.incr();
+                return;
+            }
+            OBS_FIRST_MOVES.incr();
+            if solver
+                .reply_for(&initial_pairs(a, b), rounds, side, x)
+                .is_none()
+            {
+                refuted.store(true, Ordering::Relaxed);
+                return;
+            }
         }
     });
     !refuted.load(Ordering::Relaxed)

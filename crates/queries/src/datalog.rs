@@ -1,4 +1,5 @@
-//! A Datalog engine with naive and semi-naive evaluation.
+//! A Datalog engine with naive, semi-naive, and indexed/parallel
+//! semi-naive evaluation.
 //!
 //! The survey's same-generation example is a Datalog program:
 //!
@@ -17,16 +18,28 @@
 //!
 //! * EDB predicates are the relations of the input structure, matched
 //!   by name case-insensitively (`e` ↦ relation `E`);
+//! * nullary predicates are written `p` or `p()`;
 //! * head variables not bound by the body range over the **whole
 //!   domain** (the paper's `sg(x, x) :-` fact means "for every element
 //!   x"), which relaxes the usual range-restriction requirement;
 //! * [`Program::eval_naive`] recomputes all rules to fixpoint;
 //!   [`Program::eval_seminaive`] focuses each recursive rule on the
-//!   latest delta — same fixpoint, far fewer rule instantiations
-//!   (measured in the `datalog` bench).
+//!   latest delta — same fixpoint, far fewer rule instantiations.
+//!
+//! Evaluation engine (see `docs/join-engine.md`): rule bodies are
+//! joined in a greedy order (most-bound, smallest-extent atom first)
+//! and bound-position lookups probe hash or sorted-prefix indexes from
+//! [`fmt_structures::index`] instead of rescanning extents; semi-naive
+//! rounds fan the per-rule delta applications out across scoped worker
+//! threads with hash-sharded deltas. The original written-order
+//! nested-loop evaluator survives as
+//! [`Program::eval_seminaive_scan`] — the baseline the `datalog` bench
+//! and the `queries.index.*` counters are compared against.
 
+use fmt_structures::index::{self, TupleIndex};
+use fmt_structures::par::fan_out;
 use fmt_structures::{Elem, RelId, Signature, Structure};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Fixpoint rounds of semi-naive evaluation (the initialization pass
 /// counts as round one, mirroring `Output::iterations`).
@@ -37,6 +50,17 @@ static OBS_DELTA_FACTS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalo
 static OBS_DELTA_SIZE: fmt_obs::Histogram = fmt_obs::Histogram::new("queries.datalog.delta_size");
 /// Fixpoint rounds of the naive reference evaluator.
 static OBS_NAIVE_ROUNDS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.naive_rounds");
+/// Tuples visited by the written-order nested-loop join of the scan
+/// evaluator ([`Program::eval_seminaive_scan`]) — the "old scan
+/// counter" the indexed engine's `queries.index.probes` is measured
+/// against.
+static OBS_SCAN_TUPLES: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.scan_tuples");
+/// Per-job fill of the fullest delta shard, as a percentage of the
+/// ideal (perfectly balanced) shard size; 100 means perfectly even.
+static OBS_SHARD_IMBALANCE: fmt_obs::Histogram =
+    fmt_obs::Histogram::new("queries.datalog.shard_imbalance");
+/// Rule×delta applications dispatched to parallel workers.
+static OBS_PAR_JOBS: fmt_obs::Counter = fmt_obs::Counter::new("queries.datalog.parallel_jobs");
 
 /// A Datalog variable (local to a rule).
 type DlVar = u32;
@@ -87,6 +111,10 @@ pub struct Output {
     pub iterations: usize,
     /// Tuples produced across all rule applications (incl. duplicates).
     pub derivations: u64,
+    /// New facts added per fixpoint round (summed over all IDB
+    /// predicates), including the final round that added nothing. The
+    /// perf harness uses this to model the scan engine's cost exactly.
+    pub delta_history: Vec<u64>,
 }
 
 impl Output {
@@ -96,11 +124,16 @@ impl Output {
     }
 }
 
+fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 impl Program {
     /// Parses a program; each line is `head :- a1, a2, ... .` or a
     /// body-less `head.` / `head :- .`. Predicates matching a relation
     /// name of `sig` (case-insensitively) are EDB; all others must
-    /// appear in some head and are IDB.
+    /// appear in some head and are IDB. Nullary atoms are written `p`
+    /// or `p()`.
     pub fn parse(sig: &std::sync::Arc<Signature>, src: &str) -> Result<Program, String> {
         struct RawAtom {
             pred: String,
@@ -108,7 +141,17 @@ impl Program {
         }
         fn parse_atom(t: &str) -> Result<RawAtom, String> {
             let t = t.trim();
-            let open = t.find('(').ok_or_else(|| format!("missing '(' in {t:?}"))?;
+            let Some(open) = t.find('(') else {
+                // No argument list at all: a nullary atom, provided the
+                // whole token is a plain identifier.
+                if is_ident(t) {
+                    return Ok(RawAtom {
+                        pred: t.to_owned(),
+                        args: Vec::new(),
+                    });
+                }
+                return Err(format!("missing '(' in {t:?}"));
+            };
             let close = t
                 .rfind(')')
                 .ok_or_else(|| format!("missing ')' in {t:?}"))?;
@@ -116,10 +159,15 @@ impl Program {
             if pred.is_empty() {
                 return Err(format!("empty predicate name in {t:?}"));
             }
-            let args = t[open + 1..close]
-                .split(',')
-                .map(|a| a.trim().to_owned())
-                .collect::<Vec<_>>();
+            let inner = t[open + 1..close].trim();
+            let args = if inner.is_empty() {
+                Vec::new() // `p()` is the explicit nullary form
+            } else {
+                inner
+                    .split(',')
+                    .map(|a| a.trim().to_owned())
+                    .collect::<Vec<_>>()
+            };
             if args.iter().any(String::is_empty) {
                 return Err(format!("empty argument in {t:?}"));
             }
@@ -294,53 +342,257 @@ impl Program {
         );
     }
 
+    fn new_store(&self) -> Vec<IdbRel> {
+        self.idb_arity.iter().map(|&a| IdbRel::new(a)).collect()
+    }
+
     /// Naive bottom-up evaluation: apply every rule on the full IDB
-    /// extent until nothing new is derived.
+    /// extent until nothing new is derived. Rule bodies are joined in
+    /// greedy index-probing order (same answers as written order).
     pub fn eval_naive(&self, s: &Structure) -> Output {
         self.check_structure(s);
-        let mut rel: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); self.idb_names.len()];
+        let mut store = self.new_store();
+        let mut edb = EdbCache::default();
+        let no_driver: Vec<&Vec<Elem>> = Vec::new();
         let mut iterations = 0;
         let mut derivations = 0u64;
+        let mut delta_history = Vec::new();
         loop {
             iterations += 1;
             OBS_NAIVE_ROUNDS.incr();
             let mut new_tuples: Vec<(usize, Vec<Elem>)> = Vec::new();
             for rule in &self.rules {
-                self.apply_rule(s, rule, &rel, None, &mut |idb, t| {
+                let plan = plan_rule(rule, None, s, &store);
+                ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                let ctx = ExecCtx {
+                    s,
+                    rule,
+                    plan: &plan,
+                    edb: &edb,
+                    store: &store,
+                    driver: &no_driver,
+                    head_idb: head_idb(rule),
+                };
+                let mut binding = vec![None; rule_num_vars(rule)];
+                exec(&ctx, 0, &mut binding, &mut |idb, t| {
                     derivations += 1;
-                    if !rel[idb].contains(&t) {
+                    if !store[idb].set.contains(&t) {
                         new_tuples.push((idb, t));
                     }
                 });
             }
-            let mut changed = false;
+            let mut added = 0u64;
             for (idb, t) in new_tuples {
-                changed |= rel[idb].insert(t);
+                added += u64::from(store[idb].add(t));
             }
-            if !changed {
+            delta_history.push(added);
+            if added == 0 {
                 break;
             }
         }
         Output {
-            relations: rel,
+            relations: store.into_iter().map(|r| r.set).collect(),
             iterations,
             derivations,
+            delta_history,
         }
     }
 
-    /// Semi-naive evaluation: recursive rules are re-applied with one
-    /// IDB body atom restricted to the last iteration's delta.
+    /// Semi-naive evaluation with the indexed, join-ordered, parallel
+    /// engine and an automatic worker count
+    /// (`min(available_parallelism, 8)`).
     pub fn eval_seminaive(&self, s: &Structure) -> Output {
+        self.eval_seminaive_with(s, 0)
+    }
+
+    /// Semi-naive evaluation: recursive rules are re-applied with one
+    /// IDB body atom restricted to the last iteration's delta, joined
+    /// in greedy index-probing order, with the per-round rule×delta
+    /// applications hash-sharded across `threads` scoped workers
+    /// (`0` = automatic). Small rounds run inline — sharding only pays
+    /// once a round carries enough delta tuples.
+    pub fn eval_seminaive_with(&self, s: &Structure, threads: usize) -> Output {
+        self.check_structure(s);
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            threads
+        };
+        let k = self.idb_names.len();
+        let mut store = self.new_store();
+        let mut edb = EdbCache::default();
+        let no_driver: Vec<&Vec<Elem>> = Vec::new();
+        let mut derivations = 0u64;
+
+        // Initialization: all rules on the empty IDB extent (only rules
+        // whose bodies need no IDB facts fire). Cheap — run inline.
+        let mut delta: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
+        let mut delta_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+        for rule in &self.rules {
+            let plan = plan_rule(rule, None, s, &store);
+            ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+            let ctx = ExecCtx {
+                s,
+                rule,
+                plan: &plan,
+                edb: &edb,
+                store: &store,
+                driver: &no_driver,
+                head_idb: head_idb(rule),
+            };
+            let mut binding = vec![None; rule_num_vars(rule)];
+            exec(&ctx, 0, &mut binding, &mut |idb, t| {
+                derivations += 1;
+                if delta_set[idb].insert(t.clone()) {
+                    delta[idb].push(t);
+                }
+            });
+        }
+        for (j, d) in delta.iter().enumerate() {
+            for t in d {
+                store[j].add(t.clone());
+            }
+        }
+        let initial_facts: usize = delta.iter().map(Vec::len).sum();
+        OBS_ROUNDS.incr();
+        OBS_DELTA_FACTS.add(initial_facts as u64);
+        OBS_DELTA_SIZE.record(initial_facts as u64);
+        let mut delta_history = vec![initial_facts as u64];
+
+        let mut iterations = 1;
+        while delta.iter().any(|d| !d.is_empty()) {
+            iterations += 1;
+            OBS_ROUNDS.incr();
+
+            // One job per (rule, IDB body position) with a nonempty
+            // delta; plan first, then build every index the plans need
+            // so the fan-out below can share the caches immutably.
+            let mut jobs: Vec<(usize, usize)> = Vec::new();
+            let mut plans: Vec<Vec<Step>> = Vec::new();
+            for (ri, rule) in self.rules.iter().enumerate() {
+                for (pos, atom) in rule.body.iter().enumerate() {
+                    if let Pred::Idb(j) = atom.pred {
+                        if delta[j].is_empty() {
+                            continue;
+                        }
+                        let plan = plan_rule(rule, Some(pos), s, &store);
+                        ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                        jobs.push((ri, pos));
+                        plans.push(plan);
+                    }
+                }
+            }
+            OBS_PAR_JOBS.add(jobs.len() as u64);
+
+            // Hash-shard each job's delta; small rounds stay unsharded.
+            let total_delta: usize = delta.iter().map(Vec::len).sum();
+            let nshards = if threads == 1 || total_delta < 512 {
+                1
+            } else {
+                threads
+            };
+            let mut items: Vec<(usize, Vec<&Vec<Elem>>)> = Vec::new();
+            for (ji, &(ri, pos)) in jobs.iter().enumerate() {
+                let Pred::Idb(j) = self.rules[ri].body[pos].pred else {
+                    unreachable!("jobs are delta-driven")
+                };
+                let d = &delta[j];
+                if nshards == 1 {
+                    items.push((ji, d.iter().collect()));
+                    continue;
+                }
+                let mut shards: Vec<Vec<&Vec<Elem>>> = vec![Vec::new(); nshards];
+                for t in d {
+                    shards[shard_of(t, nshards)].push(t);
+                }
+                let ideal = d.len().div_ceil(nshards).max(1);
+                let fullest = shards.iter().map(Vec::len).max().unwrap_or(0);
+                OBS_SHARD_IMBALANCE.record((fullest * 100 / ideal) as u64);
+                items.extend(
+                    shards
+                        .into_iter()
+                        .filter(|sh| !sh.is_empty())
+                        .map(|sh| (ji, sh)),
+                );
+            }
+
+            // Fan out; each worker owns local buffers and pre-filters
+            // against the (frozen) total extent. Results merge in item
+            // order, so the engine is deterministic for any thread
+            // count.
+            let store_ref = &store;
+            let results = fan_out(threads, &items, |chunk| {
+                let mut derivs = 0u64;
+                let mut found: Vec<(usize, Vec<Elem>)> = Vec::new();
+                for (ji, shard) in chunk {
+                    let (ri, _) = jobs[*ji];
+                    let rule = &self.rules[ri];
+                    let ctx = ExecCtx {
+                        s,
+                        rule,
+                        plan: &plans[*ji],
+                        edb: &edb,
+                        store: store_ref,
+                        driver: shard,
+                        head_idb: head_idb(rule),
+                    };
+                    let mut binding = vec![None; rule_num_vars(rule)];
+                    exec(&ctx, 0, &mut binding, &mut |idb, t| {
+                        derivs += 1;
+                        if !store_ref[idb].set.contains(&t) {
+                            found.push((idb, t));
+                        }
+                    });
+                }
+                (derivs, found)
+            });
+
+            let mut next: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
+            let mut next_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+            for (derivs, found) in results {
+                derivations += derivs;
+                for (idb, t) in found {
+                    if next_set[idb].insert(t.clone()) {
+                        next[idb].push(t);
+                    }
+                }
+            }
+            for (j, d) in next.iter().enumerate() {
+                for t in d {
+                    store[j].add(t.clone());
+                }
+            }
+            let new_facts: usize = next.iter().map(Vec::len).sum();
+            OBS_DELTA_FACTS.add(new_facts as u64);
+            OBS_DELTA_SIZE.record(new_facts as u64);
+            delta_history.push(new_facts as u64);
+            delta = next;
+        }
+        Output {
+            relations: store.into_iter().map(|r| r.set).collect(),
+            iterations,
+            derivations,
+            delta_history,
+        }
+    }
+
+    /// Semi-naive evaluation by the original written-order nested-loop
+    /// join — no indexes, no reordering, no parallelism. Kept as the
+    /// measured baseline for the indexed engine (its per-tuple work is
+    /// the `queries.datalog.scan_tuples` counter).
+    pub fn eval_seminaive_scan(&self, s: &Structure) -> Output {
         self.check_structure(s);
         let k = self.idb_names.len();
         let mut total: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
         let mut derivations = 0u64;
 
-        // Initialization: all rules on the empty IDB extent (only rules
-        // whose bodies need no IDB facts fire).
+        // Initialization: all rules on the empty IDB extent.
         let mut delta: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
         for rule in &self.rules {
-            self.apply_rule(s, rule, &total, None, &mut |idb, t| {
+            self.apply_rule_scan(s, rule, &total, None, &mut |idb, t| {
                 derivations += 1;
                 delta[idb].insert(t);
             });
@@ -352,6 +604,7 @@ impl Program {
         OBS_ROUNDS.incr();
         OBS_DELTA_FACTS.add(initial_facts as u64);
         OBS_DELTA_SIZE.record(initial_facts as u64);
+        let mut delta_history = vec![initial_facts as u64];
 
         let mut iterations = 1;
         while delta.iter().any(|d| !d.is_empty()) {
@@ -366,12 +619,18 @@ impl Program {
                         if delta[j].is_empty() {
                             continue;
                         }
-                        self.apply_rule(s, rule, &total, Some((pos, &delta)), &mut |idb, t| {
-                            derivations += 1;
-                            if !total[idb].contains(&t) {
-                                next[idb].insert(t);
-                            }
-                        });
+                        self.apply_rule_scan(
+                            s,
+                            rule,
+                            &total,
+                            Some((pos, &delta)),
+                            &mut |idb, t| {
+                                derivations += 1;
+                                if !total[idb].contains(&t) {
+                                    next[idb].insert(t);
+                                }
+                            },
+                        );
                     }
                 }
             }
@@ -381,19 +640,22 @@ impl Program {
             let new_facts: usize = next.iter().map(HashSet::len).sum();
             OBS_DELTA_FACTS.add(new_facts as u64);
             OBS_DELTA_SIZE.record(new_facts as u64);
+            delta_history.push(new_facts as u64);
             delta = next;
         }
         Output {
             relations: total,
             iterations,
             derivations,
+            delta_history,
         }
     }
 
-    /// Applies one rule: joins the body against the given IDB extent
-    /// (with at most one atom redirected to a delta), emitting each head
-    /// instantiation. Unbound head variables range over the domain.
-    fn apply_rule(
+    /// Applies one rule by written-order nested loops: joins the body
+    /// against the given IDB extent (with at most one atom redirected
+    /// to a delta), emitting each head instantiation. Unbound head
+    /// variables range over the domain.
+    fn apply_rule_scan(
         &self,
         s: &Structure,
         rule: &Rule,
@@ -401,43 +663,8 @@ impl Program {
         delta: Option<(usize, &Vec<HashSet<Vec<Elem>>>)>,
         emit: &mut dyn FnMut(usize, Vec<Elem>),
     ) {
-        let num_vars = rule
-            .head
-            .args
-            .iter()
-            .chain(rule.body.iter().flat_map(|a| a.args.iter()))
-            .max()
-            .map_or(0, |&m| m as usize + 1);
-        let mut binding: Vec<Option<Elem>> = vec![None; num_vars];
-        let head_idb = match rule.head.pred {
-            Pred::Idb(i) => i,
-            Pred::Edb(_) => unreachable!("heads are IDB by construction"),
-        };
-
-        fn emit_head(
-            s: &Structure,
-            head: &Atom,
-            head_idb: usize,
-            binding: &mut Vec<Option<Elem>>,
-            unbound: &[DlVar],
-            i: usize,
-            emit: &mut dyn FnMut(usize, Vec<Elem>),
-        ) {
-            if i == unbound.len() {
-                let t: Vec<Elem> = head
-                    .args
-                    .iter()
-                    .map(|&v| binding[v as usize].expect("head var bound"))
-                    .collect();
-                emit(head_idb, t);
-                return;
-            }
-            for d in s.domain() {
-                binding[unbound[i] as usize] = Some(d);
-                emit_head(s, head, head_idb, binding, unbound, i + 1, emit);
-            }
-            binding[unbound[i] as usize] = None;
-        }
+        let mut binding: Vec<Option<Elem>> = vec![None; rule_num_vars(rule)];
+        let head = head_idb(rule);
 
         #[allow(clippy::too_many_arguments)] // internal join kernel
         fn match_body(
@@ -451,18 +678,7 @@ impl Program {
             emit: &mut dyn FnMut(usize, Vec<Elem>),
         ) {
             if pos == rule.body.len() {
-                // Body satisfied: instantiate remaining head variables.
-                let unbound: Vec<DlVar> = rule
-                    .head
-                    .args
-                    .iter()
-                    .copied()
-                    .filter(|&v| binding[v as usize].is_none())
-                    .collect();
-                let mut dedup = unbound.clone();
-                dedup.sort_unstable();
-                dedup.dedup();
-                emit_head(s, &rule.head, head_idb, binding, &dedup, 0, emit);
+                emit_head_unbound(s, rule, head_idb, binding, emit);
                 return;
             }
             let atom = &rule.body[pos];
@@ -493,7 +709,9 @@ impl Program {
             };
             match atom.pred {
                 Pred::Edb(r) => {
-                    for t in s.rel(r).iter() {
+                    let rel = s.rel(r);
+                    OBS_SCAN_TUPLES.add(rel.len() as u64);
+                    for t in rel.iter() {
                         try_tuple(t, binding, emit);
                     }
                 }
@@ -502,8 +720,7 @@ impl Program {
                         Some((dpos, d)) if dpos == pos => &d[j],
                         _ => &idb[j],
                     };
-                    // Clone-free iteration requires collecting refs; the
-                    // sets are borrowed immutably for the whole match.
+                    OBS_SCAN_TUPLES.add(source.len() as u64);
                     for t in source.iter() {
                         try_tuple(t, binding, emit);
                     }
@@ -511,8 +728,374 @@ impl Program {
             }
         }
 
-        match_body(s, rule, idb, delta, head_idb, 0, &mut binding, emit);
+        match_body(s, rule, idb, delta, head, 0, &mut binding, emit);
     }
+}
+
+// ---------------------------------------------------------------------
+// Indexed join engine: IDB store, plans, and the execution kernel
+// ---------------------------------------------------------------------
+
+/// The mutable extent of one IDB predicate during a fixpoint run:
+/// tuples in insertion order (for scans and index builds), a hash set
+/// (for dedup), and incrementally-maintained indexes keyed by
+/// bound-position subsets.
+#[derive(Debug)]
+struct IdbRel {
+    arity: usize,
+    tuples: Vec<Vec<Elem>>,
+    set: HashSet<Vec<Elem>>,
+    indexes: HashMap<Vec<usize>, TupleIndex>,
+}
+
+impl IdbRel {
+    fn new(arity: usize) -> IdbRel {
+        IdbRel {
+            arity,
+            tuples: Vec::new(),
+            set: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Inserts a tuple, keeping every existing index current. Returns
+    /// `false` on duplicates.
+    fn add(&mut self, t: Vec<Elem>) -> bool {
+        if !self.set.insert(t.clone()) {
+            return false;
+        }
+        for idx in self.indexes.values_mut() {
+            idx.insert(&t);
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    fn ensure_index(&mut self, key: &[usize]) {
+        if !self.indexes.contains_key(key) {
+            let idx = TupleIndex::build(self.arity, key, self.tuples.iter().map(Vec::as_slice));
+            self.indexes.insert(key.to_vec(), idx);
+        }
+    }
+
+    fn index(&self, key: &[usize]) -> &TupleIndex {
+        &self.indexes[key]
+    }
+}
+
+/// Lazily-built hash indexes over the (immutable) EDB relations,
+/// cached for a whole evaluation.
+#[derive(Debug, Default)]
+struct EdbCache {
+    cache: HashMap<(usize, Vec<usize>), TupleIndex>,
+}
+
+impl EdbCache {
+    fn ensure(&mut self, s: &Structure, r: RelId, key: &[usize]) {
+        self.cache.entry((r.0, key.to_vec())).or_insert_with(|| {
+            let rel = s.rel(r);
+            TupleIndex::build(rel.arity(), key, rel.iter())
+        });
+    }
+
+    fn get(&self, r: RelId, key: &[usize]) -> &TupleIndex {
+        &self.cache[&(r.0, key.to_vec())]
+    }
+}
+
+/// How one body atom is accessed by the join kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Access {
+    /// The delta-driver atom: iterate the (sharded) delta tuples.
+    ScanDelta,
+    /// No bound positions: iterate the full extent.
+    Scan,
+    /// EDB atom whose first `k` argument positions are bound: binary
+    /// prefix probe on the relation's sorted rows.
+    ProbePrefix(usize),
+    /// Hash-index probe on the given bound argument positions.
+    Probe(Vec<usize>),
+}
+
+/// One step of a rule plan: which body atom to join next, and how.
+#[derive(Debug, Clone)]
+struct Step {
+    atom: usize,
+    access: Access,
+}
+
+fn rule_num_vars(rule: &Rule) -> usize {
+    rule.head
+        .args
+        .iter()
+        .chain(rule.body.iter().flat_map(|a| a.args.iter()))
+        .max()
+        .map_or(0, |&m| m as usize + 1)
+}
+
+fn head_idb(rule: &Rule) -> usize {
+    match rule.head.pred {
+        Pred::Idb(i) => i,
+        Pred::Edb(_) => unreachable!("heads are IDB by construction"),
+    }
+}
+
+/// Greedy join order for one rule: the delta driver (if any) first,
+/// then repeatedly the atom with the most bound argument positions,
+/// breaking ties toward the smallest extent, then written order. Each
+/// chosen atom records how it will be accessed given what is bound.
+fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbRel]) -> Vec<Step> {
+    let num_vars = rule_num_vars(rule);
+    let mut bound = vec![false; num_vars];
+    let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+
+    let take = |i: usize, steps: &mut Vec<Step>, bound: &mut Vec<bool>, access: Access| {
+        steps.push(Step { atom: i, access });
+        for &v in &rule.body[i].args {
+            bound[v as usize] = true;
+        }
+    };
+
+    if let Some(d) = driver {
+        take(d, &mut steps, &mut bound, Access::ScanDelta);
+        remaining.retain(|&i| i != d);
+    }
+
+    let extent_len = |atom: &Atom| -> usize {
+        match atom.pred {
+            Pred::Edb(r) => s.rel(r).len(),
+            Pred::Idb(j) => store[j].len(),
+        }
+    };
+
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .copied()
+            .max_by_key(|&i| {
+                let atom = &rule.body[i];
+                let bound_positions = atom.args.iter().filter(|&&v| bound[v as usize]).count();
+                (
+                    bound_positions,
+                    std::cmp::Reverse(extent_len(atom)),
+                    std::cmp::Reverse(i),
+                )
+            })
+            .expect("remaining is nonempty");
+        let atom = &rule.body[best];
+        let key: Vec<usize> = (0..atom.args.len())
+            .filter(|&p| bound[atom.args[p] as usize])
+            .collect();
+        let access = if key.is_empty() {
+            Access::Scan
+        } else {
+            match atom.pred {
+                // A bound prefix of a sorted EDB relation needs no
+                // index build at all.
+                Pred::Edb(_) if key.iter().enumerate().all(|(i, &p)| i == p) => {
+                    Access::ProbePrefix(key.len())
+                }
+                _ => Access::Probe(key),
+            }
+        };
+        take(best, &mut steps, &mut bound, access);
+        remaining.retain(|&i| i != best);
+    }
+    steps
+}
+
+/// Builds every index a plan will probe, so execution can share the
+/// caches immutably (and across worker threads).
+fn ensure_plan_indexes(
+    plan: &[Step],
+    rule: &Rule,
+    s: &Structure,
+    edb: &mut EdbCache,
+    store: &mut [IdbRel],
+) {
+    for step in plan {
+        if let Access::Probe(key) = &step.access {
+            match rule.body[step.atom].pred {
+                Pred::Edb(r) => edb.ensure(s, r, key),
+                Pred::Idb(j) => store[j].ensure_index(key),
+            }
+        }
+    }
+}
+
+/// Everything the join kernel needs for one rule application; shared
+/// immutably across worker threads.
+struct ExecCtx<'a> {
+    s: &'a Structure,
+    rule: &'a Rule,
+    plan: &'a [Step],
+    edb: &'a EdbCache,
+    store: &'a [IdbRel],
+    /// Delta tuples for the `ScanDelta` step (a shard, or everything).
+    driver: &'a [&'a Vec<Elem>],
+    head_idb: usize,
+}
+
+/// Emits every instantiation of the head under the current binding;
+/// unbound head variables range over the whole domain.
+fn emit_head_unbound(
+    s: &Structure,
+    rule: &Rule,
+    head_idb: usize,
+    binding: &mut Vec<Option<Elem>>,
+    emit: &mut dyn FnMut(usize, Vec<Elem>),
+) {
+    fn rec(
+        s: &Structure,
+        head: &Atom,
+        head_idb: usize,
+        binding: &mut Vec<Option<Elem>>,
+        unbound: &[DlVar],
+        i: usize,
+        emit: &mut dyn FnMut(usize, Vec<Elem>),
+    ) {
+        if i == unbound.len() {
+            let t: Vec<Elem> = head
+                .args
+                .iter()
+                .map(|&v| binding[v as usize].expect("head var bound"))
+                .collect();
+            emit(head_idb, t);
+            return;
+        }
+        for d in s.domain() {
+            binding[unbound[i] as usize] = Some(d);
+            rec(s, head, head_idb, binding, unbound, i + 1, emit);
+        }
+        binding[unbound[i] as usize] = None;
+    }
+
+    let mut unbound: Vec<DlVar> = rule
+        .head
+        .args
+        .iter()
+        .copied()
+        .filter(|&v| binding[v as usize].is_none())
+        .collect();
+    unbound.sort_unstable();
+    unbound.dedup();
+    rec(s, &rule.head, head_idb, binding, &unbound, 0, emit);
+}
+
+/// Binds a candidate tuple against the atom at plan step `step_i`,
+/// recursing into the next step on success.
+fn try_tuple(
+    ctx: &ExecCtx<'_>,
+    step_i: usize,
+    t: &[Elem],
+    binding: &mut Vec<Option<Elem>>,
+    emit: &mut dyn FnMut(usize, Vec<Elem>),
+) {
+    let atom = &ctx.rule.body[ctx.plan[step_i].atom];
+    let mut touched: Vec<DlVar> = Vec::new();
+    let mut ok = true;
+    for (&v, &e) in atom.args.iter().zip(t.iter()) {
+        match binding[v as usize] {
+            Some(b) if b != e => {
+                ok = false;
+                break;
+            }
+            Some(_) => {}
+            None => {
+                binding[v as usize] = Some(e);
+                touched.push(v);
+            }
+        }
+    }
+    if ok {
+        exec(ctx, step_i + 1, binding, emit);
+    }
+    for v in touched {
+        binding[v as usize] = None;
+    }
+}
+
+/// The indexed join kernel: runs plan step `step_i` under the current
+/// binding, emitting head instantiations once every step is satisfied.
+fn exec(
+    ctx: &ExecCtx<'_>,
+    step_i: usize,
+    binding: &mut Vec<Option<Elem>>,
+    emit: &mut dyn FnMut(usize, Vec<Elem>),
+) {
+    if step_i == ctx.plan.len() {
+        emit_head_unbound(ctx.s, ctx.rule, ctx.head_idb, binding, emit);
+        return;
+    }
+    let step = &ctx.plan[step_i];
+    let atom = &ctx.rule.body[step.atom];
+    let key_vals = |key: &[usize]| -> Vec<Elem> {
+        key.iter()
+            .map(|&p| binding[atom.args[p] as usize].expect("planned key position is bound"))
+            .collect()
+    };
+    match (&step.access, atom.pred) {
+        (Access::ScanDelta, _) => {
+            index::note_scan(ctx.driver.len() as u64);
+            for t in ctx.driver {
+                try_tuple(ctx, step_i, t, binding, emit);
+            }
+        }
+        (Access::Scan, Pred::Edb(r)) => {
+            let rel = ctx.s.rel(r);
+            index::note_scan(rel.len() as u64);
+            for t in rel.iter() {
+                try_tuple(ctx, step_i, t, binding, emit);
+            }
+        }
+        (Access::Scan, Pred::Idb(j)) => {
+            let rel = &ctx.store[j];
+            index::note_scan(rel.len() as u64);
+            for ti in 0..rel.tuples.len() {
+                let t = rel.tuples[ti].clone();
+                try_tuple(ctx, step_i, &t, binding, emit);
+            }
+        }
+        (Access::ProbePrefix(k), Pred::Edb(r)) => {
+            let prefix: Vec<Elem> = (0..*k)
+                .map(|p| binding[atom.args[p] as usize].expect("planned key position is bound"))
+                .collect();
+            for t in index::probe_prefix(ctx.s.rel(r), &prefix) {
+                try_tuple(ctx, step_i, t, binding, emit);
+            }
+        }
+        (Access::ProbePrefix(_), Pred::Idb(_)) => {
+            unreachable!("prefix probes are planned for EDB atoms only")
+        }
+        (Access::Probe(key), Pred::Edb(r)) => {
+            for t in ctx.edb.get(r, key).probe(&key_vals(key)) {
+                try_tuple(ctx, step_i, t, binding, emit);
+            }
+        }
+        (Access::Probe(key), Pred::Idb(j)) => {
+            for t in ctx.store[j].index(key).probe(&key_vals(key)) {
+                try_tuple(ctx, step_i, t, binding, emit);
+            }
+        }
+    }
+}
+
+/// Deterministic FNV-1a shard assignment (the std hasher is randomly
+/// seeded per process, which would make runs non-reproducible).
+fn shard_of(t: &[Elem], nshards: usize) -> usize {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &e in t {
+        for b in e.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    (h % nshards as u64) as usize
 }
 
 #[cfg(test)]
@@ -551,10 +1134,39 @@ mod tests {
             for s in &structures {
                 let a = prog.eval_naive(s);
                 let b = prog.eval_seminaive(s);
+                let c = prog.eval_seminaive_scan(s);
                 for i in 0..prog.num_idbs() {
                     assert_eq!(a.relation(i), b.relation(i), "IDB {i}");
+                    assert_eq!(a.relation(i), c.relation(i), "IDB {i} (scan)");
                 }
+                assert_eq!(a.iterations, b.iterations);
+                assert_eq!(b.iterations, c.iterations);
+                assert_eq!(
+                    b.derivations, c.derivations,
+                    "join order changes no emissions"
+                );
+                assert_eq!(b.delta_history, c.delta_history);
             }
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let prog = Program::same_generation();
+        let s = builders::full_binary_tree(4);
+        let reference = prog.eval_seminaive_with(&s, 1);
+        for threads in [2, 3, 5] {
+            let out = prog.eval_seminaive_with(&s, threads);
+            for i in 0..prog.num_idbs() {
+                assert_eq!(
+                    reference.relation(i),
+                    out.relation(i),
+                    "threads = {threads}"
+                );
+            }
+            assert_eq!(reference.iterations, out.iterations);
+            assert_eq!(reference.derivations, out.derivations);
+            assert_eq!(reference.delta_history, out.delta_history);
         }
     }
 
@@ -606,6 +1218,37 @@ mod tests {
         assert!(Program::parse(&sig, "p(x). p(x, y).").is_err()); // arity clash
         assert!(Program::parse(&sig, "p(x) :- e(x).").is_err()); // EDB arity
         assert!(Program::parse(&sig, "p(x :- e(x, y).").is_err()); // syntax
+        assert!(Program::parse(&sig, "p x :- e(x, y).").is_err()); // not an ident
+    }
+
+    #[test]
+    fn nullary_predicates() {
+        let sig = Signature::graph();
+        // `reach` is true iff some edge exists; `both()` uses the
+        // explicit nullary form.
+        let prog = Program::parse(&sig, "reach :- e(x, y). both() :- reach.").unwrap();
+        let reach = prog.idb("reach").unwrap();
+        let both = prog.idb("both").unwrap();
+        assert_eq!(prog.idb_info(reach).1, 0);
+
+        let s = builders::directed_path(3);
+        for out in [
+            prog.eval_naive(&s),
+            prog.eval_seminaive(&s),
+            prog.eval_seminaive_scan(&s),
+        ] {
+            assert_eq!(out.relation(reach).len(), 1);
+            assert!(out.relation(both).contains(&Vec::new()));
+        }
+        let empty = builders::empty_graph(3);
+        let out = prog.eval_seminaive(&empty);
+        assert!(out.relation(reach).is_empty());
+        assert!(out.relation(both).is_empty());
+
+        // A nullary EDB reference still reports the arity clash, not a
+        // cryptic parse failure.
+        let err = Program::parse(&sig, "p(x) :- e.").unwrap_err();
+        assert!(err.contains("arity"), "{err}");
     }
 
     #[test]
@@ -646,5 +1289,31 @@ mod tests {
         // Path of length 9: deltas shrink over ~9 iterations.
         assert!(out.iterations >= 8, "iterations = {}", out.iterations);
         assert!(out.derivations > 0);
+        assert_eq!(out.delta_history.len(), out.iterations);
+    }
+
+    #[test]
+    fn planner_orders_most_bound_first() {
+        // sg rule with the delta at position 2: the driver binds xp and
+        // yp, so both edge atoms become indexable probes.
+        let prog = Program::same_generation();
+        let s = builders::full_binary_tree(3);
+        let store = prog.new_store();
+        let rule = &prog.rules()[1];
+        let plan = plan_rule(rule, Some(2), &s, &store);
+        assert_eq!(plan[0].atom, 2);
+        assert_eq!(plan[0].access, Access::ScanDelta);
+        for step in &plan[1..] {
+            assert_eq!(
+                step.access,
+                Access::ProbePrefix(1),
+                "edge atoms probe on their bound parent"
+            );
+        }
+        // Without a driver nothing is bound at first: the smallest
+        // extent leads (the empty IDB extent beats the edge relation).
+        let plan = plan_rule(rule, None, &s, &store);
+        assert_eq!(plan[0].atom, 2);
+        assert_eq!(plan[0].access, Access::Scan);
     }
 }

@@ -1,0 +1,196 @@
+//! Shared tuple-index subsystem for the join engines.
+//!
+//! Both the Datalog fixpoint engine (`fmt-queries`) and the relational
+//! algebra evaluator (`fmt-eval`) join relations by repeatedly asking
+//! "which tuples have these values at these positions?". Answering that
+//! by rescanning the full extent per partial binding is what made the
+//! survey's fixpoint workloads slow; this module centralizes the two
+//! fast answers instead:
+//!
+//! * [`probe_prefix`] — binary-searches the sorted flat storage of an
+//!   EDB [`Relation`] when the bound positions form a prefix (no build
+//!   cost, reuses the sort that [`Relation`] maintains anyway);
+//! * [`TupleIndex`] — a hash index keyed by an arbitrary subset of
+//!   positions, built lazily, cached per evaluation, and maintainable
+//!   incrementally for the growing IDB extents of a fixpoint loop.
+//!
+//! Every probe and scan is metered so `fmtk --stats` and the perf
+//! regression tests can compare indexed and scan evaluation exactly.
+//! The metric names live under `queries.index.*` because the query
+//! engine is the primary customer, but the counters cover every user of
+//! this module:
+//!
+//! * `queries.index.builds` / `queries.index.build_tuples` — index
+//!   construction work;
+//! * `queries.index.probe_ops` — probe operations issued;
+//! * `queries.index.probes` — candidate tuples yielded by probes (the
+//!   indexed engine's "tuple comparisons");
+//! * `queries.index.scan_tuples` — tuples visited by full scans that an
+//!   index-aware engine still had to do (unbound atoms, delta drivers).
+
+use crate::{Elem, Relation};
+use std::collections::HashMap;
+
+static OBS_BUILDS: fmt_obs::Counter = fmt_obs::Counter::new("queries.index.builds");
+static OBS_BUILD_TUPLES: fmt_obs::Counter = fmt_obs::Counter::new("queries.index.build_tuples");
+static OBS_PROBE_OPS: fmt_obs::Counter = fmt_obs::Counter::new("queries.index.probe_ops");
+static OBS_PROBES: fmt_obs::Counter = fmt_obs::Counter::new("queries.index.probes");
+static OBS_SCAN_TUPLES: fmt_obs::Counter = fmt_obs::Counter::new("queries.index.scan_tuples");
+
+/// Records that an engine using the index layer fell back to visiting
+/// `tuples` rows by full scan (no usable bound positions).
+#[inline]
+pub fn note_scan(tuples: u64) {
+    OBS_SCAN_TUPLES.add(tuples);
+}
+
+/// Probes the sorted row storage of a [`Relation`] for all tuples whose
+/// first `prefix.len()` components equal `prefix`, by binary search.
+///
+/// # Panics
+/// Panics (in debug builds) if `prefix` is longer than the arity.
+pub fn probe_prefix<'a>(rel: &'a Relation, prefix: &[Elem]) -> impl Iterator<Item = &'a [Elem]> {
+    let range = rel.prefix_range(prefix);
+    OBS_PROBE_OPS.incr();
+    OBS_PROBES.add(range.len() as u64);
+    rel.rows_in(range)
+}
+
+/// A hash index over a set of same-arity tuples, keyed by the values at
+/// a fixed subset of positions.
+///
+/// The index owns flat copies of the indexed tuples, so it can outlive
+/// (and be shared across threads independently of) the collection it
+/// was built from — the property the parallel fixpoint rounds rely on.
+#[derive(Debug, Clone)]
+pub struct TupleIndex {
+    arity: usize,
+    key: Vec<usize>,
+    rows: Vec<Elem>,
+    map: HashMap<Vec<Elem>, Vec<u32>>,
+}
+
+impl TupleIndex {
+    /// Builds an index over `tuples`, keyed by the positions in `key`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a key position is out of range or a
+    /// tuple has the wrong arity.
+    pub fn build<'a, I>(arity: usize, key: &[usize], tuples: I) -> TupleIndex
+    where
+        I: IntoIterator<Item = &'a [Elem]>,
+    {
+        debug_assert!(key.iter().all(|&p| p < arity) || arity == 0);
+        let mut idx = TupleIndex {
+            arity,
+            key: key.to_vec(),
+            rows: Vec::new(),
+            map: HashMap::new(),
+        };
+        OBS_BUILDS.incr();
+        for t in tuples {
+            idx.insert(t);
+        }
+        idx
+    }
+
+    /// Adds one tuple (used to maintain IDB indexes incrementally as a
+    /// fixpoint round merges its delta).
+    pub fn insert(&mut self, tuple: &[Elem]) {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let id = (self.rows.len() / self.arity.max(1)) as u32;
+        self.rows.extend_from_slice(tuple);
+        let key_vals: Vec<Elem> = self.key.iter().map(|&p| tuple[p]).collect();
+        self.map.entry(key_vals).or_default().push(id);
+        OBS_BUILD_TUPLES.incr();
+    }
+
+    /// The key positions this index is built on.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Number of indexed tuples.
+    pub fn len(&self) -> usize {
+        // Nullary tuples occupy no row storage, so count their ids.
+        self.rows
+            .len()
+            .checked_div(self.arity)
+            .unwrap_or_else(|| self.map.values().map(Vec::len).sum())
+    }
+
+    /// `true` if no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All tuples whose key positions hold exactly `key_vals` (in the
+    /// order of [`TupleIndex::key`]).
+    pub fn probe<'a>(&'a self, key_vals: &[Elem]) -> impl Iterator<Item = &'a [Elem]> {
+        debug_assert_eq!(key_vals.len(), self.key.len());
+        OBS_PROBE_OPS.incr();
+        let ids: &[u32] = self.map.get(key_vals).map_or(&[], Vec::as_slice);
+        OBS_PROBES.add(ids.len() as u64);
+        let arity = self.arity;
+        ids.iter()
+            .map(move |&id| &self.rows[id as usize * arity..(id as usize + 1) * arity])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builders, Signature};
+
+    #[test]
+    fn hash_index_probes_exact_matches() {
+        let tuples: Vec<Vec<Elem>> = vec![vec![0, 1], vec![2, 1], vec![2, 3], vec![4, 1]];
+        let idx = TupleIndex::build(2, &[1], tuples.iter().map(Vec::as_slice));
+        assert_eq!(idx.len(), 4);
+        let hits: Vec<&[Elem]> = idx.probe(&[1]).collect();
+        assert_eq!(hits, vec![&[0, 1][..], &[2, 1], &[4, 1]]);
+        assert_eq!(idx.probe(&[9]).count(), 0);
+    }
+
+    #[test]
+    fn empty_key_yields_every_tuple() {
+        let tuples: Vec<Vec<Elem>> = vec![vec![0, 1], vec![2, 3]];
+        let idx = TupleIndex::build(2, &[], tuples.iter().map(Vec::as_slice));
+        assert_eq!(idx.probe(&[]).count(), 2);
+    }
+
+    #[test]
+    fn incremental_inserts_visible() {
+        let mut idx = TupleIndex::build(2, &[0], std::iter::empty());
+        assert!(idx.is_empty());
+        idx.insert(&[5, 7]);
+        idx.insert(&[5, 8]);
+        let hits: Vec<&[Elem]> = idx.probe(&[5]).collect();
+        assert_eq!(hits, vec![&[5, 7][..], &[5, 8]]);
+    }
+
+    #[test]
+    fn nullary_tuples_supported() {
+        let tuples: Vec<Vec<Elem>> = vec![vec![]];
+        let idx = TupleIndex::build(0, &[], tuples.iter().map(Vec::as_slice));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.probe(&[]).count(), 1);
+    }
+
+    #[test]
+    fn prefix_probe_matches_filter() {
+        let s = builders::grid(4, 3);
+        let e = Signature::graph().relation("E").unwrap();
+        let rel = s.rel(e);
+        for u in s.domain() {
+            let probed: Vec<&[Elem]> = probe_prefix(rel, &[u]).collect();
+            let scanned: Vec<&[Elem]> = rel.iter().filter(|t| t[0] == u).collect();
+            assert_eq!(probed, scanned, "prefix [{u}]");
+        }
+        // Full-tuple prefix degenerates to membership.
+        let first = rel.iter().next().unwrap().to_vec();
+        assert_eq!(probe_prefix(rel, &first).count(), 1);
+        // Empty prefix is the whole relation.
+        assert_eq!(probe_prefix(rel, &[]).count(), rel.len());
+    }
+}

@@ -46,7 +46,9 @@
 
 pub mod builders;
 pub mod canon;
+pub mod index;
 pub mod iso;
+pub mod par;
 pub mod parse;
 pub mod partial;
 mod signature;

@@ -1,0 +1,81 @@
+//! Scoped-thread fan-out shared by the parallel engines.
+//!
+//! The EF-game solver (`fmt-games`) and the Datalog fixpoint engine
+//! (`fmt-queries`) parallelize the same way: a slice of independent
+//! work items is chunked across a fixed number of scoped workers, and
+//! the per-chunk results are collected back **in chunk order**, so the
+//! caller's merge is deterministic regardless of which worker finished
+//! first. This module is that pattern, once.
+
+/// Runs `worker` over `items` split into at most `threads` contiguous
+/// chunks, each on its own scoped thread, returning the per-chunk
+/// results in chunk order.
+///
+/// With `threads == 1` or a single chunk the work runs on the calling
+/// thread — no spawn cost for small inputs. Workers borrow from the
+/// caller's stack (scoped threads), so `items` may reference
+/// round-local data.
+///
+/// # Panics
+/// Panics if `threads == 0` or a worker panics.
+pub fn fan_out<T, R, F>(threads: usize, items: &[T], worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    assert!(threads >= 1, "fan_out requires at least one thread");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(threads);
+    if chunk >= items.len() {
+        return vec![worker(items)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|work| scope.spawn(|| worker(work)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan_out worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_chunk_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 3, 7, 100, 200] {
+            let sums = fan_out(threads, &items, |chunk| chunk.iter().sum::<usize>());
+            assert_eq!(sums.iter().sum::<usize>(), 4950, "threads = {threads}");
+            // Chunk order: the first chunk holds the smallest items.
+            let firsts = fan_out(threads, &items, |chunk| chunk[0]);
+            let mut sorted = firsts.clone();
+            sorted.sort_unstable();
+            assert_eq!(firsts, sorted);
+        }
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let calls = AtomicUsize::new(0);
+        let out: Vec<()> = fan_out(4, &[] as &[u32], |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(out.is_empty());
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let out = fan_out(1, &[1u32, 2, 3], |c| c.len());
+        assert_eq!(out, vec![3]);
+    }
+}

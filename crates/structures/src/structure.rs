@@ -90,6 +90,44 @@ impl Relation {
         self.rows.chunks_exact(self.arity)
     }
 
+    /// The contiguous range of row indices whose first `prefix.len()`
+    /// components equal `prefix`, found by binary search over the
+    /// sorted rows. An empty prefix selects every row.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `prefix` is longer than the arity.
+    pub fn prefix_range(&self, prefix: &[Elem]) -> std::ops::Range<usize> {
+        let k = prefix.len();
+        debug_assert!(k <= self.arity);
+        if k == 0 {
+            return 0..self.len();
+        }
+        let a = self.arity;
+        // partition_point over row indices, comparing only the prefix.
+        let search = |below: bool| -> usize {
+            let (mut lo, mut hi) = (0usize, self.len());
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let row = &self.rows[mid * a..mid * a + k];
+                let less = if below { row < prefix } else { row <= prefix };
+                if less {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        search(true)..search(false)
+    }
+
+    /// Iterates over the rows at the given indices (see
+    /// [`Relation::prefix_range`]).
+    pub fn rows_in(&self, range: std::ops::Range<usize>) -> impl Iterator<Item = &[Elem]> {
+        let a = self.arity;
+        self.rows[range.start * a..range.end * a].chunks_exact(a)
+    }
+
     /// The `i`-th tuple in lexicographic order.
     ///
     /// # Panics

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Performance harness: runs the Datalog join-engine comparison (which
+# writes BENCH_datalog.json at the repo root and enforces the ≥5×
+# tuple-comparison gate) plus the criterion smoke benches for the
+# Datalog and EF-game engines.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> datalog join-engine harness (writes BENCH_datalog.json)"
+cargo run --release -p fmt-bench --bin datalog_bench
+
+echo "==> criterion bench: datalog"
+cargo bench -p fmt-bench --bench datalog
+
+echo "==> criterion bench: ef_games"
+cargo bench -p fmt-bench --bench ef_games
+
+echo "Bench run complete; see BENCH_datalog.json."

@@ -16,4 +16,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+if [[ "${RUN_BENCH:-0}" == "1" ]]; then
+    echo "==> benches (RUN_BENCH=1)"
+    scripts/bench.sh
+fi
+
 echo "All checks passed."
