@@ -7,6 +7,7 @@
 //! fmtk mu     "<sentence>" [--rel R:k ...]   μ(φ) via the 0-1 law
 //! fmtk census <structure> [--radius r]       neighborhood-type census
 //! fmtk datalog <structure> <program>         run a Datalog program
+//! fmtk conform [--seed N] [--cases K]        differential-test the engines
 //! fmtk sample                                 print an example structure file
 //! ```
 //!
@@ -35,6 +36,7 @@ fn usage() -> String {
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
      fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N]\n  \
+     fmtk conform [--seed N] [--cases K] [--oracle NAME] [--corpus DIR] [--replay FILE]\n  \
      fmtk sample\n\
      global flags:\n  \
      --stats [text|json]   print engine counters after the command\n\
@@ -254,6 +256,57 @@ fn cmd_datalog(args: &[String]) -> Result<String, String> {
     Ok(text)
 }
 
+fn cmd_conform(mut args: Vec<String>) -> Result<String, String> {
+    if let Some(path) = flag_value(&mut args, "--replay")? {
+        reject_unknown_flags(&args)?;
+        if !args.is_empty() {
+            return Err(usage());
+        }
+        let text = read_input(&path)?;
+        return match fmt_conform::runner::replay_text(&text) {
+            Ok(()) => Ok(format!("{path}: engines agree (case replays clean)")),
+            Err(e) => Err(format!("{path}: disagreement reproduces: {e}")),
+        };
+    }
+    let seed: u64 = flag_value(&mut args, "--seed")?
+        .map(|v| v.parse().map_err(|_| format!("bad seed {v:?}")))
+        .transpose()?
+        .unwrap_or(42);
+    let cases: u64 = flag_value(&mut args, "--cases")?
+        .map(|v| v.parse().map_err(|_| format!("bad case count {v:?}")))
+        .transpose()?
+        .unwrap_or(500);
+    let oracle = flag_value(&mut args, "--oracle")?;
+    let corpus = flag_value(&mut args, "--corpus")?;
+    reject_unknown_flags(&args)?;
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let cfg = fmt_conform::RunConfig {
+        seed,
+        cases,
+        oracle,
+        corpus_dir: corpus.map(std::path::PathBuf::from),
+    };
+    let report = fmt_conform::run(&cfg)?;
+    let mut out = format!("conform: seed {seed}, {} cases\n", report.cases_run);
+    for (name, n) in &report.per_oracle {
+        out.push_str(&format!("  {name}: {n} cases\n"));
+    }
+    if report.clean() {
+        out.push_str("all oracles agree");
+        return Ok(out.trim_end().to_owned());
+    }
+    out.push_str(&format!("{} DISAGREEMENT(S):\n", report.failures.len()));
+    for f in &report.failures {
+        out.push_str(&format!("  [{} case {}] {}\n", f.oracle, f.case, f.note));
+    }
+    for p in &report.written {
+        out.push_str(&format!("  wrote {}\n", p.display()));
+    }
+    Err(out.trim_end().to_owned())
+}
+
 fn cmd_sample() -> String {
     "# a directed 4-cycle with a chord\n\
      size: 4\n\
@@ -327,6 +380,7 @@ fn run() -> Result<String, String> {
         "mu" => cmd_mu(argv),
         "census" => cmd_census(argv),
         "datalog" => cmd_datalog(&argv),
+        "conform" => cmd_conform(argv),
         "sample" => Ok(cmd_sample()),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other}\n{}", usage())),

@@ -370,3 +370,47 @@ fn sample_roundtrips() {
         .unwrap();
     assert_eq!(String::from_utf8_lossy(&out2.stdout).trim(), "true");
 }
+
+#[test]
+fn conform_clean_hunt() {
+    let out = fmtk()
+        .args(["conform", "--seed", "42", "--cases", "60"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all oracles agree"), "{text}");
+    assert!(text.contains("games-orders"), "{text}");
+}
+
+#[test]
+fn conform_replay_and_bad_oracle() {
+    // A hand-minimal games-orders case: L_3 vs L_4 at n = 2 (both at
+    // the 2^2 - 1 threshold, so the engines agree and replay is clean).
+    let case = write_temp(
+        "orders.case",
+        "oracle: games-orders\nseed: 0\ncase: 0\nnote: t\nrel: </2\n\
+         param: m = 3\nparam: k = 4\nparam: n = 2\n",
+    );
+    let out = fmtk()
+        .args(["conform", "--replay", case.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("engines agree"));
+
+    let out = fmtk()
+        .args(["conform", "--oracle", "astrology", "--cases", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown oracle"));
+}

@@ -1,0 +1,195 @@
+//! Seed-driven generators of random structures and FO sentences.
+//!
+//! Everything here is a pure function of the [`rand::rngs::StdRng`]
+//! state handed in, so a `(seed, case)` pair pins the exact inputs an
+//! oracle saw — the property the whole conformance harness rests on.
+//!
+//! Formulas are built exclusively through the normalizing smart
+//! constructors ([`Formula::and`]/[`Formula::or`]), so generated ASTs
+//! are exactly the fixed points of reparsing their own display — the
+//! invariant the parser ↔ printer roundtrip oracle checks.
+
+use fmt_logic::{Formula, Var};
+use fmt_structures::{builders, Structure};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Size and shape bounds for generated cases. Small by design: the
+/// oracles re-decide every case with up to four engines, and shrinking
+/// wants a dense lattice of smaller neighbors.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum number of elements in a generated structure.
+    pub max_size: u32,
+    /// Maximum quantifier rank of a generated sentence body.
+    pub max_rank: u32,
+    /// Variables are drawn from `x0 .. x{max_vars-1}`.
+    pub max_vars: u32,
+    /// Edge probability for random graphs.
+    pub edge_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            max_size: 6,
+            max_rank: 3,
+            max_vars: 3,
+            edge_prob: 0.4,
+        }
+    }
+}
+
+/// A random directed graph over the `E/2` signature with `0 ..= max_size`
+/// elements.
+pub fn random_graph(rng: &mut StdRng, cfg: &GenConfig) -> Structure {
+    let n = rng.random_range(0..=cfg.max_size);
+    builders::random_directed_graph(n, cfg.edge_prob, rng)
+}
+
+/// A random well-formed formula over the graph signature, possibly
+/// open; quantifier rank is at most `rank_budget`.
+fn random_formula(rng: &mut StdRng, cfg: &GenConfig, depth: u32, rank_budget: u32) -> Formula {
+    let e = fmt_structures::Signature::graph().relation("E").unwrap();
+    let var = |rng: &mut StdRng| Var(rng.random_range(0..cfg.max_vars));
+    if depth == 0 {
+        return match rng.random_range(0..4u32) {
+            0 => Formula::True,
+            1 => Formula::False,
+            2 => Formula::eq_vars(var(rng), var(rng)),
+            _ => Formula::atom(e, &[var(rng), var(rng)]),
+        };
+    }
+    match rng.random_range(0..8u32) {
+        0 => random_formula(rng, cfg, 0, 0),
+        1 => random_formula(rng, cfg, depth - 1, rank_budget).not(),
+        2 => random_formula(rng, cfg, depth - 1, rank_budget).and(random_formula(
+            rng,
+            cfg,
+            depth - 1,
+            rank_budget,
+        )),
+        3 => random_formula(rng, cfg, depth - 1, rank_budget).or(random_formula(
+            rng,
+            cfg,
+            depth - 1,
+            rank_budget,
+        )),
+        4 => random_formula(rng, cfg, depth - 1, rank_budget).implies(random_formula(
+            rng,
+            cfg,
+            depth - 1,
+            rank_budget,
+        )),
+        5 => random_formula(rng, cfg, depth - 1, rank_budget).iff(random_formula(
+            rng,
+            cfg,
+            depth - 1,
+            rank_budget,
+        )),
+        6 if rank_budget > 0 => Formula::exists(
+            var(rng),
+            random_formula(rng, cfg, depth - 1, rank_budget - 1),
+        ),
+        _ if rank_budget > 0 => Formula::forall(
+            var(rng),
+            random_formula(rng, cfg, depth - 1, rank_budget - 1),
+        ),
+        _ => random_formula(rng, cfg, 0, 0),
+    }
+}
+
+/// A random *sentence* over the graph signature: a random formula,
+/// universally closed over its free variables.
+pub fn random_sentence(rng: &mut StdRng, cfg: &GenConfig) -> Formula {
+    let f = random_formula(rng, cfg, cfg.max_rank, cfg.max_rank);
+    let free: Vec<Var> = f.free_vars().into_iter().collect();
+    Formula::forall_many(&free, f)
+}
+
+/// A random Datalog program over EDB `e/2` with IDBs `p/2`, `q/1`, and
+/// the nullary `hit`: two fixed anchor rules (so every body predicate
+/// is defined) plus up to three random, possibly mutually recursive
+/// rules with self-joins and unbound head variables.
+pub fn random_datalog_program(rng: &mut StdRng) -> String {
+    const VARS: [&str; 4] = ["x", "y", "z", "w"];
+    let mut src = String::from("p(x, y) :- e(x, y). q(x) :- e(x, x). hit :- e(x, y). ");
+    let atom = |rng: &mut StdRng| match rng.random_range(0..4u32) {
+        0 => format!(
+            "e({}, {})",
+            VARS[rng.random_range(0..4usize)],
+            VARS[rng.random_range(0..4usize)]
+        ),
+        1 => format!(
+            "p({}, {})",
+            VARS[rng.random_range(0..4usize)],
+            VARS[rng.random_range(0..4usize)]
+        ),
+        2 => format!("q({})", VARS[rng.random_range(0..4usize)]),
+        _ => "hit".to_owned(),
+    };
+    for _ in 0..rng.random_range(0..=3u32) {
+        let head = match rng.random_range(0..3u32) {
+            0 => format!(
+                "p({}, {})",
+                VARS[rng.random_range(0..4usize)],
+                VARS[rng.random_range(0..4usize)]
+            ),
+            1 => format!("q({})", VARS[rng.random_range(0..4usize)]),
+            _ => "hit".to_owned(),
+        };
+        let nbody = rng.random_range(1..=2u32);
+        let body: Vec<String> = (0..nbody).map(|_| atom(rng)).collect();
+        src.push_str(&format!("{head} :- {}. ", body.join(", ")));
+    }
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            assert_eq!(random_graph(&mut a, &cfg), random_graph(&mut b, &cfg));
+            assert_eq!(random_sentence(&mut a, &cfg), random_sentence(&mut b, &cfg));
+            assert_eq!(
+                random_datalog_program(&mut a),
+                random_datalog_program(&mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn sentences_are_wellformed_bounded_sentences() {
+        let cfg = GenConfig::default();
+        let sig = fmt_structures::Signature::graph();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let f = random_sentence(&mut rng, &cfg);
+            assert!(f.is_sentence());
+            assert!(f.well_formed(&sig).is_ok());
+            // Closing adds at most max_vars quantifiers on top.
+            assert!(f.quantifier_rank() <= cfg.max_rank + cfg.max_vars);
+        }
+    }
+
+    #[test]
+    fn programs_parse_and_sizes_bounded() {
+        let cfg = GenConfig::default();
+        let sig = fmt_structures::Signature::graph();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let s = random_graph(&mut rng, &cfg);
+            assert!(s.size() <= cfg.max_size);
+            let src = random_datalog_program(&mut rng);
+            fmt_queries::datalog::Program::parse(&sig, &src)
+                .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
+        }
+    }
+}

@@ -6,8 +6,10 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// A first-order variable, identified by index. Displayed as `x0`,
-/// `x1`, …; the [`crate::parser`] maps source names to indices in order
-/// of first occurrence.
+/// `x1`, …; the [`crate::parser`] maps canonical `x<digits>` names back
+/// to exactly that index (so parsing inverts printing) and numbers all
+/// other source names with the remaining indices in order of first
+/// occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Var(pub u32);
 

@@ -19,8 +19,12 @@
 //! Multiple variables after one quantifier are sugar:
 //! `forall x y. φ` is `forall x. forall y. φ`. Identifiers that match a
 //! declared constant name denote that constant; all other identifiers
-//! are variables, numbered [`Var`]`(0), (1), …` in order of first
-//! occurrence.
+//! are variables. A **canonical** variable name — `x` followed by a
+//! decimal numeral without leading zeros, e.g. `x0`, `x17` — denotes
+//! exactly [`Var`] of that numeral, which makes parsing a left inverse
+//! of [`Formula::display`] (the printer writes `Var(i)` as `x{i}`). All
+//! other names are numbered with the smallest indices not claimed by a
+//! canonical name, in order of first occurrence.
 
 use crate::{Formula, Term, Var};
 use fmt_structures::Signature;
@@ -363,8 +367,50 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// The index a canonical variable name denotes: `x` followed by a
+/// decimal numeral without leading zeros (`x0`, `x3`, `x12`, …).
+fn canonical_index(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix('x')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if digits.len() > 1 && digits.starts_with('0') {
+        return None; // `x01` is an ordinary name, not Var(1)
+    }
+    digits.parse::<u32>().ok()
+}
+
+/// Remaps the parser's first-occurrence indices so canonical names
+/// (`x<digits>`) keep their printed index — making the parser a left
+/// inverse of the pretty-printer — while other names take the smallest
+/// free indices in occurrence order. Returns the permuted formula and
+/// the rebuilt name table (gaps filled with their canonical name).
+fn remap_canonical_vars(f: Formula, names: Vec<String>) -> (Formula, Vec<String>) {
+    use std::collections::BTreeSet;
+    let mut target: Vec<Option<u32>> = names.iter().map(|n| canonical_index(n)).collect();
+    let taken: BTreeSet<u32> = target.iter().flatten().copied().collect();
+    let mut free = (0u32..).filter(|i| !taken.contains(i));
+    for t in &mut target {
+        if t.is_none() {
+            *t = free.next();
+        }
+    }
+    let map: Vec<u32> = target.into_iter().map(|t| t.expect("assigned")).collect();
+    let table_len = map.iter().max().map_or(0, |&m| m as usize + 1);
+    let mut table: Vec<String> = (0..table_len).map(|i| format!("x{i}")).collect();
+    for (name, &idx) in names.iter().zip(&map) {
+        table[idx as usize] = name.clone();
+    }
+    if map.iter().enumerate().all(|(i, &t)| i as u32 == t) {
+        return (f, table); // identity: nothing to rename
+    }
+    let g = f.rename_vars(&|Var(i)| Var(map[i as usize]));
+    (g, table)
+}
+
 /// Parses a formula, returning it together with the variable-name table
-/// (`table[i]` is the source name of [`Var`]`(i)`).
+/// (`table[i]` is the source name of [`Var`]`(i)`, or the canonical
+/// `x{i}` for indices no source name maps to).
 pub fn parse_formula_with_vars(
     sig: &Signature,
     src: &str,
@@ -380,8 +426,9 @@ pub fn parse_formula_with_vars(
     if p.pos != p.toks.len() {
         return Err(p.err("trailing input after formula"));
     }
+    let (f, table) = remap_canonical_vars(f, p.vars);
     debug_assert!(f.well_formed(sig).is_ok());
-    Ok((f, p.vars))
+    Ok((f, table))
 }
 
 /// Parses a formula over the given signature.
@@ -473,6 +520,45 @@ mod tests {
         let sig = Signature::graph();
         let (_, vars) = parse_formula_with_vars(&sig, "E(alpha, beta) & E(beta, alpha)").unwrap();
         assert_eq!(vars, vec!["alpha".to_owned(), "beta".to_owned()]);
+    }
+
+    #[test]
+    fn canonical_names_keep_their_index() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        // `x1` occurs first but still denotes Var(1).
+        let f = parse_formula(&sig, "E(x1, x0)").unwrap();
+        assert_eq!(f, Formula::atom(e, &[Var(1), Var(0)]));
+        // A sparse canonical name leaves a gap; the table fills it.
+        let (g, vars) = parse_formula_with_vars(&sig, "E(x2, x2)").unwrap();
+        assert_eq!(g, Formula::atom(e, &[Var(2), Var(2)]));
+        assert_eq!(
+            vars,
+            vec!["x0".to_owned(), "x1".to_owned(), "x2".to_owned()]
+        );
+    }
+
+    #[test]
+    fn non_canonical_names_avoid_canonical_indices() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        // `y` takes the smallest index not claimed by `x0`: Var(1).
+        let f = parse_formula(&sig, "E(y, x0)").unwrap();
+        assert_eq!(f, Formula::atom(e, &[Var(1), Var(0)]));
+        // Leading zeros make the name non-canonical: `x01` is not Var(1).
+        let g = parse_formula(&sig, "E(x01, x1)").unwrap();
+        assert_eq!(g, Formula::atom(e, &[Var(0), Var(1)]));
+    }
+
+    #[test]
+    fn canonical_names_under_quantifiers() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = parse_formula(&sig, "exists x3. E(x3, x0)").unwrap();
+        assert_eq!(
+            f,
+            Formula::exists(Var(3), Formula::atom(e, &[Var(3), Var(0)]))
+        );
     }
 
     #[test]

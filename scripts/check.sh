@@ -16,6 +16,11 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> conformance smoke hunt (fixed seed, fails on any oracle disagreement)"
+mkdir -p target/conform-corpus
+cargo run --release -q -p fmt-cli --bin fmtk -- \
+    conform --seed 7 --cases 200 --corpus target/conform-corpus
+
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> benches (RUN_BENCH=1)"
     scripts/bench.sh

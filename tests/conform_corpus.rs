@@ -1,0 +1,49 @@
+//! Replays the committed conformance corpus as ordinary regressions.
+//!
+//! Every `tests/corpus/*.case` file is a self-contained, shrunk
+//! counterexample that `fmtk conform` once found against a (since
+//! fixed) bug. Replaying it re-runs the recorded oracle on the recorded
+//! inputs: a passing replay means the engines agree again; a failing
+//! one means the bug has regressed. New cases land here automatically
+//! via `fmtk conform --corpus tests/corpus`.
+
+use fmt_conform::runner::{replay_text, run, RunConfig};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_cases_replay_clean() {
+    let mut replayed = 0usize;
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        if let Err(e) = replay_text(&text) {
+            panic!("corpus case {} regressed: {e}", path.display());
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 2, "corpus unexpectedly small: {replayed} cases");
+}
+
+/// A short fixed-seed hunt stays clean — the in-tree analogue of the
+/// `scripts/check.sh` smoke run, kept small enough for `cargo test`.
+#[test]
+fn fresh_hunt_finds_no_disagreements() {
+    let report = run(&RunConfig {
+        seed: 42,
+        cases: 60,
+        ..RunConfig::default()
+    })
+    .unwrap();
+    assert!(
+        report.clean(),
+        "oracle disagreements: {:?}",
+        report.failures
+    );
+}

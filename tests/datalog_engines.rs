@@ -127,6 +127,40 @@ fn engines_agree_on_canned_programs() {
     }
 }
 
+/// Adversarial corner cases hunted by `fmtk conform --oracle
+/// datalog-engines`, pinned here as ordinary regressions: empty EDBs,
+/// size-0 domains, nullary (0-arity) atoms in heads and bodies,
+/// variable-headed facts, and self-joins — each against every engine
+/// and thread count.
+#[test]
+fn engines_agree_on_adversarial_inputs() {
+    let programs = [
+        // Nullary IDB chain: existential trigger, then propagation.
+        "hit :- e(x, y). flag :- hit. p(x, y) :- e(x, y), hit.",
+        // Nullary fact (paren form) joined with itself.
+        "hit(). both :- hit, hit.",
+        // Self-joins and a triangle detector over derived relations.
+        "p(x, y) :- e(x, y). q(x) :- p(x, x). p(x, z) :- p(x, y), p(y, z), q(x).",
+        "q(x) :- e(x, y), e(y, z), e(z, x).",
+        // Variable-headed fact (grounds over the whole domain) plus a
+        // nullary fact feeding a nullary rule.
+        "p(x, x). a. b :- a. q(y) :- p(y, y), b.",
+    ];
+    let structures = [
+        builders::empty_graph(0), // empty domain
+        builders::empty_graph(4), // empty EDB, nonempty domain
+        builders::directed_cycle(3),
+        builders::complete_graph(3),
+    ];
+    for src in &programs {
+        for s in &structures {
+            let prog = Program::parse(s.signature(), src)
+                .unwrap_or_else(|e| panic!("program must parse: {e}\n{src}"));
+            assert_same_fixpoint(&prog, s);
+        }
+    }
+}
+
 #[test]
 fn pinned_work_counts() {
     // TC over the directed path 0 → ⋯ → 5: the 5 edges seed Δ, and each

@@ -139,6 +139,35 @@ proptest! {
         );
     }
 
+    /// Parsing the printed form of a closed random formula round-trips
+    /// *exactly*, not just semantically: the parser's canonical-name
+    /// rule (`x<digits>` denotes that variable index) makes it a left
+    /// inverse of `Display` on the normalized ASTs the smart
+    /// constructors produce. The vendored proptest cannot shrink, so on
+    /// failure the counterexample is minimized with fmt-conform's
+    /// `Shrinkable` machinery before reporting.
+    #[test]
+    fn display_reparse_exact(f in arb_formula()) {
+        let sentence = close(f);
+        let sig = graph_sig();
+        let roundtrips = |g: &Formula| {
+            let printed = format!("{}", g.display(&sig));
+            matches!(
+                fmt_core::logic::parser::parse_formula(&sig, &printed),
+                Ok(h) if h == *g
+            )
+        };
+        if !roundtrips(&sentence) {
+            let (min, _) = fmt_conform::minimize(
+                sentence,
+                &mut |g: &Formula| g.is_sentence() && !roundtrips(g),
+                2_000,
+            );
+            let printed = format!("{}", min.display(&sig));
+            prop_assert!(false, "exact roundtrip failed; shrunk counterexample: {}", printed);
+        }
+    }
+
     /// The fundamental theorem, attacked with random sentences: if the
     /// duplicator wins the n-round game, no random sentence of rank ≤ n
     /// separates the structures.
