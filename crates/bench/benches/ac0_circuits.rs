@@ -34,7 +34,7 @@ fn compile_sweep(c: &mut Criterion) {
     g.sample_size(10);
     for n in [8u32, 16, 32, 64] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(circuit::compile(&sig, &f, n)))
+            b.iter(|| black_box(circuit::compile(&sig, &f, n)));
         });
     }
     g.finish();
@@ -50,7 +50,7 @@ fn eval_sweep(c: &mut Criterion) {
         let s = builders::directed_cycle(n);
         let bits = layout.encode(&s);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(circuit.eval(&bits)))
+            b.iter(|| black_box(circuit.eval(&bits)));
         });
     }
     g.finish();
@@ -64,7 +64,7 @@ fn encode_sweep(c: &mut Criterion) {
         let layout = circuit::InputLayout::new(&sig, n);
         let s = builders::complete_graph(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(layout.encode(&s)))
+            b.iter(|| black_box(layout.encode(&s)));
         });
     }
     g.finish();

@@ -32,10 +32,10 @@ fn census_vs_textbook(c: &mut Criterion) {
                     BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 2, params);
                 ev.evaluate(&builders::undirected_cycle(8));
                 black_box(ev.evaluate(&s))
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("textbook", n), &n, |b, _| {
-            b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)))
+            b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)));
         });
     }
     g.finish();
@@ -64,7 +64,7 @@ fn census_pass_only(c: &mut Criterion) {
                     BoundedDegreeEvaluator::with_parameters(sig.clone(), f.clone(), 2, params);
                 ev.evaluate(&make(16)); // warm the table
                 ev.evaluate(&s); // first pass interns the types
-                b.iter(|| black_box(ev.evaluate(&s)))
+                b.iter(|| black_box(ev.evaluate(&s)));
             });
         }
     }

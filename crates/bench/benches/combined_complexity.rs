@@ -31,7 +31,7 @@ fn data_sweep(c: &mut Criterion) {
                 let mut ev = NaiveEvaluator::new(&s);
                 let mut env = Env::for_formula(&f);
                 black_box(ev.eval(&f, &mut env))
-            })
+            });
         });
     }
     g.finish();
@@ -48,7 +48,7 @@ fn rank_sweep(c: &mut Criterion) {
                 let mut ev = NaiveEvaluator::new(&s);
                 let mut env = Env::for_formula(&f);
                 black_box(ev.eval(&f, &mut env))
-            })
+            });
         });
     }
     g.finish();
@@ -67,7 +67,7 @@ fn clique_workload(c: &mut Criterion) {
                 let mut ev = NaiveEvaluator::new(&s);
                 let mut env = Env::for_formula(&f);
                 black_box(ev.eval(&f, &mut env))
-            })
+            });
         });
     }
     g.finish();
@@ -82,10 +82,10 @@ fn relalg_vs_naive(c: &mut Criterion) {
             .unwrap();
     let s = builders::undirected_cycle(256);
     g.bench_function("naive", |b| {
-        b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)))
+        b.iter(|| black_box(fmt_eval::naive::check_sentence(&s, &f)));
     });
     g.bench_function("relalg", |b| {
-        b.iter(|| black_box(fmt_eval::relalg::check_sentence(&s, &f)))
+        b.iter(|| black_box(fmt_eval::relalg::check_sentence(&s, &f)));
     });
     g.finish();
 }

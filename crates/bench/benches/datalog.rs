@@ -15,16 +15,16 @@ fn tc_chain(c: &mut Criterion) {
     for n in [16u32, 32, 64] {
         let s = builders::directed_path(n);
         g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| black_box(prog.eval_naive(&s).derivations))
+            b.iter(|| black_box(prog.eval_naive(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("seminaive_scan", n), &n, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations))
+            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("bfs_reference", n), &n, |b, _| {
-            b.iter(|| black_box(graph::transitive_closure(&s).num_tuples()))
+            b.iter(|| black_box(graph::transitive_closure(&s).num_tuples()));
         });
     }
     g.finish();
@@ -37,16 +37,16 @@ fn same_generation_trees(c: &mut Criterion) {
     for d in [3u32, 4, 5] {
         let s = builders::full_binary_tree(d);
         g.bench_with_input(BenchmarkId::new("naive", d), &d, |b, _| {
-            b.iter(|| black_box(prog.eval_naive(&s).derivations))
+            b.iter(|| black_box(prog.eval_naive(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("seminaive", d), &d, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("seminaive_scan", d), &d, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations))
+            b.iter(|| black_box(prog.eval_seminaive_scan(&s).derivations));
         });
         g.bench_with_input(BenchmarkId::new("seminaive_1_thread", d), &d, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive_with(&s, 1).derivations))
+            b.iter(|| black_box(prog.eval_seminaive_with(&s, 1).derivations));
         });
     }
     g.finish();
@@ -59,7 +59,7 @@ fn tc_cycle(c: &mut Criterion) {
     for n in [16u32, 32] {
         let s = builders::directed_cycle(n);
         g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| black_box(prog.eval_seminaive(&s).derivations))
+            b.iter(|| black_box(prog.eval_seminaive(&s).derivations));
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn orders_sweep(c: &mut Criterion) {
             bench.iter(|| {
                 let mut s = EfSolver::new(&a, &b);
                 black_box(s.duplicator_wins(3))
-            })
+            });
         });
     }
     g.finish();
@@ -33,7 +33,7 @@ fn rounds_sweep(c: &mut Criterion) {
             bench.iter(|| {
                 let mut s = EfSolver::new(&a, &b);
                 black_box(s.duplicator_wins(n))
-            })
+            });
         });
     }
     g.finish();
@@ -73,7 +73,7 @@ fn ablation(c: &mut Criterion) {
             bench.iter(|| {
                 let mut s = EfSolver::with_config(&a, &b, cfg);
                 black_box(s.duplicator_wins(3))
-            })
+            });
         });
     }
     g.finish();
@@ -99,7 +99,7 @@ fn graph_pairs(c: &mut Criterion) {
             bench.iter(|| {
                 let mut s = EfSolver::new(a, b);
                 black_box(s.duplicator_wins(3))
-            })
+            });
         });
     }
     g.finish();
@@ -111,10 +111,10 @@ fn pebble_and_bijection(c: &mut Criterion) {
     let a = builders::linear_order(6);
     let b = builders::linear_order(7);
     g.bench_function("ef_n3", |bench| {
-        bench.iter(|| black_box(EfSolver::new(&a, &b).duplicator_wins(3)))
+        bench.iter(|| black_box(EfSolver::new(&a, &b).duplicator_wins(3)));
     });
     g.bench_function("pebble_k2_n3", |bench| {
-        bench.iter(|| black_box(fmt_games::pebble::pebble_duplicator_wins(&a, &b, 2, 3)))
+        bench.iter(|| black_box(fmt_games::pebble::pebble_duplicator_wins(&a, &b, 2, 3)));
     });
     let c6 = builders::undirected_cycle(6);
     let c3x2 = builders::copies(&builders::undirected_cycle(3), 2);
@@ -123,7 +123,7 @@ fn pebble_and_bijection(c: &mut Criterion) {
             black_box(fmt_games::bijection::bijection_duplicator_wins(
                 &c6, &c3x2, 2,
             ))
-        })
+        });
     });
     g.finish();
 }

@@ -18,7 +18,7 @@ fn census_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let mut reg = TypeRegistry::new();
                 black_box(TypeCensus::compute(&s, 2, &mut reg).num_types())
-            })
+            });
         });
     }
     g.finish();
@@ -30,7 +30,7 @@ fn gaifman_graph_build(c: &mut Criterion) {
     for n in [1024u32, 8192, 65536] {
         let s = builders::grid(n / 32, 32);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(GaifmanGraph::new(&s).max_degree()))
+            b.iter(|| black_box(GaifmanGraph::new(&s).max_degree()));
         });
     }
     g.finish();
@@ -43,7 +43,7 @@ fn hanf_check(c: &mut Criterion) {
         let a = builders::copies(&builders::undirected_cycle(m), 2);
         let b = builders::undirected_cycle(2 * m);
         g.bench_with_input(BenchmarkId::from_parameter(m), &m, |bench, _| {
-            bench.iter(|| black_box(hanf::hanf_equivalent(&a, &b, 3)))
+            bench.iter(|| black_box(hanf::hanf_equivalent(&a, &b, 3)));
         });
     }
     g.finish();
@@ -55,13 +55,13 @@ fn gaifman_violation_search(c: &mut Criterion) {
     let tc_pairs = |s: &Structure| -> HashSet<Vec<Elem>> {
         let t = graph::transitive_closure(s);
         let e = t.signature().relation("E").unwrap();
-        t.rel(e).iter().map(|x| x.to_vec()).collect()
+        t.rel(e).iter().map(<[u32]>::to_vec).collect()
     };
     for r in [1u32, 2] {
         let s = builders::directed_path(6 * r + 8);
         let out = tc_pairs(&s);
         g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
-            b.iter(|| black_box(gaifman_local::find_violation(&s, &out, 2, r).is_some()))
+            b.iter(|| black_box(gaifman_local::find_violation(&s, &out, 2, r).is_some()));
         });
     }
     g.finish();
@@ -77,7 +77,7 @@ fn degree_spectra(c: &mut Criterion) {
                 let tc = graph::transitive_closure(&s);
                 let e = tc.signature().relation("E").unwrap();
                 black_box(bndp::degree_spectrum(&tc, e).len())
-            })
+            });
         });
     }
     g.finish();

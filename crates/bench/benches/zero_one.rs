@@ -18,7 +18,7 @@ fn sampling(c: &mut Criterion) {
     for n in [16u32, 64, 256] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(BENCH_SEED);
-            b.iter(|| black_box(sample::uniform_structure(&sig, n, &mut rng).num_tuples()))
+            b.iter(|| black_box(sample::uniform_structure(&sig, n, &mut rng).num_tuples()));
         });
     }
     g.finish();
@@ -32,7 +32,7 @@ fn mu_estimation(c: &mut Criterion) {
     g.sample_size(10);
     for n in [8u32, 16, 32] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(mu::mu_estimate(&sig, n, &q2, 100, BENCH_SEED)))
+            b.iter(|| black_box(mu::mu_estimate(&sig, n, &q2, 100, BENCH_SEED)));
         });
     }
     g.finish();
@@ -46,7 +46,7 @@ fn mu_exact_tiny(c: &mut Criterion) {
     g.sample_size(10);
     for n in [2u32, 3] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| black_box(mu::mu_exact(&sig, n, &q1)))
+            b.iter(|| black_box(mu::mu_exact(&sig, n, &q1)));
         });
     }
     g.finish();
@@ -60,7 +60,7 @@ fn axiom_certification(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(BENCH_SEED);
         let s = sample::uniform_structure(&sig, n, &mut rng);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(extension::satisfies_extension_axioms(&s, 1)))
+            b.iter(|| black_box(extension::satisfies_extension_axioms(&s, 1)));
         });
     }
     g.finish();
@@ -78,7 +78,7 @@ fn symbolic_decision(c: &mut Criterion) {
     ];
     for (name, f) in &cases {
         g.bench_function(*name, |b| {
-            b.iter(|| black_box(fmt_zeroone::decide_mu(&sig, f)))
+            b.iter(|| black_box(fmt_zeroone::decide_mu(&sig, f)));
         });
     }
     g.finish();

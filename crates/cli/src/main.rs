@@ -7,22 +7,25 @@
 //! fmtk mu     "<sentence>" [--rel R:k ...]   μ(φ) via the 0-1 law
 //! fmtk census <structure> [--radius r]       neighborhood-type census
 //! fmtk datalog <structure> <program>         run a Datalog program
+//! fmtk lint   [FILE|--expr φ|--program P]    static analysis (fmt-lint)
 //! fmtk conform [--seed N] [--cases K]        differential-test the engines
 //! fmtk sample                                 print an example structure file
 //! ```
 //!
 //! Structures use the line format of `fmt_structures::parse`
 //! (`size: 5`, `E(0,1)`, `c = 3`); `-` reads from stdin. The default
-//! signature for `mu` is the graph vocabulary `E/2`; add relations with
-//! `--rel NAME:ARITY`.
+//! signature for `mu` and `lint` is the graph vocabulary `E/2`; add
+//! relations with `--rel NAME:ARITY`. Parse errors are rendered with a
+//! caret under the offending byte range.
 
 use fmt_core::eval::{naive, relalg};
 use fmt_core::games::play::optimal_play;
 use fmt_core::games::solver::rank;
+use fmt_core::lint::{self, LintConfig};
 use fmt_core::locality::{TypeCensus, TypeRegistry};
-use fmt_core::logic::{parser as fo_parser, Query};
+use fmt_core::logic::{parser as fo_parser, Query, QueryError};
 use fmt_core::queries::datalog::Program;
-use fmt_core::structures::{parse as sparse, Signature, Structure};
+use fmt_core::structures::{parse as sparse, Diagnostic, Severity, Signature, Structure};
 use fmt_core::zeroone;
 use std::io::Read;
 use std::process::ExitCode;
@@ -36,11 +39,28 @@ fn usage() -> String {
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
      fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N]\n  \
+     fmtk lint   [FILE | --expr \"<formula>\" | --program \"<rules>\"] [--format text|json]\n          \
+     [--deny CODE|warnings ...] [--rel NAME:ARITY ...] [--sentence] [--rank-budget N] [--goal PRED]\n  \
      fmtk conform [--seed N] [--cases K] [--oracle NAME] [--corpus DIR] [--replay FILE]\n  \
      fmtk sample\n\
      global flags:\n  \
      --stats [text|json]   print engine counters after the command\n\
-     (structure files use the text format; '-' reads stdin)"
+     (structure files use the text format; '-' reads stdin;\n \
+     lint FILEs: .dl = Datalog program, .case = conform repro case, else formula)"
+        .to_owned()
+}
+
+/// Renders an FO parse error as a caret diagnostic against its source.
+fn render_fo_error(src: &str, origin: &str, e: &fo_parser::LogicParseError) -> String {
+    let code = match e.kind {
+        fo_parser::LogicParseErrorKind::Syntax => "F000",
+        fo_parser::LogicParseErrorKind::UnknownRelation
+        | fo_parser::LogicParseErrorKind::ArityMismatch => "F004",
+    };
+    Diagnostic::error(code, e.message.clone())
+        .with_span(e.span)
+        .render(src, origin)
+        .trim_end()
         .to_owned()
 }
 
@@ -90,7 +110,8 @@ fn cmd_check(args: &[String]) -> Result<String, String> {
         return Err(usage());
     };
     let s = load_structure(spath)?;
-    let f = fo_parser::parse_formula(s.signature(), sentence).map_err(|e| e.to_string())?;
+    let f = fo_parser::parse_formula(s.signature(), sentence)
+        .map_err(|e| render_fo_error(sentence, "<expr>", &e))?;
     if !f.is_sentence() {
         return Err("sentence required (use `eval` for open queries)".into());
     }
@@ -108,7 +129,10 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
         return Err(usage());
     };
     let s = load_structure(spath)?;
-    let q = Query::parse(s.signature(), query).map_err(|e| e.to_string())?;
+    let q = Query::parse(s.signature(), query).map_err(|e| match e {
+        QueryError::Parse(pe) => render_fo_error(query, "<expr>", &pe),
+        other => other.to_string(),
+    })?;
     let answers = relalg::answers(&s, &q);
     let mut out = format!("arity {}, {} answers\n", q.arity(), answers.len());
     for row in answers {
@@ -160,29 +184,13 @@ fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
 }
 
 fn cmd_mu(mut args: Vec<String>) -> Result<String, String> {
-    // Collect --rel NAME:ARITY flags.
-    let mut rels: Vec<(String, usize)> = Vec::new();
-    while let Some(spec) = flag_value(&mut args, "--rel")? {
-        let (name, arity) = spec
-            .split_once(':')
-            .ok_or_else(|| format!("bad --rel {spec}, expected NAME:ARITY"))?;
-        let arity: usize = arity.parse().map_err(|_| format!("bad arity in {spec}"))?;
-        rels.push((name.to_owned(), arity));
-    }
+    let sig = signature_from_rels(&mut args)?;
     reject_unknown_flags(&args)?;
     let [sentence] = args.as_slice() else {
         return Err(usage());
     };
-    let sig: Arc<Signature> = if rels.is_empty() {
-        Signature::graph()
-    } else {
-        let mut b = Signature::builder();
-        for (name, arity) in &rels {
-            b = b.relation(name, *arity);
-        }
-        b.finish_arc()
-    };
-    let f = fo_parser::parse_formula(&sig, sentence).map_err(|e| e.to_string())?;
+    let f = fo_parser::parse_formula(&sig, sentence)
+        .map_err(|e| render_fo_error(sentence, "<expr>", &e))?;
     if !f.is_sentence() {
         return Err("mu requires a sentence".into());
     }
@@ -232,7 +240,15 @@ fn cmd_datalog(args: &[String]) -> Result<String, String> {
     };
     let s = load_structure(spath)?;
     let src = read_input(ppath)?;
-    let prog = Program::parse(s.signature(), &src)?;
+    let prog = Program::parse_spanned(s.signature(), &src)
+        .map_err(|e| {
+            Diagnostic::error("D000", e.message)
+                .with_span(e.span)
+                .render(&src, ppath)
+                .trim_end()
+                .to_owned()
+        })?
+        .program;
     let out = match engine.as_str() {
         "indexed" => prog.eval_seminaive_with(&s, threads),
         "scan" => prog.eval_seminaive_scan(&s),
@@ -254,6 +270,157 @@ fn cmd_datalog(args: &[String]) -> Result<String, String> {
         out.iterations, out.derivations
     ));
     Ok(text)
+}
+
+/// Parses repeated `--rel NAME:ARITY` flags into a signature
+/// (default: the graph vocabulary `E/2`).
+fn signature_from_rels(args: &mut Vec<String>) -> Result<Arc<Signature>, String> {
+    let mut rels: Vec<(String, usize)> = Vec::new();
+    while let Some(spec) = flag_value(args, "--rel")? {
+        let (name, arity) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad --rel {spec}, expected NAME:ARITY"))?;
+        let arity: usize = arity.parse().map_err(|_| format!("bad arity in {spec}"))?;
+        rels.push((name.to_owned(), arity));
+    }
+    if rels.is_empty() {
+        return Ok(Signature::graph());
+    }
+    let mut b = Signature::builder();
+    for (name, arity) in &rels {
+        b = b.relation(name, *arity);
+    }
+    Ok(b.finish_arc())
+}
+
+fn cmd_lint(mut args: Vec<String>) -> Result<String, String> {
+    let format = flag_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
+    if format != "text" && format != "json" {
+        return Err(format!("unknown --format {format:?} (use text|json)"));
+    }
+    let mut deny: Vec<String> = Vec::new();
+    while let Some(code) = flag_value(&mut args, "--deny")? {
+        deny.push(code);
+    }
+    let rank_budget: Option<u32> = flag_value(&mut args, "--rank-budget")?
+        .map(|v| v.parse().map_err(|_| format!("bad --rank-budget {v:?}")))
+        .transpose()?;
+    let goal = flag_value(&mut args, "--goal")?;
+    let sig = signature_from_rels(&mut args)?;
+    let mut exprs: Vec<String> = Vec::new();
+    while let Some(e) = flag_value(&mut args, "--expr")? {
+        exprs.push(e);
+    }
+    let mut programs: Vec<String> = Vec::new();
+    while let Some(p) = flag_value(&mut args, "--program")? {
+        programs.push(p);
+    }
+    let expect_sentence = if let Some(pos) = args.iter().position(|a| a == "--sentence") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    reject_unknown_flags(&args)?;
+    let files = args;
+    if exprs.is_empty() && programs.is_empty() && files.is_empty() {
+        return Err(format!(
+            "lint needs a FILE, --expr, or --program\n{}",
+            usage()
+        ));
+    }
+    let mut cfg = LintConfig {
+        expect_sentence,
+        goal,
+        ..LintConfig::default()
+    };
+    if let Some(b) = rank_budget {
+        cfg.rank_budget = b;
+    }
+
+    // One (origin, source, diagnostics) triple per linted input. A
+    // `.case` file can contribute two: its formula and its program.
+    let mut results: Vec<(String, String, Vec<Diagnostic>)> = Vec::new();
+    for src in exprs {
+        let diags = lint::lint_formula_src(&sig, &src, &cfg);
+        results.push(("<expr>".to_owned(), src, diags));
+    }
+    for src in programs {
+        let diags = lint::lint_program_src(&sig, &src, &cfg);
+        results.push(("<program>".to_owned(), src, diags));
+    }
+    for path in files {
+        if path.ends_with(".case") {
+            let text = read_input(&path)?;
+            let case =
+                fmt_conform::ReproCase::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+            let csig = case.signature();
+            if let Some(f) = &case.formula {
+                let diags = lint::lint_formula_src(&csig, f, &cfg);
+                results.push((format!("{path}#formula"), f.clone(), diags));
+            }
+            if let Some(p) = case.param("program") {
+                let diags = lint::lint_program_src(&csig, p, &cfg);
+                results.push((format!("{path}#program"), p.to_owned(), diags));
+            }
+        } else if path.ends_with(".dl") {
+            let src = read_input(&path)?;
+            let diags = lint::lint_program_src(&sig, &src, &cfg);
+            results.push((path, src, diags));
+        } else {
+            let src = read_input(&path)?.trim_end().to_owned();
+            let diags = lint::lint_formula_src(&sig, &src, &cfg);
+            results.push((path, src, diags));
+        }
+    }
+
+    // --deny escalates matching warnings (or all of them) to errors.
+    let denied = |code: &str| deny.iter().any(|d| d == code || d == "warnings");
+    let (mut n_warn, mut n_err) = (0usize, 0usize);
+    for (_, _, diags) in &mut results {
+        for d in diags.iter_mut() {
+            if d.severity == Severity::Warning && denied(&d.code) {
+                d.severity = Severity::Error;
+            }
+            match d.severity {
+                Severity::Error => n_err += 1,
+                Severity::Warning => n_warn += 1,
+            }
+        }
+    }
+
+    let out = if format == "json" {
+        let all: Vec<Diagnostic> = results
+            .iter()
+            .flat_map(|(_, _, diags)| diags.iter().cloned())
+            .collect();
+        lint::diag::diags_to_json(&all)
+    } else {
+        let mut text = String::new();
+        for (origin, src, diags) in &results {
+            for d in diags {
+                text.push_str(d.render(src, origin).trim_end());
+                text.push_str("\n\n");
+            }
+        }
+        let n_inputs = results.len();
+        if n_warn + n_err == 0 {
+            text.push_str(&format!("clean: {n_inputs} input(s), no diagnostics"));
+        } else {
+            text.push_str(&format!(
+                "{} diagnostic(s) across {n_inputs} input(s): {n_err} error(s), {n_warn} warning(s)",
+                n_warn + n_err
+            ));
+        }
+        text.trim_end().to_owned()
+    };
+    if n_err > 0 {
+        // Keep the report (including JSON) on stdout; only the verdict
+        // goes to stderr with the failing exit code.
+        println!("{out}");
+        return Err(format!("lint failed with {n_err} error(s)"));
+    }
+    Ok(out)
 }
 
 fn cmd_conform(mut args: Vec<String>) -> Result<String, String> {
@@ -380,6 +547,7 @@ fn run() -> Result<String, String> {
         "mu" => cmd_mu(argv),
         "census" => cmd_census(argv),
         "datalog" => cmd_datalog(&argv),
+        "lint" => cmd_lint(argv),
         "conform" => cmd_conform(argv),
         "sample" => Ok(cmd_sample()),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -401,5 +569,80 @@ fn main() -> ExitCode {
             eprintln!("fmtk: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(args: &[&str]) -> Result<String, String> {
+        cmd_lint(args.iter().map(|s| (*s).to_owned()).collect())
+    }
+
+    #[test]
+    fn lint_reports_with_carets() {
+        let out = lint(&["--expr", "exists x. E(y, y)"]).unwrap();
+        assert!(out.contains("warning[F001]"), "{out}");
+        assert!(out.contains("exists x. E(y, y)"), "{out}");
+        assert!(out.contains('^'), "{out}");
+        assert!(out.contains("1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_deny_escalates_to_failure() {
+        let err = lint(&["--expr", "exists x. E(y, y)", "--deny", "warnings"]).unwrap_err();
+        assert!(err.contains("1 error(s)"), "{err}");
+        let err = lint(&["--expr", "exists x. E(y, y)", "--deny", "F001"]).unwrap_err();
+        assert!(err.contains("1 error(s)"), "{err}");
+        // Denying an unrelated code does not escalate.
+        let out = lint(&["--expr", "exists x. E(y, y)", "--deny", "F002"]).unwrap();
+        assert!(out.contains("1 warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_round_trips() {
+        let out = lint(&["--format", "json", "--expr", "exists x. E(y, y)"]).unwrap();
+        let diags = fmt_core::structures::diag::diags_from_json(&out).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "F001");
+        assert_eq!(
+            diags[0].span.unwrap(),
+            fmt_core::structures::Span::new(7, 8)
+        );
+    }
+
+    #[test]
+    fn lint_classifies_dl_files_by_extension() {
+        let path = std::env::temp_dir().join("fmtk_lint_cli_test.dl");
+        std::fs::write(&path, "p(x) :- e(x, x). p(y) :- e(y, y).").unwrap();
+        let out = lint(&[path.to_str().unwrap()]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("D004"), "{out}");
+    }
+
+    #[test]
+    fn lint_flag_validation() {
+        assert!(lint(&["--format", "yaml", "--expr", "true"]).is_err());
+        assert!(lint(&[]).is_err());
+        assert!(lint(&["--rank-budget", "lots", "--expr", "true"]).is_err());
+    }
+
+    #[test]
+    fn lint_sentence_and_rel_flags() {
+        let err = lint(&["--sentence", "--expr", "E(x, y)"]).unwrap_err();
+        assert!(err.contains("1 error(s)"), "{err}");
+        let out = lint(&["--rel", "R:1", "--expr", "forall x. R(x)"]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_render_carets() {
+        let src = "E(x, y) & R(x)";
+        let e = fo_parser::parse_formula_spanned(&Signature::graph(), src).unwrap_err();
+        let r = render_fo_error(src, "<expr>", &e);
+        assert!(r.contains("error[F004]"), "{r}");
+        assert!(r.contains('^'), "{r}");
+        assert!(r.contains("<expr>:1:11"), "{r}");
     }
 }

@@ -110,7 +110,7 @@ impl ReproCase {
         }
         for (label, text) in &self.structures {
             let _ = writeln!(out, "structure {label}:");
-            let _ = write!(out, "{}", text);
+            let _ = write!(out, "{text}");
             if !text.ends_with('\n') {
                 out.push('\n');
             }

@@ -16,6 +16,7 @@
 //! | `games-orders`   | EF solver vs. Theorem 3.1 (`L_m ≡ₙ L_k`, `m,k ≥ 2ⁿ − 1`)  |
 //! | `hanf-locality`  | census invariants + Hanf's theorem vs. direct game search |
 //! | `datalog-engines`| naive / scan / indexed·threaded semi-naive fixpoints      |
+//! | `lint-clean`     | lint-clean inputs evaluate without panics and all engines agree |
 
 use crate::corpus::ReproCase;
 use crate::gen::{self, GenConfig};
@@ -23,6 +24,7 @@ use crate::shrink::minimize;
 use fmt_eval::{circuit, naive, relalg};
 use fmt_games::closed_form::{orders_equivalent, sets_duplicator_wins};
 use fmt_games::solver::EfSolver;
+use fmt_lint::LintConfig;
 use fmt_locality::hanf::hanf_equivalent;
 use fmt_logic::{parser, Formula};
 use fmt_obs::Counter;
@@ -30,6 +32,7 @@ use fmt_queries::datalog::Program;
 use fmt_structures::{builders, parse as sparse, Structure};
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Shrink budget per counterexample (predicate evaluations).
 const SHRINK_BUDGET: usize = 2_000;
@@ -40,6 +43,7 @@ static OBS_SETS: Counter = Counter::new("conform.oracle.games_sets");
 static OBS_ORDERS: Counter = Counter::new("conform.oracle.games_orders");
 static OBS_HANF: Counter = Counter::new("conform.oracle.hanf_locality");
 static OBS_DATALOG: Counter = Counter::new("conform.oracle.datalog_engines");
+static OBS_LINT: Counter = Counter::new("conform.oracle.lint_clean");
 
 /// A differential cross-check that can both hunt (run a fresh random
 /// case) and replay (re-run a serialized counterexample).
@@ -66,6 +70,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(GamesOrders),
         Box::new(HanfLocality),
         Box::new(DatalogEngines),
+        Box::new(LintClean),
     ]
 }
 
@@ -95,6 +100,7 @@ fn case_skeleton(oracle: &dyn Oracle, seed: u64, case: u64, note: String) -> Rep
 
 /// Naive, relational-algebra, and circuit evaluation must return the
 /// same truth value for every sentence on every structure.
+#[derive(Debug)]
 pub struct EvalAgreement;
 
 /// The three engines' verdicts on a sentence.
@@ -165,6 +171,7 @@ impl Oracle for EvalAgreement {
 /// Parsing the pretty-printed form of a normalized formula must return
 /// the identical AST (satellite: the canonical `x<digits>` parser rule
 /// exists exactly so this holds).
+#[derive(Debug)]
 pub struct ParseDisplay;
 
 fn roundtrips(f: &Formula) -> bool {
@@ -217,6 +224,7 @@ impl Oracle for ParseDisplay {
 
 /// The EF solver on pure sets must match the closed-form win predicate
 /// (equal sizes, or both at least `n`).
+#[derive(Debug)]
 pub struct GamesSets;
 
 fn sets_disagree(na: u32, nb: u32, n: u32) -> bool {
@@ -286,6 +294,7 @@ impl Oracle for GamesSets {
 
 /// The EF solver on linear orders must match the exact Theorem 3.1
 /// characterization `L_m ≡ₙ L_k ⟺ m = k ∨ m, k ≥ 2ⁿ − 1`.
+#[derive(Debug)]
 pub struct GamesOrders;
 
 fn orders_disagree(m: u64, k: u64, n: u32) -> bool {
@@ -354,6 +363,7 @@ impl Oracle for GamesOrders {
 /// relabeling, downward monotone in the radius, and must imply
 /// game equivalence at the Hanf radius `(3ⁿ − 1)/2` (Hanf's theorem,
 /// cross-checked against direct EF search).
+#[derive(Debug)]
 pub struct HanfLocality;
 
 /// The Hanf-locality rank bound: `A ⇆ᵣ B` with `r = (3ⁿ − 1)/2`
@@ -464,6 +474,7 @@ impl Oracle for HanfLocality {
 /// The naive, written-order scan, and indexed (1–2 threads) Datalog
 /// engines must compute identical fixpoints — and the two semi-naive
 /// engines identical work counters — on random programs.
+#[derive(Debug)]
 pub struct DatalogEngines;
 
 fn datalog_disagreement(s: &Structure, src: &str) -> Option<String> {
@@ -521,6 +532,126 @@ impl Oracle for DatalogEngines {
         let s = case.structure("A")?;
         let src = case.param("program").ok_or("case is missing `program`")?;
         match datalog_disagreement(&s, src) {
+            Some(note) => Err(note),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lint-clean
+// ---------------------------------------------------------------------
+
+/// The static/dynamic contract of `fmt-lint`: the generators never
+/// produce an input the linter rejects outright (error severity), and
+/// an input the linter passes — warnings allowed — evaluates without a
+/// panic and with all engines agreeing.
+#[derive(Debug)]
+pub struct LintClean;
+
+fn lint_cfg() -> LintConfig {
+    LintConfig {
+        expect_sentence: true,
+        ..LintConfig::default()
+    }
+}
+
+fn first_lint_error(diags: &[fmt_lint::Diagnostic]) -> Option<String> {
+    diags
+        .iter()
+        .find(|d| d.severity == fmt_lint::Severity::Error)
+        .map(|d| format!("{}: {}", d.code, d.message))
+}
+
+/// `None` when the sentence upholds the lint-clean contract on `s`.
+fn lint_clean_formula_violation(s: &Structure, text: &str) -> Option<String> {
+    let diags = fmt_lint::lint_formula_src(s.signature(), text, &lint_cfg());
+    if let Some(e) = first_lint_error(&diags) {
+        return Some(format!("linter rejects a generated sentence ({e})"));
+    }
+    let f = match parser::parse_formula(s.signature(), text) {
+        Ok(f) => f,
+        Err(e) => return Some(format!("lint-clean sentence fails to parse: {e}")),
+    };
+    match catch_unwind(AssertUnwindSafe(|| eval_verdicts(s, &f))) {
+        Err(_) => Some("evaluation panicked on a lint-clean sentence".to_owned()),
+        Ok((nv, ra, cv)) if nv != ra || nv != cv => Some(format!(
+            "engines disagree on a lint-clean sentence: naive={nv} relalg={ra} circuit={cv}"
+        )),
+        Ok(_) => None,
+    }
+}
+
+/// `None` when the program upholds the lint-clean contract on `s`.
+fn lint_clean_program_violation(s: &Structure, src: &str) -> Option<String> {
+    let diags = fmt_lint::lint_program_src(s.signature(), src, &lint_cfg());
+    if let Some(e) = first_lint_error(&diags) {
+        return Some(format!("linter rejects a generated program ({e})"));
+    }
+    match catch_unwind(AssertUnwindSafe(|| datalog_disagreement(s, src))) {
+        Err(_) => Some("evaluation panicked on a lint-clean program".to_owned()),
+        Ok(Some(note)) => Some(format!("engines disagree on a lint-clean program: {note}")),
+        Ok(None) => None,
+    }
+}
+
+impl Oracle for LintClean {
+    fn name(&self) -> &'static str {
+        "lint-clean"
+    }
+
+    fn run_case(&self, rng: &mut StdRng, seed: u64, case: u64) -> Option<ReproCase> {
+        OBS_LINT.incr();
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(rng, &cfg);
+        if rng.random_bool(0.5) {
+            let f = gen::random_sentence(rng, &cfg);
+            let text = format!("{}", f.display(s.signature()));
+            let note = lint_clean_formula_violation(&s, &text)?;
+            let (s, _) = minimize(
+                s,
+                &mut |t: &Structure| lint_clean_formula_violation(t, &text).is_some(),
+                SHRINK_BUDGET,
+            );
+            let note = lint_clean_formula_violation(&s, &text).unwrap_or(note);
+            let mut c = case_skeleton(self, seed, case, note);
+            c.params = vec![("kind".to_owned(), "formula".to_owned())];
+            c.formula = Some(text);
+            c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+            Some(c)
+        } else {
+            let src = gen::random_datalog_program(rng);
+            let note = lint_clean_program_violation(&s, &src)?;
+            let (s, _) = minimize(
+                s,
+                &mut |t: &Structure| lint_clean_program_violation(t, &src).is_some(),
+                SHRINK_BUDGET,
+            );
+            let note = lint_clean_program_violation(&s, &src).unwrap_or(note);
+            let mut c = case_skeleton(self, seed, case, note);
+            c.params = vec![
+                ("kind".to_owned(), "program".to_owned()),
+                ("program".to_owned(), src.trim().to_owned()),
+            ];
+            c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+            Some(c)
+        }
+    }
+
+    fn replay(&self, case: &ReproCase) -> Result<(), String> {
+        let s = case.structure("A")?;
+        let violation = match case.param("kind").ok_or("case is missing `kind`")? {
+            "formula" => {
+                let text = case.formula.as_ref().ok_or("case has no formula")?;
+                lint_clean_formula_violation(&s, text)
+            }
+            "program" => {
+                let src = case.param("program").ok_or("case is missing `program`")?;
+                lint_clean_program_violation(&s, src)
+            }
+            other => return Err(format!("unknown lint-clean case kind {other:?}")),
+        };
+        match violation {
             Some(note) => Err(note),
             None => Ok(()),
         }

@@ -114,13 +114,13 @@ mod tests {
     fn clean_run_on_a_correct_toolbox() {
         let report = run(&RunConfig {
             seed: 42,
-            cases: 18,
+            cases: 21,
             ..RunConfig::default()
         })
         .unwrap();
-        assert_eq!(report.cases_run, 18);
+        assert_eq!(report.cases_run, 21);
         assert!(report.clean(), "failures: {:?}", report.failures);
-        // Round-robin: 18 cases over 6 oracles = 3 each.
+        // Round-robin: 21 cases over 7 oracles = 3 each.
         assert!(report.per_oracle.iter().all(|(_, n)| *n == 3));
     }
 

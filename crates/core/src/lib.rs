@@ -78,3 +78,7 @@ pub use fmt_queries as queries;
 /// Engine instrumentation: counters, histograms, span timers
 /// (re-export of `fmt-obs`).
 pub use fmt_obs as obs;
+
+/// Static analysis: span-aware lints for formulas and Datalog programs
+/// (re-export of `fmt-lint`).
+pub use fmt_lint as lint;

@@ -296,7 +296,7 @@ mod tests {
         let tc_pairs = |s: &Structure| -> HashSet<Vec<Elem>> {
             let t = graph::transitive_closure(s);
             let e = t.signature().relation("E").unwrap();
-            t.rel(e).iter().map(|x| x.to_vec()).collect()
+            t.rel(e).iter().map(<[u32]>::to_vec).collect()
         };
         let cert = GaifmanCertificate::build(
             "transitive closure",

@@ -262,9 +262,8 @@ mod tests {
             for side_first in [true, false] {
                 let size = if side_first { m } else { k };
                 for x in 0..size as u32 {
-                    let y = match order_reply(pairs, side_first, x, m, k, rounds_left - 1) {
-                        Some(y) => y,
-                        None => return false,
+                    let Some(y) = order_reply(pairs, side_first, x, m, k, rounds_left - 1) else {
+                        return false;
                     };
                     let (pa, pb) = if side_first { (x, y) } else { (y, x) };
                     if !fmt_structures::partial::extension_ok(a, b, pairs, pa, pb) {

@@ -83,14 +83,11 @@ pub fn play(
         OBS_ROUNDS.incr();
         let (side, x) = spoiler(&pairs, left);
         let reply = duplicator(&pairs, left, side, x);
-        let y = match reply {
-            Some(y) => y,
-            None => {
-                return GameTrace {
-                    rounds: trace,
-                    duplicator_survived: false,
-                }
-            }
+        let Some(y) = reply else {
+            return GameTrace {
+                rounds: trace,
+                duplicator_survived: false,
+            };
         };
         let pair = match side {
             Side::Left => (x, y),
@@ -197,14 +194,11 @@ pub fn optimal_play(a: &Structure, b: &Structure, rounds: u32) -> GameTrace {
                 });
                 legal.or_else(|| candidates.clone().next())
             });
-        let y = match y {
-            Some(y) => y,
-            None => {
-                return GameTrace {
-                    rounds: trace,
-                    duplicator_survived: false,
-                }
-            }
+        let Some(y) = y else {
+            return GameTrace {
+                rounds: trace,
+                duplicator_survived: false,
+            };
         };
         let pair = match side {
             Side::Left => (x, y),

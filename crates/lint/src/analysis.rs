@@ -1,0 +1,351 @@
+//! The single-pass analysis IR.
+//!
+//! [`analyze`] walks a formula once (optionally in lockstep with the
+//! parser's [`SpanTree`]) and computes, per subformula: free variables,
+//! quantifier rank, quantifier alternation, width (number of free
+//! variables), and the constant-folded truth value where one is
+//! determined. Every formula lint reads these shared facts instead of
+//! re-walking the tree.
+
+use fmt_logic::parser::SpanTree;
+use fmt_logic::{Formula, Term, Var};
+use fmt_structures::Span;
+use std::collections::BTreeSet;
+
+/// What kind of formula node a [`NodeFacts`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The `true` literal.
+    True,
+    /// The `false` literal.
+    False,
+    /// A relational atom.
+    Atom,
+    /// An equality atom.
+    Eq,
+    /// Negation.
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// Implication.
+    Implies,
+    /// Bi-implication.
+    Iff,
+    /// Existential quantifier.
+    Exists,
+    /// Universal quantifier.
+    Forall,
+}
+
+/// Per-subformula facts, computed once by [`analyze`].
+#[derive(Debug, Clone)]
+pub struct NodeFacts {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Index of the parent node (`None` at the root).
+    pub parent: Option<usize>,
+    /// Indices of the children, in AST order.
+    pub children: Vec<usize>,
+    /// Source byte range, when the formula came from the parser.
+    pub span: Option<Span>,
+    /// For quantifier nodes, the span of the bound variable name.
+    pub binder: Option<Span>,
+    /// For quantifier nodes, the bound variable.
+    pub bound_var: Option<Var>,
+    /// Free variables of this subformula.
+    pub free: BTreeSet<Var>,
+    /// Quantifier rank of this subformula.
+    pub rank: u32,
+    /// Width: the number of free variables of this subformula.
+    pub width: usize,
+    /// Greatest number of alternating quantifier blocks along any path
+    /// into this subformula whose outermost block is existential.
+    pub alt_e: u32,
+    /// Same, for paths whose outermost block is universal.
+    pub alt_a: u32,
+    /// The truth value constant folding determines for this
+    /// subformula, if any. Folding is conservative on quantifiers
+    /// (`forall` folds only to `true`, `exists` only to `false`) so it
+    /// stays sound on empty domains.
+    pub fold: Option<bool>,
+}
+
+/// The analysis of one formula: [`NodeFacts`] for every subformula, in
+/// pre-order (node 0 is the root, a quantifier's body is the next
+/// index).
+#[derive(Debug, Clone)]
+pub struct FormulaAnalysis {
+    nodes: Vec<NodeFacts>,
+}
+
+impl FormulaAnalysis {
+    /// The per-subformula facts, in pre-order.
+    pub fn nodes(&self) -> &[NodeFacts] {
+        &self.nodes
+    }
+
+    /// The root node's facts.
+    pub fn root(&self) -> &NodeFacts {
+        &self.nodes[0]
+    }
+
+    /// Quantifier alternation depth of the whole formula: the greatest
+    /// number of alternating quantifier blocks along any path.
+    pub fn alternation(&self) -> u32 {
+        self.root().alt_e.max(self.root().alt_a)
+    }
+
+    /// Width of the formula: the maximum number of free variables of
+    /// any subformula.
+    pub fn max_width(&self) -> usize {
+        self.nodes.iter().map(|n| n.width).max().unwrap_or(0)
+    }
+
+    /// True if some ancestor of `i` (strictly above it) binds `v`.
+    pub fn bound_above(&self, i: usize, v: Var) -> bool {
+        let mut cur = self.nodes[i].parent;
+        while let Some(p) = cur {
+            if self.nodes[p].bound_var == Some(v) {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+}
+
+/// Analyzes a formula in one pass, optionally aligning each node with
+/// the parser's span tree (pass `None` for programmatically built
+/// ASTs).
+pub fn analyze(f: &Formula, spans: Option<&SpanTree>) -> FormulaAnalysis {
+    let mut nodes = Vec::new();
+    go(f, spans, None, &mut nodes);
+    FormulaAnalysis { nodes }
+}
+
+fn placeholder(parent: Option<usize>) -> NodeFacts {
+    NodeFacts {
+        kind: NodeKind::True,
+        parent,
+        children: Vec::new(),
+        span: None,
+        binder: None,
+        bound_var: None,
+        free: BTreeSet::new(),
+        rank: 0,
+        width: 0,
+        alt_e: 0,
+        alt_a: 0,
+        fold: None,
+    }
+}
+
+fn go(
+    f: &Formula,
+    sp: Option<&SpanTree>,
+    parent: Option<usize>,
+    nodes: &mut Vec<NodeFacts>,
+) -> usize {
+    let idx = nodes.len();
+    nodes.push(placeholder(parent));
+
+    let kids: Vec<&Formula> = match f {
+        Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => Vec::new(),
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => vec![g],
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().collect(),
+        Formula::Implies(a, b) | Formula::Iff(a, b) => vec![a, b],
+    };
+    let child_idx: Vec<usize> = kids
+        .iter()
+        .enumerate()
+        .map(|(i, g)| go(g, sp.and_then(|s| s.children.get(i)), Some(idx), nodes))
+        .collect();
+
+    let kind = match f {
+        Formula::True => NodeKind::True,
+        Formula::False => NodeKind::False,
+        Formula::Atom { .. } => NodeKind::Atom,
+        Formula::Eq(..) => NodeKind::Eq,
+        Formula::Not(_) => NodeKind::Not,
+        Formula::And(_) => NodeKind::And,
+        Formula::Or(_) => NodeKind::Or,
+        Formula::Implies(..) => NodeKind::Implies,
+        Formula::Iff(..) => NodeKind::Iff,
+        Formula::Exists(..) => NodeKind::Exists,
+        Formula::Forall(..) => NodeKind::Forall,
+    };
+
+    // Free variables.
+    let mut free: BTreeSet<Var> = BTreeSet::new();
+    match f {
+        Formula::Atom { args, .. } => free.extend(args.iter().filter_map(Term::as_var)),
+        Formula::Eq(a, b) => free.extend([a, b].into_iter().filter_map(fmt_logic::Term::as_var)),
+        Formula::Exists(v, _) | Formula::Forall(v, _) => {
+            free.extend(nodes[child_idx[0]].free.iter().copied());
+            free.remove(v);
+        }
+        _ => {
+            for &c in &child_idx {
+                free.extend(nodes[c].free.iter().copied());
+            }
+        }
+    }
+
+    // Quantifier rank.
+    let child_rank = child_idx.iter().map(|&c| nodes[c].rank).max().unwrap_or(0);
+    let rank = match f {
+        Formula::Exists(..) | Formula::Forall(..) => child_rank + 1,
+        _ => child_rank,
+    };
+
+    // Alternation: count maximal blocks of like quantifiers.
+    let (alt_e, alt_a) = match f {
+        Formula::Exists(..) => {
+            let c = &nodes[child_idx[0]];
+            (1.max(c.alt_e).max(c.alt_a + 1), 0)
+        }
+        Formula::Forall(..) => {
+            let c = &nodes[child_idx[0]];
+            (0, 1.max(c.alt_a).max(c.alt_e + 1))
+        }
+        _ => child_idx.iter().fold((0, 0), |(e, a), &c| {
+            (e.max(nodes[c].alt_e), a.max(nodes[c].alt_a))
+        }),
+    };
+
+    // Constant folding (sound on empty domains: a quantifier folds only
+    // when its body's value makes the block's value domain-independent).
+    let folds: Vec<Option<bool>> = child_idx.iter().map(|&c| nodes[c].fold).collect();
+    let fold = match f {
+        Formula::True => Some(true),
+        Formula::False => Some(false),
+        Formula::Atom { .. } => None,
+        Formula::Eq(a, b) => (a == b).then_some(true),
+        Formula::Not(_) => folds[0].map(|b| !b),
+        Formula::And(_) => {
+            if folds.contains(&Some(false)) {
+                Some(false)
+            } else if folds.iter().all(|&b| b == Some(true)) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        Formula::Or(_) => {
+            if folds.contains(&Some(true)) {
+                Some(true)
+            } else if folds.iter().all(|&b| b == Some(false)) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        Formula::Implies(..) => match (folds[0], folds[1]) {
+            (Some(false), _) | (_, Some(true)) => Some(true),
+            (Some(true), Some(false)) => Some(false),
+            _ => None,
+        },
+        Formula::Iff(..) => match (folds[0], folds[1]) {
+            (Some(a), Some(b)) => Some(a == b),
+            _ => None,
+        },
+        Formula::Exists(..) => (folds[0] == Some(false)).then_some(false),
+        Formula::Forall(..) => (folds[0] == Some(true)).then_some(true),
+    };
+
+    let n = &mut nodes[idx];
+    n.kind = kind;
+    n.children = child_idx;
+    n.span = sp.map(|s| s.span);
+    n.binder = sp.and_then(|s| s.binder);
+    n.bound_var = match f {
+        Formula::Exists(v, _) | Formula::Forall(v, _) => Some(*v),
+        _ => None,
+    };
+    n.width = free.len();
+    n.free = free;
+    n.rank = rank;
+    n.alt_e = alt_e;
+    n.alt_a = alt_a;
+    n.fold = fold;
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_logic::parser::parse_formula_spanned;
+    use fmt_structures::Signature;
+
+    fn analyzed(src: &str) -> FormulaAnalysis {
+        let sig = Signature::graph();
+        let p = parse_formula_spanned(&sig, src).unwrap();
+        analyze(&p.formula, Some(&p.spans))
+    }
+
+    #[test]
+    fn facts_match_formula_api() {
+        let sig = Signature::graph();
+        for src in [
+            "E(x, y)",
+            "forall x. exists y. E(x, y)",
+            "exists x y. E(x, y) & !(x = y)",
+            "true -> false",
+        ] {
+            let p = parse_formula_spanned(&sig, src).unwrap();
+            let a = analyze(&p.formula, Some(&p.spans));
+            assert_eq!(a.root().rank, p.formula.quantifier_rank());
+            assert_eq!(a.root().free, p.formula.free_vars());
+        }
+    }
+
+    #[test]
+    fn alternation_counts_blocks_not_quantifiers() {
+        // Two like quantifiers are one block.
+        assert_eq!(analyzed("exists x y. E(x, y)").alternation(), 1);
+        // ∃∀ alternates once more.
+        assert_eq!(analyzed("exists x. forall y. E(x, y)").alternation(), 2);
+        // ∀∃∀ is three blocks.
+        assert_eq!(
+            analyzed("forall x. exists y. forall z. E(x, y) & E(y, z)").alternation(),
+            3
+        );
+        assert_eq!(analyzed("E(x, y)").alternation(), 0);
+    }
+
+    #[test]
+    fn folding_is_conservative_on_quantifiers() {
+        // ∃x.true is NOT folded: it is false on the empty structure.
+        assert_eq!(analyzed("exists x. true").root().fold, None);
+        // ∀x.true and ∃x.false are domain-independent.
+        assert_eq!(analyzed("forall x. true").root().fold, Some(true));
+        assert_eq!(analyzed("exists x. false").root().fold, Some(false));
+        assert_eq!(analyzed("forall x. false").root().fold, None);
+        // Connectives fold through unknowns where sound.
+        assert_eq!(analyzed("E(x, y) & false").root().fold, Some(false));
+        assert_eq!(analyzed("E(x, y) | true").root().fold, Some(true));
+        assert_eq!(analyzed("E(x, y) -> true").root().fold, Some(true));
+        assert_eq!(analyzed("x = x").root().fold, Some(true));
+        assert_eq!(analyzed("E(x, y)").root().fold, None);
+    }
+
+    #[test]
+    fn width_is_max_free_vars() {
+        // The inner conjunction has 3 free variables; the sentence 0.
+        let a = analyzed("forall x y z. E(x, y) & E(y, z)");
+        assert_eq!(a.root().width, 0);
+        assert_eq!(a.max_width(), 3);
+    }
+
+    #[test]
+    fn spans_attach_to_nodes() {
+        let src = "exists x. E(x, x)";
+        let a = analyzed(src);
+        assert_eq!(a.root().span.unwrap().slice(src), src);
+        assert!(a.root().binder.is_some());
+        let body = &a.nodes()[a.root().children[0]];
+        assert_eq!(body.span.unwrap().slice(src), "E(x, x)");
+    }
+}

@@ -1,0 +1,197 @@
+//! Datalog lints D001–D005 (D000 parse-level diagnostics are produced
+//! by the entry points in the crate root).
+
+use crate::LintConfig;
+use fmt_queries::datalog::{Pred, Program, RuleSpans};
+use fmt_structures::{Diagnostic, Span};
+use std::collections::{HashMap, HashSet};
+
+fn spanned(d: Diagnostic, s: Option<Span>) -> Diagnostic {
+    match s {
+        Some(sp) => d.with_span(sp),
+        None => d,
+    }
+}
+
+/// Source-position metadata for a parsed program: per-rule spans and
+/// variable names, as produced by
+/// [`Program::parse_spanned`](fmt_queries::datalog::Program::parse_spanned).
+pub type ProgramMeta<'a> = (&'a [RuleSpans], &'a [Vec<String>]);
+
+fn pred_name(p: &Program, pred: Pred) -> String {
+    match pred {
+        Pred::Edb(r) => p.signature().relation_name(r).to_owned(),
+        Pred::Idb(i) => p.idb_info(i).0.to_owned(),
+    }
+}
+
+/// Runs every Datalog lint over a program. `meta` supplies spans and
+/// source variable names when the program came from the parser;
+/// without it, diagnostics carry no spans and variables print as
+/// `v0`, `v1`, ….
+pub fn program_lints(
+    p: &Program,
+    meta: Option<ProgramMeta<'_>>,
+    cfg: &LintConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let vname = |ri: usize, v: u32| -> String {
+        meta.and_then(|(_, names)| names[ri].get(v as usize).cloned())
+            .unwrap_or_else(|| format!("v{v}"))
+    };
+    let rule_spans = |ri: usize| meta.map(|(spans, _)| &spans[ri]);
+
+    for (ri, rule) in p.rules().iter().enumerate() {
+        // D001: head variable not bound by any body atom. Body-less
+        // rules are exempt — `sg(x, x).` is the survey's idiom for a
+        // domain-ranging fact schema.
+        if !rule.body.is_empty() {
+            let bound: HashSet<u32> = rule
+                .body
+                .iter()
+                .flat_map(|a| a.args.iter().copied())
+                .collect();
+            let mut reported = HashSet::new();
+            for (pos, &v) in rule.head.args.iter().enumerate() {
+                if !bound.contains(&v) && reported.insert(v) {
+                    out.push(spanned(
+                        Diagnostic::warning(
+                            "D001",
+                            format!(
+                                "head variable {} is not bound by any body atom",
+                                vname(ri, v)
+                            ),
+                        )
+                        .with_note(
+                            "an unbound head variable ranges over the whole domain; bind it in \
+                             the body if that is not intended",
+                        ),
+                        rule_spans(ri).map(|s| s.head.args[pos]),
+                    ));
+                }
+            }
+        }
+
+        // D002: a variable whose only occurrence in the rule is a
+        // single body position joins and projects nothing.
+        let mut count: HashMap<u32, usize> = HashMap::new();
+        for &v in rule
+            .head
+            .args
+            .iter()
+            .chain(rule.body.iter().flat_map(|a| a.args.iter()))
+        {
+            *count.entry(v).or_insert(0) += 1;
+        }
+        for (bi, atom) in rule.body.iter().enumerate() {
+            for (pos, &v) in atom.args.iter().enumerate() {
+                if count[&v] == 1 {
+                    out.push(spanned(
+                        Diagnostic::warning(
+                            "D002",
+                            format!("body variable {} is used only once", vname(ri, v)),
+                        )
+                        .with_note(
+                            "a singleton body variable is an anonymous wildcard; reuse it to \
+                             constrain the join if a connection was intended",
+                        ),
+                        rule_spans(ri).map(|s| s.body[bi].args[pos]),
+                    ));
+                }
+            }
+        }
+
+        // D004: duplicate rule. Per-rule variables are numbered by
+        // first occurrence, so structural equality is equality up to
+        // variable renaming.
+        if let Some(rj) = p.rules()[..ri].iter().position(|r| r == rule) {
+            out.push(spanned(
+                Diagnostic::warning(
+                    "D004",
+                    format!("rule is identical (up to renaming) to rule {}", rj + 1),
+                )
+                .with_note("duplicate rules derive the same facts twice per round; delete one"),
+                rule_spans(ri).map(|s| s.span),
+            ));
+        }
+
+        // D005: a variable-free body atom is a constant guard.
+        for (bi, atom) in rule.body.iter().enumerate() {
+            if atom.args.is_empty() {
+                out.push(spanned(
+                    Diagnostic::warning(
+                        "D005",
+                        format!("body atom {} has no variables", pred_name(p, atom.pred)),
+                    )
+                    .with_note(
+                        "its truth is constant within a fixpoint round; the planner should fold \
+                         it out of the join rather than re-check it per tuple",
+                    ),
+                    rule_spans(ri).map(|s| s.body[bi].span),
+                ));
+            }
+        }
+    }
+
+    // D003: IDB predicates unreachable from the queried predicate
+    // (explicit `goal`, or the first-defined IDB by convention).
+    let goal = match &cfg.goal {
+        Some(g) => match p.idb(g) {
+            Some(i) => i,
+            None => {
+                out.push(Diagnostic::error(
+                    "D003",
+                    format!("queried predicate {g} is not defined by the program"),
+                ));
+                crate::sort_diags(&mut out);
+                return out;
+            }
+        },
+        None => 0,
+    };
+    let mut reach = vec![false; p.num_idbs()];
+    let mut stack = vec![goal];
+    reach[goal] = true;
+    while let Some(i) = stack.pop() {
+        for rule in p.rules() {
+            if rule.head.pred != Pred::Idb(i) {
+                continue;
+            }
+            for atom in &rule.body {
+                if let Pred::Idb(j) = atom.pred {
+                    if !reach[j] {
+                        reach[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+    }
+    for (i, ok) in reach.iter().enumerate() {
+        if *ok {
+            continue;
+        }
+        let first_rule = p
+            .rules()
+            .iter()
+            .position(|r| r.head.pred == Pred::Idb(i))
+            .expect("every IDB has a defining rule");
+        out.push(spanned(
+            Diagnostic::warning(
+                "D003",
+                format!(
+                    "IDB predicate {} is unreachable from queried predicate {}",
+                    p.idb_info(i).0,
+                    p.idb_info(goal).0
+                ),
+            )
+            .with_note(
+                "the query does not depend on it, yet evaluation still computes it; the queried \
+                 predicate defaults to the first-defined IDB (override with a goal)",
+            ),
+            rule_spans(first_rule).map(|s| s.head.pred),
+        ));
+    }
+    crate::sort_diags(&mut out);
+    out
+}

@@ -1,0 +1,104 @@
+//! Formula lints F001–F006 (F000/F004 parse-level diagnostics are
+//! produced by the entry points in the crate root).
+
+use crate::analysis::{FormulaAnalysis, NodeKind};
+use crate::LintConfig;
+use fmt_logic::Var;
+use fmt_structures::{Diagnostic, Span};
+
+fn spanned(d: Diagnostic, s: Option<Span>) -> Diagnostic {
+    match s {
+        Some(sp) => d.with_span(sp),
+        None => d,
+    }
+}
+
+/// Runs every formula lint over a shared [`FormulaAnalysis`]. `name`
+/// maps variables back to their source names (use `Var::to_string` for
+/// programmatic ASTs).
+pub fn formula_lints(
+    a: &FormulaAnalysis,
+    cfg: &LintConfig,
+    name: &dyn Fn(Var) -> String,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nodes = a.nodes();
+    for (i, n) in nodes.iter().enumerate() {
+        if let Some(v) = n.bound_var {
+            let body = &nodes[n.children[0]];
+            if !body.free.contains(&v) {
+                out.push(spanned(
+                    Diagnostic::warning(
+                        "F001",
+                        format!("quantified variable {} is never used", name(v)),
+                    )
+                    .with_note("drop the quantifier, or use the variable in its body"),
+                    n.binder.or(n.span),
+                ));
+            }
+            if a.bound_above(i, v) {
+                out.push(spanned(
+                    Diagnostic::warning(
+                        "F002",
+                        format!(
+                            "variable {} rebinds a variable bound by an enclosing quantifier",
+                            name(v)
+                        ),
+                    )
+                    .with_note(
+                        "the inner binding shadows the outer one; rename it to keep scopes readable",
+                    ),
+                    n.binder.or(n.span),
+                ));
+            }
+        }
+        // F003 fires on the *maximal* folded subformula: literals are
+        // exempt, and a node whose parent also folds is subsumed.
+        if let Some(b) = n.fold {
+            let literal = matches!(n.kind, NodeKind::True | NodeKind::False);
+            let parent_folds = n.parent.is_some_and(|p| nodes[p].fold.is_some());
+            if !literal && !parent_folds {
+                out.push(spanned(
+                    Diagnostic::warning("F003", format!("subformula is trivially {b}"))
+                        .with_note(
+                            "constant folding determines its value on every structure; simplify it away",
+                        ),
+                    n.span,
+                ));
+            }
+        }
+    }
+    let root = a.root();
+    if root.rank > cfg.rank_budget {
+        out.push(spanned(
+            Diagnostic::warning(
+                "F005",
+                format!(
+                    "quantifier rank {} exceeds the budget of {}",
+                    root.rank, cfg.rank_budget
+                ),
+            )
+            .with_note(format!(
+                "rank-n arguments blow up as 2^n (Thm 3.1): deciding rank-{} \
+                 equivalence explores on the order of 2^{} game positions, and naive \
+                 evaluation nests as many loops",
+                root.rank, root.rank
+            )),
+            root.span,
+        ));
+    }
+    if cfg.expect_sentence && !root.free.is_empty() {
+        let vars: Vec<String> = root.free.iter().map(|&v| name(v)).collect();
+        let plural = if vars.len() == 1 { "occurs" } else { "occur" };
+        out.push(spanned(
+            Diagnostic::error(
+                "F006",
+                format!("expected a sentence, but {} {plural} free", vars.join(", ")),
+            )
+            .with_note("close the formula with quantifiers, or evaluate it as a query"),
+            root.span,
+        ));
+    }
+    crate::sort_diags(&mut out);
+    out
+}

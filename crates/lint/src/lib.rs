@@ -1,0 +1,405 @@
+//! # fmt-lint
+//!
+//! A span-aware static analyzer for FO formulas and Datalog programs —
+//! the front end every entry point of the toolbox (CLI, conformance
+//! generators, corpus replay) runs before handing an input to an
+//! evaluator.
+//!
+//! The crate is built on two pieces:
+//!
+//! * the reusable diagnostics core re-exported from
+//!   [`fmt_structures::diag`] ([`Diagnostic`] `{ severity, code, span,
+//!   message, note }` with rustc-style caret rendering and a JSON
+//!   round-trip), fed by the byte-offset spans the parsers now thread
+//!   through ([`fmt_logic::parser::parse_formula_spanned`] and
+//!   [`fmt_queries::datalog::Program::parse_spanned`]);
+//! * a single-pass [`analysis`] IR that computes per-subformula facts
+//!   (free variables, quantifier rank, alternation, width, folded
+//!   truth values) once and shares them across all lints.
+//!
+//! ## Lint catalogue
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | F000 | error    | formula parse error (syntax) |
+//! | F001 | warning  | unused quantified variable |
+//! | F002 | warning  | variable rebinds an enclosing binding |
+//! | F003 | warning  | trivially true/false subformula (constant folding) |
+//! | F004 | error    | unknown relation / arity mismatch / bad constant |
+//! | F005 | warning  | quantifier-rank budget exceeded (Thm 3.1 `2^n` blow-up) |
+//! | F006 | error    | sentence expected but free variables found |
+//! | D000 | error    | Datalog program parse error |
+//! | D001 | warning  | unsafe rule: head variable not bound by the body |
+//! | D002 | warning  | singleton (unused) body variable |
+//! | D003 | warning* | IDB unreachable from the queried predicate (*error for an unknown goal) |
+//! | D004 | warning  | duplicate rule (up to variable renaming) |
+//! | D005 | warning  | variable-free body atom the planner should fold |
+//!
+//! See `docs/lint.md` for one minimal trigger example per code and the
+//! JSON output schema.
+//!
+//! ## Example
+//!
+//! ```
+//! use fmt_lint::{lint_formula_src, LintConfig};
+//! use fmt_structures::Signature;
+//!
+//! let sig = Signature::graph();
+//! let diags = lint_formula_src(&sig, "exists x. E(y, y)", &LintConfig::default());
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].code, "F001"); // x is never used
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod dl;
+mod fo;
+
+use fmt_logic::parser::{parse_formula_spanned, LogicParseErrorKind, ParsedFormula};
+use fmt_logic::{Formula, Var};
+use fmt_queries::datalog::{ParsedProgram, Program};
+use fmt_structures::Signature;
+use std::sync::Arc;
+
+pub use dl::{program_lints, ProgramMeta};
+pub use fmt_structures::{diag, Diagnostic, Severity, Span};
+pub use fo::formula_lints;
+
+/// Lint codes and their one-line descriptions, in catalogue order.
+pub const CODES: &[(&str, &str)] = &[
+    ("F000", "formula parse error (syntax)"),
+    ("F001", "unused quantified variable"),
+    ("F002", "variable rebinds an enclosing binding"),
+    ("F003", "trivially true/false subformula"),
+    ("F004", "unknown relation or arity mismatch"),
+    ("F005", "quantifier-rank budget exceeded"),
+    ("F006", "sentence expected but free variables found"),
+    ("D000", "Datalog program parse error"),
+    ("D001", "unsafe rule: head variable not bound by the body"),
+    ("D002", "singleton (unused) body variable"),
+    ("D003", "IDB unreachable from the queried predicate"),
+    ("D004", "duplicate rule"),
+    ("D005", "variable-free body atom the planner should fold"),
+];
+
+/// Formulas analyzed (parsed or AST).
+static OBS_FORMULAS: fmt_obs::Counter = fmt_obs::Counter::new("lint.formulas");
+/// Datalog programs analyzed (parsed or AST).
+static OBS_PROGRAMS: fmt_obs::Counter = fmt_obs::Counter::new("lint.programs");
+/// Diagnostics emitted across all inputs.
+static OBS_DIAGS: fmt_obs::Counter = fmt_obs::Counter::new("lint.diagnostics");
+/// Diagnostics per analyzed input.
+static OBS_PER_INPUT: fmt_obs::Histogram = fmt_obs::Histogram::new("lint.diags_per_input");
+
+/// Tunable thresholds and expectations for a lint run.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// F005 fires when the formula's quantifier rank exceeds this.
+    pub rank_budget: u32,
+    /// When set, F006 fires on formulas with free variables.
+    pub expect_sentence: bool,
+    /// The queried IDB predicate D003 computes reachability from
+    /// (`None` = the first-defined IDB).
+    pub goal: Option<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            rank_budget: 8,
+            expect_sentence: false,
+            goal: None,
+        }
+    }
+}
+
+fn meter(diags: &[Diagnostic]) {
+    OBS_DIAGS.add(diags.len() as u64);
+    OBS_PER_INPUT.record(diags.len() as u64);
+}
+
+/// Stable presentation order: by source position, then code.
+pub(crate) fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let ka = (a.span.map_or(usize::MAX, |s| s.start), &a.code);
+        let kb = (b.span.map_or(usize::MAX, |s| s.start), &b.code);
+        ka.cmp(&kb)
+    });
+}
+
+/// True if any diagnostic is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Parses and lints a formula. Parse errors come back as a single
+/// error diagnostic (F000 for syntax, F004 for unknown relations and
+/// arity mismatches), with the parser's span.
+pub fn lint_formula_src(sig: &Signature, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    OBS_FORMULAS.incr();
+    let out = match parse_formula_spanned(sig, src) {
+        Ok(p) => lint_parsed_formula(&p, cfg),
+        Err(e) => {
+            let code = match e.kind {
+                LogicParseErrorKind::Syntax => "F000",
+                LogicParseErrorKind::UnknownRelation | LogicParseErrorKind::ArityMismatch => "F004",
+            };
+            vec![Diagnostic::error(code, e.message).with_span(e.span)]
+        }
+    };
+    meter(&out);
+    out
+}
+
+/// Lints an already-parsed formula, reusing its spans and source
+/// variable names.
+pub fn lint_parsed_formula(p: &ParsedFormula, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let a = analysis::analyze(&p.formula, Some(&p.spans));
+    let name = |v: Var| {
+        p.vars
+            .get(v.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| v.to_string())
+    };
+    fo::formula_lints(&a, cfg, &name)
+}
+
+/// Lints a programmatically built formula AST (no spans; variables
+/// print canonically as `x0`, `x1`, …). Ill-formedness surfaces as the
+/// F004 diagnostic of [`Formula::well_formed`].
+pub fn lint_formula(sig: &Signature, f: &Formula, cfg: &LintConfig) -> Vec<Diagnostic> {
+    OBS_FORMULAS.incr();
+    let out = match f.well_formed(sig) {
+        Err(d) => vec![d],
+        Ok(()) => {
+            let a = analysis::analyze(f, None);
+            fo::formula_lints(&a, cfg, &|v: Var| v.to_string())
+        }
+    };
+    meter(&out);
+    out
+}
+
+/// Parses and lints a Datalog program. Parse errors come back as a
+/// single D000 error diagnostic with the parser's span.
+pub fn lint_program_src(sig: &Arc<Signature>, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    OBS_PROGRAMS.incr();
+    let out = match Program::parse_spanned(sig, src) {
+        Ok(p) => lint_parsed_program(&p, cfg),
+        Err(e) => vec![Diagnostic::error("D000", e.message).with_span(e.span)],
+    };
+    meter(&out);
+    out
+}
+
+/// Lints an already-parsed program, reusing its spans and source
+/// variable names.
+pub fn lint_parsed_program(p: &ParsedProgram, cfg: &LintConfig) -> Vec<Diagnostic> {
+    dl::program_lints(&p.program, Some((&p.spans, &p.var_names)), cfg)
+}
+
+/// Lints a [`Program`] without source metadata (no spans; variables
+/// print as `v0`, `v1`, …).
+pub fn lint_program(p: &Program, cfg: &LintConfig) -> Vec<Diagnostic> {
+    OBS_PROGRAMS.incr();
+    let out = dl::program_lints(p, None, cfg);
+    meter(&out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn f001_unused_quantified_variable() {
+        let sig = Signature::graph();
+        let src = "exists x. E(y, y)";
+        let d = lint_formula_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["F001"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "x");
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn f002_shadowing() {
+        let sig = Signature::graph();
+        let src = "forall x. exists x. E(x, x)";
+        let d = lint_formula_src(&sig, src, &LintConfig::default());
+        // The outer x is unused (its body's x is rebound) and the
+        // inner binder shadows it.
+        assert_eq!(codes(&d), ["F001", "F002"]);
+        assert_eq!(d[1].span.unwrap(), Span::new(17, 18));
+    }
+
+    #[test]
+    fn f003_trivial_subformula_is_maximal() {
+        let sig = Signature::graph();
+        let src = "E(x, y) & false";
+        let d = lint_formula_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["F003"]);
+        // The whole conjunction folds, not just the literal.
+        assert_eq!(d[0].span.unwrap().slice(src), src);
+    }
+
+    #[test]
+    fn f004_parse_errors_are_precise() {
+        let sig = Signature::graph();
+        let src = "E(x, y) & R(x)";
+        let d = lint_formula_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["F004"]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].span.unwrap().slice(src), "R");
+        let d = lint_formula_src(&sig, "E(x, y", &LintConfig::default());
+        assert_eq!(codes(&d), ["F000"]);
+    }
+
+    #[test]
+    fn f005_rank_budget() {
+        let sig = Signature::graph();
+        let src = "exists x. forall y. E(x, y)";
+        let cfg = LintConfig {
+            rank_budget: 1,
+            ..LintConfig::default()
+        };
+        let d = lint_formula_src(&sig, src, &cfg);
+        assert_eq!(codes(&d), ["F005"]);
+        assert!(d[0].note.as_deref().unwrap().contains("2^n"), "{:?}", d[0]);
+        assert!(lint_formula_src(&sig, src, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn f006_sentence_expected() {
+        let sig = Signature::graph();
+        let cfg = LintConfig {
+            expect_sentence: true,
+            ..LintConfig::default()
+        };
+        let d = lint_formula_src(&sig, "E(x, y)", &cfg);
+        assert_eq!(codes(&d), ["F006"]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains("x, y"));
+        assert!(lint_formula_src(&sig, "forall x y. E(x, y)", &cfg).is_empty());
+    }
+
+    #[test]
+    fn d001_unbound_head_variable() {
+        let sig = Signature::graph();
+        let src = "p(x, y) :- e(x, x).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D001"]);
+        assert_eq!(d[0].span.unwrap(), Span::new(5, 6));
+        // Body-less fact schemas are the survey's idiom — exempt.
+        assert!(lint_program_src(&sig, "p(x, y).", &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn d002_singleton_body_variable() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, y).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D002"]);
+        assert_eq!(d[0].span.unwrap(), Span::new(13, 14));
+    }
+
+    #[test]
+    fn d003_unreachable_idb() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, x). q(x) :- q(x).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D003"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "q");
+        // An explicit goal changes reachability.
+        let cfg = LintConfig {
+            goal: Some("q".into()),
+            ..LintConfig::default()
+        };
+        let d = lint_program_src(&sig, src, &cfg);
+        assert_eq!(codes(&d), ["D003"]);
+        assert!(
+            d[0].message.contains("p is unreachable"),
+            "{}",
+            d[0].message
+        );
+        // An unknown goal is an error.
+        let cfg = LintConfig {
+            goal: Some("nope".into()),
+            ..LintConfig::default()
+        };
+        let d = lint_program_src(&sig, src, &cfg);
+        assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn d004_duplicate_rule_up_to_renaming() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, x). p(y) :- e(y, y).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D004"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "p(y) :- e(y, y)");
+    }
+
+    #[test]
+    fn d005_variable_free_body_atom() {
+        let sig = Signature::graph();
+        let src = "p(x) :- hit, e(x, x). hit :- e(x, x).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D005"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "hit");
+        assert_eq!(d[0].span.unwrap(), Span::new(8, 11));
+    }
+
+    #[test]
+    fn d000_parse_error() {
+        let sig = Signature::graph();
+        let d = lint_program_src(&sig, "p(x) :- q(x).", &LintConfig::default());
+        assert_eq!(codes(&d), ["D000"]);
+        assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn canned_programs_are_lint_clean() {
+        let sig = Signature::graph();
+        for src in [
+            "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z).",
+            "sg(x, x). sg(x, y) :- e(xp, x), e(yp, y), sg(xp, yp).",
+        ] {
+            let d = lint_program_src(&sig, src, &LintConfig::default());
+            assert!(d.is_empty(), "{src}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn ast_paths_work_without_spans() {
+        let sig = Signature::graph();
+        let e = sig.relation("E").unwrap();
+        let f = Formula::exists(Var(0), Formula::atom(e, &[Var(1), Var(1)]));
+        let d = lint_formula(&sig, &f, &LintConfig::default());
+        assert_eq!(codes(&d), ["F001"]);
+        assert_eq!(d[0].span, None);
+        assert!(d[0].message.contains("x0"));
+
+        let p = Program::same_generation();
+        assert!(lint_program(&p, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn metering_counts_inputs_and_diagnostics() {
+        fmt_obs::reset();
+        fmt_obs::enable();
+        let sig = Signature::graph();
+        lint_formula_src(&sig, "exists x. E(y, y)", &LintConfig::default());
+        lint_program_src(&sig, "p(x) :- e(x, x).", &LintConfig::default());
+        let snap = fmt_obs::snapshot();
+        fmt_obs::disable();
+        assert_eq!(snap.counter("lint.formulas"), Some(1));
+        assert_eq!(snap.counter("lint.programs"), Some(1));
+        assert_eq!(snap.counter("lint.diagnostics"), Some(1));
+    }
+}

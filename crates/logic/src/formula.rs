@@ -1,6 +1,6 @@
 //! The first-order formula AST.
 
-use fmt_structures::{ConstId, RelId, Signature};
+use fmt_structures::{ConstId, Diagnostic, RelId, Signature};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -377,8 +377,13 @@ impl Formula {
     }
 
     /// Checks well-formedness against a signature: every atom's relation
-    /// exists with matching arity, every constant exists.
-    pub fn well_formed(&self, sig: &Signature) -> Result<(), String> {
+    /// exists with matching arity, every constant exists. The first
+    /// violation is reported as a code-`F004` [`Diagnostic`] (with no
+    /// span: ASTs built programmatically have no source positions —
+    /// the parser catches the same errors *with* spans before an
+    /// ill-formed tree can exist). Use [`Formula::well_formed_str`]
+    /// where a plain message string is enough.
+    pub fn well_formed(&self, sig: &Signature) -> Result<(), Diagnostic> {
         let mut err = None;
         self.visit(&mut |f| {
             if err.is_some() {
@@ -418,9 +423,16 @@ impl Formula {
             }
         });
         match err {
-            Some(e) => Err(e),
+            Some(e) => Err(Diagnostic::error("F004", e)),
             None => Ok(()),
         }
+    }
+
+    /// [`Formula::well_formed`] with the diagnostic flattened to its
+    /// message string — a compatibility shim for callers that only
+    /// carry `String` errors.
+    pub fn well_formed_str(&self, sig: &Signature) -> Result<(), String> {
+        self.well_formed(sig).map_err(|d| d.message)
     }
 
     /// Pretty-prints against a signature (for relation/constant names).

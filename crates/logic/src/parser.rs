@@ -25,9 +25,26 @@
 //! of [`Formula::display`] (the printer writes `Var(i)` as `x{i}`). All
 //! other names are numbered with the smallest indices not claimed by a
 //! canonical name, in order of first occurrence.
+//!
+//! Every error carries the byte offset it was detected at ([`Span`]s
+//! for caret rendering), and [`parse_formula_spanned`] additionally
+//! returns a [`SpanTree`] giving the byte range of every subformula —
+//! the location substrate of `fmt-lint`'s diagnostics.
 
 use crate::{Formula, Term, Var};
-use fmt_structures::Signature;
+use fmt_structures::{Signature, Span};
+
+/// What kind of problem a [`LogicParseError`] reports — lets tooling
+/// (e.g. `fmt-lint`) classify parse errors without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicParseErrorKind {
+    /// Malformed syntax (unexpected token, unbalanced parens, …).
+    Syntax,
+    /// An atom used a relation the signature does not declare.
+    UnknownRelation,
+    /// An atom's argument count does not match the relation's arity.
+    ArityMismatch,
+}
 
 /// A parse error with position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +53,21 @@ pub struct LogicParseError {
     pub offset: usize,
     /// Human-readable description.
     pub message: String,
+    /// Byte range of the offending token or atom (`offset == span.start`).
+    pub span: Span,
+    /// Classification of the problem.
+    pub kind: LogicParseErrorKind,
+}
+
+impl LogicParseError {
+    fn new(kind: LogicParseErrorKind, span: Span, message: impl Into<String>) -> LogicParseError {
+        LogicParseError {
+            offset: span.start,
+            message: message.into(),
+            span,
+            kind,
+        }
+    }
 }
 
 impl std::fmt::Display for LogicParseError {
@@ -45,6 +77,53 @@ impl std::fmt::Display for LogicParseError {
 }
 
 impl std::error::Error for LogicParseError {}
+
+/// Byte spans for a parsed formula, mirroring the [`Formula`] tree: one
+/// node per subformula, children in the order [`Formula::visit`]
+/// descends (atoms and equalities are leaves). The parser keeps the
+/// tree aligned through conjunction/disjunction flattening, so walking
+/// a `Formula` and its `SpanTree` in lockstep is always safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Byte range of this subformula in the source.
+    pub span: Span,
+    /// For quantifier nodes, the byte range of the bound variable name
+    /// (`forall x y. φ` desugars to two nodes, each with its own binder).
+    pub binder: Option<Span>,
+    /// Span trees of the children, in AST order.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    fn leaf(span: Span) -> SpanTree {
+        SpanTree {
+            span,
+            binder: None,
+            children: Vec::new(),
+        }
+    }
+
+    fn node(span: Span, children: Vec<SpanTree>) -> SpanTree {
+        SpanTree {
+            span,
+            binder: None,
+            children,
+        }
+    }
+}
+
+/// The result of [`parse_formula_spanned`]: the formula, the
+/// variable-name table, and the span of every subformula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFormula {
+    /// The parsed formula.
+    pub formula: Formula,
+    /// `vars[i]` is the source name of [`Var`]`(i)` (canonical `x{i}`
+    /// for indices no source name maps to).
+    pub vars: Vec<String>,
+    /// Byte spans mirroring the formula tree.
+    pub spans: SpanTree,
+}
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
@@ -62,71 +141,75 @@ enum Tok {
     Iff,
 }
 
-fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, LogicParseError> {
+fn tokenize(src: &str) -> Result<Vec<(Span, Tok)>, LogicParseError> {
     let b = src.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
+    let push = |out: &mut Vec<(Span, Tok)>, start: usize, len: usize, t: Tok| {
+        out.push((Span::new(start, start + len), t));
+    };
     while i < b.len() {
         let c = b[i] as char;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                out.push((i, Tok::LParen));
+                push(&mut out, i, 1, Tok::LParen);
                 i += 1;
             }
             ')' => {
-                out.push((i, Tok::RParen));
+                push(&mut out, i, 1, Tok::RParen);
                 i += 1;
             }
             ',' => {
-                out.push((i, Tok::Comma));
+                push(&mut out, i, 1, Tok::Comma);
                 i += 1;
             }
             '.' => {
-                out.push((i, Tok::Dot));
+                push(&mut out, i, 1, Tok::Dot);
                 i += 1;
             }
             '=' => {
-                out.push((i, Tok::Eq));
+                push(&mut out, i, 1, Tok::Eq);
                 i += 1;
             }
             '&' => {
-                out.push((i, Tok::And));
+                push(&mut out, i, 1, Tok::And);
                 i += 1;
             }
             '|' => {
-                out.push((i, Tok::Or));
+                push(&mut out, i, 1, Tok::Or);
                 i += 1;
             }
             '!' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    out.push((i, Tok::NotEq));
+                    push(&mut out, i, 2, Tok::NotEq);
                     i += 2;
                 } else {
-                    out.push((i, Tok::Not));
+                    push(&mut out, i, 1, Tok::Not);
                     i += 1;
                 }
             }
             '-' => {
                 if b.get(i + 1) == Some(&b'>') {
-                    out.push((i, Tok::Implies));
+                    push(&mut out, i, 2, Tok::Implies);
                     i += 2;
                 } else {
-                    return Err(LogicParseError {
-                        offset: i,
-                        message: "expected '->'".into(),
-                    });
+                    return Err(LogicParseError::new(
+                        LogicParseErrorKind::Syntax,
+                        Span::new(i, i + 1),
+                        "expected '->'",
+                    ));
                 }
             }
             '<' => {
                 if b.get(i + 1) == Some(&b'-') && b.get(i + 2) == Some(&b'>') {
-                    out.push((i, Tok::Iff));
+                    push(&mut out, i, 3, Tok::Iff);
                     i += 3;
                 } else {
                     // Bare '<' is a legal relation name character in our
                     // signatures (the order relation); treat it as an
                     // identifier.
-                    out.push((i, Tok::Ident("<".into())));
+                    push(&mut out, i, 1, Tok::Ident("<".into()));
                     i += 1;
                 }
             }
@@ -137,24 +220,30 @@ fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, LogicParseError> {
                 {
                     i += 1;
                 }
-                out.push((start, Tok::Ident(src[start..i].to_owned())));
+                out.push((Span::new(start, i), Tok::Ident(src[start..i].to_owned())));
             }
             other => {
-                return Err(LogicParseError {
-                    offset: i,
-                    message: format!("unexpected character {other:?}"),
-                })
+                return Err(LogicParseError::new(
+                    LogicParseErrorKind::Syntax,
+                    Span::new(i, i + other.len_utf8()),
+                    format!("unexpected character {other:?}"),
+                ))
             }
         }
     }
     Ok(out)
 }
 
+/// A formula paired with the span tree built alongside it.
+type Spanned = (Formula, SpanTree);
+
 struct Parser<'a> {
-    toks: Vec<(usize, Tok)>,
+    toks: Vec<(Span, Tok)>,
     pos: usize,
     sig: &'a Signature,
     vars: Vec<String>,
+    /// Length of the source, the error position at end of input.
+    src_len: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -162,8 +251,19 @@ impl<'a> Parser<'a> {
         self.toks.get(self.pos).map(|(_, t)| t)
     }
 
-    fn offset(&self) -> usize {
-        self.toks.get(self.pos).map_or(usize::MAX, |(o, _)| *o)
+    /// Span of the current (next unconsumed) token; a point at the end
+    /// of the source once tokens run out.
+    fn cur_span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map_or(Span::point(self.src_len), |(s, _)| *s)
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.toks
+            .get(self.pos.wrapping_sub(1))
+            .map_or(Span::point(self.src_len), |(s, _)| *s)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -173,10 +273,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> LogicParseError {
-        LogicParseError {
-            offset: self.offset(),
-            message: msg.into(),
-        }
+        LogicParseError::new(LogicParseErrorKind::Syntax, self.cur_span(), msg)
     }
 
     fn expect(&mut self, t: &Tok, what: &str) -> Result<(), LogicParseError> {
@@ -205,66 +302,138 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn formula(&mut self) -> Result<Formula, LogicParseError> {
+    /// `lhs & rhs`, mirroring [`Formula::and`]'s flattening on the span
+    /// children so the two trees stay aligned.
+    fn merge_and(lhs: Spanned, rhs: Spanned) -> Spanned {
+        let span = lhs.1.span.to(rhs.1.span);
+        let (lf, lt) = lhs;
+        let (rf, rt) = rhs;
+        let (fs, ts) = match (lf, rf) {
+            (Formula::And(mut a), Formula::And(b)) => {
+                let mut ct = lt.children;
+                ct.extend(rt.children);
+                a.extend(b);
+                (a, ct)
+            }
+            (Formula::And(mut a), g) => {
+                let mut ct = lt.children;
+                ct.push(rt);
+                a.push(g);
+                (a, ct)
+            }
+            (f, Formula::And(mut b)) => {
+                let mut ct = rt.children;
+                ct.insert(0, lt);
+                b.insert(0, f);
+                (b, ct)
+            }
+            (f, g) => (vec![f, g], vec![lt, rt]),
+        };
+        debug_assert_eq!(fs.len(), ts.len());
+        (Formula::And(fs), SpanTree::node(span, ts))
+    }
+
+    /// `lhs | rhs`, mirroring [`Formula::or`]'s flattening.
+    fn merge_or(lhs: Spanned, rhs: Spanned) -> Spanned {
+        let span = lhs.1.span.to(rhs.1.span);
+        let (lf, lt) = lhs;
+        let (rf, rt) = rhs;
+        let (fs, ts) = match (lf, rf) {
+            (Formula::Or(mut a), Formula::Or(b)) => {
+                let mut ct = lt.children;
+                ct.extend(rt.children);
+                a.extend(b);
+                (a, ct)
+            }
+            (Formula::Or(mut a), g) => {
+                let mut ct = lt.children;
+                ct.push(rt);
+                a.push(g);
+                (a, ct)
+            }
+            (f, Formula::Or(mut b)) => {
+                let mut ct = rt.children;
+                ct.insert(0, lt);
+                b.insert(0, f);
+                (b, ct)
+            }
+            (f, g) => (vec![f, g], vec![lt, rt]),
+        };
+        debug_assert_eq!(fs.len(), ts.len());
+        (Formula::Or(fs), SpanTree::node(span, ts))
+    }
+
+    fn formula(&mut self) -> Result<Spanned, LogicParseError> {
         let mut f = self.implies()?;
         while self.peek() == Some(&Tok::Iff) {
             self.pos += 1;
             let g = self.implies()?;
-            f = f.iff(g);
+            let span = f.1.span.to(g.1.span);
+            f = (f.0.iff(g.0), SpanTree::node(span, vec![f.1, g.1]));
         }
         Ok(f)
     }
 
-    fn implies(&mut self) -> Result<Formula, LogicParseError> {
+    fn implies(&mut self) -> Result<Spanned, LogicParseError> {
         let f = self.or()?;
         if self.peek() == Some(&Tok::Implies) {
             self.pos += 1;
             let g = self.implies()?;
-            Ok(f.implies(g))
+            let span = f.1.span.to(g.1.span);
+            Ok((f.0.implies(g.0), SpanTree::node(span, vec![f.1, g.1])))
         } else {
             Ok(f)
         }
     }
 
-    fn or(&mut self) -> Result<Formula, LogicParseError> {
+    fn or(&mut self) -> Result<Spanned, LogicParseError> {
         let mut f = self.and()?;
         while self.peek() == Some(&Tok::Or) {
             self.pos += 1;
             let g = self.and()?;
-            f = f.or(g);
+            f = Parser::merge_or(f, g);
         }
         Ok(f)
     }
 
-    fn and(&mut self) -> Result<Formula, LogicParseError> {
+    fn and(&mut self) -> Result<Spanned, LogicParseError> {
         let mut f = self.unary()?;
         while self.peek() == Some(&Tok::And) {
             self.pos += 1;
             let g = self.unary()?;
-            f = f.and(g);
+            f = Parser::merge_and(f, g);
         }
         Ok(f)
     }
 
-    fn unary(&mut self) -> Result<Formula, LogicParseError> {
+    fn unary(&mut self) -> Result<Spanned, LogicParseError> {
         match self.peek() {
             Some(Tok::Not) => {
+                let start = self.cur_span();
                 self.pos += 1;
-                Ok(self.unary()?.not())
+                let (g, gt) = self.unary()?;
+                let span = start.to(gt.span);
+                Ok((g.not(), SpanTree::node(span, vec![gt])))
             }
             Some(Tok::Ident(name)) if name == "forall" || name == "exists" => {
                 let universal = name == "forall";
+                let kw = self.cur_span();
                 self.pos += 1;
-                let mut vars = Vec::new();
+                let mut vars: Vec<(Var, Span)> = Vec::new();
                 loop {
                     match self.peek() {
                         Some(Tok::Ident(n)) => {
                             let n = n.clone();
+                            let vspan = self.cur_span();
                             self.pos += 1;
                             if self.sig.constant(&n).is_some() {
-                                return Err(self.err(format!("cannot quantify over constant {n}")));
+                                return Err(LogicParseError::new(
+                                    LogicParseErrorKind::Syntax,
+                                    vspan,
+                                    format!("cannot quantify over constant {n}"),
+                                ));
                             }
-                            vars.push(self.var(&n));
+                            vars.push((self.var(&n), vspan));
                         }
                         Some(Tok::Dot) => {
                             self.pos += 1;
@@ -276,34 +445,57 @@ impl<'a> Parser<'a> {
                 if vars.is_empty() {
                     return Err(self.err("quantifier binds no variables"));
                 }
-                let body = self.implies()?;
-                Ok(if universal {
-                    Formula::forall_many(&vars, body)
-                } else {
-                    Formula::exists_many(&vars, body)
-                })
+                let (body, body_t) = self.implies()?;
+                let end = body_t.span.end;
+                // Desugar right to left: each binder gets its own node
+                // spanning from its variable name to the body's end; the
+                // outermost node starts at the quantifier keyword.
+                let mut f = body;
+                let mut t = body_t;
+                for &(v, vspan) in vars.iter().rev() {
+                    f = if universal {
+                        Formula::forall(v, f)
+                    } else {
+                        Formula::exists(v, f)
+                    };
+                    t = SpanTree {
+                        span: Span::new(vspan.start, end),
+                        binder: Some(vspan),
+                        children: vec![t],
+                    };
+                }
+                t.span = Span::new(kw.start, end);
+                Ok((f, t))
             }
             _ => self.primary(),
         }
     }
 
-    fn primary(&mut self) -> Result<Formula, LogicParseError> {
+    fn primary(&mut self) -> Result<Spanned, LogicParseError> {
+        let start = self.cur_span();
         match self.bump() {
             Some(Tok::LParen) => {
-                let f = self.formula()?;
+                let (f, mut t) = self.formula()?;
                 self.expect(&Tok::RParen, "')'")?;
-                // Allow `(t) = u`-free grammar: parenthesized formulas only.
-                Ok(f)
+                // Widen the root span to include the parentheses (the
+                // children keep their own spans).
+                t.span = start.to(self.prev_span());
+                Ok((f, t))
             }
-            Some(Tok::Ident(name)) if name == "true" => Ok(Formula::True),
-            Some(Tok::Ident(name)) if name == "false" => Ok(Formula::False),
+            Some(Tok::Ident(name)) if name == "true" => Ok((Formula::True, SpanTree::leaf(start))),
+            Some(Tok::Ident(name)) if name == "false" => {
+                Ok((Formula::False, SpanTree::leaf(start)))
+            }
             Some(Tok::Ident(name)) => {
                 if self.peek() == Some(&Tok::LParen) {
                     // Relational atom.
-                    let rel = self
-                        .sig
-                        .relation(&name)
-                        .ok_or_else(|| self.err(format!("unknown relation {name}")))?;
+                    let rel = self.sig.relation(&name).ok_or_else(|| {
+                        LogicParseError::new(
+                            LogicParseErrorKind::UnknownRelation,
+                            start,
+                            format!("unknown relation {name}"),
+                        )
+                    })?;
                     self.pos += 1;
                     let mut args = Vec::new();
                     loop {
@@ -317,14 +509,19 @@ impl<'a> Parser<'a> {
                             _ => return Err(self.err("expected ',' or ')'")),
                         }
                     }
+                    let span = start.to(self.prev_span());
                     if args.len() != self.sig.arity(rel) {
-                        return Err(self.err(format!(
-                            "relation {name} has arity {}, got {} arguments",
-                            self.sig.arity(rel),
-                            args.len()
-                        )));
+                        return Err(LogicParseError::new(
+                            LogicParseErrorKind::ArityMismatch,
+                            span,
+                            format!(
+                                "relation {name} has arity {}, got {} arguments",
+                                self.sig.arity(rel),
+                                args.len()
+                            ),
+                        ));
                     }
-                    Ok(Formula::Atom { rel, args })
+                    Ok((Formula::Atom { rel, args }, SpanTree::leaf(span)))
                 } else {
                     // Equality / inequality atom.
                     let lhs = self.term(&name);
@@ -335,7 +532,12 @@ impl<'a> Parser<'a> {
                                 Some(Tok::Ident(t)) => self.term(&t),
                                 _ => return Err(self.err("expected term after '!='")),
                             };
-                            return Ok(Formula::Eq(lhs, rhs).not());
+                            let span = start.to(self.prev_span());
+                            let eq_t = SpanTree::leaf(span);
+                            return Ok((
+                                Formula::Eq(lhs, rhs).not(),
+                                SpanTree::node(span, vec![eq_t]),
+                            ));
                         }
                         Some(Tok::Ident(op)) if op == "<" => {
                             // Infix notation for the order relation, if
@@ -348,10 +550,14 @@ impl<'a> Parser<'a> {
                                 Some(Tok::Ident(t)) => self.term(&t),
                                 _ => return Err(self.err("expected term after '<'")),
                             };
-                            return Ok(Formula::Atom {
-                                rel,
-                                args: vec![lhs, rhs],
-                            });
+                            let span = start.to(self.prev_span());
+                            return Ok((
+                                Formula::Atom {
+                                    rel,
+                                    args: vec![lhs, rhs],
+                                },
+                                SpanTree::leaf(span),
+                            ));
                         }
                         _ => return Err(self.err("expected '=', '!=' or '<' after term")),
                     }
@@ -359,10 +565,15 @@ impl<'a> Parser<'a> {
                         Some(Tok::Ident(t)) => self.term(&t),
                         _ => return Err(self.err("expected term after '='")),
                     };
-                    Ok(Formula::Eq(lhs, rhs))
+                    let span = start.to(self.prev_span());
+                    Ok((Formula::Eq(lhs, rhs), SpanTree::leaf(span)))
                 }
             }
-            _ => Err(self.err("expected formula")),
+            _ => Err(LogicParseError::new(
+                LogicParseErrorKind::Syntax,
+                start,
+                "expected formula",
+            )),
         }
     }
 }
@@ -408,6 +619,32 @@ fn remap_canonical_vars(f: Formula, names: Vec<String>) -> (Formula, Vec<String>
     (g, table)
 }
 
+/// Parses a formula, returning it together with the byte span of every
+/// subformula and the variable-name table. Variable renaming preserves
+/// the tree shape, so the [`SpanTree`] stays aligned with the remapped
+/// formula.
+pub fn parse_formula_spanned(sig: &Signature, src: &str) -> Result<ParsedFormula, LogicParseError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        sig,
+        vars: Vec::new(),
+        src_len: src.len(),
+    };
+    let (f, spans) = p.formula()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing input after formula"));
+    }
+    let (formula, vars) = remap_canonical_vars(f, p.vars);
+    debug_assert!(formula.well_formed(sig).is_ok());
+    Ok(ParsedFormula {
+        formula,
+        vars,
+        spans,
+    })
+}
+
 /// Parses a formula, returning it together with the variable-name table
 /// (`table[i]` is the source name of [`Var`]`(i)`, or the canonical
 /// `x{i}` for indices no source name maps to).
@@ -415,20 +652,7 @@ pub fn parse_formula_with_vars(
     sig: &Signature,
     src: &str,
 ) -> Result<(Formula, Vec<String>), LogicParseError> {
-    let toks = tokenize(src)?;
-    let mut p = Parser {
-        toks,
-        pos: 0,
-        sig,
-        vars: Vec::new(),
-    };
-    let f = p.formula()?;
-    if p.pos != p.toks.len() {
-        return Err(p.err("trailing input after formula"));
-    }
-    let (f, table) = remap_canonical_vars(f, p.vars);
-    debug_assert!(f.well_formed(sig).is_ok());
-    Ok((f, table))
+    parse_formula_spanned(sig, src).map(|p| (p.formula, p.vars))
 }
 
 /// Parses a formula over the given signature.
@@ -571,6 +795,93 @@ mod tests {
         assert!(parse_formula(&sig, "(E(x, y)").is_err()); // unbalanced
         assert!(parse_formula(&sig, "forall . E(x, x)").is_err()); // no vars
         assert!(parse_formula(&sig, "@").is_err()); // bad char
+    }
+
+    #[test]
+    fn errors_carry_spans_and_kinds() {
+        let sig = Signature::graph();
+        let e = parse_formula(&sig, "F(x, y)").unwrap_err();
+        assert_eq!(e.kind, LogicParseErrorKind::UnknownRelation);
+        assert_eq!(e.span, Span::new(0, 1));
+        assert_eq!(e.offset, 0);
+        let e = parse_formula(&sig, "!E(x, y, z)").unwrap_err();
+        assert_eq!(e.kind, LogicParseErrorKind::ArityMismatch);
+        // The span covers the whole atom `E(x, y, z)`.
+        assert_eq!(e.span, Span::new(1, 11));
+        let e = parse_formula(&sig, "E(x, y) &").unwrap_err();
+        assert_eq!(e.kind, LogicParseErrorKind::Syntax);
+        assert_eq!(e.offset, 9); // end of input
+    }
+
+    /// The span tree mirrors the formula tree node for node.
+    fn assert_aligned(f: &Formula, t: &SpanTree) {
+        let n = match f {
+            Formula::True | Formula::False | Formula::Atom { .. } | Formula::Eq(..) => 0,
+            Formula::Not(_) | Formula::Exists(..) | Formula::Forall(..) => 1,
+            Formula::And(fs) | Formula::Or(fs) => fs.len(),
+            Formula::Implies(..) | Formula::Iff(..) => 2,
+        };
+        assert_eq!(t.children.len(), n, "misaligned at {f:?}");
+        assert!(
+            matches!(f, Formula::Exists(..) | Formula::Forall(..)) == t.binder.is_some(),
+            "binder only on quantifiers"
+        );
+        let kids: Vec<&Formula> = match f {
+            Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => vec![g],
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().collect(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => vec![a, b],
+            _ => vec![],
+        };
+        for (g, gt) in kids.iter().zip(&t.children) {
+            assert!(gt.span.start >= t.span.start && gt.span.end <= t.span.end);
+            assert_aligned(g, gt);
+        }
+    }
+
+    #[test]
+    fn span_tree_mirrors_ast() {
+        let sig = Signature::graph();
+        let sources = [
+            "E(x, y)",
+            "exists x. E(y, y)",
+            "forall x y. E(x, y) -> x = y",
+            "E(x,x) & E(y,y) & E(z,z)",
+            "(E(x,x) & E(y,y)) & (E(z,z) | true)",
+            "E(x,x) & (E(y,y) & E(z,z))",
+            "!(x != y) <-> true",
+        ];
+        for src in sources {
+            let p = parse_formula_spanned(&sig, src).unwrap();
+            assert_aligned(&p.formula, &p.spans);
+            assert_eq!(p.spans.span.slice(src), src.trim());
+        }
+    }
+
+    #[test]
+    fn spans_point_at_source() {
+        let sig = Signature::graph();
+        let src = "exists x. E(y, y) & x = x";
+        let p = parse_formula_spanned(&sig, src).unwrap();
+        // Root: the quantifier, spanning everything.
+        assert_eq!(p.spans.span.slice(src), src);
+        assert_eq!(p.spans.binder.unwrap().slice(src), "x");
+        // Child: the conjunction; grandchildren: the two leaves.
+        let body = &p.spans.children[0];
+        assert_eq!(body.span.slice(src), "E(y, y) & x = x");
+        assert_eq!(body.children[0].span.slice(src), "E(y, y)");
+        assert_eq!(body.children[1].span.slice(src), "x = x");
+    }
+
+    #[test]
+    fn multi_binder_spans() {
+        let sig = Signature::graph();
+        let src = "forall x y. E(x, y)";
+        let p = parse_formula_spanned(&sig, src).unwrap();
+        assert_eq!(p.spans.span.slice(src), src);
+        assert_eq!(p.spans.binder.unwrap().slice(src), "x");
+        let inner = &p.spans.children[0];
+        assert_eq!(inner.binder.unwrap().slice(src), "y");
+        assert_eq!(inner.span.slice(src), "y. E(x, y)");
     }
 
     #[test]

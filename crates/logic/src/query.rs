@@ -88,7 +88,9 @@ impl Query {
         formula: Formula,
         free: Vec<Var>,
     ) -> Result<Query, QueryError> {
-        formula.well_formed(&sig).map_err(QueryError::IllFormed)?;
+        formula
+            .well_formed_str(&sig)
+            .map_err(QueryError::IllFormed)?;
         let actual: Vec<Var> = formula.free_vars().into_iter().collect();
         let mut declared = free.clone();
         declared.sort_unstable();

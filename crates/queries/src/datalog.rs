@@ -38,7 +38,7 @@
 
 use fmt_structures::index::{self, TupleIndex};
 use fmt_structures::par::fan_out;
-use fmt_structures::{Elem, RelId, Signature, Structure};
+use fmt_structures::{Elem, RelId, Signature, Span, Structure};
 use std::collections::{HashMap, HashSet};
 
 /// Fixpoint rounds of semi-naive evaluation (the initialization pass
@@ -128,19 +128,110 @@ fn is_ident(s: &str) -> bool {
     !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
+/// A Datalog parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatalogParseError {
+    /// Byte offset into the source at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Byte range of the offending clause, atom, or name
+    /// (`offset == span.start`).
+    pub span: Span,
+}
+
+impl DatalogParseError {
+    fn new(span: Span, message: impl Into<String>) -> DatalogParseError {
+        DatalogParseError {
+            offset: span.start,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for DatalogParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DatalogParseError {}
+
+/// Byte spans of one atom: the whole atom, the predicate name, and
+/// each argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpans {
+    /// The whole atom, `p(x, y)`.
+    pub span: Span,
+    /// The predicate name.
+    pub pred: Span,
+    /// One span per argument, aligned with [`Atom::args`].
+    pub args: Vec<Span>,
+}
+
+/// Byte spans of one rule, aligned with the corresponding [`Rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpans {
+    /// The whole rule, excluding the terminating `.`.
+    pub span: Span,
+    /// The head atom.
+    pub head: AtomSpans,
+    /// The body atoms, in order.
+    pub body: Vec<AtomSpans>,
+}
+
+/// The result of [`Program::parse_spanned`]: the program plus the byte
+/// span and source variable names of every rule — the location
+/// substrate for `fmt-lint`'s Datalog diagnostics.
+#[derive(Debug, Clone)]
+pub struct ParsedProgram {
+    /// The parsed program.
+    pub program: Program,
+    /// `spans[i]` mirrors `program.rules()[i]`.
+    pub spans: Vec<RuleSpans>,
+    /// `var_names[i][v]` is the source name of rule `i`'s variable `v`.
+    pub var_names: Vec<Vec<String>>,
+}
+
+/// Shrinks a span to the non-whitespace core of the text it covers.
+fn trim_span(src: &str, span: Span) -> Span {
+    let s = span.slice(src);
+    let start = span.start + (s.len() - s.trim_start().len());
+    Span::new(start, start + s.trim().len())
+}
+
 impl Program {
     /// Parses a program; each line is `head :- a1, a2, ... .` or a
     /// body-less `head.` / `head :- .`. Predicates matching a relation
     /// name of `sig` (case-insensitively) are EDB; all others must
     /// appear in some head and are IDB. Nullary atoms are written `p`
-    /// or `p()`.
+    /// or `p()`. Errors are flattened to strings; see
+    /// [`Program::parse_spanned`] for positions and spans.
     pub fn parse(sig: &std::sync::Arc<Signature>, src: &str) -> Result<Program, String> {
+        Program::parse_spanned(sig, src)
+            .map(|p| p.program)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Parses a program, returning it together with the byte span of
+    /// every rule, atom, predicate name, and argument, plus the
+    /// per-rule variable-name tables. Every error carries the byte
+    /// range it was detected at.
+    pub fn parse_spanned(
+        sig: &std::sync::Arc<Signature>,
+        src: &str,
+    ) -> Result<ParsedProgram, DatalogParseError> {
         struct RawAtom {
             pred: String,
             args: Vec<String>,
+            span: Span,
+            pred_span: Span,
+            arg_spans: Vec<Span>,
         }
-        fn parse_atom(t: &str) -> Result<RawAtom, String> {
-            let t = t.trim();
+        fn parse_atom(src: &str, span: Span) -> Result<RawAtom, DatalogParseError> {
+            let span = trim_span(src, span);
+            let t = span.slice(src);
             let Some(open) = t.find('(') else {
                 // No argument list at all: a nullary atom, provided the
                 // whole token is a plain identifier.
@@ -148,67 +239,107 @@ impl Program {
                     return Ok(RawAtom {
                         pred: t.to_owned(),
                         args: Vec::new(),
+                        span,
+                        pred_span: span,
+                        arg_spans: Vec::new(),
                     });
                 }
-                return Err(format!("missing '(' in {t:?}"));
+                return Err(DatalogParseError::new(
+                    span,
+                    format!("missing '(' in {t:?}"),
+                ));
             };
             let close = t
                 .rfind(')')
-                .ok_or_else(|| format!("missing ')' in {t:?}"))?;
-            let pred = t[..open].trim().to_owned();
+                .filter(|&c| c > open)
+                .ok_or_else(|| DatalogParseError::new(span, format!("missing ')' in {t:?}")))?;
+            let pred_span = trim_span(src, Span::new(span.start, span.start + open));
+            let pred = pred_span.slice(src).to_owned();
             if pred.is_empty() {
-                return Err(format!("empty predicate name in {t:?}"));
+                return Err(DatalogParseError::new(
+                    Span::point(span.start + open),
+                    format!("empty predicate name in {t:?}"),
+                ));
             }
-            let inner = t[open + 1..close].trim();
-            let args = if inner.is_empty() {
-                Vec::new() // `p()` is the explicit nullary form
-            } else {
-                inner
-                    .split(',')
-                    .map(|a| a.trim().to_owned())
-                    .collect::<Vec<_>>()
-            };
-            if args.iter().any(String::is_empty) {
-                return Err(format!("empty argument in {t:?}"));
+            let inner_span = trim_span(src, Span::new(span.start + open + 1, span.start + close));
+            let mut args = Vec::new();
+            let mut arg_spans = Vec::new();
+            if !inner_span.is_empty() {
+                // Split the argument list on commas (atoms are flat).
+                let inner = inner_span.slice(src);
+                let bytes = inner.as_bytes();
+                let mut piece_start = inner_span.start;
+                for i in 0..=bytes.len() {
+                    if i < bytes.len() && bytes[i] != b',' {
+                        continue;
+                    }
+                    let a = trim_span(src, Span::new(piece_start, inner_span.start + i));
+                    if a.is_empty() {
+                        return Err(DatalogParseError::new(
+                            a,
+                            format!("empty argument in {t:?}"),
+                        ));
+                    }
+                    args.push(a.slice(src).to_owned());
+                    arg_spans.push(a);
+                    piece_start = inner_span.start + i + 1;
+                }
             }
-            Ok(RawAtom { pred, args })
+            Ok(RawAtom {
+                pred,
+                args,
+                span,
+                pred_span,
+                arg_spans,
+            })
         }
 
-        // Split on '.', tolerate whitespace/newlines.
-        let mut raw_rules: Vec<(RawAtom, Vec<RawAtom>)> = Vec::new();
-        for clause in src.split('.') {
-            let clause = clause.trim();
+        // Split on '.' (a missing final dot is tolerated), keeping the
+        // byte range of every clause.
+        let mut raw_rules: Vec<(RawAtom, Vec<RawAtom>, Span)> = Vec::new();
+        let bytes = src.as_bytes();
+        let mut clause_start = 0usize;
+        for i in 0..=bytes.len() {
+            if i < bytes.len() && bytes[i] != b'.' {
+                continue;
+            }
+            let clause = trim_span(src, Span::new(clause_start, i));
+            clause_start = i + 1;
             if clause.is_empty() {
                 continue;
             }
-            let (head_src, body_src) = match clause.split_once(":-") {
-                Some((h, b)) => (h, b.trim()),
-                None => (clause, ""),
+            let text = clause.slice(src);
+            let (head_span, body_span) = match text.find(":-") {
+                Some(p) => (
+                    Span::new(clause.start, clause.start + p),
+                    Some(trim_span(src, Span::new(clause.start + p + 2, clause.end))),
+                ),
+                None => (clause, None),
             };
-            let head = parse_atom(head_src)?;
+            let head = parse_atom(src, head_span)?;
             let mut body = Vec::new();
-            if !body_src.is_empty() {
+            if let Some(bs) = body_span.filter(|b| !b.is_empty()) {
                 // Split body on commas at depth zero.
+                let bbytes = bs.slice(src).as_bytes().to_vec();
                 let mut depth = 0usize;
-                let mut start = 0usize;
-                let bytes = body_src.as_bytes();
-                for (i, &c) in bytes.iter().enumerate() {
+                let mut start = bs.start;
+                for (j, &c) in bbytes.iter().enumerate() {
                     match c {
                         b'(' => depth += 1,
                         b')' => depth = depth.saturating_sub(1),
                         b',' if depth == 0 => {
-                            body.push(parse_atom(&body_src[start..i])?);
-                            start = i + 1;
+                            body.push(parse_atom(src, Span::new(start, bs.start + j))?);
+                            start = bs.start + j + 1;
                         }
                         _ => {}
                     }
                 }
-                body.push(parse_atom(&body_src[start..])?);
+                body.push(parse_atom(src, Span::new(start, bs.end))?);
             }
-            raw_rules.push((head, body));
+            raw_rules.push((head, body, clause));
         }
         if raw_rules.is_empty() {
-            return Err("empty program".into());
+            return Err(DatalogParseError::new(Span::point(0), "empty program"));
         }
 
         let lookup_edb = |name: &str| -> Option<RelId> {
@@ -220,14 +351,20 @@ impl Program {
         // IDB predicates: all head predicates, in order of appearance.
         let mut idb_names: Vec<String> = Vec::new();
         let mut idb_arity: Vec<usize> = Vec::new();
-        for (head, _) in &raw_rules {
+        for (head, _, _) in &raw_rules {
             if lookup_edb(&head.pred).is_some() {
-                return Err(format!("cannot redefine EDB predicate {}", head.pred));
+                return Err(DatalogParseError::new(
+                    head.pred_span,
+                    format!("cannot redefine EDB predicate {}", head.pred),
+                ));
             }
             match idb_names.iter().position(|n| n == &head.pred) {
                 Some(i) => {
                     if idb_arity[i] != head.args.len() {
-                        return Err(format!("inconsistent arity for {}", head.pred));
+                        return Err(DatalogParseError::new(
+                            head.span,
+                            format!("inconsistent arity for {}", head.pred),
+                        ));
                     }
                 }
                 None => {
@@ -238,7 +375,14 @@ impl Program {
         }
 
         let mut rules = Vec::new();
-        for (head, body) in &raw_rules {
+        let mut spans = Vec::new();
+        let mut var_names = Vec::new();
+        let atom_spans = |raw: &RawAtom| AtomSpans {
+            span: raw.span,
+            pred: raw.pred_span,
+            args: raw.arg_spans.clone(),
+        };
+        for (head, body, clause) in &raw_rules {
             // Per-rule variable table.
             let mut vars: Vec<String> = Vec::new();
             let var_of = |name: &str, vars: &mut Vec<String>| -> DlVar {
@@ -253,14 +397,17 @@ impl Program {
             let resolve = |raw: &RawAtom,
                            vars: &mut Vec<String>,
                            var_of: &mut dyn FnMut(&str, &mut Vec<String>) -> DlVar|
-             -> Result<Atom, String> {
+             -> Result<Atom, DatalogParseError> {
                 let pred = if let Some(r) = lookup_edb(&raw.pred) {
                     if sig.arity(r) != raw.args.len() {
-                        return Err(format!(
-                            "EDB predicate {} has arity {}, atom has {}",
-                            raw.pred,
-                            sig.arity(r),
-                            raw.args.len()
+                        return Err(DatalogParseError::new(
+                            raw.span,
+                            format!(
+                                "EDB predicate {} has arity {}, atom has {}",
+                                raw.pred,
+                                sig.arity(r),
+                                raw.args.len()
+                            ),
                         ));
                     }
                     Pred::Edb(r)
@@ -268,9 +415,17 @@ impl Program {
                     let i = idb_names
                         .iter()
                         .position(|n| n == &raw.pred)
-                        .ok_or_else(|| format!("unknown predicate {}", raw.pred))?;
+                        .ok_or_else(|| {
+                            DatalogParseError::new(
+                                raw.pred_span,
+                                format!("unknown predicate {}", raw.pred),
+                            )
+                        })?;
                     if idb_arity[i] != raw.args.len() {
-                        return Err(format!("inconsistent arity for {}", raw.pred));
+                        return Err(DatalogParseError::new(
+                            raw.span,
+                            format!("inconsistent arity for {}", raw.pred),
+                        ));
                     }
                     Pred::Idb(i)
                 };
@@ -281,18 +436,33 @@ impl Program {
             };
             let mut var_fn = |n: &str, v: &mut Vec<String>| var_of(n, v);
             let h = resolve(head, &mut vars, &mut var_fn)?;
-            let b: Result<Vec<Atom>, String> = body
+            let b: Result<Vec<Atom>, DatalogParseError> = body
                 .iter()
                 .map(|a| resolve(a, &mut vars, &mut var_fn))
                 .collect();
             rules.push(Rule { head: h, body: b? });
+            spans.push(RuleSpans {
+                span: *clause,
+                head: atom_spans(head),
+                body: body.iter().map(atom_spans).collect(),
+            });
+            var_names.push(vars);
         }
-        Ok(Program {
-            sig: sig.clone(),
-            idb_names,
-            idb_arity,
-            rules,
+        Ok(ParsedProgram {
+            program: Program {
+                sig: sig.clone(),
+                idb_names,
+                idb_arity,
+                rules,
+            },
+            spans,
+            var_names,
         })
+    }
+
+    /// The input signature the program was parsed against.
+    pub fn signature(&self) -> &std::sync::Arc<Signature> {
+        &self.sig
     }
 
     /// The survey's transitive-closure program over the graph signature.
@@ -415,7 +585,7 @@ impl Program {
         self.check_structure(s);
         let threads = if threads == 0 {
             std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(std::num::NonZero::get)
                 .unwrap_or(1)
                 .min(8)
         } else {
@@ -1116,7 +1286,7 @@ mod tests {
             let reference = crate::graph::transitive_closure(&s);
             let e = reference.signature().relation("E").unwrap();
             let expected: HashSet<Vec<Elem>> =
-                reference.rel(e).iter().map(|t| t.to_vec()).collect();
+                reference.rel(e).iter().map(<[u32]>::to_vec).collect();
             assert_eq!(out.relation(tc), &expected);
         }
     }
@@ -1219,6 +1389,47 @@ mod tests {
         assert!(Program::parse(&sig, "p(x) :- e(x).").is_err()); // EDB arity
         assert!(Program::parse(&sig, "p(x :- e(x, y).").is_err()); // syntax
         assert!(Program::parse(&sig, "p x :- e(x, y).").is_err()); // not an ident
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, y), q(x).";
+        let err = Program::parse_spanned(&sig, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "q");
+        assert_eq!(err.offset, 17);
+        assert_eq!(err.to_string(), "at byte 17: unknown predicate q");
+
+        let src = "p(x, y) :- e(x, y). p(x) :- e(x, x).";
+        let err = Program::parse_spanned(&sig, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "p(x)");
+
+        let src = "e(x, y) :- p(x).";
+        let err = Program::parse_spanned(&sig, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "e");
+
+        let src = "p(x) :- e(x).";
+        let err = Program::parse_spanned(&sig, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "e(x)");
+    }
+
+    #[test]
+    fn parse_spanned_spans_point_at_source() {
+        let sig = Signature::graph();
+        let src = " tc(x, y) :- e(x, y).\ntc(x, z) :- e(x, y), tc(y, z).";
+        let p = Program::parse_spanned(&sig, src).unwrap();
+        assert_eq!(p.spans.len(), 2);
+        let r0 = &p.spans[0];
+        assert_eq!(r0.span.slice(src), "tc(x, y) :- e(x, y)");
+        assert_eq!(r0.head.span.slice(src), "tc(x, y)");
+        assert_eq!(r0.head.pred.slice(src), "tc");
+        assert_eq!(r0.head.args[1].slice(src), "y");
+        assert_eq!(r0.body[0].span.slice(src), "e(x, y)");
+        let r1 = &p.spans[1];
+        assert_eq!(r1.body[1].span.slice(src), "tc(y, z)");
+        assert_eq!(r1.body[1].args[0].slice(src), "y");
+        // Per-rule variable names, in first-occurrence order.
+        assert_eq!(p.var_names[1], vec!["x", "z", "y"]);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod builders;
 pub mod canon;
+pub mod diag;
 pub mod index;
 pub mod iso;
 pub mod par;
@@ -54,6 +55,7 @@ pub mod partial;
 mod signature;
 mod structure;
 
+pub use diag::{Diagnostic, Severity, Span};
 pub use signature::{ConstId, RelId, Signature, SignatureBuilder};
 pub use structure::{Elem, Relation, Structure, StructureBuilder};
 

@@ -75,7 +75,7 @@ mod tests {
 
     #[test]
     fn single_chunk_runs_inline() {
-        let out = fan_out(1, &[1u32, 2, 3], |c| c.len());
+        let out = fan_out(1, &[1u32, 2, 3], <[u32]>::len);
         assert_eq!(out, vec![3]);
     }
 }

@@ -559,7 +559,7 @@ mod tests {
     fn relation_sorted_dedup() {
         let s = graph(3, &[(2, 1), (0, 1), (2, 1), (0, 1)]);
         let e = s.signature().relation("E").unwrap();
-        let rows: Vec<Vec<Elem>> = s.rel(e).iter().map(|t| t.to_vec()).collect();
+        let rows: Vec<Vec<Elem>> = s.rel(e).iter().map(<[u32]>::to_vec).collect();
         assert_eq!(rows, vec![vec![0, 1], vec![2, 1]]);
         assert_eq!(s.rel(e).len(), 2);
         assert_eq!(s.num_tuples(), 2);

@@ -16,10 +16,26 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> lint gate: corpus and clean fixtures must pass --deny warnings"
+cargo build --release -q -p fmt-cli
+FMTK="target/release/fmtk"
+"$FMTK" lint --deny warnings tests/lint/clean.fo tests/lint/clean.dl tests/corpus/*.case
+
+echo "==> lint gate: every trigger fixture must FAIL under --deny warnings"
+for fixture in tests/lint/[FD][0-9][0-9][0-9].*; do
+    # F006 only fires when a sentence is expected.
+    flags=()
+    [[ "$fixture" == *F006* ]] && flags=(--sentence)
+    if "$FMTK" lint --deny warnings "${flags[@]}" "$fixture" > /dev/null 2>&1; then
+        echo "lint fixture $fixture unexpectedly passed" >&2
+        exit 1
+    fi
+done
+
 echo "==> conformance smoke hunt (fixed seed, fails on any oracle disagreement)"
 mkdir -p target/conform-corpus
 cargo run --release -q -p fmt-cli --bin fmtk -- \
-    conform --seed 7 --cases 200 --corpus target/conform-corpus
+    conform --seed 7 --cases 210 --corpus target/conform-corpus
 
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> benches (RUN_BENCH=1)"

@@ -206,7 +206,7 @@ fn e8_tc_gaifman() {
     let tc_pairs = |s: &Structure| -> HashSet<Vec<Elem>> {
         let t = graph::transitive_closure(s);
         let e = t.signature().relation("E").unwrap();
-        t.rel(e).iter().map(|x| x.to_vec()).collect()
+        t.rel(e).iter().map(<[u32]>::to_vec).collect()
     };
     let cert =
         GaifmanCertificate::build("TC", 2, |r| builders::directed_path(6 * r + 8), tc_pairs, 3)
@@ -483,7 +483,7 @@ fn datalog_cross_validation() {
         assert_eq!(a.relation(tc), b.relation(tc));
         let reference = graph::transitive_closure(&s);
         let e = reference.signature().relation("E").unwrap();
-        let expected: HashSet<Vec<Elem>> = reference.rel(e).iter().map(|t| t.to_vec()).collect();
+        let expected: HashSet<Vec<Elem>> = reference.rel(e).iter().map(<[u32]>::to_vec).collect();
         assert_eq!(a.relation(tc), &expected);
     }
 }

@@ -1,0 +1,220 @@
+//! Drives `fmt-lint` over the fixture files in `tests/lint/`.
+//!
+//! One trigger fixture per diagnostic code (its exact span is asserted
+//! against the source text), plus `clean.*` fixtures, the formula
+//! library, the canned Datalog programs, and the conformance corpus —
+//! all of which must stay lint-clean.
+
+use fmt_lint::{diag, lint_formula, lint_formula_src, lint_program, lint_program_src, LintConfig};
+use fmt_logic::library;
+use fmt_queries::datalog::Program;
+use fmt_structures::Signature;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint")
+}
+
+fn fixture(name: &str) -> String {
+    let p = fixture_dir().join(name);
+    std::fs::read_to_string(&p)
+        .unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+        .trim_end()
+        .to_owned()
+}
+
+fn cfg_for(code: &str) -> LintConfig {
+    LintConfig {
+        // F006 only fires when a sentence is expected.
+        expect_sentence: code == "F006",
+        ..LintConfig::default()
+    }
+}
+
+fn lint_fixture(code: &str, ext: &str) -> (String, Vec<fmt_lint::Diagnostic>) {
+    let sig = Signature::graph();
+    let src = fixture(&format!("{code}.{ext}"));
+    let cfg = cfg_for(code);
+    let diags = if ext == "fo" {
+        lint_formula_src(&sig, &src, &cfg)
+    } else {
+        lint_program_src(&sig, &src, &cfg)
+    };
+    (src, diags)
+}
+
+#[test]
+fn every_code_has_a_trigger_fixture_with_a_precise_span() {
+    // (code, extension, expected span slice; None skips the slice check
+    // for whole-input or spanless diagnostics)
+    let expect: &[(&str, &str, Option<&str>)] = &[
+        ("F000", "fo", None), // point span at EOF
+        ("F001", "fo", Some("x")),
+        ("F002", "fo", Some("x")),
+        ("F003", "fo", Some("E(x, y) & false")),
+        ("F004", "fo", Some("R")),
+        ("F005", "fo", None), // spans the whole formula
+        ("F006", "fo", None),
+        ("D000", "dl", Some("q")),
+        ("D001", "dl", Some("y")),
+        ("D002", "dl", Some("y")),
+        ("D003", "dl", Some("q")),
+        ("D004", "dl", Some("p(y) :- e(y, y)")),
+        ("D005", "dl", Some("hit")),
+    ];
+    for (code, ext, slice) in expect {
+        let (src, diags) = lint_fixture(code, ext);
+        let d = diags
+            .iter()
+            .find(|d| d.code == *code)
+            .unwrap_or_else(|| panic!("{code}: fixture did not trigger, got {diags:?}"));
+        if let Some(expected) = slice {
+            let span = d
+                .span
+                .unwrap_or_else(|| panic!("{code}: diagnostic has no span"));
+            assert_eq!(span.slice(&src), *expected, "{code}: wrong span {span:?}");
+        }
+    }
+}
+
+#[test]
+fn trigger_fixtures_report_nothing_else_spurious() {
+    // Each fixture is minimal: its own code is the only diagnostic.
+    for (code, ext) in [
+        ("F000", "fo"),
+        ("F001", "fo"),
+        ("F003", "fo"),
+        ("F004", "fo"),
+        ("F005", "fo"),
+        ("F006", "fo"),
+        ("D000", "dl"),
+        ("D001", "dl"),
+        ("D002", "dl"),
+        ("D003", "dl"),
+        ("D004", "dl"),
+        ("D005", "dl"),
+    ] {
+        let (_, diags) = lint_fixture(code, ext);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, [code], "{code}.{ext}");
+    }
+    // F002's outer binder is also (necessarily) unused, so the shadow
+    // fixture reports both.
+    let (_, diags) = lint_fixture("F002", "fo");
+    let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    assert_eq!(codes, ["F001", "F002"]);
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    let sig = Signature::graph();
+    let cfg = LintConfig {
+        expect_sentence: true,
+        ..LintConfig::default()
+    };
+    let d = lint_formula_src(&sig, &fixture("clean.fo"), &cfg);
+    assert!(d.is_empty(), "clean.fo: {d:?}");
+    let d = lint_program_src(&sig, &fixture("clean.dl"), &LintConfig::default());
+    assert!(d.is_empty(), "clean.dl: {d:?}");
+}
+
+#[test]
+fn fixture_diagnostics_round_trip_through_json() {
+    let sig = Signature::graph();
+    for entry in std::fs::read_dir(fixture_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let src = src.trim_end();
+        let diags = match path.extension().and_then(|e| e.to_str()) {
+            Some("fo") => lint_formula_src(&sig, src, &LintConfig::default()),
+            Some("dl") => lint_program_src(&sig, src, &LintConfig::default()),
+            _ => continue,
+        };
+        let back = diag::diags_from_json(&diag::diags_to_json(&diags))
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(diags, back, "{}", path.display());
+    }
+}
+
+#[test]
+fn formula_library_is_lint_clean() {
+    let sig = Signature::graph();
+    let e = sig.relation("E").unwrap();
+    // `at_least(1)` is `∃x. true` — a legitimate F001/F003 — so the
+    // library sweep starts at the first non-degenerate counters.
+    let formulas = vec![
+        ("at_least(2)", library::at_least(2)),
+        ("at_most(2)", library::at_most(2)),
+        ("exactly(2)", library::exactly(2)),
+        ("strict_total_order", library::strict_total_order(e)),
+        ("symmetric", library::symmetric(e)),
+        ("irreflexive", library::irreflexive(e)),
+        ("q1_all_pairs_adjacent", library::q1_all_pairs_adjacent(e)),
+        (
+            "q2_distinguishing_neighbor",
+            library::q2_distinguishing_neighbor(e),
+        ),
+        ("dominating_vertex", library::dominating_vertex(e)),
+        ("no_isolated_vertex", library::no_isolated_vertex(e)),
+        ("k_clique(3)", library::k_clique(e, 3)),
+        ("k_path(3)", library::k_path(e, 3)),
+        ("dist_at_most(2)", library::dist_at_most(e, 2)),
+    ];
+    for (name, f) in formulas {
+        let d = lint_formula(&sig, &f, &LintConfig::default());
+        assert!(d.is_empty(), "library::{name}: {d:?}");
+    }
+    for (i, ax) in library::all_extension_axioms(&sig, 2).iter().enumerate() {
+        let d = lint_formula(&sig, ax, &LintConfig::default());
+        assert!(d.is_empty(), "extension axiom {i}: {d:?}");
+    }
+}
+
+#[test]
+fn canned_programs_are_lint_clean() {
+    for (name, p) in [
+        ("transitive_closure", Program::transitive_closure()),
+        ("same_generation", Program::same_generation()),
+    ] {
+        let d = lint_program(&p, &LintConfig::default());
+        assert!(d.is_empty(), "{name}: {d:?}");
+    }
+}
+
+#[test]
+fn conform_corpus_is_lint_clean() {
+    // The regression corpus only stores inputs the toolbox must handle;
+    // none of them may be rejected outright by the linter.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut cases = 0usize;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        cases += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let case = fmt_conform::ReproCase::from_text(&text).unwrap();
+        let sig = case.signature();
+        if let Some(f) = &case.formula {
+            let d = lint_formula_src(&sig, f, &LintConfig::default());
+            assert!(
+                !fmt_lint::has_errors(&d),
+                "{}: formula rejected: {d:?}",
+                path.display()
+            );
+        }
+        if let Some(p) = case.param("program") {
+            let d = lint_program_src(&sig, p, &LintConfig::default());
+            assert!(
+                !fmt_lint::has_errors(&d),
+                "{}: program rejected: {d:?}",
+                path.display()
+            );
+        }
+    }
+    // Today's corpus is all games-orders cases (no formula/program
+    // payloads); the sweep still must visit every case so new payloads
+    // are covered the moment they land.
+    assert!(cases >= 2, "corpus unexpectedly small: {cases} cases");
+}

@@ -54,7 +54,7 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     leaf.prop_recursive(4, 24, 3, move |inner| {
         let var2 = (0u32..4).prop_map(Var);
         prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
+            inner.clone().prop_map(Formula::not),
             (inner.clone(), inner.clone()).prop_map(|(f, g)| f.and(g)),
             (inner.clone(), inner.clone()).prop_map(|(f, g)| f.or(g)),
             (inner.clone(), inner.clone()).prop_map(|(f, g)| f.implies(g)),
@@ -235,7 +235,7 @@ proptest! {
         let reference = fmt_core::queries::graph::transitive_closure(&s);
         let e = reference.signature().relation("E").unwrap();
         let expected: std::collections::HashSet<Vec<u32>> =
-            reference.rel(e).iter().map(|t| t.to_vec()).collect();
+            reference.rel(e).iter().map(<[u32]>::to_vec).collect();
         prop_assert_eq!(out.relation(tc), &expected);
     }
 
