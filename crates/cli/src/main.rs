@@ -20,16 +20,49 @@
 
 use fmt_core::eval::{naive, relalg};
 use fmt_core::games::play::optimal_play;
-use fmt_core::games::solver::rank;
+use fmt_core::games::solver::try_rank;
 use fmt_core::lint::{self, LintConfig};
 use fmt_core::locality::{TypeCensus, TypeRegistry};
 use fmt_core::logic::{parser as fo_parser, Query, QueryError};
 use fmt_core::queries::datalog::Program;
+use fmt_core::structures::budget::{Budget, Exhausted};
 use fmt_core::structures::{parse as sparse, Diagnostic, Severity, Signature, Structure};
 use fmt_core::zeroone;
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A failed `fmtk` invocation, classified for the exit-code table:
+///
+/// | code | meaning                                            |
+/// |------|----------------------------------------------------|
+/// | 0    | success                                            |
+/// | 1    | usage, parse, I/O, or lint failure                 |
+/// | 2    | conformance failure (hunt disagreement or a replay |
+/// |      | that still reproduces)                             |
+/// | 3    | budget exhausted (`--fuel` / `--timeout-ms`)       |
+#[derive(Debug)]
+enum CliFailure {
+    /// Generic error: exit code 1.
+    Error(String),
+    /// Conformance failure: exit code 2.
+    Conform(String),
+    /// Budget exhaustion: exit code 3.
+    Exhausted(String),
+}
+
+impl From<String> for CliFailure {
+    fn from(msg: String) -> CliFailure {
+        CliFailure::Error(msg)
+    }
+}
+
+/// Maps an engine's [`Exhausted`] error onto exit code 3.
+fn exhausted(e: Exhausted) -> CliFailure {
+    CliFailure::Exhausted(e.to_string())
+}
+
+type CliResult = Result<String, CliFailure>;
 
 fn usage() -> String {
     "usage:\n  \
@@ -104,36 +137,34 @@ fn reject_unknown_flags(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<String, String> {
+fn cmd_check(args: &[String], budget: &Budget) -> CliResult {
     reject_unknown_flags(args)?;
     let [spath, sentence] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let s = load_structure(spath)?;
     let f = fo_parser::parse_formula(s.signature(), sentence)
         .map_err(|e| render_fo_error(sentence, "<expr>", &e))?;
     if !f.is_sentence() {
-        return Err("sentence required (use `eval` for open queries)".into());
+        return Err(CliFailure::Error(
+            "sentence required (use `eval` for open queries)".into(),
+        ));
     }
-    Ok((if naive::check_sentence(&s, &f) {
-        "true"
-    } else {
-        "false"
-    })
-    .to_string())
+    let v = naive::check_sentence_budgeted(&s, &f, budget).map_err(exhausted)?;
+    Ok((if v { "true" } else { "false" }).to_string())
 }
 
-fn cmd_eval(args: &[String]) -> Result<String, String> {
+fn cmd_eval(args: &[String], budget: &Budget) -> CliResult {
     reject_unknown_flags(args)?;
     let [spath, query] = args else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let s = load_structure(spath)?;
     let q = Query::parse(s.signature(), query).map_err(|e| match e {
         QueryError::Parse(pe) => render_fo_error(query, "<expr>", &pe),
         other => other.to_string(),
     })?;
-    let answers = relalg::answers(&s, &q);
+    let answers = relalg::answers_budgeted(&s, &q, budget).map_err(exhausted)?;
     let mut out = format!("arity {}, {} answers\n", q.arity(), answers.len());
     for row in answers {
         let cells: Vec<String> = row.iter().map(u32::to_string).collect();
@@ -142,21 +173,23 @@ fn cmd_eval(args: &[String]) -> Result<String, String> {
     Ok(out.trim_end().to_owned())
 }
 
-fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_game(mut args: Vec<String>, budget: &Budget) -> CliResult {
     let rounds: u32 = flag_value(&mut args, "--rounds")?
         .map(|v| v.parse().map_err(|_| "invalid --rounds".to_owned()))
         .transpose()?
         .unwrap_or(4);
     reject_unknown_flags(&args)?;
     let [apath, bpath] = args.as_slice() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let a = load_structure(apath)?;
     let b = load_structure(bpath)?;
     if a.signature() != b.signature() {
-        return Err("structures have different signatures".into());
+        return Err(CliFailure::Error(
+            "structures have different signatures".into(),
+        ));
     }
-    let r = rank(&a, &b, rounds);
+    let r = try_rank(&a, &b, rounds, budget).map_err(exhausted)?;
     let mut out = format!(
         "rank(A, B) capped at {rounds}: {r} — duplicator {} the {rounds}-round game\n",
         if r >= rounds { "wins" } else { "loses" }
@@ -183,29 +216,29 @@ fn cmd_game(mut args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_owned())
 }
 
-fn cmd_mu(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_mu(mut args: Vec<String>) -> CliResult {
     let sig = signature_from_rels(&mut args)?;
     reject_unknown_flags(&args)?;
     let [sentence] = args.as_slice() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let f = fo_parser::parse_formula(&sig, sentence)
         .map_err(|e| render_fo_error(sentence, "<expr>", &e))?;
     if !f.is_sentence() {
-        return Err("mu requires a sentence".into());
+        return Err(CliFailure::Error("mu requires a sentence".into()));
     }
     let mu = zeroone::decide_mu(&sig, &f);
     Ok(format!("mu = {}", u8::from(mu)))
 }
 
-fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_census(mut args: Vec<String>) -> CliResult {
     let radius: u32 = flag_value(&mut args, "--radius")?
         .map(|v| v.parse().map_err(|_| "invalid --radius".to_owned()))
         .transpose()?
         .unwrap_or(1);
     reject_unknown_flags(&args)?;
     let [spath] = args.as_slice() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let s = load_structure(spath)?;
     let mut reg = TypeRegistry::new();
@@ -227,7 +260,7 @@ fn cmd_census(mut args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_owned())
 }
 
-fn cmd_datalog(args: &[String]) -> Result<String, String> {
+fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
     let mut args = args.to_vec();
     let threads: usize = flag_value(&mut args, "--threads")?
         .map(|v| v.parse().map_err(|_| format!("bad thread count {v:?}")))
@@ -236,7 +269,7 @@ fn cmd_datalog(args: &[String]) -> Result<String, String> {
     let engine = flag_value(&mut args, "--engine")?.unwrap_or_else(|| "indexed".to_owned());
     reject_unknown_flags(&args)?;
     let [spath, ppath] = &args[..] else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let s = load_structure(spath)?;
     let src = read_input(ppath)?;
@@ -250,10 +283,15 @@ fn cmd_datalog(args: &[String]) -> Result<String, String> {
         })?
         .program;
     let out = match engine.as_str() {
-        "indexed" => prog.eval_seminaive_with(&s, threads),
-        "scan" => prog.eval_seminaive_scan(&s),
-        other => return Err(format!("unknown engine {other:?} (use scan|indexed)")),
-    };
+        "indexed" => prog.try_eval_seminaive_with(&s, threads, budget),
+        "scan" => prog.try_eval_seminaive_scan(&s, budget),
+        other => {
+            return Err(CliFailure::Error(format!(
+                "unknown engine {other:?} (use scan|indexed)"
+            )))
+        }
+    }
+    .map_err(exhausted)?;
     let mut text = String::new();
     for i in 0..prog.num_idbs() {
         let (name, arity) = prog.idb_info(i);
@@ -293,10 +331,10 @@ fn signature_from_rels(args: &mut Vec<String>) -> Result<Arc<Signature>, String>
     Ok(b.finish_arc())
 }
 
-fn cmd_lint(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_lint(mut args: Vec<String>) -> CliResult {
     let format = flag_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
     if format != "text" && format != "json" {
-        return Err(format!("unknown --format {format:?} (use text|json)"));
+        return Err(format!("unknown --format {format:?} (use text|json)").into());
     }
     let mut deny: Vec<String> = Vec::new();
     while let Some(code) = flag_value(&mut args, "--deny")? {
@@ -324,10 +362,7 @@ fn cmd_lint(mut args: Vec<String>) -> Result<String, String> {
     reject_unknown_flags(&args)?;
     let files = args;
     if exprs.is_empty() && programs.is_empty() && files.is_empty() {
-        return Err(format!(
-            "lint needs a FILE, --expr, or --program\n{}",
-            usage()
-        ));
+        return Err(format!("lint needs a FILE, --expr, or --program\n{}", usage()).into());
     }
     let mut cfg = LintConfig {
         expect_sentence,
@@ -418,21 +453,29 @@ fn cmd_lint(mut args: Vec<String>) -> Result<String, String> {
         // Keep the report (including JSON) on stdout; only the verdict
         // goes to stderr with the failing exit code.
         println!("{out}");
-        return Err(format!("lint failed with {n_err} error(s)"));
+        return Err(CliFailure::Error(format!(
+            "lint failed with {n_err} error(s)"
+        )));
     }
     Ok(out)
 }
 
-fn cmd_conform(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_conform(mut args: Vec<String>, budget: &Budget) -> CliResult {
     if let Some(path) = flag_value(&mut args, "--replay")? {
         reject_unknown_flags(&args)?;
         if !args.is_empty() {
-            return Err(usage());
+            return Err(usage().into());
         }
         let text = read_input(&path)?;
-        return match fmt_conform::runner::replay_text(&text) {
+        // A malformed case file is an ordinary error (exit 1); a case
+        // that parses but still reproduces its disagreement is a
+        // conformance failure (exit 2).
+        let case = fmt_conform::ReproCase::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        return match fmt_conform::runner::replay_case(&case) {
             Ok(()) => Ok(format!("{path}: engines agree (case replays clean)")),
-            Err(e) => Err(format!("{path}: disagreement reproduces: {e}")),
+            Err(e) => Err(CliFailure::Conform(format!(
+                "{path}: disagreement reproduces: {e}"
+            ))),
         };
     }
     let seed: u64 = flag_value(&mut args, "--seed")?
@@ -447,15 +490,19 @@ fn cmd_conform(mut args: Vec<String>) -> Result<String, String> {
     let corpus = flag_value(&mut args, "--corpus")?;
     reject_unknown_flags(&args)?;
     if !args.is_empty() {
-        return Err(usage());
+        return Err(usage().into());
     }
     let cfg = fmt_conform::RunConfig {
         seed,
         cases,
         oracle,
         corpus_dir: corpus.map(std::path::PathBuf::from),
+        budget: budget.clone(),
     };
-    let report = fmt_conform::run(&cfg)?;
+    let report = fmt_conform::run(&cfg).map_err(|e| match e {
+        fmt_conform::runner::RunError::Budget(b) => exhausted(b),
+        fmt_conform::runner::RunError::Other(msg) => CliFailure::Error(msg),
+    })?;
     let mut out = format!("conform: seed {seed}, {} cases\n", report.cases_run);
     for (name, n) in &report.per_oracle {
         out.push_str(&format!("  {name}: {n} cases\n"));
@@ -471,7 +518,7 @@ fn cmd_conform(mut args: Vec<String>) -> Result<String, String> {
     for p in &report.written {
         out.push_str(&format!("  wrote {}\n", p.display()));
     }
-    Err(out.trim_end().to_owned())
+    Err(CliFailure::Conform(out.trim_end().to_owned()))
 }
 
 fn cmd_sample() -> String {
@@ -530,28 +577,48 @@ fn render_stats(mode: StatsMode, cmd: &str) -> Option<String> {
     }
 }
 
-fn run() -> Result<String, String> {
+/// Extracts the global `--fuel N` and `--timeout-ms M` flags from
+/// anywhere in the argument list and builds the command's [`Budget`]
+/// (unlimited when neither flag is given).
+fn extract_budget(argv: &mut Vec<String>) -> Result<Budget, String> {
+    let fuel: Option<u64> = flag_value(argv, "--fuel")?
+        .map(|v| v.parse().map_err(|_| format!("bad --fuel {v:?}")))
+        .transpose()?;
+    let timeout: Option<u64> = flag_value(argv, "--timeout-ms")?
+        .map(|v| v.parse().map_err(|_| format!("bad --timeout-ms {v:?}")))
+        .transpose()?;
+    Ok(Budget::new(
+        fuel,
+        timeout.map(std::time::Duration::from_millis),
+    ))
+}
+
+fn run() -> CliResult {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let stats = extract_stats(&mut argv);
+    let budget = extract_budget(&mut argv)?;
     if argv.is_empty() {
-        return Err(usage());
+        return Err(usage().into());
     }
     if stats != StatsMode::Off {
         fmt_core::obs::enable();
     }
     let cmd = argv.remove(0);
     let out = match cmd.as_str() {
-        "check" => cmd_check(&argv),
-        "eval" => cmd_eval(&argv),
-        "game" => cmd_game(argv),
+        "check" => cmd_check(&argv, &budget),
+        "eval" => cmd_eval(&argv, &budget),
+        "game" => cmd_game(argv, &budget),
         "mu" => cmd_mu(argv),
         "census" => cmd_census(argv),
-        "datalog" => cmd_datalog(&argv),
+        "datalog" => cmd_datalog(&argv, &budget),
         "lint" => cmd_lint(argv),
-        "conform" => cmd_conform(argv),
+        "conform" => cmd_conform(argv, &budget),
         "sample" => Ok(cmd_sample()),
         "--help" | "-h" | "help" => Ok(usage()),
-        other => Err(format!("unknown command {other}\n{}", usage())),
+        other => Err(CliFailure::Error(format!(
+            "unknown command {other}\n{}",
+            usage()
+        ))),
     }?;
     Ok(match render_stats(stats, &cmd) {
         Some(stats_out) => format!("{out}\n{stats_out}"),
@@ -565,9 +632,17 @@ fn main() -> ExitCode {
             println!("{out}");
             ExitCode::SUCCESS
         }
-        Err(e) => {
+        Err(CliFailure::Error(e)) => {
             eprintln!("fmtk: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliFailure::Conform(e)) => {
+            eprintln!("fmtk: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliFailure::Exhausted(e)) => {
+            eprintln!("fmtk: {e}");
+            ExitCode::from(3)
         }
     }
 }
@@ -577,7 +652,9 @@ mod tests {
     use super::*;
 
     fn lint(args: &[&str]) -> Result<String, String> {
-        cmd_lint(args.iter().map(|s| (*s).to_owned()).collect())
+        cmd_lint(args.iter().map(|s| (*s).to_owned()).collect()).map_err(|e| match e {
+            CliFailure::Error(m) | CliFailure::Conform(m) | CliFailure::Exhausted(m) => m,
+        })
     }
 
     #[test]

@@ -414,3 +414,128 @@ fn conform_replay_and_bad_oracle() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown oracle"));
 }
+
+/// A budget-fault case that replays clean on a correct build: every
+/// engine either finishes or exhausts deterministically, and the
+/// finishers agree. Setting [`fmt_conform::oracle::INJECT_PANIC_ENV`]
+/// makes the budgeted runs panic, so the same case then *reproduces*.
+const BUDGET_FAULT_CASE: &str = "oracle: budget-fault\nseed: 0\ncase: 0\nnote: t\nrel: E/2\n\
+     param: kind = formula\nparam: fuel = 3\n\
+     structure A:\nsize: 2\nE(0,1)\nend\nformula: exists x. E(x, x)\n";
+
+#[test]
+fn exit_code_0_on_success_and_1_on_errors() {
+    let p = write_temp("exit-c4.st", CYCLE4);
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "exists x y. E(x, y)"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+
+    // Generic failures — unknown flag, bad budget value, malformed case
+    // file — are all exit code 1, never 2 or 3.
+    let out = fmtk()
+        .args(["check", p.to_str().unwrap(), "true", "--verbose"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = fmtk()
+        .args(["--fuel", "lots", "check", p.to_str().unwrap(), "true"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --fuel"));
+    let bad = write_temp("exit-bad.case", "no such key: x\n");
+    let out = fmtk()
+        .args(["conform", "--replay", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn exit_code_2_when_replay_reproduces() {
+    let case = write_temp("exit-bf.case", BUDGET_FAULT_CASE);
+    // On a correct build the case replays clean.
+    let out = fmtk()
+        .args(["conform", "--replay", case.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // With the fault injected, the replay reproduces: exit code 2.
+    let out = fmtk()
+        .args(["conform", "--replay", case.to_str().unwrap()])
+        .env(fmt_conform::oracle::INJECT_PANIC_ENV, "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("disagreement reproduces"), "{err}");
+}
+
+#[test]
+fn exit_code_2_when_hunt_finds_disagreements() {
+    let out = fmtk()
+        .args(["conform", "--oracle", "budget-fault", "--cases", "2"])
+        .env(fmt_conform::oracle::INJECT_PANIC_ENV, "1")
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("DISAGREEMENT"));
+}
+
+#[test]
+fn exit_code_3_when_budget_exhausts() {
+    let p = write_temp("exit-c4b.st", CYCLE4);
+    let prog = write_temp(
+        "exit-tc.dl",
+        "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).",
+    );
+    let runs: &[&[&str]] = &[
+        &["--fuel", "1", "check", "@S", "forall x. exists y. E(x, y)"],
+        &["--timeout-ms", "0", "eval", "@S", "E(x, y)"],
+        &["--fuel", "2", "datalog", "@S", "@P"],
+        &["--fuel", "1", "game", "@S", "@S"],
+        &["--fuel", "3", "conform", "--cases", "8"],
+    ];
+    for args in runs {
+        let args: Vec<&str> = args
+            .iter()
+            .map(|a| match *a {
+                "@S" => p.to_str().unwrap(),
+                "@P" => prog.to_str().unwrap(),
+                other => other,
+            })
+            .collect();
+        let out = fmtk().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(3), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("fuel exhausted") || err.contains("deadline exceeded"),
+            "{args:?}: {err}"
+        );
+    }
+    // An ample budget changes nothing: same answer, exit 0.
+    let out = fmtk()
+        .args([
+            "--fuel",
+            "100000",
+            "check",
+            p.to_str().unwrap(),
+            "forall x. exists y. E(x, y)",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
+}

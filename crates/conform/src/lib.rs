@@ -30,5 +30,5 @@ pub mod shrink;
 
 pub use corpus::ReproCase;
 pub use oracle::Oracle;
-pub use runner::{run, RunConfig, RunReport};
+pub use runner::{run, RunConfig, RunError, RunReport};
 pub use shrink::{minimize, Shrinkable};

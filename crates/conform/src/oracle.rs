@@ -17,6 +17,7 @@
 //! | `hanf-locality`  | census invariants + Hanf's theorem vs. direct game search |
 //! | `datalog-engines`| naive / scan / indexed·threaded semi-naive fixpoints      |
 //! | `lint-clean`     | lint-clean inputs evaluate without panics and all engines agree |
+//! | `budget-fault`   | engines under tight fuel budgets finish, agree, and fail cleanly |
 
 use crate::corpus::ReproCase;
 use crate::gen::{self, GenConfig};
@@ -29,7 +30,8 @@ use fmt_locality::hanf::hanf_equivalent;
 use fmt_logic::{parser, Formula};
 use fmt_obs::Counter;
 use fmt_queries::datalog::Program;
-use fmt_structures::{builders, parse as sparse, Structure};
+use fmt_structures::budget::{Budget, BudgetResult};
+use fmt_structures::{builders, parse as sparse, Elem, Structure};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,6 +46,7 @@ static OBS_ORDERS: Counter = Counter::new("conform.oracle.games_orders");
 static OBS_HANF: Counter = Counter::new("conform.oracle.hanf_locality");
 static OBS_DATALOG: Counter = Counter::new("conform.oracle.datalog_engines");
 static OBS_LINT: Counter = Counter::new("conform.oracle.lint_clean");
+static OBS_BUDGET: Counter = Counter::new("conform.oracle.budget_fault");
 
 /// A differential cross-check that can both hunt (run a fresh random
 /// case) and replay (re-run a serialized counterexample).
@@ -71,6 +74,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(HanfLocality),
         Box::new(DatalogEngines),
         Box::new(LintClean),
+        Box::new(BudgetFault),
     ]
 }
 
@@ -650,6 +654,255 @@ impl Oracle for LintClean {
                 lint_clean_program_violation(&s, src)
             }
             other => return Err(format!("unknown lint-clean case kind {other:?}")),
+        };
+        match violation {
+            Some(note) => Err(note),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// budget-fault
+// ---------------------------------------------------------------------
+
+/// Fault injection for the budget layer: every engine run under a
+/// tight random fuel budget must either complete (agreeing with every
+/// other engine that completed) or fail cleanly with `Exhausted` —
+/// never panic — and rerunning a single-threaded engine with the same
+/// fuel must reproduce the identical outcome, exhaustion tick
+/// included.
+#[derive(Debug)]
+pub struct BudgetFault;
+
+/// Test-only fault-injection hook: when this environment variable is
+/// set, every engine run by the `budget-fault` oracle panics instead
+/// of evaluating. It exists to prove the oracle's shrink-and-serialize
+/// plumbing (and the CLI's replay exit code) end to end, since correct
+/// engines never fail organically.
+pub const INJECT_PANIC_ENV: &str = "FMT_CONFORM_INJECT_PANIC";
+
+fn inject_panic_armed() -> bool {
+    std::env::var_os(INJECT_PANIC_ENV).is_some()
+}
+
+/// One engine's outcome under a finite fuel budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum FuelOutcome<T> {
+    /// Completed within budget.
+    Done(T),
+    /// Failed cleanly, having spent this many ticks.
+    Exhausted(u64),
+    /// Panicked — always a violation.
+    Panicked,
+}
+
+fn run_with_fuel<T>(fuel: u64, run: impl FnOnce(&Budget) -> BudgetResult<T>) -> FuelOutcome<T> {
+    let budget = Budget::with_fuel(fuel);
+    match catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic_armed() {
+            panic!("injected budget fault ({INJECT_PANIC_ENV} is set)");
+        }
+        run(&budget)
+    })) {
+        Err(_) => FuelOutcome::Panicked,
+        Ok(Ok(v)) => FuelOutcome::Done(v),
+        Ok(Err(e)) => FuelOutcome::Exhausted(e.spent),
+    }
+}
+
+/// Runs one engine twice under the same fuel, checking the clean-fail
+/// and determinism halves of the contract. Returns the completed value
+/// (if any) or the violation note.
+fn fuel_check<T: Clone + PartialEq + std::fmt::Debug>(
+    name: &str,
+    fuel: u64,
+    run: impl Fn(&Budget) -> BudgetResult<T>,
+) -> Result<Option<T>, String> {
+    let first = run_with_fuel(fuel, &run);
+    if matches!(first, FuelOutcome::Panicked) {
+        return Err(format!("{name} panicked under fuel {fuel}"));
+    }
+    let second = run_with_fuel(fuel, &run);
+    if first != second {
+        return Err(format!(
+            "{name} is fuel-nondeterministic under fuel {fuel}: {first:?} vs {second:?}"
+        ));
+    }
+    match first {
+        FuelOutcome::Done(v) => Ok(Some(v)),
+        _ => Ok(None),
+    }
+}
+
+/// A list of named budgeted engine runs for [`fuel_check`] to drive.
+type EngineChecks<'a, T> = Vec<(&'static str, Box<dyn Fn(&Budget) -> BudgetResult<T> + 'a>)>;
+
+/// `None` when all three FO engines uphold the budget contract on
+/// `(s, text)` under `fuel`.
+fn budget_fault_formula_violation(s: &Structure, text: &str, fuel: u64) -> Option<String> {
+    let Ok(f) = parser::parse_formula(s.signature(), text) else {
+        return None;
+    };
+    if !f.is_sentence() || f.well_formed(s.signature()).is_err() {
+        return None;
+    }
+    let mut done: Vec<(&str, bool)> = Vec::new();
+    let checks: EngineChecks<'_, bool> = vec![
+        (
+            "eval.naive",
+            Box::new(|b: &Budget| naive::check_sentence_budgeted(s, &f, b)),
+        ),
+        (
+            "eval.relalg",
+            Box::new(|b: &Budget| relalg::check_sentence_budgeted(s, &f, b)),
+        ),
+        (
+            "eval.circuit",
+            Box::new(|b: &Budget| {
+                let (c, layout) = circuit::compile_budgeted(s.signature(), &f, s.size(), b)?;
+                c.try_eval(&layout.encode(s), b)
+            }),
+        ),
+    ];
+    for (name, run) in checks {
+        match fuel_check(name, fuel, run) {
+            Err(note) => return Some(note),
+            Ok(Some(v)) => done.push((name, v)),
+            Ok(None) => {}
+        }
+    }
+    if let Some(w) = done.windows(2).find(|w| w[0].1 != w[1].1) {
+        return Some(format!(
+            "completed engines disagree under fuel {fuel}: {}={} vs {}={}",
+            w[0].0, w[0].1, w[1].0, w[1].1
+        ));
+    }
+    None
+}
+
+/// `None` when all Datalog engines uphold the budget contract on
+/// `(s, src)` under `fuel`. The two-thread indexed engine shares fuel
+/// across shards, so only its no-panic/agreement halves are checked —
+/// its exhaustion tick is legitimately racy.
+fn budget_fault_program_violation(s: &Structure, src: &str, fuel: u64) -> Option<String> {
+    let Ok(prog) = Program::parse(s.signature(), src) else {
+        return None;
+    };
+    let canon = |out: &fmt_queries::datalog::Output| -> Vec<Vec<Vec<Elem>>> {
+        (0..prog.num_idbs())
+            .map(|i| {
+                let mut v: Vec<Vec<Elem>> = out.relation(i).iter().cloned().collect();
+                v.sort();
+                v
+            })
+            .collect()
+    };
+    let mut done: Vec<(&str, Vec<Vec<Vec<Elem>>>)> = Vec::new();
+    let checks: EngineChecks<'_, fmt_queries::datalog::Output> = vec![
+        (
+            "datalog.naive",
+            Box::new(|b: &Budget| prog.try_eval_naive(s, b)),
+        ),
+        (
+            "datalog.scan",
+            Box::new(|b: &Budget| prog.try_eval_seminaive_scan(s, b)),
+        ),
+        (
+            "datalog.indexed",
+            Box::new(|b: &Budget| prog.try_eval_seminaive_with(s, 1, b)),
+        ),
+    ];
+    for (name, run) in checks {
+        match fuel_check(name, fuel, |b| run(b).map(|out| canon(&out))) {
+            Err(note) => return Some(note),
+            Ok(Some(v)) => done.push((name, v)),
+            Ok(None) => {}
+        }
+    }
+    match run_with_fuel(fuel, |b| {
+        prog.try_eval_seminaive_with(s, 2, b).map(|out| canon(&out))
+    }) {
+        FuelOutcome::Panicked => {
+            return Some(format!("datalog.indexed(2) panicked under fuel {fuel}"))
+        }
+        FuelOutcome::Done(v) => done.push(("datalog.indexed(2)", v)),
+        FuelOutcome::Exhausted(_) => {}
+    }
+    if let Some(w) = done.windows(2).find(|w| w[0].1 != w[1].1) {
+        return Some(format!(
+            "completed engines disagree under fuel {fuel}: {} vs {}",
+            w[0].0, w[1].0
+        ));
+    }
+    None
+}
+
+impl Oracle for BudgetFault {
+    fn name(&self) -> &'static str {
+        "budget-fault"
+    }
+
+    fn run_case(&self, rng: &mut StdRng, seed: u64, case: u64) -> Option<ReproCase> {
+        OBS_BUDGET.incr();
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(rng, &cfg);
+        let fuel = rng.random_range(1..=48u64);
+        if rng.random_bool(0.5) {
+            let f = gen::random_sentence(rng, &cfg);
+            let text = format!("{}", f.display(s.signature()));
+            let note = budget_fault_formula_violation(&s, &text, fuel)?;
+            let ((s, fuel), _) = minimize(
+                (s, fuel),
+                &mut |(t, fl): &(Structure, u64)| {
+                    *fl >= 1 && budget_fault_formula_violation(t, &text, *fl).is_some()
+                },
+                SHRINK_BUDGET,
+            );
+            let note = budget_fault_formula_violation(&s, &text, fuel).unwrap_or(note);
+            let mut c = case_skeleton(self, seed, case, note);
+            c.params = vec![
+                ("kind".to_owned(), "formula".to_owned()),
+                ("fuel".to_owned(), fuel.to_string()),
+            ];
+            c.formula = Some(text);
+            c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+            Some(c)
+        } else {
+            let src = gen::random_datalog_program(rng);
+            let note = budget_fault_program_violation(&s, &src, fuel)?;
+            let ((s, fuel), _) = minimize(
+                (s, fuel),
+                &mut |(t, fl): &(Structure, u64)| {
+                    *fl >= 1 && budget_fault_program_violation(t, &src, *fl).is_some()
+                },
+                SHRINK_BUDGET,
+            );
+            let note = budget_fault_program_violation(&s, &src, fuel).unwrap_or(note);
+            let mut c = case_skeleton(self, seed, case, note);
+            c.params = vec![
+                ("kind".to_owned(), "program".to_owned()),
+                ("fuel".to_owned(), fuel.to_string()),
+                ("program".to_owned(), src.trim().to_owned()),
+            ];
+            c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+            Some(c)
+        }
+    }
+
+    fn replay(&self, case: &ReproCase) -> Result<(), String> {
+        let s = case.structure("A")?;
+        let fuel = case.param_u64("fuel")?.max(1);
+        let violation = match case.param("kind").ok_or("case is missing `kind`")? {
+            "formula" => {
+                let text = case.formula.as_ref().ok_or("case has no formula")?;
+                budget_fault_formula_violation(&s, text, fuel)
+            }
+            "program" => {
+                let src = case.param("program").ok_or("case is missing `program`")?;
+                budget_fault_program_violation(&s, src, fuel)
+            }
+            other => return Err(format!("unknown budget-fault case kind {other:?}")),
         };
         match violation {
             Some(note) => Err(note),

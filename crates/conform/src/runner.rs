@@ -8,6 +8,7 @@
 use crate::corpus::ReproCase;
 use crate::oracle::{all_oracles, find_oracle, Oracle};
 use fmt_obs::Counter;
+use fmt_structures::budget::{Budget, Exhausted};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -26,6 +27,35 @@ pub struct RunConfig {
     pub oracle: Option<String>,
     /// Where to serialize failing cases; `None` keeps them in memory.
     pub corpus_dir: Option<PathBuf>,
+    /// Budget for the hunt as a whole, ticked once per case; defaults
+    /// to [`Budget::unlimited`].
+    pub budget: Budget,
+}
+
+/// Why a conformance hunt aborted before completing its cases.
+#[derive(Debug)]
+pub enum RunError {
+    /// The run's budget ran out mid-hunt (`fmtk conform --fuel`).
+    Budget(Exhausted),
+    /// Configuration or I/O failure.
+    Other(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Budget(e) => write!(f, "{e}"),
+            RunError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<String> for RunError {
+    fn from(msg: String) -> RunError {
+        RunError::Other(msg)
+    }
 }
 
 /// Outcome of a conformance hunt.
@@ -60,11 +90,14 @@ fn case_rng(seed: u64, case: u64) -> StdRng {
 /// Runs a conformance hunt. Failures are collected (and, with a corpus
 /// directory, serialized) rather than aborting the run, so one bug
 /// cannot mask another.
-pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
+pub fn run(cfg: &RunConfig) -> Result<RunReport, RunError> {
     let oracles: Vec<Box<dyn Oracle>> = match &cfg.oracle {
         Some(name) => vec![find_oracle(name).ok_or_else(|| {
             let known: Vec<&str> = all_oracles().iter().map(|o| o.name()).collect();
-            format!("unknown oracle {name:?} (known: {})", known.join(", "))
+            RunError::Other(format!(
+                "unknown oracle {name:?} (known: {})",
+                known.join(", ")
+            ))
         })?],
         None => all_oracles(),
     };
@@ -73,6 +106,9 @@ pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
         ..RunReport::default()
     };
     for case in 0..cfg.cases {
+        cfg.budget
+            .tick("conform.runner")
+            .map_err(RunError::Budget)?;
         let slot = (case % oracles.len() as u64) as usize;
         let oracle = &oracles[slot];
         let mut rng = case_rng(cfg.seed, case);
@@ -84,7 +120,7 @@ pub fn run(cfg: &RunConfig) -> Result<RunReport, String> {
             if let Some(dir) = &cfg.corpus_dir {
                 let path = repro
                     .write_to(dir)
-                    .map_err(|e| format!("writing {}: {e}", dir.display()))?;
+                    .map_err(|e| RunError::Other(format!("writing {}: {e}", dir.display())))?;
                 report.written.push(path);
             }
             report.failures.push(repro);
@@ -114,14 +150,29 @@ mod tests {
     fn clean_run_on_a_correct_toolbox() {
         let report = run(&RunConfig {
             seed: 42,
-            cases: 21,
+            cases: 24,
             ..RunConfig::default()
         })
         .unwrap();
-        assert_eq!(report.cases_run, 21);
+        assert_eq!(report.cases_run, 24);
         assert!(report.clean(), "failures: {:?}", report.failures);
-        // Round-robin: 21 cases over 7 oracles = 3 each.
+        // Round-robin: 24 cases over 8 oracles = 3 each.
         assert!(report.per_oracle.iter().all(|(_, n)| *n == 3));
+    }
+
+    #[test]
+    fn hunt_respects_its_budget() {
+        let err = run(&RunConfig {
+            seed: 42,
+            cases: 24,
+            budget: Budget::with_fuel(5),
+            ..RunConfig::default()
+        })
+        .unwrap_err();
+        match err {
+            RunError::Budget(e) => assert_eq!(e.spent, 6),
+            RunError::Other(msg) => panic!("expected budget exhaustion, got {msg}"),
+        }
     }
 
     #[test]

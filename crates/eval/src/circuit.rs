@@ -17,7 +17,11 @@
 //! circuit output against the direct evaluators.
 
 use fmt_logic::{Formula, Term};
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::{Elem, Signature, Structure};
+
+/// Budget tick site label for this engine.
+const AT: &str = "eval.circuit";
 
 /// Reference to a gate within a [`Circuit`] (index into the gate list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,9 +85,19 @@ impl Circuit {
     /// # Panics
     /// Panics if `bits.len() != self.num_inputs()`.
     pub fn eval(&self, bits: &[bool]) -> bool {
+        self.try_eval(bits, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Budgeted [`Circuit::eval`], ticking once per gate evaluated.
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != self.num_inputs()`.
+    pub fn try_eval(&self, bits: &[bool], budget: &Budget) -> BudgetResult<bool> {
         assert_eq!(bits.len(), self.num_inputs as usize);
         let mut val = vec![false; self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {
+            budget.tick(AT)?;
             val[i] = match g {
                 Gate::Input(j) => bits[*j as usize],
                 Gate::Const(b) => *b,
@@ -92,7 +106,7 @@ impl Circuit {
                 Gate::Or(xs) => xs.iter().any(|x| val[x.0 as usize]),
             };
         }
-        val[self.output.0 as usize]
+        Ok(val[self.output.0 as usize])
     }
 }
 
@@ -168,15 +182,20 @@ impl InputLayout {
 struct Compiler<'a> {
     layout: &'a InputLayout,
     gates: Vec<Gate>,
+    budget: &'a Budget,
 }
 
 impl Compiler<'_> {
-    fn push(&mut self, g: Gate) -> GateRef {
+    /// Appends a gate, ticking the budget: every compiled subformula
+    /// instantiation pushes at least one gate, so metering gate creation
+    /// bounds the whole `O(n^rank)` compilation.
+    fn push(&mut self, g: Gate) -> BudgetResult<GateRef> {
+        self.budget.tick(AT)?;
         self.gates.push(g);
-        GateRef(self.gates.len() as u32 - 1)
+        Ok(GateRef(self.gates.len() as u32 - 1))
     }
 
-    fn compile(&mut self, f: &Formula, env: &mut Vec<Option<Elem>>) -> GateRef {
+    fn compile(&mut self, f: &Formula, env: &mut Vec<Option<Elem>>) -> BudgetResult<GateRef> {
         match f {
             Formula::True => self.push(Gate::Const(true)),
             Formula::False => self.push(Gate::Const(false)),
@@ -202,30 +221,36 @@ impl Compiler<'_> {
                 self.push(Gate::Const(val(a, env) == val(b, env)))
             }
             Formula::Not(g) => {
-                let a = self.compile(g, env);
+                let a = self.compile(g, env)?;
                 self.push(Gate::Not(a))
             }
             Formula::And(fs) => {
-                let xs: Vec<GateRef> = fs.iter().map(|g| self.compile(g, env)).collect();
+                let xs: Vec<GateRef> = fs
+                    .iter()
+                    .map(|g| self.compile(g, env))
+                    .collect::<BudgetResult<_>>()?;
                 self.push(Gate::And(xs))
             }
             Formula::Or(fs) => {
-                let xs: Vec<GateRef> = fs.iter().map(|g| self.compile(g, env)).collect();
+                let xs: Vec<GateRef> = fs
+                    .iter()
+                    .map(|g| self.compile(g, env))
+                    .collect::<BudgetResult<_>>()?;
                 self.push(Gate::Or(xs))
             }
             Formula::Implies(a, b) => {
-                let ga = self.compile(a, env);
-                let na = self.push(Gate::Not(ga));
-                let gb = self.compile(b, env);
+                let ga = self.compile(a, env)?;
+                let na = self.push(Gate::Not(ga))?;
+                let gb = self.compile(b, env)?;
                 self.push(Gate::Or(vec![na, gb]))
             }
             Formula::Iff(a, b) => {
-                let ga = self.compile(a, env);
-                let gb = self.compile(b, env);
-                let na = self.push(Gate::Not(ga));
-                let nb = self.push(Gate::Not(gb));
-                let both = self.push(Gate::And(vec![ga, gb]));
-                let neither = self.push(Gate::And(vec![na, nb]));
+                let ga = self.compile(a, env)?;
+                let gb = self.compile(b, env)?;
+                let na = self.push(Gate::Not(ga))?;
+                let nb = self.push(Gate::Not(gb))?;
+                let both = self.push(Gate::And(vec![ga, gb]))?;
+                let neither = self.push(Gate::And(vec![na, nb]))?;
                 self.push(Gate::Or(vec![both, neither]))
             }
             Formula::Exists(v, g) => {
@@ -234,23 +259,43 @@ impl Compiler<'_> {
                 let n = self.layout.n;
                 let old = env[v.0 as usize];
                 let mut xs = Vec::with_capacity(n as usize);
+                let mut err = None;
                 for d in 0..n {
                     env[v.0 as usize] = Some(d);
-                    xs.push(self.compile(g, env));
+                    match self.compile(g, env) {
+                        Ok(r) => xs.push(r),
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
                 }
                 env[v.0 as usize] = old;
-                self.push(Gate::Or(xs))
+                match err {
+                    Some(e) => Err(e),
+                    None => self.push(Gate::Or(xs)),
+                }
             }
             Formula::Forall(v, g) => {
                 let n = self.layout.n;
                 let old = env[v.0 as usize];
                 let mut xs = Vec::with_capacity(n as usize);
+                let mut err = None;
                 for d in 0..n {
                     env[v.0 as usize] = Some(d);
-                    xs.push(self.compile(g, env));
+                    match self.compile(g, env) {
+                        Ok(r) => xs.push(r),
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
                 }
                 env[v.0 as usize] = old;
-                self.push(Gate::And(xs))
+                match err {
+                    Some(e) => Err(e),
+                    None => self.push(Gate::And(xs)),
+                }
             }
         }
     }
@@ -264,25 +309,40 @@ impl Compiler<'_> {
 /// # Panics
 /// Panics if `f` is not a sentence or if the signature has constants.
 pub fn compile(sig: &Signature, f: &Formula, n: u32) -> (Circuit, InputLayout) {
+    compile_budgeted(sig, f, n, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`compile`], ticking once per gate created: the circuit has
+/// `O(n^rank)` gates, so compilation itself must be interruptible.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or if the signature has constants.
+pub fn compile_budgeted(
+    sig: &Signature,
+    f: &Formula,
+    n: u32,
+    budget: &Budget,
+) -> BudgetResult<(Circuit, InputLayout)> {
     assert!(f.is_sentence(), "compile requires a sentence");
     let layout = InputLayout::new(sig, n);
     let mut c = Compiler {
         layout: &layout,
         gates: Vec::new(),
+        budget,
     };
     let vars = f.max_var().map_or(0, |m| m as usize + 1);
     let mut env = vec![None; vars];
-    let output = c.compile(f, &mut env);
+    let output = c.compile(f, &mut env)?;
     OBS_COMPILES.incr();
     OBS_GATES.record(c.gates.len() as u64);
-    (
+    Ok((
         Circuit {
             num_inputs: layout.total_bits(),
             gates: c.gates,
             output,
         },
         layout,
-    )
+    ))
 }
 
 /// Circuit-family members compiled.

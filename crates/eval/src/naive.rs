@@ -8,8 +8,12 @@
 //! experiment E1.
 
 use fmt_logic::{Formula, Query, Term, Var};
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::index;
 use fmt_structures::{Elem, RelId, Structure};
+
+/// Budget tick site label for this engine.
+const AT: &str = "eval.naive";
 
 /// Quantifier nodes entered (each loops over the whole domain).
 static OBS_QUANTIFIERS: fmt_obs::Counter = fmt_obs::Counter::new("eval.naive.quantifier_nodes");
@@ -63,14 +67,25 @@ impl Env {
 #[derive(Debug)]
 pub struct NaiveEvaluator<'a> {
     structure: &'a Structure,
+    budget: Budget,
     /// Number of evaluation steps performed so far (AST-node visits).
     pub ops: u64,
 }
 
 impl<'a> NaiveEvaluator<'a> {
-    /// Creates an evaluator for one structure.
+    /// Creates an evaluator for one structure with an unlimited budget.
     pub fn new(structure: &'a Structure) -> NaiveEvaluator<'a> {
-        NaiveEvaluator { structure, ops: 0 }
+        NaiveEvaluator::with_budget(structure, Budget::unlimited())
+    }
+
+    /// Creates an evaluator that consults `budget` on every AST-node
+    /// visit; use [`NaiveEvaluator::try_eval`] to observe exhaustion.
+    pub fn with_budget(structure: &'a Structure, budget: Budget) -> NaiveEvaluator<'a> {
+        NaiveEvaluator {
+            structure,
+            budget,
+            ops: 0,
+        }
     }
 
     fn term(&self, t: &Term, env: &Env) -> Elem {
@@ -81,21 +96,49 @@ impl<'a> NaiveEvaluator<'a> {
     }
 
     /// Evaluates `φ` under `env` (all free variables must be bound).
+    ///
+    /// # Panics
+    /// Panics if the evaluator's budget exhausts; construct with
+    /// [`NaiveEvaluator::with_budget`] and call
+    /// [`NaiveEvaluator::try_eval`] to handle exhaustion instead.
     pub fn eval(&mut self, f: &Formula, env: &mut Env) -> bool {
+        self.try_eval(f, env)
+            .expect("budget exhausted in NaiveEvaluator::eval; use try_eval")
+    }
+
+    /// Evaluates `φ` under `env`, stopping cleanly when the budget runs
+    /// out. `env` is fully restored before an error propagates, so a
+    /// failed call leaves no partial bindings behind.
+    pub fn try_eval(&mut self, f: &Formula, env: &mut Env) -> BudgetResult<bool> {
+        self.budget.tick(AT)?;
         self.ops += 1;
         match f {
-            Formula::True => true,
-            Formula::False => false,
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
             Formula::Atom { rel, args } => {
                 let tuple: Vec<Elem> = args.iter().map(|t| self.term(t, env)).collect();
-                self.structure.holds(*rel, &tuple)
+                Ok(self.structure.holds(*rel, &tuple))
             }
-            Formula::Eq(a, b) => self.term(a, env) == self.term(b, env),
-            Formula::Not(g) => !self.eval(g, env),
-            Formula::And(fs) => fs.iter().all(|g| self.eval(g, env)),
-            Formula::Or(fs) => fs.iter().any(|g| self.eval(g, env)),
-            Formula::Implies(a, b) => !self.eval(a, env) || self.eval(b, env),
-            Formula::Iff(a, b) => self.eval(a, env) == self.eval(b, env),
+            Formula::Eq(a, b) => Ok(self.term(a, env) == self.term(b, env)),
+            Formula::Not(g) => Ok(!self.try_eval(g, env)?),
+            Formula::And(fs) => {
+                for g in fs {
+                    if !self.try_eval(g, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Formula::Or(fs) => {
+                for g in fs {
+                    if self.try_eval(g, env)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Formula::Implies(a, b) => Ok(!self.try_eval(a, env)? || self.try_eval(b, env)?),
+            Formula::Iff(a, b) => Ok(self.try_eval(a, env)? == self.try_eval(b, env)?),
             Formula::Exists(v, g) => {
                 OBS_QUANTIFIERS.incr();
                 // ∃v over a bare positive atom mentioning v: the
@@ -107,42 +150,60 @@ impl<'a> NaiveEvaluator<'a> {
                         return self.exists_atom(*rel, args, *v, env);
                     }
                 }
-                let mut found = false;
-                let old = env.bind(*v, 0);
-                for d in self.structure.domain() {
-                    env.slots[v.0 as usize] = Some(d);
-                    if self.eval(g, env) {
-                        found = true;
-                        break;
-                    }
-                    OBS_BACKTRACKS.incr();
-                }
-                env.restore(*v, old);
-                found
+                self.quantifier_loop(*v, g, env, false)
             }
             Formula::Forall(v, g) => {
                 OBS_QUANTIFIERS.incr();
-                let mut all = true;
-                let old = env.bind(*v, 0);
-                for d in self.structure.domain() {
-                    env.slots[v.0 as usize] = Some(d);
-                    if !self.eval(g, env) {
-                        all = false;
-                        break;
-                    }
-                    OBS_BACKTRACKS.incr();
-                }
-                env.restore(*v, old);
-                all
+                self.quantifier_loop(*v, g, env, true)
             }
         }
+    }
+
+    /// Shared ∃/∀ domain loop: `forall` decides on the first `false`,
+    /// `exists` on the first `true`. Restores `env` on every exit path,
+    /// including budget exhaustion.
+    fn quantifier_loop(
+        &mut self,
+        v: Var,
+        g: &Formula,
+        env: &mut Env,
+        forall: bool,
+    ) -> BudgetResult<bool> {
+        let mut decided = false;
+        let mut outcome = Ok(forall);
+        let old = env.bind(v, 0);
+        for d in self.structure.domain() {
+            env.slots[v.0 as usize] = Some(d);
+            match self.try_eval(g, env) {
+                Ok(val) if val != forall => {
+                    outcome = Ok(val);
+                    decided = true;
+                }
+                Ok(_) => OBS_BACKTRACKS.incr(),
+                Err(e) => {
+                    outcome = Err(e);
+                    decided = true;
+                }
+            }
+            if decided {
+                break;
+            }
+        }
+        env.restore(v, old);
+        outcome
     }
 
     /// Decides `∃v R(t̄)` where `v` occurs in `t̄`: every argument other
     /// than `v` is already bound, so the satisfying tuples are found by
     /// scanning the relation — narrowed to a sorted prefix range when
     /// the arguments before the first occurrence of `v` are bound.
-    fn exists_atom(&mut self, rel: RelId, args: &[Term], v: Var, env: &mut Env) -> bool {
+    fn exists_atom(
+        &mut self,
+        rel: RelId,
+        args: &[Term],
+        v: Var,
+        env: &mut Env,
+    ) -> BudgetResult<bool> {
         let r = self.structure.rel(rel);
         let mut prefix: Vec<Elem> = Vec::new();
         for t in args {
@@ -152,6 +213,7 @@ impl<'a> NaiveEvaluator<'a> {
             }
         }
         'tuples: for row in index::probe_prefix(r, &prefix) {
+            self.budget.tick(AT)?;
             self.ops += 1;
             let mut witness: Option<Elem> = None;
             for (i, t) in args.iter().enumerate() {
@@ -168,9 +230,9 @@ impl<'a> NaiveEvaluator<'a> {
                     }
                 }
             }
-            return true;
+            return Ok(true);
         }
-        false
+        Ok(false)
     }
 }
 
@@ -179,9 +241,20 @@ impl<'a> NaiveEvaluator<'a> {
 /// # Panics
 /// Panics if `f` has free variables (bind them or use [`answers`]).
 pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
+    check_sentence_budgeted(s, f, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`check_sentence`]: stops cleanly with
+/// [`Exhausted`](fmt_structures::budget::Exhausted) when `budget` runs
+/// out.
+///
+/// # Panics
+/// Panics if `f` has free variables (bind them or use
+/// [`answers_budgeted`]).
+pub fn check_sentence_budgeted(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<bool> {
     assert!(f.is_sentence(), "check_sentence requires a sentence");
     let mut env = Env::for_formula(f);
-    NaiveEvaluator::new(s).eval(f, &mut env)
+    NaiveEvaluator::with_budget(s, budget.clone()).try_eval(f, &mut env)
 }
 
 /// Computes the full answer set `Q(A) = {d̄ | A ⊨ φ(d̄)}` of a query by
@@ -190,20 +263,26 @@ pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
 /// For a Boolean query this is `{()}` or `∅`, matching the survey's
 /// convention.
 pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
+    answers_budgeted(s, q, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`answers`]: stops cleanly when `budget` runs out, in which
+/// case no partial answer set escapes.
+pub fn answers_budgeted(s: &Structure, q: &Query, budget: &Budget) -> BudgetResult<Vec<Vec<Elem>>> {
     let f = q.formula();
     let mut env = Env::for_formula(f);
-    let mut ev = NaiveEvaluator::new(s);
+    let mut ev = NaiveEvaluator::with_budget(s, budget.clone());
     let free = q.free();
     let mut out = Vec::new();
     if free.is_empty() {
-        if ev.eval(f, &mut env) {
+        if ev.try_eval(f, &mut env)? {
             out.push(Vec::new());
         }
-        return out;
+        return Ok(out);
     }
     let n = s.size();
     if n == 0 {
-        return out;
+        return Ok(out);
     }
     let m = free.len();
     let mut tuple = vec![0 as Elem; m];
@@ -211,14 +290,14 @@ pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
         for (i, &v) in free.iter().enumerate() {
             env.bind(v, tuple[i]);
         }
-        if ev.eval(f, &mut env) {
+        if ev.try_eval(f, &mut env)? {
             out.push(tuple.clone());
         }
         // Odometer.
         let mut pos = m;
         loop {
             if pos == 0 {
-                return out;
+                return Ok(out);
             }
             pos -= 1;
             tuple[pos] += 1;
@@ -227,7 +306,7 @@ pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
             }
             tuple[pos] = 0;
             if pos == 0 {
-                return out;
+                return Ok(out);
             }
         }
     }

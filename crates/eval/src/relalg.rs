@@ -11,9 +11,13 @@
 //! bounded-degree evaluator and circuit compiler are validated against.
 
 use fmt_logic::{nf, Formula, Query, Term, Var};
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::index::{self, TupleIndex};
 use fmt_structures::{Elem, Structure};
 use std::collections::HashSet;
+
+/// Budget tick site label for this engine.
+const AT: &str = "eval.relalg";
 
 /// A relation over a set of variables: the satisfying assignments of a
 /// subformula. `vars` is kept sorted; each row assigns `row[i]` to
@@ -75,10 +79,12 @@ impl Table {
     /// domain `0..n` for each — in one pass over the rows, emitting each
     /// output row directly in the target column order (rather than
     /// materializing an intermediate row set per added variable).
-    fn extend_to(&self, target: &[Var], n: u32) -> Table {
+    /// Ticks the budget once per emitted row: the output is `n^fresh`
+    /// times larger than the input, so this loop can dominate.
+    fn extend_to(&self, target: &[Var], n: u32, budget: &Budget) -> BudgetResult<Table> {
         debug_assert!(target.windows(2).all(|w| w[0] < w[1]));
         if target == self.vars.as_slice() {
-            return self.clone();
+            return Ok(self.clone());
         }
         // Each target column is either an existing column or the next
         // fresh domain-valued one.
@@ -98,10 +104,10 @@ impl Table {
             }
         }
         if fresh > 0 && n == 0 {
-            return Table {
+            return Ok(Table {
                 vars: target.to_vec(),
                 rows: HashSet::new(),
-            };
+            });
         }
         // Odometer over the fresh columns; returns false on wrap-around.
         fn bump(assign: &mut [Elem], n: u32) -> bool {
@@ -120,6 +126,7 @@ impl Table {
         let mut assign = vec![0 as Elem; fresh];
         for r in &self.rows {
             loop {
+                budget.tick(AT)?;
                 rows.insert(
                     src.iter()
                         .map(|c| match *c {
@@ -133,14 +140,15 @@ impl Table {
                 }
             }
         }
-        Table {
+        Ok(Table {
             vars: target.to_vec(),
             rows,
-        }
+        })
     }
 
-    /// Natural join.
-    fn join(&self, other: &Table) -> Table {
+    /// Natural join. Ticks the budget once per probed left row and once
+    /// per produced row.
+    fn join(&self, other: &Table, budget: &Budget) -> BudgetResult<Table> {
         // Shared variables and their positions.
         let shared: Vec<Var> = self
             .vars
@@ -177,46 +185,50 @@ impl Table {
         let mut rows = HashSet::new();
         let mut key: Vec<Elem> = Vec::with_capacity(self_shared.len());
         for r in &self.rows {
+            budget.tick(AT)?;
             key.clear();
             key.extend(self_shared.iter().map(|&i| r[i]));
             for m in index.probe(&key) {
+                budget.tick(AT)?;
                 let mut combined: Vec<Elem> = r.clone();
                 combined.extend(other_extra.iter().map(|&i| m[i]));
                 let sorted: Vec<Elem> = order.iter().map(|&i| combined[i]).collect();
                 rows.insert(sorted);
             }
         }
-        Table {
+        Ok(Table {
             vars: out_vars,
             rows,
-        }
+        })
     }
 
-    /// Complement relative to `domain^vars`.
-    fn complement(&self, n: u32) -> Table {
+    /// Complement relative to `domain^vars`. Ticks the budget once per
+    /// enumerated tuple — the loop visits all `n^arity` of them.
+    fn complement(&self, n: u32, budget: &Budget) -> BudgetResult<Table> {
         let m = self.vars.len();
         let mut rows = HashSet::new();
         if m == 0 {
-            return Table::boolean(!self.as_bool());
+            return Ok(Table::boolean(!self.as_bool()));
         }
         let mut tuple = vec![0 as Elem; m];
         if n == 0 {
-            return Table {
+            return Ok(Table {
                 vars: self.vars.clone(),
                 rows,
-            };
+            });
         }
         loop {
+            budget.tick(AT)?;
             if !self.rows.contains(&tuple) {
                 rows.insert(tuple.clone());
             }
             let mut pos = m;
             loop {
                 if pos == 0 {
-                    return Table {
+                    return Ok(Table {
                         vars: self.vars.clone(),
                         rows,
-                    };
+                    });
                 }
                 pos -= 1;
                 tuple[pos] += 1;
@@ -225,10 +237,10 @@ impl Table {
                 }
                 tuple[pos] = 0;
                 if pos == 0 {
-                    return Table {
+                    return Ok(Table {
                         vars: self.vars.clone(),
                         rows,
-                    };
+                    });
                 }
             }
         }
@@ -241,8 +253,15 @@ impl Table {
 /// The formula is first converted to NNF so that negation only occurs on
 /// atoms (where complementation is `O(n^arity)`).
 pub fn eval(s: &Structure, f: &Formula) -> Table {
+    eval_budgeted(s, f, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`eval`]: stops cleanly with
+/// [`Exhausted`](fmt_structures::budget::Exhausted) when `budget` runs
+/// out; no partial table escapes.
+pub fn eval_budgeted(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<Table> {
     let g = nf::nnf(f);
-    eval_nnf(s, &g)
+    eval_nnf(s, &g, budget)
 }
 
 /// Operator applications (one per NNF node evaluated).
@@ -250,24 +269,25 @@ static OBS_OPS: fmt_obs::Counter = fmt_obs::Counter::new("eval.relalg.operators"
 /// Output cardinality of each operator application.
 static OBS_OP_ROWS: fmt_obs::Histogram = fmt_obs::Histogram::new("eval.relalg.op_rows");
 
-fn eval_nnf(s: &Structure, f: &Formula) -> Table {
-    let t = eval_nnf_node(s, f);
+fn eval_nnf(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<Table> {
+    let t = eval_nnf_node(s, f, budget)?;
     OBS_OPS.incr();
     OBS_OP_ROWS.record(t.rows.len() as u64);
-    t
+    Ok(t)
 }
 
-fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
+fn eval_nnf_node(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<Table> {
+    budget.tick(AT)?;
     let n = s.size();
     match f {
-        Formula::True => Table::boolean(true),
-        Formula::False => Table::boolean(false),
-        Formula::Atom { rel, args } => atom_table(s, *rel, args),
-        Formula::Eq(a, b) => eq_table(s, a, b),
+        Formula::True => Ok(Table::boolean(true)),
+        Formula::False => Ok(Table::boolean(false)),
+        Formula::Atom { rel, args } => atom_table(s, *rel, args, budget),
+        Formula::Eq(a, b) => Ok(eq_table(s, a, b)),
         Formula::Not(g) => {
             // NNF: g is an atom, an equality, or a constant.
-            let t = eval_nnf(s, g);
-            t.complement(n)
+            let t = eval_nnf(s, g, budget)?;
+            t.complement(n, budget)
         }
         Formula::And(fs) => {
             // Natural join of all conjuncts; the resulting schema is the
@@ -275,37 +295,37 @@ fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
             // conjunction.
             let mut acc = Table::boolean(true);
             for g in fs {
-                acc = acc.join(&eval_nnf(s, g));
+                acc = acc.join(&eval_nnf(s, g, budget)?, budget)?;
             }
-            acc
+            Ok(acc)
         }
         Formula::Or(fs) => {
             let target = target_vars(f);
             let mut rows = HashSet::new();
             for g in fs {
-                let t = eval_nnf(s, g).extend_to(&target, n);
+                let t = eval_nnf(s, g, budget)?.extend_to(&target, n, budget)?;
                 rows.extend(t.rows);
             }
-            Table { vars: target, rows }
+            Ok(Table { vars: target, rows })
         }
         Formula::Exists(v, g) => {
-            let t = eval_nnf(s, g);
+            let t = eval_nnf(s, g, budget)?;
             if t.vars.binary_search(v).is_err() {
                 // v does not occur free in the body: ∃v φ ≡ φ ∧ "domain
                 // nonempty".
                 if n == 0 {
-                    return Table {
+                    return Ok(Table {
                         vars: t.vars.clone(),
                         rows: HashSet::new(),
-                    };
+                    });
                 }
-                return t;
+                return Ok(t);
             }
             let keep: Vec<Var> = t.vars.iter().copied().filter(|w| w != v).collect();
-            t.project(&keep)
+            Ok(t.project(&keep))
         }
         Formula::Forall(v, g) => {
-            let t = eval_nnf(s, g);
+            let t = eval_nnf(s, g, budget)?;
             if t.vars.binary_search(v).is_err() {
                 // ∀v φ ≡ φ ∨ "domain empty".
                 if n == 0 {
@@ -313,12 +333,12 @@ fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
                     if t.vars.is_empty() {
                         rows.insert(Vec::new());
                     }
-                    return Table {
+                    return Ok(Table {
                         vars: t.vars.clone(),
                         rows,
-                    };
+                    });
                 }
-                return t;
+                return Ok(t);
             }
             // Division: keep assignments whose v-extensions all hold.
             let vi = t.vars.binary_search(v).unwrap();
@@ -326,6 +346,7 @@ fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
             use std::collections::HashMap;
             let mut counts: HashMap<Vec<Elem>, u32> = HashMap::new();
             for r in &t.rows {
+                budget.tick(AT)?;
                 let mut key = r.clone();
                 key.remove(vi);
                 *counts.entry(key).or_insert(0) += 1;
@@ -344,9 +365,9 @@ fn eval_nnf_node(s: &Structure, f: &Formula) -> Table {
                 if keep.is_empty() {
                     rows.insert(Vec::new());
                 }
-                return Table { vars: keep, rows };
+                return Ok(Table { vars: keep, rows });
             }
-            Table { vars: keep, rows }
+            Ok(Table { vars: keep, rows })
         }
         Formula::Implies(..) | Formula::Iff(..) => {
             unreachable!("NNF output contains no implications")
@@ -358,7 +379,12 @@ fn target_vars(f: &Formula) -> Vec<Var> {
     f.free_vars().into_iter().collect()
 }
 
-fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table {
+fn atom_table(
+    s: &Structure,
+    rel: fmt_structures::RelId,
+    args: &[Term],
+    budget: &Budget,
+) -> BudgetResult<Table> {
     // Distinct variables in sorted order form the schema.
     let mut vars: Vec<Var> = args.iter().filter_map(Term::as_var).collect();
     vars.sort_unstable();
@@ -374,6 +400,7 @@ fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table
         .collect();
     let mut rows = HashSet::new();
     'tuples: for t in index::probe_prefix(s.rel(rel), &prefix) {
+        budget.tick(AT)?;
         // Check constants and repeated-variable consistency.
         let mut assignment: Vec<Option<Elem>> = vec![None; vars.len()];
         for (i, a) in args.iter().enumerate() {
@@ -395,7 +422,7 @@ fn atom_table(s: &Structure, rel: fmt_structures::RelId, args: &[Term]) -> Table
         }
         rows.insert(assignment.into_iter().map(Option::unwrap).collect());
     }
-    Table { vars, rows }
+    Ok(Table { vars, rows })
 }
 
 fn eq_table(s: &Structure, a: &Term, b: &Term) -> Table {
@@ -432,7 +459,12 @@ fn eq_table(s: &Structure, a: &Term, b: &Term) -> Table {
 /// [`crate::naive::answers`] (including the answer-variable order of the
 /// query).
 pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
-    let t = eval(s, q.formula());
+    answers_budgeted(s, q, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`answers`]: stops cleanly when `budget` runs out.
+pub fn answers_budgeted(s: &Structure, q: &Query, budget: &Budget) -> BudgetResult<Vec<Vec<Elem>>> {
+    let t = eval_budgeted(s, q.formula(), budget)?;
     // t.vars is sorted; q.free() may order differently.
     let idx: Vec<usize> = q
         .free()
@@ -445,13 +477,21 @@ pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
         .map(|r| idx.iter().map(|&i| r[i]).collect())
         .collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Checks a sentence via bottom-up evaluation.
 pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
+    check_sentence_budgeted(s, f, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`check_sentence`]: stops cleanly when `budget` runs out.
+///
+/// # Panics
+/// Panics if `f` has free variables.
+pub fn check_sentence_budgeted(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<bool> {
     assert!(f.is_sentence(), "check_sentence requires a sentence");
-    eval(s, f).as_bool()
+    Ok(eval_budgeted(s, f, budget)?.as_bool())
 }
 
 #[cfg(test)]

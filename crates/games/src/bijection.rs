@@ -15,15 +15,20 @@
 //! has a perfect matching — decided here by augmenting paths, with the
 //! game value memoized per position.
 
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::partial::extension_ok;
 use fmt_structures::{Elem, Structure};
 use std::collections::HashMap;
+
+/// Budget tick site label for this engine.
+const AT: &str = "games.bijection";
 
 /// Exact solver for the bijective EF game.
 #[derive(Debug)]
 pub struct BijectionGameSolver<'a> {
     a: &'a Structure,
     b: &'a Structure,
+    budget: Budget,
     memo: HashMap<(Vec<(Elem, Elem)>, u32), bool>,
 }
 
@@ -41,30 +46,62 @@ impl<'a> BijectionGameSolver<'a> {
         BijectionGameSolver {
             a,
             b,
+            budget: Budget::unlimited(),
             memo: HashMap::new(),
         }
+    }
+
+    /// Creates a solver that consults `budget` on every visited
+    /// position; use [`BijectionGameSolver::try_duplicator_wins`] to
+    /// observe exhaustion.
+    ///
+    /// # Panics
+    /// Panics if the signatures differ.
+    pub fn with_budget(
+        a: &'a Structure,
+        b: &'a Structure,
+        budget: Budget,
+    ) -> BijectionGameSolver<'a> {
+        let mut s = BijectionGameSolver::new(a, b);
+        s.budget = budget;
+        s
     }
 
     /// Decides whether the duplicator wins the `rounds`-round bijective
     /// game. Structures of different sizes admit no bijection: the
     /// duplicator loses any game with at least one round.
+    ///
+    /// # Panics
+    /// Panics if the solver's budget exhausts; use
+    /// [`BijectionGameSolver::try_duplicator_wins`] with a budgeted
+    /// solver.
     pub fn duplicator_wins(&mut self, rounds: u32) -> bool {
+        self.try_duplicator_wins(rounds).expect(
+            "budget exhausted in BijectionGameSolver::duplicator_wins; use try_duplicator_wins",
+        )
+    }
+
+    /// Budgeted [`BijectionGameSolver::duplicator_wins`]: stops cleanly
+    /// when the budget runs out; only fully decided positions are
+    /// memoized.
+    pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
-            return false;
+            return Ok(false);
         }
         if rounds > 0 && self.a.size() != self.b.size() {
-            return false;
+            return Ok(false);
         }
         self.wins(&[], rounds)
     }
 
-    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {
+        self.budget.tick(AT)?;
         if n == 0 {
-            return true;
+            return Ok(true);
         }
         let key = (pairs.to_vec(), n);
         if let Some(&v) = self.memo.get(&key) {
-            return v;
+            return Ok(v);
         }
         let na = self.a.size() as usize;
         // Admissible edges: (a, b) that keep the position winning.
@@ -76,7 +113,7 @@ impl<'a> BijectionGameSolver<'a> {
                     next.push((x, y));
                     next.sort_unstable();
                     next.dedup();
-                    if self.wins(&next, n - 1) {
+                    if self.wins(&next, n - 1)? {
                         adj[x as usize].push(y);
                     }
                 }
@@ -84,7 +121,7 @@ impl<'a> BijectionGameSolver<'a> {
         }
         let result = perfect_matching(&adj, self.b.size() as usize);
         self.memo.insert(key, result);
-        result
+        Ok(result)
     }
 }
 
@@ -129,7 +166,18 @@ fn perfect_matching(adj: &[Vec<Elem>], right_size: usize) -> bool {
 /// Convenience wrapper: duplicator win in the `rounds`-round bijective
 /// game.
 pub fn bijection_duplicator_wins(a: &Structure, b: &Structure, rounds: u32) -> bool {
-    BijectionGameSolver::new(a, b).duplicator_wins(rounds)
+    try_bijection_duplicator_wins(a, b, rounds, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`bijection_duplicator_wins`].
+pub fn try_bijection_duplicator_wins(
+    a: &Structure,
+    b: &Structure,
+    rounds: u32,
+    budget: &Budget,
+) -> BudgetResult<bool> {
+    BijectionGameSolver::with_budget(a, b, budget.clone()).try_duplicator_wins(rounds)
 }
 
 #[cfg(test)]

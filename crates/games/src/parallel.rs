@@ -13,6 +13,7 @@
 //! are bit-for-bit identical to the serial solver (asserted in tests).
 
 use crate::solver::{EfSolver, Side};
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::par::fan_out;
 use fmt_structures::{Elem, Structure};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,6 +29,27 @@ static OBS_CANCELLED: fmt_obs::Counter = fmt_obs::Counter::new("games.parallel.c
 /// # Panics
 /// Panics if `threads == 0` or the signatures differ.
 pub fn duplicator_wins_parallel(a: &Structure, b: &Structure, rounds: u32, threads: usize) -> bool {
+    try_duplicator_wins_parallel(a, b, rounds, threads, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`duplicator_wins_parallel`]: all workers share `budget`
+/// (one clone each), so fuel exhaustion or external cancellation stops
+/// every shard cooperatively.
+///
+/// A refutation wins over exhaustion: if any worker finds an
+/// unanswerable spoiler move the answer is definitively `Ok(false)`,
+/// even when other shards ran out of budget.
+///
+/// # Panics
+/// Panics if `threads == 0` or the signatures differ.
+pub fn try_duplicator_wins_parallel(
+    a: &Structure,
+    b: &Structure,
+    rounds: u32,
+    threads: usize,
+    budget: &Budget,
+) -> BudgetResult<bool> {
     assert!(threads >= 1);
     assert_eq!(
         a.signature(),
@@ -35,10 +57,10 @@ pub fn duplicator_wins_parallel(a: &Structure, b: &Structure, rounds: u32, threa
         "games need a common signature"
     );
     if rounds == 0 {
-        return fmt_structures::partial::is_partial_isomorphism(a, b, &[]);
+        return Ok(fmt_structures::partial::is_partial_isomorphism(a, b, &[]));
     }
     if !fmt_structures::partial::is_partial_isomorphism(a, b, &[]) {
-        return false;
+        return Ok(false);
     }
     // All first moves (fresh-move pruning applies trivially: nothing has
     // been played, so every element is fresh).
@@ -46,28 +68,37 @@ pub fn duplicator_wins_parallel(a: &Structure, b: &Structure, rounds: u32, threa
     moves.extend(a.domain().map(|x| (Side::Left, x)));
     moves.extend(b.domain().map(|y| (Side::Right, y)));
     if moves.is_empty() {
-        return true; // both empty: isomorphic
+        return Ok(true); // both empty: isomorphic
     }
 
     let refuted = AtomicBool::new(false);
-    fan_out(threads, &moves, |work| {
-        let mut solver = EfSolver::new(a, b);
+    // Each chunk reports Ok(true) = all moves answered, Ok(false) = a
+    // refutation was found, Err = budget exhausted mid-chunk.
+    let outcomes: Vec<BudgetResult<bool>> = fan_out(threads, &moves, |work| {
+        let mut solver = EfSolver::with_budget(a, b, budget.clone());
         for &(side, x) in work {
             if refuted.load(Ordering::Relaxed) {
                 OBS_CANCELLED.incr();
-                return;
+                return Ok(true);
             }
             OBS_FIRST_MOVES.incr();
             if solver
-                .reply_for(&initial_pairs(a, b), rounds, side, x)
+                .try_reply_for(&initial_pairs(a, b), rounds, side, x)?
                 .is_none()
             {
                 refuted.store(true, Ordering::Relaxed);
-                return;
+                return Ok(false);
             }
         }
+        Ok(true)
     });
-    !refuted.load(Ordering::Relaxed)
+    if refuted.load(Ordering::Relaxed) {
+        return Ok(false);
+    }
+    for outcome in outcomes {
+        outcome?;
+    }
+    Ok(true)
 }
 
 fn initial_pairs(a: &Structure, b: &Structure) -> Vec<(Elem, Elem)> {
@@ -84,12 +115,24 @@ fn initial_pairs(a: &Structure, b: &Structure) -> Vec<(Elem, Elem)> {
 
 /// Parallel version of [`crate::solver::rank`].
 pub fn rank_parallel(a: &Structure, b: &Structure, cap: u32, threads: usize) -> u32 {
+    try_rank_parallel(a, b, cap, threads, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`rank_parallel`].
+pub fn try_rank_parallel(
+    a: &Structure,
+    b: &Structure,
+    cap: u32,
+    threads: usize,
+    budget: &Budget,
+) -> BudgetResult<u32> {
     for n in 1..=cap {
-        if !duplicator_wins_parallel(a, b, n, threads) {
-            return n - 1;
+        if !try_duplicator_wins_parallel(a, b, n, threads, budget)? {
+            return Ok(n - 1);
         }
     }
-    cap
+    Ok(cap)
 }
 
 #[cfg(test)]

@@ -13,9 +13,13 @@
 //! pebbled pairs (at most `k` of them) — pebble identities are
 //! interchangeable — which keeps the memoized search small.
 
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::partial::extension_ok;
 use fmt_structures::{Elem, Structure};
 use std::collections::HashMap;
+
+/// Budget tick site label for this engine.
+const AT: &str = "games.pebble";
 
 /// An exact solver for `n`-round `k`-pebble games.
 #[derive(Debug)]
@@ -23,6 +27,7 @@ pub struct PebbleSolver<'a> {
     a: &'a Structure,
     b: &'a Structure,
     k: usize,
+    budget: Budget,
     memo: HashMap<(Vec<(Elem, Elem)>, u32), bool>,
 }
 
@@ -42,28 +47,57 @@ impl<'a> PebbleSolver<'a> {
             a,
             b,
             k,
+            budget: Budget::unlimited(),
             memo: HashMap::new(),
         }
+    }
+
+    /// Creates a solver that consults `budget` on every visited
+    /// position; use [`PebbleSolver::try_duplicator_wins`] to observe
+    /// exhaustion.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the signatures differ.
+    pub fn with_budget(
+        a: &'a Structure,
+        b: &'a Structure,
+        k: usize,
+        budget: Budget,
+    ) -> PebbleSolver<'a> {
+        let mut s = PebbleSolver::new(a, b, k);
+        s.budget = budget;
+        s
     }
 
     /// Decides whether the duplicator wins the `rounds`-round `k`-pebble
     /// game (starting with no pebbles placed; constants, if any, are
     /// permanently in play through the partial-isomorphism checks and
     /// are never occupied by pebbles).
+    /// # Panics
+    /// Panics if the solver's budget exhausts; use
+    /// [`PebbleSolver::try_duplicator_wins`] with a budgeted solver.
     pub fn duplicator_wins(&mut self, rounds: u32) -> bool {
+        self.try_duplicator_wins(rounds)
+            .expect("budget exhausted in PebbleSolver::duplicator_wins; use try_duplicator_wins")
+    }
+
+    /// Budgeted [`PebbleSolver::duplicator_wins`]: stops cleanly when
+    /// the budget runs out; only fully decided positions are memoized.
+    pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
-            return false;
+            return Ok(false);
         }
         self.wins(&[], rounds)
     }
 
-    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {
+        self.budget.tick(AT)?;
         if n == 0 {
-            return true;
+            return Ok(true);
         }
         let key = (pairs.to_vec(), n);
         if let Some(&v) = self.memo.get(&key) {
-            return v;
+            return Ok(v);
         }
         // Spoiler options: place a new pebble (if a pebble is free) or
         // lift one pebbled pair and re-place it.
@@ -78,12 +112,18 @@ impl<'a> PebbleSolver<'a> {
                 bases.push(base);
             }
         }
-        let result = bases.iter().all(|base| self.survives_all_moves(base, n));
+        let mut result = true;
+        for base in &bases {
+            if !self.survives_all_moves(base, n)? {
+                result = false;
+                break;
+            }
+        }
         self.memo.insert(key, result);
-        result
+        Ok(result)
     }
 
-    fn survives_all_moves(&mut self, base: &[(Elem, Elem)], n: u32) -> bool {
+    fn survives_all_moves(&mut self, base: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {
         // Spoiler plays any element of A; duplicator answers in B.
         for x in self.a.domain() {
             let mut ok = false;
@@ -93,14 +133,14 @@ impl<'a> PebbleSolver<'a> {
                     next.push((x, y));
                     next.sort_unstable();
                     next.dedup();
-                    if self.wins(&next, n - 1) {
+                    if self.wins(&next, n - 1)? {
                         ok = true;
                         break;
                     }
                 }
             }
             if !ok {
-                return false;
+                return Ok(false);
             }
         }
         // Spoiler plays any element of B.
@@ -112,24 +152,36 @@ impl<'a> PebbleSolver<'a> {
                     next.push((x, y));
                     next.sort_unstable();
                     next.dedup();
-                    if self.wins(&next, n - 1) {
+                    if self.wins(&next, n - 1)? {
                         ok = true;
                         break;
                     }
                 }
             }
             if !ok {
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 }
 
 /// Convenience wrapper: duplicator win in the `rounds`-round `k`-pebble
 /// game.
 pub fn pebble_duplicator_wins(a: &Structure, b: &Structure, k: usize, rounds: u32) -> bool {
-    PebbleSolver::new(a, b, k).duplicator_wins(rounds)
+    try_pebble_duplicator_wins(a, b, k, rounds, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`pebble_duplicator_wins`].
+pub fn try_pebble_duplicator_wins(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    rounds: u32,
+    budget: &Budget,
+) -> BudgetResult<bool> {
+    PebbleSolver::with_budget(a, b, k, budget.clone()).try_duplicator_wins(rounds)
 }
 
 #[cfg(test)]

@@ -18,9 +18,13 @@
 //! arguments live at small `n` (the paper's examples all have `n ≤ 4`),
 //! where the solver is exact and fast.
 
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::partial::extension_ok;
 use fmt_structures::{Elem, Structure};
 use std::collections::HashMap;
+
+/// Budget tick site label for this engine.
+const AT: &str = "games.solver";
 
 /// Positions expanded across all solver instances (process-wide; see
 /// [`fmt_obs`]).
@@ -76,6 +80,7 @@ pub struct EfSolver<'a> {
     a: &'a Structure,
     b: &'a Structure,
     config: SolverConfig,
+    budget: Budget,
     memo: HashMap<(Vec<(Elem, Elem)>, u32), bool>,
     profile_a: Vec<u64>,
     profile_b: Vec<u64>,
@@ -123,6 +128,17 @@ impl<'a> EfSolver<'a> {
         EfSolver::with_config(a, b, SolverConfig::default())
     }
 
+    /// Creates a solver that consults `budget` on every visited game
+    /// position; use the `try_*` methods to observe exhaustion. The memo
+    /// table only ever holds fully decided positions, so a solver that
+    /// exhausted mid-search can be reused after the budget is replaced
+    /// by continuing through `try_*` calls on a fresh handle.
+    pub fn with_budget(a: &'a Structure, b: &'a Structure, budget: Budget) -> EfSolver<'a> {
+        let mut s = EfSolver::with_config(a, b, SolverConfig::default());
+        s.budget = budget;
+        s
+    }
+
     /// Creates a solver with explicit optimization switches.
     pub fn with_config(a: &'a Structure, b: &'a Structure, config: SolverConfig) -> EfSolver<'a> {
         assert_eq!(
@@ -136,6 +152,7 @@ impl<'a> EfSolver<'a> {
             a,
             b,
             config,
+            budget: Budget::unlimited(),
             memo: HashMap::new(),
             profile_a,
             profile_b,
@@ -161,12 +178,24 @@ impl<'a> EfSolver<'a> {
     /// the `n`-round game?
     ///
     /// By the fundamental theorem this is equivalent to `A ≡ₙ B`.
+    ///
+    /// # Panics
+    /// Panics if the solver's budget exhausts; use
+    /// [`EfSolver::try_duplicator_wins`] with a budgeted solver.
     pub fn duplicator_wins(&mut self, rounds: u32) -> bool {
+        self.try_duplicator_wins(rounds)
+            .expect("budget exhausted in EfSolver::duplicator_wins; use try_duplicator_wins")
+    }
+
+    /// Budgeted [`EfSolver::duplicator_wins`]: stops cleanly when the
+    /// budget runs out. The memo table keeps every position that was
+    /// fully decided before the cutoff.
+    pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
         let init = self.initial_pairs();
         // The initial position must itself be a partial isomorphism
         // (constants must match up).
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
-            return false;
+            return Ok(false);
         }
         self.wins(&init, rounds)
     }
@@ -175,6 +204,16 @@ impl<'a> EfSolver<'a> {
     ///
     /// `pairs` must already be a partial isomorphism (this is checked).
     pub fn duplicator_wins_from(&mut self, pairs: &[(Elem, Elem)], rounds: u32) -> bool {
+        self.try_duplicator_wins_from(pairs, rounds)
+            .expect("budget exhausted in EfSolver::duplicator_wins_from")
+    }
+
+    /// Budgeted [`EfSolver::duplicator_wins_from`].
+    pub fn try_duplicator_wins_from(
+        &mut self,
+        pairs: &[(Elem, Elem)],
+        rounds: u32,
+    ) -> BudgetResult<bool> {
         assert!(
             fmt_structures::partial::is_partial_isomorphism(self.a, self.b, pairs),
             "starting position must be a partial isomorphism"
@@ -185,49 +224,53 @@ impl<'a> EfSolver<'a> {
         self.wins(&p, rounds)
     }
 
-    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+    fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {
+        self.budget.tick(AT)?;
         if n == 0 {
-            return true;
+            return Ok(true);
         }
         let key = (pairs.to_vec(), n);
         if self.config.memoization {
             if let Some(&v) = self.memo.get(&key) {
                 self.stats.memo_hits += 1;
                 OBS_MEMO_HITS.incr();
-                return v;
+                return Ok(v);
             }
             OBS_MEMO_MISSES.incr();
         }
         self.stats.expanded += 1;
         OBS_POSITIONS.incr();
 
-        let result = self.expand(pairs, n);
+        let result = self.expand(pairs, n)?;
+        // Only fully decided positions are memoized: an exhausted search
+        // unwinds without writing, so no partial verdict can leak into a
+        // later run that reuses this solver.
         if self.config.memoization {
             self.memo.insert(key, result);
         }
-        result
+        Ok(result)
     }
 
-    fn expand(&mut self, pairs: &[(Elem, Elem)], n: u32) -> bool {
+    fn expand(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {
         // Spoiler plays in A.
         let moves_a: Vec<Elem> = self.spoiler_moves(self.a, pairs, |p| p.0);
         for x in moves_a {
-            if self.reply_for(pairs, n, Side::Left, x).is_none() {
-                return false;
+            if self.try_reply_for(pairs, n, Side::Left, x)?.is_none() {
+                return Ok(false);
             }
         }
         // Spoiler plays in B.
         let moves_b: Vec<Elem> = self.spoiler_moves(self.b, pairs, |p| p.1);
         for y in moves_b {
-            if self.reply_for(pairs, n, Side::Right, y).is_none() {
-                return false;
+            if self.try_reply_for(pairs, n, Side::Right, y)?.is_none() {
+                return Ok(false);
             }
         }
         // With pruning disabled, the move lists above already include
         // replays (handled inside `reply_for` by forcing the partner);
         // with pruning enabled, replays are sound to skip by
         // monotonicity: they only burn one of the spoiler's rounds.
-        true
+        Ok(true)
     }
 
     fn spoiler_moves(
@@ -251,6 +294,10 @@ impl<'a> EfSolver<'a> {
     /// Finds a winning duplicator reply to the spoiler move `x` on
     /// `side`, from position `pairs` with `n` rounds left (the move
     /// itself consumes one round). Returns `None` if every reply loses.
+    ///
+    /// # Panics
+    /// Panics if the solver's budget exhausts; use
+    /// [`EfSolver::try_reply_for`] with a budgeted solver.
     pub fn reply_for(
         &mut self,
         pairs: &[(Elem, Elem)],
@@ -258,15 +305,27 @@ impl<'a> EfSolver<'a> {
         side: Side,
         x: Elem,
     ) -> Option<Elem> {
+        self.try_reply_for(pairs, n, side, x)
+            .expect("budget exhausted in EfSolver::reply_for; use try_reply_for")
+    }
+
+    /// Budgeted [`EfSolver::reply_for`].
+    pub fn try_reply_for(
+        &mut self,
+        pairs: &[(Elem, Elem)],
+        n: u32,
+        side: Side,
+        x: Elem,
+    ) -> BudgetResult<Option<Elem>> {
         debug_assert!(n >= 1);
         // Replayed element: the partner is forced.
         for &(p, q) in pairs {
             match side {
                 Side::Left if p == x => {
-                    return self.wins(pairs, n - 1).then_some(q);
+                    return Ok(self.wins(pairs, n - 1)?.then_some(q));
                 }
                 Side::Right if q == x => {
-                    return self.wins(pairs, n - 1).then_some(p);
+                    return Ok(self.wins(pairs, n - 1)?.then_some(p));
                 }
                 _ => {}
             }
@@ -295,29 +354,43 @@ impl<'a> EfSolver<'a> {
             next.push((xa, yb));
             next.sort_unstable();
             next.dedup();
-            if self.wins(&next, n - 1) {
-                return Some(y);
+            if self.wins(&next, n - 1)? {
+                return Ok(Some(y));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Finds a spoiler move that wins (for the spoiler) from a position
     /// the duplicator loses: returns `(side, element)` such that every
     /// duplicator reply leads to a duplicator loss. Returns `None` if
     /// the duplicator wins the position.
+    ///
+    /// # Panics
+    /// Panics if the solver's budget exhausts; use
+    /// [`EfSolver::try_spoiler_move_for`] with a budgeted solver.
     pub fn spoiler_move_for(&mut self, pairs: &[(Elem, Elem)], n: u32) -> Option<(Side, Elem)> {
-        if n == 0 || self.wins(pairs, n) {
-            return None;
+        self.try_spoiler_move_for(pairs, n)
+            .expect("budget exhausted in EfSolver::spoiler_move_for; use try_spoiler_move_for")
+    }
+
+    /// Budgeted [`EfSolver::spoiler_move_for`].
+    pub fn try_spoiler_move_for(
+        &mut self,
+        pairs: &[(Elem, Elem)],
+        n: u32,
+    ) -> BudgetResult<Option<(Side, Elem)>> {
+        if n == 0 || self.wins(pairs, n)? {
+            return Ok(None);
         }
         for x in self.spoiler_moves(self.a, pairs, |p| p.0) {
-            if self.reply_for(pairs, n, Side::Left, x).is_none() {
-                return Some((Side::Left, x));
+            if self.try_reply_for(pairs, n, Side::Left, x)?.is_none() {
+                return Ok(Some((Side::Left, x)));
             }
         }
         for y in self.spoiler_moves(self.b, pairs, |p| p.1) {
-            if self.reply_for(pairs, n, Side::Right, y).is_none() {
-                return Some((Side::Right, y));
+            if self.try_reply_for(pairs, n, Side::Right, y)?.is_none() {
+                return Ok(Some((Side::Right, y)));
             }
         }
         // Unreachable: a losing position always has a losing fresh move
@@ -334,15 +407,20 @@ impl<'a> EfSolver<'a> {
 /// particular for isomorphic structures, where the duplicator wins
 /// forever).
 pub fn rank(a: &Structure, b: &Structure, cap: u32) -> u32 {
-    let mut solver = EfSolver::new(a, b);
+    try_rank(a, b, cap, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`rank`]: stops cleanly when `budget` runs out.
+pub fn try_rank(a: &Structure, b: &Structure, cap: u32, budget: &Budget) -> BudgetResult<u32> {
+    let mut solver = EfSolver::with_budget(a, b, budget.clone());
     // Winning is antitone in n, so scan upward and stop at the first
     // loss (memo entries are shared between iterations).
     for n in 1..=cap {
-        if !solver.duplicator_wins(n) {
-            return n - 1;
+        if !solver.try_duplicator_wins(n)? {
+            return Ok(n - 1);
         }
     }
-    cap
+    Ok(cap)
 }
 
 #[cfg(test)]

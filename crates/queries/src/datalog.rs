@@ -36,10 +36,14 @@
 //! [`Program::eval_seminaive_scan`] — the baseline the `datalog` bench
 //! and the `queries.index.*` counters are compared against.
 
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::index::{self, TupleIndex};
 use fmt_structures::par::fan_out;
 use fmt_structures::{Elem, RelId, Signature, Span, Structure};
 use std::collections::{HashMap, HashSet};
+
+/// Budget tick site label shared by all three Datalog engines.
+const AT: &str = "queries.datalog";
 
 /// Fixpoint rounds of semi-naive evaluation (the initialization pass
 /// counts as round one, mirroring `Output::iterations`).
@@ -520,6 +524,16 @@ impl Program {
     /// extent until nothing new is derived. Rule bodies are joined in
     /// greedy index-probing order (same answers as written order).
     pub fn eval_naive(&self, s: &Structure) -> Output {
+        self.try_eval_naive(s, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Budgeted [`Program::eval_naive`]: consults `budget` on every
+    /// join step and stops cleanly with [`Exhausted`] when it runs
+    /// out, leaving no partial output behind.
+    ///
+    /// [`Exhausted`]: fmt_structures::budget::Exhausted
+    pub fn try_eval_naive(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
         self.check_structure(s);
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
@@ -544,12 +558,12 @@ impl Program {
                     head_idb: head_idb(rule),
                 };
                 let mut binding = vec![None; rule_num_vars(rule)];
-                exec(&ctx, 0, &mut binding, &mut |idb, t| {
+                exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                     derivations += 1;
                     if !store[idb].set.contains(&t) {
                         new_tuples.push((idb, t));
                     }
-                });
+                })?;
             }
             let mut added = 0u64;
             for (idb, t) in new_tuples {
@@ -560,12 +574,12 @@ impl Program {
                 break;
             }
         }
-        Output {
+        Ok(Output {
             relations: store.into_iter().map(|r| r.set).collect(),
             iterations,
             derivations,
             delta_history,
-        }
+        })
     }
 
     /// Semi-naive evaluation with the indexed, join-ordered, parallel
@@ -582,6 +596,21 @@ impl Program {
     /// (`0` = automatic). Small rounds run inline — sharding only pays
     /// once a round carries enough delta tuples.
     pub fn eval_seminaive_with(&self, s: &Structure, threads: usize) -> Output {
+        self.try_eval_seminaive_with(s, threads, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Budgeted [`Program::eval_seminaive_with`]: every worker shard
+    /// shares `budget` (one cheap clone each), so fuel exhaustion or an
+    /// external [`Budget::cancel`] stops all shards cooperatively — the
+    /// first shard to observe exhaustion makes every other shard's next
+    /// tick fail too.
+    pub fn try_eval_seminaive_with(
+        &self,
+        s: &Structure,
+        threads: usize,
+        budget: &Budget,
+    ) -> BudgetResult<Output> {
         self.check_structure(s);
         let threads = if threads == 0 {
             std::thread::available_parallelism()
@@ -614,12 +643,12 @@ impl Program {
                 head_idb: head_idb(rule),
             };
             let mut binding = vec![None; rule_num_vars(rule)];
-            exec(&ctx, 0, &mut binding, &mut |idb, t| {
+            exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                 derivations += 1;
                 if delta_set[idb].insert(t.clone()) {
                     delta[idb].push(t);
                 }
-            });
+            })?;
         }
         for (j, d) in delta.iter().enumerate() {
             for t in d {
@@ -710,19 +739,20 @@ impl Program {
                         head_idb: head_idb(rule),
                     };
                     let mut binding = vec![None; rule_num_vars(rule)];
-                    exec(&ctx, 0, &mut binding, &mut |idb, t| {
+                    exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                         derivs += 1;
                         if !store_ref[idb].set.contains(&t) {
                             found.push((idb, t));
                         }
-                    });
+                    })?;
                 }
-                (derivs, found)
+                Ok((derivs, found))
             });
 
             let mut next: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
             let mut next_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-            for (derivs, found) in results {
+            for chunk_result in results {
+                let (derivs, found) = chunk_result?;
                 derivations += derivs;
                 for (idb, t) in found {
                     if next_set[idb].insert(t.clone()) {
@@ -741,12 +771,12 @@ impl Program {
             delta_history.push(new_facts as u64);
             delta = next;
         }
-        Output {
+        Ok(Output {
             relations: store.into_iter().map(|r| r.set).collect(),
             iterations,
             derivations,
             delta_history,
-        }
+        })
     }
 
     /// Semi-naive evaluation by the original written-order nested-loop
@@ -754,6 +784,12 @@ impl Program {
     /// measured baseline for the indexed engine (its per-tuple work is
     /// the `queries.datalog.scan_tuples` counter).
     pub fn eval_seminaive_scan(&self, s: &Structure) -> Output {
+        self.try_eval_seminaive_scan(s, &Budget::unlimited())
+            .expect("unlimited budget cannot exhaust")
+    }
+
+    /// Budgeted [`Program::eval_seminaive_scan`].
+    pub fn try_eval_seminaive_scan(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
         self.check_structure(s);
         let k = self.idb_names.len();
         let mut total: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
@@ -762,10 +798,10 @@ impl Program {
         // Initialization: all rules on the empty IDB extent.
         let mut delta: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
         for rule in &self.rules {
-            self.apply_rule_scan(s, rule, &total, None, &mut |idb, t| {
+            self.apply_rule_scan(s, rule, &total, None, budget, &mut |idb, t| {
                 derivations += 1;
                 delta[idb].insert(t);
-            });
+            })?;
         }
         for (t, d) in total.iter_mut().zip(delta.iter()) {
             t.extend(d.iter().cloned());
@@ -794,13 +830,14 @@ impl Program {
                             rule,
                             &total,
                             Some((pos, &delta)),
+                            budget,
                             &mut |idb, t| {
                                 derivations += 1;
                                 if !total[idb].contains(&t) {
                                     next[idb].insert(t);
                                 }
                             },
-                        );
+                        )?;
                     }
                 }
             }
@@ -813,12 +850,12 @@ impl Program {
             delta_history.push(new_facts as u64);
             delta = next;
         }
-        Output {
+        Ok(Output {
             relations: total,
             iterations,
             derivations,
             delta_history,
-        }
+        })
     }
 
     /// Applies one rule by written-order nested loops: joins the body
@@ -831,8 +868,9 @@ impl Program {
         rule: &Rule,
         idb: &[HashSet<Vec<Elem>>],
         delta: Option<(usize, &Vec<HashSet<Vec<Elem>>>)>,
+        budget: &Budget,
         emit: &mut dyn FnMut(usize, Vec<Elem>),
-    ) {
+    ) -> BudgetResult<()> {
         let mut binding: Vec<Option<Elem>> = vec![None; rule_num_vars(rule)];
         let head = head_idb(rule);
 
@@ -845,16 +883,18 @@ impl Program {
             head_idb: usize,
             pos: usize,
             binding: &mut Vec<Option<Elem>>,
+            budget: &Budget,
             emit: &mut dyn FnMut(usize, Vec<Elem>),
-        ) {
+        ) -> BudgetResult<()> {
+            budget.tick(AT)?;
             if pos == rule.body.len() {
-                emit_head_unbound(s, rule, head_idb, binding, emit);
-                return;
+                return emit_head_unbound(s, rule, head_idb, binding, budget, emit);
             }
             let atom = &rule.body[pos];
             let try_tuple = |t: &[Elem],
                              binding: &mut Vec<Option<Elem>>,
-                             emit: &mut dyn FnMut(usize, Vec<Elem>)| {
+                             emit: &mut dyn FnMut(usize, Vec<Elem>)|
+             -> BudgetResult<()> {
                 let mut touched: Vec<DlVar> = Vec::new();
                 let mut ok = true;
                 for (&v, &e) in atom.args.iter().zip(t.iter()) {
@@ -870,19 +910,32 @@ impl Program {
                         }
                     }
                 }
-                if ok {
-                    match_body(s, rule, idb, delta, head_idb, pos + 1, binding, emit);
-                }
+                let result = if ok {
+                    match_body(
+                        s,
+                        rule,
+                        idb,
+                        delta,
+                        head_idb,
+                        pos + 1,
+                        binding,
+                        budget,
+                        emit,
+                    )
+                } else {
+                    Ok(())
+                };
                 for v in touched {
                     binding[v as usize] = None;
                 }
+                result
             };
             match atom.pred {
                 Pred::Edb(r) => {
                     let rel = s.rel(r);
                     OBS_SCAN_TUPLES.add(rel.len() as u64);
                     for t in rel.iter() {
-                        try_tuple(t, binding, emit);
+                        try_tuple(t, binding, emit)?;
                     }
                 }
                 Pred::Idb(j) => {
@@ -892,13 +945,14 @@ impl Program {
                     };
                     OBS_SCAN_TUPLES.add(source.len() as u64);
                     for t in source.iter() {
-                        try_tuple(t, binding, emit);
+                        try_tuple(t, binding, emit)?;
                     }
                 }
             }
+            Ok(())
         }
 
-        match_body(s, rule, idb, delta, head, 0, &mut binding, emit);
+        match_body(s, rule, idb, delta, head, 0, &mut binding, budget, emit)
     }
 }
 
@@ -1112,14 +1166,18 @@ struct ExecCtx<'a> {
 }
 
 /// Emits every instantiation of the head under the current binding;
-/// unbound head variables range over the whole domain.
+/// unbound head variables range over the whole domain. The binding is
+/// fully restored before a budget error propagates.
+#[allow(clippy::too_many_arguments)] // internal join kernel
 fn emit_head_unbound(
     s: &Structure,
     rule: &Rule,
     head_idb: usize,
     binding: &mut Vec<Option<Elem>>,
+    budget: &Budget,
     emit: &mut dyn FnMut(usize, Vec<Elem>),
-) {
+) -> BudgetResult<()> {
+    #[allow(clippy::too_many_arguments)] // internal join kernel
     fn rec(
         s: &Structure,
         head: &Atom,
@@ -1127,22 +1185,29 @@ fn emit_head_unbound(
         binding: &mut Vec<Option<Elem>>,
         unbound: &[DlVar],
         i: usize,
+        budget: &Budget,
         emit: &mut dyn FnMut(usize, Vec<Elem>),
-    ) {
+    ) -> BudgetResult<()> {
         if i == unbound.len() {
+            budget.tick(AT)?;
             let t: Vec<Elem> = head
                 .args
                 .iter()
                 .map(|&v| binding[v as usize].expect("head var bound"))
                 .collect();
             emit(head_idb, t);
-            return;
+            return Ok(());
         }
+        let mut result = Ok(());
         for d in s.domain() {
             binding[unbound[i] as usize] = Some(d);
-            rec(s, head, head_idb, binding, unbound, i + 1, emit);
+            result = rec(s, head, head_idb, binding, unbound, i + 1, budget, emit);
+            if result.is_err() {
+                break;
+            }
         }
         binding[unbound[i] as usize] = None;
+        result
     }
 
     let mut unbound: Vec<DlVar> = rule
@@ -1154,18 +1219,20 @@ fn emit_head_unbound(
         .collect();
     unbound.sort_unstable();
     unbound.dedup();
-    rec(s, &rule.head, head_idb, binding, &unbound, 0, emit);
+    rec(s, &rule.head, head_idb, binding, &unbound, 0, budget, emit)
 }
 
 /// Binds a candidate tuple against the atom at plan step `step_i`,
-/// recursing into the next step on success.
+/// recursing into the next step on success. The binding is fully
+/// restored before a budget error propagates.
 fn try_tuple(
     ctx: &ExecCtx<'_>,
     step_i: usize,
     t: &[Elem],
     binding: &mut Vec<Option<Elem>>,
+    budget: &Budget,
     emit: &mut dyn FnMut(usize, Vec<Elem>),
-) {
+) -> BudgetResult<()> {
     let atom = &ctx.rule.body[ctx.plan[step_i].atom];
     let mut touched: Vec<DlVar> = Vec::new();
     let mut ok = true;
@@ -1182,25 +1249,30 @@ fn try_tuple(
             }
         }
     }
-    if ok {
-        exec(ctx, step_i + 1, binding, emit);
-    }
+    let result = if ok {
+        exec(ctx, step_i + 1, binding, budget, emit)
+    } else {
+        Ok(())
+    };
     for v in touched {
         binding[v as usize] = None;
     }
+    result
 }
 
 /// The indexed join kernel: runs plan step `step_i` under the current
 /// binding, emitting head instantiations once every step is satisfied.
+/// Ticks the budget once per step entered.
 fn exec(
     ctx: &ExecCtx<'_>,
     step_i: usize,
     binding: &mut Vec<Option<Elem>>,
+    budget: &Budget,
     emit: &mut dyn FnMut(usize, Vec<Elem>),
-) {
+) -> BudgetResult<()> {
+    budget.tick(AT)?;
     if step_i == ctx.plan.len() {
-        emit_head_unbound(ctx.s, ctx.rule, ctx.head_idb, binding, emit);
-        return;
+        return emit_head_unbound(ctx.s, ctx.rule, ctx.head_idb, binding, budget, emit);
     }
     let step = &ctx.plan[step_i];
     let atom = &ctx.rule.body[step.atom];
@@ -1213,14 +1285,14 @@ fn exec(
         (Access::ScanDelta, _) => {
             index::note_scan(ctx.driver.len() as u64);
             for t in ctx.driver {
-                try_tuple(ctx, step_i, t, binding, emit);
+                try_tuple(ctx, step_i, t, binding, budget, emit)?;
             }
         }
         (Access::Scan, Pred::Edb(r)) => {
             let rel = ctx.s.rel(r);
             index::note_scan(rel.len() as u64);
             for t in rel.iter() {
-                try_tuple(ctx, step_i, t, binding, emit);
+                try_tuple(ctx, step_i, t, binding, budget, emit)?;
             }
         }
         (Access::Scan, Pred::Idb(j)) => {
@@ -1228,7 +1300,7 @@ fn exec(
             index::note_scan(rel.len() as u64);
             for ti in 0..rel.tuples.len() {
                 let t = rel.tuples[ti].clone();
-                try_tuple(ctx, step_i, &t, binding, emit);
+                try_tuple(ctx, step_i, &t, binding, budget, emit)?;
             }
         }
         (Access::ProbePrefix(k), Pred::Edb(r)) => {
@@ -1236,7 +1308,7 @@ fn exec(
                 .map(|p| binding[atom.args[p] as usize].expect("planned key position is bound"))
                 .collect();
             for t in index::probe_prefix(ctx.s.rel(r), &prefix) {
-                try_tuple(ctx, step_i, t, binding, emit);
+                try_tuple(ctx, step_i, t, binding, budget, emit)?;
             }
         }
         (Access::ProbePrefix(_), Pred::Idb(_)) => {
@@ -1244,15 +1316,16 @@ fn exec(
         }
         (Access::Probe(key), Pred::Edb(r)) => {
             for t in ctx.edb.get(r, key).probe(&key_vals(key)) {
-                try_tuple(ctx, step_i, t, binding, emit);
+                try_tuple(ctx, step_i, t, binding, budget, emit)?;
             }
         }
         (Access::Probe(key), Pred::Idb(j)) => {
             for t in ctx.store[j].index(key).probe(&key_vals(key)) {
-                try_tuple(ctx, step_i, t, binding, emit);
+                try_tuple(ctx, step_i, t, binding, budget, emit)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Deterministic FNV-1a shard assignment (the std hasher is randomly

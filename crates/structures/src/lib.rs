@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builders;
 pub mod canon;
 pub mod diag;
@@ -55,6 +56,7 @@ pub mod partial;
 mod signature;
 mod structure;
 
+pub use budget::{Budget, BudgetResult, Exhausted, Resource};
 pub use diag::{Diagnostic, Severity, Span};
 pub use signature::{ConstId, RelId, Signature, SignatureBuilder};
 pub use structure::{Elem, Relation, Structure, StructureBuilder};

@@ -8,8 +8,12 @@
 
 use crate::sample;
 use fmt_logic::Formula;
+use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::Signature;
 use std::sync::Arc;
+
+/// Budget tick site label for the μ engines.
+const AT: &str = "zeroone.mu";
 
 /// Exact `μₙ` by enumerating all of `STRUC(σ, n)`.
 ///
@@ -17,14 +21,31 @@ use std::sync::Arc;
 /// Panics if `f` is not a sentence or the space exceeds 2²⁴ structures
 /// (see [`sample::enumerate_structures`]).
 pub fn mu_exact(sig: &Arc<Signature>, n: u32, f: &Formula) -> f64 {
+    try_mu_exact(sig, n, f, &Budget::unlimited()).expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`mu_exact`]: ticks once per enumerated structure and
+/// threads the budget into the inner relalg evaluation.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or the space exceeds 2²⁴ structures.
+pub fn try_mu_exact(
+    sig: &Arc<Signature>,
+    n: u32,
+    f: &Formula,
+    budget: &Budget,
+) -> BudgetResult<f64> {
     assert!(f.is_sentence(), "mu requires a Boolean query");
     let all = sample::enumerate_structures(sig, n);
     let total = all.len();
-    let hits = all
-        .iter()
-        .filter(|s| fmt_eval::relalg::check_sentence(s, f))
-        .count();
-    hits as f64 / total as f64
+    let mut hits = 0usize;
+    for s in &all {
+        budget.tick(AT)?;
+        if fmt_eval::relalg::check_sentence_budgeted(s, f, budget)? {
+            hits += 1;
+        }
+    }
+    Ok(hits as f64 / total as f64)
 }
 
 /// Monte-Carlo estimate of `μₙ` from `samples` uniform structures,
@@ -33,6 +54,24 @@ pub fn mu_exact(sig: &Arc<Signature>, n: u32, f: &Formula) -> f64 {
 /// # Panics
 /// Panics if `f` is not a sentence or `samples == 0`.
 pub fn mu_estimate(sig: &Arc<Signature>, n: u32, f: &Formula, samples: u32, seed: u64) -> f64 {
+    try_mu_estimate(sig, n, f, samples, seed, &Budget::unlimited())
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budgeted [`mu_estimate`]: all sampling workers share `budget` (one
+/// clone each), so exhaustion or cancellation stops every worker
+/// cooperatively.
+///
+/// # Panics
+/// Panics if `f` is not a sentence or `samples == 0`.
+pub fn try_mu_estimate(
+    sig: &Arc<Signature>,
+    n: u32,
+    f: &Formula,
+    samples: u32,
+    seed: u64,
+    budget: &Budget,
+) -> BudgetResult<f64> {
     assert!(f.is_sentence(), "mu requires a Boolean query");
     assert!(samples > 0);
     let threads = std::thread::available_parallelism()
@@ -44,9 +83,10 @@ pub fn mu_estimate(sig: &Arc<Signature>, n: u32, f: &Formula, samples: u32, seed
         for w in 0..threads {
             let sig = sig.clone();
             let f = f.clone();
+            let budget = budget.clone();
             // Split the sample budget as evenly as possible.
             let quota = samples / threads + u32::from(w < samples % threads);
-            handles.push(scope.spawn(move || {
+            handles.push(scope.spawn(move || -> BudgetResult<u32> {
                 use rand::rngs::StdRng;
                 use rand::SeedableRng;
                 let mut rng = StdRng::seed_from_u64(
@@ -54,17 +94,29 @@ pub fn mu_estimate(sig: &Arc<Signature>, n: u32, f: &Formula, samples: u32, seed
                 );
                 let mut hits = 0u32;
                 for _ in 0..quota {
+                    budget.tick(AT)?;
                     let s = sample::uniform_structure(&sig, n, &mut rng);
-                    if fmt_eval::relalg::check_sentence(&s, &f) {
+                    if fmt_eval::relalg::check_sentence_budgeted(&s, &f, &budget)? {
                         hits += 1;
                     }
                 }
-                hits
+                Ok(hits)
             }));
         }
-        handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
-    });
-    hits as f64 / samples as f64
+        let mut hits = 0u32;
+        let mut err = None;
+        for h in handles {
+            match h.join().unwrap() {
+                Ok(n) => hits += n,
+                Err(e) => err = err.or(Some(e)),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(hits),
+        }
+    })?;
+    Ok(f64::from(hits) / f64::from(samples))
 }
 
 /// Monte-Carlo estimate of `μₙ` under the **biased** product measure

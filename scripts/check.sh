@@ -35,7 +35,27 @@ done
 echo "==> conformance smoke hunt (fixed seed, fails on any oracle disagreement)"
 mkdir -p target/conform-corpus
 cargo run --release -q -p fmt-cli --bin fmtk -- \
-    conform --seed 7 --cases 210 --corpus target/conform-corpus
+    conform --seed 7 --cases 240 --corpus target/conform-corpus
+
+echo "==> budget fault-injection smoke sweep (fixed seed, 240 cases)"
+cargo run --release -q -p fmt-cli --bin fmtk -- \
+    conform --oracle budget-fault --seed 11 --cases 240
+
+echo "==> budget overhead gate (unlimited budget within 5% of tc_path_512 baseline)"
+# Per-process code/heap layout moves hot-loop timings by a few percent,
+# so retry across process spawns: a real regression fails every spawn.
+overhead_ok=0
+for attempt in 1 2 3 4 5; do
+    if cargo run --release -q -p fmt-bench --bin budget_overhead; then
+        overhead_ok=1
+        break
+    fi
+    echo "  (attempt $attempt hit an unlucky layout or noisy window; respawning)"
+done
+if [[ "$overhead_ok" != 1 ]]; then
+    echo "budget overhead gate failed on all attempts" >&2
+    exit 1
+fi
 
 if [[ "${RUN_BENCH:-0}" == "1" ]]; then
     echo "==> benches (RUN_BENCH=1)"

@@ -1,0 +1,159 @@
+//! The budget acceptance matrix: **every** engine in the toolbox, run
+//! under a one-unit fuel budget on a deliberately oversized workload,
+//! must return a structured [`Exhausted`] error — never panic, never
+//! hang, never a partial answer. The same matrix then re-runs each
+//! engine with an unlimited budget (must complete) and a pre-cancelled
+//! budget (must report [`Resource::Cancelled`]), so the three budget
+//! outcomes are exercised on identical call sites.
+
+use fmt_eval::{circuit, naive, relalg};
+use fmt_games::bijection::try_bijection_duplicator_wins;
+use fmt_games::parallel::try_duplicator_wins_parallel;
+use fmt_games::pebble::try_pebble_duplicator_wins;
+use fmt_games::solver::try_rank;
+use fmt_logic::parser::parse_formula;
+use fmt_queries::datalog::Program;
+use fmt_structures::budget::{Budget, BudgetResult, Exhausted, Resource};
+use fmt_structures::{builders, Signature};
+
+/// A boxed engine runner driving one engine on an adversarial workload.
+type Runner = Box<dyn Fn(&Budget) -> BudgetResult<()>>;
+
+/// One row of the matrix: engine name, the tick labels it may exhaust
+/// at (engines that delegate — μ into relalg, parallel games into the
+/// serial solver — legitimately surface the inner label), and a runner
+/// that drives the engine on an adversarial workload.
+struct Row {
+    engine: &'static str,
+    labels: &'static [&'static str],
+    run: Runner,
+}
+
+fn row(
+    engine: &'static str,
+    labels: &'static [&'static str],
+    run: impl Fn(&Budget) -> BudgetResult<()> + 'static,
+) -> Row {
+    Row {
+        engine,
+        labels,
+        run: Box::new(run),
+    }
+}
+
+const TC: &str = "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).";
+
+fn matrix() -> Vec<Row> {
+    let sig = Signature::graph();
+    let f = parse_formula(&sig, "forall x. exists y. E(x, y)").unwrap();
+    let g = builders::directed_cycle(8);
+    let prog = Program::parse(g.signature(), TC).unwrap();
+    let a = builders::linear_order(6);
+    let b = builders::linear_order(7);
+    vec![
+        row("eval.naive", &["eval.naive"], {
+            let (s, f) = (g.clone(), f.clone());
+            move |bu| naive::check_sentence_budgeted(&s, &f, bu).map(drop)
+        }),
+        row("eval.relalg", &["eval.relalg"], {
+            let (s, f) = (g.clone(), f.clone());
+            move |bu| relalg::check_sentence_budgeted(&s, &f, bu).map(drop)
+        }),
+        row("eval.circuit", &["eval.circuit"], {
+            let (sig, f) = (sig.clone(), f.clone());
+            move |bu| circuit::compile_budgeted(&sig, &f, 8, bu).map(drop)
+        }),
+        row("games.solver", &["games.solver"], {
+            let (a, b) = (a.clone(), b.clone());
+            move |bu| try_rank(&a, &b, 3, bu).map(drop)
+        }),
+        row("games.pebble", &["games.pebble"], {
+            let (a, b) = (a.clone(), b.clone());
+            move |bu| try_pebble_duplicator_wins(&a, &b, 2, 3, bu).map(drop)
+        }),
+        row("games.bijection", &["games.bijection"], {
+            let a = builders::linear_order(5);
+            let b = builders::linear_order(5);
+            move |bu| try_bijection_duplicator_wins(&a, &b, 3, bu).map(drop)
+        }),
+        row("games.parallel", &["games.solver"], {
+            let (a, b) = (a.clone(), b.clone());
+            move |bu| try_duplicator_wins_parallel(&a, &b, 3, 2, bu).map(drop)
+        }),
+        row("datalog.naive", &["queries.datalog"], {
+            let (s, p) = (g.clone(), prog.clone());
+            move |bu| p.try_eval_naive(&s, bu).map(drop)
+        }),
+        row("datalog.scan", &["queries.datalog"], {
+            let (s, p) = (g.clone(), prog.clone());
+            move |bu| p.try_eval_seminaive_scan(&s, bu).map(drop)
+        }),
+        row("datalog.indexed", &["queries.datalog"], {
+            let (s, p) = (g.clone(), prog.clone());
+            move |bu| p.try_eval_seminaive_with(&s, 2, bu).map(drop)
+        }),
+        row("zeroone.mu", &["zeroone.mu", "eval.relalg"], {
+            let sig = sig.clone();
+            let f = parse_formula(&sig, "exists x. E(x, x)").unwrap();
+            move |bu| fmt_zeroone::mu::try_mu_exact(&sig, 2, &f, bu).map(drop)
+        }),
+    ]
+}
+
+fn exhaustion(r: &Row, budget: &Budget) -> Exhausted {
+    match (r.run)(budget) {
+        Err(e) => e,
+        Ok(()) => panic!("{}: expected exhaustion, engine completed", r.engine),
+    }
+}
+
+#[test]
+fn every_engine_exhausts_cleanly_under_one_fuel() {
+    for r in matrix() {
+        let e = exhaustion(&r, &Budget::with_fuel(1));
+        assert_eq!(e.resource, Resource::Fuel, "{}: {e}", r.engine);
+        // Fuel 1 permits exactly one tick: the engine must notice on its
+        // *second* tick, proving the hot loop checks the budget rather
+        // than finishing the workload and reporting late.
+        assert_eq!(e.spent, 2, "{}: {e}", r.engine);
+        assert!(
+            r.labels.contains(&e.at),
+            "{}: exhausted at unexpected site {:?}",
+            r.engine,
+            e.at
+        );
+    }
+}
+
+#[test]
+fn every_engine_completes_under_unlimited_budget() {
+    for r in matrix() {
+        let budget = Budget::unlimited();
+        (r.run)(&budget).unwrap_or_else(|e| panic!("{}: {e}", r.engine));
+        assert_eq!(
+            budget.spent(),
+            0,
+            "{}: unlimited budgets must not meter ticks",
+            r.engine
+        );
+    }
+}
+
+#[test]
+fn every_engine_observes_prior_cancellation() {
+    for r in matrix() {
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let e = exhaustion(&r, &budget);
+        assert_eq!(e.resource, Resource::Cancelled, "{}: {e}", r.engine);
+    }
+}
+
+#[test]
+fn every_engine_observes_a_zero_deadline() {
+    for r in matrix() {
+        let budget = Budget::with_timeout(std::time::Duration::ZERO);
+        let e = exhaustion(&r, &budget);
+        assert_eq!(e.resource, Resource::Deadline, "{}: {e}", r.engine);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the budget layer, driven by the same random
+//! structure/sentence/program generators the conformance hunter uses.
+//!
+//! Two families:
+//!
+//! * **transparency** — running any engine under `Budget::unlimited()`
+//!   is bit-identical to the original unbudgeted entry point, for every
+//!   engine pair the toolbox exposes;
+//! * **determinism** — the same finite fuel on the same single-threaded
+//!   workload exhausts at exactly the same tick, twice in a row (the
+//!   foundation the fault-injection oracle's double-run check rests on).
+
+use fmt_conform::gen::{self, GenConfig};
+use fmt_eval::{naive, relalg};
+use fmt_games::solver::{rank, try_rank};
+use fmt_queries::datalog::Program;
+use fmt_structures::budget::Budget;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unlimited-budget naive and relalg evaluation agree with the
+    /// original unbudgeted entry points on arbitrary sentences.
+    #[test]
+    fn unlimited_budget_is_transparent_for_eval(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(&mut rng, &cfg);
+        let f = gen::random_sentence(&mut rng, &cfg);
+        let b = Budget::unlimited();
+        let plain = naive::check_sentence(&s, &f);
+        prop_assert_eq!(naive::check_sentence_budgeted(&s, &f, &b).unwrap(), plain);
+        prop_assert_eq!(
+            relalg::check_sentence_budgeted(&s, &f, &b).unwrap(),
+            relalg::check_sentence(&s, &f)
+        );
+    }
+
+    /// Unlimited-budget Datalog (all three engines) returns the same
+    /// fixpoint as the unbudgeted paths on arbitrary programs.
+    #[test]
+    fn unlimited_budget_is_transparent_for_datalog(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(&mut rng, &cfg);
+        let src = gen::random_datalog_program(&mut rng);
+        let Ok(prog) = Program::parse(s.signature(), &src) else {
+            return Ok(());
+        };
+        let b = Budget::unlimited();
+        let plain = prog.eval_naive(&s);
+        let budgeted = [
+            prog.try_eval_naive(&s, &b).unwrap(),
+            prog.try_eval_seminaive_scan(&s, &b).unwrap(),
+            prog.try_eval_seminaive_with(&s, 2, &b).unwrap(),
+        ];
+        for out in &budgeted {
+            for i in 0..prog.num_idbs() {
+                prop_assert_eq!(out.relation(i), plain.relation(i), "IDB {}", i);
+            }
+        }
+    }
+
+    /// Unlimited-budget EF rank equals the unbudgeted rank on random
+    /// graph pairs.
+    #[test]
+    fn unlimited_budget_is_transparent_for_games(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig { max_size: 4, ..GenConfig::default() };
+        let a = gen::random_graph(&mut rng, &cfg);
+        let b = gen::random_graph(&mut rng, &cfg);
+        prop_assert_eq!(
+            try_rank(&a, &b, 3, &Budget::unlimited()).unwrap(),
+            rank(&a, &b, 3)
+        );
+    }
+
+    /// The same finite fuel on the same single-threaded workload gives
+    /// the same outcome — and, on exhaustion, the same `spent` count and
+    /// the same tick site — run after run.
+    #[test]
+    fn finite_fuel_exhausts_deterministically(seed in any::<u64>(), fuel in 1u64..96) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(&mut rng, &cfg);
+        let f = gen::random_sentence(&mut rng, &cfg);
+        let runs: Vec<_> = (0..2)
+            .map(|_| naive::check_sentence_budgeted(&s, &f, &Budget::with_fuel(fuel)))
+            .collect();
+        match (&runs[0], &runs[1]) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(a.spent, b.spent);
+                prop_assert_eq!(a.at, b.at);
+                prop_assert_eq!(a.spent, fuel + 1);
+            }
+            (a, b) => prop_assert!(false, "nondeterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Fuel discovery: measure the total tick count T of a successful
+    /// metered run, then re-run with half the fuel — the engine must
+    /// exhaust (at tick T/2 + 1), and with fuel T it must complete.
+    #[test]
+    fn half_fuel_exhausts_where_full_fuel_completes(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(&mut rng, &cfg);
+        let f = gen::random_sentence(&mut rng, &cfg);
+        // A metered budget with ample fuel records the true tick total.
+        let probe = Budget::with_fuel(u64::MAX - 1);
+        let expected = naive::check_sentence_budgeted(&s, &f, &probe).unwrap();
+        let total = probe.spent();
+        prop_assert!(total >= 1);
+        prop_assert_eq!(
+            naive::check_sentence_budgeted(&s, &f, &Budget::with_fuel(total)).unwrap(),
+            expected
+        );
+        if total >= 2 {
+            let half = total / 2;
+            let e = naive::check_sentence_budgeted(&s, &f, &Budget::with_fuel(half))
+                .expect_err("half the fuel cannot complete");
+            prop_assert_eq!(e.spent, half + 1);
+        }
+    }
+}
