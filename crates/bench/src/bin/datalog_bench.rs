@@ -148,6 +148,20 @@ fn main() {
             (None, model_scan)
         };
 
+        // Per-phase attribution from one extra traced run (the timed run
+        // above stays tracing-off so `indexed_secs` is untouched).
+        fmt_obs::trace::start();
+        let _ = prog.eval_seminaive(&s);
+        let phase_trace = fmt_obs::trace::stop();
+        let phase_us = |name: &str| -> u64 {
+            phase_trace
+                .events
+                .iter()
+                .filter(|e| e.name == name)
+                .filter_map(|e| e.dur_us)
+                .sum()
+        };
+
         let ratio = scan_work as f64 / indexed_work.max(1) as f64;
         println!(
             "{:8} n={:<4} edges={:<5} rounds={:<3} derivations={:<8} indexed {:.3}s ({} cmp) scan {} ({} cmp{}) ratio {:.1}x",
@@ -198,7 +212,16 @@ fn main() {
                 );
             }
         }
-        let _ = write!(row, "\"comparison_ratio\":{ratio:.2}}}");
+        let _ = write!(row, "\"comparison_ratio\":{ratio:.2},");
+        let _ = write!(
+            row,
+            "\"phases\":{{\"init_us\":{},\"plan_us\":{},\"join_us\":{},\"dedup_us\":{},\"merge_us\":{}}}}}",
+            phase_us("datalog.init"),
+            phase_us("datalog.plan"),
+            phase_us("datalog.join"),
+            phase_us("datalog.dedup"),
+            phase_us("datalog.merge")
+        );
         rows.push(row);
     }
 

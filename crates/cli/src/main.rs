@@ -71,13 +71,16 @@ fn usage() -> String {
      fmtk game   <A> <B> [--rounds N]\n  \
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
-     fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N]\n  \
+     fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N] [--explain]\n  \
      fmtk lint   [FILE | --expr \"<formula>\" | --program \"<rules>\"] [--format text|json]\n          \
      [--deny CODE|warnings ...] [--rel NAME:ARITY ...] [--sentence] [--rank-budget N] [--goal PRED]\n  \
      fmtk conform [--seed N] [--cases K] [--oracle NAME] [--corpus DIR] [--replay FILE]\n  \
      fmtk sample\n\
      global flags:\n  \
-     --stats [text|json]   print engine counters after the command\n\
+     --stats [text|json]   print engine counters after the command\n  \
+     --metrics-text        print counters in Prometheus exposition format\n  \
+     --trace FILE          record a structured trace of the command\n  \
+     --trace-format chrome|folded   trace file format (default chrome)\n\
      (structure files use the text format; '-' reads stdin;\n \
      lint FILEs: .dl = Datalog program, .case = conform repro case, else formula)"
         .to_owned()
@@ -267,31 +270,55 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         .transpose()?
         .unwrap_or(0);
     let engine = flag_value(&mut args, "--engine")?.unwrap_or_else(|| "indexed".to_owned());
+    let explain = if let Some(pos) = args.iter().position(|a| a == "--explain") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     reject_unknown_flags(&args)?;
     let [spath, ppath] = &args[..] else {
         return Err(usage().into());
     };
     let s = load_structure(spath)?;
     let src = read_input(ppath)?;
-    let prog = Program::parse_spanned(s.signature(), &src)
-        .map_err(|e| {
-            Diagnostic::error("D000", e.message)
-                .with_span(e.span)
-                .render(&src, ppath)
-                .trim_end()
-                .to_owned()
-        })?
-        .program;
+    let parsed = Program::parse_spanned(s.signature(), &src).map_err(|e| {
+        Diagnostic::error("D000", e.message)
+            .with_span(e.span)
+            .render(&src, ppath)
+            .trim_end()
+            .to_owned()
+    })?;
+    let prog = &parsed.program;
+    // --explain reads span fields back out of the trace journal. A live
+    // --trace session is reused (and peeked, not drained, so the trace
+    // file still gets the events); otherwise a private one is opened.
+    let tracing_was_on = fmt_core::obs::trace::enabled();
+    if explain && !tracing_was_on {
+        fmt_core::obs::trace::start();
+    }
     let out = match engine.as_str() {
         "indexed" => prog.try_eval_seminaive_with(&s, threads, budget),
         "scan" => prog.try_eval_seminaive_scan(&s, budget),
         other => {
+            if explain && !tracing_was_on {
+                fmt_core::obs::trace::stop();
+            }
             return Err(CliFailure::Error(format!(
                 "unknown engine {other:?} (use scan|indexed)"
-            )))
+            )));
         }
-    }
-    .map_err(exhausted)?;
+    };
+    let explain_trace = if explain {
+        let t = fmt_core::obs::trace::peek();
+        if !tracing_was_on {
+            fmt_core::obs::trace::stop();
+        }
+        Some(t)
+    } else {
+        None
+    };
+    let out = out.map_err(exhausted)?;
     let mut text = String::new();
     for i in 0..prog.num_idbs() {
         let (name, arity) = prog.idb_info(i);
@@ -307,7 +334,73 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         "({} iterations, {} derivations)",
         out.iterations, out.derivations
     ));
+    if let Some(trace) = explain_trace {
+        text.push('\n');
+        text.push_str(&explain_table(&trace, &parsed, &src));
+    }
     Ok(text)
+}
+
+/// Aggregates the `datalog.rule` spans of `trace` into a per-rule
+/// profile table: derivations, index probes, rounds the rule fired in,
+/// and total time spent applying it.
+fn explain_table(
+    trace: &fmt_core::obs::trace::Trace,
+    parsed: &fmt_core::queries::datalog::ParsedProgram,
+    src: &str,
+) -> String {
+    use std::collections::BTreeSet;
+    let n = parsed.spans.len();
+    let mut derived = vec![0u64; n];
+    let mut probes = vec![0u64; n];
+    let mut micros = vec![0u64; n];
+    let mut rounds: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    for ev in &trace.events {
+        if ev.name != "datalog.rule" {
+            continue;
+        }
+        let Some(ri) = ev
+            .field("rule")
+            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
+        else {
+            continue;
+        };
+        let ri = ri as usize;
+        if ri >= n {
+            continue;
+        }
+        derived[ri] += ev
+            .field("derived")
+            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
+            .unwrap_or(0);
+        probes[ri] += ev
+            .field("probes")
+            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
+            .unwrap_or(0);
+        micros[ri] += ev.dur_us.unwrap_or(0);
+        if let Some(r) = ev
+            .field("round")
+            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
+        {
+            rounds[ri].insert(r);
+        }
+    }
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(n);
+    for ri in 0..n {
+        let label = parsed.spans[ri].span.slice(src).trim().to_owned();
+        rows.push(vec![
+            ri.to_string(),
+            derived[ri].to_string(),
+            probes[ri].to_string(),
+            rounds[ri].len().to_string(),
+            micros[ri].to_string(),
+            label,
+        ]);
+    }
+    let header = ["rule", "derived", "probes", "rounds", "total_us", "text"];
+    let mut out = String::from("per-rule profile (from datalog.rule spans):\n");
+    out.push_str(fmt_core::report::table(&header, &rows).trim_end());
+    out
 }
 
 /// Parses repeated `--rel NAME:ARITY` flags into a signature
@@ -577,6 +670,45 @@ fn render_stats(mode: StatsMode, cmd: &str) -> Option<String> {
     }
 }
 
+/// The trace format selected by `--trace-format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Folded,
+}
+
+/// Extracts the global `--trace FILE` and `--trace-format chrome|folded`
+/// flags. `--trace-format` without `--trace` is an error.
+fn extract_trace(argv: &mut Vec<String>) -> Result<Option<(String, TraceFormat)>, String> {
+    let path = flag_value(argv, "--trace")?;
+    let format = match flag_value(argv, "--trace-format")?.as_deref() {
+        None | Some("chrome") => TraceFormat::Chrome,
+        Some("folded") => TraceFormat::Folded,
+        Some(other) => {
+            return Err(format!(
+                "unknown --trace-format {other:?} (use chrome|folded)"
+            ))
+        }
+    };
+    match path {
+        Some(p) => Ok(Some((p, format))),
+        None if format == TraceFormat::Folded => {
+            Err("--trace-format requires --trace FILE".to_owned())
+        }
+        None => Ok(None),
+    }
+}
+
+/// Extracts the global `--metrics-text` flag (Prometheus exposition of
+/// every engine counter and histogram after the command).
+fn extract_metrics_text(argv: &mut Vec<String>) -> bool {
+    let Some(pos) = argv.iter().position(|a| a == "--metrics-text") else {
+        return false;
+    };
+    argv.remove(pos);
+    true
+}
+
 /// Extracts the global `--fuel N` and `--timeout-ms M` flags from
 /// anywhere in the argument list and builds the command's [`Budget`]
 /// (unlimited when neither flag is given).
@@ -596,12 +728,17 @@ fn extract_budget(argv: &mut Vec<String>) -> Result<Budget, String> {
 fn run() -> CliResult {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let stats = extract_stats(&mut argv);
+    let metrics_text = extract_metrics_text(&mut argv);
+    let trace_to = extract_trace(&mut argv)?;
     let budget = extract_budget(&mut argv)?;
     if argv.is_empty() {
         return Err(usage().into());
     }
-    if stats != StatsMode::Off {
+    if stats != StatsMode::Off || metrics_text {
         fmt_core::obs::enable();
+    }
+    if trace_to.is_some() {
+        fmt_core::obs::trace::start();
     }
     let cmd = argv.remove(0);
     let out = match cmd.as_str() {
@@ -619,11 +756,25 @@ fn run() -> CliResult {
             "unknown command {other}\n{}",
             usage()
         ))),
-    }?;
-    Ok(match render_stats(stats, &cmd) {
-        Some(stats_out) => format!("{out}\n{stats_out}"),
-        None => out,
-    })
+    };
+    // The trace is written even when the command failed: traces of
+    // budget-exhausted or erroring runs are exactly the interesting ones.
+    if let Some((path, format)) = trace_to {
+        let trace = fmt_core::obs::trace::stop();
+        let data = match format {
+            TraceFormat::Chrome => trace.to_chrome_json(),
+            TraceFormat::Folded => trace.to_folded(),
+        };
+        std::fs::write(&path, data).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let mut out = out?;
+    if let Some(stats_out) = render_stats(stats, &cmd) {
+        out = format!("{out}\n{stats_out}");
+    }
+    if metrics_text {
+        out = format!("{out}\n{}", fmt_core::obs::snapshot().to_prometheus());
+    }
+    Ok(out.trim_end().to_owned())
 }
 
 fn main() -> ExitCode {

@@ -539,3 +539,176 @@ fn exit_code_3_when_budget_exhausts() {
     assert_eq!(out.status.code(), Some(0));
     assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "true");
 }
+
+const TC_PROG: &str = "t(x,y) :- e(x,y).\nt(x,z) :- t(x,y), e(y,z).\n";
+
+#[test]
+fn trace_flag_writes_valid_chrome_json() {
+    let s = write_temp("trace-c4.st", CYCLE4);
+    let prog = write_temp("trace-tc.dl", TC_PROG);
+    let tracefile = std::env::temp_dir().join("fmtk-cli-tests/trace-out.json");
+    let out = fmtk()
+        .args([
+            "--trace",
+            tracefile.to_str().unwrap(),
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&tracefile).unwrap();
+    let json = fmt_core::obs::json::parse(&text).expect("chrome trace must be valid JSON");
+    let events = json
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    assert!(names.contains(&"datalog.eval"), "{names:?}");
+    assert!(names.contains(&"datalog.round"), "{names:?}");
+    assert!(names.contains(&"datalog.rule"), "{names:?}");
+}
+
+#[test]
+fn trace_folded_format_nests_phases() {
+    let s = write_temp("folded-c4.st", CYCLE4);
+    let prog = write_temp("folded-tc.dl", TC_PROG);
+    let tracefile = std::env::temp_dir().join("fmtk-cli-tests/trace-out.folded");
+    let out = fmtk()
+        .args([
+            "--trace",
+            tracefile.to_str().unwrap(),
+            "--trace-format",
+            "folded",
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&tracefile).unwrap();
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("datalog.eval;datalog.round;datalog.join;datalog.rule ")),
+        "{text}"
+    );
+    // Every line is "stack count".
+    for line in text.lines() {
+        let (_, count) = line.rsplit_once(' ').expect("stack + self-time");
+        count.parse::<u64>().unwrap();
+    }
+}
+
+#[test]
+fn trace_format_without_trace_is_an_error() {
+    let out = fmtk()
+        .args(["--trace-format", "folded", "sample"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --trace"));
+}
+
+#[test]
+fn datalog_explain_prints_per_rule_table() {
+    let s = write_temp("explain-c4.st", CYCLE4);
+    let prog = write_temp("explain-tc.dl", TC_PROG);
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("per-rule profile"), "{text}");
+    assert!(text.contains("t(x,y) :- e(x,y)"), "{text}");
+    assert!(text.contains("t(x,z) :- t(x,y), e(y,z)"), "{text}");
+    // The linear rule derives 4 base edges in round 1 only.
+    let rule0 = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("0 "))
+        .unwrap();
+    let cells: Vec<&str> = rule0.split_whitespace().collect();
+    assert_eq!(cells[1], "4", "derived: {rule0}");
+}
+
+#[test]
+fn metrics_text_exposes_prometheus_counters() {
+    let s = write_temp("prom-c4.st", CYCLE4);
+    let prog = write_temp("prom-tc.dl", TC_PROG);
+    let out = fmtk()
+        .args([
+            "--metrics-text",
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("# TYPE queries_datalog_rounds counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("queries_datalog_delta_size_bucket{le=\"+Inf\"}"),
+        "{text}"
+    );
+}
+
+#[test]
+fn trace_written_even_when_budget_exhausts() {
+    let s = write_temp("exh-c4.st", CYCLE4);
+    let prog = write_temp("exh-tc.dl", TC_PROG);
+    let tracefile = std::env::temp_dir().join("fmtk-cli-tests/trace-exhausted.json");
+    let out = fmtk()
+        .args([
+            "--fuel",
+            "2",
+            "--trace",
+            tracefile.to_str().unwrap(),
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let text = std::fs::read_to_string(&tracefile).unwrap();
+    let json = fmt_core::obs::json::parse(&text).expect("trace of a failed run still parses");
+    let events = json.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+    // The budget.exhausted instant is in the journal.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("budget.exhausted")),
+        "{text}"
+    );
+}

@@ -95,6 +95,7 @@ impl Circuit {
     /// Panics if `bits.len() != self.num_inputs()`.
     pub fn try_eval(&self, bits: &[bool], budget: &Budget) -> BudgetResult<bool> {
         assert_eq!(bits.len(), self.num_inputs as usize);
+        let mut span = fmt_obs::trace_span!("eval.circuit.eval", gates = self.gates.len());
         let mut val = vec![false; self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {
             budget.tick(AT)?;
@@ -106,7 +107,9 @@ impl Circuit {
                 Gate::Or(xs) => xs.iter().any(|x| val[x.0 as usize]),
             };
         }
-        Ok(val[self.output.0 as usize])
+        let out = val[self.output.0 as usize];
+        span.record_field("output", out);
+        Ok(out)
     }
 }
 
@@ -324,6 +327,7 @@ pub fn compile_budgeted(
     budget: &Budget,
 ) -> BudgetResult<(Circuit, InputLayout)> {
     assert!(f.is_sentence(), "compile requires a sentence");
+    let mut span = fmt_obs::trace_span!("eval.circuit.compile", n = n);
     let layout = InputLayout::new(sig, n);
     let mut c = Compiler {
         layout: &layout,
@@ -335,6 +339,7 @@ pub fn compile_budgeted(
     let output = c.compile(f, &mut env)?;
     OBS_COMPILES.incr();
     OBS_GATES.record(c.gates.len() as u64);
+    span.record_field("gates", c.gates.len());
     Ok((
         Circuit {
             num_inputs: layout.total_bits(),

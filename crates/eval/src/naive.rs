@@ -253,8 +253,13 @@ pub fn check_sentence(s: &Structure, f: &Formula) -> bool {
 /// [`answers_budgeted`]).
 pub fn check_sentence_budgeted(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<bool> {
     assert!(f.is_sentence(), "check_sentence requires a sentence");
+    let mut span = fmt_obs::trace_span!("eval.naive.sentence", size = s.size());
     let mut env = Env::for_formula(f);
-    NaiveEvaluator::with_budget(s, budget.clone()).try_eval(f, &mut env)
+    let result = NaiveEvaluator::with_budget(s, budget.clone()).try_eval(f, &mut env);
+    if let Ok(holds) = &result {
+        span.record_field("holds", *holds);
+    }
+    result
 }
 
 /// Computes the full answer set `Q(A) = {d̄ | A ⊨ φ(d̄)}` of a query by
@@ -269,6 +274,15 @@ pub fn answers(s: &Structure, q: &Query) -> Vec<Vec<Elem>> {
 /// Budgeted [`answers`]: stops cleanly when `budget` runs out, in which
 /// case no partial answer set escapes.
 pub fn answers_budgeted(s: &Structure, q: &Query, budget: &Budget) -> BudgetResult<Vec<Vec<Elem>>> {
+    let mut span = fmt_obs::trace_span!("eval.naive.answers", size = s.size());
+    let result = answers_inner(s, q, budget);
+    if let Ok(rows) = &result {
+        span.record_field("answers", rows.len());
+    }
+    result
+}
+
+fn answers_inner(s: &Structure, q: &Query, budget: &Budget) -> BudgetResult<Vec<Vec<Elem>>> {
     let f = q.formula();
     let mut env = Env::for_formula(f);
     let mut ev = NaiveEvaluator::with_budget(s, budget.clone());

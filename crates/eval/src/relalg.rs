@@ -260,8 +260,11 @@ pub fn eval(s: &Structure, f: &Formula) -> Table {
 /// [`Exhausted`](fmt_structures::budget::Exhausted) when `budget` runs
 /// out; no partial table escapes.
 pub fn eval_budgeted(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<Table> {
+    let mut span = fmt_obs::trace_span!("eval.relalg.eval", size = s.size());
     let g = nf::nnf(f);
-    eval_nnf(s, &g, budget)
+    let t = eval_nnf(s, &g, budget)?;
+    span.record_field("rows", t.rows.len());
+    Ok(t)
 }
 
 /// Operator applications (one per NNF node evaluated).
@@ -269,10 +272,27 @@ static OBS_OPS: fmt_obs::Counter = fmt_obs::Counter::new("eval.relalg.operators"
 /// Output cardinality of each operator application.
 static OBS_OP_ROWS: fmt_obs::Histogram = fmt_obs::Histogram::new("eval.relalg.op_rows");
 
+/// Operator label for a span, one per NNF connective.
+fn op_name(f: &Formula) -> &'static str {
+    match f {
+        Formula::True | Formula::False => "const",
+        Formula::Atom { .. } => "atom",
+        Formula::Eq(..) => "eq",
+        Formula::Not(..) => "complement",
+        Formula::And(..) => "join",
+        Formula::Or(..) => "union",
+        Formula::Exists(..) => "project",
+        Formula::Forall(..) => "divide",
+        Formula::Implies(..) | Formula::Iff(..) => "rewrite",
+    }
+}
+
 fn eval_nnf(s: &Structure, f: &Formula, budget: &Budget) -> BudgetResult<Table> {
+    let mut span = fmt_obs::trace_span!("eval.relalg.op", op = op_name(f));
     let t = eval_nnf_node(s, f, budget)?;
     OBS_OPS.incr();
     OBS_OP_ROWS.record(t.rows.len() as u64);
+    span.record_field("rows", t.rows.len());
     Ok(t)
 }
 

@@ -85,13 +85,20 @@ impl<'a> BijectionGameSolver<'a> {
     /// when the budget runs out; only fully decided positions are
     /// memoized.
     pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
+        let mut span = fmt_obs::trace_span!("games.bijection.depth", rounds = rounds);
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
+            span.record_field("win", false);
             return Ok(false);
         }
         if rounds > 0 && self.a.size() != self.b.size() {
+            span.record_field("win", false);
             return Ok(false);
         }
-        self.wins(&[], rounds)
+        let result = self.wins(&[], rounds);
+        if let Ok(win) = &result {
+            span.record_field("win", *win);
+        }
+        result
     }
 
     fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {

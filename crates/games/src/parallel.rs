@@ -56,10 +56,13 @@ pub fn try_duplicator_wins_parallel(
         b.signature(),
         "games need a common signature"
     );
+    let mut span =
+        fmt_obs::trace_span!("games.parallel.search", rounds = rounds, threads = threads);
     if rounds == 0 {
         return Ok(fmt_structures::partial::is_partial_isomorphism(a, b, &[]));
     }
     if !fmt_structures::partial::is_partial_isomorphism(a, b, &[]) {
+        span.record_field("win", false);
         return Ok(false);
     }
     // All first moves (fresh-move pruning applies trivially: nothing has
@@ -67,7 +70,9 @@ pub fn try_duplicator_wins_parallel(
     let mut moves: Vec<(Side, Elem)> = Vec::with_capacity((a.size() + b.size()) as usize);
     moves.extend(a.domain().map(|x| (Side::Left, x)));
     moves.extend(b.domain().map(|y| (Side::Right, y)));
+    span.record_field("moves", moves.len());
     if moves.is_empty() {
+        span.record_field("win", true);
         return Ok(true); // both empty: isomorphic
     }
 
@@ -75,29 +80,37 @@ pub fn try_duplicator_wins_parallel(
     // Each chunk reports Ok(true) = all moves answered, Ok(false) = a
     // refutation was found, Err = budget exhausted mid-chunk.
     let outcomes: Vec<BudgetResult<bool>> = fan_out(threads, &moves, |work| {
+        let mut chunk_span = fmt_obs::trace_span!("games.parallel.chunk", moves = work.len());
         let mut solver = EfSolver::with_budget(a, b, budget.clone());
+        let mut examined = 0u64;
         for &(side, x) in work {
             if refuted.load(Ordering::Relaxed) {
                 OBS_CANCELLED.incr();
+                chunk_span.record_field("examined", examined);
                 return Ok(true);
             }
             OBS_FIRST_MOVES.incr();
+            examined += 1;
             if solver
                 .try_reply_for(&initial_pairs(a, b), rounds, side, x)?
                 .is_none()
             {
                 refuted.store(true, Ordering::Relaxed);
+                chunk_span.record_field("examined", examined);
                 return Ok(false);
             }
         }
+        chunk_span.record_field("examined", examined);
         Ok(true)
     });
     if refuted.load(Ordering::Relaxed) {
+        span.record_field("win", false);
         return Ok(false);
     }
     for outcome in outcomes {
         outcome?;
     }
+    span.record_field("win", true);
     Ok(true)
 }
 

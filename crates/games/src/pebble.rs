@@ -84,10 +84,17 @@ impl<'a> PebbleSolver<'a> {
     /// Budgeted [`PebbleSolver::duplicator_wins`]: stops cleanly when
     /// the budget runs out; only fully decided positions are memoized.
     pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
+        let mut span =
+            fmt_obs::trace_span!("games.pebble.depth", rounds = rounds, pebbles = self.k);
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
+            span.record_field("win", false);
             return Ok(false);
         }
-        self.wins(&[], rounds)
+        let result = self.wins(&[], rounds);
+        if let Ok(win) = &result {
+            span.record_field("win", *win);
+        }
+        result
     }
 
     fn wins(&mut self, pairs: &[(Elem, Elem)], n: u32) -> BudgetResult<bool> {

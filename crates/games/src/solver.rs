@@ -191,13 +191,19 @@ impl<'a> EfSolver<'a> {
     /// budget runs out. The memo table keeps every position that was
     /// fully decided before the cutoff.
     pub fn try_duplicator_wins(&mut self, rounds: u32) -> BudgetResult<bool> {
+        let mut span = fmt_obs::trace_span!("games.ef.depth", rounds = rounds);
         let init = self.initial_pairs();
         // The initial position must itself be a partial isomorphism
         // (constants must match up).
         if !fmt_structures::partial::is_partial_isomorphism(self.a, self.b, &[]) {
+            span.record_field("win", false);
             return Ok(false);
         }
-        self.wins(&init, rounds)
+        let result = self.wins(&init, rounds);
+        if let Ok(win) = &result {
+            span.record_field("win", *win);
+        }
+        result
     }
 
     /// Decides duplicator win from an arbitrary mid-game position.
@@ -412,14 +418,18 @@ pub fn rank(a: &Structure, b: &Structure, cap: u32) -> u32 {
 
 /// Budgeted [`rank`]: stops cleanly when `budget` runs out.
 pub fn try_rank(a: &Structure, b: &Structure, cap: u32, budget: &Budget) -> BudgetResult<u32> {
+    let mut span = fmt_obs::trace_span!("games.ef.rank", cap = cap);
     let mut solver = EfSolver::with_budget(a, b, budget.clone());
     // Winning is antitone in n, so scan upward and stop at the first
-    // loss (memo entries are shared between iterations).
+    // loss (memo entries are shared between iterations). Each depth
+    // probe records its own `games.ef.depth` child span.
     for n in 1..=cap {
         if !solver.try_duplicator_wins(n)? {
+            span.record_field("rank", n - 1);
             return Ok(n - 1);
         }
     }
+    span.record_field("rank", cap);
     Ok(cap)
 }
 

@@ -112,6 +112,7 @@ impl TypeCensus {
         r: u32,
         reg: &mut TypeRegistry,
     ) -> TypeCensus {
+        let mut span = fmt_obs::trace_span!("locality.census", radius = r, elements = s.size());
         let extractor = crate::ball::NeighborhoodExtractor::new(s, g);
         let mut counts: HashMap<TypeId, usize> = HashMap::new();
         let mut element_types = Vec::with_capacity(s.size() as usize);
@@ -125,6 +126,7 @@ impl TypeCensus {
         for &c in counts.values() {
             OBS_BUCKET_SIZE.record(c as u64);
         }
+        span.record_field("types", counts.len());
         TypeCensus {
             counts,
             element_types,

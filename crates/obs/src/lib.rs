@@ -35,14 +35,33 @@
 //! A metric registers itself in the global registry the first time it
 //! records while enabled; [`snapshot`] returns everything registered so
 //! far, sorted by name, and [`Snapshot::to_json`] renders a single-line
-//! JSON object suitable for appending to `BENCH_*.json`.
+//! JSON object suitable for appending to `BENCH_*.json`. Registration
+//! enforces hygiene: names must match `^[a-z0-9_.]+$` and be unique
+//! across the whole registry — a violation is a programming error and
+//! panics at the first record.
+//!
+//! Metrics aggregate; the [`trace`] module *attributes*: hierarchical
+//! spans with key-value fields, recorded into a bounded journal and
+//! exported as Chrome trace-event JSON (Perfetto) or folded stacks
+//! (flamegraphs). [`Snapshot::to_prometheus`] renders the metrics side
+//! in Prometheus text exposition format — the payload a future
+//! `fmtk serve` mounts at `/metrics`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod trace;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Mutex, MutexGuard, Once, PoisonError};
 use std::time::Instant;
+
+/// Poison-tolerant lock used across the crate: metrics and traces must
+/// keep working after a panic elsewhere in an instrumented region.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of histogram buckets: bucket `i` counts values `v` with
 /// `bit_length(v) == i`, i.e. bucket 0 holds `0`, bucket `i ≥ 1` holds
@@ -81,20 +100,10 @@ pub fn enabled() -> bool {
 /// Zeroes every registered metric (registration itself is kept, so
 /// names remain visible in subsequent snapshots).
 pub fn reset() {
-    for c in REGISTRY
-        .counters
-        .lock()
-        .expect("obs registry poisoned")
-        .iter()
-    {
+    for c in lock(&REGISTRY.counters).iter() {
         c.value.store(0, Ordering::Relaxed);
     }
-    for h in REGISTRY
-        .histograms
-        .lock()
-        .expect("obs registry poisoned")
-        .iter()
-    {
+    for h in lock(&REGISTRY.histograms).iter() {
         h.count.store(0, Ordering::Relaxed);
         h.sum.store(0, Ordering::Relaxed);
         h.max.store(0, Ordering::Relaxed);
@@ -102,6 +111,46 @@ pub fn reset() {
             b.store(0, Ordering::Relaxed);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Registration hygiene
+// ---------------------------------------------------------------------
+
+/// The metric naming grammar: `^[a-z0-9_.]+$`. Lowercase dotted paths
+/// keep text rows sortable and map cleanly onto Prometheus names
+/// (dots become underscores in [`Snapshot::to_prometheus`]).
+pub fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'.')
+}
+
+/// Registers a metric name, checking the grammar and global uniqueness
+/// across counters *and* histograms. Returns the violation (if any) so
+/// the caller can panic **after** every registry guard is dropped —
+/// panicking inside the critical section would poison the registry for
+/// the whole process.
+fn register(name: &'static str, push: impl FnOnce(&Registry)) {
+    let grammar_ok = valid_metric_name(name);
+    let duplicate = {
+        let counters = lock(&REGISTRY.counters);
+        let histograms = lock(&REGISTRY.histograms);
+        let duplicate =
+            counters.iter().any(|c| c.name == name) || histograms.iter().any(|h| h.name == name);
+        drop(counters);
+        drop(histograms);
+        if grammar_ok && !duplicate {
+            push(&REGISTRY);
+        }
+        duplicate
+    };
+    assert!(
+        grammar_ok,
+        "obs metric name {name:?} violates the ^[a-z0-9_.]+$ grammar"
+    );
+    assert!(!duplicate, "duplicate obs metric name {name:?}");
 }
 
 // ---------------------------------------------------------------------
@@ -134,18 +183,17 @@ impl Counter {
     }
 
     /// Adds `n` (no-op while disabled).
+    ///
+    /// # Panics
+    /// Panics on first record if the name violates the grammar or is
+    /// already registered — see [`valid_metric_name`].
     #[inline]
     pub fn add(&'static self, n: u64) {
         if !enabled() {
             return;
         }
-        self.registered.call_once(|| {
-            REGISTRY
-                .counters
-                .lock()
-                .expect("obs registry poisoned")
-                .push(self);
-        });
+        self.registered
+            .call_once(|| register(self.name, |r| lock(&r.counters).push(self)));
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -198,18 +246,17 @@ impl Histogram {
     }
 
     /// Records one value (no-op while disabled).
+    ///
+    /// # Panics
+    /// Panics on first record if the name violates the grammar or is
+    /// already registered — see [`valid_metric_name`].
     #[inline]
     pub fn record(&'static self, v: u64) {
         if !enabled() {
             return;
         }
-        self.registered.call_once(|| {
-            REGISTRY
-                .histograms
-                .lock()
-                .expect("obs registry poisoned")
-                .push(self);
-        });
+        self.registered
+            .call_once(|| register(self.name, |r| lock(&r.histograms).push(self)));
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
@@ -249,6 +296,13 @@ impl Drop for Span {
 // ---------------------------------------------------------------------
 
 /// Point-in-time summary of one histogram.
+///
+/// Quantiles are estimated from the power-of-two buckets by linear
+/// interpolation: the value at rank `r` inside a bucket holding `b`
+/// values over `[lo, hi]` is taken to be `lo + r·(hi − lo)/b`, with
+/// `hi` clamped to the observed maximum. The estimate is exact when
+/// values fill their bucket densely and never off by more than the
+/// bucket width.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Metric name.
@@ -259,11 +313,50 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest recorded value.
     pub max: u64,
-    /// Median estimate (upper bound of the bucket holding the 50th
-    /// percentile).
+    /// Median estimate (interpolated).
     pub p50: u64,
-    /// 99th-percentile estimate (same bucket-upper-bound convention).
+    /// 95th-percentile estimate (interpolated).
+    pub p95: u64,
+    /// 99th-percentile estimate (interpolated).
     pub p99: u64,
+    /// Raw bucket counts: bucket `i` holds values with bit-length `i`
+    /// (bucket 0 holds exactly the zeros). Drives
+    /// [`Snapshot::to_prometheus`] and external re-aggregation.
+    pub buckets: Vec<u64>,
+}
+
+/// Interpolated quantile over pow2 `buckets` (see
+/// [`HistogramSnapshot`] for the estimator).
+fn bucket_quantile(q: f64, count: u64, max: u64, buckets: &[u64]) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if seen + b >= rank {
+            if i == 0 {
+                return 0; // bucket 0 holds only the value 0
+            }
+            let lo = 1u64 << (i - 1);
+            // The top bucket absorbs everything above, so its only
+            // honest upper bound is the observed max; every bucket is
+            // clamped there too (the max lives in the last nonempty one).
+            let hi = if i == BUCKETS - 1 {
+                max
+            } else {
+                ((1u64 << i) - 1).min(max)
+            };
+            let k = rank - seen; // 1-based rank within this bucket
+            let est = lo as f64 + (k as f64 / b as f64) * (hi - lo) as f64;
+            return est.round() as u64;
+        }
+        seen += b;
+    }
+    max
 }
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -277,48 +370,30 @@ pub struct Snapshot {
 
 /// Takes a snapshot of all metrics registered so far.
 pub fn snapshot() -> Snapshot {
-    let mut counters: Vec<(String, u64)> = REGISTRY
-        .counters
-        .lock()
-        .expect("obs registry poisoned")
+    let mut counters: Vec<(String, u64)> = lock(&REGISTRY.counters)
         .iter()
         .map(|c| (c.name.to_owned(), c.get()))
         .collect();
     counters.sort();
-    let mut histograms: Vec<HistogramSnapshot> = REGISTRY
-        .histograms
-        .lock()
-        .expect("obs registry poisoned")
+    let mut histograms: Vec<HistogramSnapshot> = lock(&REGISTRY.histograms)
         .iter()
         .map(|h| {
             let count = h.count.load(Ordering::Relaxed);
+            let max = h.max.load(Ordering::Relaxed);
             let buckets: Vec<u64> = h
                 .buckets
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect();
-            let quantile = |q: f64| -> u64 {
-                if count == 0 {
-                    return 0;
-                }
-                let rank = (q * count as f64).ceil() as u64;
-                let mut seen = 0u64;
-                for (i, &b) in buckets.iter().enumerate() {
-                    seen += b;
-                    if seen >= rank {
-                        // Upper bound of bucket i (bucket 0 holds only 0).
-                        return if i == 0 { 0 } else { (1u64 << i) - 1 };
-                    }
-                }
-                u64::MAX
-            };
             HistogramSnapshot {
                 name: h.name.to_owned(),
                 count,
                 sum: h.sum.load(Ordering::Relaxed),
-                max: h.max.load(Ordering::Relaxed),
-                p50: quantile(0.50),
-                p99: quantile(0.99),
+                max,
+                p50: bucket_quantile(0.50, count, max, &buckets),
+                p95: bucket_quantile(0.95, count, max, &buckets),
+                p99: bucket_quantile(0.99, count, max, &buckets),
+                buckets,
             }
         })
         .collect();
@@ -329,7 +404,7 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -378,12 +453,13 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 json_escape(&h.name),
                 h.count,
                 h.sum,
                 h.max,
                 h.p50,
+                h.p95,
                 h.p99
             ));
         }
@@ -397,8 +473,8 @@ impl Snapshot {
     }
 
     /// `(metric, value)` rows for plain-text rendering (histograms
-    /// expand into `.count`/`.sum`/`.p50`/`.max` rows). Pair with
-    /// `fmt_core::report::table(&["metric", "value"], &rows)`.
+    /// expand into `.count`/`.sum`/`.p50`/`.p95`/`.p99`/`.max` rows).
+    /// Pair with `fmt_core::report::table(&["metric", "value"], &rows)`.
     pub fn rows(&self) -> Vec<Vec<String>> {
         let mut rows: Vec<Vec<String>> = self
             .counters
@@ -409,9 +485,45 @@ impl Snapshot {
             rows.push(vec![format!("{}.count", h.name), h.count.to_string()]);
             rows.push(vec![format!("{}.sum", h.name), h.sum.to_string()]);
             rows.push(vec![format!("{}.p50", h.name), h.p50.to_string()]);
+            rows.push(vec![format!("{}.p95", h.name), h.p95.to_string()]);
+            rows.push(vec![format!("{}.p99", h.name), h.p99.to_string()]);
             rows.push(vec![format!("{}.max", h.name), h.max.to_string()]);
         }
         rows
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format — the
+    /// payload `fmtk --metrics-text` prints and a future `fmtk serve`
+    /// will mount at `/metrics`. Dots in metric names become
+    /// underscores; histograms expose cumulative `_bucket{le="…"}`
+    /// series over the pow2 bounds (empty buckets elided), plus
+    /// `_sum`, `_count`, and a `_max` gauge.
+    pub fn to_prometheus(&self) -> String {
+        let prom_name = |name: &str| name.replace('.', "_");
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for h in &self.histograms {
+            let n = prom_name(&h.name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                if b == 0 {
+                    continue;
+                }
+                cum += b;
+                // Bucket i holds values of bit-length i, so its
+                // inclusive upper bound is 2^i − 1 (bucket 0 holds 0).
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+            out.push_str(&format!("# TYPE {n}_max gauge\n{n}_max {}\n", h.max));
+        }
+        out
     }
 }
 
@@ -479,12 +591,123 @@ mod tests {
         assert_eq!(h.count, 7);
         assert_eq!(h.sum, 115);
         assert_eq!(h.max, 100);
-        // Ranks: 0 | 1 1 | 2 3 | 8 | 100 → p50 is the 4th value (2),
-        // whose bucket [2, 3] has upper bound 3.
+        // p50 is rank 4, the first of the two values in bucket [2, 3]:
+        // interpolated 2 + (1/2)·1 = 2.5, rounded to 3.
         assert_eq!(h.p50, 3);
-        // p99 lands in 100's bucket [64, 127].
-        assert_eq!(h.p99, 127);
+        // p95/p99 land on the lone 100, whose bucket [64, 127] clamps
+        // its upper bound to the observed max.
+        assert_eq!(h.p95, 100);
+        assert_eq!(h.p99, 100);
+        // Raw buckets ride along: bit-length 0, 1, 2, 4, 7 are hit.
+        assert_eq!(h.buckets.iter().sum::<u64>(), 7);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets[7], 1);
         disable();
+    }
+
+    static HDENSE: Histogram = Histogram::new("test.hdense");
+
+    #[test]
+    fn quantile_interpolation_on_dense_distribution() {
+        // On the dense distribution 1..=100 the pow2 buckets are full,
+        // so linear interpolation recovers the true quantiles exactly —
+        // this pins the estimator.
+        let _g = locked();
+        enable();
+        for v in 1..=100u64 {
+            HDENSE.record(v);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("test.hdense").expect("registered");
+        assert_eq!(h.p50, 50);
+        assert_eq!(h.p95, 95);
+        assert_eq!(h.p99, 99);
+        assert_eq!(h.max, 100);
+        disable();
+    }
+
+    #[test]
+    fn quantiles_of_empty_and_singleton_histograms() {
+        assert_eq!(bucket_quantile(0.5, 0, 0, &[0; BUCKETS]), 0);
+        let mut one = [0u64; BUCKETS];
+        one[4] = 1; // the single value 9
+        assert_eq!(bucket_quantile(0.5, 1, 9, &one), 9);
+        assert_eq!(bucket_quantile(0.99, 1, 9, &one), 9);
+        // All-zero values: everything sits in bucket 0.
+        let mut zeros = [0u64; BUCKETS];
+        zeros[0] = 5;
+        assert_eq!(bucket_quantile(0.99, 5, 0, &zeros), 0);
+    }
+
+    #[test]
+    fn metric_name_grammar() {
+        for good in ["a", "queries.datalog.rounds", "x_1.y_2", "0.9"] {
+            assert!(valid_metric_name(good), "{good}");
+        }
+        for bad in ["", "Upper.case", "has space", "dash-ed", "unicode.µs"] {
+            assert!(!valid_metric_name(bad), "{bad:?}");
+        }
+    }
+
+    static BAD_NAME: Counter = Counter::new("Not-A-Valid-Name");
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn invalid_name_panics_at_registration() {
+        let _g = locked();
+        enable();
+        BAD_NAME.add(1);
+    }
+
+    static DUP_A: Counter = Counter::new("test.duplicate");
+    static DUP_B: Histogram = Histogram::new("test.duplicate");
+
+    #[test]
+    #[should_panic(expected = "duplicate obs metric name")]
+    fn duplicate_name_panics_at_registration() {
+        let _g = locked();
+        enable();
+        DUP_A.add(1);
+        DUP_B.record(1);
+    }
+
+    static PC: Counter = Counter::new("test.prom.counter");
+    static PH: Histogram = Histogram::new("test.prom.hist");
+
+    #[test]
+    fn prometheus_exposition_round_trips() {
+        let _g = locked();
+        enable();
+        PC.add(12);
+        for v in [0u64, 3, 200] {
+            PH.record(v);
+        }
+        let text = snapshot().to_prometheus();
+        disable();
+        // The counter round-trips by name and value.
+        assert!(text.contains("# TYPE test_prom_counter counter\n"));
+        assert!(text.contains("test_prom_counter 12\n"));
+        // The histogram exposes cumulative buckets ending at +Inf = count.
+        assert!(text.contains("# TYPE test_prom_hist histogram\n"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"255\"} 3\n"));
+        assert!(text.contains("test_prom_hist_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("test_prom_hist_sum 203\n"));
+        assert!(text.contains("test_prom_hist_count 3\n"));
+        assert!(text.contains("test_prom_hist_max 200\n"));
+        // Cumulative bucket counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("test_prom_hist_bucket{") {
+                let v: u64 = rest.split('}').nth(1).unwrap().trim().parse().unwrap();
+                assert!(v >= last, "{line}");
+                last = v;
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::index::{self, TupleIndex};
 use fmt_structures::par::fan_out;
 use fmt_structures::{Elem, RelId, Signature, Span, Structure};
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
 /// Budget tick site label shared by all three Datalog engines.
@@ -535,6 +536,8 @@ impl Program {
     /// [`Exhausted`]: fmt_structures::budget::Exhausted
     pub fn try_eval_naive(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
         self.check_structure(s);
+        let mut eval_span =
+            fmt_obs::trace_span!("datalog.eval", engine = "naive", rules = self.rules.len());
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
         let no_driver: Vec<&Vec<Elem>> = Vec::new();
@@ -544,8 +547,11 @@ impl Program {
         loop {
             iterations += 1;
             OBS_NAIVE_ROUNDS.incr();
+            let mut round_span = fmt_obs::trace_span!("datalog.round", round = iterations);
             let mut new_tuples: Vec<(usize, Vec<Elem>)> = Vec::new();
-            for rule in &self.rules {
+            for (ri, rule) in self.rules.iter().enumerate() {
+                let mut rule_span =
+                    fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations);
                 let plan = plan_rule(rule, None, s, &store);
                 ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
                 let ctx = ExecCtx {
@@ -556,24 +562,32 @@ impl Program {
                     store: &store,
                     driver: &no_driver,
                     head_idb: head_idb(rule),
+                    probes: Cell::new(0),
                 };
                 let mut binding = vec![None; rule_num_vars(rule)];
+                let mut rule_derived = 0u64;
                 exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                    derivations += 1;
+                    rule_derived += 1;
                     if !store[idb].set.contains(&t) {
                         new_tuples.push((idb, t));
                     }
                 })?;
+                derivations += rule_derived;
+                rule_span.record_field("probes", ctx.probes.get());
+                rule_span.record_field("derived", rule_derived);
             }
             let mut added = 0u64;
             for (idb, t) in new_tuples {
                 added += u64::from(store[idb].add(t));
             }
             delta_history.push(added);
+            round_span.record_field("new", added);
             if added == 0 {
                 break;
             }
         }
+        eval_span.record_field("rounds", iterations);
+        eval_span.record_field("derivations", derivations);
         Ok(Output {
             relations: store.into_iter().map(|r| r.set).collect(),
             iterations,
@@ -621,6 +635,12 @@ impl Program {
             threads
         };
         let k = self.idb_names.len();
+        let mut eval_span = fmt_obs::trace_span!(
+            "datalog.eval",
+            engine = "indexed",
+            rules = self.rules.len(),
+            threads = threads
+        );
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
         let no_driver: Vec<&Vec<Elem>> = Vec::new();
@@ -628,9 +648,11 @@ impl Program {
 
         // Initialization: all rules on the empty IDB extent (only rules
         // whose bodies need no IDB facts fire). Cheap — run inline.
+        let init_span = fmt_obs::trace_span!("datalog.init");
         let mut delta: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
         let mut delta_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-        for rule in &self.rules {
+        for (ri, rule) in self.rules.iter().enumerate() {
+            let mut rule_span = fmt_obs::trace_span!("datalog.rule", rule = ri, round = 1u64);
             let plan = plan_rule(rule, None, s, &store);
             ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
             let ctx = ExecCtx {
@@ -641,20 +663,26 @@ impl Program {
                 store: &store,
                 driver: &no_driver,
                 head_idb: head_idb(rule),
+                probes: Cell::new(0),
             };
             let mut binding = vec![None; rule_num_vars(rule)];
+            let mut rule_derived = 0u64;
             exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                derivations += 1;
+                rule_derived += 1;
                 if delta_set[idb].insert(t.clone()) {
                     delta[idb].push(t);
                 }
             })?;
+            derivations += rule_derived;
+            rule_span.record_field("probes", ctx.probes.get());
+            rule_span.record_field("derived", rule_derived);
         }
         for (j, d) in delta.iter().enumerate() {
             for t in d {
                 store[j].add(t.clone());
             }
         }
+        drop(init_span);
         let initial_facts: usize = delta.iter().map(Vec::len).sum();
         OBS_ROUNDS.incr();
         OBS_DELTA_FACTS.add(initial_facts as u64);
@@ -665,10 +693,14 @@ impl Program {
         while delta.iter().any(|d| !d.is_empty()) {
             iterations += 1;
             OBS_ROUNDS.incr();
+            let total_delta: usize = delta.iter().map(Vec::len).sum();
+            let mut round_span =
+                fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
 
             // One job per (rule, IDB body position) with a nonempty
             // delta; plan first, then build every index the plans need
             // so the fan-out below can share the caches immutably.
+            let plan_span = fmt_obs::trace_span!("datalog.plan");
             let mut jobs: Vec<(usize, usize)> = Vec::new();
             let mut plans: Vec<Vec<Step>> = Vec::new();
             for (ri, rule) in self.rules.iter().enumerate() {
@@ -687,7 +719,6 @@ impl Program {
             OBS_PAR_JOBS.add(jobs.len() as u64);
 
             // Hash-shard each job's delta; small rounds stay unsharded.
-            let total_delta: usize = delta.iter().map(Vec::len).sum();
             let nshards = if threads == 1 || total_delta < 512 {
                 1
             } else {
@@ -717,18 +748,28 @@ impl Program {
                         .map(|sh| (ji, sh)),
                 );
             }
+            drop(plan_span);
 
             // Fan out; each worker owns local buffers and pre-filters
             // against the (frozen) total extent. Results merge in item
             // order, so the engine is deterministic for any thread
-            // count.
+            // count. Worker rule spans attach under this round's join
+            // span through fan_out's parent propagation.
+            let join_span = fmt_obs::trace_span!("datalog.join", jobs = jobs.len());
             let store_ref = &store;
             let results = fan_out(threads, &items, |chunk| {
                 let mut derivs = 0u64;
                 let mut found: Vec<(usize, Vec<Elem>)> = Vec::new();
                 for (ji, shard) in chunk {
-                    let (ri, _) = jobs[*ji];
+                    let (ri, pos) = jobs[*ji];
                     let rule = &self.rules[ri];
+                    let mut rule_span = fmt_obs::trace_span!(
+                        "datalog.rule",
+                        rule = ri,
+                        pos = pos,
+                        round = iterations,
+                        tuples = shard.len()
+                    );
                     let ctx = ExecCtx {
                         s,
                         rule,
@@ -737,18 +778,25 @@ impl Program {
                         store: store_ref,
                         driver: shard,
                         head_idb: head_idb(rule),
+                        probes: Cell::new(0),
                     };
                     let mut binding = vec![None; rule_num_vars(rule)];
+                    let mut rule_derived = 0u64;
                     exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                        derivs += 1;
+                        rule_derived += 1;
                         if !store_ref[idb].set.contains(&t) {
                             found.push((idb, t));
                         }
                     })?;
+                    derivs += rule_derived;
+                    rule_span.record_field("probes", ctx.probes.get());
+                    rule_span.record_field("derived", rule_derived);
                 }
                 Ok((derivs, found))
             });
+            drop(join_span);
 
+            let dedup_span = fmt_obs::trace_span!("datalog.dedup");
             let mut next: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
             let mut next_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
             for chunk_result in results {
@@ -760,17 +808,23 @@ impl Program {
                     }
                 }
             }
+            drop(dedup_span);
+            let merge_span = fmt_obs::trace_span!("datalog.merge");
             for (j, d) in next.iter().enumerate() {
                 for t in d {
                     store[j].add(t.clone());
                 }
             }
+            drop(merge_span);
             let new_facts: usize = next.iter().map(Vec::len).sum();
             OBS_DELTA_FACTS.add(new_facts as u64);
             OBS_DELTA_SIZE.record(new_facts as u64);
             delta_history.push(new_facts as u64);
+            round_span.record_field("new", new_facts);
             delta = next;
         }
+        eval_span.record_field("rounds", iterations);
+        eval_span.record_field("derivations", derivations);
         Ok(Output {
             relations: store.into_iter().map(|r| r.set).collect(),
             iterations,
@@ -791,21 +845,29 @@ impl Program {
     /// Budgeted [`Program::eval_seminaive_scan`].
     pub fn try_eval_seminaive_scan(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
         self.check_structure(s);
+        let mut eval_span =
+            fmt_obs::trace_span!("datalog.eval", engine = "scan", rules = self.rules.len());
         let k = self.idb_names.len();
         let mut total: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
         let mut derivations = 0u64;
 
         // Initialization: all rules on the empty IDB extent.
+        let init_span = fmt_obs::trace_span!("datalog.init");
         let mut delta: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-        for rule in &self.rules {
+        for (ri, rule) in self.rules.iter().enumerate() {
+            let mut rule_span = fmt_obs::trace_span!("datalog.rule", rule = ri, round = 1u64);
+            let mut rule_derived = 0u64;
             self.apply_rule_scan(s, rule, &total, None, budget, &mut |idb, t| {
-                derivations += 1;
+                rule_derived += 1;
                 delta[idb].insert(t);
             })?;
+            derivations += rule_derived;
+            rule_span.record_field("derived", rule_derived);
         }
         for (t, d) in total.iter_mut().zip(delta.iter()) {
             t.extend(d.iter().cloned());
         }
+        drop(init_span);
         let initial_facts: usize = delta.iter().map(HashSet::len).sum();
         OBS_ROUNDS.incr();
         OBS_DELTA_FACTS.add(initial_facts as u64);
@@ -816,8 +878,11 @@ impl Program {
         while delta.iter().any(|d| !d.is_empty()) {
             iterations += 1;
             OBS_ROUNDS.incr();
+            let total_delta: usize = delta.iter().map(HashSet::len).sum();
+            let mut round_span =
+                fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
             let mut next: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-            for rule in &self.rules {
+            for (ri, rule) in self.rules.iter().enumerate() {
                 // One application per IDB body-atom position, with that
                 // atom reading the delta.
                 for (pos, atom) in rule.body.iter().enumerate() {
@@ -825,6 +890,14 @@ impl Program {
                         if delta[j].is_empty() {
                             continue;
                         }
+                        let mut rule_span = fmt_obs::trace_span!(
+                            "datalog.rule",
+                            rule = ri,
+                            pos = pos,
+                            round = iterations,
+                            tuples = delta[j].len()
+                        );
+                        let mut rule_derived = 0u64;
                         self.apply_rule_scan(
                             s,
                             rule,
@@ -832,12 +905,14 @@ impl Program {
                             Some((pos, &delta)),
                             budget,
                             &mut |idb, t| {
-                                derivations += 1;
+                                rule_derived += 1;
                                 if !total[idb].contains(&t) {
                                     next[idb].insert(t);
                                 }
                             },
                         )?;
+                        derivations += rule_derived;
+                        rule_span.record_field("derived", rule_derived);
                     }
                 }
             }
@@ -848,8 +923,11 @@ impl Program {
             OBS_DELTA_FACTS.add(new_facts as u64);
             OBS_DELTA_SIZE.record(new_facts as u64);
             delta_history.push(new_facts as u64);
+            round_span.record_field("new", new_facts);
             delta = next;
         }
+        eval_span.record_field("rounds", iterations);
+        eval_span.record_field("derivations", derivations);
         Ok(Output {
             relations: total,
             iterations,
@@ -1163,6 +1241,11 @@ struct ExecCtx<'a> {
     /// Delta tuples for the `ScanDelta` step (a shard, or everything).
     driver: &'a [&'a Vec<Elem>],
     head_idb: usize,
+    /// Candidate tuples the kernel tried to bind during this rule
+    /// application — the per-rule probe count reported on trace spans
+    /// and by `fmtk datalog --explain`. A `Cell` because the kernel
+    /// threads `&ExecCtx` immutably; each context lives on one thread.
+    probes: Cell<u64>,
 }
 
 /// Emits every instantiation of the head under the current binding;
@@ -1233,6 +1316,7 @@ fn try_tuple(
     budget: &Budget,
     emit: &mut dyn FnMut(usize, Vec<Elem>),
 ) -> BudgetResult<()> {
+    ctx.probes.set(ctx.probes.get() + 1);
     let atom = &ctx.rule.body[ctx.plan[step_i].atom];
     let mut touched: Vec<DlVar> = Vec::new();
     let mut ok = true;

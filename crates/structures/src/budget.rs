@@ -200,6 +200,7 @@ impl Budget {
     /// of this handle fails with [`Resource::Cancelled`].
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Relaxed);
+        fmt_obs::trace_instant!("budget.cancelled", spent = self.spent());
     }
 
     /// Whether [`Budget::cancel`] has been called.
@@ -231,9 +232,16 @@ impl Budget {
         let inner = &*self.inner;
         if inner.cancelled.load(Ordering::Relaxed) {
             OBS_CANCELLED.incr();
+            let spent = inner.spent.load(Ordering::Relaxed);
+            fmt_obs::trace_instant!(
+                "budget.exhausted",
+                resource = "cancelled",
+                at = at,
+                spent = spent
+            );
             return Err(Exhausted {
                 resource: Resource::Cancelled,
-                spent: inner.spent.load(Ordering::Relaxed),
+                spent,
                 at,
             });
         }
@@ -249,6 +257,12 @@ impl Budget {
         OBS_TICKS.incr();
         if spent > inner.fuel {
             OBS_EXHAUSTED_FUEL.incr();
+            fmt_obs::trace_instant!(
+                "budget.exhausted",
+                resource = "fuel",
+                at = at,
+                spent = spent
+            );
             return Err(Exhausted {
                 resource: Resource::Fuel,
                 spent,
@@ -260,6 +274,12 @@ impl Budget {
                 && Instant::now() >= deadline
             {
                 OBS_EXHAUSTED_DEADLINE.incr();
+                fmt_obs::trace_instant!(
+                    "budget.exhausted",
+                    resource = "deadline",
+                    at = at,
+                    spent = spent
+                );
                 return Err(Exhausted {
                     resource: Resource::Deadline,
                     spent,

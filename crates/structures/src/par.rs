@@ -32,10 +32,16 @@ where
     if chunk >= items.len() {
         return vec![worker(items)];
     }
+    // Propagate the spawning thread's trace span to the workers, so
+    // spans they open attach under the caller instead of floating as
+    // roots (no-op cost when tracing is off: the handle is one Cell
+    // read and with_parent two Cell writes).
+    let parent = fmt_obs::trace::current_parent();
+    let worker = &worker;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|work| scope.spawn(|| worker(work)))
+            .map(|work| scope.spawn(move || fmt_obs::trace::with_parent(parent, || worker(work))))
             .collect();
         handles
             .into_iter()

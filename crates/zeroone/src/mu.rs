@@ -36,6 +36,7 @@ pub fn try_mu_exact(
     budget: &Budget,
 ) -> BudgetResult<f64> {
     assert!(f.is_sentence(), "mu requires a Boolean query");
+    let mut span = fmt_obs::trace_span!("zeroone.mu_exact", n = n);
     let all = sample::enumerate_structures(sig, n);
     let total = all.len();
     let mut hits = 0usize;
@@ -45,6 +46,8 @@ pub fn try_mu_exact(
             hits += 1;
         }
     }
+    span.record_field("structures", total);
+    span.record_field("hits", hits);
     Ok(hits as f64 / total as f64)
 }
 
@@ -78,6 +81,15 @@ pub fn try_mu_estimate(
         .map(|t| t.get().min(8))
         .unwrap_or(1) as u32;
     let threads = threads.min(samples);
+    let mut span = fmt_obs::trace_span!(
+        "zeroone.mu_estimate",
+        n = n,
+        samples = samples,
+        threads = threads
+    );
+    // Workers are raw scoped threads (not `fan_out`), so span parentage
+    // must be carried across by hand.
+    let parent = fmt_obs::trace::current_parent();
     let hits = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in 0..threads {
@@ -87,20 +99,25 @@ pub fn try_mu_estimate(
             // Split the sample budget as evenly as possible.
             let quota = samples / threads + u32::from(w < samples % threads);
             handles.push(scope.spawn(move || -> BudgetResult<u32> {
-                use rand::rngs::StdRng;
-                use rand::SeedableRng;
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)),
-                );
-                let mut hits = 0u32;
-                for _ in 0..quota {
-                    budget.tick(AT)?;
-                    let s = sample::uniform_structure(&sig, n, &mut rng);
-                    if fmt_eval::relalg::check_sentence_budgeted(&s, &f, &budget)? {
-                        hits += 1;
+                fmt_obs::trace::with_parent(parent, || {
+                    let mut chunk_span =
+                        fmt_obs::trace_span!("zeroone.mu_estimate.chunk", quota = quota);
+                    use rand::rngs::StdRng;
+                    use rand::SeedableRng;
+                    let mut rng = StdRng::seed_from_u64(
+                        seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1)),
+                    );
+                    let mut hits = 0u32;
+                    for _ in 0..quota {
+                        budget.tick(AT)?;
+                        let s = sample::uniform_structure(&sig, n, &mut rng);
+                        if fmt_eval::relalg::check_sentence_budgeted(&s, &f, &budget)? {
+                            hits += 1;
+                        }
                     }
-                }
-                Ok(hits)
+                    chunk_span.record_field("hits", hits);
+                    Ok(hits)
+                })
             }));
         }
         let mut hits = 0u32;
@@ -116,6 +133,7 @@ pub fn try_mu_estimate(
             None => Ok(hits),
         }
     })?;
+    span.record_field("hits", hits);
     Ok(f64::from(hits) / f64::from(samples))
 }
 

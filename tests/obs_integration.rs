@@ -148,3 +148,47 @@ fn snapshot_reset_roundtrip_is_deterministic() {
     assert_eq!(first.rows(), second.rows());
     assert_eq!(first.to_json(), second.to_json());
 }
+
+#[test]
+fn every_registered_metric_name_satisfies_the_grammar() {
+    let _g = locked();
+    fmt_obs::enable();
+    fmt_obs::reset();
+
+    // Exercise engines across the workspace so their lazily-registered
+    // statics all land in the registry before the sweep.
+    let s = builders::directed_path(8);
+    let _ = Program::transitive_closure().eval_seminaive(&s);
+    let _ = Program::transitive_closure().eval_seminaive_scan(&s);
+    let a = builders::linear_order(3);
+    let b = builders::linear_order(4);
+    let _ = duplicator_wins_parallel(&a, &b, 2, 2);
+    let _ = fmt_core::games::pebble::pebble_duplicator_wins(&a, &b, 2, 2);
+    let _ = fmt_core::games::bijection::bijection_duplicator_wins(&a, &b, 1);
+    let sig = fmt_core::structures::Signature::graph();
+    let f = fmt_core::logic::parser::parse_formula(&sig, "exists x. E(x, x)").unwrap();
+    let _ = fmt_core::eval::relalg::check_sentence(&s, &f);
+    let _ = fmt_core::eval::naive::check_sentence(&s, &f);
+    let _ = fmt_core::eval::circuit::compile(&sig, &f, 3);
+    let mut reg = fmt_core::locality::TypeRegistry::new();
+    let _ = fmt_core::locality::TypeCensus::compute(&s, 1, &mut reg);
+    let _ = fmt_core::zeroone::mu::mu_exact(&sig, 1, &f);
+
+    let snap = fmt_obs::snapshot();
+    let names: Vec<&str> = snap
+        .counters
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(snap.histograms.iter().map(|h| h.name.as_str()))
+        .collect();
+    assert!(
+        names.len() >= 10,
+        "expected a broad sweep, saw only {names:?}"
+    );
+    for name in names {
+        assert!(
+            fmt_obs::valid_metric_name(name),
+            "registered metric name {name:?} violates ^[a-z0-9_.]+$"
+        );
+    }
+}
