@@ -50,6 +50,12 @@ fn count_work(run: impl Fn() -> Output, keys: &[&str]) -> u64 {
 const INDEXED_KEYS: &[&str] = &["queries.index.probes", "queries.index.scan_tuples"];
 const SCAN_KEYS: &[&str] = &["queries.datalog.scan_tuples"];
 
+/// `indexed.tuples_per_sec` recorded by the last pre-columnar engine on
+/// the gated workloads — the fixed reference the `speedup_vs_baseline`
+/// field (and `throughput_gate`) measures the columnar engine against.
+const BASELINE_TPS: &[(&str, u32, f64)] =
+    &[("tc_path", 512, 1_010_563.5), ("sg_tree", 9, 534_211.2)];
+
 struct Workload {
     name: &'static str,
     param: u32,
@@ -188,13 +194,23 @@ fn main() {
             "\"name\":\"{}\",\"param\":{},\"size\":{},\"edges\":{},\"rounds\":{},\"derivations\":{},\"output_tuples\":{},",
             w.name, w.param, s.size(), edges, indexed.iterations, indexed.derivations, output_tuples
         );
+        let tps = output_tuples as f64 / indexed_secs.max(1e-9);
         let _ = write!(
             row,
-            "\"indexed\":{{\"secs\":{:.6},\"tuples_per_sec\":{:.1},\"compared_tuples\":{}}},",
-            indexed_secs,
-            output_tuples as f64 / indexed_secs.max(1e-9),
-            indexed_work
+            "\"indexed\":{{\"secs\":{indexed_secs:.6},\"tuples_per_sec\":{tps:.1},\"compared_tuples\":{indexed_work}",
         );
+        if let Some(&(_, _, baseline_tps)) = BASELINE_TPS
+            .iter()
+            .find(|&&(n, p, _)| (n, p) == (w.name, w.param))
+        {
+            let _ = write!(
+                row,
+                ",\"baseline_tuples_per_sec\":{:.1},\"speedup_vs_baseline\":{:.2}",
+                baseline_tps,
+                tps / baseline_tps
+            );
+        }
+        row.push_str("},");
         match scan_secs {
             Some(secs) => {
                 let _ = write!(

@@ -322,7 +322,7 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
     let mut text = String::new();
     for i in 0..prog.num_idbs() {
         let (name, arity) = prog.idb_info(i);
-        let mut tuples: Vec<&Vec<u32>> = out.relation(i).iter().collect();
+        let mut tuples: Vec<Vec<u32>> = out.relation(i).iter().collect();
         tuples.sort();
         text.push_str(&format!("{name}/{arity}: {} tuples\n", tuples.len()));
         for t in tuples {
@@ -353,6 +353,8 @@ fn explain_table(
     let n = parsed.spans.len();
     let mut derived = vec![0u64; n];
     let mut probes = vec![0u64; n];
+    let mut probe_allocs = vec![0u64; n];
+    let mut arena_bytes = vec![0u64; n];
     let mut micros = vec![0u64; n];
     let mut rounds: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
     for ev in &trace.events {
@@ -369,14 +371,15 @@ fn explain_table(
         if ri >= n {
             continue;
         }
-        derived[ri] += ev
-            .field("derived")
-            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
-            .unwrap_or(0);
-        probes[ri] += ev
-            .field("probes")
-            .and_then(fmt_core::obs::trace::FieldValue::as_u64)
-            .unwrap_or(0);
+        let field = |name: &str| {
+            ev.field(name)
+                .and_then(fmt_core::obs::trace::FieldValue::as_u64)
+                .unwrap_or(0)
+        };
+        derived[ri] += field("derived");
+        probes[ri] += field("probes");
+        probe_allocs[ri] += field("probe_allocs");
+        arena_bytes[ri] += field("arena_bytes");
         micros[ri] += ev.dur_us.unwrap_or(0);
         if let Some(r) = ev
             .field("round")
@@ -392,12 +395,23 @@ fn explain_table(
             ri.to_string(),
             derived[ri].to_string(),
             probes[ri].to_string(),
+            probe_allocs[ri].to_string(),
+            arena_bytes[ri].to_string(),
             rounds[ri].len().to_string(),
             micros[ri].to_string(),
             label,
         ]);
     }
-    let header = ["rule", "derived", "probes", "rounds", "total_us", "text"];
+    let header = [
+        "rule",
+        "derived",
+        "probes",
+        "probe_allocs",
+        "arena_bytes",
+        "rounds",
+        "total_us",
+        "text",
+    ];
     let mut out = String::from("per-rule profile (from datalog.rule spans):\n");
     out.push_str(fmt_core::report::table(&header, &rows).trim_end());
     out

@@ -652,6 +652,13 @@ fn datalog_explain_prints_per_rule_table() {
         .unwrap();
     let cells: Vec<&str> = rule0.split_whitespace().collect();
     assert_eq!(cells[1], "4", "derived: {rule0}");
+    // The storage columns from the columnar engine's rule spans: no
+    // head tuple of arity 2 spills a stack buffer, and the linear rule
+    // stages 4 two-column rows into the arenas.
+    assert!(text.contains("probe_allocs"), "{text}");
+    assert!(text.contains("arena_bytes"), "{text}");
+    assert_eq!(cells[3], "0", "probe_allocs: {rule0}");
+    assert_eq!(cells[4], "32", "arena_bytes: {rule0}");
 }
 
 #[test]

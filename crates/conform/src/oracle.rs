@@ -792,7 +792,7 @@ fn budget_fault_program_violation(s: &Structure, src: &str, fuel: u64) -> Option
     let canon = |out: &fmt_queries::datalog::Output| -> Vec<Vec<Vec<Elem>>> {
         (0..prog.num_idbs())
             .map(|i| {
-                let mut v: Vec<Vec<Elem>> = out.relation(i).iter().cloned().collect();
+                let mut v: Vec<Vec<Elem>> = out.relation(i).iter().collect();
                 v.sort();
                 v
             })

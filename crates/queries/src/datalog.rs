@@ -26,20 +26,27 @@
 //!   [`Program::eval_seminaive`] focuses each recursive rule on the
 //!   latest delta — same fixpoint, far fewer rule instantiations.
 //!
-//! Evaluation engine (see `docs/join-engine.md`): rule bodies are
-//! joined in a greedy order (most-bound, smallest-extent atom first)
-//! and bound-position lookups probe hash or sorted-prefix indexes from
-//! [`fmt_structures::index`] instead of rescanning extents; semi-naive
-//! rounds fan the per-rule delta applications out across scoped worker
-//! threads with hash-sharded deltas. The original written-order
-//! nested-loop evaluator survives as
+//! Evaluation engine (see `docs/join-engine.md` and `docs/storage.md`):
+//! rule bodies are joined in a greedy order (most-bound,
+//! smallest-extent atom first) and bound-position lookups probe hash or
+//! sorted-prefix indexes from [`fmt_structures::index`] instead of
+//! rescanning extents; semi-naive rounds fan the per-rule delta
+//! applications out across scoped worker threads with hash-sharded
+//! deltas. IDB extents live in columnar [`TupleStore`] arenas: the
+//! kernel walks `u32` row ids and per-column slices, deltas are row-id
+//! ranges of the growing stores, and the steady-state join loop
+//! performs no per-derived-tuple heap allocation. The original
+//! written-order nested-loop evaluator survives as
 //! [`Program::eval_seminaive_scan`] — the baseline the `datalog` bench
-//! and the `queries.index.*` counters are compared against.
+//! and the `queries.index.*` counters are compared against, still on
+//! the old `HashSet<Vec<Elem>>` representation as a differential
+//! oracle.
 
 use fmt_structures::budget::{Budget, BudgetResult};
-use fmt_structures::index::{self, TupleIndex};
+use fmt_structures::index::{self, ColumnIndex, TupleIndex};
 use fmt_structures::par::fan_out;
-use fmt_structures::{Elem, RelId, Signature, Span, Structure};
+use fmt_structures::store::{self, TupleStore};
+use fmt_structures::{Elem, Interner, RelId, Signature, Span, Structure};
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
@@ -111,7 +118,7 @@ pub struct Program {
 /// plus work counters.
 #[derive(Debug, Clone)]
 pub struct Output {
-    relations: Vec<HashSet<Vec<Elem>>>,
+    relations: Vec<TupleStore>,
     /// Fixpoint iterations performed.
     pub iterations: usize,
     /// Tuples produced across all rule applications (incl. duplicates).
@@ -123,8 +130,9 @@ pub struct Output {
 }
 
 impl Output {
-    /// The tuples of an IDB predicate.
-    pub fn relation(&self, idb: usize) -> &HashSet<Vec<Elem>> {
+    /// The tuples of an IDB predicate, as a columnar [`TupleStore`]
+    /// (set semantics live in its `PartialEq`; iterate for the rows).
+    pub fn relation(&self, idb: usize) -> &TupleStore {
         &self.relations[idb]
     }
 }
@@ -388,21 +396,10 @@ impl Program {
             args: raw.arg_spans.clone(),
         };
         for (head, body, clause) in &raw_rules {
-            // Per-rule variable table.
-            let mut vars: Vec<String> = Vec::new();
-            let var_of = |name: &str, vars: &mut Vec<String>| -> DlVar {
-                match vars.iter().position(|v| v == name) {
-                    Some(i) => i as DlVar,
-                    None => {
-                        vars.push(name.to_owned());
-                        vars.len() as DlVar - 1
-                    }
-                }
-            };
-            let resolve = |raw: &RawAtom,
-                           vars: &mut Vec<String>,
-                           var_of: &mut dyn FnMut(&str, &mut Vec<String>) -> DlVar|
-             -> Result<Atom, DatalogParseError> {
+            // Per-rule variable table: source names interned to dense
+            // ids in first-occurrence order (head first, then body).
+            let mut vars = Interner::new();
+            let resolve = |raw: &RawAtom, vars: &mut Interner| -> Result<Atom, DatalogParseError> {
                 let pred = if let Some(r) = lookup_edb(&raw.pred) {
                     if sig.arity(r) != raw.args.len() {
                         return Err(DatalogParseError::new(
@@ -436,22 +433,19 @@ impl Program {
                 };
                 Ok(Atom {
                     pred,
-                    args: raw.args.iter().map(|a| var_of(a, vars)).collect(),
+                    args: raw.args.iter().map(|a| vars.intern(a)).collect(),
                 })
             };
-            let mut var_fn = |n: &str, v: &mut Vec<String>| var_of(n, v);
-            let h = resolve(head, &mut vars, &mut var_fn)?;
-            let b: Result<Vec<Atom>, DatalogParseError> = body
-                .iter()
-                .map(|a| resolve(a, &mut vars, &mut var_fn))
-                .collect();
+            let h = resolve(head, &mut vars)?;
+            let b: Result<Vec<Atom>, DatalogParseError> =
+                body.iter().map(|a| resolve(a, &mut vars)).collect();
             rules.push(Rule { head: h, body: b? });
             spans.push(RuleSpans {
                 span: *clause,
                 head: atom_spans(head),
                 body: body.iter().map(atom_spans).collect(),
             });
-            var_names.push(vars);
+            var_names.push(vars.into_names());
         }
         Ok(ParsedProgram {
             program: Program {
@@ -517,8 +511,8 @@ impl Program {
         );
     }
 
-    fn new_store(&self) -> Vec<IdbRel> {
-        self.idb_arity.iter().map(|&a| IdbRel::new(a)).collect()
+    fn new_store(&self) -> Vec<IdbStore> {
+        self.idb_arity.iter().map(|&a| IdbStore::new(a)).collect()
     }
 
     /// Naive bottom-up evaluation: apply every rule on the full IDB
@@ -538,9 +532,9 @@ impl Program {
         self.check_structure(s);
         let mut eval_span =
             fmt_obs::trace_span!("datalog.eval", engine = "naive", rules = self.rules.len());
+        let k = self.idb_names.len();
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
-        let no_driver: Vec<&Vec<Elem>> = Vec::new();
         let mut iterations = 0;
         let mut derivations = 0u64;
         let mut delta_history = Vec::new();
@@ -548,7 +542,10 @@ impl Program {
             iterations += 1;
             OBS_NAIVE_ROUNDS.incr();
             let mut round_span = fmt_obs::trace_span!("datalog.round", round = iterations);
-            let mut new_tuples: Vec<(usize, Vec<Elem>)> = Vec::new();
+            // Candidate new tuples, staged per IDB in flat buffers (the
+            // counts carry nullary facts, whose rows occupy no bytes).
+            let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+            let mut counts: Vec<usize> = vec![0; k];
             for (ri, rule) in self.rules.iter().enumerate() {
                 let mut rule_span =
                     fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations);
@@ -560,25 +557,41 @@ impl Program {
                     plan: &plan,
                     edb: &edb,
                     store: &store,
-                    driver: &no_driver,
+                    driver: &[],
                     head_idb: head_idb(rule),
                     probes: Cell::new(0),
+                    probe_allocs: Cell::new(0),
                 };
                 let mut binding = vec![None; rule_num_vars(rule)];
                 let mut rule_derived = 0u64;
+                let store_ref = &store;
                 exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                     rule_derived += 1;
-                    if !store[idb].set.contains(&t) {
-                        new_tuples.push((idb, t));
+                    if !store_ref[idb].store.contains(t) {
+                        bufs[idb].extend_from_slice(t);
+                        counts[idb] += 1;
                     }
                 })?;
                 derivations += rule_derived;
                 rule_span.record_field("probes", ctx.probes.get());
                 rule_span.record_field("derived", rule_derived);
+                rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
             }
             let mut added = 0u64;
-            for (idb, t) in new_tuples {
-                added += u64::from(store[idb].add(t));
+            for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+                let a = self.idb_arity[j];
+                for i in 0..cnt {
+                    if store[j]
+                        .store
+                        .push_if_new(&buf[i * a..(i + 1) * a])
+                        .is_some()
+                    {
+                        added += 1;
+                    }
+                }
+            }
+            for r in store.iter_mut() {
+                r.extend_indexes();
             }
             delta_history.push(added);
             round_span.record_field("new", added);
@@ -589,7 +602,7 @@ impl Program {
         eval_span.record_field("rounds", iterations);
         eval_span.record_field("derivations", derivations);
         Ok(Output {
-            relations: store.into_iter().map(|r| r.set).collect(),
+            relations: store.into_iter().map(|r| r.store).collect(),
             iterations,
             derivations,
             delta_history,
@@ -643,14 +656,15 @@ impl Program {
         );
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
-        let no_driver: Vec<&Vec<Elem>> = Vec::new();
         let mut derivations = 0u64;
 
         // Initialization: all rules on the empty IDB extent (only rules
         // whose bodies need no IDB facts fire). Cheap — run inline.
+        // Emissions are staged in flat per-IDB buffers (counts carry
+        // nullary facts) and deduplicated by the stores on merge.
         let init_span = fmt_obs::trace_span!("datalog.init");
-        let mut delta: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
-        let mut delta_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+        let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+        let mut counts: Vec<usize> = vec![0; k];
         for (ri, rule) in self.rules.iter().enumerate() {
             let mut rule_span = fmt_obs::trace_span!("datalog.rule", rule = ri, round = 1u64);
             let plan = plan_rule(rule, None, s, &store);
@@ -661,84 +675,120 @@ impl Program {
                 plan: &plan,
                 edb: &edb,
                 store: &store,
-                driver: &no_driver,
+                driver: &[],
                 head_idb: head_idb(rule),
                 probes: Cell::new(0),
+                probe_allocs: Cell::new(0),
             };
             let mut binding = vec![None; rule_num_vars(rule)];
             let mut rule_derived = 0u64;
+            let staged0: usize = bufs.iter().map(Vec::len).sum();
             exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                 rule_derived += 1;
-                if delta_set[idb].insert(t.clone()) {
-                    delta[idb].push(t);
-                }
+                bufs[idb].extend_from_slice(t);
+                counts[idb] += 1;
             })?;
             derivations += rule_derived;
+            let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
             rule_span.record_field("probes", ctx.probes.get());
             rule_span.record_field("derived", rule_derived);
+            rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
+            rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
         }
-        for (j, d) in delta.iter().enumerate() {
-            for t in d {
-                store[j].add(t.clone());
+        let mut initial_facts = 0u64;
+        for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+            let a = self.idb_arity[j];
+            for i in 0..cnt {
+                if store[j]
+                    .store
+                    .push_if_new(&buf[i * a..(i + 1) * a])
+                    .is_some()
+                {
+                    initial_facts += 1;
+                }
             }
         }
+        for r in store.iter_mut() {
+            r.extend_indexes();
+        }
         drop(init_span);
-        let initial_facts: usize = delta.iter().map(Vec::len).sum();
         OBS_ROUNDS.incr();
-        OBS_DELTA_FACTS.add(initial_facts as u64);
-        OBS_DELTA_SIZE.record(initial_facts as u64);
-        let mut delta_history = vec![initial_facts as u64];
+        OBS_DELTA_FACTS.add(initial_facts);
+        OBS_DELTA_SIZE.record(initial_facts);
+        let mut delta_history = vec![initial_facts];
+        // Per-IDB delta as a row-id range `[start, end)` of the store:
+        // row ids are stable under append, so no tuple is ever copied
+        // into a separate delta set.
+        let mut delta: Vec<(u32, u32)> = store.iter().map(|r| (0, r.store.len32())).collect();
+
+        // Plans are cached per (rule, delta position) for the whole
+        // evaluation; the indexes they probe are kept current by the
+        // per-round merge, so re-planning each round buys nothing.
+        let mut plans: Vec<Vec<Step>> = Vec::new();
+        let mut plan_of: HashMap<(usize, usize), usize> = HashMap::new();
 
         let mut iterations = 1;
-        while delta.iter().any(|d| !d.is_empty()) {
+        while delta.iter().any(|&(d0, d1)| d1 > d0) {
             iterations += 1;
             OBS_ROUNDS.incr();
-            let total_delta: usize = delta.iter().map(Vec::len).sum();
+            let total_delta: usize = delta.iter().map(|&(d0, d1)| (d1 - d0) as usize).sum();
             let mut round_span =
                 fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
 
             // One job per (rule, IDB body position) with a nonempty
-            // delta; plan first, then build every index the plans need
-            // so the fan-out below can share the caches immutably.
+            // delta; plan on first sight, then build every index the
+            // plan needs so the fan-out below can share the caches
+            // immutably.
             let plan_span = fmt_obs::trace_span!("datalog.plan");
-            let mut jobs: Vec<(usize, usize)> = Vec::new();
-            let mut plans: Vec<Vec<Step>> = Vec::new();
+            let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
             for (ri, rule) in self.rules.iter().enumerate() {
                 for (pos, atom) in rule.body.iter().enumerate() {
                     if let Pred::Idb(j) = atom.pred {
-                        if delta[j].is_empty() {
+                        let (d0, d1) = delta[j];
+                        if d1 == d0 {
                             continue;
                         }
-                        let plan = plan_rule(rule, Some(pos), s, &store);
-                        ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
-                        jobs.push((ri, pos));
-                        plans.push(plan);
+                        let pi = match plan_of.get(&(ri, pos)) {
+                            Some(&pi) => pi,
+                            None => {
+                                let plan = plan_rule(rule, Some(pos), s, &store);
+                                ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                                plans.push(plan);
+                                plan_of.insert((ri, pos), plans.len() - 1);
+                                plans.len() - 1
+                            }
+                        };
+                        jobs.push((ri, pos, pi));
                     }
                 }
             }
             OBS_PAR_JOBS.add(jobs.len() as u64);
 
-            // Hash-shard each job's delta; small rounds stay unsharded.
+            // Hash-shard each job's delta row ids; small rounds stay
+            // unsharded. Row hashes come from the store's arenas — the
+            // same FNV fold the old per-tuple sharding used.
             let nshards = if threads == 1 || total_delta < 512 {
                 1
             } else {
                 threads
             };
-            let mut items: Vec<(usize, Vec<&Vec<Elem>>)> = Vec::new();
-            for (ji, &(ri, pos)) in jobs.iter().enumerate() {
+            let mut items: Vec<(usize, Vec<u32>)> = Vec::new();
+            for (ji, &(ri, pos, _)) in jobs.iter().enumerate() {
                 let Pred::Idb(j) = self.rules[ri].body[pos].pred else {
                     unreachable!("jobs are delta-driven")
                 };
-                let d = &delta[j];
+                let (d0, d1) = delta[j];
                 if nshards == 1 {
-                    items.push((ji, d.iter().collect()));
+                    items.push((ji, (d0..d1).collect()));
                     continue;
                 }
-                let mut shards: Vec<Vec<&Vec<Elem>>> = vec![Vec::new(); nshards];
-                for t in d {
-                    shards[shard_of(t, nshards)].push(t);
+                let st = &store[j].store;
+                let per_shard = ((d1 - d0) as usize / nshards + 1) * 2;
+                let mut shards: Vec<Vec<u32>> = vec![Vec::with_capacity(per_shard); nshards];
+                for row in d0..d1 {
+                    shards[(st.row_hash(row) % nshards as u64) as usize].push(row);
                 }
-                let ideal = d.len().div_ceil(nshards).max(1);
+                let ideal = ((d1 - d0) as usize).div_ceil(nshards).max(1);
                 let fullest = shards.iter().map(Vec::len).max().unwrap_or(0);
                 OBS_SHARD_IMBALANCE.record((fullest * 100 / ideal) as u64);
                 items.extend(
@@ -750,18 +800,23 @@ impl Program {
             }
             drop(plan_span);
 
-            // Fan out; each worker owns local buffers and pre-filters
-            // against the (frozen) total extent. Results merge in item
-            // order, so the engine is deterministic for any thread
-            // count. Worker rule spans attach under this round's join
-            // span through fan_out's parent propagation.
+            // Fan out; each worker stages derived tuples in flat
+            // per-IDB buffers — no per-tuple allocation anywhere in
+            // the loop, and no dedup here: `push_if_new` on merge does
+            // one hash per staged tuple, so pre-filtering against the
+            // frozen extent would only add a second hash. Results
+            // merge in item order, so the engine is deterministic for
+            // any thread count. Worker rule spans attach under this
+            // round's join span through fan_out's parent propagation.
             let join_span = fmt_obs::trace_span!("datalog.join", jobs = jobs.len());
             let store_ref = &store;
+            let plans_ref = &plans;
             let results = fan_out(threads, &items, |chunk| {
                 let mut derivs = 0u64;
-                let mut found: Vec<(usize, Vec<Elem>)> = Vec::new();
+                let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+                let mut counts: Vec<usize> = vec![0; k];
                 for (ji, shard) in chunk {
-                    let (ri, pos) = jobs[*ji];
+                    let (ri, pos, pi) = jobs[*ji];
                     let rule = &self.rules[ri];
                     let mut rule_span = fmt_obs::trace_span!(
                         "datalog.rule",
@@ -773,60 +828,73 @@ impl Program {
                     let ctx = ExecCtx {
                         s,
                         rule,
-                        plan: &plans[*ji],
+                        plan: &plans_ref[pi],
                         edb: &edb,
                         store: store_ref,
                         driver: shard,
                         head_idb: head_idb(rule),
                         probes: Cell::new(0),
+                        probe_allocs: Cell::new(0),
                     };
                     let mut binding = vec![None; rule_num_vars(rule)];
                     let mut rule_derived = 0u64;
+                    let staged0: usize = bufs.iter().map(Vec::len).sum();
                     exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
                         rule_derived += 1;
-                        if !store_ref[idb].set.contains(&t) {
-                            found.push((idb, t));
-                        }
+                        bufs[idb].extend_from_slice(t);
+                        counts[idb] += 1;
                     })?;
                     derivs += rule_derived;
+                    let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
                     rule_span.record_field("probes", ctx.probes.get());
                     rule_span.record_field("derived", rule_derived);
+                    rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
+                    rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
                 }
-                Ok((derivs, found))
+                Ok((derivs, bufs, counts))
             });
             drop(join_span);
 
+            // Dedup: drain worker buffers in item order straight into
+            // the stores — push_if_new is the hash-set insert and the
+            // arena append in one step.
             let dedup_span = fmt_obs::trace_span!("datalog.dedup");
-            let mut next: Vec<Vec<Vec<Elem>>> = vec![Vec::new(); k];
-            let mut next_set: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+            let len_before: Vec<u32> = store.iter().map(|r| r.store.len32()).collect();
+            let mut new_facts = 0u64;
             for chunk_result in results {
-                let (derivs, found) = chunk_result?;
+                let (derivs, bufs, counts) = chunk_result?;
                 derivations += derivs;
-                for (idb, t) in found {
-                    if next_set[idb].insert(t.clone()) {
-                        next[idb].push(t);
+                for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+                    let a = self.idb_arity[j];
+                    for i in 0..cnt {
+                        if store[j]
+                            .store
+                            .push_if_new(&buf[i * a..(i + 1) * a])
+                            .is_some()
+                        {
+                            new_facts += 1;
+                        }
                     }
                 }
             }
             drop(dedup_span);
+            // Merge: indexes catch up to the appended rows, and the
+            // new delta is just the appended row-id range.
             let merge_span = fmt_obs::trace_span!("datalog.merge");
-            for (j, d) in next.iter().enumerate() {
-                for t in d {
-                    store[j].add(t.clone());
-                }
+            for (j, d) in delta.iter_mut().enumerate() {
+                store[j].extend_indexes();
+                *d = (len_before[j], store[j].store.len32());
             }
             drop(merge_span);
-            let new_facts: usize = next.iter().map(Vec::len).sum();
-            OBS_DELTA_FACTS.add(new_facts as u64);
-            OBS_DELTA_SIZE.record(new_facts as u64);
-            delta_history.push(new_facts as u64);
+            OBS_DELTA_FACTS.add(new_facts);
+            OBS_DELTA_SIZE.record(new_facts);
+            delta_history.push(new_facts);
             round_span.record_field("new", new_facts);
-            delta = next;
         }
         eval_span.record_field("rounds", iterations);
         eval_span.record_field("derivations", derivations);
         Ok(Output {
-            relations: store.into_iter().map(|r| r.set).collect(),
+            relations: store.into_iter().map(|r| r.store).collect(),
             iterations,
             derivations,
             delta_history,
@@ -928,8 +996,14 @@ impl Program {
         }
         eval_span.record_field("rounds", iterations);
         eval_span.record_field("derivations", derivations);
+        // The scan engine keeps its legacy HashSet representation as a
+        // differential oracle; only the output is columnar.
         Ok(Output {
-            relations: total,
+            relations: total
+                .iter()
+                .zip(self.idb_arity.iter())
+                .map(|(set, &a)| TupleStore::from_rows(a, set.iter().map(Vec::as_slice)))
+                .collect(),
             iterations,
             derivations,
             delta_history,
@@ -939,7 +1013,9 @@ impl Program {
     /// Applies one rule by written-order nested loops: joins the body
     /// against the given IDB extent (with at most one atom redirected
     /// to a delta), emitting each head instantiation. Unbound head
-    /// variables range over the domain.
+    /// variables range over the domain. Deliberately kept on the legacy
+    /// materialized-tuple path: the scan engine is the independent
+    /// differential oracle for the columnar kernel.
     fn apply_rule_scan(
         &self,
         s: &Structure,
@@ -966,7 +1042,7 @@ impl Program {
         ) -> BudgetResult<()> {
             budget.tick(AT)?;
             if pos == rule.body.len() {
-                return emit_head_unbound(s, rule, head_idb, binding, budget, emit);
+                return emit_head_scan(s, rule, head_idb, binding, budget, emit);
             }
             let atom = &rule.body[pos];
             let try_tuple = |t: &[Elem],
@@ -1038,74 +1114,83 @@ impl Program {
 // Indexed join engine: IDB store, plans, and the execution kernel
 // ---------------------------------------------------------------------
 
-/// The mutable extent of one IDB predicate during a fixpoint run:
-/// tuples in insertion order (for scans and index builds), a hash set
-/// (for dedup), and incrementally-maintained indexes keyed by
-/// bound-position subsets.
+/// The mutable extent of one IDB predicate during a fixpoint run: a
+/// columnar [`TupleStore`] (arenas + row-id dedup in one) plus
+/// incrementally-maintained [`ColumnIndex`]es keyed by bound-position
+/// subsets. The handful of indexes per predicate live in a `Vec` —
+/// a linear key scan beats hashing a `Vec<usize>` per probe.
 #[derive(Debug)]
-struct IdbRel {
-    arity: usize,
-    tuples: Vec<Vec<Elem>>,
-    set: HashSet<Vec<Elem>>,
-    indexes: HashMap<Vec<usize>, TupleIndex>,
+struct IdbStore {
+    store: TupleStore,
+    indexes: Vec<(Vec<usize>, ColumnIndex)>,
 }
 
-impl IdbRel {
-    fn new(arity: usize) -> IdbRel {
-        IdbRel {
-            arity,
-            tuples: Vec::new(),
-            set: HashSet::new(),
-            indexes: HashMap::new(),
+impl IdbStore {
+    fn new(arity: usize) -> IdbStore {
+        IdbStore {
+            store: TupleStore::new(arity),
+            indexes: Vec::new(),
         }
     }
 
     fn len(&self) -> usize {
-        self.tuples.len()
-    }
-
-    /// Inserts a tuple, keeping every existing index current. Returns
-    /// `false` on duplicates.
-    fn add(&mut self, t: Vec<Elem>) -> bool {
-        if !self.set.insert(t.clone()) {
-            return false;
-        }
-        for idx in self.indexes.values_mut() {
-            idx.insert(&t);
-        }
-        self.tuples.push(t);
-        true
+        self.store.len()
     }
 
     fn ensure_index(&mut self, key: &[usize]) {
-        if !self.indexes.contains_key(key) {
-            let idx = TupleIndex::build(self.arity, key, self.tuples.iter().map(Vec::as_slice));
-            self.indexes.insert(key.to_vec(), idx);
+        if self.indexes.iter().any(|(k, _)| k == key) {
+            return;
         }
+        let mut idx = ColumnIndex::new(key);
+        idx.extend(&self.store);
+        self.indexes.push((key.to_vec(), idx));
     }
 
-    fn index(&self, key: &[usize]) -> &TupleIndex {
-        &self.indexes[key]
+    fn index(&self, key: &[usize]) -> &ColumnIndex {
+        &self
+            .indexes
+            .iter()
+            .find(|(k, _)| k == key)
+            .expect("index was built by ensure_plan_indexes")
+            .1
+    }
+
+    /// Catches every index up to the rows appended since the last call
+    /// (the semi-naive merge step).
+    fn extend_indexes(&mut self) {
+        for (_, idx) in &mut self.indexes {
+            idx.extend(&self.store);
+        }
     }
 }
 
 /// Lazily-built hash indexes over the (immutable) EDB relations,
-/// cached for a whole evaluation.
+/// cached for a whole evaluation. A `Vec` with linear lookup: the
+/// cache holds a handful of entries and `get` sits on the probe hot
+/// path, where a `HashMap` keyed by `(usize, Vec<usize>)` would
+/// allocate a key per call.
 #[derive(Debug, Default)]
 struct EdbCache {
-    cache: HashMap<(usize, Vec<usize>), TupleIndex>,
+    cache: Vec<((usize, Vec<usize>), TupleIndex)>,
 }
 
 impl EdbCache {
     fn ensure(&mut self, s: &Structure, r: RelId, key: &[usize]) {
-        self.cache.entry((r.0, key.to_vec())).or_insert_with(|| {
-            let rel = s.rel(r);
-            TupleIndex::build(rel.arity(), key, rel.iter())
-        });
+        if self.cache.iter().any(|((i, k), _)| *i == r.0 && k == key) {
+            return;
+        }
+        let rel = s.rel(r);
+        let idx = TupleIndex::build(rel.arity(), key, rel.iter());
+        self.cache.push(((r.0, key.to_vec()), idx));
     }
 
     fn get(&self, r: RelId, key: &[usize]) -> &TupleIndex {
-        &self.cache[&(r.0, key.to_vec())]
+        &self
+            .cache
+            .iter()
+            .find(|((i, k), _)| *i == r.0 && k == key)
+            .expect("index was built by ensure_plan_indexes")
+            .1
     }
 }
 
@@ -1150,7 +1235,7 @@ fn head_idb(rule: &Rule) -> usize {
 /// then repeatedly the atom with the most bound argument positions,
 /// breaking ties toward the smallest extent, then written order. Each
 /// chosen atom records how it will be accessed given what is bound.
-fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbRel]) -> Vec<Step> {
+fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbStore]) -> Vec<Step> {
     let num_vars = rule_num_vars(rule);
     let mut bound = vec![false; num_vars];
     let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
@@ -1218,7 +1303,7 @@ fn ensure_plan_indexes(
     rule: &Rule,
     s: &Structure,
     edb: &mut EdbCache,
-    store: &mut [IdbRel],
+    store: &mut [IdbStore],
 ) {
     for step in plan {
         if let Access::Probe(key) = &step.access {
@@ -1230,29 +1315,11 @@ fn ensure_plan_indexes(
     }
 }
 
-/// Everything the join kernel needs for one rule application; shared
-/// immutably across worker threads.
-struct ExecCtx<'a> {
-    s: &'a Structure,
-    rule: &'a Rule,
-    plan: &'a [Step],
-    edb: &'a EdbCache,
-    store: &'a [IdbRel],
-    /// Delta tuples for the `ScanDelta` step (a shard, or everything).
-    driver: &'a [&'a Vec<Elem>],
-    head_idb: usize,
-    /// Candidate tuples the kernel tried to bind during this rule
-    /// application — the per-rule probe count reported on trace spans
-    /// and by `fmtk datalog --explain`. A `Cell` because the kernel
-    /// threads `&ExecCtx` immutably; each context lives on one thread.
-    probes: Cell<u64>,
-}
-
-/// Emits every instantiation of the head under the current binding;
-/// unbound head variables range over the whole domain. The binding is
-/// fully restored before a budget error propagates.
-#[allow(clippy::too_many_arguments)] // internal join kernel
-fn emit_head_unbound(
+/// Head emission for the scan oracle: emits every instantiation of the
+/// head under the current binding, with unbound head variables ranging
+/// over the whole domain. Materializes each head tuple as a `Vec` —
+/// intentionally independent of the columnar kernel's buffered path.
+fn emit_head_scan(
     s: &Structure,
     rule: &Rule,
     head_idb: usize,
@@ -1305,22 +1372,142 @@ fn emit_head_unbound(
     rec(s, &rule.head, head_idb, binding, &unbound, 0, budget, emit)
 }
 
-/// Binds a candidate tuple against the atom at plan step `step_i`,
-/// recursing into the next step on success. The binding is fully
-/// restored before a budget error propagates.
-fn try_tuple(
+/// Everything the join kernel needs for one rule application; shared
+/// immutably across worker threads.
+struct ExecCtx<'a> {
+    s: &'a Structure,
+    rule: &'a Rule,
+    plan: &'a [Step],
+    edb: &'a EdbCache,
+    store: &'a [IdbStore],
+    /// Delta row ids for the `ScanDelta` step (a shard, or everything),
+    /// indexing into the driven IDB's store.
+    driver: &'a [u32],
+    head_idb: usize,
+    /// Candidate tuples the kernel tried to bind during this rule
+    /// application — the per-rule probe count reported on trace spans
+    /// and by `fmtk datalog --explain`. A `Cell` because the kernel
+    /// threads `&ExecCtx` immutably; each context lives on one thread.
+    probes: Cell<u64>,
+    /// Heap allocations the kernel's stack buffers spilled into (keys,
+    /// prefixes, or head tuples wider than [`VAL_STACK`]); zero on the
+    /// steady-state join loop, surfaced per rule for `--explain`.
+    probe_allocs: Cell<u64>,
+}
+
+/// Bytes per stored element, for the arena-bytes trace fields.
+const ELEM_BYTES: usize = std::mem::size_of::<Elem>();
+
+/// Stack capacity for probe keys, prefixes, and head tuples — wide
+/// enough for every realistic atom; wider tuples spill to the heap and
+/// are counted in `queries.store.probe_allocs`.
+const VAL_STACK: usize = 8;
+
+/// Copies `n` values into `stack` (or `heap` when they don't fit) and
+/// returns the filled slice — the zero-allocation buffer behind every
+/// probe key and head emission in the kernel.
+fn fill_slice<'b>(
     ctx: &ExecCtx<'_>,
-    step_i: usize,
-    t: &[Elem],
+    n: usize,
+    vals: impl Iterator<Item = Elem>,
+    stack: &'b mut [Elem; VAL_STACK],
+    heap: &'b mut Vec<Elem>,
+) -> &'b [Elem] {
+    if n <= VAL_STACK {
+        for (slot, v) in stack.iter_mut().zip(vals) {
+            *slot = v;
+        }
+        &stack[..n]
+    } else {
+        ctx.probe_allocs.set(ctx.probe_allocs.get() + 1);
+        store::note_probe_alloc();
+        heap.extend(vals);
+        heap
+    }
+}
+
+/// Emits every instantiation of the head under the current binding;
+/// unbound head variables range over the whole domain. The binding is
+/// fully restored before a budget error propagates.
+fn emit_head_unbound(
+    ctx: &ExecCtx<'_>,
     binding: &mut Vec<Option<Elem>>,
     budget: &Budget,
-    emit: &mut dyn FnMut(usize, Vec<Elem>),
+    emit: &mut dyn FnMut(usize, &[Elem]),
+) -> BudgetResult<()> {
+    fn rec(
+        ctx: &ExecCtx<'_>,
+        binding: &mut Vec<Option<Elem>>,
+        unbound: &[DlVar],
+        i: usize,
+        budget: &Budget,
+        emit: &mut dyn FnMut(usize, &[Elem]),
+    ) -> BudgetResult<()> {
+        if i == unbound.len() {
+            budget.tick(AT)?;
+            let head = &ctx.rule.head;
+            let mut stack = [0; VAL_STACK];
+            let mut heap = Vec::new();
+            let t = fill_slice(
+                ctx,
+                head.args.len(),
+                head.args
+                    .iter()
+                    .map(|&v| binding[v as usize].expect("head var bound")),
+                &mut stack,
+                &mut heap,
+            );
+            emit(ctx.head_idb, t);
+            return Ok(());
+        }
+        let mut result = Ok(());
+        for d in ctx.s.domain() {
+            binding[unbound[i] as usize] = Some(d);
+            result = rec(ctx, binding, unbound, i + 1, budget, emit);
+            if result.is_err() {
+                break;
+            }
+        }
+        binding[unbound[i] as usize] = None;
+        result
+    }
+
+    // Empty for range-restricted rules, so the steady-state path never
+    // allocates here (an empty `filter().collect()` does not allocate).
+    let mut unbound: Vec<DlVar> = ctx
+        .rule
+        .head
+        .args
+        .iter()
+        .copied()
+        .filter(|&v| binding[v as usize].is_none())
+        .collect();
+    unbound.sort_unstable();
+    unbound.dedup();
+    rec(ctx, binding, &unbound, 0, budget, emit)
+}
+
+/// Binds a candidate tuple — addressed by a column accessor, so row-id
+/// and slice candidates share one path — against the atom at plan step
+/// `step_i`, recursing into the next step on success. Touched variables
+/// are tracked in a bitmask (spilling past 128 into a lazily-allocated
+/// `Vec`) and the binding is fully restored before a budget error
+/// propagates.
+fn try_candidate(
+    ctx: &ExecCtx<'_>,
+    step_i: usize,
+    get: impl Fn(usize) -> Elem,
+    binding: &mut Vec<Option<Elem>>,
+    budget: &Budget,
+    emit: &mut dyn FnMut(usize, &[Elem]),
 ) -> BudgetResult<()> {
     ctx.probes.set(ctx.probes.get() + 1);
     let atom = &ctx.rule.body[ctx.plan[step_i].atom];
-    let mut touched: Vec<DlVar> = Vec::new();
+    let mut touched: u128 = 0;
+    let mut spill: Vec<DlVar> = Vec::new();
     let mut ok = true;
-    for (&v, &e) in atom.args.iter().zip(t.iter()) {
+    for (i, &v) in atom.args.iter().enumerate() {
+        let e = get(i);
         match binding[v as usize] {
             Some(b) if b != e => {
                 ok = false;
@@ -1329,7 +1516,11 @@ fn try_tuple(
             Some(_) => {}
             None => {
                 binding[v as usize] = Some(e);
-                touched.push(v);
+                if (v as usize) < 128 {
+                    touched |= 1u128 << v;
+                } else {
+                    spill.push(v);
+                }
             }
         }
     }
@@ -1338,7 +1529,11 @@ fn try_tuple(
     } else {
         Ok(())
     };
-    for v in touched {
+    while touched != 0 {
+        binding[touched.trailing_zeros() as usize] = None;
+        touched &= touched - 1;
+    }
+    for v in spill {
         binding[v as usize] = None;
     }
     result
@@ -1346,83 +1541,101 @@ fn try_tuple(
 
 /// The indexed join kernel: runs plan step `step_i` under the current
 /// binding, emitting head instantiations once every step is satisfied.
-/// Ticks the budget once per step entered.
+/// Ticks the budget once per step entered. IDB candidates are walked as
+/// row ids over the columnar stores; EDB candidates as row slices —
+/// neither path materializes a tuple or a probe key on the heap.
 fn exec(
     ctx: &ExecCtx<'_>,
     step_i: usize,
     binding: &mut Vec<Option<Elem>>,
     budget: &Budget,
-    emit: &mut dyn FnMut(usize, Vec<Elem>),
+    emit: &mut dyn FnMut(usize, &[Elem]),
 ) -> BudgetResult<()> {
     budget.tick(AT)?;
     if step_i == ctx.plan.len() {
-        return emit_head_unbound(ctx.s, ctx.rule, ctx.head_idb, binding, budget, emit);
+        return emit_head_unbound(ctx, binding, budget, emit);
     }
     let step = &ctx.plan[step_i];
     let atom = &ctx.rule.body[step.atom];
-    let key_vals = |key: &[usize]| -> Vec<Elem> {
-        key.iter()
-            .map(|&p| binding[atom.args[p] as usize].expect("planned key position is bound"))
-            .collect()
-    };
     match (&step.access, atom.pred) {
-        (Access::ScanDelta, _) => {
+        (Access::ScanDelta, Pred::Idb(j)) => {
             index::note_scan(ctx.driver.len() as u64);
-            for t in ctx.driver {
-                try_tuple(ctx, step_i, t, binding, budget, emit)?;
+            let st = &ctx.store[j].store;
+            for &row in ctx.driver {
+                try_candidate(ctx, step_i, |p| st.value(row, p), binding, budget, emit)?;
             }
+        }
+        (Access::ScanDelta, Pred::Edb(_)) => {
+            unreachable!("delta drivers are IDB atoms")
         }
         (Access::Scan, Pred::Edb(r)) => {
             let rel = ctx.s.rel(r);
             index::note_scan(rel.len() as u64);
             for t in rel.iter() {
-                try_tuple(ctx, step_i, t, binding, budget, emit)?;
+                try_candidate(ctx, step_i, |p| t[p], binding, budget, emit)?;
             }
         }
         (Access::Scan, Pred::Idb(j)) => {
-            let rel = &ctx.store[j];
-            index::note_scan(rel.len() as u64);
-            for ti in 0..rel.tuples.len() {
-                let t = rel.tuples[ti].clone();
-                try_tuple(ctx, step_i, &t, binding, budget, emit)?;
+            let st = &ctx.store[j].store;
+            index::note_scan(st.len() as u64);
+            for row in 0..st.len32() {
+                try_candidate(ctx, step_i, |p| st.value(row, p), binding, budget, emit)?;
             }
         }
         (Access::ProbePrefix(k), Pred::Edb(r)) => {
-            let prefix: Vec<Elem> = (0..*k)
-                .map(|p| binding[atom.args[p] as usize].expect("planned key position is bound"))
-                .collect();
-            for t in index::probe_prefix(ctx.s.rel(r), &prefix) {
-                try_tuple(ctx, step_i, t, binding, budget, emit)?;
+            let mut stack = [0; VAL_STACK];
+            let mut heap = Vec::new();
+            let prefix = fill_slice(
+                ctx,
+                *k,
+                (0..*k).map(|p| {
+                    binding[atom.args[p] as usize].expect("planned key position is bound")
+                }),
+                &mut stack,
+                &mut heap,
+            );
+            for t in index::probe_prefix(ctx.s.rel(r), prefix) {
+                try_candidate(ctx, step_i, |p| t[p], binding, budget, emit)?;
             }
         }
         (Access::ProbePrefix(_), Pred::Idb(_)) => {
             unreachable!("prefix probes are planned for EDB atoms only")
         }
         (Access::Probe(key), Pred::Edb(r)) => {
-            for t in ctx.edb.get(r, key).probe(&key_vals(key)) {
-                try_tuple(ctx, step_i, t, binding, budget, emit)?;
+            let mut stack = [0; VAL_STACK];
+            let mut heap = Vec::new();
+            let kv = fill_slice(
+                ctx,
+                key.len(),
+                key.iter().map(|&p| {
+                    binding[atom.args[p] as usize].expect("planned key position is bound")
+                }),
+                &mut stack,
+                &mut heap,
+            );
+            for t in ctx.edb.get(r, key).probe(kv) {
+                try_candidate(ctx, step_i, |p| t[p], binding, budget, emit)?;
             }
         }
         (Access::Probe(key), Pred::Idb(j)) => {
-            for t in ctx.store[j].index(key).probe(&key_vals(key)) {
-                try_tuple(ctx, step_i, t, binding, budget, emit)?;
+            let mut stack = [0; VAL_STACK];
+            let mut heap = Vec::new();
+            let kv = fill_slice(
+                ctx,
+                key.len(),
+                key.iter().map(|&p| {
+                    binding[atom.args[p] as usize].expect("planned key position is bound")
+                }),
+                &mut stack,
+                &mut heap,
+            );
+            let st = &ctx.store[j].store;
+            for row in ctx.store[j].index(key).probe(st, kv) {
+                try_candidate(ctx, step_i, |p| st.value(row, p), binding, budget, emit)?;
             }
         }
     }
     Ok(())
-}
-
-/// Deterministic FNV-1a shard assignment (the std hasher is randomly
-/// seeded per process, which would make runs non-reproducible).
-fn shard_of(t: &[Elem], nshards: usize) -> usize {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &e in t {
-        for b in e.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    (h % nshards as u64) as usize
 }
 
 #[cfg(test)]
@@ -1523,8 +1736,8 @@ mod tests {
         let expected: u64 = (0..=d).map(|i| (1u64 << i) * (1u64 << i)).sum();
         assert_eq!(out.relation(sg).len() as u64, expected);
         // Spot checks: the two children of the root are same-generation.
-        assert!(out.relation(sg).contains(&vec![1, 2]));
-        assert!(!out.relation(sg).contains(&vec![0, 1]));
+        assert!(out.relation(sg).contains(&[1, 2]));
+        assert!(!out.relation(sg).contains(&[0, 1]));
     }
 
     #[test]
@@ -1644,9 +1857,9 @@ mod tests {
         let out = prog.eval_seminaive(&s);
         let ev = prog.idb("ev").unwrap();
         let od = prog.idb("od").unwrap();
-        assert!(out.relation(ev).contains(&vec![0, 2]));
-        assert!(out.relation(od).contains(&vec![0, 3]));
-        assert!(!out.relation(ev).contains(&vec![0, 3]));
+        assert!(out.relation(ev).contains(&[0, 2]));
+        assert!(out.relation(od).contains(&[0, 3]));
+        assert!(!out.relation(ev).contains(&[0, 3]));
     }
 
     #[test]

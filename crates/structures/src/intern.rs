@@ -1,0 +1,99 @@
+//! Constant interning: symbols to dense ids, once, at parse/build time.
+//!
+//! Parsers used to number names ad hoc — a `Vec<String>` per scope with
+//! `iter().position(..)` lookups, re-implemented in each engine. The
+//! [`Interner`] centralizes that contract: the first occurrence of a
+//! symbol gets the next dense id (`0, 1, 2, …`), later occurrences get
+//! the same id back, and `resolve` inverts the mapping. Dense ids are
+//! what make columnar arenas and `Vec`-indexed side tables work without
+//! hashing at evaluation time (see `docs/storage.md`).
+
+use std::collections::HashMap;
+
+/// An append-only bijection between symbols and dense `u32` ids.
+///
+/// Ids are handed out in first-occurrence order, so the mapping is
+/// deterministic given the input text — a property the differential
+/// oracles rely on when comparing engines across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// The id for `name`, minting the next dense id on first sight.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.map.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// The id for `name` if it has been interned, without minting.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// The symbol behind `id`, if `id` was minted by this interner.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The symbols in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Consumes the interner, returning the symbols in id order.
+    pub fn into_names(self) -> Vec<String> {
+        self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_first_occurrence_ordered() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.intern("b"), 1);
+        assert_eq!(it.intern("a"), 0);
+        assert_eq!(it.intern("c"), 2);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.names(), ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn resolve_inverts_intern() {
+        let mut it = Interner::new();
+        for name in ["x", "y", "z"] {
+            let id = it.intern(name);
+            assert_eq!(it.resolve(id), Some(name));
+            assert_eq!(it.get(name), Some(id));
+        }
+        assert_eq!(it.get("w"), None);
+        assert_eq!(it.resolve(99), None);
+        assert_eq!(it.into_names(), ["x", "y", "z"]);
+    }
+}

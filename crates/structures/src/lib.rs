@@ -49,16 +49,20 @@ pub mod builders;
 pub mod canon;
 pub mod diag;
 pub mod index;
+pub mod intern;
 pub mod iso;
 pub mod par;
 pub mod parse;
 pub mod partial;
 mod signature;
+pub mod store;
 mod structure;
 
 pub use budget::{Budget, BudgetResult, Exhausted, Resource};
 pub use diag::{Diagnostic, Severity, Span};
+pub use intern::Interner;
 pub use signature::{ConstId, RelId, Signature, SignatureBuilder};
+pub use store::TupleStore;
 pub use structure::{Elem, Relation, Structure, StructureBuilder};
 
 /// Errors produced while building or combining structures.

@@ -19,7 +19,7 @@
 //! occurrence); [`parse_with`] validates against a given signature.
 //! [`to_text`] renders a structure back; round-tripping is exact.
 
-use crate::{Elem, Signature, Structure, StructureBuilder};
+use crate::{Elem, Interner, Signature, Structure, StructureBuilder};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -115,11 +115,17 @@ fn parse_line<'a>(l: &RawLine<'a>) -> Result<Item<'a>, ParseError> {
 }
 
 /// Parses a structure, inferring the signature from the text.
+///
+/// Relation and constant symbols are interned to dense ids in
+/// first-occurrence order, which is exactly the symbol order of the
+/// inferred signature; the per-symbol metadata (arity, first line)
+/// lives in `Vec`s indexed by those ids.
 pub fn parse(text: &str) -> Result<Structure, ParseError> {
     // First pass: size + signature.
     let mut size: Option<u32> = None;
-    let mut rels: Vec<(String, usize, usize)> = Vec::new(); // name, arity, first line
-    let mut consts: Vec<String> = Vec::new();
+    let mut rel_names = Interner::new();
+    let mut rel_meta: Vec<(usize, usize)> = Vec::new(); // arity, first line (by rel id)
+    let mut const_names = Interner::new();
     for l in meaningful_lines(text) {
         match parse_line(&l)? {
             Item::Size(n) => {
@@ -128,31 +134,32 @@ pub fn parse(text: &str) -> Result<Structure, ParseError> {
                 }
                 size = Some(n);
             }
-            Item::Tuple { rel, args } => match rels.iter().find(|(n, _, _)| n == rel) {
-                Some(&(_, arity, first)) if arity != args.len() => {
-                    return Err(err(
-                        l.no,
-                        format!(
+            Item::Tuple { rel, args } => {
+                let id = rel_names.intern(rel) as usize;
+                match rel_meta.get(id) {
+                    Some(&(arity, first)) if arity != args.len() => {
+                        return Err(err(
+                            l.no,
+                            format!(
                         "relation {rel} used with arity {} but had arity {arity} at line {first}",
                         args.len()
                     ),
-                    ))
+                        ))
+                    }
+                    Some(_) => {}
+                    None => rel_meta.push((args.len(), l.no)),
                 }
-                Some(_) => {}
-                None => rels.push((rel.to_owned(), args.len(), l.no)),
-            },
+            }
             Item::Const { name, .. } => {
-                if !consts.iter().any(|c| c == name) {
-                    consts.push(name.to_owned());
-                }
+                const_names.intern(name);
             }
         }
     }
     let mut sb = Signature::builder();
-    for (name, arity, _) in &rels {
-        sb = sb.relation(name, *arity);
+    for (name, &(arity, _)) in rel_names.names().iter().zip(rel_meta.iter()) {
+        sb = sb.relation(name, arity);
     }
-    for c in &consts {
+    for c in const_names.names() {
         sb = sb.constant(c);
     }
     parse_with(sb.finish_arc(), text)

@@ -1,0 +1,447 @@
+//! Columnar tuple arenas with row-id deduplication — the storage layer
+//! under the Datalog fixpoint engines (see `docs/storage.md`).
+//!
+//! A [`TupleStore`] keeps one relation as `arity` flat per-column
+//! `Vec<Elem>` arenas addressed by dense `u32` row ids. Appending is
+//! O(1) amortized and never moves existing rows, so a row id handed out
+//! once stays valid for the lifetime of the store — the property the
+//! semi-naive engine's delta ranges and incremental indexes rely on.
+//!
+//! Deduplication is an open-addressing hash table over row ids that
+//! hashes the column values of a row in place: membership tests and
+//! inserts never materialize a `Vec<Elem>` per tuple, which is what the
+//! old `HashSet<Vec<Elem>>` representation paid on every derived fact.
+//! The hash function is a pluggable step function (default FNV-1a) so
+//! tests can force every tuple onto one hash chain and exercise the
+//! collision path.
+//!
+//! Work done by stores is metered under `queries.store.*`:
+//!
+//! * `queries.store.rows` — rows appended across all stores;
+//! * `queries.store.arena_bytes` — bytes those rows occupy in arenas;
+//! * `queries.store.rehashes` — dedup-table growth events;
+//! * `queries.store.probe_allocs` — heap allocations probe paths had to
+//!   fall back to (zero in the steady-state join loop; see
+//!   [`note_probe_alloc`]).
+
+use crate::{Elem, Relation};
+use std::collections::HashSet;
+
+static OBS_ROWS: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.rows");
+static OBS_ARENA_BYTES: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.arena_bytes");
+static OBS_REHASHES: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.rehashes");
+static OBS_PROBE_ALLOCS: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.probe_allocs");
+
+/// Records that a probe path had to heap-allocate (a key or scratch
+/// buffer outgrew its stack backing). The columnar join kernel reports
+/// this on `datalog.rule` spans; it stays zero for realistic arities.
+#[inline]
+pub fn note_probe_alloc() {
+    OBS_PROBE_ALLOCS.add(1);
+}
+
+/// FNV-1a offset basis — the seed for [`fnv_step`] folds.
+pub const FNV_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// One FNV-1a step over the four little-endian bytes of an element.
+///
+/// Deterministic (unlike the std hasher, which is seeded per process),
+/// so stores, indexes, and shard assignments are reproducible run to
+/// run.
+#[inline]
+#[must_use]
+pub fn fnv_step(mut h: u64, e: Elem) -> u64 {
+    for b in e.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A pluggable hash-step function: folds one column value into the
+/// running hash of a tuple. The default is [`fnv_step`]; tests install
+/// degenerate steps to force collisions through the verify paths.
+pub type ElemHasher = fn(u64, Elem) -> u64;
+
+/// Sentinel for an empty dedup slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Columnar storage for one relation: per-column arenas addressed by
+/// dense row ids, with a hash-based dedup set over those ids.
+///
+/// Rows are append-only; [`TupleStore::push_if_new`] either hands out
+/// the next row id or reports the existing duplicate. Set semantics
+/// live in [`PartialEq`]: two stores are equal when they hold the same
+/// tuples, whatever the insertion order.
+#[derive(Debug, Clone)]
+pub struct TupleStore {
+    arity: usize,
+    cols: Vec<Vec<Elem>>,
+    len: u32,
+    /// Open-addressing table of row ids ([`EMPTY`] = free), sized to a
+    /// power of two and kept under ~70% load.
+    slots: Vec<u32>,
+    hasher: ElemHasher,
+}
+
+impl TupleStore {
+    /// An empty store for tuples of the given arity.
+    pub fn new(arity: usize) -> TupleStore {
+        TupleStore::with_hasher(arity, fnv_step)
+    }
+
+    /// An empty store with a custom hash-step function (tests use a
+    /// constant step to drive every tuple down one collision chain).
+    pub fn with_hasher(arity: usize, hasher: ElemHasher) -> TupleStore {
+        TupleStore {
+            arity,
+            cols: vec![Vec::new(); arity],
+            len: 0,
+            slots: Vec::new(),
+            hasher,
+        }
+    }
+
+    /// A store holding the rows of a sorted EDB [`Relation`] — the
+    /// bridge from the immutable input structure into the columnar
+    /// subsystem. Row ids follow the relation's lexicographic order.
+    pub fn from_relation(rel: &Relation) -> TupleStore {
+        let mut st = TupleStore::new(rel.arity());
+        for t in rel.iter() {
+            st.push_if_new(t);
+        }
+        st
+    }
+
+    /// A store holding the given rows (duplicates collapse).
+    pub fn from_rows<'a, I>(arity: usize, rows: I) -> TupleStore
+    where
+        I: IntoIterator<Item = &'a [Elem]>,
+    {
+        let mut st = TupleStore::new(arity);
+        for t in rows {
+            st.push_if_new(t);
+        }
+        st
+    }
+
+    /// The arity of the stored tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) rows.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Number of rows as the row-id type.
+    pub fn len32(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` if the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes occupied by the column arenas.
+    pub fn arena_bytes(&self) -> usize {
+        self.len as usize * self.arity * std::mem::size_of::<Elem>()
+    }
+
+    /// The value at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of range.
+    #[inline]
+    pub fn value(&self, row: u32, col: usize) -> Elem {
+        self.cols[col][row as usize]
+    }
+
+    /// The full arena of one column, indexed by row id.
+    pub fn col(&self, col: usize) -> &[Elem] {
+        &self.cols[col]
+    }
+
+    /// Hash of the tuple `t` under this store's hash-step function.
+    #[inline]
+    pub fn tuple_hash(&self, t: &[Elem]) -> u64 {
+        t.iter().fold(FNV_SEED, |h, &e| (self.hasher)(h, e))
+    }
+
+    /// Hash of a stored row, computed column-wise (no materialization).
+    #[inline]
+    pub fn row_hash(&self, row: u32) -> u64 {
+        self.cols
+            .iter()
+            .fold(FNV_SEED, |h, c| (self.hasher)(h, c[row as usize]))
+    }
+
+    /// `true` iff the stored row equals `t`, compared column-wise.
+    #[inline]
+    fn row_eq(&self, row: u32, t: &[Elem]) -> bool {
+        self.cols
+            .iter()
+            .zip(t.iter())
+            .all(|(c, &v)| c[row as usize] == v)
+    }
+
+    /// Membership test: hashes `t`'s values directly and verifies every
+    /// hash candidate against the arenas. No per-call allocation.
+    pub fn contains(&self, t: &[Elem]) -> bool {
+        debug_assert_eq!(t.len(), self.arity);
+        if self.slots.is_empty() {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (self.tuple_hash(t) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY => return false,
+                id if self.row_eq(id, t) => return true,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Appends `t` unless an equal row exists; returns the new row id,
+    /// or `None` on a duplicate. O(1) amortized, no per-tuple heap
+    /// allocation beyond arena growth.
+    pub fn push_if_new(&mut self, t: &[Elem]) -> Option<u32> {
+        debug_assert_eq!(t.len(), self.arity);
+        if (self.len as usize + 1) * 10 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (self.tuple_hash(t) as usize) & mask;
+        loop {
+            match self.slots[i] {
+                EMPTY => break,
+                id if self.row_eq(id, t) => return None,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        let id = self.len;
+        self.slots[i] = id;
+        for (c, &v) in self.cols.iter_mut().zip(t.iter()) {
+            c.push(v);
+        }
+        self.len += 1;
+        OBS_ROWS.incr();
+        OBS_ARENA_BYTES.add((self.arity * std::mem::size_of::<Elem>()) as u64);
+        Some(id)
+    }
+
+    /// Grows the dedup table 4× and reinserts every row id. Quadrupling
+    /// (rather than doubling) keeps the total rehash work across a
+    /// fixpoint run at ~1.33n row hashes instead of ~2n, at the cost of
+    /// a transiently lower load factor — 4 bytes per empty slot.
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 4).max(16);
+        if !self.slots.is_empty() {
+            OBS_REHASHES.incr();
+        }
+        let mask = cap - 1;
+        let mut slots = vec![EMPTY; cap];
+        for id in 0..self.len {
+            let mut i = (self.row_hash(id) as usize) & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id;
+        }
+        self.slots = slots;
+    }
+
+    /// Copies row `row` into `buf` (cleared first). Lets callers reuse
+    /// one scratch buffer instead of allocating per row.
+    pub fn read_row_into(&self, row: u32, buf: &mut Vec<Elem>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[row as usize]));
+    }
+
+    /// Iterates the rows as materialized tuples, in row-id order. Meant
+    /// for output consumers; the join kernel reads columns directly.
+    pub fn iter(&self) -> TupleIter<'_> {
+        TupleIter {
+            store: self,
+            next: 0,
+        }
+    }
+}
+
+/// Iterator over the (materialized) rows of a [`TupleStore`].
+#[derive(Debug, Clone)]
+pub struct TupleIter<'a> {
+    store: &'a TupleStore,
+    next: u32,
+}
+
+impl Iterator for TupleIter<'_> {
+    type Item = Vec<Elem>;
+
+    fn next(&mut self) -> Option<Vec<Elem>> {
+        if self.next >= self.store.len {
+            return None;
+        }
+        let row = self.next;
+        self.next += 1;
+        Some(self.store.cols.iter().map(|c| c[row as usize]).collect())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = (self.store.len - self.next) as usize;
+        (rest, Some(rest))
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleStore {
+    type Item = Vec<Elem>;
+    type IntoIter = TupleIter<'a>;
+
+    fn into_iter(self) -> TupleIter<'a> {
+        self.iter()
+    }
+}
+
+/// Set equality: same arity-compatible tuple sets, any insertion order.
+impl PartialEq for TupleStore {
+    fn eq(&self, other: &TupleStore) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        if self.len == 0 {
+            return true;
+        }
+        if self.arity != other.arity {
+            return false;
+        }
+        let mut buf = Vec::with_capacity(self.arity);
+        (0..self.len).all(|id| {
+            self.read_row_into(id, &mut buf);
+            other.contains(&buf)
+        })
+    }
+}
+
+impl Eq for TupleStore {}
+
+/// Equality against the legacy `HashSet` representation, so the naive
+/// and scan oracles (and pre-columnar tests) compare without
+/// conversion.
+impl PartialEq<HashSet<Vec<Elem>>> for TupleStore {
+    fn eq(&self, other: &HashSet<Vec<Elem>>) -> bool {
+        self.len() == other.len() && other.iter().all(|t| self.contains(t))
+    }
+}
+
+impl PartialEq<TupleStore> for HashSet<Vec<Elem>> {
+    fn eq(&self, other: &TupleStore) -> bool {
+        other == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hash step that ignores the element: every tuple collides.
+    fn collide(h: u64, _e: Elem) -> u64 {
+        h
+    }
+
+    #[test]
+    fn push_dedups_and_hands_out_dense_ids() {
+        let mut st = TupleStore::new(2);
+        assert_eq!(st.push_if_new(&[1, 2]), Some(0));
+        assert_eq!(st.push_if_new(&[3, 4]), Some(1));
+        assert_eq!(st.push_if_new(&[1, 2]), None);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.value(0, 1), 2);
+        assert_eq!(st.col(0), &[1, 3]);
+        assert!(st.contains(&[3, 4]));
+        assert!(!st.contains(&[4, 3]));
+    }
+
+    #[test]
+    fn iteration_follows_row_ids() {
+        let mut st = TupleStore::new(2);
+        st.push_if_new(&[5, 6]);
+        st.push_if_new(&[0, 1]);
+        let rows: Vec<Vec<Elem>> = st.iter().collect();
+        assert_eq!(rows, vec![vec![5, 6], vec![0, 1]]);
+        let via_loop: Vec<Vec<Elem>> = (&st).into_iter().collect();
+        assert_eq!(rows, via_loop);
+    }
+
+    #[test]
+    fn nullary_store_holds_at_most_one_row() {
+        let mut st = TupleStore::new(0);
+        assert!(!st.contains(&[]));
+        assert_eq!(st.push_if_new(&[]), Some(0));
+        assert_eq!(st.push_if_new(&[]), None);
+        assert!(st.contains(&[]));
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.iter().collect::<Vec<_>>(), vec![Vec::<Elem>::new()]);
+    }
+
+    #[test]
+    fn colliding_hasher_still_dedups_exactly() {
+        // Every tuple hashes identically: correctness must come from
+        // the verify-against-arenas path alone.
+        let mut st = TupleStore::with_hasher(2, collide);
+        for u in 0..40u32 {
+            assert_eq!(st.push_if_new(&[u, u + 1]), Some(u));
+            assert_eq!(st.push_if_new(&[u, u + 1]), None);
+        }
+        assert_eq!(st.len(), 40);
+        for u in 0..40u32 {
+            assert!(st.contains(&[u, u + 1]));
+            assert!(!st.contains(&[u + 1, u]));
+        }
+    }
+
+    #[test]
+    fn growth_rehashes_preserve_membership() {
+        let mut st = TupleStore::new(3);
+        for u in 0..500u32 {
+            st.push_if_new(&[u, u % 7, u % 3]);
+        }
+        assert_eq!(st.len(), 500);
+        for u in 0..500u32 {
+            assert!(st.contains(&[u, u % 7, u % 3]));
+        }
+        assert_eq!(st.arena_bytes(), 500 * 3 * 4);
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let mut a = TupleStore::new(2);
+        let mut b = TupleStore::new(2);
+        a.push_if_new(&[1, 2]);
+        a.push_if_new(&[3, 4]);
+        b.push_if_new(&[3, 4]);
+        b.push_if_new(&[1, 2]);
+        assert_eq!(a, b);
+        b.push_if_new(&[5, 6]);
+        assert_ne!(a, b);
+
+        let set: HashSet<Vec<Elem>> = [vec![1, 2], vec![3, 4]].into_iter().collect();
+        assert_eq!(a, set);
+        assert_eq!(set, a);
+    }
+
+    #[test]
+    fn relation_bridge_preserves_rows() {
+        let s = crate::builders::grid(3, 3);
+        let e = s.signature().relation("E").unwrap();
+        let rel = s.rel(e);
+        let st = TupleStore::from_relation(rel);
+        assert_eq!(st.len(), rel.len());
+        for t in rel.iter() {
+            assert!(st.contains(t));
+        }
+        // Row ids follow lexicographic order of the sorted relation.
+        assert_eq!(st.iter().next().unwrap().as_slice(), rel.row(0));
+    }
+}

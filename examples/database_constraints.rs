@@ -141,13 +141,13 @@ fn main() {
     .unwrap();
     let out = prog.eval_seminaive(&db);
     let chain = prog.idb("chain").unwrap();
-    let mut tuples: Vec<&Vec<u32>> = out.relation(chain).iter().collect();
+    let mut tuples: Vec<Vec<u32>> = out.relation(chain).iter().collect();
     tuples.sort();
     println!("chain(x, y) — y is above x:");
     for t in &tuples {
         println!("  chain({}, {})", t[0], t[1]);
     }
-    assert!(out.relation(chain).contains(&vec![2, 0])); // IC 2 → CEO
+    assert!(out.relation(chain).contains(&[2, 0])); // IC 2 → CEO
 
     // -----------------------------------------------------------------
     // And the toolbox's negative fact: chain is not FO.

