@@ -71,7 +71,8 @@ fn usage() -> String {
      fmtk game   <A> <B> [--rounds N]\n  \
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
-     fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N] [--explain]\n  \
+     fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N] [--explain]\n          \
+     [--incremental --updates FILE]   maintain the fixpoint under +E(u,v) / -E(u,v) / poll updates\n  \
      fmtk lint   [FILE | --expr \"<formula>\" | --program \"<rules>\"] [--format text|json]\n          \
      [--deny CODE|warnings ...] [--rel NAME:ARITY ...] [--sentence] [--rank-budget N] [--goal PRED]\n  \
      fmtk conform [--seed N] [--cases K] [--oracle NAME] [--corpus DIR] [--replay FILE]\n  \
@@ -270,6 +271,13 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         .transpose()?
         .unwrap_or(0);
     let engine = flag_value(&mut args, "--engine")?.unwrap_or_else(|| "indexed".to_owned());
+    let updates = flag_value(&mut args, "--updates")?;
+    let incremental = if let Some(pos) = args.iter().position(|a| a == "--incremental") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
     let explain = if let Some(pos) = args.iter().position(|a| a == "--explain") {
         args.remove(pos);
         true
@@ -290,6 +298,19 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
             .to_owned()
     })?;
     let prog = &parsed.program;
+    if incremental || updates.is_some() {
+        if !incremental {
+            return Err(CliFailure::Error("--updates requires --incremental".into()));
+        }
+        if explain {
+            return Err(CliFailure::Error(
+                "--explain is not supported with --incremental".into(),
+            ));
+        }
+        let upath = updates.ok_or_else(|| "--incremental requires --updates FILE".to_owned())?;
+        let usrc = read_input(&upath)?;
+        return run_incremental(&s, prog, &usrc, &upath, threads, budget);
+    }
     // --explain reads span fields back out of the trace journal. A live
     // --trace session is reused (and peeked, not drained, so the trace
     // file still gets the events); otherwise a private one is opened.
@@ -339,6 +360,120 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         text.push_str(&explain_table(&trace, &parsed, &src));
     }
     Ok(text)
+}
+
+/// Drives a [`fmt_core::queries::incremental::DatalogRuntime`] from an
+/// updates file: whitespace-separated tokens `+E(0,1)` (insert),
+/// `-E(0,1)` (retract), and `poll`, with `#` comments to end of line.
+/// The runtime is seeded from the structure and polled once up front;
+/// a trailing poll is implied when updates are left pending. Prints a
+/// maintenance summary per poll and the final IDB extents.
+fn run_incremental(
+    s: &Structure,
+    prog: &Program,
+    usrc: &str,
+    upath: &str,
+    threads: usize,
+    budget: &Budget,
+) -> CliResult {
+    use fmt_core::queries::incremental::DatalogRuntime;
+    let mut rt = DatalogRuntime::from_structure(prog.clone(), s);
+    rt.set_threads(threads.max(1));
+    let mut text = String::new();
+    let mut polls = 0u64;
+    let mut do_poll = |rt: &mut DatalogRuntime, text: &mut String| -> Result<(), CliFailure> {
+        let stats = rt.try_poll(budget).map_err(exhausted)?;
+        polls += 1;
+        text.push_str(&format!(
+            "poll {polls}: +{} -{} edb, {} derived, {} overdeleted, {} rederived, {} rounds{}\n",
+            stats.inserted,
+            stats.retracted,
+            stats.derived,
+            stats.overdeleted,
+            stats.rederived,
+            stats.rounds,
+            if stats.rebuilt { " (rebuild)" } else { "" },
+        ));
+        Ok(())
+    };
+    do_poll(&mut rt, &mut text)?; // materialize the seed structure
+    for (lineno, line) in usrc.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("");
+        for word in line.split_whitespace() {
+            let fail = |msg: String| CliFailure::Error(format!("{upath}:{}: {msg}", lineno + 1));
+            if word == "poll" {
+                do_poll(&mut rt, &mut text)?;
+                continue;
+            }
+            let (rel, t, insert) = parse_update_token(s, word).map_err(fail)?;
+            if insert {
+                rt.insert(rel, &t);
+            } else {
+                rt.retract(rel, &t);
+            }
+        }
+    }
+    if rt.pending_ops() > 0 {
+        do_poll(&mut rt, &mut text)?;
+    }
+    for i in 0..prog.num_idbs() {
+        let (name, arity) = prog.idb_info(i);
+        let mut tuples: Vec<Vec<u32>> = rt.query(i).iter().collect();
+        tuples.sort();
+        text.push_str(&format!("{name}/{arity}: {} tuples\n", tuples.len()));
+        for t in tuples {
+            let cells: Vec<String> = t.iter().map(u32::to_string).collect();
+            text.push_str(&format!("  {name}({})\n", cells.join(", ")));
+        }
+    }
+    text.push_str(&format!("({polls} polls)"));
+    Ok(text)
+}
+
+/// Parses one updates-file token `+E(0,1)` / `-E(0,1)` into its
+/// relation, tuple, and insert/retract sense, validating against the
+/// structure's signature and domain.
+fn parse_update_token(
+    s: &Structure,
+    word: &str,
+) -> Result<(fmt_core::structures::RelId, Vec<u32>, bool), String> {
+    let bad = || format!("bad update {word:?} (want +REL(v, ...) | -REL(v, ...) | poll)");
+    let (sign, rest) = word.split_at_checked(1).ok_or_else(bad)?;
+    let insert = match sign {
+        "+" => true,
+        "-" => false,
+        _ => return Err(bad()),
+    };
+    let (name, rest) = rest.split_once('(').ok_or_else(bad)?;
+    let inner = rest.strip_suffix(')').ok_or_else(bad)?;
+    let rel = s
+        .signature()
+        .relation(name)
+        .ok_or_else(|| format!("unknown relation {name:?} in update {word:?}"))?;
+    let mut t = Vec::new();
+    if !inner.trim().is_empty() {
+        for cell in inner.split(',') {
+            let v: u32 = cell
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad vertex in update {word:?}: {e}"))?;
+            t.push(v);
+        }
+    }
+    if t.len() != s.signature().arity(rel) {
+        return Err(format!(
+            "update {word:?} has arity {}, relation {name} wants {}",
+            t.len(),
+            s.signature().arity(rel)
+        ));
+    }
+    if let Some(&v) = t.iter().find(|&&v| v >= s.size()) {
+        return Err(format!(
+            "vertex {v} in update {word:?} is outside the domain 0..{}",
+            s.size()
+        ));
+    }
+    Ok((rel, t, insert))
 }
 
 /// Aggregates the `datalog.rule` spans of `trace` into a per-rule

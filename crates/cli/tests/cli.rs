@@ -162,6 +162,126 @@ fn datalog_engine_and_threads_flags() {
 }
 
 #[test]
+fn datalog_incremental_maintains_under_updates() {
+    let s = write_temp("incr-seed.st", "size: 4\nE(0,1)\n");
+    let prog = write_temp(
+        "incr-tc.dl",
+        "tc(x,y) :- e(x,y). tc(x,z) :- e(x,y), tc(y,z).",
+    );
+    let upd = write_temp(
+        "incr.upd",
+        "+E(1,2) +E(2,3) poll\n# drop the middle edge\n-E(1,2)\npoll\n",
+    );
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--incremental",
+            "--updates",
+            upd.to_str().unwrap(),
+            "--stats",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Poll 1 materializes the seed structure from scratch; the final
+    // poll runs DRed: retracting E(1,2) kills the 4 closure pairs that
+    // crossed it, leaving tc = {(0,1), (2,3)}.
+    assert!(text.contains("poll 1: +1 -0 edb, 1 derived"), "{text}");
+    assert!(text.contains("(rebuild)"), "{text}");
+    assert!(
+        text.contains("poll 3: +0 -1 edb, 0 derived, 4 overdeleted"),
+        "{text}"
+    );
+    assert!(text.contains("tc/2: 2 tuples"), "{text}");
+    assert!(text.contains("tc(0, 1)"), "{text}");
+    assert!(text.contains("tc(2, 3)"), "{text}");
+    assert!(text.contains("(3 polls)"), "{text}");
+    let line = stats_json_line(&out.stdout);
+    assert!(line.contains("\"queries.incr.polls\":3"), "{line}");
+    assert!(line.contains("\"queries.incr.overdeleted\":4"), "{line}");
+}
+
+#[test]
+fn datalog_incremental_flag_and_file_errors() {
+    let s = write_temp("incr-err.st", "size: 3\nE(0,1)\n");
+    let prog = write_temp("incr-err.dl", "tc(x,y) :- e(x,y).");
+    // --updates without --incremental.
+    let upd = write_temp("incr-err.upd", "poll\n");
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--updates",
+            upd.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --incremental"));
+    // --incremental without --updates.
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--incremental",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires --updates"));
+    // Malformed tokens are reported with file and line.
+    for (bad, msg) in [
+        ("+E(0,1) frobnicate\n", "bad update"),
+        ("+Q(0,1)\n", "unknown relation"),
+        ("+E(0)\n", "arity"),
+        ("+E(0,9)\n", "outside the domain"),
+    ] {
+        let upd = write_temp("incr-bad.upd", bad);
+        let out = fmtk()
+            .args([
+                "datalog",
+                s.to_str().unwrap(),
+                prog.to_str().unwrap(),
+                "--incremental",
+                "--updates",
+                upd.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(msg), "{bad:?}: {err}");
+        assert!(err.contains("incr-bad.upd:1"), "{bad:?}: {err}");
+    }
+    // Budget exhaustion inside a poll is exit code 3, like batch mode.
+    let upd = write_temp("incr-fuel.upd", "+E(1,2) poll\n");
+    let out = fmtk()
+        .args([
+            "--fuel",
+            "2",
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--incremental",
+            "--updates",
+            upd.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
 fn stdin_structure() {
     let mut child = fmtk()
         .args(["check", "-", "exists x y. E(x, y)"])

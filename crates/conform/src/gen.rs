@@ -145,6 +145,118 @@ pub fn random_datalog_program(rng: &mut StdRng) -> String {
     src
 }
 
+/// One operation of an incremental-maintenance trace over the graph
+/// signature's `E/2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Queue insertion of the edge `(u, v)`.
+    Insert(u32, u32),
+    /// Queue retraction of the edge `(u, v)` (retracting an absent
+    /// edge is a legal no-op, and traces deliberately contain some).
+    Retract(u32, u32),
+    /// Apply everything queued and restore the fixpoint.
+    Poll,
+}
+
+/// A domain size plus an operation sequence: the input replayed
+/// against `DatalogRuntime` by the `incremental` oracle and the
+/// incremental proptests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateTrace {
+    /// Domain size `n`; every vertex in `ops` is `< n`.
+    pub domain: u32,
+    /// The operations, in order.
+    pub ops: Vec<UpdateOp>,
+}
+
+impl UpdateTrace {
+    /// Compact one-line form (`+0,1 -0,1 poll`), the `trace` param of
+    /// serialized `incremental` repro cases. An empty trace prints as
+    /// the empty string.
+    pub fn to_compact(&self) -> String {
+        let words: Vec<String> = self
+            .ops
+            .iter()
+            .map(|op| match op {
+                UpdateOp::Insert(u, v) => format!("+{u},{v}"),
+                UpdateOp::Retract(u, v) => format!("-{u},{v}"),
+                UpdateOp::Poll => "poll".to_owned(),
+            })
+            .collect();
+        words.join(" ")
+    }
+
+    /// Parses the compact form back; inverse of
+    /// [`UpdateTrace::to_compact`] for in-domain traces.
+    pub fn parse_compact(domain: u32, text: &str) -> Result<UpdateTrace, String> {
+        let mut ops = Vec::new();
+        for word in text.split_whitespace() {
+            ops.push(parse_update_op(word)?);
+        }
+        let trace = UpdateTrace { domain, ops };
+        for op in &trace.ops {
+            if let UpdateOp::Insert(u, v) | UpdateOp::Retract(u, v) = *op {
+                if u >= domain || v >= domain {
+                    return Err(format!("edge ({u}, {v}) is outside the domain 0..{domain}"));
+                }
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Parses one trace token: `+u,v`, `-u,v`, or `poll`.
+pub fn parse_update_op(word: &str) -> Result<UpdateOp, String> {
+    if word == "poll" {
+        return Ok(UpdateOp::Poll);
+    }
+    let (sign, rest) = word
+        .split_at_checked(1)
+        .ok_or_else(|| "empty update op".to_owned())?;
+    let insert = match sign {
+        "+" => true,
+        "-" => false,
+        _ => return Err(format!("bad update op {word:?} (want +u,v | -u,v | poll)")),
+    };
+    let (u, v) = rest
+        .split_once(',')
+        .ok_or_else(|| format!("bad update op {word:?} (want +u,v | -u,v | poll)"))?;
+    let u: u32 = u
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad vertex in {word:?}: {e}"))?;
+    let v: u32 = v
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad vertex in {word:?}: {e}"))?;
+    Ok(if insert {
+        UpdateOp::Insert(u, v)
+    } else {
+        UpdateOp::Retract(u, v)
+    })
+}
+
+/// A random update trace over a domain of `1 ..= 5` vertices: a mix of
+/// insertions (some duplicated), retractions (some of absent edges),
+/// and interior polls, always ending with a poll so the final state is
+/// observed.
+pub fn random_update_trace(rng: &mut StdRng) -> UpdateTrace {
+    let domain = rng.random_range(1..=5u32);
+    let len = rng.random_range(1..=20usize);
+    let mut ops = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let u = rng.random_range(0..domain);
+        let v = rng.random_range(0..domain);
+        ops.push(match rng.random_range(0..10u32) {
+            0..=4 => UpdateOp::Insert(u, v),
+            5..=7 => UpdateOp::Retract(u, v),
+            _ => UpdateOp::Poll,
+        });
+    }
+    ops.push(UpdateOp::Poll);
+    UpdateTrace { domain, ops }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +289,27 @@ mod tests {
             // Closing adds at most max_vars quantifiers on top.
             assert!(f.quantifier_rank() <= cfg.max_rank + cfg.max_vars);
         }
+    }
+
+    #[test]
+    fn update_traces_roundtrip_and_end_with_poll() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let t = random_update_trace(&mut rng);
+            assert!(t.domain >= 1 && t.domain <= 5);
+            assert_eq!(t.ops.last(), Some(&UpdateOp::Poll));
+            for op in &t.ops {
+                if let UpdateOp::Insert(u, v) | UpdateOp::Retract(u, v) = *op {
+                    assert!(u < t.domain && v < t.domain);
+                }
+            }
+            let back = UpdateTrace::parse_compact(t.domain, &t.to_compact()).unwrap();
+            assert_eq!(back, t);
+        }
+        assert!(UpdateTrace::parse_compact(2, "+0,5").is_err());
+        assert!(UpdateTrace::parse_compact(2, "~0,1").is_err());
+        assert!(UpdateTrace::parse_compact(2, "+01").is_err());
+        assert_eq!(UpdateTrace::parse_compact(3, "").unwrap().ops, Vec::new());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | `datalog-engines`| naive / scan / indexed·threaded semi-naive fixpoints      |
 //! | `lint-clean`     | lint-clean inputs evaluate without panics and all engines agree |
 //! | `budget-fault`   | engines under tight fuel budgets finish, agree, and fail cleanly |
+//! | `incremental`    | insert/retract runtime vs. from-scratch recomputation at every poll |
 
 use crate::corpus::ReproCase;
 use crate::gen::{self, GenConfig};
@@ -47,6 +48,7 @@ static OBS_HANF: Counter = Counter::new("conform.oracle.hanf_locality");
 static OBS_DATALOG: Counter = Counter::new("conform.oracle.datalog_engines");
 static OBS_LINT: Counter = Counter::new("conform.oracle.lint_clean");
 static OBS_BUDGET: Counter = Counter::new("conform.oracle.budget_fault");
+static OBS_INCR: Counter = Counter::new("conform.oracle.incremental");
 
 /// A differential cross-check that can both hunt (run a fresh random
 /// case) and replay (re-run a serialized counterexample).
@@ -75,6 +77,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(DatalogEngines),
         Box::new(LintClean),
         Box::new(BudgetFault),
+        Box::new(Incremental),
     ]
 }
 
@@ -905,6 +908,204 @@ impl Oracle for BudgetFault {
             other => return Err(format!("unknown budget-fault case kind {other:?}")),
         };
         match violation {
+            Some(note) => Err(note),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// incremental
+// ---------------------------------------------------------------------
+
+/// Trace equivalence for the incremental Datalog runtime: replaying a
+/// random insert/retract trace through `DatalogRuntime` must yield the
+/// same IDB extents as from-scratch semi-naive recomputation at every
+/// `poll` (at one and three worker threads), and replaying the same
+/// trace under a tight shared fuel budget must never panic, must be
+/// outcome-deterministic, and must recover to the exact fixpoint with
+/// one unbudgeted poll afterwards.
+#[derive(Debug)]
+pub struct Incremental;
+
+/// Test-only fault-injection hook, the `incremental` analog of
+/// [`INJECT_PANIC_ENV`]: when set, the trace check reports a fabricated
+/// divergence, which exercises the oracle's shrink-and-serialize path
+/// (and generated the committed `tests/corpus/incremental-*.case`
+/// files), since a correct runtime never diverges organically.
+pub const INJECT_INCR_ENV: &str = "FMT_CONFORM_INJECT_INCR";
+
+fn inject_incr_armed() -> bool {
+    std::env::var_os(INJECT_INCR_ENV).is_some()
+}
+
+/// The from-scratch reference: semi-naive evaluation over a structure
+/// holding exactly `facts`, as sorted tuple lists per IDB.
+fn incr_scratch(
+    prog: &Program,
+    domain: u32,
+    facts: &std::collections::BTreeSet<(u32, u32)>,
+) -> Vec<Vec<Vec<Elem>>> {
+    let e = prog.signature().relation("E").expect("graph signature");
+    let mut b = fmt_structures::StructureBuilder::new(prog.signature().clone(), domain);
+    for &(u, v) in facts {
+        b.add(e, &[u, v]).expect("trace ops are in domain");
+    }
+    let out = prog.eval_seminaive(&b.build().expect("trace structure is valid"));
+    (0..prog.num_idbs())
+        .map(|i| {
+            let mut rows: Vec<Vec<Elem>> = out.relation(i).iter().collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+/// `None` when the runtime upholds the trace-equivalence and budget
+/// contracts on `(src, trace, fuel)`.
+fn incremental_violation(src: &str, trace: &gen::UpdateTrace, fuel: u64) -> Option<String> {
+    use fmt_queries::incremental::DatalogRuntime;
+    use gen::UpdateOp;
+
+    let sig = fmt_structures::Signature::graph();
+    let prog = match Program::parse(&sig, src) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("program failed to parse: {e}")),
+    };
+    let e = sig.relation("E").expect("graph signature");
+    if inject_incr_armed() {
+        return Some(format!(
+            "injected incremental fault ({INJECT_INCR_ENV} is set)"
+        ));
+    }
+
+    // Half one: unbudgeted trace equivalence, at 1 and 3 threads.
+    let mut facts: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    let mut rt1 = DatalogRuntime::new(prog.clone(), trace.domain);
+    let mut rt3 = DatalogRuntime::new(prog.clone(), trace.domain);
+    rt3.set_threads(3);
+    for (step, op) in trace.ops.iter().enumerate() {
+        match *op {
+            UpdateOp::Insert(u, v) => {
+                facts.insert((u, v));
+                rt1.insert(e, &[u, v]);
+                rt3.insert(e, &[u, v]);
+            }
+            UpdateOp::Retract(u, v) => {
+                facts.remove(&(u, v));
+                rt1.retract(e, &[u, v]);
+                rt3.retract(e, &[u, v]);
+            }
+            UpdateOp::Poll => {
+                rt1.poll();
+                rt3.poll();
+                let want = incr_scratch(&prog, trace.domain, &facts);
+                for (threads, rt) in [(1usize, &rt1), (3, &rt3)] {
+                    for (i, rows) in want.iter().enumerate() {
+                        let mut got: Vec<Vec<Elem>> = rt.query(i).iter().collect();
+                        got.sort();
+                        if got != *rows {
+                            let (name, _) = prog.idb_info(i);
+                            return Some(format!(
+                                "runtime({threads} threads) diverges from scratch on {name} \
+                                 at poll (op {step}): {got:?} vs {rows:?}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Half two: the same trace under one tight shared fuel budget must
+    // not panic and must produce the identical outcome sequence twice
+    // (single-threaded exhaustion is deterministic), then recover to
+    // the exact fixpoint with one unbudgeted poll.
+    let budgeted = |fuel: u64| -> Result<Vec<String>, String> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let budget = Budget::with_fuel(fuel);
+            let mut rt = DatalogRuntime::new(prog.clone(), trace.domain);
+            let mut outcomes = Vec::new();
+            for op in &trace.ops {
+                match *op {
+                    UpdateOp::Insert(u, v) => rt.insert(e, &[u, v]),
+                    UpdateOp::Retract(u, v) => rt.retract(e, &[u, v]),
+                    UpdateOp::Poll => outcomes.push(match rt.try_poll(&budget) {
+                        Ok(stats) => format!("ok rebuilt={}", stats.rebuilt),
+                        Err(ex) => format!("exhausted spent={} at={}", ex.spent, ex.at),
+                    }),
+                }
+            }
+            let final_poll = rt.poll();
+            outcomes.push(format!("recovery rebuilt={}", final_poll.rebuilt));
+            let want = incr_scratch(&prog, trace.domain, &facts);
+            for (i, rows) in want.iter().enumerate() {
+                let mut got: Vec<Vec<Elem>> = rt.query(i).iter().collect();
+                got.sort();
+                if got != *rows {
+                    let (name, _) = prog.idb_info(i);
+                    outcomes.push(format!("post-recovery divergence on {name}"));
+                }
+            }
+            outcomes
+        }))
+        .map_err(|_| format!("runtime panicked replaying the trace under fuel {fuel}"))
+    };
+    let first = match budgeted(fuel) {
+        Ok(o) => o,
+        Err(note) => return Some(note),
+    };
+    if let Some(bad) = first.iter().find(|o| o.starts_with("post-recovery")) {
+        return Some(format!("{bad} under fuel {fuel}"));
+    }
+    let second = match budgeted(fuel) {
+        Ok(o) => o,
+        Err(note) => return Some(note),
+    };
+    if first != second {
+        return Some(format!(
+            "budgeted replay is nondeterministic under fuel {fuel}: {first:?} vs {second:?}"
+        ));
+    }
+    None
+}
+
+impl Oracle for Incremental {
+    fn name(&self) -> &'static str {
+        "incremental"
+    }
+
+    fn run_case(&self, rng: &mut StdRng, seed: u64, case: u64) -> Option<ReproCase> {
+        OBS_INCR.incr();
+        let src = gen::random_datalog_program(rng);
+        let trace = gen::random_update_trace(rng);
+        let fuel = rng.random_range(1..=300u64);
+        let note = incremental_violation(&src, &trace, fuel)?;
+        let ((trace, fuel), _) = minimize(
+            (trace, fuel),
+            &mut |(t, fl): &(gen::UpdateTrace, u64)| {
+                *fl >= 1 && incremental_violation(&src, t, *fl).is_some()
+            },
+            SHRINK_BUDGET,
+        );
+        let note = incremental_violation(&src, &trace, fuel).unwrap_or(note);
+        let mut c = case_skeleton(self, seed, case, note);
+        c.params = vec![
+            ("domain".to_owned(), trace.domain.to_string()),
+            ("program".to_owned(), src.trim().to_owned()),
+            ("trace".to_owned(), trace.to_compact()),
+            ("fuel".to_owned(), fuel.to_string()),
+        ];
+        Some(c)
+    }
+
+    fn replay(&self, case: &ReproCase) -> Result<(), String> {
+        let domain = case.param_u64("domain")? as u32;
+        let src = case.param("program").ok_or("case is missing `program`")?;
+        let text = case.param("trace").ok_or("case is missing `trace`")?;
+        let trace = gen::UpdateTrace::parse_compact(domain, text)?;
+        let fuel = case.param_u64("fuel")?.max(1);
+        match incremental_violation(src, &trace, fuel) {
             Some(note) => Err(note),
             None => Ok(()),
         }

@@ -8,6 +8,7 @@
 //! counterexample before serializing it; ordinary proptests can opt in
 //! by calling [`minimize`] in their failure path.
 
+use crate::gen::UpdateTrace;
 use fmt_logic::Formula;
 use fmt_obs::Counter;
 use fmt_structures::{Structure, StructureBuilder};
@@ -143,6 +144,39 @@ impl Shrinkable for Formula {
     }
 }
 
+impl Shrinkable for UpdateTrace {
+    /// Halving first (drop the first or second half of the ops — the
+    /// delta-debugging move that kills long traces fast), then
+    /// single-op drops. The domain is left alone: every remaining op
+    /// stays in range, and the failing poll usually depends on it.
+    fn shrink_candidates(&self) -> Vec<UpdateTrace> {
+        let mut out = Vec::new();
+        let n = self.ops.len();
+        if n >= 2 {
+            for half in [&self.ops[n / 2..], &self.ops[..n / 2]] {
+                out.push(UpdateTrace {
+                    domain: self.domain,
+                    ops: half.to_vec(),
+                });
+            }
+        }
+        for i in 0..n {
+            let ops: Vec<_> = self
+                .ops
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, op)| *op)
+                .collect();
+            out.push(UpdateTrace {
+                domain: self.domain,
+                ops,
+            });
+        }
+        out
+    }
+}
+
 /// Numeric parameters shrink toward zero: `0`, halving, decrement.
 impl Shrinkable for u64 {
     fn shrink_candidates(&self) -> Vec<u64> {
@@ -244,6 +278,31 @@ mod tests {
         // Failure: m >= 5. Greedy descent must land exactly on 5.
         let (m, _) = minimize(40u64, &mut |&v| v >= 5, 1000);
         assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn update_traces_shrink_to_the_guilty_op() {
+        use crate::gen::UpdateOp;
+        // Failure: "the trace still retracts (1, 2)". Minimal failing
+        // trace is that single retraction.
+        let t = UpdateTrace {
+            domain: 4,
+            ops: vec![
+                UpdateOp::Insert(0, 1),
+                UpdateOp::Poll,
+                UpdateOp::Insert(1, 2),
+                UpdateOp::Retract(1, 2),
+                UpdateOp::Poll,
+                UpdateOp::Insert(2, 3),
+            ],
+        };
+        let (min, _) = minimize(
+            t,
+            &mut |c: &UpdateTrace| c.ops.contains(&UpdateOp::Retract(1, 2)),
+            10_000,
+        );
+        assert_eq!(min.ops, vec![UpdateOp::Retract(1, 2)]);
+        assert_eq!(min.domain, 4);
     }
 
     #[test]

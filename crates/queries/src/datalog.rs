@@ -1120,13 +1120,13 @@ impl Program {
 /// subsets. The handful of indexes per predicate live in a `Vec` —
 /// a linear key scan beats hashing a `Vec<usize>` per probe.
 #[derive(Debug)]
-struct IdbStore {
-    store: TupleStore,
-    indexes: Vec<(Vec<usize>, ColumnIndex)>,
+pub(crate) struct IdbStore {
+    pub(crate) store: TupleStore,
+    pub(crate) indexes: Vec<(Vec<usize>, ColumnIndex)>,
 }
 
 impl IdbStore {
-    fn new(arity: usize) -> IdbStore {
+    pub(crate) fn new(arity: usize) -> IdbStore {
         IdbStore {
             store: TupleStore::new(arity),
             indexes: Vec::new(),
@@ -1137,7 +1137,7 @@ impl IdbStore {
         self.store.len()
     }
 
-    fn ensure_index(&mut self, key: &[usize]) {
+    pub(crate) fn ensure_index(&mut self, key: &[usize]) {
         if self.indexes.iter().any(|(k, _)| k == key) {
             return;
         }
@@ -1146,7 +1146,7 @@ impl IdbStore {
         self.indexes.push((key.to_vec(), idx));
     }
 
-    fn index(&self, key: &[usize]) -> &ColumnIndex {
+    pub(crate) fn index(&self, key: &[usize]) -> &ColumnIndex {
         &self
             .indexes
             .iter()
@@ -1157,7 +1157,7 @@ impl IdbStore {
 
     /// Catches every index up to the rows appended since the last call
     /// (the semi-naive merge step).
-    fn extend_indexes(&mut self) {
+    pub(crate) fn extend_indexes(&mut self) {
         for (_, idx) in &mut self.indexes {
             idx.extend(&self.store);
         }
@@ -1215,7 +1215,7 @@ struct Step {
     access: Access,
 }
 
-fn rule_num_vars(rule: &Rule) -> usize {
+pub(crate) fn rule_num_vars(rule: &Rule) -> usize {
     rule.head
         .args
         .iter()
@@ -1224,7 +1224,7 @@ fn rule_num_vars(rule: &Rule) -> usize {
         .map_or(0, |&m| m as usize + 1)
 }
 
-fn head_idb(rule: &Rule) -> usize {
+pub(crate) fn head_idb(rule: &Rule) -> usize {
     match rule.head.pred {
         Pred::Idb(i) => i,
         Pred::Edb(_) => unreachable!("heads are IDB by construction"),

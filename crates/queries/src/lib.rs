@@ -13,6 +13,9 @@
 //! * [`datalog`] — a Datalog engine with naive and semi-naive
 //!   evaluation, including the survey's *same-generation* program and
 //!   the transitive-closure program;
+//! * [`incremental`] — a long-lived Datalog runtime maintaining the
+//!   semi-naive fixpoint under fact insertions and retractions
+//!   (delta rules + DRed) instead of recomputing from scratch;
 //! * [`interp`] — FO interpretations: define a new structure by FO
 //!   formulas over an old one (reductions-as-queries);
 //! * [`reductions`] — the paper's three tricks, end to end:
@@ -24,6 +27,7 @@
 
 pub mod datalog;
 pub mod graph;
+pub mod incremental;
 pub mod interp;
 pub mod order_invariant;
 pub mod reductions;

@@ -244,7 +244,7 @@ impl ColumnIndex {
     /// the store's arity.
     pub fn extend(&mut self, store: &TupleStore) {
         debug_assert!(self.key.iter().all(|&p| p < store.arity()) || store.arity() == 0);
-        let upto = store.len32();
+        let upto = store.rows32();
         for id in self.built_upto..upto {
             let h = self
                 .key
@@ -256,9 +256,12 @@ impl ColumnIndex {
         self.built_upto = upto;
     }
 
-    /// Row ids in `store` whose keyed columns hold exactly `key_vals`.
-    /// Candidates come from the hash bucket and are verified against
-    /// the arenas, so collisions cannot leak wrong rows.
+    /// Row ids of *live* rows in `store` whose keyed columns hold
+    /// exactly `key_vals`. Candidates come from the hash bucket and
+    /// are verified against the arenas, so collisions cannot leak
+    /// wrong rows; tombstoned rows stay in the buckets until the store
+    /// is compacted (and the index rebuilt), so liveness is checked
+    /// here too.
     pub fn probe<'a>(
         &'a self,
         store: &'a TupleStore,
@@ -270,10 +273,12 @@ impl ColumnIndex {
         let ids: &[u32] = self.map.get(&h).map_or(&[], Vec::as_slice);
         OBS_PROBES.add(ids.len() as u64);
         ids.iter().copied().filter(move |&id| {
-            self.key
-                .iter()
-                .zip(key_vals.iter())
-                .all(|(&p, &v)| store.value(id, p) == v)
+            store.is_live(id)
+                && self
+                    .key
+                    .iter()
+                    .zip(key_vals.iter())
+                    .all(|(&p, &v)| store.value(id, p) == v)
         })
     }
 }

@@ -22,7 +22,11 @@
 //! * `queries.store.rehashes` — dedup-table growth events;
 //! * `queries.store.probe_allocs` — heap allocations probe paths had to
 //!   fall back to (zero in the steady-state join loop; see
-//!   [`note_probe_alloc`]).
+//!   [`note_probe_alloc`]);
+//! * `queries.store.tombstones` — rows logically deleted by
+//!   [`TupleStore::remove`]/[`TupleStore::remove_row`];
+//! * `queries.store.compactions` — arena rebuilds that reclaimed
+//!   tombstoned rows ([`TupleStore::compact`]).
 
 use crate::{Elem, Relation};
 use std::collections::HashSet;
@@ -31,6 +35,8 @@ static OBS_ROWS: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.rows");
 static OBS_ARENA_BYTES: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.arena_bytes");
 static OBS_REHASHES: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.rehashes");
 static OBS_PROBE_ALLOCS: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.probe_allocs");
+static OBS_TOMBSTONES: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.tombstones");
+static OBS_COMPACTIONS: fmt_obs::Counter = fmt_obs::Counter::new("queries.store.compactions");
 
 /// Records that a probe path had to heap-allocate (a key or scratch
 /// buffer outgrew its stack backing). The columnar join kernel reports
@@ -72,14 +78,28 @@ const EMPTY: u32 = u32::MAX;
 /// the next row id or reports the existing duplicate. Set semantics
 /// live in [`PartialEq`]: two stores are equal when they hold the same
 /// tuples, whatever the insertion order.
+///
+/// Deletion is *logical*: [`TupleStore::remove`] tombstones a row
+/// without moving anything, so live row ids stay stable — the property
+/// the incremental engine's row-id deltas rely on. A tombstoned row
+/// keeps its dedup slot; re-inserting the same tuple *revives* the old
+/// row id instead of appending. [`TupleStore::compact`] rebuilds the
+/// arenas to reclaim tombstones (invalidating row ids, which is why it
+/// is an explicit call, not a side effect).
 #[derive(Debug, Clone)]
 pub struct TupleStore {
     arity: usize,
     cols: Vec<Vec<Elem>>,
     len: u32,
     /// Open-addressing table of row ids ([`EMPTY`] = free), sized to a
-    /// power of two and kept under ~70% load.
+    /// power of two and kept under ~70% load. Tombstoned rows keep
+    /// their slot so re-insertion revives them.
     slots: Vec<u32>,
+    /// Tombstone bitmap, indexed by `row / 64`; lazily grown, so
+    /// stores that never delete pay one `dead_count == 0` check.
+    dead: Vec<u64>,
+    /// Number of tombstoned rows (`len` minus live rows).
+    dead_count: u32,
     hasher: ElemHasher,
 }
 
@@ -97,6 +117,8 @@ impl TupleStore {
             cols: vec![Vec::new(); arity],
             len: 0,
             slots: Vec::new(),
+            dead: Vec::new(),
+            dead_count: 0,
             hasher,
         }
     }
@@ -129,19 +151,43 @@ impl TupleStore {
         self.arity
     }
 
-    /// Number of (distinct) rows.
+    /// Number of (distinct) *live* rows — tombstoned rows don't count.
     pub fn len(&self) -> usize {
-        self.len as usize
+        (self.len - self.dead_count) as usize
     }
 
-    /// Number of rows as the row-id type.
+    /// Number of arena rows — live *and* tombstoned — as the row-id
+    /// type. Row ids range over `0..rows32()`; delta ranges and index
+    /// maintenance work in this coordinate space.
+    pub fn rows32(&self) -> u32 {
+        self.len
+    }
+
+    /// Alias of [`TupleStore::rows32`], kept for the append-only
+    /// callers (the batch engines never tombstone, so for them arena
+    /// rows and live rows coincide).
     pub fn len32(&self) -> u32 {
         self.len
     }
 
-    /// `true` if the store holds no rows.
+    /// Number of tombstoned rows awaiting [`TupleStore::compact`].
+    pub fn tombstones(&self) -> usize {
+        self.dead_count as usize
+    }
+
+    /// `true` iff `row` has not been tombstoned.
+    #[inline]
+    pub fn is_live(&self, row: u32) -> bool {
+        self.dead_count == 0
+            || self
+                .dead
+                .get((row / 64) as usize)
+                .is_none_or(|w| w & (1 << (row % 64)) == 0)
+    }
+
+    /// `true` if the store holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len == self.dead_count
     }
 
     /// Bytes occupied by the column arenas.
@@ -186,27 +232,42 @@ impl TupleStore {
             .all(|(c, &v)| c[row as usize] == v)
     }
 
-    /// Membership test: hashes `t`'s values directly and verifies every
-    /// hash candidate against the arenas. No per-call allocation.
-    pub fn contains(&self, t: &[Elem]) -> bool {
+    /// The arena row holding `t`, live or tombstoned. At most one
+    /// arena row ever holds a given tuple (re-insertion revives rather
+    /// than duplicates), so the answer is unique.
+    fn slot_of(&self, t: &[Elem]) -> Option<u32> {
         debug_assert_eq!(t.len(), self.arity);
         if self.slots.is_empty() {
-            return false;
+            return None;
         }
         let mask = self.slots.len() - 1;
         let mut i = (self.tuple_hash(t) as usize) & mask;
         loop {
             match self.slots[i] {
-                EMPTY => return false,
-                id if self.row_eq(id, t) => return true,
+                EMPTY => return None,
+                id if self.row_eq(id, t) => return Some(id),
                 _ => i = (i + 1) & mask,
             }
         }
     }
 
-    /// Appends `t` unless an equal row exists; returns the new row id,
-    /// or `None` on a duplicate. O(1) amortized, no per-tuple heap
-    /// allocation beyond arena growth.
+    /// Membership test over the *live* rows: hashes `t`'s values
+    /// directly and verifies every hash candidate against the arenas.
+    /// No per-call allocation.
+    pub fn contains(&self, t: &[Elem]) -> bool {
+        self.slot_of(t).is_some_and(|id| self.is_live(id))
+    }
+
+    /// The row id of the live row equal to `t`, if any.
+    pub fn find(&self, t: &[Elem]) -> Option<u32> {
+        self.slot_of(t).filter(|&id| self.is_live(id))
+    }
+
+    /// Appends `t` unless an equal live row exists; returns the row id
+    /// now holding `t`, or `None` on a duplicate. Re-inserting a
+    /// tombstoned tuple *revives* its old row id (the returned id is
+    /// then smaller than [`TupleStore::rows32`]` - 1`). O(1)
+    /// amortized, no per-tuple heap allocation beyond arena growth.
     pub fn push_if_new(&mut self, t: &[Elem]) -> Option<u32> {
         debug_assert_eq!(t.len(), self.arity);
         if (self.len as usize + 1) * 10 > self.slots.len() * 7 {
@@ -217,7 +278,14 @@ impl TupleStore {
         loop {
             match self.slots[i] {
                 EMPTY => break,
-                id if self.row_eq(id, t) => return None,
+                id if self.row_eq(id, t) => {
+                    if self.is_live(id) {
+                        return None;
+                    }
+                    self.dead[(id / 64) as usize] &= !(1 << (id % 64));
+                    self.dead_count -= 1;
+                    return Some(id);
+                }
                 _ => i = (i + 1) & mask,
             }
         }
@@ -230,6 +298,85 @@ impl TupleStore {
         OBS_ROWS.incr();
         OBS_ARENA_BYTES.add((self.arity * std::mem::size_of::<Elem>()) as u64);
         Some(id)
+    }
+
+    /// Tombstones the live row equal to `t`; returns its row id, or
+    /// `None` if no live row matches. The arenas don't move: other row
+    /// ids stay valid, and the dedup slot is kept so a later
+    /// [`TupleStore::push_if_new`] of the same tuple revives this row.
+    pub fn remove(&mut self, t: &[Elem]) -> Option<u32> {
+        let id = self.find(t)?;
+        self.remove_row(id);
+        Some(id)
+    }
+
+    /// Tombstones row `row` directly (the row-id-addressed twin of
+    /// [`TupleStore::remove`]); returns `false` if it was already dead.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range.
+    pub fn remove_row(&mut self, row: u32) -> bool {
+        assert!(row < self.len, "row id out of range");
+        if !self.is_live(row) {
+            return false;
+        }
+        let word = (row / 64) as usize;
+        if self.dead.len() <= word {
+            self.dead.resize(word + 1, 0);
+        }
+        self.dead[word] |= 1 << (row % 64);
+        self.dead_count += 1;
+        OBS_TOMBSTONES.incr();
+        true
+    }
+
+    /// Rebuilds the arenas with only the live rows (in row-id order)
+    /// and rehashes the dedup table, reclaiming every tombstone.
+    /// Returns the old-row → new-row mapping, with [`u32::MAX`] marking
+    /// rows that were dead. **All previously handed-out row ids are
+    /// invalidated**; callers owning derived row-id state (indexes,
+    /// delta lists) must rebuild it.
+    pub fn compact(&mut self) -> Vec<u32> {
+        let mut remap = vec![u32::MAX; self.len as usize];
+        if self.dead_count == 0 {
+            for (old, slot) in remap.iter_mut().enumerate() {
+                *slot = old as u32;
+            }
+            return remap;
+        }
+        OBS_COMPACTIONS.incr();
+        let mut next: u32 = 0;
+        for old in 0..self.len {
+            if !self.is_live(old) {
+                continue;
+            }
+            let new = next;
+            next += 1;
+            remap[old as usize] = new;
+            if new != old {
+                for c in &mut self.cols {
+                    c[new as usize] = c[old as usize];
+                }
+            }
+        }
+        for c in &mut self.cols {
+            c.truncate(next as usize);
+        }
+        self.len = next;
+        self.dead.clear();
+        self.dead_count = 0;
+        let cap = (next as usize * 10 / 7 + 1).next_power_of_two().max(16);
+        let mask = cap - 1;
+        let mut slots = vec![EMPTY; cap];
+        for id in 0..self.len {
+            let mut i = (self.row_hash(id) as usize) & mask;
+            while slots[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = id;
+        }
+        self.slots = slots;
+        remap
     }
 
     /// Grows the dedup table 4× and reinserts every row id. Quadrupling
@@ -260,8 +407,9 @@ impl TupleStore {
         buf.extend(self.cols.iter().map(|c| c[row as usize]));
     }
 
-    /// Iterates the rows as materialized tuples, in row-id order. Meant
-    /// for output consumers; the join kernel reads columns directly.
+    /// Iterates the *live* rows as materialized tuples, in row-id
+    /// order (tombstoned rows are skipped). Meant for output
+    /// consumers; the join kernel reads columns directly.
     pub fn iter(&self) -> TupleIter<'_> {
         TupleIter {
             store: self,
@@ -281,17 +429,20 @@ impl Iterator for TupleIter<'_> {
     type Item = Vec<Elem>;
 
     fn next(&mut self) -> Option<Vec<Elem>> {
-        if self.next >= self.store.len {
-            return None;
+        while self.next < self.store.len {
+            let row = self.next;
+            self.next += 1;
+            if self.store.is_live(row) {
+                return Some(self.store.cols.iter().map(|c| c[row as usize]).collect());
+            }
         }
-        let row = self.next;
-        self.next += 1;
-        Some(self.store.cols.iter().map(|c| c[row as usize]).collect())
+        None
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
         let rest = (self.store.len - self.next) as usize;
-        (rest, Some(rest))
+        let dead = self.store.dead_count as usize;
+        (rest.saturating_sub(dead), Some(rest))
     }
 }
 
@@ -304,20 +455,21 @@ impl<'a> IntoIterator for &'a TupleStore {
     }
 }
 
-/// Set equality: same arity-compatible tuple sets, any insertion order.
+/// Set equality over the live rows: same tuple sets, whatever the
+/// insertion order or tombstone layout.
 impl PartialEq for TupleStore {
     fn eq(&self, other: &TupleStore) -> bool {
-        if self.len != other.len {
+        if self.len() != other.len() {
             return false;
         }
-        if self.len == 0 {
+        if self.is_empty() {
             return true;
         }
         if self.arity != other.arity {
             return false;
         }
         let mut buf = Vec::with_capacity(self.arity);
-        (0..self.len).all(|id| {
+        (0..self.len).filter(|&id| self.is_live(id)).all(|id| {
             self.read_row_into(id, &mut buf);
             other.contains(&buf)
         })
@@ -429,6 +581,105 @@ mod tests {
         let set: HashSet<Vec<Elem>> = [vec![1, 2], vec![3, 4]].into_iter().collect();
         assert_eq!(a, set);
         assert_eq!(set, a);
+    }
+
+    #[test]
+    fn remove_tombstones_and_reinsert_revives_the_row_id() {
+        let mut st = TupleStore::new(2);
+        assert_eq!(st.push_if_new(&[1, 2]), Some(0));
+        assert_eq!(st.push_if_new(&[3, 4]), Some(1));
+        assert_eq!(st.remove(&[1, 2]), Some(0));
+        assert_eq!(st.remove(&[1, 2]), None, "already dead");
+        assert_eq!(st.remove(&[9, 9]), None, "never present");
+        assert!(!st.contains(&[1, 2]));
+        assert_eq!(st.find(&[1, 2]), None);
+        assert!(!st.is_live(0));
+        assert!(st.is_live(1));
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.rows32(), 2);
+        assert_eq!(st.tombstones(), 1);
+        assert_eq!(st.iter().collect::<Vec<_>>(), vec![vec![3, 4]]);
+        // Revival hands back the original row id, not a fresh one.
+        assert_eq!(st.push_if_new(&[1, 2]), Some(0));
+        assert_eq!(st.push_if_new(&[1, 2]), None);
+        assert!(st.is_live(0));
+        assert_eq!(st.tombstones(), 0);
+        assert_eq!(st.find(&[1, 2]), Some(0));
+    }
+
+    #[test]
+    fn remove_row_is_the_row_addressed_twin() {
+        let mut st = TupleStore::new(1);
+        st.push_if_new(&[7]);
+        assert!(st.remove_row(0));
+        assert!(!st.remove_row(0));
+        assert!(!st.contains(&[7]));
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_remaps() {
+        let mut st = TupleStore::new(2);
+        for u in 0..100u32 {
+            st.push_if_new(&[u, u + 1]);
+        }
+        for u in (0..100u32).step_by(2) {
+            st.remove(&[u, u + 1]);
+        }
+        let before: HashSet<Vec<Elem>> = st.iter().collect();
+        let remap = st.compact();
+        assert_eq!(st.len(), 50);
+        assert_eq!(st.rows32(), 50);
+        assert_eq!(st.tombstones(), 0);
+        let after: HashSet<Vec<Elem>> = st.iter().collect();
+        assert_eq!(before, after);
+        for (old, &new) in remap.iter().enumerate() {
+            if old % 2 == 0 {
+                assert_eq!(new, u32::MAX, "dead rows map nowhere");
+            } else {
+                assert_eq!(st.value(new, 0), old as u32, "live rows keep values");
+            }
+        }
+        for u in (1..100u32).step_by(2) {
+            assert!(st.contains(&[u, u + 1]));
+        }
+        // Compacting a tombstone-free store is the identity.
+        let id_map = st.compact();
+        assert_eq!(id_map, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn set_equality_ignores_tombstone_layout() {
+        let mut a = TupleStore::new(2);
+        let mut b = TupleStore::new(2);
+        a.push_if_new(&[1, 2]);
+        a.push_if_new(&[3, 4]);
+        a.remove(&[1, 2]);
+        b.push_if_new(&[3, 4]);
+        assert_eq!(a, b);
+        let set: HashSet<Vec<Elem>> = [vec![3, 4]].into_iter().collect();
+        assert_eq!(a, set);
+        assert_eq!(set, a);
+        a.push_if_new(&[1, 2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn colliding_hasher_removal_walks_the_chain() {
+        let mut st = TupleStore::with_hasher(2, collide);
+        for u in 0..20u32 {
+            st.push_if_new(&[u, u]);
+        }
+        assert_eq!(st.remove(&[7, 7]), Some(7));
+        assert!(!st.contains(&[7, 7]));
+        for u in 0..20u32 {
+            assert_eq!(st.contains(&[u, u]), u != 7);
+        }
+        let remap = st.compact();
+        assert_eq!(remap[7], u32::MAX);
+        assert_eq!(st.len(), 19);
+        for u in 0..20u32 {
+            assert_eq!(st.contains(&[u, u]), u != 7);
+        }
     }
 
     #[test]

@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "==> datalog join-engine harness (writes BENCH_datalog.json)"
 cargo run --release -p fmt-bench --bin datalog_bench
 
+echo "==> incremental maintenance harness (appends to BENCH_datalog.json)"
+cargo run --release -p fmt-bench --bin datalog_incr_bench
+
 echo "==> criterion bench: datalog"
 cargo bench -p fmt-bench --bench datalog
 

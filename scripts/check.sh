@@ -41,6 +41,10 @@ echo "==> budget fault-injection smoke sweep (fixed seed, 240 cases)"
 cargo run --release -q -p fmt-cli --bin fmtk -- \
     conform --oracle budget-fault --seed 11 --cases 240
 
+echo "==> incremental trace-equivalence sweep (fixed seed, 240 cases)"
+cargo run --release -q -p fmt-cli --bin fmtk -- \
+    conform --oracle incremental --seed 13 --cases 240
+
 echo "==> budget overhead gate (unlimited budget within 5% of tc_path_512 baseline)"
 # Per-process code/heap layout moves hot-loop timings by a few percent,
 # so retry across process spawns: a real regression fails every spawn.
@@ -68,6 +72,20 @@ for attempt in 1 2 3 4 5; do
 done
 if [[ "$throughput_ok" != 1 ]]; then
     echo "throughput gate failed on all attempts" >&2
+    exit 1
+fi
+
+echo "==> incremental gate (maintained update >=5x faster than from-scratch on tc_path_512)"
+incr_ok=0
+for attempt in 1 2 3 4 5; do
+    if cargo run --release -q -p fmt-bench --bin incr_gate; then
+        incr_ok=1
+        break
+    fi
+    echo "  (attempt $attempt hit an unlucky layout or noisy window; respawning)"
+done
+if [[ "$incr_ok" != 1 ]]; then
+    echo "incremental gate failed on all attempts" >&2
     exit 1
 fi
 
