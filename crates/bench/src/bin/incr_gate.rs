@@ -44,7 +44,8 @@ fn main() {
         t0.elapsed().as_secs_f64()
     });
 
-    let mut rt = DatalogRuntime::from_structure(prog.clone(), &s);
+    let mut rt =
+        DatalogRuntime::from_structure(prog.clone(), &s).expect("gate programs are negation-free");
     rt.poll();
     let last = (NODES - 2, NODES - 1);
     let cycle = |rt: &mut DatalogRuntime| {

@@ -24,7 +24,7 @@ use fmt_core::games::solver::try_rank;
 use fmt_core::lint::{self, LintConfig};
 use fmt_core::locality::{TypeCensus, TypeRegistry};
 use fmt_core::logic::{parser as fo_parser, Query, QueryError};
-use fmt_core::queries::datalog::Program;
+use fmt_core::queries::datalog::{EvalError, ParsedProgram, Program};
 use fmt_core::structures::budget::{Budget, Exhausted};
 use fmt_core::structures::{parse as sparse, Diagnostic, Severity, Signature, Structure};
 use fmt_core::zeroone;
@@ -62,6 +62,41 @@ fn exhausted(e: Exhausted) -> CliFailure {
     CliFailure::Exhausted(e.to_string())
 }
 
+/// Renders a static evaluation error (unstratifiable program, unsafe
+/// negation) as the caret diagnostic `fmtk lint` emits for the same
+/// defect — D006/D007 with the span of the offending negated atom —
+/// and maps budget exhaustion onto exit code 3.
+fn render_eval_error(e: EvalError, parsed: &ParsedProgram, src: &str, origin: &str) -> CliFailure {
+    let spanned = |code: &str, msg: String, rule: usize, atom: usize| {
+        CliFailure::Error(
+            Diagnostic::error(code, msg)
+                .with_span(parsed.spans[rule].body[atom].span)
+                .render(src, origin)
+                .trim_end()
+                .to_owned(),
+        )
+    };
+    match e {
+        EvalError::Exhausted(ex) => exhausted(ex),
+        EvalError::Unstratifiable {
+            rule,
+            atom,
+            ref pred,
+            ref cycle,
+        } => spanned(
+            "D006",
+            format!(
+                "program is not stratifiable: {pred} is negated inside the recursive component \
+                 {{{}}}",
+                cycle.join(", ")
+            ),
+            rule,
+            atom,
+        ),
+        EvalError::UnsafeNegation { rule, atom, .. } => spanned("D007", e.to_string(), rule, atom),
+    }
+}
+
 type CliResult = Result<String, CliFailure>;
 
 fn usage() -> String {
@@ -75,6 +110,7 @@ fn usage() -> String {
      [--incremental --updates FILE]   maintain the fixpoint under +E(u,v) / -E(u,v) / poll updates\n  \
      fmtk lint   [FILE | --expr \"<formula>\" | --program \"<rules>\"] [--format text|json]\n          \
      [--deny CODE|warnings ...] [--rel NAME:ARITY ...] [--sentence] [--rank-budget N] [--goal PRED]\n  \
+     fmtk lint   --explain CODE   print the long-form description of a lint code\n  \
      fmtk conform [--seed N] [--cases K] [--oracle NAME] [--corpus DIR] [--replay FILE]\n  \
      fmtk sample\n\
      global flags:\n  \
@@ -309,7 +345,7 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         }
         let upath = updates.ok_or_else(|| "--incremental requires --updates FILE".to_owned())?;
         let usrc = read_input(&upath)?;
-        return run_incremental(&s, prog, &usrc, &upath, threads, budget);
+        return run_incremental(&s, &parsed, &src, ppath, &usrc, &upath, threads, budget);
     }
     // --explain reads span fields back out of the trace journal. A live
     // --trace session is reused (and peeked, not drained, so the trace
@@ -339,7 +375,7 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
     } else {
         None
     };
-    let out = out.map_err(exhausted)?;
+    let out = out.map_err(|e| render_eval_error(e, &parsed, &src, ppath))?;
     let mut text = String::new();
     for i in 0..prog.num_idbs() {
         let (name, arity) = prog.idb_info(i);
@@ -368,16 +404,35 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
 /// The runtime is seeded from the structure and polled once up front;
 /// a trailing poll is implied when updates are left pending. Prints a
 /// maintenance summary per poll and the final IDB extents.
+#[allow(clippy::too_many_arguments)]
 fn run_incremental(
     s: &Structure,
-    prog: &Program,
+    parsed: &ParsedProgram,
+    src: &str,
+    ppath: &str,
     usrc: &str,
     upath: &str,
     threads: usize,
     budget: &Budget,
 ) -> CliResult {
     use fmt_core::queries::incremental::DatalogRuntime;
-    let mut rt = DatalogRuntime::from_structure(prog.clone(), s);
+    let prog = &parsed.program;
+    // The runtime is stratification-free (DRed under negation is out
+    // of scope); reject negated programs up front with the span of the
+    // first negated atom rather than panicking mid-maintenance.
+    let mut rt = DatalogRuntime::from_structure(prog.clone(), s).map_err(|e| {
+        CliFailure::Error(
+            Diagnostic::error("I001", e.to_string())
+                .with_span(parsed.spans[e.rule].body[e.atom].span)
+                .with_note(
+                    "batch evaluation (`fmtk datalog` without --incremental) supports stratified \
+                     negation; the incremental runtime does not yet",
+                )
+                .render(src, ppath)
+                .trim_end()
+                .to_owned(),
+        )
+    })?;
     rt.set_threads(threads.max(1));
     let mut text = String::new();
     let mut polls = 0u64;
@@ -574,6 +629,33 @@ fn signature_from_rels(args: &mut Vec<String>) -> Result<Arc<Signature>, String>
 }
 
 fn cmd_lint(mut args: Vec<String>) -> CliResult {
+    // `--explain CODE` is a standalone mode: print the registry's
+    // long-form description (rustc-style) and exit.
+    if let Some(code) = flag_value(&mut args, "--explain")? {
+        reject_unknown_flags(&args)?;
+        if !args.is_empty() {
+            return Err(usage().into());
+        }
+        let code = code.to_uppercase();
+        return match lint::explain(&code) {
+            Some(text) => {
+                let (_, summary) = lint::CODES
+                    .iter()
+                    .find(|(c, _)| *c == code)
+                    .expect("every explained code is registered");
+                Ok(format!("{code}: {summary}\n\n{text}"))
+            }
+            None => Err(format!(
+                "unknown lint code {code:?}; registered codes: {}",
+                lint::CODES
+                    .iter()
+                    .map(|(c, _)| *c)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+            .into()),
+        };
+    }
     let format = flag_value(&mut args, "--format")?.unwrap_or_else(|| "text".to_owned());
     if format != "text" && format != "json" {
         return Err(format!("unknown --format {format:?} (use text|json)").into());

@@ -839,3 +839,113 @@ fn trace_written_even_when_budget_exhausts() {
         "{text}"
     );
 }
+
+#[test]
+fn datalog_stratified_negation_end_to_end() {
+    // `t` (stratum 0) feeds the anti-join in `nt` (stratum 1): the only
+    // edge whose reversal is unreachable is (1, 2).
+    let s = write_temp("strat.st", "size: 3\nE(0,1)\nE(1,0)\nE(1,2)\n");
+    let prog = write_temp(
+        "strat.dl",
+        "t(x,y) :- e(x,y). t(x,z) :- e(x,y), t(y,z). nt(x,y) :- e(x,y), !t(y,x).",
+    );
+    for extra in [
+        &[][..],
+        &["--engine", "scan"][..],
+        &["--engine", "indexed"][..],
+        &["--threads", "3"][..],
+    ] {
+        let out = fmtk()
+            .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("nt/2: 1 tuples"), "{extra:?}: {text}");
+        assert!(text.contains("nt(1, 2)"), "{extra:?}: {text}");
+    }
+}
+
+#[test]
+fn datalog_rejects_bad_negation_with_rendered_diagnostics() {
+    let s = write_temp("strat-bad.st", "size: 2\nE(0,1)\n");
+    // Unstratifiable: `p` negated inside its own recursive component.
+    let prog = write_temp("strat-d006.dl", "p(x) :- e(x, y), !p(y).");
+    let out = fmtk()
+        .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("D006"), "{err}");
+    assert!(err.contains("not stratifiable"), "{err}");
+    assert!(
+        err.contains("strat-d006.dl"),
+        "span points into the file: {err}"
+    );
+    // Unsafe: negated atom binds a variable no positive atom binds.
+    let prog = write_temp(
+        "strat-d007.dl",
+        "q(x) :- e(x, x), !p(y, y). p(x, y) :- e(x, y).",
+    );
+    let out = fmtk()
+        .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("D007"), "{err}");
+    assert!(err.contains("unsafe negation"), "{err}");
+}
+
+#[test]
+fn datalog_incremental_rejects_negation_with_i001() {
+    let s = write_temp("strat-incr.st", "size: 3\nE(0,1)\n");
+    let prog = write_temp(
+        "strat-incr.dl",
+        "t(x,y) :- e(x,y). nt(x,y) :- e(x,y), !t(y,x).",
+    );
+    let upd = write_temp("strat-incr.upd", "+E(1,2) poll\n");
+    let out = fmtk()
+        .args([
+            "datalog",
+            s.to_str().unwrap(),
+            prog.to_str().unwrap(),
+            "--incremental",
+            "--updates",
+            upd.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("I001"), "{err}");
+    assert!(err.contains("does not support negation"), "{err}");
+    // The same program runs fine in batch mode — the note's claim.
+    assert!(err.contains("batch evaluation"), "{err}");
+    let out = fmtk()
+        .args(["datalog", s.to_str().unwrap(), prog.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn lint_explain_prints_long_form_text() {
+    let out = fmtk().args(["lint", "--explain", "d006"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("D006:"), "{text}");
+    assert!(text.len() > 100, "explanation is long-form: {text}");
+
+    let out = fmtk().args(["lint", "--explain", "Z999"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown lint code"), "{err}");
+    assert!(err.contains("D006"), "lists registered codes: {err}");
+}

@@ -145,6 +145,59 @@ pub fn random_datalog_program(rng: &mut StdRng) -> String {
     src
 }
 
+/// A random *stratified* Datalog program over EDB `e/2`, and whether a
+/// defect was seeded. Three fixed anchor rules define stratum 0
+/// (`t` = transitive closure, `s` = sources); on top of them the
+/// generator draws 1–3 negation rules (every negated atom safe, every
+/// negation pointing strictly down-stratum) and up to two random
+/// positive rules. With probability ~1/4 a mutant rule is appended
+/// that makes the program unstratifiable (a negation inside a
+/// recursive component) or unsafe (a negated variable no positive atom
+/// binds) — `true` in the returned pair — so the `stratified` oracle
+/// can check the lint verdict and every engine's typed error agree.
+pub fn random_stratified_program(rng: &mut StdRng) -> (String, bool) {
+    const VARS: [&str; 3] = ["x", "y", "z"];
+    let mut src =
+        String::from("t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z). s(x) :- e(x, y). ");
+    // Safe negation rules; `deep` stacks a third stratum on `sink`.
+    const NEG_POOL: [&str; 4] = [
+        "nt(x, y) :- e(x, y), !t(y, x). ",
+        "sink(x) :- e(y, x), !s(x). ",
+        "skip(x, z) :- e(x, y), e(y, z), not e(x, z). ",
+        "deep(x) :- s(x), !sink(x). ",
+    ];
+    let picks = rng.random_range(1..=3usize);
+    let mut chosen = [false; NEG_POOL.len()];
+    for _ in 0..picks {
+        chosen[rng.random_range(0..NEG_POOL.len())] = true;
+    }
+    if chosen[3] {
+        chosen[1] = true; // `deep` negates `sink`, so define it
+    }
+    for (i, rule) in NEG_POOL.iter().enumerate() {
+        if chosen[i] {
+            src.push_str(rule);
+        }
+    }
+    for _ in 0..rng.random_range(0..=2u32) {
+        let v = |rng: &mut StdRng| VARS[rng.random_range(0..VARS.len())];
+        let (a, b, c) = (v(rng), v(rng), v(rng));
+        src.push_str(&format!("s({a}) :- e({a}, {b}), t({b}, {c}). "));
+    }
+    let defect = rng.random_range(0..4u32) == 0;
+    if defect {
+        src.push_str(match rng.random_range(0..3u32) {
+            // Self-negation: the tightest unstratifiable cycle.
+            0 => "w(x) :- e(x, x), !w(x). ",
+            // `t` negates `nt` which (positively) depends on `t`.
+            1 => "nt(x, y) :- e(x, y), !t(y, x). t(x, y) :- e(x, y), !nt(x, y). ",
+            // Unsafe: nothing positive binds z.
+            _ => "u(x) :- e(x, x), !t(z, x). ",
+        });
+    }
+    (src, defect)
+}
+
 /// One operation of an incremental-maintenance trace over the graph
 /// signature's `E/2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,7 +327,31 @@ mod tests {
                 random_datalog_program(&mut a),
                 random_datalog_program(&mut b)
             );
+            assert_eq!(
+                random_stratified_program(&mut a),
+                random_stratified_program(&mut b)
+            );
         }
+    }
+
+    #[test]
+    fn stratified_programs_parse_and_mix_defects() {
+        let sig = fmt_structures::Signature::graph();
+        let mut rng = StdRng::seed_from_u64(23);
+        let (mut clean, mut mutated) = (0, 0);
+        for _ in 0..100 {
+            let (src, defect) = random_stratified_program(&mut rng);
+            fmt_queries::datalog::Program::parse(&sig, &src)
+                .unwrap_or_else(|e| panic!("stratified program must parse: {e}\n{src}"));
+            assert!(src.contains('!') || src.contains("not "), "{src}");
+            if defect {
+                mutated += 1;
+            } else {
+                clean += 1;
+            }
+        }
+        assert!(clean >= 20, "only {clean} clean programs in 100");
+        assert!(mutated >= 5, "only {mutated} mutants in 100");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `lint-clean`     | lint-clean inputs evaluate without panics and all engines agree |
 //! | `budget-fault`   | engines under tight fuel budgets finish, agree, and fail cleanly |
 //! | `incremental`    | insert/retract runtime vs. from-scratch recomputation at every poll |
+//! | `stratified`     | lint verdict ⇔ typed eval error on negated programs; 1-vs-3-thread agreement |
 
 use crate::corpus::ReproCase;
 use crate::gen::{self, GenConfig};
@@ -30,7 +31,7 @@ use fmt_lint::LintConfig;
 use fmt_locality::hanf::hanf_equivalent;
 use fmt_logic::{parser, Formula};
 use fmt_obs::Counter;
-use fmt_queries::datalog::Program;
+use fmt_queries::datalog::{EvalError, Program};
 use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::{builders, parse as sparse, Elem, Structure};
 use rand::rngs::StdRng;
@@ -49,6 +50,7 @@ static OBS_DATALOG: Counter = Counter::new("conform.oracle.datalog_engines");
 static OBS_LINT: Counter = Counter::new("conform.oracle.lint_clean");
 static OBS_BUDGET: Counter = Counter::new("conform.oracle.budget_fault");
 static OBS_INCR: Counter = Counter::new("conform.oracle.incremental");
+static OBS_STRAT: Counter = Counter::new("conform.oracle.stratified");
 
 /// A differential cross-check that can both hunt (run a fresh random
 /// case) and replay (re-run a serialized counterexample).
@@ -78,6 +80,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(LintClean),
         Box::new(BudgetFault),
         Box::new(Incremental),
+        Box::new(Stratified),
     ]
 }
 
@@ -805,15 +808,21 @@ fn budget_fault_program_violation(s: &Structure, src: &str, fuel: u64) -> Option
     let checks: EngineChecks<'_, fmt_queries::datalog::Output> = vec![
         (
             "datalog.naive",
-            Box::new(|b: &Budget| prog.try_eval_naive(s, b)),
+            Box::new(|b: &Budget| prog.try_eval_naive(s, b).map_err(EvalError::into_exhausted)),
         ),
         (
             "datalog.scan",
-            Box::new(|b: &Budget| prog.try_eval_seminaive_scan(s, b)),
+            Box::new(|b: &Budget| {
+                prog.try_eval_seminaive_scan(s, b)
+                    .map_err(EvalError::into_exhausted)
+            }),
         ),
         (
             "datalog.indexed",
-            Box::new(|b: &Budget| prog.try_eval_seminaive_with(s, 1, b)),
+            Box::new(|b: &Budget| {
+                prog.try_eval_seminaive_with(s, 1, b)
+                    .map_err(EvalError::into_exhausted)
+            }),
         ),
     ];
     for (name, run) in checks {
@@ -824,7 +833,9 @@ fn budget_fault_program_violation(s: &Structure, src: &str, fuel: u64) -> Option
         }
     }
     match run_with_fuel(fuel, |b| {
-        prog.try_eval_seminaive_with(s, 2, b).map(|out| canon(&out))
+        prog.try_eval_seminaive_with(s, 2, b)
+            .map_err(EvalError::into_exhausted)
+            .map(|out| canon(&out))
     }) {
         FuelOutcome::Panicked => {
             return Some(format!("datalog.indexed(2) panicked under fuel {fuel}"))
@@ -981,8 +992,10 @@ fn incremental_violation(src: &str, trace: &gen::UpdateTrace, fuel: u64) -> Opti
 
     // Half one: unbudgeted trace equivalence, at 1 and 3 threads.
     let mut facts: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
-    let mut rt1 = DatalogRuntime::new(prog.clone(), trace.domain);
-    let mut rt3 = DatalogRuntime::new(prog.clone(), trace.domain);
+    let mut rt1 = DatalogRuntime::new(prog.clone(), trace.domain)
+        .expect("generated incremental programs are negation-free");
+    let mut rt3 = DatalogRuntime::new(prog.clone(), trace.domain)
+        .expect("generated incremental programs are negation-free");
     rt3.set_threads(3);
     for (step, op) in trace.ops.iter().enumerate() {
         match *op {
@@ -1024,7 +1037,8 @@ fn incremental_violation(src: &str, trace: &gen::UpdateTrace, fuel: u64) -> Opti
     let budgeted = |fuel: u64| -> Result<Vec<String>, String> {
         catch_unwind(AssertUnwindSafe(|| {
             let budget = Budget::with_fuel(fuel);
-            let mut rt = DatalogRuntime::new(prog.clone(), trace.domain);
+            let mut rt = DatalogRuntime::new(prog.clone(), trace.domain)
+                .expect("generated incremental programs are negation-free");
             let mut outcomes = Vec::new();
             for op in &trace.ops {
                 match *op {
@@ -1112,6 +1126,223 @@ impl Oracle for Incremental {
     }
 }
 
+// ---------------------------------------------------------------------
+// stratified
+// ---------------------------------------------------------------------
+
+/// Stratified negation, coherent end to end: on random stratified
+/// programs (and seeded unstratifiable/unsafe mutants) the lint
+/// verdict must match every engine's behavior — D006/D007 errors iff
+/// the engine returns the matching typed [`EvalError`], never a panic
+/// — all four engine configurations (naive, scan, indexed at 1 and 3
+/// threads) must agree on extents when evaluation is legal, and tight
+/// fuel budgets must fail cleanly and deterministically.
+#[derive(Debug)]
+pub struct Stratified;
+
+/// Test-only fault-injection hook: when set, every `stratified` oracle
+/// check reports a fabricated stratification bug, proving the
+/// catch/shrink/replay pipeline end to end (correct engines never fail
+/// organically).
+pub const INJECT_STRAT_ENV: &str = "FMT_CONFORM_INJECT_STRAT";
+
+fn inject_strat_armed() -> bool {
+    std::env::var_os(INJECT_STRAT_ENV).is_some()
+}
+
+/// `None` when the stratified-negation contract holds on `(s, src)`
+/// under `fuel`. `expect_defect` is the generator's own claim (a
+/// mutant was / was not seeded), cross-checked against the linter to
+/// catch generator/linter drift.
+fn stratified_violation(
+    s: &Structure,
+    src: &str,
+    fuel: u64,
+    expect_defect: Option<bool>,
+) -> Option<String> {
+    if inject_strat_armed() {
+        return Some(format!(
+            "injected stratification fault ({INJECT_STRAT_ENV} is set)"
+        ));
+    }
+    let prog = match Program::parse(s.signature(), src) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("program failed to parse: {e}")),
+    };
+    let diags = fmt_lint::lint_program_src(s.signature(), src, &LintConfig::default());
+    let lint_d006 = diags.iter().any(|d| d.code == "D006");
+    let lint_d007 = diags.iter().any(|d| d.code == "D007");
+    let statically_rejected = lint_d006 || lint_d007;
+    if let Some(defect) = expect_defect {
+        if defect != statically_rejected {
+            return Some(format!(
+                "generator seeded defect={defect} but lint reports D006={lint_d006} \
+                 D007={lint_d007}"
+            ));
+        }
+    }
+
+    let canon = |out: &fmt_queries::datalog::Output| -> Vec<Vec<Vec<Elem>>> {
+        (0..prog.num_idbs())
+            .map(|i| {
+                let mut v: Vec<Vec<Elem>> = out.relation(i).iter().collect();
+                v.sort();
+                v
+            })
+            .collect()
+    };
+    // An engine's unlimited-budget verdict: extents, or the lint code
+    // its typed error corresponds to.
+    let classify = |r: Result<fmt_queries::datalog::Output, EvalError>| match r {
+        Ok(out) => Ok(canon(&out)),
+        Err(EvalError::Unstratifiable { .. }) => Err("D006"),
+        Err(EvalError::UnsafeNegation { .. }) => Err("D007"),
+        Err(EvalError::Exhausted(e)) => Err(if e.spent == 0 {
+            "spurious"
+        } else {
+            "exhausted"
+        }),
+    };
+    let unlimited = Budget::unlimited();
+    type Run<'a> = Box<dyn Fn() -> Result<fmt_queries::datalog::Output, EvalError> + 'a>;
+    let engines: Vec<(&str, Run<'_>)> = vec![
+        ("naive", Box::new(|| prog.try_eval_naive(s, &unlimited))),
+        (
+            "scan",
+            Box::new(|| prog.try_eval_seminaive_scan(s, &unlimited)),
+        ),
+        (
+            "indexed(1)",
+            Box::new(|| prog.try_eval_seminaive_with(s, 1, &unlimited)),
+        ),
+        (
+            "indexed(3)",
+            Box::new(|| prog.try_eval_seminaive_with(s, 3, &unlimited)),
+        ),
+    ];
+    let mut done: Vec<(&str, Vec<Vec<Vec<Elem>>>)> = Vec::new();
+    for (name, run) in &engines {
+        let verdict = match catch_unwind(AssertUnwindSafe(run)) {
+            Err(_) => return Some(format!("{name} panicked on a stratified-oracle program")),
+            Ok(r) => classify(r),
+        };
+        match verdict {
+            Err(code @ ("D006" | "D007")) => {
+                let coherent = (code == "D006" && lint_d006) || (code == "D007" && lint_d007);
+                if !coherent {
+                    return Some(format!(
+                        "{name} rejected with {code} but lint reports D006={lint_d006} \
+                         D007={lint_d007}"
+                    ));
+                }
+            }
+            Err(code) => return Some(format!("{name} failed with {code} on unlimited budget")),
+            Ok(_) if statically_rejected => {
+                return Some(format!(
+                    "lint rejects the program (D006={lint_d006} D007={lint_d007}) but {name} \
+                     evaluated it"
+                ))
+            }
+            Ok(extents) => done.push((name, extents)),
+        }
+    }
+    if let Some(w) = done.windows(2).find(|w| w[0].1 != w[1].1) {
+        return Some(format!(
+            "stratified engines disagree: {} vs {}",
+            w[0].0, w[1].0
+        ));
+    }
+
+    // Budget transparency: the single-threaded engines under tight
+    // fuel must fail cleanly and reproduce the identical outcome; the
+    // multi-threaded engine shares fuel across shards, so only its
+    // no-panic half is checked.
+    let budgeted = |r: Result<fmt_queries::datalog::Output, EvalError>| -> BudgetResult<
+        Result<Vec<Vec<Vec<Elem>>>, &'static str>,
+    > {
+        match r {
+            Err(EvalError::Exhausted(e)) => Err(e),
+            other => Ok(classify(other)),
+        }
+    };
+    type Check<'a> =
+        Box<dyn Fn(&Budget) -> BudgetResult<Result<Vec<Vec<Vec<Elem>>>, &'static str>> + 'a>;
+    let checks: Vec<(&str, Check<'_>)> = vec![
+        (
+            "stratified.naive",
+            Box::new(|b: &Budget| budgeted(prog.try_eval_naive(s, b))),
+        ),
+        (
+            "stratified.scan",
+            Box::new(|b: &Budget| budgeted(prog.try_eval_seminaive_scan(s, b))),
+        ),
+        (
+            "stratified.indexed",
+            Box::new(|b: &Budget| budgeted(prog.try_eval_seminaive_with(s, 1, b))),
+        ),
+    ];
+    for (name, run) in checks {
+        if let Err(note) = fuel_check(name, fuel, run) {
+            return Some(note);
+        }
+    }
+    let b3 = Budget::with_fuel(fuel);
+    if catch_unwind(AssertUnwindSafe(|| {
+        let _ = prog.try_eval_seminaive_with(s, 3, &b3);
+    }))
+    .is_err()
+    {
+        return Some(format!("indexed(3) panicked under fuel {fuel}"));
+    }
+    None
+}
+
+impl Oracle for Stratified {
+    fn name(&self) -> &'static str {
+        "stratified"
+    }
+
+    fn run_case(&self, rng: &mut StdRng, seed: u64, case: u64) -> Option<ReproCase> {
+        OBS_STRAT.incr();
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(rng, &cfg);
+        let (src, defect) = gen::random_stratified_program(rng);
+        let fuel = rng.random_range(8..=96u64);
+        let note = stratified_violation(&s, &src, fuel, Some(defect))?;
+        let ((s, fuel), _) = minimize(
+            (s, fuel),
+            &mut |(t, fl): &(Structure, u64)| {
+                *fl >= 1 && stratified_violation(t, &src, *fl, Some(defect)).is_some()
+            },
+            SHRINK_BUDGET,
+        );
+        let note = stratified_violation(&s, &src, fuel, Some(defect)).unwrap_or(note);
+        let mut c = case_skeleton(self, seed, case, note);
+        c.params = vec![
+            ("fuel".to_owned(), fuel.to_string()),
+            ("mutant".to_owned(), defect.to_string()),
+            ("program".to_owned(), src.trim().to_owned()),
+        ];
+        c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+        Some(c)
+    }
+
+    fn replay(&self, case: &ReproCase) -> Result<(), String> {
+        let s = case.structure("A")?;
+        let fuel = case.param_u64("fuel")?.max(1);
+        let src = case.param("program").ok_or("case is missing `program`")?;
+        let defect = match case.param("mutant") {
+            Some("true") => Some(true),
+            Some("false") => Some(false),
+            _ => None,
+        };
+        match stratified_violation(&s, src, fuel, defect) {
+            Some(note) => Err(note),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1146,6 +1377,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stratified_contract_holds_on_canned_programs() {
+        let s = builders::directed_path(4);
+        // A legal stratified program: all layers agree, no violation.
+        assert_eq!(
+            stratified_violation(
+                &s,
+                "t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z). \
+                 nt(x, y) :- e(x, y), !t(y, x).",
+                32,
+                Some(false),
+            ),
+            None
+        );
+        // An unstratifiable program is *coherently* rejected: lint says
+        // D006, every engine returns the typed error, still no violation.
+        assert_eq!(
+            stratified_violation(&s, "w(x) :- e(x, x), !w(x).", 32, Some(true)),
+            None
+        );
+        // Same for unsafe negation / D007.
+        assert_eq!(
+            stratified_violation(
+                &s,
+                "t(x, y) :- e(x, y). u(x) :- e(x, x), !t(z, x).",
+                32,
+                Some(true),
+            ),
+            None
+        );
+        // Generator/linter drift is itself a violation.
+        let note = stratified_violation(&s, "w(x) :- e(x, x), !w(x).", 32, Some(false));
+        assert!(note.unwrap().contains("defect=false"));
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Datalog lints D001–D005 (D000 parse-level diagnostics are produced
-//! by the entry points in the crate root).
+//! Datalog lints D001–D009 (D000 parse-level diagnostics are produced
+//! by the entry points in the crate root). D006–D009 are consumers of
+//! the [`fmt_queries::depgraph`] precedence-graph analysis — the same
+//! pass the engines run, so a D006/D007 verdict here coincides exactly
+//! with a typed evaluation error there.
 
 use crate::LintConfig;
 use fmt_queries::datalog::{Pred, Program, RuleSpans};
+use fmt_queries::depgraph::DepAnalysis;
 use fmt_structures::{Diagnostic, Span};
 use std::collections::{HashMap, HashSet};
 
@@ -42,15 +46,21 @@ pub fn program_lints(
     let rule_spans = |ri: usize| meta.map(|(spans, _)| &spans[ri]);
 
     for (ri, rule) in p.rules().iter().enumerate() {
-        // D001: head variable not bound by any body atom. Body-less
-        // rules are exempt — `sg(x, x).` is the survey's idiom for a
-        // domain-ranging fact schema.
+        // Variables a positive body atom binds. Negated atoms only
+        // filter — they never produce bindings, so they count neither
+        // for D001 (head safety) nor against D007 (negation safety).
+        let pos_bound: HashSet<u32> = rule
+            .body
+            .iter()
+            .filter(|a| !a.negated)
+            .flat_map(|a| a.args.iter().copied())
+            .collect();
+
+        // D001: head variable not bound by any positive body atom.
+        // Body-less rules are exempt — `sg(x, x).` is the survey's
+        // idiom for a domain-ranging fact schema.
         if !rule.body.is_empty() {
-            let bound: HashSet<u32> = rule
-                .body
-                .iter()
-                .flat_map(|a| a.args.iter().copied())
-                .collect();
+            let bound = &pos_bound;
             let mut reported = HashSet::new();
             for (pos, &v) in rule.head.args.iter().enumerate() {
                 if !bound.contains(&v) && reported.insert(v) {
@@ -85,6 +95,11 @@ pub fn program_lints(
         }
         for (bi, atom) in rule.body.iter().enumerate() {
             for (pos, &v) in atom.args.iter().enumerate() {
+                // An unbound variable in a negated atom is D007's
+                // unsafe-negation error; don't double-report it here.
+                if atom.negated && !pos_bound.contains(&v) {
+                    continue;
+                }
                 if count[&v] == 1 {
                     out.push(spanned(
                         Diagnostic::warning(
@@ -171,11 +186,15 @@ pub fn program_lints(
         if *ok {
             continue;
         }
-        let first_rule = p
-            .rules()
-            .iter()
-            .position(|r| r.head.pred == Pred::Idb(i))
-            .expect("every IDB has a defining rule");
+        // Rule-less IDBs (registered by a negated reference) have no
+        // head to point at; fall back to the first referencing atom.
+        let span = match p.rules().iter().position(|r| r.head.pred == Pred::Idb(i)) {
+            Some(first_rule) => rule_spans(first_rule).map(|s| s.head.pred),
+            None => p.rules().iter().enumerate().find_map(|(ri, r)| {
+                let bi = r.body.iter().position(|a| a.pred == Pred::Idb(i))?;
+                rule_spans(ri).map(|s| s.body[bi].pred)
+            }),
+        };
         out.push(spanned(
             Diagnostic::warning(
                 "D003",
@@ -189,8 +208,96 @@ pub fn program_lints(
                 "the query does not depend on it, yet evaluation still computes it; the queried \
                  predicate defaults to the first-defined IDB (override with a goal)",
             ),
-            rule_spans(first_rule).map(|s| s.head.pred),
+            span,
         ));
+    }
+
+    // D006–D009 consume the dependency-graph analysis. Positive
+    // programs are always stratifiable, safe, and single-stratum, so
+    // the pass is skipped entirely — lint output on the pre-negation
+    // dialect is unchanged.
+    if p.has_negation() {
+        let dep = DepAnalysis::of(p);
+        for v in &dep.violations {
+            let cycle: Vec<&str> = dep.sccs[dep.scc_of[v.dep]]
+                .iter()
+                .map(|&i| p.idb_info(i).0)
+                .collect();
+            out.push(spanned(
+                Diagnostic::error(
+                    "D006",
+                    format!(
+                        "program is not stratifiable: {} is negated inside its own recursive \
+                         component",
+                        p.idb_info(v.dep).0
+                    ),
+                )
+                .with_note(format!(
+                    "the dependency cycle through {{{}}} passes through this negation, so no \
+                     stratum order evaluates {} before its complement is taken; break the cycle \
+                     or drop the negation",
+                    cycle.join(", "),
+                    p.idb_info(v.dep).0
+                )),
+                rule_spans(v.rule).map(|s| s.body[v.atom].span),
+            ));
+        }
+        for u in &dep.unsafe_negs {
+            let rule = &p.rules()[u.rule];
+            let pos = rule.body[u.atom]
+                .args
+                .iter()
+                .position(|&v| v == u.var)
+                .expect("unsafe variable occurs in the atom that reported it");
+            out.push(spanned(
+                Diagnostic::error(
+                    "D007",
+                    format!(
+                        "unsafe negation: variable {} is not bound by any positive body atom",
+                        vname(u.rule, u.var)
+                    ),
+                )
+                .with_note(
+                    "a negated atom can only filter tuples that positive atoms already produced; \
+                     bind the variable positively first (range restriction)",
+                ),
+                rule_spans(u.rule).map(|s| s.body[u.atom].args[pos]),
+            ));
+        }
+        for v in &dep.vacuous {
+            out.push(spanned(
+                Diagnostic::warning(
+                    "D008",
+                    format!(
+                        "negated predicate {} has no rules; the check is vacuously true",
+                        p.idb_info(v.pred).0
+                    ),
+                )
+                .with_note(
+                    "its extent is statically empty, so every candidate tuple passes this \
+                     anti-join; define the predicate or delete the atom",
+                ),
+                rule_spans(v.rule).map(|s| s.body[v.atom].span),
+            ));
+        }
+        if let Some(strat) = &dep.stratification {
+            if strat.num_strata > cfg.strata_budget {
+                out.push(
+                    Diagnostic::warning(
+                        "D009",
+                        format!(
+                            "program needs {} strata (budget {}); widest stratum has {} rules",
+                            strat.num_strata, cfg.strata_budget, strat.widest
+                        ),
+                    )
+                    .with_note(
+                        "each stratum is a full fixpoint over the one below it; a deep negation \
+                         chain multiplies evaluation passes and is often a sign the program \
+                         should be reformulated",
+                    ),
+                );
+            }
+        }
     }
     crate::sort_diags(&mut out);
     out

@@ -34,9 +34,14 @@
 //! | D003 | warning* | IDB unreachable from the queried predicate (*error for an unknown goal) |
 //! | D004 | warning  | duplicate rule (up to variable renaming) |
 //! | D005 | warning  | variable-free body atom the planner should fold |
+//! | D006 | error    | unstratifiable: negation inside a recursive component |
+//! | D007 | error    | unsafe negation: variable not positively bound |
+//! | D008 | warning  | negated predicate has no rules (vacuously true) |
+//! | D009 | warning  | stratum budget exceeded (complexity signal) |
 //!
 //! See `docs/lint.md` for one minimal trigger example per code and the
-//! JSON output schema.
+//! JSON output schema, and `docs/stratification.md` for the dependency
+//! graph behind D006–D009.
 //!
 //! ## Example
 //!
@@ -82,7 +87,141 @@ pub const CODES: &[(&str, &str)] = &[
     ("D003", "IDB unreachable from the queried predicate"),
     ("D004", "duplicate rule"),
     ("D005", "variable-free body atom the planner should fold"),
+    (
+        "D006",
+        "unstratifiable: negation inside a recursive component",
+    ),
+    ("D007", "unsafe negation: variable not positively bound"),
+    ("D008", "negated predicate has no rules (vacuously true)"),
+    ("D009", "stratum budget exceeded"),
 ];
+
+/// The long-form, rustc-style explanation behind `fmtk lint --explain
+/// CODE`: what the code means, why it matters, and how to fix it.
+/// `None` for unknown codes; every code in [`CODES`] has one.
+pub fn explain(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "F000" => {
+            "The formula could not be parsed. The diagnostic's span points at the \
+             byte where the parser gave up. Common causes: unbalanced parentheses, \
+             a missing `.` after a quantifier block, or an operator typo. Fix the \
+             syntax at the caret; the parser reports the first error only."
+        }
+        "F001" => {
+            "A quantified variable is never used inside its scope. `exists x. E(y, y)` \
+             quantifies x but the body never mentions it, so the quantifier only \
+             asserts the domain is non-empty — almost never what was meant. Either \
+             use the variable in the body or delete the binder."
+        }
+        "F002" => {
+            "A quantifier rebinds a variable that an enclosing quantifier already \
+             binds, as in `forall x. exists x. ...`. The inner binding shadows the \
+             outer one, so the outer variable cannot be mentioned in the inner scope. \
+             Rename one of the variables; shadowing in hand-written formulas is \
+             nearly always an editing accident."
+        }
+        "F003" => {
+            "Constant folding proved a subformula identically true or false, e.g. \
+             `E(x, y) & false`. The span covers the largest foldable subformula. \
+             Simplify the formula by hand — the trivial branch either deletes the \
+             surrounding connective or the whole formula."
+        }
+        "F004" => {
+            "The formula mentions a relation the signature does not define, or uses \
+             one at the wrong arity, or names a constant outside the structure's \
+             domain. Check the spelling against the signature (relation names match \
+             case-insensitively) and the declared arities."
+        }
+        "F005" => {
+            "The formula's quantifier rank exceeds the configured budget \
+             (`--rank-budget`, default 8). Rank drives the cost of every \
+             Ehrenfeucht-Fraisse argument and the `2^n` blow-up of Theorem 3.1 \
+             normal forms, so deep quantifier nesting is a complexity smell. Flatten \
+             nested quantifiers or raise the budget deliberately."
+        }
+        "F006" => {
+            "A sentence (closed formula) was expected — `--sentence` was passed or \
+             the calling context requires one — but the formula has free variables. \
+             The message lists them. Quantify the free variables or drop the \
+             sentence expectation."
+        }
+        "D000" => {
+            "The Datalog program could not be parsed. The span points at the \
+             offending token. Rules are `head :- a1, a2, ... .` with a terminating \
+             period; predicates matching a signature relation (case-insensitively) \
+             are EDB and may not be redefined; every other predicate must appear in \
+             some head or under a negation."
+        }
+        "D001" => {
+            "A head variable is not bound by any positive body atom, so it ranges \
+             over the entire domain: `p(x, y) :- e(x, x).` derives p(c, d) for every \
+             d. Negated atoms do not bind (they only filter), so a variable that \
+             appears under negation alone still fires this. Body-less fact schemas \
+             like `sg(x, x).` are exempt — domain-ranging is their point. Bind the \
+             variable in a positive atom if blow-up was not intended."
+        }
+        "D002" => {
+            "A body variable occurs exactly once in its rule, so it joins nothing \
+             and projects nothing — an anonymous wildcard. That is legal but often \
+             a typo for a variable that was meant to link two atoms. Reuse the \
+             variable to constrain the join, or accept the existential reading."
+        }
+        "D003" => {
+            "An IDB predicate cannot be reached from the queried predicate in the \
+             rule dependency graph, yet the engine still materializes it every \
+             round. The queried predicate defaults to the first-defined IDB; pass \
+             `--goal PRED` if the real query root differs. Delete dead rules or \
+             re-point the goal. (An unknown --goal name is the error form.)"
+        }
+        "D004" => {
+            "Two rules are identical up to consistent variable renaming, e.g. \
+             `p(x) :- e(x, x).` and `p(y) :- e(y, y).`. The duplicate derives the \
+             same facts twice per round and doubles join work for nothing. Delete \
+             one copy."
+        }
+        "D005" => {
+            "A body atom has no variables (`hit`, `p()`), so its truth is constant \
+             within a fixpoint round. The join planner should hoist it out as a \
+             guard instead of re-checking it per candidate tuple; until it does, \
+             move the atom first or question why a constant guard is in the rule."
+        }
+        "D006" => {
+            "The program is not stratifiable: some predicate is negated inside its \
+             own recursive component, as in `p(x) :- e(x, y), !p(y).`. Stratified \
+             semantics needs the negated predicate fully computed in a lower \
+             stratum, which a dependency cycle through the negation makes \
+             impossible — there is no evaluation order, and every engine rejects \
+             the program with the same typed error. The note lists the cycle's \
+             predicates; break the cycle or remove the negation. (Well-founded or \
+             stable-model semantics would assign meaning, but this dialect is \
+             stratified only.)"
+        }
+        "D007" => {
+            "A variable inside a negated atom is not bound by any positive atom of \
+             the same rule: `q(x) :- e(x, x), !p(y, y).`. Negation-as-failure can \
+             only filter tuples that positive atoms produced — an unbound negated \
+             variable would quantify over the whole domain (\"for no y ...\"), \
+             which is unsafe under the active-domain semantics. Bind the variable \
+             in a positive atom first (range restriction)."
+        }
+        "D008" => {
+            "A negated predicate has no rules, so its extent is statically empty \
+             and the negation passes every candidate tuple: `!ghost(x)` is always \
+             true. The program means the same without the atom — which usually \
+             signals a misspelled predicate name rather than an intentional no-op. \
+             Define the predicate or delete the atom."
+        }
+        "D009" => {
+            "Stratification succeeded but needs more strata than the configured \
+             budget (default 4). Each stratum is a complete fixpoint over the one \
+             below, so a deep negation chain multiplies evaluation passes; the \
+             message also reports the widest stratum (rules evaluated together) as \
+             a join-pressure signal. Deep chains are legal — this is a complexity \
+             warning, not an error."
+        }
+        _ => return None,
+    })
+}
 
 /// Formulas analyzed (parsed or AST).
 static OBS_FORMULAS: fmt_obs::Counter = fmt_obs::Counter::new("lint.formulas");
@@ -103,6 +242,9 @@ pub struct LintConfig {
     /// The queried IDB predicate D003 computes reachability from
     /// (`None` = the first-defined IDB).
     pub goal: Option<String>,
+    /// D009 fires when a program's stratification needs more than this
+    /// many strata.
+    pub strata_budget: usize,
 }
 
 impl Default for LintConfig {
@@ -111,6 +253,7 @@ impl Default for LintConfig {
             rank_budget: 8,
             expect_sentence: false,
             goal: None,
+            strata_budget: 4,
         }
     }
 }
@@ -361,6 +504,100 @@ mod tests {
         let d = lint_program_src(&sig, "p(x) :- q(x).", &LintConfig::default());
         assert_eq!(codes(&d), ["D000"]);
         assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn d006_unstratifiable_negation() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, y), !p(y).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D006"]);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].span.unwrap().slice(src), "!p(y)");
+        assert!(d[0].note.as_deref().unwrap().contains("{p}"), "{:?}", d[0]);
+        // Mutual recursion through a negation: both spellings carry
+        // carets, and the note names the whole cycle.
+        let src = "p(x) :- e(x, y), not q(y). q(x) :- p(x).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D006"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "not q(y)");
+        assert!(d[0].note.as_deref().unwrap().contains("p, q"), "{:?}", d[0]);
+    }
+
+    #[test]
+    fn d007_unsafe_negation() {
+        let sig = Signature::graph();
+        let src = "q(x) :- e(x, x), !p(y, y). p(x, y) :- e(x, y).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D007"]);
+        assert_eq!(d[0].severity, Severity::Error);
+        // The caret lands on the unbound variable itself.
+        assert_eq!(d[0].span.unwrap(), Span::new(20, 21));
+        assert_eq!(d[0].span.unwrap().slice(src), "y");
+        assert!(d[0].message.contains("variable y"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn d008_vacuous_negation() {
+        let sig = Signature::graph();
+        let src = "q(x) :- e(x, x), !ghost(x).";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D008"]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].span.unwrap().slice(src), "!ghost(x)");
+    }
+
+    #[test]
+    fn d009_stratum_budget() {
+        let sig = Signature::graph();
+        let src = "p1(x) :- e(x, x). \
+                   p2(x) :- e(x, x), !p1(x). \
+                   p3(x) :- e(x, x), !p2(x). \
+                   p4(x) :- e(x, x), !p3(x). \
+                   p5(x) :- e(x, x), !p4(x).";
+        let cfg = LintConfig {
+            goal: Some("p5".into()),
+            ..LintConfig::default()
+        };
+        let d = lint_program_src(&sig, src, &cfg);
+        assert_eq!(codes(&d), ["D009"]);
+        assert!(d[0].message.contains("5 strata"), "{}", d[0].message);
+        // Default budget of 4 tolerates a 4-stratum chain.
+        let short = "p1(x) :- e(x, x). \
+                     p2(x) :- e(x, x), !p1(x). \
+                     p3(x) :- e(x, x), !p2(x). \
+                     p4(x) :- e(x, x), !p3(x).";
+        let cfg = LintConfig {
+            goal: Some("p4".into()),
+            ..LintConfig::default()
+        };
+        assert!(lint_program_src(&sig, short, &cfg).is_empty());
+    }
+
+    #[test]
+    fn stratified_negation_is_lint_clean() {
+        let sig = Signature::graph();
+        let src = "t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z). \
+                   nt(x, y) :- e(x, y), !t(y, x).";
+        let cfg = LintConfig {
+            goal: Some("nt".into()),
+            ..LintConfig::default()
+        };
+        let d = lint_program_src(&sig, src, &cfg);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn every_code_has_a_nonempty_explanation() {
+        for (code, summary) in CODES {
+            let text = explain(code)
+                .unwrap_or_else(|| panic!("code {code} ({summary}) has no explanation"));
+            assert!(
+                text.trim().len() >= 80,
+                "explanation for {code} is too short to be useful"
+            );
+        }
+        assert_eq!(explain("D999"), None);
     }
 
     #[test]

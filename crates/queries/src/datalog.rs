@@ -42,7 +42,7 @@
 //! the old `HashSet<Vec<Elem>>` representation as a differential
 //! oracle.
 
-use fmt_structures::budget::{Budget, BudgetResult};
+use fmt_structures::budget::{Budget, BudgetResult, Exhausted};
 use fmt_structures::index::{self, ColumnIndex, TupleIndex};
 use fmt_structures::par::fan_out;
 use fmt_structures::store::{self, TupleStore};
@@ -87,13 +87,17 @@ pub enum Pred {
 }
 
 /// An atom `p(v₁, …, vₖ)` in a rule (variables only; repeated variables
-/// express equality constraints).
+/// express equality constraints). A body atom may be negated (`!p(x)`
+/// or `not p(x)`), read as stratified set difference: the tuple must be
+/// **absent** from the predicate's completed lower-stratum extent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Atom {
     /// The predicate.
     pub pred: Pred,
     /// Argument variables.
     pub args: Vec<DlVar>,
+    /// `true` for a negated body atom (heads are never negated).
+    pub negated: bool,
 }
 
 /// A rule `head :- body₁, …, bodyₖ` (empty body = a fact schema).
@@ -171,6 +175,87 @@ impl std::fmt::Display for DatalogParseError {
 
 impl std::error::Error for DatalogParseError {}
 
+/// Why a budgeted evaluation stopped without an [`Output`]: either the
+/// budget ran out mid-fixpoint, or the stratification precheck rejected
+/// the program statically — before a single tuple was derived.
+///
+/// The static cases mirror the `fmt-lint` codes D006 and D007 exactly:
+/// a program the linter flags as unstratifiable (D006) or unsafely
+/// negated (D007) produces the matching typed error from every engine,
+/// never a panic, and vice versa.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The budget ran out (see [`Exhausted`]); no partial output is
+    /// left behind.
+    Exhausted(Exhausted),
+    /// A negated body atom lies inside a recursive component of the
+    /// predicate dependency graph, so no stratification exists
+    /// (lint code D006).
+    Unstratifiable {
+        /// Rule index of the offending negative dependency edge.
+        rule: usize,
+        /// Body-atom index of the negated atom inducing it.
+        atom: usize,
+        /// Name of the negated predicate.
+        pred: String,
+        /// IDB predicate names of the recursive component the edge
+        /// closes, for diagnostics.
+        cycle: Vec<String>,
+    },
+    /// A negated body atom uses a variable that no positive body atom
+    /// of the same rule binds (lint code D007).
+    UnsafeNegation {
+        /// Rule index.
+        rule: usize,
+        /// Body-atom index of the negated atom.
+        atom: usize,
+        /// The unbound variable as a rule-local id;
+        /// [`ParsedProgram::var_names`] maps it back to its source name.
+        var: u32,
+    },
+}
+
+impl EvalError {
+    /// Unwraps the [`EvalError::Exhausted`] case. Panics on the static
+    /// stratification errors — for callers that know their program is
+    /// negation-free and only budget exhaustion is possible.
+    pub fn into_exhausted(self) -> Exhausted {
+        match self {
+            EvalError::Exhausted(e) => e,
+            other => panic!("static evaluation error on a supposedly clean program: {other}"),
+        }
+    }
+}
+
+impl From<Exhausted> for EvalError {
+    fn from(e: Exhausted) -> EvalError {
+        EvalError::Exhausted(e)
+    }
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Exhausted(e) => e.fmt(f),
+            EvalError::Unstratifiable {
+                rule, pred, cycle, ..
+            } => write!(
+                f,
+                "program is not stratifiable: rule {} negates {} inside the recursive component {{{}}}",
+                rule,
+                pred,
+                cycle.join(", ")
+            ),
+            EvalError::UnsafeNegation { rule, atom, .. } => write!(
+                f,
+                "unsafe negation: rule {rule}, body atom {atom} uses a variable no positive atom binds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
 /// Byte spans of one atom: the whole atom, the predicate name, and
 /// each argument.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -238,12 +323,28 @@ impl Program {
         struct RawAtom {
             pred: String,
             args: Vec<String>,
+            negated: bool,
             span: Span,
             pred_span: Span,
             arg_spans: Vec<Span>,
         }
         fn parse_atom(src: &str, span: Span) -> Result<RawAtom, DatalogParseError> {
-            let span = trim_span(src, span);
+            // A `!` or `not ` prefix marks a negated atom; the atom's
+            // span keeps the prefix so diagnostics underline all of
+            // `!p(x)`, while the predicate and argument spans come from
+            // the bare atom after it.
+            let outer = trim_span(src, span);
+            let prefix = outer.slice(src);
+            let (negated, span) = if prefix.starts_with('!') {
+                (true, trim_span(src, Span::new(outer.start + 1, outer.end)))
+            } else if prefix.len() > 3
+                && prefix.starts_with("not")
+                && prefix.as_bytes()[3].is_ascii_whitespace()
+            {
+                (true, trim_span(src, Span::new(outer.start + 3, outer.end)))
+            } else {
+                (false, outer)
+            };
             let t = span.slice(src);
             let Some(open) = t.find('(') else {
                 // No argument list at all: a nullary atom, provided the
@@ -252,7 +353,8 @@ impl Program {
                     return Ok(RawAtom {
                         pred: t.to_owned(),
                         args: Vec::new(),
-                        span,
+                        negated,
+                        span: outer,
                         pred_span: span,
                         arg_spans: Vec::new(),
                     });
@@ -301,7 +403,8 @@ impl Program {
             Ok(RawAtom {
                 pred,
                 args,
-                span,
+                negated,
+                span: outer,
                 pred_span,
                 arg_spans,
             })
@@ -365,6 +468,12 @@ impl Program {
         let mut idb_names: Vec<String> = Vec::new();
         let mut idb_arity: Vec<usize> = Vec::new();
         for (head, _, _) in &raw_rules {
+            if head.negated {
+                return Err(DatalogParseError::new(
+                    head.span,
+                    format!("rule head {} cannot be negated", head.pred),
+                ));
+            }
             if lookup_edb(&head.pred).is_some() {
                 return Err(DatalogParseError::new(
                     head.pred_span,
@@ -383,6 +492,31 @@ impl Program {
                 None => {
                     idb_names.push(head.pred.clone());
                     idb_arity.push(head.args.len());
+                }
+            }
+        }
+        // A *negated* body atom may name a predicate with no defining
+        // rule: it is registered as a rule-less IDB (empty extent, so
+        // the negation is vacuously true — lint code D008 flags it).
+        // Positive references to unknown predicates remain errors.
+        for (_, body, _) in &raw_rules {
+            for raw in body {
+                if !raw.negated || lookup_edb(&raw.pred).is_some() {
+                    continue;
+                }
+                match idb_names.iter().position(|n| n == &raw.pred) {
+                    Some(i) => {
+                        if idb_arity[i] != raw.args.len() {
+                            return Err(DatalogParseError::new(
+                                raw.span,
+                                format!("inconsistent arity for {}", raw.pred),
+                            ));
+                        }
+                    }
+                    None => {
+                        idb_names.push(raw.pred.clone());
+                        idb_arity.push(raw.args.len());
+                    }
                 }
             }
         }
@@ -434,6 +568,7 @@ impl Program {
                 Ok(Atom {
                     pred,
                     args: raw.args.iter().map(|a| vars.intern(a)).collect(),
+                    negated: raw.negated,
                 })
             };
             let h = resolve(head, &mut vars)?;
@@ -503,6 +638,49 @@ impl Program {
         &self.rules
     }
 
+    /// `true` if any body atom is negated. Negation-free programs skip
+    /// the dependency analysis entirely and evaluate on the exact
+    /// pre-stratification path.
+    pub fn has_negation(&self) -> bool {
+        self.rules.iter().any(|r| r.body.iter().any(|a| a.negated))
+    }
+
+    /// Rule indices grouped by evaluation stratum, lowest first — the
+    /// driver schedule shared by all three engines. Negation-free
+    /// programs short-circuit to a single stratum holding every rule in
+    /// written order (bit-identical to the pre-stratification engines);
+    /// otherwise the [`crate::depgraph`] analysis runs and
+    /// unstratifiable or unsafe programs are rejected with a typed
+    /// error.
+    fn eval_strata(&self) -> Result<Vec<Vec<usize>>, EvalError> {
+        if !self.has_negation() {
+            return Ok(vec![(0..self.rules.len()).collect()]);
+        }
+        let analysis = crate::depgraph::DepAnalysis::of(self);
+        if let Some(v) = analysis.violations.first() {
+            return Err(EvalError::Unstratifiable {
+                rule: v.rule,
+                atom: v.atom,
+                pred: self.idb_info(v.dep).0.to_owned(),
+                cycle: analysis.sccs[analysis.scc_of[v.dep]]
+                    .iter()
+                    .map(|&j| self.idb_info(j).0.to_owned())
+                    .collect(),
+            });
+        }
+        if let Some(u) = analysis.unsafe_negs.first() {
+            return Err(EvalError::UnsafeNegation {
+                rule: u.rule,
+                atom: u.atom,
+                var: u.var,
+            });
+        }
+        let strat = analysis
+            .stratification
+            .expect("violation-free analyses carry a stratification");
+        Ok(strat.rules_by_stratum)
+    }
+
     fn check_structure(&self, s: &Structure) {
         assert_eq!(
             s.signature(),
@@ -516,20 +694,27 @@ impl Program {
     }
 
     /// Naive bottom-up evaluation: apply every rule on the full IDB
-    /// extent until nothing new is derived. Rule bodies are joined in
-    /// greedy index-probing order (same answers as written order).
+    /// extent until nothing new is derived, stratum by stratum for
+    /// programs with negation. Rule bodies are joined in greedy
+    /// index-probing order (same answers as written order).
+    ///
+    /// # Panics
+    /// Panics if the program is unstratifiable or uses unsafe negation;
+    /// use [`Program::try_eval_naive`] for a typed [`EvalError`].
     pub fn eval_naive(&self, s: &Structure) -> Output {
         self.try_eval_naive(s, &Budget::unlimited())
-            .expect("unlimited budget cannot exhaust")
+            .expect("unlimited budget cannot exhaust and program must be stratifiable")
     }
 
     /// Budgeted [`Program::eval_naive`]: consults `budget` on every
-    /// join step and stops cleanly with [`Exhausted`] when it runs
-    /// out, leaving no partial output behind.
-    ///
-    /// [`Exhausted`]: fmt_structures::budget::Exhausted
-    pub fn try_eval_naive(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
+    /// join step and stops cleanly with [`EvalError::Exhausted`] when
+    /// it runs out, leaving no partial output behind. Programs with
+    /// negation are stratified first; unstratifiable or unsafe ones are
+    /// rejected with the matching static [`EvalError`] before any
+    /// evaluation work.
+    pub fn try_eval_naive(&self, s: &Structure, budget: &Budget) -> Result<Output, EvalError> {
         self.check_structure(s);
+        let strata = self.eval_strata()?;
         let mut eval_span =
             fmt_obs::trace_span!("datalog.eval", engine = "naive", rules = self.rules.len());
         let k = self.idb_names.len();
@@ -538,65 +723,68 @@ impl Program {
         let mut iterations = 0;
         let mut derivations = 0u64;
         let mut delta_history = Vec::new();
-        loop {
-            iterations += 1;
-            OBS_NAIVE_ROUNDS.incr();
-            let mut round_span = fmt_obs::trace_span!("datalog.round", round = iterations);
-            // Candidate new tuples, staged per IDB in flat buffers (the
-            // counts carry nullary facts, whose rows occupy no bytes).
-            let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
-            let mut counts: Vec<usize> = vec![0; k];
-            for (ri, rule) in self.rules.iter().enumerate() {
-                let mut rule_span =
-                    fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations);
-                let plan = plan_rule(rule, None, s, &store);
-                ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
-                let ctx = ExecCtx {
-                    s,
-                    rule,
-                    plan: &plan,
-                    edb: &edb,
-                    store: &store,
-                    driver: &[],
-                    head_idb: head_idb(rule),
-                    probes: Cell::new(0),
-                    probe_allocs: Cell::new(0),
-                };
-                let mut binding = vec![None; rule_num_vars(rule)];
-                let mut rule_derived = 0u64;
-                let store_ref = &store;
-                exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                    rule_derived += 1;
-                    if !store_ref[idb].store.contains(t) {
-                        bufs[idb].extend_from_slice(t);
-                        counts[idb] += 1;
-                    }
-                })?;
-                derivations += rule_derived;
-                rule_span.record_field("probes", ctx.probes.get());
-                rule_span.record_field("derived", rule_derived);
-                rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
-            }
-            let mut added = 0u64;
-            for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
-                let a = self.idb_arity[j];
-                for i in 0..cnt {
-                    if store[j]
-                        .store
-                        .push_if_new(&buf[i * a..(i + 1) * a])
-                        .is_some()
-                    {
-                        added += 1;
+        for rules_in in &strata {
+            loop {
+                iterations += 1;
+                OBS_NAIVE_ROUNDS.incr();
+                let mut round_span = fmt_obs::trace_span!("datalog.round", round = iterations);
+                // Candidate new tuples, staged per IDB in flat buffers (the
+                // counts carry nullary facts, whose rows occupy no bytes).
+                let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+                let mut counts: Vec<usize> = vec![0; k];
+                for &ri in rules_in {
+                    let rule = &self.rules[ri];
+                    let mut rule_span =
+                        fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations);
+                    let plan = plan_rule(rule, None, s, &store);
+                    ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                    let ctx = ExecCtx {
+                        s,
+                        rule,
+                        plan: &plan,
+                        edb: &edb,
+                        store: &store,
+                        driver: &[],
+                        head_idb: head_idb(rule),
+                        probes: Cell::new(0),
+                        probe_allocs: Cell::new(0),
+                    };
+                    let mut binding = vec![None; rule_num_vars(rule)];
+                    let mut rule_derived = 0u64;
+                    let store_ref = &store;
+                    exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
+                        rule_derived += 1;
+                        if !store_ref[idb].store.contains(t) {
+                            bufs[idb].extend_from_slice(t);
+                            counts[idb] += 1;
+                        }
+                    })?;
+                    derivations += rule_derived;
+                    rule_span.record_field("probes", ctx.probes.get());
+                    rule_span.record_field("derived", rule_derived);
+                    rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
+                }
+                let mut added = 0u64;
+                for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+                    let a = self.idb_arity[j];
+                    for i in 0..cnt {
+                        if store[j]
+                            .store
+                            .push_if_new(&buf[i * a..(i + 1) * a])
+                            .is_some()
+                        {
+                            added += 1;
+                        }
                     }
                 }
-            }
-            for r in store.iter_mut() {
-                r.extend_indexes();
-            }
-            delta_history.push(added);
-            round_span.record_field("new", added);
-            if added == 0 {
-                break;
+                for r in store.iter_mut() {
+                    r.extend_indexes();
+                }
+                delta_history.push(added);
+                round_span.record_field("new", added);
+                if added == 0 {
+                    break;
+                }
             }
         }
         eval_span.record_field("rounds", iterations);
@@ -624,21 +812,25 @@ impl Program {
     /// once a round carries enough delta tuples.
     pub fn eval_seminaive_with(&self, s: &Structure, threads: usize) -> Output {
         self.try_eval_seminaive_with(s, threads, &Budget::unlimited())
-            .expect("unlimited budget cannot exhaust")
+            .expect("unlimited budget cannot exhaust and program must be stratifiable")
     }
 
     /// Budgeted [`Program::eval_seminaive_with`]: every worker shard
     /// shares `budget` (one cheap clone each), so fuel exhaustion or an
     /// external [`Budget::cancel`] stops all shards cooperatively — the
     /// first shard to observe exhaustion makes every other shard's next
-    /// tick fail too.
+    /// tick fail too. Programs with negation evaluate stratum by
+    /// stratum (negated atoms probe the completed lower strata);
+    /// unstratifiable or unsafe ones are rejected with a static
+    /// [`EvalError`] before any evaluation work.
     pub fn try_eval_seminaive_with(
         &self,
         s: &Structure,
         threads: usize,
         budget: &Budget,
-    ) -> BudgetResult<Output> {
+    ) -> Result<Output, EvalError> {
         self.check_structure(s);
+        let strata = self.eval_strata()?;
         let threads = if threads == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZero::get)
@@ -657,239 +849,258 @@ impl Program {
         let mut store = self.new_store();
         let mut edb = EdbCache::default();
         let mut derivations = 0u64;
-
-        // Initialization: all rules on the empty IDB extent (only rules
-        // whose bodies need no IDB facts fire). Cheap — run inline.
-        // Emissions are staged in flat per-IDB buffers (counts carry
-        // nullary facts) and deduplicated by the stores on merge.
-        let init_span = fmt_obs::trace_span!("datalog.init");
-        let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
-        let mut counts: Vec<usize> = vec![0; k];
-        for (ri, rule) in self.rules.iter().enumerate() {
-            let mut rule_span = fmt_obs::trace_span!("datalog.rule", rule = ri, round = 1u64);
-            let plan = plan_rule(rule, None, s, &store);
-            ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
-            let ctx = ExecCtx {
-                s,
-                rule,
-                plan: &plan,
-                edb: &edb,
-                store: &store,
-                driver: &[],
-                head_idb: head_idb(rule),
-                probes: Cell::new(0),
-                probe_allocs: Cell::new(0),
-            };
-            let mut binding = vec![None; rule_num_vars(rule)];
-            let mut rule_derived = 0u64;
-            let staged0: usize = bufs.iter().map(Vec::len).sum();
-            exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                rule_derived += 1;
-                bufs[idb].extend_from_slice(t);
-                counts[idb] += 1;
-            })?;
-            derivations += rule_derived;
-            let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
-            rule_span.record_field("probes", ctx.probes.get());
-            rule_span.record_field("derived", rule_derived);
-            rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
-            rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
-        }
-        let mut initial_facts = 0u64;
-        for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
-            let a = self.idb_arity[j];
-            for i in 0..cnt {
-                if store[j]
-                    .store
-                    .push_if_new(&buf[i * a..(i + 1) * a])
-                    .is_some()
-                {
-                    initial_facts += 1;
-                }
-            }
-        }
-        for r in store.iter_mut() {
-            r.extend_indexes();
-        }
-        drop(init_span);
-        OBS_ROUNDS.incr();
-        OBS_DELTA_FACTS.add(initial_facts);
-        OBS_DELTA_SIZE.record(initial_facts);
-        let mut delta_history = vec![initial_facts];
+        let mut delta_history: Vec<u64> = Vec::new();
+        let mut iterations = 0usize;
         // Per-IDB delta as a row-id range `[start, end)` of the store:
         // row ids are stable under append, so no tuple is ever copied
-        // into a separate delta set.
-        let mut delta: Vec<(u32, u32)> = store.iter().map(|r| (0, r.store.len32())).collect();
-
+        // into a separate delta set. Lower-stratum extents stop growing
+        // once their stratum completes, so their ranges stay empty and
+        // never spawn jobs again.
+        let mut delta: Vec<(u32, u32)> = vec![(0, 0); k];
         // Plans are cached per (rule, delta position) for the whole
         // evaluation; the indexes they probe are kept current by the
         // per-round merge, so re-planning each round buys nothing.
         let mut plans: Vec<Vec<Step>> = Vec::new();
         let mut plan_of: HashMap<(usize, usize), usize> = HashMap::new();
 
-        let mut iterations = 1;
-        while delta.iter().any(|&(d0, d1)| d1 > d0) {
+        for rules_in in &strata {
+            // Stratum initialization: this stratum's rules on the full
+            // extents of the completed lower strata (and the empty
+            // extents of its own heads; on a negation-free program this
+            // is exactly the old all-rules-on-empty-IDB pass). Cheap —
+            // run inline. Emissions are staged in flat per-IDB buffers
+            // (counts carry nullary facts) and deduplicated by the
+            // stores on merge.
+            let init_span = fmt_obs::trace_span!("datalog.init");
+            let len_pre: Vec<u32> = store.iter().map(|r| r.store.len32()).collect();
+            let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+            let mut counts: Vec<usize> = vec![0; k];
+            for &ri in rules_in {
+                let rule = &self.rules[ri];
+                let mut rule_span =
+                    fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations + 1);
+                let plan = plan_rule(rule, None, s, &store);
+                ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                let ctx = ExecCtx {
+                    s,
+                    rule,
+                    plan: &plan,
+                    edb: &edb,
+                    store: &store,
+                    driver: &[],
+                    head_idb: head_idb(rule),
+                    probes: Cell::new(0),
+                    probe_allocs: Cell::new(0),
+                };
+                let mut binding = vec![None; rule_num_vars(rule)];
+                let mut rule_derived = 0u64;
+                let staged0: usize = bufs.iter().map(Vec::len).sum();
+                exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
+                    rule_derived += 1;
+                    bufs[idb].extend_from_slice(t);
+                    counts[idb] += 1;
+                })?;
+                derivations += rule_derived;
+                let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
+                rule_span.record_field("probes", ctx.probes.get());
+                rule_span.record_field("derived", rule_derived);
+                rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
+                rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
+            }
+            let mut initial_facts = 0u64;
+            for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+                let a = self.idb_arity[j];
+                for i in 0..cnt {
+                    if store[j]
+                        .store
+                        .push_if_new(&buf[i * a..(i + 1) * a])
+                        .is_some()
+                    {
+                        initial_facts += 1;
+                    }
+                }
+            }
+            for r in store.iter_mut() {
+                r.extend_indexes();
+            }
+            drop(init_span);
             iterations += 1;
             OBS_ROUNDS.incr();
-            let total_delta: usize = delta.iter().map(|&(d0, d1)| (d1 - d0) as usize).sum();
-            let mut round_span =
-                fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
+            OBS_DELTA_FACTS.add(initial_facts);
+            OBS_DELTA_SIZE.record(initial_facts);
+            delta_history.push(initial_facts);
+            for (j, d) in delta.iter_mut().enumerate() {
+                *d = (len_pre[j], store[j].store.len32());
+            }
 
-            // One job per (rule, IDB body position) with a nonempty
-            // delta; plan on first sight, then build every index the
-            // plan needs so the fan-out below can share the caches
-            // immutably.
-            let plan_span = fmt_obs::trace_span!("datalog.plan");
-            let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
-            for (ri, rule) in self.rules.iter().enumerate() {
-                for (pos, atom) in rule.body.iter().enumerate() {
-                    if let Pred::Idb(j) = atom.pred {
-                        let (d0, d1) = delta[j];
-                        if d1 == d0 {
+            while delta.iter().any(|&(d0, d1)| d1 > d0) {
+                iterations += 1;
+                OBS_ROUNDS.incr();
+                let total_delta: usize = delta.iter().map(|&(d0, d1)| (d1 - d0) as usize).sum();
+                let mut round_span =
+                    fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
+
+                // One job per (rule, positive IDB body position) with a
+                // nonempty delta; plan on first sight, then build every
+                // index the plan needs so the fan-out below can share
+                // the caches immutably. Negated atoms never drive a
+                // delta — their extents are frozen lower strata.
+                let plan_span = fmt_obs::trace_span!("datalog.plan");
+                let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+                for &ri in rules_in {
+                    let rule = &self.rules[ri];
+                    for (pos, atom) in rule.body.iter().enumerate() {
+                        if atom.negated {
                             continue;
                         }
-                        let pi = match plan_of.get(&(ri, pos)) {
-                            Some(&pi) => pi,
-                            None => {
-                                let plan = plan_rule(rule, Some(pos), s, &store);
-                                ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
-                                plans.push(plan);
-                                plan_of.insert((ri, pos), plans.len() - 1);
-                                plans.len() - 1
+                        if let Pred::Idb(j) = atom.pred {
+                            let (d0, d1) = delta[j];
+                            if d1 == d0 {
+                                continue;
                             }
-                        };
-                        jobs.push((ri, pos, pi));
-                    }
-                }
-            }
-            OBS_PAR_JOBS.add(jobs.len() as u64);
-
-            // Hash-shard each job's delta row ids; small rounds stay
-            // unsharded. Row hashes come from the store's arenas — the
-            // same FNV fold the old per-tuple sharding used.
-            let nshards = if threads == 1 || total_delta < 512 {
-                1
-            } else {
-                threads
-            };
-            let mut items: Vec<(usize, Vec<u32>)> = Vec::new();
-            for (ji, &(ri, pos, _)) in jobs.iter().enumerate() {
-                let Pred::Idb(j) = self.rules[ri].body[pos].pred else {
-                    unreachable!("jobs are delta-driven")
-                };
-                let (d0, d1) = delta[j];
-                if nshards == 1 {
-                    items.push((ji, (d0..d1).collect()));
-                    continue;
-                }
-                let st = &store[j].store;
-                let per_shard = ((d1 - d0) as usize / nshards + 1) * 2;
-                let mut shards: Vec<Vec<u32>> = vec![Vec::with_capacity(per_shard); nshards];
-                for row in d0..d1 {
-                    shards[(st.row_hash(row) % nshards as u64) as usize].push(row);
-                }
-                let ideal = ((d1 - d0) as usize).div_ceil(nshards).max(1);
-                let fullest = shards.iter().map(Vec::len).max().unwrap_or(0);
-                OBS_SHARD_IMBALANCE.record((fullest * 100 / ideal) as u64);
-                items.extend(
-                    shards
-                        .into_iter()
-                        .filter(|sh| !sh.is_empty())
-                        .map(|sh| (ji, sh)),
-                );
-            }
-            drop(plan_span);
-
-            // Fan out; each worker stages derived tuples in flat
-            // per-IDB buffers — no per-tuple allocation anywhere in
-            // the loop, and no dedup here: `push_if_new` on merge does
-            // one hash per staged tuple, so pre-filtering against the
-            // frozen extent would only add a second hash. Results
-            // merge in item order, so the engine is deterministic for
-            // any thread count. Worker rule spans attach under this
-            // round's join span through fan_out's parent propagation.
-            let join_span = fmt_obs::trace_span!("datalog.join", jobs = jobs.len());
-            let store_ref = &store;
-            let plans_ref = &plans;
-            let results = fan_out(threads, &items, |chunk| {
-                let mut derivs = 0u64;
-                let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
-                let mut counts: Vec<usize> = vec![0; k];
-                for (ji, shard) in chunk {
-                    let (ri, pos, pi) = jobs[*ji];
-                    let rule = &self.rules[ri];
-                    let mut rule_span = fmt_obs::trace_span!(
-                        "datalog.rule",
-                        rule = ri,
-                        pos = pos,
-                        round = iterations,
-                        tuples = shard.len()
-                    );
-                    let ctx = ExecCtx {
-                        s,
-                        rule,
-                        plan: &plans_ref[pi],
-                        edb: &edb,
-                        store: store_ref,
-                        driver: shard,
-                        head_idb: head_idb(rule),
-                        probes: Cell::new(0),
-                        probe_allocs: Cell::new(0),
-                    };
-                    let mut binding = vec![None; rule_num_vars(rule)];
-                    let mut rule_derived = 0u64;
-                    let staged0: usize = bufs.iter().map(Vec::len).sum();
-                    exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
-                        rule_derived += 1;
-                        bufs[idb].extend_from_slice(t);
-                        counts[idb] += 1;
-                    })?;
-                    derivs += rule_derived;
-                    let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
-                    rule_span.record_field("probes", ctx.probes.get());
-                    rule_span.record_field("derived", rule_derived);
-                    rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
-                    rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
-                }
-                Ok((derivs, bufs, counts))
-            });
-            drop(join_span);
-
-            // Dedup: drain worker buffers in item order straight into
-            // the stores — push_if_new is the hash-set insert and the
-            // arena append in one step.
-            let dedup_span = fmt_obs::trace_span!("datalog.dedup");
-            let len_before: Vec<u32> = store.iter().map(|r| r.store.len32()).collect();
-            let mut new_facts = 0u64;
-            for chunk_result in results {
-                let (derivs, bufs, counts) = chunk_result?;
-                derivations += derivs;
-                for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
-                    let a = self.idb_arity[j];
-                    for i in 0..cnt {
-                        if store[j]
-                            .store
-                            .push_if_new(&buf[i * a..(i + 1) * a])
-                            .is_some()
-                        {
-                            new_facts += 1;
+                            let pi = match plan_of.get(&(ri, pos)) {
+                                Some(&pi) => pi,
+                                None => {
+                                    let plan = plan_rule(rule, Some(pos), s, &store);
+                                    ensure_plan_indexes(&plan, rule, s, &mut edb, &mut store);
+                                    plans.push(plan);
+                                    plan_of.insert((ri, pos), plans.len() - 1);
+                                    plans.len() - 1
+                                }
+                            };
+                            jobs.push((ri, pos, pi));
                         }
                     }
                 }
+                OBS_PAR_JOBS.add(jobs.len() as u64);
+
+                // Hash-shard each job's delta row ids; small rounds stay
+                // unsharded. Row hashes come from the store's arenas — the
+                // same FNV fold the old per-tuple sharding used.
+                let nshards = if threads == 1 || total_delta < 512 {
+                    1
+                } else {
+                    threads
+                };
+                let mut items: Vec<(usize, Vec<u32>)> = Vec::new();
+                for (ji, &(ri, pos, _)) in jobs.iter().enumerate() {
+                    let Pred::Idb(j) = self.rules[ri].body[pos].pred else {
+                        unreachable!("jobs are delta-driven")
+                    };
+                    let (d0, d1) = delta[j];
+                    if nshards == 1 {
+                        items.push((ji, (d0..d1).collect()));
+                        continue;
+                    }
+                    let st = &store[j].store;
+                    let per_shard = ((d1 - d0) as usize / nshards + 1) * 2;
+                    let mut shards: Vec<Vec<u32>> = vec![Vec::with_capacity(per_shard); nshards];
+                    for row in d0..d1 {
+                        shards[(st.row_hash(row) % nshards as u64) as usize].push(row);
+                    }
+                    let ideal = ((d1 - d0) as usize).div_ceil(nshards).max(1);
+                    let fullest = shards.iter().map(Vec::len).max().unwrap_or(0);
+                    OBS_SHARD_IMBALANCE.record((fullest * 100 / ideal) as u64);
+                    items.extend(
+                        shards
+                            .into_iter()
+                            .filter(|sh| !sh.is_empty())
+                            .map(|sh| (ji, sh)),
+                    );
+                }
+                drop(plan_span);
+
+                // Fan out; each worker stages derived tuples in flat
+                // per-IDB buffers — no per-tuple allocation anywhere in
+                // the loop, and no dedup here: `push_if_new` on merge does
+                // one hash per staged tuple, so pre-filtering against the
+                // frozen extent would only add a second hash. Results
+                // merge in item order, so the engine is deterministic for
+                // any thread count. Worker rule spans attach under this
+                // round's join span through fan_out's parent propagation.
+                let join_span = fmt_obs::trace_span!("datalog.join", jobs = jobs.len());
+                let store_ref = &store;
+                let plans_ref = &plans;
+                let results = fan_out(threads, &items, |chunk| -> BudgetResult<_> {
+                    let mut derivs = 0u64;
+                    let mut bufs: Vec<Vec<Elem>> = vec![Vec::new(); k];
+                    let mut counts: Vec<usize> = vec![0; k];
+                    for (ji, shard) in chunk {
+                        let (ri, pos, pi) = jobs[*ji];
+                        let rule = &self.rules[ri];
+                        let mut rule_span = fmt_obs::trace_span!(
+                            "datalog.rule",
+                            rule = ri,
+                            pos = pos,
+                            round = iterations,
+                            tuples = shard.len()
+                        );
+                        let ctx = ExecCtx {
+                            s,
+                            rule,
+                            plan: &plans_ref[pi],
+                            edb: &edb,
+                            store: store_ref,
+                            driver: shard,
+                            head_idb: head_idb(rule),
+                            probes: Cell::new(0),
+                            probe_allocs: Cell::new(0),
+                        };
+                        let mut binding = vec![None; rule_num_vars(rule)];
+                        let mut rule_derived = 0u64;
+                        let staged0: usize = bufs.iter().map(Vec::len).sum();
+                        exec(&ctx, 0, &mut binding, budget, &mut |idb, t| {
+                            rule_derived += 1;
+                            bufs[idb].extend_from_slice(t);
+                            counts[idb] += 1;
+                        })?;
+                        derivs += rule_derived;
+                        let staged: usize = bufs.iter().map(Vec::len).sum::<usize>() - staged0;
+                        rule_span.record_field("probes", ctx.probes.get());
+                        rule_span.record_field("derived", rule_derived);
+                        rule_span.record_field("probe_allocs", ctx.probe_allocs.get());
+                        rule_span.record_field("arena_bytes", (staged * ELEM_BYTES) as u64);
+                    }
+                    Ok((derivs, bufs, counts))
+                });
+                drop(join_span);
+
+                // Dedup: drain worker buffers in item order straight into
+                // the stores — push_if_new is the hash-set insert and the
+                // arena append in one step.
+                let dedup_span = fmt_obs::trace_span!("datalog.dedup");
+                let len_before: Vec<u32> = store.iter().map(|r| r.store.len32()).collect();
+                let mut new_facts = 0u64;
+                for chunk_result in results {
+                    let (derivs, bufs, counts) = chunk_result?;
+                    derivations += derivs;
+                    for (j, (buf, &cnt)) in bufs.iter().zip(counts.iter()).enumerate() {
+                        let a = self.idb_arity[j];
+                        for i in 0..cnt {
+                            if store[j]
+                                .store
+                                .push_if_new(&buf[i * a..(i + 1) * a])
+                                .is_some()
+                            {
+                                new_facts += 1;
+                            }
+                        }
+                    }
+                }
+                drop(dedup_span);
+                // Merge: indexes catch up to the appended rows, and the
+                // new delta is just the appended row-id range.
+                let merge_span = fmt_obs::trace_span!("datalog.merge");
+                for (j, d) in delta.iter_mut().enumerate() {
+                    store[j].extend_indexes();
+                    *d = (len_before[j], store[j].store.len32());
+                }
+                drop(merge_span);
+                OBS_DELTA_FACTS.add(new_facts);
+                OBS_DELTA_SIZE.record(new_facts);
+                delta_history.push(new_facts);
+                round_span.record_field("new", new_facts);
             }
-            drop(dedup_span);
-            // Merge: indexes catch up to the appended rows, and the
-            // new delta is just the appended row-id range.
-            let merge_span = fmt_obs::trace_span!("datalog.merge");
-            for (j, d) in delta.iter_mut().enumerate() {
-                store[j].extend_indexes();
-                *d = (len_before[j], store[j].store.len32());
-            }
-            drop(merge_span);
-            OBS_DELTA_FACTS.add(new_facts);
-            OBS_DELTA_SIZE.record(new_facts);
-            delta_history.push(new_facts);
-            round_span.record_field("new", new_facts);
         }
         eval_span.record_field("rounds", iterations);
         eval_span.record_field("derivations", derivations);
@@ -907,92 +1118,114 @@ impl Program {
     /// the `queries.datalog.scan_tuples` counter).
     pub fn eval_seminaive_scan(&self, s: &Structure) -> Output {
         self.try_eval_seminaive_scan(s, &Budget::unlimited())
-            .expect("unlimited budget cannot exhaust")
+            .expect("unlimited budget cannot exhaust and program must be stratifiable")
     }
 
-    /// Budgeted [`Program::eval_seminaive_scan`].
-    pub fn try_eval_seminaive_scan(&self, s: &Structure, budget: &Budget) -> BudgetResult<Output> {
+    /// Budgeted [`Program::eval_seminaive_scan`]. Programs with
+    /// negation evaluate stratum by stratum, with negated atoms checked
+    /// as `HashSet` membership against the completed lower strata — an
+    /// implementation deliberately independent of the indexed kernel's
+    /// anti-join probes.
+    pub fn try_eval_seminaive_scan(
+        &self,
+        s: &Structure,
+        budget: &Budget,
+    ) -> Result<Output, EvalError> {
         self.check_structure(s);
+        let strata = self.eval_strata()?;
         let mut eval_span =
             fmt_obs::trace_span!("datalog.eval", engine = "scan", rules = self.rules.len());
         let k = self.idb_names.len();
         let mut total: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
         let mut derivations = 0u64;
+        let mut delta_history: Vec<u64> = Vec::new();
+        let mut iterations = 0usize;
 
-        // Initialization: all rules on the empty IDB extent.
-        let init_span = fmt_obs::trace_span!("datalog.init");
-        let mut delta: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-        for (ri, rule) in self.rules.iter().enumerate() {
-            let mut rule_span = fmt_obs::trace_span!("datalog.rule", rule = ri, round = 1u64);
-            let mut rule_derived = 0u64;
-            self.apply_rule_scan(s, rule, &total, None, budget, &mut |idb, t| {
-                rule_derived += 1;
-                delta[idb].insert(t);
-            })?;
-            derivations += rule_derived;
-            rule_span.record_field("derived", rule_derived);
-        }
-        for (t, d) in total.iter_mut().zip(delta.iter()) {
-            t.extend(d.iter().cloned());
-        }
-        drop(init_span);
-        let initial_facts: usize = delta.iter().map(HashSet::len).sum();
-        OBS_ROUNDS.incr();
-        OBS_DELTA_FACTS.add(initial_facts as u64);
-        OBS_DELTA_SIZE.record(initial_facts as u64);
-        let mut delta_history = vec![initial_facts as u64];
-
-        let mut iterations = 1;
-        while delta.iter().any(|d| !d.is_empty()) {
-            iterations += 1;
-            OBS_ROUNDS.incr();
-            let total_delta: usize = delta.iter().map(HashSet::len).sum();
-            let mut round_span =
-                fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
-            let mut next: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
-            for (ri, rule) in self.rules.iter().enumerate() {
-                // One application per IDB body-atom position, with that
-                // atom reading the delta.
-                for (pos, atom) in rule.body.iter().enumerate() {
-                    if let Pred::Idb(j) = atom.pred {
-                        if delta[j].is_empty() {
-                            continue;
-                        }
-                        let mut rule_span = fmt_obs::trace_span!(
-                            "datalog.rule",
-                            rule = ri,
-                            pos = pos,
-                            round = iterations,
-                            tuples = delta[j].len()
-                        );
-                        let mut rule_derived = 0u64;
-                        self.apply_rule_scan(
-                            s,
-                            rule,
-                            &total,
-                            Some((pos, &delta)),
-                            budget,
-                            &mut |idb, t| {
-                                rule_derived += 1;
-                                if !total[idb].contains(&t) {
-                                    next[idb].insert(t);
-                                }
-                            },
-                        )?;
-                        derivations += rule_derived;
-                        rule_span.record_field("derived", rule_derived);
-                    }
-                }
+        for rules_in in &strata {
+            // Stratum initialization: this stratum's rules on the
+            // completed lower strata (their own heads are still empty).
+            let init_span = fmt_obs::trace_span!("datalog.init");
+            let mut delta: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+            for &ri in rules_in {
+                let rule = &self.rules[ri];
+                let mut rule_span =
+                    fmt_obs::trace_span!("datalog.rule", rule = ri, round = iterations + 1);
+                let mut rule_derived = 0u64;
+                self.apply_rule_scan(s, rule, &total, None, budget, &mut |idb, t| {
+                    rule_derived += 1;
+                    delta[idb].insert(t);
+                })?;
+                derivations += rule_derived;
+                rule_span.record_field("derived", rule_derived);
             }
-            for (t, d) in total.iter_mut().zip(next.iter()) {
+            for (t, d) in total.iter_mut().zip(delta.iter()) {
                 t.extend(d.iter().cloned());
             }
-            let new_facts: usize = next.iter().map(HashSet::len).sum();
-            OBS_DELTA_FACTS.add(new_facts as u64);
-            OBS_DELTA_SIZE.record(new_facts as u64);
-            delta_history.push(new_facts as u64);
-            round_span.record_field("new", new_facts);
-            delta = next;
+            drop(init_span);
+            let initial_facts: usize = delta.iter().map(HashSet::len).sum();
+            iterations += 1;
+            OBS_ROUNDS.incr();
+            OBS_DELTA_FACTS.add(initial_facts as u64);
+            OBS_DELTA_SIZE.record(initial_facts as u64);
+            delta_history.push(initial_facts as u64);
+
+            while delta.iter().any(|d| !d.is_empty()) {
+                iterations += 1;
+                OBS_ROUNDS.incr();
+                let total_delta: usize = delta.iter().map(HashSet::len).sum();
+                let mut round_span =
+                    fmt_obs::trace_span!("datalog.round", round = iterations, delta = total_delta);
+                let mut next: Vec<HashSet<Vec<Elem>>> = vec![HashSet::new(); k];
+                for &ri in rules_in {
+                    let rule = &self.rules[ri];
+                    // One application per positive IDB body-atom
+                    // position, with that atom reading the delta
+                    // (negated atoms are membership checks, never
+                    // delta drivers).
+                    for (pos, atom) in rule.body.iter().enumerate() {
+                        if atom.negated {
+                            continue;
+                        }
+                        if let Pred::Idb(j) = atom.pred {
+                            if delta[j].is_empty() {
+                                continue;
+                            }
+                            let mut rule_span = fmt_obs::trace_span!(
+                                "datalog.rule",
+                                rule = ri,
+                                pos = pos,
+                                round = iterations,
+                                tuples = delta[j].len()
+                            );
+                            let mut rule_derived = 0u64;
+                            self.apply_rule_scan(
+                                s,
+                                rule,
+                                &total,
+                                Some((pos, &delta)),
+                                budget,
+                                &mut |idb, t| {
+                                    rule_derived += 1;
+                                    if !total[idb].contains(&t) {
+                                        next[idb].insert(t);
+                                    }
+                                },
+                            )?;
+                            derivations += rule_derived;
+                            rule_span.record_field("derived", rule_derived);
+                        }
+                    }
+                }
+                for (t, d) in total.iter_mut().zip(next.iter()) {
+                    t.extend(d.iter().cloned());
+                }
+                let new_facts: usize = next.iter().map(HashSet::len).sum();
+                OBS_DELTA_FACTS.add(new_facts as u64);
+                OBS_DELTA_SIZE.record(new_facts as u64);
+                delta_history.push(new_facts as u64);
+                round_span.record_field("new", new_facts);
+                delta = next;
+            }
         }
         eval_span.record_field("rounds", iterations);
         eval_span.record_field("derivations", derivations);
@@ -1013,7 +1246,10 @@ impl Program {
     /// Applies one rule by written-order nested loops: joins the body
     /// against the given IDB extent (with at most one atom redirected
     /// to a delta), emitting each head instantiation. Unbound head
-    /// variables range over the domain. Deliberately kept on the legacy
+    /// variables range over the domain. Negated atoms are deferred to
+    /// the end of the join order (positives in written order first) and
+    /// checked as plain membership tests — safety guarantees all their
+    /// variables are bound by then. Deliberately kept on the legacy
     /// materialized-tuple path: the scan engine is the independent
     /// differential oracle for the columnar kernel.
     fn apply_rule_scan(
@@ -1027,11 +1263,18 @@ impl Program {
     ) -> BudgetResult<()> {
         let mut binding: Vec<Option<Elem>> = vec![None; rule_num_vars(rule)];
         let head = head_idb(rule);
+        // Positive atoms in written order, then the negated checks (a
+        // negation-free body keeps the exact original order).
+        let mut order: Vec<usize> = (0..rule.body.len())
+            .filter(|&i| !rule.body[i].negated)
+            .collect();
+        order.extend((0..rule.body.len()).filter(|&i| rule.body[i].negated));
 
         #[allow(clippy::too_many_arguments)] // internal join kernel
         fn match_body(
             s: &Structure,
             rule: &Rule,
+            order: &[usize],
             idb: &[HashSet<Vec<Elem>>],
             delta: Option<(usize, &Vec<HashSet<Vec<Elem>>>)>,
             head_idb: usize,
@@ -1041,10 +1284,46 @@ impl Program {
             emit: &mut dyn FnMut(usize, Vec<Elem>),
         ) -> BudgetResult<()> {
             budget.tick(AT)?;
-            if pos == rule.body.len() {
+            if pos == order.len() {
                 return emit_head_scan(s, rule, head_idb, binding, budget, emit);
             }
-            let atom = &rule.body[pos];
+            let ai = order[pos];
+            let atom = &rule.body[ai];
+            if atom.negated {
+                let t: Vec<Elem> = atom
+                    .args
+                    .iter()
+                    .map(|&v| {
+                        binding[v as usize].expect("negated atom variables are bound positively")
+                    })
+                    .collect();
+                let present = match atom.pred {
+                    Pred::Edb(r) => {
+                        let rel = s.rel(r);
+                        OBS_SCAN_TUPLES.add(rel.len() as u64);
+                        rel.iter().any(|u| u == &t[..])
+                    }
+                    Pred::Idb(j) => {
+                        OBS_SCAN_TUPLES.add(1);
+                        idb[j].contains(&t)
+                    }
+                };
+                if present {
+                    return Ok(());
+                }
+                return match_body(
+                    s,
+                    rule,
+                    order,
+                    idb,
+                    delta,
+                    head_idb,
+                    pos + 1,
+                    binding,
+                    budget,
+                    emit,
+                );
+            }
             let try_tuple = |t: &[Elem],
                              binding: &mut Vec<Option<Elem>>,
                              emit: &mut dyn FnMut(usize, Vec<Elem>)|
@@ -1068,6 +1347,7 @@ impl Program {
                     match_body(
                         s,
                         rule,
+                        order,
                         idb,
                         delta,
                         head_idb,
@@ -1094,7 +1374,7 @@ impl Program {
                 }
                 Pred::Idb(j) => {
                     let source = match delta {
-                        Some((dpos, d)) if dpos == pos => &d[j],
+                        Some((dpos, d)) if dpos == ai => &d[j],
                         _ => &idb[j],
                     };
                     OBS_SCAN_TUPLES.add(source.len() as u64);
@@ -1106,7 +1386,18 @@ impl Program {
             Ok(())
         }
 
-        match_body(s, rule, idb, delta, head, 0, &mut binding, budget, emit)
+        match_body(
+            s,
+            rule,
+            &order,
+            idb,
+            delta,
+            head,
+            0,
+            &mut binding,
+            budget,
+            emit,
+        )
     }
 }
 
@@ -1206,6 +1497,11 @@ enum Access {
     ProbePrefix(usize),
     /// Hash-index probe on the given bound argument positions.
     Probe(Vec<usize>),
+    /// Anti-join check for a negated atom: every argument is bound, so
+    /// the fully-instantiated tuple is tested for *absence* from the
+    /// completed lower-stratum extent (sorted-prefix probe for EDB,
+    /// `TupleStore::contains` for IDB — no index build needed).
+    NegCheck,
 }
 
 /// One step of a rule plan: which body atom to join next, and how.
@@ -1232,14 +1528,22 @@ pub(crate) fn head_idb(rule: &Rule) -> usize {
 }
 
 /// Greedy join order for one rule: the delta driver (if any) first,
-/// then repeatedly the atom with the most bound argument positions,
-/// breaking ties toward the smallest extent, then written order. Each
-/// chosen atom records how it will be accessed given what is bound.
+/// then repeatedly the positive atom with the most bound argument
+/// positions, breaking ties toward the smallest extent, then written
+/// order. Each chosen atom records how it will be accessed given what
+/// is bound. Negated atoms are placed as anti-join checks at the
+/// earliest step where every one of their variables is bound — the
+/// soonest the membership test is decidable is where it prunes most.
 fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbStore]) -> Vec<Step> {
     let num_vars = rule_num_vars(rule);
     let mut bound = vec![false; num_vars];
     let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
-    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    let mut remaining: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| !rule.body[i].negated)
+        .collect();
+    let mut neg_remaining: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| rule.body[i].negated)
+        .collect();
 
     let take = |i: usize, steps: &mut Vec<Step>, bound: &mut Vec<bool>, access: Access| {
         steps.push(Step { atom: i, access });
@@ -1247,10 +1551,28 @@ fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbStor
             bound[v as usize] = true;
         }
     };
+    let place_negs = |steps: &mut Vec<Step>, bound: &Vec<bool>, neg: &mut Vec<usize>| {
+        neg.retain(|&i| {
+            if rule.body[i].args.iter().all(|&v| bound[v as usize]) {
+                steps.push(Step {
+                    atom: i,
+                    access: Access::NegCheck,
+                });
+                false
+            } else {
+                true
+            }
+        });
+    };
+
+    // Variable-free negated atoms (nullary, typically) gate the whole
+    // rule — check them before touching any extent.
+    place_negs(&mut steps, &bound, &mut neg_remaining);
 
     if let Some(d) = driver {
         take(d, &mut steps, &mut bound, Access::ScanDelta);
         remaining.retain(|&i| i != d);
+        place_negs(&mut steps, &bound, &mut neg_remaining);
     }
 
     let extent_len = |atom: &Atom| -> usize {
@@ -1292,6 +1614,15 @@ fn plan_rule(rule: &Rule, driver: Option<usize>, s: &Structure, store: &[IdbStor
         };
         take(best, &mut steps, &mut bound, access);
         remaining.retain(|&i| i != best);
+        place_negs(&mut steps, &bound, &mut neg_remaining);
+    }
+    // Anything left is unsafe negation; the engines reject it before
+    // planning (`eval_strata`), but keep the plan total regardless.
+    for i in neg_remaining {
+        steps.push(Step {
+            atom: i,
+            access: Access::NegCheck,
+        });
     }
     steps
 }
@@ -1558,6 +1889,30 @@ fn exec(
     let step = &ctx.plan[step_i];
     let atom = &ctx.rule.body[step.atom];
     match (&step.access, atom.pred) {
+        (Access::NegCheck, _) => {
+            // Anti-join: the planner placed this step only once every
+            // argument was bound, so the tuple is fully determined —
+            // one membership probe decides the whole subtree.
+            ctx.probes.set(ctx.probes.get() + 1);
+            let mut stack = [0; VAL_STACK];
+            let mut heap = Vec::new();
+            let t = fill_slice(
+                ctx,
+                atom.args.len(),
+                atom.args
+                    .iter()
+                    .map(|&v| binding[v as usize].expect("negated atom variables are bound")),
+                &mut stack,
+                &mut heap,
+            );
+            let present = match atom.pred {
+                Pred::Edb(r) => index::probe_prefix(ctx.s.rel(r), t).next().is_some(),
+                Pred::Idb(j) => ctx.store[j].store.contains(t),
+            };
+            if !present {
+                exec(ctx, step_i + 1, binding, budget, emit)?;
+            }
+        }
         (Access::ScanDelta, Pred::Idb(j)) => {
             index::note_scan(ctx.driver.len() as u64);
             let st = &ctx.store[j].store;
@@ -1871,6 +2226,164 @@ mod tests {
         assert!(out.iterations >= 8, "iterations = {}", out.iterations);
         assert!(out.derivations > 0);
         assert_eq!(out.delta_history.len(), out.iterations);
+    }
+
+    #[test]
+    fn negation_parses_with_spans() {
+        let sig = Signature::graph();
+        let src = "p(x) :- e(x, y), !q(y). q(x) :- e(x, x).";
+        let p = Program::parse_spanned(&sig, src).unwrap();
+        assert!(!p.program.rules()[0].body[0].negated);
+        assert!(p.program.rules()[0].body[1].negated);
+        assert_eq!(p.spans[0].body[1].span.slice(src), "!q(y)");
+        assert_eq!(p.spans[0].body[1].pred.slice(src), "q");
+        assert_eq!(p.spans[0].body[1].args[0].slice(src), "y");
+        assert!(p.program.has_negation());
+
+        let src = "p(x) :- e(x, y), not q(y). q(x) :- e(x, x).";
+        let p = Program::parse_spanned(&sig, src).unwrap();
+        assert!(p.program.rules()[0].body[1].negated);
+        assert_eq!(p.spans[0].body[1].span.slice(src), "not q(y)");
+        assert_eq!(p.spans[0].body[1].pred.slice(src), "q");
+
+        // Negated heads are rejected, with the span on the head atom.
+        let src = "!p(x) :- e(x, y).";
+        let err = Program::parse_spanned(&sig, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "!p(x)");
+        assert!(err.message.contains("cannot be negated"), "{}", err.message);
+
+        // A negated *unknown* predicate registers a rule-less IDB; a
+        // positive one is still an error.
+        let p = Program::parse(&sig, "q(x) :- e(x, x), !ghost(x).").unwrap();
+        assert!(p.idb("ghost").is_some());
+        assert!(Program::parse(&sig, "q(x) :- e(x, x), ghost(x).").is_err());
+    }
+
+    #[test]
+    fn stratified_negation_agrees_across_engines() {
+        let sig = Signature::graph();
+        // Three flavors at once: a recursive positive stratum (t), a
+        // negation stratum over it (sink = has an in-edge, no
+        // out-edge), and a negated EDB atom (skip = two-step pairs
+        // with no shortcut edge).
+        let prog = Program::parse(
+            &sig,
+            "t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z). \
+             src(x) :- e(x, y). sink(x) :- e(y, x), !src(x). \
+             skip(x, z) :- e(x, y), e(y, z), !e(x, z).",
+        )
+        .unwrap();
+        for s in [
+            builders::directed_path(6),
+            builders::directed_cycle(5),
+            builders::full_binary_tree(3),
+            builders::empty_graph(4),
+        ] {
+            let a = prog.eval_naive(&s);
+            let b = prog.eval_seminaive(&s);
+            let c = prog.eval_seminaive_scan(&s);
+            for i in 0..prog.num_idbs() {
+                assert_eq!(a.relation(i), b.relation(i), "IDB {i}");
+                assert_eq!(a.relation(i), c.relation(i), "IDB {i} (scan)");
+            }
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(b.iterations, c.iterations);
+            assert_eq!(b.derivations, c.derivations);
+            assert_eq!(b.delta_history, c.delta_history);
+        }
+        // Spot-check the semantics on the path 0→1→…→5.
+        let s = builders::directed_path(6);
+        let out = prog.eval_seminaive(&s);
+        let sink = prog.idb("sink").unwrap();
+        let skip = prog.idb("skip").unwrap();
+        assert_eq!(out.relation(sink).len(), 1);
+        assert!(out.relation(sink).contains(&[5]));
+        assert_eq!(out.relation(skip).len(), 4);
+        assert!(out.relation(skip).contains(&[0, 2]));
+        // And thread counts still agree, counters included.
+        let s = builders::full_binary_tree(4);
+        let reference = prog.eval_seminaive_with(&s, 1);
+        for threads in [2, 3] {
+            let out = prog.eval_seminaive_with(&s, threads);
+            for i in 0..prog.num_idbs() {
+                assert_eq!(reference.relation(i), out.relation(i), "threads {threads}");
+            }
+            assert_eq!(reference.iterations, out.iterations);
+            assert_eq!(reference.derivations, out.derivations);
+            assert_eq!(reference.delta_history, out.delta_history);
+        }
+    }
+
+    #[test]
+    fn vacuous_negation_passes_everything_through() {
+        let sig = Signature::graph();
+        let prog = Program::parse(&sig, "q(x) :- e(x, x), !ghost(x).").unwrap();
+        let s = builders::directed_cycle(1); // one self-loop at 0
+        let out = prog.eval_seminaive(&s);
+        assert!(out.relation(prog.idb("q").unwrap()).contains(&[0]));
+        assert!(out.relation(prog.idb("ghost").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn unstratifiable_and_unsafe_programs_error_not_panic() {
+        let sig = Signature::graph();
+        let s = builders::directed_path(3);
+        let b = Budget::unlimited();
+        let prog = Program::parse(&sig, "p(x) :- e(x, y), !p(y).").unwrap();
+        for err in [
+            prog.try_eval_naive(&s, &b).unwrap_err(),
+            prog.try_eval_seminaive_with(&s, 1, &b).unwrap_err(),
+            prog.try_eval_seminaive_scan(&s, &b).unwrap_err(),
+        ] {
+            match err {
+                EvalError::Unstratifiable {
+                    rule,
+                    atom,
+                    ref pred,
+                    ref cycle,
+                } => {
+                    assert_eq!((rule, atom), (0, 1));
+                    assert_eq!(pred, "p");
+                    assert_eq!(cycle, &["p".to_owned()]);
+                }
+                other => panic!("expected Unstratifiable, got {other:?}"),
+            }
+        }
+
+        let prog = Program::parse(&sig, "q(x) :- e(x, x), !p(y, y). p(x, y) :- e(x, y).").unwrap();
+        for err in [
+            prog.try_eval_naive(&s, &b).unwrap_err(),
+            prog.try_eval_seminaive_with(&s, 1, &b).unwrap_err(),
+            prog.try_eval_seminaive_scan(&s, &b).unwrap_err(),
+        ] {
+            match err {
+                EvalError::UnsafeNegation { rule, atom, var } => {
+                    assert_eq!((rule, atom), (0, 1));
+                    assert_eq!(var, 1); // `y`, second variable of rule 0
+                }
+                other => panic!("expected UnsafeNegation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn planner_places_neg_checks_at_earliest_bound_step() {
+        let sig = Signature::graph();
+        let prog = Program::parse(
+            &sig,
+            "q(x, z) :- e(x, y), !e(y, y), e(y, z). p(x) :- e(x, x).",
+        )
+        .unwrap();
+        let s = builders::directed_path(4);
+        let store = prog.new_store();
+        let plan = plan_rule(&prog.rules()[0], None, &s, &store);
+        // The NegCheck on `!e(y, y)` lands right after the first step
+        // binds y — before the second positive edge atom is joined.
+        let neg_step = plan
+            .iter()
+            .position(|st| st.access == Access::NegCheck)
+            .unwrap();
+        assert_eq!(neg_step, 1, "plan: {plan:?}");
     }
 
     #[test]

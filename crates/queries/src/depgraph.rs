@@ -1,0 +1,400 @@
+//! Predicate dependency-graph analysis for stratified Datalog.
+//!
+//! The *precedence graph* of a program has one node per IDB predicate
+//! and an edge `head → dep` for every body atom: positive when the
+//! atom is plain, negative when it is negated. A program is
+//! **stratifiable** iff no negative edge lies inside a strongly
+//! connected component — negation through recursion has no least
+//! fixpoint. For stratifiable programs the condensation yields a
+//! *stratum* per SCC: `stratum(C) = max over edges C → D of
+//! (stratum(D) + 1 if negative else stratum(D))`, so every negated
+//! predicate is fully computed strictly before its negation is read.
+//!
+//! This module is **load-bearing**, not advisory: all three batch
+//! engines in [`crate::datalog`] schedule their fixpoints from
+//! [`Stratification::rules_by_stratum`], and `fmt-lint` renders the
+//! same analysis as diagnostics (D006 unstratifiable, D007 unsafe
+//! negation, D008 vacuous negation, D009 stratum complexity). Every
+//! edge carries the `(rule, atom)` indices that induced it so both
+//! consumers can point at the exact source location — the lint side
+//! joins them with [`crate::datalog::ParsedProgram`]'s spans.
+//!
+//! Safety (range restriction under negation): every variable of a
+//! negated atom must occur in some *positive* body atom of the same
+//! rule, otherwise the complement is domain-dependent. The analysis
+//! reports violations as [`UnsafeNeg`]; the engines reject them with
+//! [`crate::datalog::EvalError::UnsafeNegation`].
+//!
+//! See `docs/stratification.md` for the full design.
+
+use crate::datalog::{head_idb, Pred, Program};
+use std::collections::HashSet;
+
+/// One precedence edge of the dependency graph, labeled with the body
+/// atom that induced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// IDB index of the rule head (the dependent predicate).
+    pub head: usize,
+    /// IDB index of the body predicate depended upon.
+    pub dep: usize,
+    /// `true` when the inducing atom is negated.
+    pub negative: bool,
+    /// Rule index of the inducing atom.
+    pub rule: usize,
+    /// Body-atom index within that rule.
+    pub atom: usize,
+}
+
+/// A negated atom using a variable no positive atom of its rule binds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeNeg {
+    /// Rule index.
+    pub rule: usize,
+    /// Body-atom index of the negated atom.
+    pub atom: usize,
+    /// The offending variable (rule-local id).
+    pub var: u32,
+}
+
+/// A negated IDB predicate with no defining rule: its extent is
+/// statically empty, so the negation always holds (lint code D008).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VacuousNeg {
+    /// Rule index of the negated atom.
+    pub rule: usize,
+    /// Body-atom index of the negated atom.
+    pub atom: usize,
+    /// IDB index of the rule-less predicate.
+    pub pred: usize,
+}
+
+/// The stratum assignment of a stratifiable program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    /// Stratum of each IDB predicate (indexed by IDB number).
+    pub stratum: Vec<usize>,
+    /// Number of strata (`max(stratum) + 1`; 1 for negation-free
+    /// programs — every positive edge keeps its endpoints level).
+    pub num_strata: usize,
+    /// Rule indices grouped by the stratum of their head, lowest
+    /// stratum first and in written order within a stratum — the
+    /// engines' evaluation schedule.
+    pub rules_by_stratum: Vec<Vec<usize>>,
+    /// Most IDB predicates sharing one stratum (a width signal: wide
+    /// strata mean big mutually-recursive components).
+    pub widest: usize,
+}
+
+/// The full dependency analysis of one program: graph, condensation,
+/// stratification, and the negation-specific findings.
+#[derive(Debug, Clone)]
+pub struct DepAnalysis {
+    /// All IDB→IDB precedence edges, in (rule, atom) order.
+    pub edges: Vec<DepEdge>,
+    /// Strongly connected components in dependencies-first
+    /// (topological) order; each component lists its IDB indices in
+    /// ascending order.
+    pub sccs: Vec<Vec<usize>>,
+    /// Component index of each IDB predicate, into [`DepAnalysis::sccs`].
+    pub scc_of: Vec<usize>,
+    /// Negative edges whose endpoints share an SCC — the witnesses
+    /// that no stratification exists (empty iff stratifiable).
+    pub violations: Vec<DepEdge>,
+    /// Negated-atom variables not bound by any positive atom of the
+    /// same rule, in (rule, atom, arg) order.
+    pub unsafe_negs: Vec<UnsafeNeg>,
+    /// Negated IDB predicates with no defining rule.
+    pub vacuous: Vec<VacuousNeg>,
+    /// The stratum assignment; `None` iff `violations` is nonempty.
+    pub stratification: Option<Stratification>,
+}
+
+impl DepAnalysis {
+    /// Runs the analysis. Linear in the program for graph and safety,
+    /// plus one iterative Tarjan pass and an `O(sccs × edges)` stratum
+    /// sweep — cheap enough to run on every lint and every evaluation
+    /// of a program with negation.
+    pub fn of(p: &Program) -> DepAnalysis {
+        let n = p.num_idbs();
+        let rules = p.rules();
+
+        let mut has_rule = vec![false; n];
+        for rule in rules {
+            has_rule[head_idb(rule)] = true;
+        }
+
+        let mut edges = Vec::new();
+        let mut unsafe_negs = Vec::new();
+        let mut vacuous = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            let head = head_idb(rule);
+            let mut pos_vars: HashSet<u32> = HashSet::new();
+            for atom in rule.body.iter().filter(|a| !a.negated) {
+                pos_vars.extend(atom.args.iter().copied());
+            }
+            for (ai, atom) in rule.body.iter().enumerate() {
+                if let Pred::Idb(j) = atom.pred {
+                    edges.push(DepEdge {
+                        head,
+                        dep: j,
+                        negative: atom.negated,
+                        rule: ri,
+                        atom: ai,
+                    });
+                }
+                if !atom.negated {
+                    continue;
+                }
+                let mut seen: HashSet<u32> = HashSet::new();
+                for &v in &atom.args {
+                    if !pos_vars.contains(&v) && seen.insert(v) {
+                        unsafe_negs.push(UnsafeNeg {
+                            rule: ri,
+                            atom: ai,
+                            var: v,
+                        });
+                    }
+                }
+                if let Pred::Idb(j) = atom.pred {
+                    if !has_rule[j] {
+                        vacuous.push(VacuousNeg {
+                            rule: ri,
+                            atom: ai,
+                            pred: j,
+                        });
+                    }
+                }
+            }
+        }
+
+        let (sccs, scc_of) = tarjan(n, &edges);
+        let violations: Vec<DepEdge> = edges
+            .iter()
+            .filter(|e| e.negative && scc_of[e.head] == scc_of[e.dep])
+            .cloned()
+            .collect();
+
+        let stratification = violations.is_empty().then(|| {
+            // Tarjan pops dependencies first, so every edge leaving a
+            // component points at an already-ranked one.
+            let mut scc_stratum = vec![0usize; sccs.len()];
+            for ci in 0..sccs.len() {
+                let mut s = 0;
+                for e in &edges {
+                    if scc_of[e.head] == ci && scc_of[e.dep] != ci {
+                        debug_assert!(scc_of[e.dep] < ci, "cross edges point down");
+                        s = s.max(scc_stratum[scc_of[e.dep]] + usize::from(e.negative));
+                    }
+                }
+                scc_stratum[ci] = s;
+            }
+            let stratum: Vec<usize> = (0..n).map(|j| scc_stratum[scc_of[j]]).collect();
+            let num_strata = stratum.iter().copied().max().unwrap_or(0) + 1;
+            let mut rules_by_stratum = vec![Vec::new(); num_strata];
+            for (ri, rule) in rules.iter().enumerate() {
+                rules_by_stratum[stratum[head_idb(rule)]].push(ri);
+            }
+            let mut width = vec![0usize; num_strata];
+            for &st in &stratum {
+                width[st] += 1;
+            }
+            let widest = width.into_iter().max().unwrap_or(0);
+            Stratification {
+                stratum,
+                num_strata,
+                rules_by_stratum,
+                widest,
+            }
+        });
+
+        DepAnalysis {
+            edges,
+            sccs,
+            scc_of,
+            violations,
+            unsafe_negs,
+            vacuous,
+            stratification,
+        }
+    }
+}
+
+/// Iterative Tarjan SCC over `n` nodes. Returns the components in
+/// dependencies-first order (a component is emitted only after every
+/// component it depends on) plus the node→component map. Iterative —
+/// an explicit work stack instead of recursion — so pathological
+/// dependency chains cannot overflow the call stack.
+fn tarjan(n: usize, edges: &[DepEdge]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.head].push(e.dep);
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index_of = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut scc_of = vec![UNVISITED; n];
+    let mut next_index = 0usize;
+
+    for root in 0..n {
+        if index_of[root] != UNVISITED {
+            continue;
+        }
+        // Each frame is (node, next outgoing-edge index).
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, ei)) = call.last() {
+            if ei == 0 {
+                index_of[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ei < adj[v].len() {
+                call.last_mut().expect("nonempty").1 += 1;
+                let w = adj[v][ei];
+                if index_of[w] == UNVISITED {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index_of[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index_of[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("root still on stack");
+                        on_stack[w] = false;
+                        scc_of[w] = sccs.len();
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmt_structures::Signature;
+
+    fn parse(src: &str) -> Program {
+        Program::parse(&Signature::graph(), src).expect("test program parses")
+    }
+
+    #[test]
+    fn positive_program_is_one_stratum() {
+        let p = Program::transitive_closure();
+        let a = DepAnalysis::of(&p);
+        assert!(a.violations.is_empty());
+        assert!(a.unsafe_negs.is_empty());
+        let s = a.stratification.expect("stratifiable");
+        assert_eq!(s.num_strata, 1);
+        assert_eq!(s.rules_by_stratum, vec![vec![0, 1]]);
+        assert_eq!(s.widest, 1);
+    }
+
+    #[test]
+    fn mutual_recursion_shares_an_scc() {
+        let p = parse("ev(x, x). od(x, y) :- ev(x, z), e(z, y). ev(x, y) :- od(x, z), e(z, y).");
+        let a = DepAnalysis::of(&p);
+        assert_eq!(a.sccs.len(), 1);
+        assert_eq!(a.sccs[0], vec![0, 1]);
+        let s = a.stratification.expect("stratifiable");
+        assert_eq!(s.num_strata, 1);
+        assert_eq!(s.widest, 2);
+    }
+
+    #[test]
+    fn negation_raises_the_stratum() {
+        let p = parse(
+            "t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z). \
+             nt(x, y) :- e(x, x), e(y, y), !t(x, y).",
+        );
+        let a = DepAnalysis::of(&p);
+        assert!(a.violations.is_empty());
+        let s = a.stratification.expect("stratifiable");
+        let t = p.idb("t").unwrap();
+        let nt = p.idb("nt").unwrap();
+        assert_eq!(s.stratum[t], 0);
+        assert_eq!(s.stratum[nt], 1);
+        assert_eq!(s.num_strata, 2);
+        assert_eq!(s.rules_by_stratum, vec![vec![0, 1], vec![2]]);
+        // The negative edge remembers its inducing atom.
+        let neg = a.edges.iter().find(|e| e.negative).unwrap();
+        assert_eq!((neg.rule, neg.atom), (2, 2));
+        assert_eq!((neg.head, neg.dep), (nt, t));
+    }
+
+    #[test]
+    fn negation_in_a_cycle_is_a_violation() {
+        let p = parse("p(x) :- e(x, y), !q(y). q(x) :- e(x, y), p(y).");
+        let a = DepAnalysis::of(&p);
+        assert_eq!(a.violations.len(), 1);
+        assert!(a.stratification.is_none());
+        let v = &a.violations[0];
+        assert_eq!((v.rule, v.atom), (0, 1));
+        // Direct self-negation is the smallest cycle.
+        let p = parse("p(x) :- e(x, y), !p(y).");
+        let a = DepAnalysis::of(&p);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.sccs[a.scc_of[0]], vec![0]);
+    }
+
+    #[test]
+    fn unsafe_and_vacuous_negation_are_reported() {
+        let p = parse("q(x) :- e(x, x), !p(y, y). p(x, y) :- e(x, y).");
+        let a = DepAnalysis::of(&p);
+        assert_eq!(a.unsafe_negs.len(), 1);
+        assert_eq!(a.unsafe_negs[0].rule, 0);
+        assert_eq!(a.unsafe_negs[0].atom, 1);
+        assert!(a.vacuous.is_empty());
+
+        // `ghost` has no rules: registered as a rule-less IDB, flagged
+        // vacuous, and safe (x is positively bound).
+        let p = parse("q(x) :- e(x, x), !ghost(x).");
+        let a = DepAnalysis::of(&p);
+        assert!(a.unsafe_negs.is_empty());
+        assert_eq!(a.vacuous.len(), 1);
+        assert_eq!(a.vacuous[0].pred, p.idb("ghost").unwrap());
+        // Rule-less IDBs still stratify (empty extent, stratum 0).
+        assert!(a.stratification.is_some());
+    }
+
+    #[test]
+    fn deep_negation_chain_counts_strata() {
+        let p = parse(
+            "p1(x) :- e(x, x). \
+             p2(x) :- e(x, x), !p1(x). \
+             p3(x) :- e(x, x), !p2(x). \
+             p4(x) :- e(x, x), !p3(x).",
+        );
+        let a = DepAnalysis::of(&p);
+        let s = a.stratification.expect("stratifiable");
+        assert_eq!(s.num_strata, 4);
+        assert_eq!(s.stratum, vec![0, 1, 2, 3]);
+        assert_eq!(s.widest, 1);
+    }
+
+    #[test]
+    fn negated_edb_adds_no_edge() {
+        let p = parse("p(x, y) :- e(x, y), !e(y, x).");
+        let a = DepAnalysis::of(&p);
+        assert!(a.edges.is_empty());
+        assert_eq!(a.stratification.expect("stratifiable").num_strata, 1);
+    }
+}

@@ -363,6 +363,34 @@ pub struct PollStats {
 /// One queued update: `insert` flag, relation, tuple.
 type PendingOp = (bool, RelId, Vec<Elem>);
 
+/// The incremental runtime does not maintain programs with negation:
+/// DRed (delete–rederive) under stratified negation needs per-stratum
+/// over-deletion with *sign-flipped* deltas, which is explicitly out of
+/// scope here (see `docs/incremental.md`). [`DatalogRuntime::new`]
+/// rejects such programs with this typed error instead of panicking —
+/// use the batch engines, which evaluate stratum by stratum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedNegation {
+    /// Rule index of the first negated atom.
+    pub rule: usize,
+    /// Body-atom index of that atom within the rule.
+    pub atom: usize,
+    /// Name of the negated predicate.
+    pub pred: String,
+}
+
+impl std::fmt::Display for UnsupportedNegation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "incremental maintenance does not support negation: rule {} negates {}",
+            self.rule, self.pred
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedNegation {}
+
 /// A long-lived incrementally-maintained materialization of a Datalog
 /// program over a mutable fact base.
 ///
@@ -371,7 +399,7 @@ type PendingOp = (bool, RelId, Vec<Elem>);
 /// use fmt_queries::incremental::DatalogRuntime;
 /// use fmt_structures::RelId;
 ///
-/// let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4);
+/// let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4).unwrap();
 /// let e = RelId(0);
 /// rt.insert(e, &[0, 1]);
 /// rt.insert(e, &[1, 2]);
@@ -405,8 +433,24 @@ pub struct DatalogRuntime {
 impl DatalogRuntime {
     /// An empty runtime for `program` over the domain `{0, …, n−1}`
     /// (the domain matters because unbound head variables range over
-    /// it, exactly as in the batch engines).
-    pub fn new(program: Program, domain_size: u32) -> DatalogRuntime {
+    /// it, exactly as in the batch engines). Programs with negated
+    /// atoms are rejected with [`UnsupportedNegation`].
+    pub fn new(program: Program, domain_size: u32) -> Result<DatalogRuntime, UnsupportedNegation> {
+        for (ri, rule) in program.rules().iter().enumerate() {
+            for (ai, atom) in rule.body.iter().enumerate() {
+                if atom.negated {
+                    let pred = match atom.pred {
+                        Pred::Idb(j) => program.idb_info(j).0.to_owned(),
+                        Pred::Edb(r) => program.signature().relation_name(r).to_owned(),
+                    };
+                    return Err(UnsupportedNegation {
+                        rule: ri,
+                        atom: ai,
+                        pred,
+                    });
+                }
+            }
+        }
         let sig = program.signature().clone();
         let edb = sig
             .relations()
@@ -419,7 +463,7 @@ impl DatalogRuntime {
         for (ri, rule) in program.rules().iter().enumerate() {
             rules_by_head[head_idb(rule)].push(ri);
         }
-        DatalogRuntime {
+        Ok(DatalogRuntime {
             program,
             domain: domain_size,
             threads: 1,
@@ -430,24 +474,29 @@ impl DatalogRuntime {
             plan_of: HashMap::new(),
             pending: Vec::new(),
             dirty: true,
-        }
+        })
     }
 
     /// A runtime seeded with every fact of `s` (queued as pending
     /// insertions — call [`DatalogRuntime::poll`] to materialize).
-    pub fn from_structure(program: Program, s: &Structure) -> DatalogRuntime {
+    /// Programs with negated atoms are rejected with
+    /// [`UnsupportedNegation`].
+    pub fn from_structure(
+        program: Program,
+        s: &Structure,
+    ) -> Result<DatalogRuntime, UnsupportedNegation> {
         assert_eq!(
             program.signature(),
             s.signature(),
             "program and structure must share a signature"
         );
-        let mut rt = DatalogRuntime::new(program, s.size());
+        let mut rt = DatalogRuntime::new(program, s.size())?;
         for (r, _, _) in s.signature().relations() {
             for t in s.rel(r).iter() {
                 rt.insert(r, t);
             }
         }
-        rt
+        Ok(rt)
     }
 
     /// The program being maintained.
@@ -1123,7 +1172,7 @@ mod tests {
 
     #[test]
     fn insertions_reach_the_batch_fixpoint() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6).unwrap();
         for u in 0..5 {
             rt.insert(e(), &[u, u + 1]);
         }
@@ -1143,7 +1192,7 @@ mod tests {
 
     #[test]
     fn retraction_runs_dred_and_matches_scratch() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6).unwrap();
         for u in 0..5 {
             rt.insert(e(), &[u, u + 1]);
         }
@@ -1162,7 +1211,7 @@ mod tests {
     fn rederivation_revives_surviving_support() {
         // Two parallel paths 0→1→3 and 0→2→3: retracting one leaves
         // tc(0,3) derivable through the other.
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4).unwrap();
         for &(u, v) in &[(0, 1), (1, 3), (0, 2), (2, 3)] {
             rt.insert(e(), &[u, v]);
         }
@@ -1178,7 +1227,7 @@ mod tests {
     #[test]
     fn same_generation_with_unbound_head_vars_maintains() {
         let s = builders::full_binary_tree(3);
-        let mut rt = DatalogRuntime::from_structure(Program::same_generation(), &s);
+        let mut rt = DatalogRuntime::from_structure(Program::same_generation(), &s).unwrap();
         rt.poll();
         assert_matches_scratch(&rt);
         // Retract one child edge; sg(x,x) facts must survive (they
@@ -1193,7 +1242,7 @@ mod tests {
 
     #[test]
     fn retract_everything_drains_idbs() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 8);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 8).unwrap();
         for u in 0..7 {
             rt.insert(e(), &[u, u + 1]);
         }
@@ -1209,7 +1258,7 @@ mod tests {
 
     #[test]
     fn batched_insert_retract_nets_out() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 4).unwrap();
         rt.insert(e(), &[0, 1]);
         rt.poll();
         // Insert+retract of the same tuple in one batch: last op wins.
@@ -1223,8 +1272,8 @@ mod tests {
 
     #[test]
     fn threads_agree() {
-        let mut a = DatalogRuntime::new(Program::same_generation(), 7);
-        let mut b = DatalogRuntime::new(Program::same_generation(), 7);
+        let mut a = DatalogRuntime::new(Program::same_generation(), 7).unwrap();
+        let mut b = DatalogRuntime::new(Program::same_generation(), 7).unwrap();
         b.set_threads(3);
         let s = builders::full_binary_tree(2);
         for t in s.rel(e()).iter() {
@@ -1240,7 +1289,7 @@ mod tests {
 
     #[test]
     fn exhausted_poll_recovers_by_rebuilding() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6).unwrap();
         for u in 0..5 {
             rt.insert(e(), &[u, u + 1]);
         }
@@ -1261,7 +1310,7 @@ mod tests {
     #[test]
     fn deterministic_exhaustion_at_one_thread() {
         let run = || {
-            let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6);
+            let mut rt = DatalogRuntime::new(Program::transitive_closure(), 6).unwrap();
             for u in 0..5 {
                 rt.insert(e(), &[u, u + 1]);
             }
@@ -1275,7 +1324,7 @@ mod tests {
 
     #[test]
     fn compaction_triggers_and_preserves_the_extent() {
-        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 100);
+        let mut rt = DatalogRuntime::new(Program::transitive_closure(), 100).unwrap();
         for u in 0..99 {
             rt.insert(e(), &[u, u + 1]);
         }
@@ -1302,7 +1351,7 @@ mod tests {
         let sig = fmt_structures::Signature::graph();
         let prog = Program::parse(&sig, "hit :- e(x, y).").unwrap();
         let hit = prog.idb("hit").unwrap();
-        let mut rt = DatalogRuntime::new(prog, 3);
+        let mut rt = DatalogRuntime::new(prog, 3).unwrap();
         rt.poll();
         assert!(rt.query(hit).is_empty());
         rt.insert(e(), &[0, 1]);

@@ -12,7 +12,11 @@
 //!   truth throughout the workspace);
 //! * [`datalog`] — a Datalog engine with naive and semi-naive
 //!   evaluation, including the survey's *same-generation* program and
-//!   the transitive-closure program;
+//!   the transitive-closure program, with stratified negation;
+//! * [`depgraph`] — the predicate dependency-graph analysis behind
+//!   stratification: positive/negative precedence edges, SCC
+//!   condensation, stratum assignment, and negation safety — consumed
+//!   by the engines and by `fmt-lint`'s D006–D009 codes;
 //! * [`incremental`] — a long-lived Datalog runtime maintaining the
 //!   semi-naive fixpoint under fact insertions and retractions
 //!   (delta rules + DRed) instead of recomputing from scratch;
@@ -26,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod datalog;
+pub mod depgraph;
 pub mod graph;
 pub mod incremental;
 pub mod interp;

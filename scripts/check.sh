@@ -19,7 +19,19 @@ cargo test -q
 echo "==> lint gate: corpus and clean fixtures must pass --deny warnings"
 cargo build --release -q -p fmt-cli
 FMTK="target/release/fmtk"
-"$FMTK" lint --deny warnings tests/lint/clean.fo tests/lint/clean.dl tests/corpus/*.case
+"$FMTK" lint --deny warnings tests/lint/clean.fo tests/lint/clean.dl
+for case in tests/corpus/*.case; do
+    if grep -q '^param: mutant = true$' "$case"; then
+        # Mutant stratified cases exist *because* lint rejects their
+        # programs (D006/D007); that rejection is the pinned behavior.
+        if "$FMTK" lint --deny warnings "$case" > /dev/null 2>&1; then
+            echo "mutant case $case unexpectedly lint-clean" >&2
+            exit 1
+        fi
+    else
+        "$FMTK" lint --deny warnings "$case"
+    fi
+done
 
 echo "==> lint gate: every trigger fixture must FAIL under --deny warnings"
 for fixture in tests/lint/[FD][0-9][0-9][0-9].*; do
@@ -44,6 +56,10 @@ cargo run --release -q -p fmt-cli --bin fmtk -- \
 echo "==> incremental trace-equivalence sweep (fixed seed, 240 cases)"
 cargo run --release -q -p fmt-cli --bin fmtk -- \
     conform --oracle incremental --seed 13 --cases 240
+
+echo "==> stratified negation sweep (fixed seed, 240 cases)"
+cargo run --release -q -p fmt-cli --bin fmtk -- \
+    conform --oracle stratified --seed 17 --cases 240
 
 echo "==> budget overhead gate (unlimited budget within 5% of tc_path_512 baseline)"
 # Per-process code/heap layout moves hot-loop timings by a few percent,

@@ -58,7 +58,9 @@ fn indexed_parallel_datalog_cancels_promptly_and_loses_no_ticks() {
     let (result, to_return) = cancel_after(&budget, Duration::from_millis(15), || {
         prog.try_eval_seminaive_with(&s, 4, &budget)
     });
-    let e = result.expect_err("cancellation must interrupt the fixpoint");
+    let e = result
+        .expect_err("cancellation must interrupt the fixpoint")
+        .into_exhausted();
     assert_eq!(e.resource, Resource::Cancelled);
     assert!(
         to_return < Duration::from_secs(5),

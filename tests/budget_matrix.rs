@@ -12,7 +12,7 @@ use fmt_games::parallel::try_duplicator_wins_parallel;
 use fmt_games::pebble::try_pebble_duplicator_wins;
 use fmt_games::solver::try_rank;
 use fmt_logic::parser::parse_formula;
-use fmt_queries::datalog::Program;
+use fmt_queries::datalog::{EvalError, Program};
 use fmt_structures::budget::{Budget, BudgetResult, Exhausted, Resource};
 use fmt_structures::{builders, Signature};
 
@@ -82,15 +82,27 @@ fn matrix() -> Vec<Row> {
         }),
         row("datalog.naive", &["queries.datalog"], {
             let (s, p) = (g.clone(), prog.clone());
-            move |bu| p.try_eval_naive(&s, bu).map(drop)
+            move |bu| {
+                p.try_eval_naive(&s, bu)
+                    .map_err(EvalError::into_exhausted)
+                    .map(drop)
+            }
         }),
         row("datalog.scan", &["queries.datalog"], {
             let (s, p) = (g.clone(), prog.clone());
-            move |bu| p.try_eval_seminaive_scan(&s, bu).map(drop)
+            move |bu| {
+                p.try_eval_seminaive_scan(&s, bu)
+                    .map_err(EvalError::into_exhausted)
+                    .map(drop)
+            }
         }),
         row("datalog.indexed", &["queries.datalog"], {
             let (s, p) = (g.clone(), prog.clone());
-            move |bu| p.try_eval_seminaive_with(&s, 2, bu).map(drop)
+            move |bu| {
+                p.try_eval_seminaive_with(&s, 2, bu)
+                    .map_err(EvalError::into_exhausted)
+                    .map(drop)
+            }
         }),
         row("zeroone.mu", &["zeroone.mu", "eval.relalg"], {
             let sig = sig.clone();

@@ -48,8 +48,8 @@ fn divergence(src: &str, trace: &UpdateTrace) -> Option<String> {
     let prog = Program::parse(&sig, src).expect("test programs parse");
     let e = sig.relation("E").unwrap();
     let mut facts: BTreeSet<(u32, u32)> = BTreeSet::new();
-    let mut rt1 = DatalogRuntime::new(prog.clone(), trace.domain);
-    let mut rt3 = DatalogRuntime::new(prog.clone(), trace.domain);
+    let mut rt1 = DatalogRuntime::new(prog.clone(), trace.domain).expect("negation-free");
+    let mut rt3 = DatalogRuntime::new(prog.clone(), trace.domain).expect("negation-free");
     rt3.set_threads(3);
     for (step, op) in trace.ops.iter().enumerate() {
         match *op {
@@ -152,7 +152,7 @@ proptest! {
         let sig = Signature::graph();
         let prog = Program::parse(&sig, PROGRAMS[prog_i]).unwrap();
         let e = sig.relation("E").unwrap();
-        let mut rt = DatalogRuntime::new(prog.clone(), 4);
+        let mut rt = DatalogRuntime::new(prog.clone(), 4).expect("negation-free");
         for &(u, v) in &edges {
             rt.insert(e, &[u, v]);
         }
@@ -169,4 +169,26 @@ proptest! {
             prop_assert_eq!(&got, rows, "IDB {} not drained to its empty-EDB extent", i);
         }
     }
+}
+
+/// The incremental runtime does not yet maintain stratified negation;
+/// it must refuse such programs with a typed, spannable error — never
+/// accept them and silently compute wrong extents, never panic.
+#[test]
+fn negated_programs_are_rejected_with_a_typed_error() {
+    let sig = Signature::graph();
+    let src = "t(x, y) :- e(x, y). nt(x, y) :- e(x, y), !t(y, x).";
+    let prog = Program::parse(&sig, src).unwrap();
+
+    let err = DatalogRuntime::new(prog.clone(), 3).expect_err("negation must be rejected");
+    assert_eq!((err.rule, err.atom), (1, 1), "points at the negated atom");
+    assert_eq!(err.pred, "t");
+    assert!(
+        err.to_string().contains("does not support negation"),
+        "got: {err}"
+    );
+
+    let s = StructureBuilder::new(sig, 3).build().unwrap();
+    let err2 = DatalogRuntime::from_structure(prog, &s).expect_err("from_structure too");
+    assert_eq!((err2.rule, err2.atom), (1, 1));
 }

@@ -61,6 +61,10 @@ fn every_code_has_a_trigger_fixture_with_a_precise_span() {
         ("D003", "dl", Some("q")),
         ("D004", "dl", Some("p(y) :- e(y, y)")),
         ("D005", "dl", Some("hit")),
+        ("D006", "dl", Some("!p(y)")),
+        ("D007", "dl", Some("y")),
+        ("D008", "dl", Some("!ghost(x)")),
+        ("D009", "dl", None), // program-level, spanless
     ];
     for (code, ext, slice) in expect {
         let (src, diags) = lint_fixture(code, ext);
@@ -93,6 +97,10 @@ fn trigger_fixtures_report_nothing_else_spurious() {
         ("D003", "dl"),
         ("D004", "dl"),
         ("D005", "dl"),
+        ("D006", "dl"),
+        ("D007", "dl"),
+        ("D008", "dl"),
+        ("D009", "dl"),
     ] {
         let (_, diags) = lint_fixture(code, ext);
         let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
@@ -103,6 +111,35 @@ fn trigger_fixtures_report_nothing_else_spurious() {
     let (_, diags) = lint_fixture("F002", "fo");
     let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
     assert_eq!(codes, ["F001", "F002"]);
+}
+
+#[test]
+fn registry_is_complete() {
+    // Every registered code must have (a) a trigger fixture in
+    // tests/lint/ and (b) a section in docs/lint.md, so the
+    // scripts/check.sh fixture glob can never silently skip a new
+    // code — and (c) a long-form --explain entry (non-emptiness is
+    // asserted in the fmt-lint unit tests).
+    let docs =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("docs/lint.md"))
+            .expect("docs/lint.md must exist");
+    for (code, summary) in fmt_lint::CODES {
+        let has_fixture = ["fo", "dl"]
+            .iter()
+            .any(|ext| fixture_dir().join(format!("{code}.{ext}")).exists());
+        assert!(
+            has_fixture,
+            "{code} ({summary}) has no tests/lint/{code}.* fixture"
+        );
+        assert!(
+            docs.contains(&format!("### {code}")),
+            "{code} ({summary}) has no `### {code}` section in docs/lint.md"
+        );
+        assert!(
+            fmt_lint::explain(code).is_some(),
+            "{code} ({summary}) has no --explain entry"
+        );
+    }
 }
 
 #[test]
@@ -205,6 +242,18 @@ fn conform_corpus_is_lint_clean() {
             );
         }
         if let Some(p) = case.param("program") {
+            // Stratified-oracle mutant cases exist *because* the linter
+            // rejects their programs (D006/D007) — that rejection is
+            // the behavior under test, not a corpus defect.
+            if case.oracle == "stratified" && case.param("mutant") == Some("true") {
+                let d = lint_program_src(&sig, p, &LintConfig::default());
+                assert!(
+                    d.iter().any(|d| d.code == "D006" || d.code == "D007"),
+                    "{}: mutant case no longer rejected: {d:?}",
+                    path.display()
+                );
+                continue;
+            }
             let d = lint_program_src(&sig, p, &LintConfig::default());
             assert!(
                 !fmt_lint::has_errors(&d),

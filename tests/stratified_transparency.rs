@@ -1,0 +1,205 @@
+//! Transparency guarantee for the stratification layer: a
+//! negation-free program must evaluate **bit-identically** to the
+//! pre-stratification engines. The golden values below (iteration
+//! counts, derivation counters, delta histories, relation sizes, and
+//! an order-sensitive checksum over every IDB row) were captured on
+//! the commit immediately before strata-aware evaluation landed; any
+//! drift means the "single stratum ⇒ unchanged behavior" fast path
+//! has been broken.
+
+use fmt_conform::gen::random_datalog_program;
+use fmt_queries::datalog::{Output, Program};
+use fmt_structures::{builders, Signature, Structure};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Order-sensitive checksum over all IDB extents, in relation order
+/// and store iteration order — exactly the fold used to capture the
+/// golden values.
+fn checksum(prog: &Program, out: &Output) -> u64 {
+    let mut sum: u64 = 0;
+    for i in 0..prog.num_idbs() {
+        for row in out.relation(i).iter() {
+            for (p, &v) in row.iter().enumerate() {
+                sum = sum
+                    .wrapping_mul(31)
+                    .wrapping_add((p as u64 + 1) * (v as u64 + 7));
+            }
+        }
+    }
+    sum
+}
+
+struct Golden {
+    name: &'static str,
+    src: Option<&'static str>, // None ⇒ canned program below
+    canned: fn() -> Program,
+    structure: fn() -> Structure,
+    iterations: usize,
+    derivations: u64,
+    delta_history: &'static [u64],
+    lens: &'static [usize],
+    sum: u64,
+}
+
+fn no_canned() -> Program {
+    unreachable!("parsed from src")
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        name: "tc/path12",
+        src: None,
+        canned: Program::transitive_closure,
+        structure: || builders::directed_path(12),
+        iterations: 12,
+        derivations: 66,
+        delta_history: &[11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+        lens: &[66],
+        sum: 7379085459056171046,
+    },
+    Golden {
+        name: "tc/cycle7",
+        src: None,
+        canned: Program::transitive_closure,
+        structure: || builders::directed_cycle(7),
+        iterations: 8,
+        derivations: 56,
+        delta_history: &[7, 7, 7, 7, 7, 7, 7, 0],
+        lens: &[49],
+        sum: 14254617217907438506,
+    },
+    Golden {
+        name: "sg/tree4",
+        src: None,
+        canned: Program::same_generation,
+        structure: || builders::full_binary_tree(4),
+        iterations: 6,
+        derivations: 371,
+        delta_history: &[31, 30, 56, 96, 128, 0],
+        lens: &[341],
+        sum: 10366066170673779297,
+    },
+    Golden {
+        name: "evod/path5",
+        src: Some("ev(x, x). od(x, y) :- ev(x, z), e(z, y). ev(x, y) :- od(x, z), e(z, y)."),
+        canned: no_canned,
+        structure: || builders::directed_path(5),
+        iterations: 6,
+        derivations: 15,
+        delta_history: &[5, 4, 3, 2, 1, 0],
+        lens: &[9, 6],
+        sum: 12777995926804091653,
+    },
+    Golden {
+        name: "nullary/path3",
+        src: Some("reach :- e(x, y). both() :- reach."),
+        canned: no_canned,
+        structure: || builders::directed_path(3),
+        iterations: 3,
+        derivations: 3,
+        delta_history: &[1, 1, 0],
+        lens: &[1, 1],
+        sum: 0,
+    },
+];
+
+fn sorted_extents(prog: &Program, out: &Output) -> Vec<Vec<Vec<fmt_structures::Elem>>> {
+    (0..prog.num_idbs())
+        .map(|i| {
+            let mut rows: Vec<_> = out.relation(i).iter().collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+#[test]
+fn negation_free_programs_match_pre_stratification_goldens() {
+    let sig = Signature::graph();
+    for g in GOLDENS {
+        let prog = match g.src {
+            Some(src) => Program::parse(&sig, src).unwrap(),
+            None => (g.canned)(),
+        };
+        let s = (g.structure)();
+        for threads in [1usize, 3] {
+            let out = prog.eval_seminaive_with(&s, threads);
+            assert_eq!(
+                out.iterations, g.iterations,
+                "{}@{threads}: iterations",
+                g.name
+            );
+            assert_eq!(
+                out.derivations, g.derivations,
+                "{}@{threads}: derivations",
+                g.name
+            );
+            assert_eq!(
+                out.delta_history, g.delta_history,
+                "{}@{threads}: delta history",
+                g.name
+            );
+            let lens: Vec<usize> = (0..prog.num_idbs())
+                .map(|i| out.relation(i).len())
+                .collect();
+            assert_eq!(lens, g.lens, "{}@{threads}: relation sizes", g.name);
+            assert_eq!(
+                checksum(&prog, &out),
+                g.sum,
+                "{}@{threads}: row checksum",
+                g.name
+            );
+        }
+        // The naive and scan engines must agree with the golden extents
+        // too — stratification touched all three evaluation loops.
+        let golden = sorted_extents(&prog, &prog.eval_seminaive_with(&s, 1));
+        for (engine, out) in [
+            ("naive", prog.eval_naive(&s)),
+            ("scan", prog.eval_seminaive_scan(&s)),
+        ] {
+            assert_eq!(
+                sorted_extents(&prog, &out),
+                golden,
+                "{}: {engine} extents diverge",
+                g.name
+            );
+        }
+    }
+}
+
+/// Seeded sweep: on random negation-free programs the 1- and 3-thread
+/// indexed engines must produce identical extents *and* identical
+/// instrumentation counters — the strata loop must not perturb either.
+#[test]
+fn random_negation_free_programs_are_thread_transparent() {
+    let sig = Signature::graph();
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    let structures = [
+        builders::directed_path(6),
+        builders::directed_cycle(5),
+        builders::full_binary_tree(3),
+    ];
+    for case in 0..20 {
+        let src = random_datalog_program(&mut rng);
+        let prog = Program::parse(&sig, &src).unwrap();
+        assert!(!prog.has_negation(), "generator must stay negation-free");
+        for s in &structures {
+            let a = prog.eval_seminaive_with(s, 1);
+            let b = prog.eval_seminaive_with(s, 3);
+            assert_eq!(a.iterations, b.iterations, "case {case}: iterations\n{src}");
+            assert_eq!(
+                a.derivations, b.derivations,
+                "case {case}: derivations\n{src}"
+            );
+            assert_eq!(
+                a.delta_history, b.delta_history,
+                "case {case}: delta history\n{src}"
+            );
+            assert_eq!(
+                sorted_extents(&prog, &a),
+                sorted_extents(&prog, &b),
+                "case {case}: extents\n{src}"
+            );
+        }
+    }
+}
