@@ -1,0 +1,62 @@
+//! Goal-directed pruning gate: a magic-sets point query on
+//! `tc_path_512` must derive ≥5× fewer tuples than full
+//! materialization.
+//!
+//! This is the `scripts/check.sh` twin of `magic_bench`: it enforces
+//! the same bar without touching `BENCH_datalog.json`. Unlike the
+//! timing gates it needs no respawn discipline — the engines count
+//! every derived tuple, so the derivation ratio is a deterministic
+//! property of the rewrite and one run is authoritative. Three point
+//! goals cover the demand-cone sizes that should prune: a 192-node
+//! cone, the benched 64-node cone, and the 2-node near-sink cone.
+//! (Near-*source* goals legitimately prune little — the cone is almost
+//! the whole path — so they are benchmarked but not gated.)
+
+use fmt_queries::datalog::Program;
+use fmt_queries::magic;
+use fmt_structures::builders;
+
+/// Required derivation ratio of full materialization over the rewrite.
+const MIN_PRUNING: f64 = 5.0;
+
+/// Path length: `tc_path_512`, matching the other datalog gates.
+const NODES: u32 = 512;
+
+/// Bound source vertices of the gated point goals.
+const SOURCES: [u32; 3] = [320, 448, 510];
+
+fn main() {
+    let s = builders::directed_path(NODES);
+    let prog = Program::transitive_closure();
+    let full = prog.eval_seminaive(&s);
+    let full_derivations = full.derivations;
+
+    let mut all_ok = true;
+    for source in SOURCES {
+        let goal_src = format!("tc({source}, gy)?");
+        let goal = magic::parse_goal(&goal_src).expect("goal parses");
+        let mq = magic::rewrite(&prog, &goal).expect("goal rewrites");
+        let es = mq.prepare(&s);
+        let out = mq.program.eval_seminaive(&es);
+        assert_eq!(
+            mq.answers(&s, &out),
+            mq.filter(&s, full.relation(mq.orig_idb)),
+            "tc({source}, gy)?: rewrite must stay sound and complete while being gated"
+        );
+        let pruning = full_derivations as f64 / (out.derivations.max(1)) as f64;
+        let ok = pruning >= MIN_PRUNING;
+        all_ok &= ok;
+        println!(
+            "tc_path_{NODES} ⊢ tc({source}, gy)?: derivations {full_derivations} → {} \
+             ({pruning:.1}x pruning) [{}]",
+            out.derivations,
+            if ok { "ok" } else { "FAIL" }
+        );
+    }
+    assert!(
+        all_ok,
+        "magic gate failed: a point query must derive ≥ {MIN_PRUNING:.0}× fewer tuples \
+         than full materialization on tc_path_{NODES}"
+    );
+    println!("magic gate passed (≥ {MIN_PRUNING:.0}x derivation pruning per point query)");
+}

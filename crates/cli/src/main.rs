@@ -25,6 +25,7 @@ use fmt_core::lint::{self, LintConfig};
 use fmt_core::locality::{TypeCensus, TypeRegistry};
 use fmt_core::logic::{parser as fo_parser, Query, QueryError};
 use fmt_core::queries::datalog::{EvalError, ParsedProgram, Program};
+use fmt_core::queries::magic::{self, Goal, MagicError};
 use fmt_core::structures::budget::{Budget, Exhausted};
 use fmt_core::structures::{parse as sparse, Diagnostic, Severity, Signature, Structure};
 use fmt_core::zeroone;
@@ -107,6 +108,8 @@ fn usage() -> String {
      fmtk mu     \"<sentence>\" [--rel NAME:ARITY ...]\n  \
      fmtk census <structure> [--radius R]\n  \
      fmtk datalog <structure> <program-file> [--engine scan|indexed] [--threads N] [--explain]\n          \
+     [--query \"GOAL?\"]   goal-directed (magic-sets) evaluation; the program file may\n          \
+     end in a goal clause `tc(\"a\", y)?` instead\n          \
      [--incremental --updates FILE]   maintain the fixpoint under +E(u,v) / -E(u,v) / poll updates\n  \
      fmtk lint   [FILE | --expr \"<formula>\" | --program \"<rules>\"] [--format text|json]\n          \
      [--deny CODE|warnings ...] [--rel NAME:ARITY ...] [--sentence] [--rank-budget N] [--goal PRED]\n  \
@@ -308,6 +311,7 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         .unwrap_or(0);
     let engine = flag_value(&mut args, "--engine")?.unwrap_or_else(|| "indexed".to_owned());
     let updates = flag_value(&mut args, "--updates")?;
+    let query_flag = flag_value(&mut args, "--query")?;
     let incremental = if let Some(pos) = args.iter().position(|a| a == "--incremental") {
         args.remove(pos);
         true
@@ -326,13 +330,19 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
     };
     let s = load_structure(spath)?;
     let src = read_input(ppath)?;
-    let parsed = Program::parse_spanned(s.signature(), &src).map_err(|e| {
+    let render_d000 = |e: fmt_core::queries::datalog::DatalogParseError| {
         Diagnostic::error("D000", e.message)
             .with_span(e.span)
             .render(&src, ppath)
             .trim_end()
             .to_owned()
-    })?;
+    };
+    // A program file may end in a query goal clause `tc("a", y)?`; the
+    // rule prefix is a byte-prefix of `src`, so all spans still render
+    // against the original file.
+    let split = magic::split_query(&src).map_err(render_d000)?;
+    let body = split.as_ref().map_or(src.as_str(), |(len, _)| &src[..*len]);
+    let parsed = Program::parse_spanned(s.signature(), body).map_err(render_d000)?;
     let prog = &parsed.program;
     if incremental || updates.is_some() {
         if !incremental {
@@ -343,9 +353,67 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
                 "--explain is not supported with --incremental".into(),
             ));
         }
+        // The incremental runtime maintains the *full* fixpoint; a
+        // query goal would be silently ignored, so reject it loudly.
+        if let Some((_, goal)) = &split {
+            return Err(CliFailure::Error(
+                Diagnostic::error(
+                    "I002",
+                    format!("the incremental runtime does not support query goals ({goal})"),
+                )
+                .with_span(goal.span)
+                .with_note(
+                    "goal-directed (magic-sets) evaluation is batch-only: drop the trailing \
+                     goal clause, or run `fmtk datalog --query` without --incremental",
+                )
+                .render(&src, ppath)
+                .trim_end()
+                .to_owned(),
+            ));
+        }
+        if query_flag.is_some() {
+            return Err(CliFailure::Error(
+                "--query is not supported with --incremental (goal-directed evaluation is \
+                 batch-only)"
+                    .into(),
+            ));
+        }
         let upath = updates.ok_or_else(|| "--incremental requires --updates FILE".to_owned())?;
         let usrc = read_input(&upath)?;
         return run_incremental(&s, &parsed, &src, ppath, &usrc, &upath, threads, budget);
+    }
+    // Resolve the goal: embedded clause or --query flag, not both. The
+    // (source, origin) pair is whatever text the goal's spans index.
+    let goal: Option<(Goal, String, String)> = match (query_flag, split) {
+        (Some(_), Some(_)) => {
+            return Err(CliFailure::Error(
+                "the program ends in a query goal and --query was also given; use one".into(),
+            ));
+        }
+        (Some(q), None) => {
+            let g = magic::parse_goal(&q).map_err(|e| {
+                Diagnostic::error("D000", e.message)
+                    .with_span(e.span)
+                    .render(&q, "<query>")
+                    .trim_end()
+                    .to_owned()
+            })?;
+            Some((g, q, "<query>".to_owned()))
+        }
+        (None, Some((_, g))) => Some((g, src.clone(), ppath.to_string())),
+        (None, None) => None,
+    };
+    if explain && goal.is_some() {
+        return Err(CliFailure::Error(
+            "--explain is not supported with a query goal (the profile spans index the \
+             original rules, not the rewritten ones)"
+                .into(),
+        ));
+    }
+    if let Some((goal, gsrc, gorigin)) = goal {
+        return run_query(
+            &s, prog, &parsed, &src, ppath, &goal, &gsrc, &gorigin, &engine, threads, budget,
+        );
     }
     // --explain reads span fields back out of the trace journal. A live
     // --trace session is reused (and peeked, not drained, so the trace
@@ -396,6 +464,90 @@ fn cmd_datalog(args: &[String], budget: &Budget) -> CliResult {
         text.push_str(&explain_table(&trace, &parsed, &src));
     }
     Ok(text)
+}
+
+/// Goal-directed (magic-sets) evaluation: rewrites the program for the
+/// goal, evaluates the rewritten program on the requested engine, and
+/// prints its extents and counters followed by the goal's answer rows.
+/// With an all-free goal the rewrite is the identity, so everything up
+/// to the `query …` line is byte-identical to a goal-less run.
+#[allow(clippy::too_many_arguments)]
+fn run_query(
+    s: &Structure,
+    prog: &Program,
+    parsed: &ParsedProgram,
+    src: &str,
+    ppath: &str,
+    goal: &Goal,
+    gsrc: &str,
+    gorigin: &str,
+    engine: &str,
+    threads: usize,
+    budget: &Budget,
+) -> CliResult {
+    let mq = magic::rewrite(prog, goal).map_err(|e| {
+        match e {
+        MagicError::Original(oe) => render_eval_error(oe, parsed, src, ppath),
+        MagicError::Unstratifiable { .. } => CliFailure::Error(
+            Diagnostic::error("D006", e.to_string())
+                .with_span(goal.span)
+                .with_note(
+                    "the original program stratifies; it is the goal's demand rules that close \
+                     the negative cycle — evaluate without the goal (full materialization)",
+                )
+                .render(gsrc, gorigin)
+                .trim_end()
+                .to_owned(),
+        ),
+        // The D010 resolution family carries a goal span.
+        other => CliFailure::Error(
+            Diagnostic::error("D010", other.to_string())
+                .with_span(other.goal_span().expect("resolution errors have goal spans"))
+                .render(gsrc, gorigin)
+                .trim_end()
+                .to_owned(),
+        ),
+    }
+    })?;
+    let es = mq.prepare(s);
+    let rprog = &mq.program;
+    let out = match engine {
+        "indexed" => rprog.try_eval_seminaive_with(&es, threads, budget),
+        "scan" => rprog.try_eval_seminaive_scan(&es, budget),
+        other => {
+            return Err(CliFailure::Error(format!(
+                "unknown engine {other:?} (use scan|indexed)"
+            )))
+        }
+    };
+    // `rewrite` already stratification-checked both programs, so the
+    // only runtime failure left is budget exhaustion.
+    let out = out.map_err(|e| match e {
+        EvalError::Exhausted(ex) => exhausted(ex),
+        other => CliFailure::Error(other.to_string()),
+    })?;
+    let mut text = String::new();
+    for i in 0..rprog.num_idbs() {
+        let (name, arity) = rprog.idb_info(i);
+        let mut tuples: Vec<Vec<u32>> = out.relation(i).iter().collect();
+        tuples.sort();
+        text.push_str(&format!("{name}/{arity}: {} tuples\n", tuples.len()));
+        for t in tuples {
+            let cells: Vec<String> = t.iter().map(u32::to_string).collect();
+            text.push_str(&format!("  {name}({})\n", cells.join(", ")));
+        }
+    }
+    text.push_str(&format!(
+        "({} iterations, {} derivations)\n",
+        out.iterations, out.derivations
+    ));
+    let answers = mq.answers(s, &out);
+    text.push_str(&format!("query {goal}: {} answers\n", answers.len()));
+    for row in answers {
+        let cells: Vec<String> = row.iter().map(u32::to_string).collect();
+        text.push_str(&format!("  {}({})\n", goal.pred, cells.join(", ")));
+    }
+    Ok(text.trim_end().to_owned())
 }
 
 /// Drives a [`fmt_core::queries::incremental::DatalogRuntime`] from an
@@ -1093,6 +1245,118 @@ mod tests {
         assert!(err.contains("1 error(s)"), "{err}");
         let out = lint(&["--rel", "R:1", "--expr", "forall x. R(x)"]).unwrap();
         assert!(out.contains("clean"), "{out}");
+    }
+
+    fn datalog(args: &[&str]) -> Result<String, String> {
+        let argv: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        cmd_datalog(&argv, &Budget::unlimited()).map_err(|e| match e {
+            CliFailure::Error(m) | CliFailure::Conform(m) | CliFailure::Exhausted(m) => m,
+        })
+    }
+
+    /// Writes `name` under a fresh temp path and returns it as a String.
+    fn temp_file(name: &str, contents: &str) -> String {
+        let p = std::env::temp_dir().join(format!("fmtk-cli-{}-{name}", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p.to_str().unwrap().to_owned()
+    }
+
+    const PATH4: &str = "size: 4\nE(0,1)\nE(1,2)\nE(2,3)\n";
+    const TC: &str = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z).";
+
+    #[test]
+    fn datalog_query_flag_prunes_and_answers() {
+        let s = temp_file("q.structure", PATH4);
+        let p = temp_file("q.dl", TC);
+        let out = datalog(&[&s, &p, "--query", "tc(2, y)?"]).unwrap();
+        assert!(out.contains("query tc(2, y)?: 1 answers"), "{out}");
+        assert!(out.contains("  tc(2, 3)"), "{out}");
+        // The rewritten program's extents are printed — adorned and
+        // magic predicates included — and prune below the full closure.
+        assert!(out.contains("magic_tc_bf/1"), "{out}");
+        assert!(
+            !out.contains("tc(0, 1)"),
+            "pruned derivations leaked: {out}"
+        );
+        std::fs::remove_file(&s).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn datalog_embedded_goal_matches_flag_and_conflicts_are_rejected() {
+        let s = temp_file("g.structure", PATH4);
+        let p = temp_file("g.dl", &format!("{TC} tc(2, y)?"));
+        let embedded = datalog(&[&s, &p]).unwrap();
+        assert!(
+            embedded.contains("query tc(2, y)?: 1 answers"),
+            "{embedded}"
+        );
+        let err = datalog(&[&s, &p, "--query", "tc(2, y)?"]).unwrap_err();
+        assert!(err.contains("use one"), "{err}");
+        std::fs::remove_file(&s).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn datalog_query_transparency_for_all_free_goals() {
+        let s = temp_file("t.structure", PATH4);
+        let p = temp_file("t.dl", TC);
+        let plain = datalog(&[&s, &p]).unwrap();
+        let queried = datalog(&[&s, &p, "--query", "tc(x, y)?"]).unwrap();
+        assert!(
+            queried.starts_with(&plain),
+            "all-free goal output is not a byte-extension:\n{plain}\n---\n{queried}"
+        );
+        assert!(queried.contains("query tc(x, y)?: 6 answers"), "{queried}");
+        std::fs::remove_file(&s).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn datalog_bad_goals_render_d010_carets() {
+        let s = temp_file("b.structure", PATH4);
+        let p = temp_file("b.dl", TC);
+        let err = datalog(&[&s, &p, "--query", "ghost(0, y)?"]).unwrap_err();
+        assert!(err.contains("error[D010]"), "{err}");
+        assert!(err.contains('^'), "{err}");
+        std::fs::remove_file(&s).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn incremental_rejects_query_goals_with_i002() {
+        let s = temp_file("i.structure", PATH4);
+        let p = temp_file("i.dl", &format!("{TC} tc(0, y)?"));
+        let u = temp_file("i.updates", "+E(3,0) poll\n");
+        let err = datalog(&[&s, &p, "--incremental", "--updates", &u]).unwrap_err();
+        assert!(err.contains("error[I002]"), "{err}");
+        assert!(
+            err.contains("--query"),
+            "note must point at batch --query: {err}"
+        );
+        assert!(
+            err.contains('^'),
+            "diagnostic must carry the goal span: {err}"
+        );
+        // The --query flag combined with --incremental is a plain error.
+        let p2 = temp_file("i2.dl", TC);
+        let err = datalog(&[
+            &s,
+            &p2,
+            "--incremental",
+            "--updates",
+            &u,
+            "--query",
+            "tc(0, y)?",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("--query is not supported with --incremental"),
+            "{err}"
+        );
+        for f in [&s, &p, &u, &p2] {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]

@@ -598,6 +598,39 @@ fn exit_code_2_when_replay_reproduces() {
     assert!(err.contains("disagreement reproduces"), "{err}");
 }
 
+/// Same exit-code contract for the magic oracle: a well-formed case
+/// replays clean (0) on a correct build and reproduces (2) under
+/// [`fmt_conform::oracle::INJECT_MAGIC_ENV`]; malformed case files stay
+/// ordinary errors (1, covered above).
+#[test]
+fn exit_code_2_when_magic_replay_reproduces() {
+    let case = write_temp(
+        "exit-magic.case",
+        "oracle: magic\nseed: 0\ncase: 0\nnote: t\nrel: E/2\n\
+         param: fuel = 16\nparam: goal = t(0, gy)?\n\
+         param: program = t(x, y) :- e(x, y). t(x, z) :- e(x, y), t(y, z).\n\
+         structure A:\nsize: 3\nE(0,1)\nE(1,2)\nend\n",
+    );
+    let out = fmtk()
+        .args(["conform", "--replay", case.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = fmtk()
+        .args(["conform", "--replay", case.to_str().unwrap()])
+        .env(fmt_conform::oracle::INJECT_MAGIC_ENV, "1")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("disagreement reproduces"), "{err}");
+}
+
 #[test]
 fn exit_code_2_when_hunt_finds_disagreements() {
     let out = fmtk()

@@ -198,6 +198,37 @@ pub fn random_stratified_program(rng: &mut StdRng) -> (String, bool) {
     (src, defect)
 }
 
+/// A random query goal over one of `prog`'s IDB predicates, rendered
+/// in goal syntax (`t(2, gy)?`) for `fmt_queries::magic::parse_goal`.
+/// Each position is either bound to a small numeric constant —
+/// occasionally outside the domain `0..max_size`, which must simply
+/// yield zero answers — or left free as a variable drawn from a pool
+/// small enough to repeat (repeated goal variables constrain answers
+/// without binding for the rewrite).
+pub fn random_goal(
+    rng: &mut StdRng,
+    prog: &fmt_queries::datalog::Program,
+    max_size: u32,
+) -> String {
+    const VARS: [&str; 3] = ["gx", "gy", "gz"];
+    let idb = rng.random_range(0..prog.num_idbs());
+    let (name, arity) = prog.idb_info(idb);
+    let args: Vec<String> = (0..arity)
+        .map(|_| {
+            if rng.random_range(0..2u32) == 0 {
+                rng.random_range(0..max_size + 2).to_string()
+            } else {
+                VARS[rng.random_range(0..VARS.len())].to_owned()
+            }
+        })
+        .collect();
+    if args.is_empty() {
+        format!("{name}?")
+    } else {
+        format!("{name}({})?", args.join(", "))
+    }
+}
+
 /// One operation of an incremental-maintenance trace over the graph
 /// signature's `E/2`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -331,7 +362,34 @@ mod tests {
                 random_stratified_program(&mut a),
                 random_stratified_program(&mut b)
             );
+            let prog = fmt_queries::datalog::Program::transitive_closure();
+            assert_eq!(random_goal(&mut a, &prog, 6), random_goal(&mut b, &prog, 6));
         }
+    }
+
+    #[test]
+    fn goals_parse_and_resolve_against_their_program() {
+        let sig = fmt_structures::Signature::graph();
+        let mut rng = StdRng::seed_from_u64(31);
+        let (mut bound, mut free) = (0, 0);
+        for _ in 0..100 {
+            let (src, _) = random_stratified_program(&mut rng);
+            let prog = fmt_queries::datalog::Program::parse(&sig, &src).unwrap();
+            let gsrc = random_goal(&mut rng, &prog, 6);
+            let goal =
+                fmt_queries::magic::parse_goal(&gsrc).unwrap_or_else(|e| panic!("{gsrc}: {e}"));
+            let rg = fmt_queries::magic::resolve_goal(&prog, &goal)
+                .unwrap_or_else(|e| panic!("{gsrc}: {e}"));
+            if rg.mask.iter().any(|&b| b) {
+                bound += 1;
+            } else {
+                free += 1;
+            }
+        }
+        // The generator must exercise both the pruning and the
+        // transparent (all-free) rewrite paths.
+        assert!(bound >= 20, "only {bound} bound goals in 100");
+        assert!(free >= 10, "only {free} all-free goals in 100");
     }
 
     #[test]

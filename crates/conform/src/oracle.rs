@@ -20,6 +20,7 @@
 //! | `budget-fault`   | engines under tight fuel budgets finish, agree, and fail cleanly |
 //! | `incremental`    | insert/retract runtime vs. from-scratch recomputation at every poll |
 //! | `stratified`     | lint verdict ⇔ typed eval error on negated programs; 1-vs-3-thread agreement |
+//! | `magic`          | goal answers of the magic-sets rewrite == goal-filtered full materialization |
 
 use crate::corpus::ReproCase;
 use crate::gen::{self, GenConfig};
@@ -32,6 +33,7 @@ use fmt_locality::hanf::hanf_equivalent;
 use fmt_logic::{parser, Formula};
 use fmt_obs::Counter;
 use fmt_queries::datalog::{EvalError, Program};
+use fmt_queries::magic::{self, MagicError};
 use fmt_structures::budget::{Budget, BudgetResult};
 use fmt_structures::{builders, parse as sparse, Elem, Structure};
 use rand::rngs::StdRng;
@@ -51,6 +53,7 @@ static OBS_LINT: Counter = Counter::new("conform.oracle.lint_clean");
 static OBS_BUDGET: Counter = Counter::new("conform.oracle.budget_fault");
 static OBS_INCR: Counter = Counter::new("conform.oracle.incremental");
 static OBS_STRAT: Counter = Counter::new("conform.oracle.stratified");
+static OBS_MAGIC: Counter = Counter::new("conform.oracle.magic");
 
 /// A differential cross-check that can both hunt (run a fresh random
 /// case) and replay (re-run a serialized counterexample).
@@ -81,6 +84,7 @@ pub fn all_oracles() -> Vec<Box<dyn Oracle>> {
         Box::new(BudgetFault),
         Box::new(Incremental),
         Box::new(Stratified),
+        Box::new(Magic),
     ]
 }
 
@@ -1337,6 +1341,223 @@ impl Oracle for Stratified {
             _ => None,
         };
         match stratified_violation(&s, src, fuel, defect) {
+            Some(note) => Err(note),
+            None => Ok(()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// magic
+// ---------------------------------------------------------------------
+
+/// Goal-directed evaluation must be sound and complete for its goal:
+/// on random stratified programs and random bound/free goals, the
+/// magic-sets-rewritten program — evaluated by all four engine
+/// configurations — must produce exactly the goal-matching tuples of a
+/// full materialization of the original program, deterministically
+/// under random fuel. Rewrites the engines reject (`Original` /
+/// `Unstratifiable`) are cross-checked against direct evaluation.
+#[derive(Debug)]
+pub struct Magic;
+
+/// Test-only fault-injection hook: when set, every `magic` oracle
+/// check reports a fabricated rewrite bug, proving the
+/// catch/shrink/replay pipeline end to end (correct engines never fail
+/// organically).
+pub const INJECT_MAGIC_ENV: &str = "FMT_CONFORM_INJECT_MAGIC";
+
+fn inject_magic_armed() -> bool {
+    std::env::var_os(INJECT_MAGIC_ENV).is_some()
+}
+
+/// `None` when the goal-directed contract holds on `(s, src, goal)`
+/// under `fuel`.
+fn magic_violation(s: &Structure, src: &str, goal_src: &str, fuel: u64) -> Option<String> {
+    if inject_magic_armed() {
+        return Some(format!(
+            "injected magic-sets fault ({INJECT_MAGIC_ENV} is set)"
+        ));
+    }
+    let prog = match Program::parse(s.signature(), src) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("program failed to parse: {e}")),
+    };
+    let goal = match magic::parse_goal(goal_src) {
+        Ok(g) => g,
+        Err(e) => return Some(format!("goal failed to parse: {e}")),
+    };
+    let unlimited = Budget::unlimited();
+    let mq = match magic::rewrite(&prog, &goal) {
+        Ok(mq) => mq,
+        // The original program is statically rejected; the engines
+        // must reject it too (same typed-error coherence the
+        // stratified oracle checks in depth), and there is nothing to
+        // compare.
+        Err(MagicError::Original(_)) => {
+            return match prog.try_eval_naive(s, &unlimited) {
+                Err(EvalError::Unstratifiable { .. } | EvalError::UnsafeNegation { .. }) => None,
+                other => Some(format!(
+                    "rewrite reports an Original error but naive evaluation says {:?}",
+                    other.map(|o| o.derivations)
+                )),
+            };
+        }
+        // The demand rules closed a negative cycle: a legal refusal,
+        // but only on a program that full materialization accepts —
+        // otherwise `Original` should have fired first.
+        Err(MagicError::Unstratifiable { .. }) => {
+            return match prog.try_eval_naive(s, &unlimited) {
+                Ok(_) => None,
+                Err(e) => Some(format!(
+                    "rewrite is Unstratifiable on a program the naive engine also rejects: {e}"
+                )),
+            };
+        }
+        // The generator only emits resolvable goals.
+        Err(e) => return Some(format!("generated goal failed to resolve: {e}")),
+    };
+
+    // Ground truth: goal-filter a full materialization of the original
+    // program (statically legal, or `Original` would have fired).
+    let full = match catch_unwind(AssertUnwindSafe(|| prog.try_eval_naive(s, &unlimited))) {
+        Err(_) => return Some("naive full materialization panicked".to_owned()),
+        Ok(Err(e)) => {
+            return Some(format!(
+                "full materialization failed after rewrite accepted the program: {e}"
+            ))
+        }
+        Ok(Ok(out)) => out,
+    };
+    let expected = mq.filter(s, full.relation(mq.orig_idb));
+
+    // Every engine configuration on the rewritten program must answer
+    // the goal identically to the ground truth.
+    let es = mq.prepare(s);
+    let rprog = &mq.program;
+    type Run<'a> = Box<dyn Fn() -> Result<fmt_queries::datalog::Output, EvalError> + 'a>;
+    let engines: Vec<(&str, Run<'_>)> = vec![
+        (
+            "magic.naive",
+            Box::new(|| rprog.try_eval_naive(&es, &unlimited)),
+        ),
+        (
+            "magic.scan",
+            Box::new(|| rprog.try_eval_seminaive_scan(&es, &unlimited)),
+        ),
+        (
+            "magic.indexed(1)",
+            Box::new(|| rprog.try_eval_seminaive_with(&es, 1, &unlimited)),
+        ),
+        (
+            "magic.indexed(3)",
+            Box::new(|| rprog.try_eval_seminaive_with(&es, 3, &unlimited)),
+        ),
+    ];
+    for (name, run) in &engines {
+        let out = match catch_unwind(AssertUnwindSafe(run)) {
+            Err(_) => return Some(format!("{name} panicked on a rewritten program")),
+            Ok(Err(e)) => return Some(format!("{name} rejected the rewritten program: {e}")),
+            Ok(Ok(out)) => out,
+        };
+        let answers = mq.answers(s, &out);
+        if answers != expected {
+            return Some(format!(
+                "{name} goal answers diverge from goal-filtered full materialization: \
+                 {answers:?} vs {expected:?} (goal {goal_src})"
+            ));
+        }
+    }
+
+    // Budget transparency on the rewritten program: single-threaded
+    // engines must fail cleanly and deterministically under tight
+    // fuel; the sharded engine's exhaustion tick is legitimately racy,
+    // so only its no-panic half is checked.
+    let checks: EngineChecks<'_, Vec<Vec<Elem>>> = vec![
+        (
+            "magic.naive",
+            Box::new(|b: &Budget| {
+                rprog
+                    .try_eval_naive(&es, b)
+                    .map_err(EvalError::into_exhausted)
+                    .map(|o| mq.answers(s, &o))
+            }),
+        ),
+        (
+            "magic.scan",
+            Box::new(|b: &Budget| {
+                rprog
+                    .try_eval_seminaive_scan(&es, b)
+                    .map_err(EvalError::into_exhausted)
+                    .map(|o| mq.answers(s, &o))
+            }),
+        ),
+        (
+            "magic.indexed",
+            Box::new(|b: &Budget| {
+                rprog
+                    .try_eval_seminaive_with(&es, 1, b)
+                    .map_err(EvalError::into_exhausted)
+                    .map(|o| mq.answers(s, &o))
+            }),
+        ),
+    ];
+    for (name, run) in checks {
+        if let Err(note) = fuel_check(name, fuel, run) {
+            return Some(note);
+        }
+    }
+    let b3 = Budget::with_fuel(fuel);
+    if catch_unwind(AssertUnwindSafe(|| {
+        let _ = rprog.try_eval_seminaive_with(&es, 3, &b3);
+    }))
+    .is_err()
+    {
+        return Some(format!("magic.indexed(3) panicked under fuel {fuel}"));
+    }
+    None
+}
+
+impl Oracle for Magic {
+    fn name(&self) -> &'static str {
+        "magic"
+    }
+
+    fn run_case(&self, rng: &mut StdRng, seed: u64, case: u64) -> Option<ReproCase> {
+        OBS_MAGIC.incr();
+        let cfg = GenConfig::default();
+        let s = gen::random_graph(rng, &cfg);
+        // Mutant programs are kept: they exercise the `Original`
+        // cross-check branch (rewrite and engines must both reject).
+        let (src, _) = gen::random_stratified_program(rng);
+        let prog = Program::parse(s.signature(), &src).expect("generated programs parse");
+        let goal = gen::random_goal(rng, &prog, cfg.max_size);
+        let fuel = rng.random_range(8..=96u64);
+        let note = magic_violation(&s, &src, &goal, fuel)?;
+        let ((s, fuel), _) = minimize(
+            (s, fuel),
+            &mut |(t, fl): &(Structure, u64)| {
+                *fl >= 1 && magic_violation(t, &src, &goal, *fl).is_some()
+            },
+            SHRINK_BUDGET,
+        );
+        let note = magic_violation(&s, &src, &goal, fuel).unwrap_or(note);
+        let mut c = case_skeleton(self, seed, case, note);
+        c.params = vec![
+            ("fuel".to_owned(), fuel.to_string()),
+            ("goal".to_owned(), goal.clone()),
+            ("program".to_owned(), src.trim().to_owned()),
+        ];
+        c.structures.push(("A".to_owned(), sparse::to_text(&s)));
+        Some(c)
+    }
+
+    fn replay(&self, case: &ReproCase) -> Result<(), String> {
+        let s = case.structure("A")?;
+        let fuel = case.param_u64("fuel")?.max(1);
+        let src = case.param("program").ok_or("case is missing `program`")?;
+        let goal = case.param("goal").ok_or("case is missing `goal`")?;
+        match magic_violation(&s, src, goal, fuel) {
             Some(note) => Err(note),
             None => Ok(()),
         }

@@ -150,13 +150,13 @@ mod tests {
     fn clean_run_on_a_correct_toolbox() {
         let report = run(&RunConfig {
             seed: 42,
-            cases: 30,
+            cases: 33,
             ..RunConfig::default()
         })
         .unwrap();
-        assert_eq!(report.cases_run, 30);
+        assert_eq!(report.cases_run, 33);
         assert!(report.clean(), "failures: {:?}", report.failures);
-        // Round-robin: 30 cases over 10 oracles = 3 each.
+        // Round-robin: 33 cases over 11 oracles = 3 each.
         assert!(report.per_oracle.iter().all(|(_, n)| *n == 3));
     }
 

@@ -7,6 +7,7 @@
 use crate::LintConfig;
 use fmt_queries::datalog::{Pred, Program, RuleSpans};
 use fmt_queries::depgraph::DepAnalysis;
+use fmt_queries::magic::{self, Goal};
 use fmt_structures::{Diagnostic, Span};
 use std::collections::{HashMap, HashSet};
 
@@ -301,4 +302,50 @@ pub fn program_lints(
     }
     crate::sort_diags(&mut out);
     out
+}
+
+/// Lints a trailing query goal against its (already parsed) rule
+/// prefix: D010 for the resolution-error family, D011 when an all-free
+/// goal targets a recursive predicate and so prunes nothing.
+pub(crate) fn goal_lints(p: &Program, goal: &Goal) -> Vec<Diagnostic> {
+    match magic::resolve_goal(p, goal) {
+        Err(e) => {
+            let span = e.goal_span().unwrap_or(goal.span);
+            vec![Diagnostic::error("D010", e.to_string())
+                .with_span(span)
+                .with_note(
+                    "magic-sets rewriting rejects this goal with the same typed error; \
+                     check the predicate name, arity, and declared constants",
+                )]
+        }
+        Ok(rg) => {
+            if rg.mask.iter().any(|&b| b) {
+                return Vec::new();
+            }
+            // All-free goal: worth a warning only when the predicate is
+            // recursive — on a non-recursive one full materialization
+            // is what any evaluation strategy would do anyway.
+            let dep = DepAnalysis::of(p);
+            let scc = dep.scc_of[rg.idb];
+            let recursive = dep
+                .edges
+                .iter()
+                .any(|e| dep.scc_of[e.head] == scc && dep.scc_of[e.dep] == scc);
+            if !recursive {
+                return Vec::new();
+            }
+            vec![Diagnostic::warning(
+                "D011",
+                format!(
+                    "all-free goal on recursive predicate {} prunes nothing",
+                    goal.pred
+                ),
+            )
+            .with_span(goal.span)
+            .with_note(
+                "with no bound argument the magic-sets rewrite is the identity and the \
+                 engine materializes the full fixpoint; bind a constant to prune",
+            )]
+        }
+    }
 }

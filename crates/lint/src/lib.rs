@@ -38,6 +38,8 @@
 //! | D007 | error    | unsafe negation: variable not positively bound |
 //! | D008 | warning  | negated predicate has no rules (vacuously true) |
 //! | D009 | warning  | stratum budget exceeded (complexity signal) |
+//! | D010 | error    | query goal references an unknown predicate / arity mismatch |
+//! | D011 | warning  | all-free query goal on a recursive predicate prunes nothing |
 //!
 //! See `docs/lint.md` for one minimal trigger example per code and the
 //! JSON output schema, and `docs/stratification.md` for the dependency
@@ -94,6 +96,8 @@ pub const CODES: &[(&str, &str)] = &[
     ("D007", "unsafe negation: variable not positively bound"),
     ("D008", "negated predicate has no rules (vacuously true)"),
     ("D009", "stratum budget exceeded"),
+    ("D010", "query goal references an unknown predicate"),
+    ("D011", "all-free query goal on a recursive predicate"),
 ];
 
 /// The long-form, rustc-style explanation behind `fmtk lint --explain
@@ -219,6 +223,23 @@ pub fn explain(code: &str) -> Option<&'static str> {
              a join-pressure signal. Deep chains are legal — this is a complexity \
              warning, not an error."
         }
+        "D010" => {
+            "The trailing query goal (`pred(args)?` or `--query`) does not resolve \
+             against the program: the predicate is unknown, names an EDB relation \
+             (only IDB predicates can be queried — EDB extents are given, not \
+             derived), the argument count differs from the predicate's arity, or a \
+             quoted constant is not declared by the signature. The span points at \
+             the offending goal token. Magic-sets rewriting refuses such goals with \
+             the same typed error this lint renders."
+        }
+        "D011" => {
+            "The query goal binds no argument (all positions are variables) but the \
+             queried predicate is recursive, so magic-sets rewriting degenerates to \
+             the identity: the engine materializes the full fixpoint exactly as it \
+             would without the goal, and the `?` buys nothing. That is legal — the \
+             transparency guarantee depends on it — but if pruning was the point, \
+             bind at least one argument to a constant (`tc(\"a\", y)?`)."
+        }
         _ => return None,
     })
 }
@@ -325,13 +346,30 @@ pub fn lint_formula(sig: &Signature, f: &Formula, cfg: &LintConfig) -> Vec<Diagn
     out
 }
 
-/// Parses and lints a Datalog program. Parse errors come back as a
-/// single D000 error diagnostic with the parser's span.
+/// Parses and lints a Datalog program, including an optional trailing
+/// query goal (`pred(args)?` — lint codes D010/D011). Parse errors
+/// come back as a single D000 error diagnostic with the parser's span.
 pub fn lint_program_src(sig: &Arc<Signature>, src: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
     OBS_PROGRAMS.incr();
-    let out = match Program::parse_spanned(sig, src) {
-        Ok(p) => lint_parsed_program(&p, cfg),
+    // Split off a trailing query goal first; the rule prefix is a
+    // byte-prefix of `src`, so every span below renders against the
+    // original file unchanged.
+    let out = match fmt_queries::magic::split_query(src) {
         Err(e) => vec![Diagnostic::error("D000", e.message).with_span(e.span)],
+        Ok(split) => {
+            let body = split.as_ref().map_or(src, |(len, _)| &src[..*len]);
+            match Program::parse_spanned(sig, body) {
+                Ok(p) => {
+                    let mut d = lint_parsed_program(&p, cfg);
+                    if let Some((_, goal)) = &split {
+                        d.extend(dl::goal_lints(&p.program, goal));
+                        sort_diags(&mut d);
+                    }
+                    d
+                }
+                Err(e) => vec![Diagnostic::error("D000", e.message).with_span(e.span)],
+            }
+        }
     };
     meter(&out);
     out
@@ -572,6 +610,47 @@ mod tests {
             ..LintConfig::default()
         };
         assert!(lint_program_src(&sig, short, &cfg).is_empty());
+    }
+
+    #[test]
+    fn d010_unresolvable_query_goal() {
+        let sig = Signature::graph();
+        let src = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z). ghost(x, y)?";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D010"]);
+        assert!(has_errors(&d));
+        assert_eq!(d[0].span.unwrap().slice(src), "ghost");
+        // Arity mismatches span the whole goal atom.
+        let src = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z). tc(0)?";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D010"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "tc(0)");
+        // Querying an EDB relation is the NotIdb member of the family.
+        let src = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z). e(0, y)?";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D010"]);
+        assert_eq!(d[0].span.unwrap().slice(src), "e");
+    }
+
+    #[test]
+    fn d011_all_free_goal_on_recursive_predicate() {
+        let sig = Signature::graph();
+        let src = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z). tc(x, y)?";
+        let d = lint_program_src(&sig, src, &LintConfig::default());
+        assert_eq!(codes(&d), ["D011"]);
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].span.unwrap().slice(src), "tc(x, y)");
+        // A bound argument prunes — clean.
+        let bound = "tc(x, y) :- e(x, y). tc(x, z) :- e(x, y), tc(y, z). tc(0, y)?";
+        assert!(lint_program_src(&sig, bound, &LintConfig::default()).is_empty());
+        // A non-recursive goal predicate materializes identically with
+        // or without the goal, so an all-free goal is not a smell.
+        let flat = "p(x, y) :- e(x, y). p(x, y)?";
+        assert!(lint_program_src(&sig, flat, &LintConfig::default()).is_empty());
+        // A malformed goal is a D000 parse diagnostic, not D010/D011.
+        let bad = "p(x, y) :- e(x, y). p(x, y)? q(x)?";
+        let d = lint_program_src(&sig, bad, &LintConfig::default());
+        assert_eq!(codes(&d), ["D000"]);
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl Output {
     }
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -158,7 +158,7 @@ pub struct DatalogParseError {
 }
 
 impl DatalogParseError {
-    fn new(span: Span, message: impl Into<String>) -> DatalogParseError {
+    pub(crate) fn new(span: Span, message: impl Into<String>) -> DatalogParseError {
         DatalogParseError {
             offset: span.start,
             message: message.into(),
@@ -293,7 +293,7 @@ pub struct ParsedProgram {
 }
 
 /// Shrinks a span to the non-whitespace core of the text it covers.
-fn trim_span(src: &str, span: Span) -> Span {
+pub(crate) fn trim_span(src: &str, span: Span) -> Span {
     let s = span.slice(src);
     let start = span.start + (s.len() - s.trim_start().len());
     Span::new(start, start + s.trim().len())
@@ -594,6 +594,26 @@ impl Program {
         })
     }
 
+    /// Assembles a program directly from resolved parts — the back door
+    /// used by [`crate::magic`]'s rewriter, which synthesizes adorned
+    /// and `magic_*` predicates that have no source text to parse.
+    /// Callers are responsible for the parser's invariants: head
+    /// predicates are IDBs, arities are consistent, and every
+    /// `Pred::Idb` index is in range.
+    pub(crate) fn from_parts(
+        sig: std::sync::Arc<Signature>,
+        idb_names: Vec<String>,
+        idb_arity: Vec<usize>,
+        rules: Vec<Rule>,
+    ) -> Program {
+        Program {
+            sig,
+            idb_names,
+            idb_arity,
+            rules,
+        }
+    }
+
     /// The input signature the program was parsed against.
     pub fn signature(&self) -> &std::sync::Arc<Signature> {
         &self.sig
@@ -652,7 +672,7 @@ impl Program {
     /// otherwise the [`crate::depgraph`] analysis runs and
     /// unstratifiable or unsafe programs are rejected with a typed
     /// error.
-    fn eval_strata(&self) -> Result<Vec<Vec<usize>>, EvalError> {
+    pub(crate) fn eval_strata(&self) -> Result<Vec<Vec<usize>>, EvalError> {
         if !self.has_negation() {
             return Ok(vec![(0..self.rules.len()).collect()]);
         }

@@ -20,6 +20,10 @@
 //! * [`incremental`] — a long-lived Datalog runtime maintaining the
 //!   semi-naive fixpoint under fact insertions and retractions
 //!   (delta rules + DRed) instead of recomputing from scratch;
+//! * [`magic`] — magic-sets rewriting: query goals (`tc("a", y)?`),
+//!   bound/free adornment along the join planner's binding order, and
+//!   `magic_*` demand predicates, so the batch engines evaluate
+//!   goal-directed instead of materializing everything;
 //! * [`interp`] — FO interpretations: define a new structure by FO
 //!   formulas over an old one (reductions-as-queries);
 //! * [`reductions`] — the paper's three tricks, end to end:
@@ -34,6 +38,7 @@ pub mod depgraph;
 pub mod graph;
 pub mod incremental;
 pub mod interp;
+pub mod magic;
 pub mod order_invariant;
 pub mod reductions;
 

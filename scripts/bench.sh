@@ -12,6 +12,9 @@ cargo run --release -p fmt-bench --bin datalog_bench
 echo "==> incremental maintenance harness (appends to BENCH_datalog.json)"
 cargo run --release -p fmt-bench --bin datalog_incr_bench
 
+echo "==> magic-sets point-query harness (appends to BENCH_datalog.json)"
+cargo run --release -p fmt-bench --bin magic_bench
+
 echo "==> criterion bench: datalog"
 cargo bench -p fmt-bench --bench datalog
 

@@ -61,6 +61,10 @@ echo "==> stratified negation sweep (fixed seed, 240 cases)"
 cargo run --release -q -p fmt-cli --bin fmtk -- \
     conform --oracle stratified --seed 17 --cases 240
 
+echo "==> magic-sets goal-directed sweep (fixed seed, 240 cases)"
+cargo run --release -q -p fmt-cli --bin fmtk -- \
+    conform --oracle magic --seed 19 --cases 240
+
 echo "==> budget overhead gate (unlimited budget within 5% of tc_path_512 baseline)"
 # Per-process code/heap layout moves hot-loop timings by a few percent,
 # so retry across process spawns: a real regression fails every spawn.
@@ -104,6 +108,11 @@ if [[ "$incr_ok" != 1 ]]; then
     echo "incremental gate failed on all attempts" >&2
     exit 1
 fi
+
+echo "==> magic gate (point query derives >=5x fewer tuples than full materialization)"
+# The derivation ratio is deterministic (the engines count derived
+# tuples), so one run is authoritative — no respawn loop needed.
+cargo run --release -q -p fmt-bench --bin magic_gate
 
 echo "==> trace gate (chrome trace parses, >=90% wall-time attribution, tracing-off within 5%)"
 TRACE_DIR=target/trace-gate

@@ -1,0 +1,196 @@
+//! Property tests for the magic-sets rewrite (`fmt_queries::magic`).
+//!
+//! Two structural invariants that every rewrite must satisfy, checked
+//! on random programs and random goals rather than canned examples:
+//!
+//! * **Magic closure** — the rewritten program is self-contained: every
+//!   `magic_*` (demand) predicate the rewrite introduces is defined by
+//!   at least one rule and consumed by at least one guard, so no
+//!   adorned rule waits on demand that nothing can ever produce.
+//! * **Transparency** — an all-free goal rewrites to the original
+//!   program verbatim (same IDB table, same rules), which is the static
+//!   half of the guarantee that `tests/magic_transparency.rs` checks
+//!   dynamically against the golden evaluation counters.
+
+use fmt_core::queries::datalog::{Pred, Program};
+use fmt_core::queries::magic::{self, IdbRole};
+use fmt_core::structures::{Signature, Structure, StructureBuilder};
+use proptest::prelude::*;
+
+fn graph_sig() -> std::sync::Arc<Signature> {
+    Signature::graph()
+}
+
+/// A random graph with up to 5 vertices.
+fn arb_graph() -> impl Strategy<Value = Structure> {
+    (0u32..5, proptest::collection::vec(any::<bool>(), 25)).prop_map(|(n, bits)| {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut b = StructureBuilder::new(sig, n);
+        let mut k = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if bits[k % bits.len()] {
+                    b.add(e, &[u, v]).unwrap();
+                }
+                k += 1;
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+const VARS: [&str; 4] = ["x", "y", "z", "w"];
+
+/// A random atom over `e/2`, `p/2`, or `q/1` with variables from a
+/// 4-name pool.
+fn arb_atom() -> impl Strategy<Value = String> {
+    (0usize..3, 0usize..4, 0usize..4).prop_map(|(pred, a, b)| match pred {
+        0 => format!("e({}, {})", VARS[a], VARS[b]),
+        1 => format!("p({}, {})", VARS[a], VARS[b]),
+        _ => format!("q({})", VARS[a]),
+    })
+}
+
+/// A random well-formed program: fixed base rules anchor `p/2` and
+/// `q/1` (so every body predicate is defined), followed by up to four
+/// random — possibly mutually recursive — rules.
+fn arb_program() -> impl Strategy<Value = String> {
+    let rule = (
+        (0usize..2, 0usize..4, 0usize..4),
+        (0usize..3, proptest::collection::vec(arb_atom(), 2)),
+    )
+        .prop_map(|((head, a, b), (nbody, body))| {
+            let head = match head {
+                0 => format!("p({}, {})", VARS[a], VARS[b]),
+                _ => format!("q({})", VARS[a]),
+            };
+            if nbody == 0 {
+                format!("{head}.")
+            } else {
+                format!("{head} :- {}.", body[..nbody].join(", "))
+            }
+        });
+    (0usize..5, proptest::collection::vec(rule, 4)).prop_map(|(nextra, extra)| {
+        let mut src = String::from("p(x, y) :- e(x, y). q(x) :- e(x, x). ");
+        for r in &extra[..nextra.min(extra.len())] {
+            src.push_str(r);
+            src.push(' ');
+        }
+        src
+    })
+}
+
+/// A random goal over the anchored IDBs with at least one bound
+/// position, rendered in goal syntax (`p(2, gy)?`).
+fn arb_bound_goal() -> impl Strategy<Value = String> {
+    ((any::<bool>(), 0u32..6), (0u32..6, 0usize..3)).prop_map(|((on_p, c0), (c1, shape))| {
+        if on_p {
+            match shape {
+                0 => format!("p({c0}, gy)?"),
+                1 => format!("p(gx, {c1})?"),
+                _ => format!("p({c0}, {c1})?"),
+            }
+        } else {
+            format!("q({c0})?")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Magic closure: in the rewritten program of any bound goal, every
+    /// demand predicate is both produced (has a rule — the goal's own
+    /// magic predicate is seeded off the appended `__magic_seed` EDB,
+    /// which still surfaces as a rule) and consumed (guards some
+    /// adorned rule or feeds another demand), and every adorned copy of
+    /// an original IDB is defined. No rule mentions an IDB outside the
+    /// rewrite's role table.
+    #[test]
+    fn rewritten_programs_are_magic_closed(src in arb_program(), goal in arb_bound_goal()) {
+        let sig = graph_sig();
+        let prog = Program::parse(&sig, &src)
+            .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
+        let goal = magic::parse_goal(&goal).expect("generated goal parses");
+        let mq = magic::rewrite(&prog, &goal)
+            .unwrap_or_else(|e| panic!("bound goal on a positive program rewrites: {e}"));
+        prop_assert!(!mq.transparent, "a bound goal is never transparent");
+
+        let roles = mq.roles();
+        prop_assert_eq!(roles.len(), mq.program.num_idbs());
+        let mut defined = vec![false; roles.len()];
+        let mut consumed = vec![false; roles.len()];
+        for rule in mq.program.rules() {
+            let Pred::Idb(h) = rule.head.pred else {
+                panic!("rule heads are IDBs");
+            };
+            defined[h] = true;
+            for atom in &rule.body {
+                if let Pred::Idb(i) = atom.pred {
+                    prop_assert!(i < roles.len(), "body IDB outside the role table");
+                    consumed[i] = true;
+                }
+            }
+        }
+        consumed[mq.goal_idb] = true; // the query itself consumes the goal's extent
+        for (i, role) in roles.iter().enumerate() {
+            let (name, _) = mq.program.idb_info(i);
+            match role {
+                IdbRole::Magic(_) => {
+                    prop_assert!(
+                        name.starts_with("magic_"),
+                        "demand predicate {} is not named magic_*", name
+                    );
+                    prop_assert!(defined[i], "dangling demand predicate {} has no rules", name);
+                    prop_assert!(consumed[i], "demand predicate {} guards nothing", name);
+                }
+                IdbRole::Adorned(orig) => {
+                    prop_assert!(*orig < prog.num_idbs());
+                    prop_assert!(defined[i], "adorned predicate {} has no rules", name);
+                }
+            }
+        }
+    }
+
+    /// Transparency: an all-free goal rewrites to the original program
+    /// — identical IDB table and identical rules, not just equivalent
+    /// ones — and the goal maps onto the original predicate.
+    #[test]
+    fn all_free_goals_rewrite_to_the_original_program(src in arb_program(), on_p in any::<bool>()) {
+        let sig = graph_sig();
+        let prog = Program::parse(&sig, &src)
+            .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
+        let goal = magic::parse_goal(if on_p { "p(gx, gy)?" } else { "q(gx)?" }).unwrap();
+        let mq = magic::rewrite(&prog, &goal).expect("all-free goals always rewrite");
+
+        prop_assert!(mq.transparent);
+        prop_assert_eq!(mq.goal_idb, mq.orig_idb);
+        prop_assert_eq!(mq.program.num_idbs(), prog.num_idbs());
+        for i in 0..prog.num_idbs() {
+            prop_assert_eq!(mq.program.idb_info(i), prog.idb_info(i));
+            prop_assert_eq!(mq.roles()[i], IdbRole::Adorned(i));
+        }
+        prop_assert_eq!(mq.program.rules(), prog.rules());
+    }
+
+    /// Soundness/completeness spot check riding on the same generators:
+    /// the rewritten program's goal answers equal the goal-filtered
+    /// full materialization (the conformance oracle hunts this
+    /// continuously; this pins it into `cargo test`).
+    #[test]
+    fn rewritten_answers_match_filtered_materialization(
+        src in arb_program(),
+        goal in arb_bound_goal(),
+        s in arb_graph(),
+    ) {
+        let prog = Program::parse(s.signature(), &src)
+            .unwrap_or_else(|e| panic!("generated program must parse: {e}\n{src}"));
+        let goal = magic::parse_goal(&goal).expect("generated goal parses");
+        let mq = magic::rewrite(&prog, &goal).expect("bound goal rewrites");
+        let expected = mq.filter(&s, prog.eval_naive(&s).relation(mq.orig_idb));
+        let es = mq.prepare(&s);
+        let out = mq.program.eval_seminaive(&es);
+        prop_assert_eq!(mq.answers(&s, &out), expected);
+    }
+}

@@ -65,6 +65,8 @@ fn every_code_has_a_trigger_fixture_with_a_precise_span() {
         ("D007", "dl", Some("y")),
         ("D008", "dl", Some("!ghost(x)")),
         ("D009", "dl", None), // program-level, spanless
+        ("D010", "dl", Some("ghost")),
+        ("D011", "dl", Some("tc(x, y)")),
     ];
     for (code, ext, slice) in expect {
         let (src, diags) = lint_fixture(code, ext);
@@ -101,6 +103,8 @@ fn trigger_fixtures_report_nothing_else_spurious() {
         ("D007", "dl"),
         ("D008", "dl"),
         ("D009", "dl"),
+        ("D010", "dl"),
+        ("D011", "dl"),
     ] {
         let (_, diags) = lint_fixture(code, ext);
         let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();

@@ -1,0 +1,65 @@
+//! Seeded regression test for the magic oracle's fault-injection
+//! plumbing: an injected magic-sets rewrite bug must be *caught* by the
+//! `magic` oracle, *shrunk* (structure and fuel to the guards'
+//! minimum), *written* to a corpus directory, and the written case must
+//! replay — reproducing while the fault is armed, clean once cured.
+//!
+//! This test owns the [`fmt_conform::oracle::INJECT_MAGIC_ENV`] process
+//! environment variable for its whole body; keep this file to a single
+//! test so no concurrently running test observes the armed fault.
+
+use fmt_conform::oracle::INJECT_MAGIC_ENV;
+use fmt_conform::{ReproCase, RunConfig};
+use std::path::PathBuf;
+
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fmt-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn injected_magic_bug_is_caught_shrunk_written_and_replayable() {
+    let corpus = scratch_path("magic-corpus");
+    let _ = std::fs::remove_dir_all(&corpus);
+    std::env::set_var(INJECT_MAGIC_ENV, "1");
+
+    // With the fault armed every magic check "fails", so each hunted
+    // case must be caught and serialized.
+    let report = fmt_conform::run(&RunConfig {
+        seed: 7,
+        cases: 2,
+        oracle: Some("magic".to_owned()),
+        corpus_dir: Some(corpus.clone()),
+        ..RunConfig::default()
+    })
+    .expect("the hunt itself must survive an injected fault");
+    assert!(!report.clean(), "armed fault must be caught as a failure");
+    assert_eq!(
+        report.written.len(),
+        2,
+        "every caught failure must be written to the corpus"
+    );
+
+    for path in &report.written {
+        let text = std::fs::read_to_string(path).unwrap();
+        let case = ReproCase::from_text(&text).expect("written cases parse back");
+        assert_eq!(case.oracle, "magic");
+        assert!(case.note.contains("injected"), "note: {}", case.note);
+        assert!(case.param("program").is_some(), "case records its program");
+        assert!(case.param("goal").is_some(), "case records its goal");
+        // The shrinker ran: an unconditional fault reproduces at the
+        // guard minimum, fuel 1.
+        assert_eq!(case.param_u64("fuel").unwrap(), 1, "fuel must shrink to 1");
+        // Still armed: the written case reproduces.
+        fmt_conform::runner::replay_text(&text).expect_err("armed fault must reproduce on replay");
+    }
+
+    // Cure the fault: the same files now replay clean — exactly what
+    // `tests/conform_corpus.rs` asserts for the committed corpus.
+    std::env::remove_var(INJECT_MAGIC_ENV);
+    for path in &report.written {
+        let text = std::fs::read_to_string(path).unwrap();
+        fmt_conform::runner::replay_text(&text)
+            .unwrap_or_else(|e| panic!("{}: cured case must replay clean: {e}", path.display()));
+    }
+    let _ = std::fs::remove_dir_all(&corpus);
+}

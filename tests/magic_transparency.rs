@@ -1,0 +1,238 @@
+//! Transparency guarantee for the magic-sets layer: an **all-free**
+//! goal must evaluate bit-identically to running the program with no
+//! goal at all — same extents, same iteration and derivation counters,
+//! same delta histories, at 1 and 3 threads. The golden values are the
+//! ones `tests/stratified_transparency.rs` pinned before goal-directed
+//! evaluation existed; any drift means the identity rewrite (or the
+//! rewrite's re-run of the stratification analysis) perturbed the
+//! engines.
+
+use fmt_conform::gen::random_datalog_program;
+use fmt_queries::datalog::{Output, Program};
+use fmt_queries::magic::{self, MagicQuery};
+use fmt_structures::{builders, Signature, Structure};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Order-sensitive checksum over all IDB extents — the same fold that
+/// captured the stratified-transparency goldens.
+fn checksum(prog: &Program, out: &Output) -> u64 {
+    let mut sum: u64 = 0;
+    for i in 0..prog.num_idbs() {
+        for row in out.relation(i).iter() {
+            for (p, &v) in row.iter().enumerate() {
+                sum = sum
+                    .wrapping_mul(31)
+                    .wrapping_add((p as u64 + 1) * (v as u64 + 7));
+            }
+        }
+    }
+    sum
+}
+
+struct Golden {
+    name: &'static str,
+    src: Option<&'static str>, // None ⇒ canned program below
+    canned: fn() -> Program,
+    /// All-free goal on the program's first IDB.
+    goal: &'static str,
+    structure: fn() -> Structure,
+    iterations: usize,
+    derivations: u64,
+    delta_history: &'static [u64],
+    lens: &'static [usize],
+    sum: u64,
+}
+
+fn no_canned() -> Program {
+    unreachable!("parsed from src")
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        name: "tc/path12",
+        src: None,
+        canned: Program::transitive_closure,
+        goal: "tc(gx, gy)?",
+        structure: || builders::directed_path(12),
+        iterations: 12,
+        derivations: 66,
+        delta_history: &[11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0],
+        lens: &[66],
+        sum: 7379085459056171046,
+    },
+    Golden {
+        name: "tc/cycle7",
+        src: None,
+        canned: Program::transitive_closure,
+        goal: "tc(gx, gy)?",
+        structure: || builders::directed_cycle(7),
+        iterations: 8,
+        derivations: 56,
+        delta_history: &[7, 7, 7, 7, 7, 7, 7, 0],
+        lens: &[49],
+        sum: 14254617217907438506,
+    },
+    Golden {
+        name: "sg/tree4",
+        src: None,
+        canned: Program::same_generation,
+        goal: "sg(gx, gy)?",
+        structure: || builders::full_binary_tree(4),
+        iterations: 6,
+        derivations: 371,
+        delta_history: &[31, 30, 56, 96, 128, 0],
+        lens: &[341],
+        sum: 10366066170673779297,
+    },
+    Golden {
+        name: "evod/path5",
+        src: Some("ev(x, x). od(x, y) :- ev(x, z), e(z, y). ev(x, y) :- od(x, z), e(z, y)."),
+        canned: no_canned,
+        goal: "ev(gx, gy)?",
+        structure: || builders::directed_path(5),
+        iterations: 6,
+        derivations: 15,
+        delta_history: &[5, 4, 3, 2, 1, 0],
+        lens: &[9, 6],
+        sum: 12777995926804091653,
+    },
+    Golden {
+        name: "nullary/path3",
+        src: Some("reach :- e(x, y). both() :- reach."),
+        canned: no_canned,
+        goal: "reach?",
+        structure: || builders::directed_path(3),
+        iterations: 3,
+        derivations: 3,
+        delta_history: &[1, 1, 0],
+        lens: &[1, 1],
+        sum: 0,
+    },
+];
+
+fn sorted_extents(prog: &Program, out: &Output) -> Vec<Vec<Vec<fmt_structures::Elem>>> {
+    (0..prog.num_idbs())
+        .map(|i| {
+            let mut rows: Vec<_> = out.relation(i).iter().collect();
+            rows.sort();
+            rows
+        })
+        .collect()
+}
+
+fn rewrite_all_free(prog: &Program, goal: &str) -> MagicQuery {
+    let goal = magic::parse_goal(goal).expect("golden goal parses");
+    let mq = magic::rewrite(prog, &goal).expect("golden goal rewrites");
+    assert!(mq.transparent, "an all-free goal must be transparent");
+    mq
+}
+
+#[test]
+fn all_free_goals_match_pre_magic_goldens() {
+    let sig = Signature::graph();
+    for g in GOLDENS {
+        let prog = match g.src {
+            Some(src) => Program::parse(&sig, src).unwrap(),
+            None => (g.canned)(),
+        };
+        let mq = rewrite_all_free(&prog, g.goal);
+        let s = (g.structure)();
+        let es = mq.prepare(&s);
+        for threads in [1usize, 3] {
+            let out = mq.program.eval_seminaive_with(&es, threads);
+            assert_eq!(
+                out.iterations, g.iterations,
+                "{}@{threads}: iterations",
+                g.name
+            );
+            assert_eq!(
+                out.derivations, g.derivations,
+                "{}@{threads}: derivations",
+                g.name
+            );
+            assert_eq!(
+                out.delta_history, g.delta_history,
+                "{}@{threads}: delta history",
+                g.name
+            );
+            let lens: Vec<usize> = (0..mq.program.num_idbs())
+                .map(|i| out.relation(i).len())
+                .collect();
+            assert_eq!(lens, g.lens, "{}@{threads}: relation sizes", g.name);
+            assert_eq!(
+                checksum(&mq.program, &out),
+                g.sum,
+                "{}@{threads}: row checksum",
+                g.name
+            );
+            // And the goal's answer set is the full goal extent, sorted.
+            let mut full: Vec<_> = out.relation(mq.goal_idb).iter().collect();
+            full.sort();
+            assert_eq!(mq.answers(&s, &out), full, "{}@{threads}: answers", g.name);
+        }
+        // The naive and scan engines see the same identity rewrite.
+        let golden = sorted_extents(&prog, &prog.eval_seminaive_with(&s, 1));
+        for (engine, out) in [
+            ("naive", mq.program.eval_naive(&es)),
+            ("scan", mq.program.eval_seminaive_scan(&es)),
+        ] {
+            assert_eq!(
+                sorted_extents(&mq.program, &out),
+                golden,
+                "{}: {engine} extents diverge through the rewrite",
+                g.name
+            );
+        }
+    }
+}
+
+/// Seeded sweep: on random negation-free programs, evaluating through
+/// an all-free rewrite of the first IDB must reproduce the direct
+/// evaluation's extents *and* instrumentation counters at 1 and 3
+/// threads — the rewrite layer must not perturb anything it forwards.
+#[test]
+fn random_programs_are_transparent_through_all_free_rewrites() {
+    let sig = Signature::graph();
+    let mut rng = StdRng::seed_from_u64(0xFACADE);
+    let structures = [
+        builders::directed_path(6),
+        builders::directed_cycle(5),
+        builders::full_binary_tree(3),
+    ];
+    for case in 0..20 {
+        let src = random_datalog_program(&mut rng);
+        let prog = Program::parse(&sig, &src).unwrap();
+        let (name, arity) = prog.idb_info(0);
+        let vars = ["gx", "gy", "gz", "gw"];
+        let goal = if arity == 0 {
+            format!("{name}?")
+        } else {
+            format!("{name}({})?", vars[..arity].join(", "))
+        };
+        let mq = rewrite_all_free(&prog, &goal);
+        for s in &structures {
+            let es = mq.prepare(s);
+            for threads in [1usize, 3] {
+                let direct = prog.eval_seminaive_with(s, threads);
+                let through = mq.program.eval_seminaive_with(&es, threads);
+                assert_eq!(
+                    direct.iterations, through.iterations,
+                    "case {case}@{threads}: iterations\n{src}"
+                );
+                assert_eq!(
+                    direct.derivations, through.derivations,
+                    "case {case}@{threads}: derivations\n{src}"
+                );
+                assert_eq!(
+                    direct.delta_history, through.delta_history,
+                    "case {case}@{threads}: delta history\n{src}"
+                );
+                assert_eq!(
+                    sorted_extents(&prog, &direct),
+                    sorted_extents(&mq.program, &through),
+                    "case {case}@{threads}: extents\n{src}"
+                );
+            }
+        }
+    }
+}
